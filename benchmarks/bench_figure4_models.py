@@ -1,0 +1,79 @@
+"""Figure 4 (model panel): RoBERTa vs BERT vs distilled variants.
+
+The paper finds RoBERTa slightly above BERT and the original models
+slightly above their distilled versions, with distilled models faster.
+We pre-train all four zoo variants with their respective recipes (dynamic
+vs static masking; distillation for distil*) on the same unlabeled block
+corpus — cached on disk after the first run — then fine-tune each on the
+weak labels and compare.
+
+Expected shape: roberta >= distilroberta and bert >= distilbert on F1;
+distilled variants fine-tune faster (fewer layers).
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from benchmarks.common import bench_epochs, default_extractor_config
+from repro.core.extractor import WeakSupervisionExtractor
+from repro.datasets.base import train_test_split
+from repro.eval import evaluate_extractions, render_table
+from repro.models.pretrained import pretrain_for_domain
+
+VARIANTS = ("roberta", "bert", "distilroberta", "distilbert")
+
+
+@pytest.mark.benchmark(group="figure4")
+def test_figure4_model_selection(benchmark, sustainability_goals):
+    train, test = train_test_split(sustainability_goals, 0.2, seed=0)
+    test_texts = [o.text for o in test.objectives]
+    test_gold = [o.details for o in test.objectives]
+
+    def run():
+        rows = []
+        scores = {}
+        for variant in VARIANTS:
+            tokenizer, encoder = pretrain_for_domain(
+                variant, seed=0, corpus_blocks=1500
+            )
+            config = default_extractor_config(
+                model=variant, epochs=bench_epochs()
+            )
+            extractor = WeakSupervisionExtractor(
+                config, tokenizer=tokenizer, pretrained_encoder=encoder
+            )
+            start = time.perf_counter()
+            extractor.fit(train.objectives)
+            fit_minutes = (time.perf_counter() - start) / 60
+            predictions = extractor.extract_batch(test_texts)
+            report = evaluate_extractions(
+                predictions, test_gold, sustainability_goals.fields
+            )
+            scores[variant] = (report.f1, fit_minutes)
+            rows.append(
+                [
+                    variant,
+                    f"{report.precision:.2f}",
+                    f"{report.recall:.2f}",
+                    f"{report.f1:.2f}",
+                    f"{fit_minutes:.1f}",
+                ]
+            )
+            print(f"  {variant}: F1 {report.f1:.3f} ({fit_minutes:.1f} min)")
+        return rows, scores
+
+    rows, scores = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(
+        render_table(
+            ["Model", "P", "R", "F1", "fine-tune (min)"],
+            rows,
+            title="Figure 4 — effect of the transformer model",
+        )
+    )
+    # Distilled models are shallower, so they must fine-tune faster.
+    assert scores["distilroberta"][1] < scores["roberta"][1]
+    assert scores["distilbert"][1] < scores["bert"][1]

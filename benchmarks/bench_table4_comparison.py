@@ -1,0 +1,104 @@
+"""Table 4: effectiveness and efficiency versus the baselines.
+
+Regenerates the paper's headline comparison — CRF, zero-shot prompting,
+few-shot prompting, and GoalSpotter (the weak-supervision transformer) on
+NetZeroFacts and Sustainability Goals — with the paper's protocol (80/20
+split; ``REPRO_BENCH_RUNS`` independent runs, paper uses 5).
+
+Expected shape (not absolute numbers): GoalSpotter best F1 on both
+datasets; few-shot > zero-shot; CRF trains fastest; prompting has the
+largest (simulated) inference latency.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.common import (
+    bench_runs,
+    make_goalspotter_extractor,
+    print_paper_vs_measured,
+)
+from repro.core.schema import NETZEROFACTS_FIELDS, SUSTAINABILITY_FIELDS
+from repro.crf import CrfDetailExtractor
+from repro.eval import render_table
+from repro.eval.protocol import run_comparison
+from repro.llm import PromptingExtractor
+
+
+def _approaches(fields):
+    return [
+        (
+            "Conditional Random Fields",
+            lambda seed: CrfDetailExtractor(fields=fields),
+        ),
+        (
+            "Zero-Shot Prompting",
+            lambda seed: PromptingExtractor("zero", fields=fields, seed=seed),
+        ),
+        (
+            "Few-Shot Prompting",
+            lambda seed: PromptingExtractor("few", fields=fields, seed=seed),
+        ),
+        (
+            "GoalSpotter",
+            lambda seed: make_goalspotter_extractor(seed, fields=fields),
+        ),
+    ]
+
+
+def _run_dataset(dataset, fields):
+    rows = []
+    results = []
+    for name, factory in _approaches(fields):
+        result = run_comparison(
+            factory, dataset, name, runs=bench_runs(), test_fraction=0.2
+        )
+        results.append(result)
+        rows.append(result)
+        print(f"  {name}: F1 {result.f1:.3f}")
+        print_paper_vs_measured(
+            dataset.name, name, (result.precision, result.recall, result.f1)
+        )
+    return results
+
+
+def _print_table(dataset_name, results):
+    rows = [result.row() for result in results]
+    print()
+    print(
+        render_table(
+            ["Approach", "P", "R", "F", "T (min)"],
+            rows,
+            title=f"Table 4 — {dataset_name}",
+        )
+    )
+
+
+@pytest.mark.benchmark(group="table4")
+def test_table4_netzerofacts(benchmark, netzerofacts):
+    results = benchmark.pedantic(
+        lambda: _run_dataset(netzerofacts, NETZEROFACTS_FIELDS),
+        rounds=1,
+        iterations=1,
+    )
+    _print_table("NetZeroFacts", results)
+    f1 = {result.approach: result.f1 for result in results}
+    # Robust shape assertions from the paper. (The CRF's relative position
+    # is reported but not asserted: on the synthetic corpus a well-featured
+    # CRF is stronger than on the paper's real reports — see EXPERIMENTS.md.)
+    assert f1["GoalSpotter"] > f1["Few-Shot Prompting"]
+    assert f1["Few-Shot Prompting"] > f1["Zero-Shot Prompting"]
+
+
+@pytest.mark.benchmark(group="table4")
+def test_table4_sustainability_goals(benchmark, sustainability_goals):
+    results = benchmark.pedantic(
+        lambda: _run_dataset(sustainability_goals, SUSTAINABILITY_FIELDS),
+        rounds=1,
+        iterations=1,
+    )
+    _print_table("Sustainability Goals", results)
+    f1 = {result.approach: result.f1 for result in results}
+    assert f1["GoalSpotter"] > f1["Few-Shot Prompting"]
+    assert f1["Few-Shot Prompting"] > f1["Zero-Shot Prompting"]

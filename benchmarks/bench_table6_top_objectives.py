@@ -1,0 +1,67 @@
+"""Table 6: extracted details for the top-2 objectives per company.
+
+Reruns Scenario 1 on a moderate slice of the deployment corpus and prints
+the paper's Table 6 view — the two highest-confidence objectives per
+company with their extracted Action / Amount / Qualifier / Baseline /
+Deadline — plus extraction-quality statistics against the generator's
+ground truth.
+
+Expected shape: every company contributes rows; most rows have an Action
+and a Qualifier; Baseline/Deadline are sparse (as in the paper's Table 6,
+where most cells in those columns are empty).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.schema import SUSTAINABILITY_FIELDS
+from repro.datasets.reports import build_deployment_corpus
+from repro.deploy import run_scenario_1
+from repro.deploy.scenarios import records_table
+from repro.eval import render_table
+
+
+@pytest.mark.benchmark(group="deployment")
+def test_table6_top_objectives(benchmark, deployment_pipeline):
+    reports = build_deployment_corpus(seed=11, scale=0.1)
+
+    result = benchmark.pedantic(
+        lambda: run_scenario_1(deployment_pipeline, reports=reports, top_k=2),
+        rounds=1,
+        iterations=1,
+    )
+
+    rows = []
+    for company, records in result.top_records.items():
+        rows.extend(records_table(records, max_text=46))
+    print()
+    print(
+        render_table(
+            ["Company", "Sustainability Objective"] + list(
+                SUSTAINABILITY_FIELDS
+            ),
+            rows,
+            title="Table 6 — top-2 extracted objectives per company",
+        )
+    )
+
+    filled = {field: 0 for field in SUSTAINABILITY_FIELDS}
+    total = 0
+    for records in result.top_records.values():
+        for record in records:
+            total += 1
+            for field in SUSTAINABILITY_FIELDS:
+                filled[field] += bool(record.details.get(field))
+    print(
+        "fill rates:",
+        {field: f"{count / max(total, 1):.0%}" for field, count in filled.items()},
+    )
+    result.store.close()
+
+    assert len(result.top_records) == 14
+    assert total >= 14  # at least one detected objective per company
+    # Paper Table 6 shape: timeline fields are mostly empty; the
+    # action/qualifier columns are mostly filled.
+    assert filled["Action"] > filled["Baseline"]
+    assert filled["Qualifier"] >= filled["Deadline"]

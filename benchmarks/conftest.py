@@ -1,0 +1,40 @@
+"""Session-scoped fixtures shared across benchmarks.
+
+The deployment pipeline (detector + extractor) takes minutes to train, so
+Tables 5-7 share one trained instance.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.common import bench_epochs
+from repro.core.extractor import ExtractorConfig
+from repro.datasets import build_netzerofacts, build_sustainability_goals
+from repro.deploy import build_trained_pipeline
+from repro.models.training import FineTuneConfig
+
+
+@pytest.fixture(scope="session")
+def sustainability_goals():
+    return build_sustainability_goals(seed=1)
+
+
+@pytest.fixture(scope="session")
+def netzerofacts():
+    return build_netzerofacts(seed=1)
+
+
+@pytest.fixture(scope="session")
+def deployment_pipeline(sustainability_goals):
+    """Detector + extractor trained once for Tables 5, 6, and 7."""
+    return build_trained_pipeline(
+        sustainability_goals,
+        seed=0,
+        detector_blocks=1200,
+        extractor_config=ExtractorConfig(
+            finetune=FineTuneConfig(
+                epochs=bench_epochs(), learning_rate=1e-3
+            )
+        ),
+    )

@@ -1,0 +1,106 @@
+"""Greenwashing monitoring over the structured objective database.
+
+The paper's motivation: "specific facts and figures can be monitored over
+time to measure the fidelity of the companies to their previously claimed
+sustainability objectives" (Section 5.1). This example shows the analyst
+side only — no model training — using the normalized (typed) columns the
+store derives on insert:
+
+* which companies made net-zero pledges, and with what deadline;
+* who commits to the deepest percentage reductions;
+* how long the typical commitment horizon is;
+* which companies are vague (low specificity) vs concrete.
+
+Run:  python examples/greenwashing_monitor.py
+"""
+
+from repro.goalspotter.pipeline import ExtractedRecord
+from repro.eval import render_table
+from repro.storage import (
+    ObjectiveStore,
+    horizon_statistics,
+    net_zero_pledges,
+    reduction_targets,
+    specificity_ranking,
+)
+
+
+def record(company, objective, **details):
+    full = {
+        "Action": "", "Amount": "", "Qualifier": "",
+        "Baseline": "", "Deadline": "",
+    }
+    full.update(details)
+    return ExtractedRecord(
+        company=company, report_id="demo", page=0,
+        objective=objective, details=full, score=0.9,
+    )
+
+
+DEMO_RECORDS = [
+    record(
+        "Aurora Energy", "Reach net-zero carbon by 2040.",
+        Action="Reach", Amount="net-zero", Qualifier="carbon",
+        Deadline="2040",
+    ),
+    record(
+        "Aurora Energy",
+        "Reduce Scope 1 and 2 emissions by 55% by 2030 (baseline 2019).",
+        Action="Reduce", Amount="55%",
+        Qualifier="Scope 1 and 2 emissions", Baseline="2019",
+        Deadline="2030",
+    ),
+    record(
+        "Borealis Foods", "Achieve carbon neutrality by 2035.",
+        Action="Achieve", Amount="carbon neutral", Deadline="2035",
+    ),
+    record(
+        "Borealis Foods",
+        "Cut food waste across our restaurants by 30% by 2028 "
+        "(baseline 2022).",
+        Action="Cut", Amount="30%",
+        Qualifier="food waste across our restaurants",
+        Baseline="2022", Deadline="2028",
+    ),
+    record(
+        "Cirrus Retail", "Promote sustainable choices for our customers.",
+        Action="Promote", Qualifier="sustainable choices",
+    ),
+    record(
+        "Cirrus Retail", "Explore innovative value-based approaches.",
+        Action="Explore", Qualifier="value-based approaches",
+    ),
+]
+
+
+def main() -> None:
+    with ObjectiveStore() as store:
+        store.insert_records(DEMO_RECORDS)
+
+        print("== net-zero pledges (normalized amount_kind) ==")
+        for company, deadline_year in net_zero_pledges(store):
+            when = deadline_year if deadline_year else "no deadline!"
+            print(f"  {company}: {when}")
+
+        print("\n== reduction targets >= 25% (typed columns) ==")
+        rows = [
+            [company, f"{percent:.0f}%", str(year or "-")]
+            for company, percent, year in reduction_targets(store, 25.0)
+        ]
+        print(render_table(["Company", "Cut", "By"], rows))
+
+        stats = horizon_statistics(store)
+        print(
+            f"\ncommitment horizons: n={stats['count']:.0f}, "
+            f"mean {stats['mean']:.1f}y "
+            f"(min {stats['min']:.0f}, max {stats['max']:.0f})"
+        )
+
+        print("\n== specificity ranking (who is concrete, who is vague) ==")
+        for company, score in specificity_ranking(store):
+            flag = "  <- vague claims, greenwashing risk" if score < 2.5 else ""
+            print(f"  {company}: {score:.1f}/5{flag}")
+
+
+if __name__ == "__main__":
+    main()

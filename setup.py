@@ -1,0 +1,18 @@
+"""Legacy setup shim: the offline environment lacks the ``wheel`` package,
+so editable installs must go through ``setup.py develop``."""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Reproduction of 'Automatic Detail Extraction from Sustainability "
+        "Objectives Using Weak Supervision' (EDBT 2026)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    install_requires=["numpy"],
+    entry_points={"console_scripts": ["repro=repro.cli:main"]},
+)

@@ -1,0 +1,36 @@
+"""repro — reproduction of "Automatic Detail Extraction from Sustainability
+Objectives Using Weak Supervision" (Mahdavi & Debus, EDBT 2026).
+
+Public API tour:
+
+* :class:`repro.core.WeakSupervisionExtractor` — the paper's system: weak
+  supervision token labeling (Algorithm 1) + transformer fine-tuning.
+* :mod:`repro.datasets` — seeded reconstructions of the Sustainability
+  Goals and NetZeroFacts corpora and the deployment report corpus.
+* :class:`repro.crf.CrfDetailExtractor`,
+  :class:`repro.llm.PromptingExtractor` — the Table 4 baselines.
+* :class:`repro.goalspotter.GoalSpotter` — detection + extraction pipeline.
+* :class:`repro.storage.ObjectiveStore` — the structured objective database
+  with normalized (typed) detail columns.
+* :mod:`repro.normalize` — semantic normalization of extracted values.
+* :mod:`repro.eval` — the paper's evaluation protocol and metrics.
+* :mod:`repro.deploy` — the Section 5 deployment scenarios.
+"""
+
+from repro.core.extractor import ExtractorConfig, WeakSupervisionExtractor
+from repro.core.schema import (
+    AnnotatedObjective,
+    NETZEROFACTS_FIELDS,
+    SUSTAINABILITY_FIELDS,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AnnotatedObjective",
+    "ExtractorConfig",
+    "WeakSupervisionExtractor",
+    "SUSTAINABILITY_FIELDS",
+    "NETZEROFACTS_FIELDS",
+    "__version__",
+]

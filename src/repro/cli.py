@@ -1,0 +1,180 @@
+"""Command-line interface for the reproduction.
+
+Subcommands cover the full lifecycle::
+
+    repro build-dataset --name sustainability-goals --out goals.jsonl
+    repro train --data goals.jsonl --out model/
+    repro extract --model model/ --text "Reduce waste by 20% by 2030."
+    repro evaluate --data goals.jsonl --model model/
+    repro deploy --data goals.jsonl --db objectives.db --scale 0.05
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from collections.abc import Sequence
+
+from repro.core.extractor import ExtractorConfig, WeakSupervisionExtractor
+from repro.core.schema import NETZEROFACTS_FIELDS, SUSTAINABILITY_FIELDS
+from repro.datasets.base import Dataset, train_test_split
+from repro.datasets.netzerofacts import build_netzerofacts
+from repro.datasets.sustainability import build_sustainability_goals
+from repro.eval import evaluate_extractions, render_table
+from repro.models.training import FineTuneConfig
+
+_DATASET_BUILDERS = {
+    "sustainability-goals": (build_sustainability_goals, SUSTAINABILITY_FIELDS),
+    "netzerofacts": (build_netzerofacts, NETZEROFACTS_FIELDS),
+}
+
+
+def _cmd_build_dataset(args: argparse.Namespace) -> int:
+    builder, __ = _DATASET_BUILDERS[args.name]
+    dataset = builder(seed=args.seed)
+    dataset.save_jsonl(args.out)
+    print(f"wrote {len(dataset)} objectives to {args.out}")
+    return 0
+
+
+def _cmd_train(args: argparse.Namespace) -> int:
+    dataset = Dataset.load_jsonl(args.data)
+    fields = dataset.fields or SUSTAINABILITY_FIELDS
+    config = ExtractorConfig(
+        fields=tuple(fields),
+        model=args.model,
+        finetune=FineTuneConfig(
+            epochs=args.epochs, learning_rate=args.learning_rate
+        ),
+    )
+    extractor = WeakSupervisionExtractor(config)
+    train, __ = train_test_split(dataset, args.test_fraction, seed=args.seed)
+    print(f"training on {len(train)} objectives ...")
+    extractor.fit(train.objectives)
+    extractor.save(args.out)
+    print(
+        f"saved model to {args.out} "
+        f"(weak-label coverage {extractor.weak_stats.coverage:.1%})"
+    )
+    return 0
+
+
+def _cmd_extract(args: argparse.Namespace) -> int:
+    extractor = WeakSupervisionExtractor.load(args.model)
+    if args.text:
+        texts = [args.text]
+    elif args.input:
+        with open(args.input, encoding="utf-8") as handle:
+            texts = [line.strip() for line in handle if line.strip()]
+    else:
+        print("either --text or --input is required", file=sys.stderr)
+        return 2
+    for text, details in zip(texts, extractor.extract_batch(texts)):
+        print(json.dumps({"objective": text, "details": details}))
+    return 0
+
+
+def _cmd_evaluate(args: argparse.Namespace) -> int:
+    dataset = Dataset.load_jsonl(args.data)
+    extractor = WeakSupervisionExtractor.load(args.model)
+    __, test = train_test_split(dataset, args.test_fraction, seed=args.seed)
+    predictions = extractor.extract_batch([o.text for o in test.objectives])
+    report = evaluate_extractions(
+        predictions, [o.details for o in test.objectives], dataset.fields
+    )
+    rows = [
+        [field] + [f"{m:.3f}" for m in report.field_metrics(field)]
+        for field in dataset.fields
+    ]
+    rows.append(
+        [
+            "micro",
+            f"{report.precision:.3f}",
+            f"{report.recall:.3f}",
+            f"{report.f1:.3f}",
+        ]
+    )
+    print(render_table(["Field", "P", "R", "F1"], rows))
+    return 0
+
+
+def _cmd_deploy(args: argparse.Namespace) -> int:
+    from repro.deploy import build_trained_pipeline, run_scenario_1
+
+    dataset = Dataset.load_jsonl(args.data)
+    print("training detector + extractor ...")
+    pipeline = build_trained_pipeline(
+        dataset,
+        seed=args.seed,
+        extractor_config=ExtractorConfig(
+            fields=tuple(dataset.fields or SUSTAINABILITY_FIELDS),
+            finetune=FineTuneConfig(epochs=args.epochs),
+        ),
+    )
+    print(f"processing deployment corpus (scale={args.scale}) ...")
+    result = run_scenario_1(pipeline, scale=args.scale, store_path=args.db)
+    docs, pages, detected = result.totals
+    print(
+        f"processed {docs} documents / {pages} pages; "
+        f"stored {detected} objectives in {args.db}"
+    )
+    result.store.close()
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser with all subcommands."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Weak-supervision sustainability detail extraction",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    build = sub.add_parser("build-dataset", help="generate a dataset JSONL")
+    build.add_argument("--name", choices=sorted(_DATASET_BUILDERS), required=True)
+    build.add_argument("--seed", type=int, default=0)
+    build.add_argument("--out", required=True)
+    build.set_defaults(func=_cmd_build_dataset)
+
+    train = sub.add_parser("train", help="train the extractor")
+    train.add_argument("--data", required=True)
+    train.add_argument("--out", required=True)
+    train.add_argument("--model", default="roberta")
+    train.add_argument("--epochs", type=int, default=10)
+    train.add_argument("--learning-rate", type=float, default=1e-3)
+    train.add_argument("--test-fraction", type=float, default=0.2)
+    train.add_argument("--seed", type=int, default=0)
+    train.set_defaults(func=_cmd_train)
+
+    extract = sub.add_parser("extract", help="extract details from text")
+    extract.add_argument("--model", required=True)
+    extract.add_argument("--text")
+    extract.add_argument("--input", help="file with one objective per line")
+    extract.set_defaults(func=_cmd_extract)
+
+    evaluate = sub.add_parser("evaluate", help="evaluate a saved model")
+    evaluate.add_argument("--data", required=True)
+    evaluate.add_argument("--model", required=True)
+    evaluate.add_argument("--test-fraction", type=float, default=0.2)
+    evaluate.add_argument("--seed", type=int, default=0)
+    evaluate.set_defaults(func=_cmd_evaluate)
+
+    deploy = sub.add_parser("deploy", help="run the deployment pipeline")
+    deploy.add_argument("--data", required=True)
+    deploy.add_argument("--db", default="objectives.db")
+    deploy.add_argument("--scale", type=float, default=0.05)
+    deploy.add_argument("--epochs", type=int, default=10)
+    deploy.add_argument("--seed", type=int, default=0)
+    deploy.set_defaults(func=_cmd_deploy)
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,86 @@
+"""Word-level IOB labels <-> BPE subword pieces.
+
+The transformer consumes BPE pieces while Algorithm 1 labels whole words;
+these helpers bridge the two granularities.
+
+Two training-time strategies (ablated in the benchmarks):
+
+* ``"first"`` — the first piece of a word carries the word's label id and
+  the remaining pieces are excluded from the loss (``IGNORE_INDEX``). This
+  is the standard HuggingFace token-classification recipe.
+* ``"all"`` — every piece of the word is supervised: the first piece keeps
+  ``B-f``, later pieces of a ``B-f`` word get ``I-f``, and all pieces of an
+  ``I-f``/``O`` word repeat the word label.
+
+At prediction time the label of a word is read from its first piece.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.core.iob import OUTSIDE, LabelScheme
+from repro.nn.loss import IGNORE_INDEX
+
+STRATEGIES = ("first", "all")
+
+
+def _first_piece_flags(word_ids: Sequence[int]) -> list[bool]:
+    flags: list[bool] = []
+    previous = None
+    for word_id in word_ids:
+        flags.append(word_id != previous)
+        previous = word_id
+    return flags
+
+
+def word_labels_to_piece_targets(
+    word_labels: Sequence[str],
+    word_ids: Sequence[int],
+    scheme: LabelScheme,
+    strategy: str = "first",
+) -> list[int]:
+    """Project word-level IOB labels onto subword pieces as training ids."""
+    if strategy not in STRATEGIES:
+        raise ValueError(f"unknown strategy {strategy!r}; use {STRATEGIES}")
+    first_flags = _first_piece_flags(word_ids)
+    targets: list[int] = []
+    for is_first, word_id in zip(first_flags, word_ids):
+        if word_id >= len(word_labels):
+            raise IndexError(
+                f"piece refers to word {word_id} but only "
+                f"{len(word_labels)} word labels given"
+            )
+        label = word_labels[word_id]
+        if is_first:
+            targets.append(scheme.id_of(label))
+        elif strategy == "first":
+            targets.append(IGNORE_INDEX)
+        else:  # "all": continuation pieces become I-f (or repeat O / I-f)
+            if label.startswith("B-"):
+                targets.append(scheme.id_of("I-" + label[2:]))
+            else:
+                targets.append(scheme.id_of(label))
+    return targets
+
+
+def pieces_to_word_labels(
+    piece_label_ids: Sequence[int],
+    word_ids: Sequence[int],
+    scheme: LabelScheme,
+    num_words: int,
+) -> list[str]:
+    """Fold per-piece predictions back to one IOB label per word.
+
+    The word label is taken from its first piece; words whose pieces were
+    all truncated away (sequence longer than the model's max length)
+    default to ``O``.
+    """
+    labels = [OUTSIDE] * num_words
+    seen: set[int] = set()
+    for label_id, word_id in zip(piece_label_ids, word_ids):
+        if word_id in seen or word_id >= num_words:
+            continue
+        seen.add(word_id)
+        labels[word_id] = scheme.label_of(int(label_id))
+    return labels

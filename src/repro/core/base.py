@@ -1,0 +1,36 @@
+"""Common interface implemented by every detail-extraction approach.
+
+Table 4 of the paper compares four approaches (CRF, zero-shot prompting,
+few-shot prompting, and the weakly supervised transformer). Each one
+implements this interface so the evaluation protocol and the deployment
+pipeline are approach-agnostic.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.core.schema import AnnotatedObjective
+
+
+class DetailExtractor:
+    """Abstract detail extractor: fit on annotated objectives, extract."""
+
+    #: Human-readable approach name (used in result tables).
+    name: str = "abstract"
+
+    def fit(self, objectives: Sequence[AnnotatedObjective]) -> "DetailExtractor":
+        """Train on coarse objective-level annotations; returns self."""
+        raise NotImplementedError
+
+    def extract(self, text: str) -> dict[str, str]:
+        """Extract the key details of one objective.
+
+        Returns a dict with one entry per schema field; missing details map
+        to ``""``.
+        """
+        raise NotImplementedError
+
+    def extract_batch(self, texts: Sequence[str]) -> list[dict[str, str]]:
+        """Extract details for many objectives (default: one at a time)."""
+        return [self.extract(text) for text in texts]

@@ -1,0 +1,77 @@
+"""CoNLL-2003-style import/export of weak token labels.
+
+The paper grounds its label format in CoNLL-2003 (§3.2, Table 2: one token
+and one IOB label per line, blank line between sentences). Exporting
+Algorithm 1's output in this format makes the weakly labeled data usable
+by any external sequence-labeling toolkit, and importing lets externally
+annotated data flow into this pipeline.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+from pathlib import Path
+
+from repro.core.schema import AnnotatedObjective
+from repro.core.weak_labeling import weakly_label_objective
+
+
+def format_conll(
+    sentences: Iterable[tuple[Sequence[str], Sequence[str]]],
+) -> str:
+    """Render (tokens, labels) pairs as CoNLL text."""
+    blocks: list[str] = []
+    for tokens, labels in sentences:
+        if len(tokens) != len(labels):
+            raise ValueError(
+                f"{len(tokens)} tokens vs {len(labels)} labels"
+            )
+        blocks.append(
+            "\n".join(
+                f"{token}\t{label}" for token, label in zip(tokens, labels)
+            )
+        )
+    return "\n\n".join(blocks) + ("\n" if blocks else "")
+
+
+def parse_conll(text: str) -> list[tuple[list[str], list[str]]]:
+    """Parse CoNLL text back into (tokens, labels) pairs."""
+    sentences: list[tuple[list[str], list[str]]] = []
+    tokens: list[str] = []
+    labels: list[str] = []
+    for line in text.splitlines():
+        line = line.rstrip()
+        if not line:
+            if tokens:
+                sentences.append((tokens, labels))
+                tokens, labels = [], []
+            continue
+        parts = line.split("\t") if "\t" in line else line.split()
+        if len(parts) < 2:
+            raise ValueError(f"malformed CoNLL line: {line!r}")
+        tokens.append(parts[0])
+        labels.append(parts[-1])
+    if tokens:
+        sentences.append((tokens, labels))
+    return sentences
+
+
+def export_weak_labels(
+    objectives: Iterable[AnnotatedObjective],
+    path: str | Path,
+) -> int:
+    """Run Algorithm 1 on each objective and write CoNLL to ``path``.
+
+    Returns the number of sentences written.
+    """
+    sentences: list[tuple[list[str], list[str]]] = []
+    for objective in objectives:
+        tokens, labels = weakly_label_objective(objective)
+        sentences.append(([token.text for token in tokens], labels))
+    Path(path).write_text(format_conll(sentences), encoding="utf-8")
+    return len(sentences)
+
+
+def import_conll(path: str | Path) -> list[tuple[list[str], list[str]]]:
+    """Read a CoNLL file into (tokens, labels) pairs."""
+    return parse_conll(Path(path).read_text(encoding="utf-8"))

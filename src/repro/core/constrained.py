@@ -1,0 +1,74 @@
+"""IOB-constrained decoding over token-classifier logits.
+
+Independent per-token argmax can emit ill-formed label sequences (an
+``I-f`` with no open span) and ragged spans (an ``O`` dropped in the middle
+of an entity). Constrained Viterbi finds the highest-scoring label sequence
+that is *well-formed* under the IOB grammar:
+
+* the sequence starts with ``O`` or any ``B-f``;
+* ``I-f`` may only follow ``B-f`` or ``I-f`` of the same field;
+* everything else is unconstrained.
+
+Scores are the model's raw per-token logits (no learned transitions), so
+this is pure structured inference on top of the fine-tuned model.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.iob import LabelScheme
+
+_NEG_INF = -1e30
+
+
+def transition_mask(scheme: LabelScheme) -> np.ndarray:
+    """``(L, L)`` matrix: 0 where the transition is legal, -inf where not."""
+    size = len(scheme)
+    mask = np.zeros((size, size))
+    for previous_id, previous in enumerate(scheme.labels):
+        for current_id, current in enumerate(scheme.labels):
+            if not current.startswith("I-"):
+                continue
+            field = current[2:]
+            legal = previous in (f"B-{field}", f"I-{field}")
+            if not legal:
+                mask[previous_id, current_id] = _NEG_INF
+    return mask
+
+
+def start_mask(scheme: LabelScheme) -> np.ndarray:
+    """``(L,)`` vector: -inf on labels that cannot start a sequence."""
+    mask = np.zeros(len(scheme))
+    for label_id, label in enumerate(scheme.labels):
+        if label.startswith("I-"):
+            mask[label_id] = _NEG_INF
+    return mask
+
+
+def constrained_decode(
+    logits: np.ndarray, scheme: LabelScheme
+) -> np.ndarray:
+    """Highest-scoring well-formed IOB sequence for ``(T, L)`` logits."""
+    logits = np.asarray(logits, dtype=np.float64)
+    length, size = logits.shape
+    if size != len(scheme):
+        raise ValueError(
+            f"logits have {size} labels, scheme has {len(scheme)}"
+        )
+    if length == 0:
+        return np.zeros(0, dtype=np.int64)
+    transitions = transition_mask(scheme)
+    delta = logits[0] + start_mask(scheme)
+    backpointers = np.zeros((length, size), dtype=np.int64)
+    for position in range(1, length):
+        scores = delta[:, None] + transitions
+        backpointers[position] = scores.argmax(axis=0)
+        delta = scores.max(axis=0) + logits[position]
+    best = int(delta.argmax())
+    path = [best]
+    for position in range(length - 1, 0, -1):
+        best = int(backpointers[position, best])
+        path.append(best)
+    path.reverse()
+    return np.asarray(path, dtype=np.int64)

@@ -1,0 +1,62 @@
+"""Decode word-level IOB labels into extracted field values.
+
+Spans are mapped back onto the source text via token character offsets, so
+extracted values are verbatim substrings of the objective (including any
+punctuation between the span's tokens).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.core.iob import Span, iob_to_spans
+from repro.text.words import Token
+
+
+def span_text(text: str, tokens: Sequence[Token], span: Span) -> str:
+    """The source substring covered by a token span."""
+    if span.end > len(tokens):
+        raise ValueError(f"span {span} exceeds token count {len(tokens)}")
+    return text[tokens[span.start].start : tokens[span.end - 1].end]
+
+
+SPAN_POLICIES = ("leftmost", "longest")
+
+
+def decode_details(
+    text: str,
+    tokens: Sequence[Token],
+    labels: Sequence[str],
+    fields: Sequence[str],
+    span_policy: str = "leftmost",
+) -> dict[str, str]:
+    """Turn an IOB labeling into a field -> value dictionary.
+
+    Every field in ``fields`` is present in the result; fields with no
+    predicted span map to ``""``. Each objective carries at most one value
+    per key detail in the paper's schema, so when the model predicts
+    several spans for one field a ``span_policy`` picks the winner:
+    ``"leftmost"`` (details are usually stated in the first clause) or
+    ``"longest"`` (robust to span fragmentation).
+    """
+    if span_policy not in SPAN_POLICIES:
+        raise ValueError(
+            f"unknown span policy {span_policy!r}; use {SPAN_POLICIES}"
+        )
+    if len(tokens) != len(labels):
+        raise ValueError(
+            f"{len(tokens)} tokens vs {len(labels)} labels"
+        )
+    best: dict[str, Span] = {}
+    for span in iob_to_spans(labels, repair=True):
+        if span.field not in fields:
+            continue  # prediction for a field outside the schema
+        current = best.get(span.field)
+        if current is None:
+            best[span.field] = span
+        elif span_policy == "longest" and len(span) > len(current):
+            best[span.field] = span
+    details = {field: "" for field in fields}
+    for field, span in best.items():
+        details[field] = span_text(text, tokens, span)
+    return details

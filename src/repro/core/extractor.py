@@ -1,0 +1,312 @@
+"""The public weak-supervision detail extractor (the paper's system).
+
+Development phase (``fit``): normalize → word-tokenize → Algorithm 1 weak
+labels → BPE-encode → project labels to pieces → fine-tune the transformer.
+
+Production phase (``extract``): normalize → word-tokenize → BPE-encode →
+predict piece labels → fold to word labels → decode spans → field values.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from collections.abc import Sequence
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.alignment import (
+    pieces_to_word_labels,
+    word_labels_to_piece_targets,
+)
+from repro.core.base import DetailExtractor
+from repro.core.constrained import constrained_decode
+from repro.core.decoding import decode_details
+from repro.core.iob import LabelScheme
+from repro.core.matching import (
+    ExactMatcher,
+    FuzzyMatcher,
+    LowercaseMatcher,
+    TokenMatcher,
+)
+from repro.core.schema import SUSTAINABILITY_FIELDS, AnnotatedObjective
+from repro.core.weak_labeling import WeakLabelingStats, weakly_label_objective
+from repro.models.token_classifier import TokenClassifier
+from repro.models.training import FineTuneConfig, fit_token_classifier
+from repro.models.zoo import get_model_spec
+from repro.nn.encoder import TransformerEncoder
+from repro.nn.serialize import load_state, save_state
+from repro.text.bpe import BpeTokenizer
+from repro.text.normalize import TextNormalizer
+from repro.text.words import WordTokenizer
+
+_MATCHERS = {
+    "exact": ExactMatcher,
+    "lowercase": LowercaseMatcher,
+    "fuzzy": FuzzyMatcher,
+}
+
+
+@dataclasses.dataclass(frozen=True)
+class ExtractorConfig:
+    """Configuration of :class:`WeakSupervisionExtractor`.
+
+    Defaults mirror the paper's prototype (Section 3.3) plus the measured
+    best recipe on this substrate: RoBERTa-style encoder, 10 epochs, Adam,
+    batch size 16, exact matching in Algorithm 1, all-piece subword
+    supervision, O-class down-weighting, and IOB-constrained decoding
+    (each ablated in ``benchmarks/bench_ablation_weak_labeling.py``).
+    """
+
+    fields: tuple[str, ...] = SUSTAINABILITY_FIELDS
+    model: str = "roberta"
+    finetune: FineTuneConfig = dataclasses.field(default_factory=FineTuneConfig)
+    matcher: str = "exact"
+    subword_strategy: str = "all"
+    span_policy: str = "longest"
+    constrained_decoding: bool = True
+    outside_weight: float = 0.35
+    max_len: int = 96
+    num_merges: int = 600
+    normalize: bool = True
+    seed: int = 13
+
+    def __post_init__(self) -> None:
+        if not self.fields:
+            raise ValueError("fields must be non-empty")
+        if self.matcher not in _MATCHERS:
+            raise ValueError(
+                f"unknown matcher {self.matcher!r}; use {sorted(_MATCHERS)}"
+            )
+        if self.outside_weight <= 0:
+            raise ValueError("outside_weight must be positive")
+
+    def build_matcher(self) -> TokenMatcher:
+        return _MATCHERS[self.matcher]()
+
+
+class WeakSupervisionExtractor(DetailExtractor):
+    """Weakly supervised transformer extractor — the paper's contribution.
+
+    Example:
+        >>> extractor = WeakSupervisionExtractor()
+        >>> extractor.fit(training_objectives)      # doctest: +SKIP
+        >>> extractor.extract("Reduce waste by 20% by 2030")  # doctest: +SKIP
+        {'Action': 'Reduce', 'Amount': '20%', 'Qualifier': 'waste',
+         'Baseline': '', 'Deadline': '2030'}
+    """
+
+    name = "GoalSpotter"
+
+    def __init__(
+        self,
+        config: ExtractorConfig | None = None,
+        tokenizer: BpeTokenizer | None = None,
+        pretrained_encoder: TransformerEncoder | None = None,
+    ) -> None:
+        self.config = config or ExtractorConfig()
+        self.scheme = LabelScheme(self.config.fields)
+        self.normalizer = TextNormalizer()
+        self.word_tokenizer = WordTokenizer()
+        self.matcher = self.config.build_matcher()
+        self.tokenizer = tokenizer
+        self._pretrained_encoder = pretrained_encoder
+        self.model: TokenClassifier | None = None
+        #: Weak-labeling coverage stats from the last ``fit`` call.
+        self.weak_stats = WeakLabelingStats()
+        self.loss_history: list[float] = []
+
+    # -- development phase -------------------------------------------------
+
+    def _normalize(self, text: str) -> str:
+        return self.normalizer(text) if self.config.normalize else text
+
+    def _normalize_objective(
+        self, objective: AnnotatedObjective
+    ) -> AnnotatedObjective:
+        if not self.config.normalize:
+            return objective
+        return AnnotatedObjective(
+            text=self._normalize(objective.text),
+            details={
+                field: self._normalize(value)
+                for field, value in objective.details.items()
+            },
+            company=objective.company,
+            report_id=objective.report_id,
+        )
+
+    def prepare_weak_labels(
+        self, objectives: Sequence[AnnotatedObjective]
+    ) -> tuple[list[list[str]], list[list[str]]]:
+        """Step 1+2 of the development phase (tokenize + Algorithm 1).
+
+        Returns parallel lists of word sequences and IOB label sequences.
+        Exposed publicly so the weak-labeling quality can be inspected and
+        benchmarked independently of model training.
+        """
+        word_sequences: list[list[str]] = []
+        label_sequences: list[list[str]] = []
+        self.weak_stats = WeakLabelingStats()
+        for objective in objectives:
+            normalized = self._normalize_objective(objective)
+            tokens, labels = weakly_label_objective(
+                normalized,
+                word_tokenizer=self.word_tokenizer,
+                matcher=self.matcher,
+                stats=self.weak_stats,
+            )
+            word_sequences.append([token.text for token in tokens])
+            label_sequences.append(labels)
+        return word_sequences, label_sequences
+
+    def fit(
+        self, objectives: Sequence[AnnotatedObjective]
+    ) -> "WeakSupervisionExtractor":
+        if not objectives:
+            raise ValueError("cannot fit on an empty objective set")
+        word_sequences, label_sequences = self.prepare_weak_labels(objectives)
+
+        if self.tokenizer is None:
+            corpus = (word for words in word_sequences for word in words)
+            self.tokenizer = BpeTokenizer.train(
+                corpus, num_merges=self.config.num_merges
+            )
+
+        piece_sequences: list[list[int]] = []
+        target_sequences: list[list[int]] = []
+        for words, labels in zip(word_sequences, label_sequences):
+            encoding = self.tokenizer.encode(words)
+            piece_sequences.append(list(encoding.ids))
+            target_sequences.append(
+                word_labels_to_piece_targets(
+                    labels,
+                    encoding.word_ids,
+                    self.scheme,
+                    self.config.subword_strategy,
+                )
+            )
+
+        rng = np.random.default_rng(self.config.seed)
+        spec = get_model_spec(self.config.model)
+        encoder_config = spec.encoder_config(
+            len(self.tokenizer.vocab), self.config.max_len
+        )
+        if self._pretrained_encoder is not None:
+            if self._pretrained_encoder.config.vocab_size != len(
+                self.tokenizer.vocab
+            ):
+                raise ValueError(
+                    "pretrained encoder vocabulary does not match tokenizer"
+                )
+            encoder = self._pretrained_encoder
+            encoder_config = encoder.config
+        else:
+            encoder = TransformerEncoder(encoder_config, rng)
+        self.model = TokenClassifier(
+            encoder_config, len(self.scheme), rng, encoder=encoder
+        )
+        class_weights = np.ones(len(self.scheme))
+        class_weights[self.scheme.id_of("O")] = self.config.outside_weight
+        self.loss_history = fit_token_classifier(
+            self.model,
+            piece_sequences,
+            target_sequences,
+            self.config.finetune,
+            class_weights=class_weights,
+        )
+        return self
+
+    # -- production phase -----------------------------------------------------
+
+    def extract(self, text: str) -> dict[str, str]:
+        return self.extract_batch([text])[0]
+
+    def extract_batch(self, texts: Sequence[str]) -> list[dict[str, str]]:
+        if self.model is None or self.tokenizer is None:
+            raise RuntimeError("extractor is not fitted; call fit() first")
+        normalized = [self._normalize(text) for text in texts]
+        token_lists = [
+            self.word_tokenizer.tokenize(text) for text in normalized
+        ]
+        encodings = [
+            self.tokenizer.encode([token.text for token in tokens])
+            if tokens
+            else None
+            for tokens in token_lists
+        ]
+        sequences = [
+            list(encoding.ids) for encoding in encodings if encoding
+        ]
+        if self.config.constrained_decoding:
+            prediction_list = [
+                constrained_decode(logits, self.scheme)
+                for logits in self.model.predict_logits(sequences)
+            ]
+        else:
+            prediction_list = self.model.predict(sequences)
+        predictions = iter(prediction_list)
+        results: list[dict[str, str]] = []
+        for text, tokens, encoding in zip(
+            normalized, token_lists, encodings
+        ):
+            if encoding is None:
+                results.append({field: "" for field in self.config.fields})
+                continue
+            piece_labels = next(predictions)
+            word_labels = pieces_to_word_labels(
+                piece_labels,
+                encoding.word_ids[: len(piece_labels)],
+                self.scheme,
+                num_words=len(tokens),
+            )
+            results.append(
+                decode_details(
+                    text,
+                    tokens,
+                    word_labels,
+                    self.config.fields,
+                    span_policy=self.config.span_policy,
+                )
+            )
+        return results
+
+    # -- persistence ---------------------------------------------------------
+
+    def save(self, directory: str | Path) -> None:
+        """Persist config, tokenizer, and model weights to a directory."""
+        if self.model is None or self.tokenizer is None:
+            raise RuntimeError("cannot save an unfitted extractor")
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        payload = dataclasses.asdict(self.config)
+        payload["finetune"] = dataclasses.asdict(self.config.finetune)
+        (directory / "config.json").write_text(
+            json.dumps(payload), encoding="utf-8"
+        )
+        self.tokenizer.save(directory / "tokenizer.json")
+        save_state(self.model, directory / "model.npz")
+
+    @classmethod
+    def load(cls, directory: str | Path) -> "WeakSupervisionExtractor":
+        """Restore an extractor saved with :meth:`save`."""
+        directory = Path(directory)
+        payload = json.loads(
+            (directory / "config.json").read_text(encoding="utf-8")
+        )
+        finetune = FineTuneConfig(**payload.pop("finetune"))
+        payload["fields"] = tuple(payload["fields"])
+        config = ExtractorConfig(finetune=finetune, **payload)
+        tokenizer = BpeTokenizer.load(directory / "tokenizer.json")
+        extractor = cls(config, tokenizer=tokenizer)
+        rng = np.random.default_rng(config.seed)
+        spec = get_model_spec(config.model)
+        encoder_config = spec.encoder_config(
+            len(tokenizer.vocab), config.max_len
+        )
+        extractor.model = TokenClassifier(
+            encoder_config, len(extractor.scheme), rng
+        )
+        load_state(extractor.model, directory / "model.npz")
+        return extractor

@@ -1,0 +1,135 @@
+"""IOB label scheme utilities (CoNLL-2003 style, paper Section 3.2).
+
+Labels are strings: ``"O"``, ``"B-<field>"``, ``"I-<field>"``. A
+:class:`LabelScheme` fixes the field inventory and provides the
+string <-> id mapping the neural model trains against.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections.abc import Sequence
+
+OUTSIDE = "O"
+
+
+@dataclasses.dataclass(frozen=True)
+class Span:
+    """A labeled token span: ``tokens[start:end]`` carries ``field``."""
+
+    field: str
+    start: int
+    end: int
+
+    def __post_init__(self) -> None:
+        if self.start < 0 or self.end <= self.start:
+            raise ValueError(f"invalid span [{self.start}, {self.end})")
+
+    def __len__(self) -> int:
+        return self.end - self.start
+
+
+class LabelScheme:
+    """Field inventory and the derived IOB label <-> id mapping.
+
+    Label ids are stable: ``O`` is 0, then ``B-f``/``I-f`` pairs in field
+    order. Example for fields ``("Action",)``: ``O=0, B-Action=1,
+    I-Action=2``.
+    """
+
+    def __init__(self, fields: Sequence[str]) -> None:
+        if not fields:
+            raise ValueError("a label scheme needs at least one field")
+        if len(set(fields)) != len(fields):
+            raise ValueError("duplicate fields in label scheme")
+        self.fields = tuple(fields)
+        self.labels: tuple[str, ...] = (OUTSIDE,) + tuple(
+            prefix + field
+            for field in self.fields
+            for prefix in ("B-", "I-")
+        )
+        self._label_to_id = {label: i for i, label in enumerate(self.labels)}
+
+    def __len__(self) -> int:
+        return len(self.labels)
+
+    def id_of(self, label: str) -> int:
+        try:
+            return self._label_to_id[label]
+        except KeyError:
+            raise KeyError(
+                f"unknown label {label!r}; scheme has {self.labels}"
+            ) from None
+
+    def label_of(self, label_id: int) -> str:
+        if not 0 <= label_id < len(self.labels):
+            raise IndexError(f"label id {label_id} out of range")
+        return self.labels[label_id]
+
+    def encode(self, labels: Sequence[str]) -> list[int]:
+        return [self.id_of(label) for label in labels]
+
+    def decode(self, ids: Sequence[int]) -> list[str]:
+        return [self.label_of(i) for i in ids]
+
+
+def spans_to_iob(spans: Sequence[Span], length: int) -> list[str]:
+    """Render non-overlapping spans as an IOB label sequence.
+
+    Raises ``ValueError`` on overlapping spans or spans out of range.
+    """
+    labels = [OUTSIDE] * length
+    for span in spans:
+        if span.end > length:
+            raise ValueError(f"span {span} exceeds sequence length {length}")
+        for position in range(span.start, span.end):
+            if labels[position] != OUTSIDE:
+                raise ValueError(f"span {span} overlaps an earlier span")
+        labels[span.start] = f"B-{span.field}"
+        for position in range(span.start + 1, span.end):
+            labels[position] = f"I-{span.field}"
+    return labels
+
+
+def iob_to_spans(labels: Sequence[str], repair: bool = True) -> list[Span]:
+    """Decode an IOB sequence into spans.
+
+    With ``repair=True`` (production decoding of model output) an ``I-f``
+    without a preceding ``B-f``/``I-f`` of the same field is treated as the
+    beginning of a new span — the standard greedy IOB repair. With
+    ``repair=False`` such sequences raise ``ValueError`` (used to validate
+    weak-label output, which must be well-formed by construction).
+    """
+    spans: list[Span] = []
+    current_field: str | None = None
+    start = 0
+    for index, label in enumerate(labels):
+        if label == OUTSIDE:
+            if current_field is not None:
+                spans.append(Span(current_field, start, index))
+                current_field = None
+            continue
+        if "-" not in label:
+            raise ValueError(f"malformed IOB label {label!r} at {index}")
+        prefix, field = label.split("-", 1)
+        if prefix == "B":
+            if current_field is not None:
+                spans.append(Span(current_field, start, index))
+            current_field = field
+            start = index
+        elif prefix == "I":
+            if current_field == field:
+                continue  # span continues
+            if not repair:
+                raise ValueError(
+                    f"dangling {label!r} at position {index} (no open span)"
+                )
+            if current_field is not None:
+                spans.append(Span(current_field, start, index))
+            current_field = field
+            start = index
+        else:
+            raise ValueError(f"malformed IOB label {label!r} at {index}")
+    if current_field is not None:
+        spans.append(Span(current_field, start, len(labels)))
+    return spans

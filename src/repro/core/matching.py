@@ -1,0 +1,147 @@
+"""Token-sequence matchers used by Algorithm 1 (line 5).
+
+The paper's implementation "relies on exact token-level matching between
+annotations and sustainability objectives" and names fuzzy matching as a
+future improvement (Section 5.3). Both are provided here behind a common
+interface; the ablation bench compares them.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+
+def _edit_distance_at_most_one(a: str, b: str) -> bool:
+    """True if the Levenshtein distance between ``a`` and ``b`` is <= 1."""
+    if a == b:
+        return True
+    if abs(len(a) - len(b)) > 1:
+        return False
+    if len(a) > len(b):
+        a, b = b, a
+    # len(b) - len(a) in {0, 1}
+    i = j = 0
+    edited = False
+    while i < len(a) and j < len(b):
+        if a[i] == b[j]:
+            i += 1
+            j += 1
+            continue
+        if edited:
+            return False
+        edited = True
+        if len(a) == len(b):
+            i += 1
+            j += 1
+        else:
+            j += 1  # deletion from b
+    return True
+
+
+class TokenMatcher:
+    """Interface: locate a token subsequence inside a token sequence."""
+
+    def token_match(self, candidate: str, target: str) -> bool:
+        raise NotImplementedError
+
+    def find(
+        self,
+        haystack: Sequence[str],
+        needle: Sequence[str],
+        forbidden: Sequence[bool] | None = None,
+    ) -> int:
+        """Return the first start index of ``needle`` in ``haystack``.
+
+        Positions where ``forbidden`` is True cannot participate in a match
+        (Algorithm 1 never relabels a token). Returns -1 when not found —
+        the sentinel used by line 6 of Algorithm 1.
+        """
+        if not needle or len(needle) > len(haystack):
+            return -1
+        for start in range(len(haystack) - len(needle) + 1):
+            window = range(start, start + len(needle))
+            if forbidden is not None and any(
+                forbidden[pos] for pos in window
+            ):
+                continue
+            if all(
+                self.token_match(haystack[start + k], needle[k])
+                for k in range(len(needle))
+            ):
+                return start
+        return -1
+
+    def find_all(
+        self, haystack: Sequence[str], needle: Sequence[str]
+    ) -> list[int]:
+        """All (possibly overlapping) match start positions."""
+        matches: list[int] = []
+        if not needle or len(needle) > len(haystack):
+            return matches
+        for start in range(len(haystack) - len(needle) + 1):
+            if all(
+                self.token_match(haystack[start + k], needle[k])
+                for k in range(len(needle))
+            ):
+                matches.append(start)
+        return matches
+
+
+class ExactMatcher(TokenMatcher):
+    """Exact token equality — the paper's implementation."""
+
+    def token_match(self, candidate: str, target: str) -> bool:
+        return candidate == target
+
+
+class LowercaseMatcher(TokenMatcher):
+    """Case-insensitive token equality."""
+
+    def token_match(self, candidate: str, target: str) -> bool:
+        return candidate.casefold() == target.casefold()
+
+
+class FuzzyMatcher(TokenMatcher):
+    """Forgiving matcher — the paper's proposed future extension.
+
+    A candidate token matches a target token when, after casefolding:
+    they are equal; one is the other plus a trivial inflection suffix
+    (``s``, ``es``, ``d``, ``ed``, ``ing``); or, for tokens of at least
+    ``min_edit_length`` characters, their edit distance is at most one
+    (typo tolerance — sustainability reports are PDF extractions).
+    """
+
+    _SUFFIXES = ("ing", "ed", "es", "s", "d")
+
+    def __init__(self, min_edit_length: int = 5) -> None:
+        self.min_edit_length = min_edit_length
+
+    def _strip_suffix(self, token: str) -> str:
+        for suffix in self._SUFFIXES:
+            if token.endswith(suffix) and len(token) - len(suffix) >= 3:
+                return token[: -len(suffix)]
+        return token
+
+    @classmethod
+    def _stems_match(cls, a: str, b: str) -> bool:
+        # "reducing" -> "reduc" matches "reduce" -> "reduce" via e-drop.
+        return a == b or a + "e" == b or a == b + "e"
+
+    def token_match(self, candidate: str, target: str) -> bool:
+        lowered_candidate = candidate.casefold()
+        lowered_target = target.casefold()
+        if lowered_candidate == lowered_target:
+            return True
+        if self._stems_match(
+            self._strip_suffix(lowered_candidate),
+            self._strip_suffix(lowered_target),
+        ):
+            return True
+        if (
+            min(len(lowered_candidate), len(lowered_target))
+            >= self.min_edit_length
+        ):
+            return _edit_distance_at_most_one(
+                lowered_candidate, lowered_target
+            )
+        return False

@@ -1,0 +1,59 @@
+"""Data schema: annotated objectives and the field sets of both datasets."""
+
+from __future__ import annotations
+
+import dataclasses
+from collections.abc import Mapping
+
+#: The five key details of a sustainability objective (paper Section 2.2).
+SUSTAINABILITY_FIELDS: tuple[str, ...] = (
+    "Action",
+    "Amount",
+    "Qualifier",
+    "Baseline",
+    "Deadline",
+)
+
+#: The emission-goal fields of the NetZeroFacts benchmark (Wrzalik et al.).
+NETZEROFACTS_FIELDS: tuple[str, ...] = (
+    "TargetValue",
+    "ReferenceYear",
+    "TargetYear",
+)
+
+
+@dataclasses.dataclass(frozen=True)
+class AnnotatedObjective:
+    """A sustainability objective with coarse objective-level annotations.
+
+    This is the paper's training unit (Figure 3): the full objective text
+    plus a partial set of key-value annotations. Values are verbatim (or
+    near-verbatim, in the fuzzy setting) substrings of the text; missing
+    details are simply absent from ``details`` (or mapped to ``""``).
+
+    Attributes:
+        text: the objective sentence/block.
+        details: mapping from field name to annotated value.
+        company: optional provenance (used by deployment scenarios).
+        report_id: optional provenance.
+    """
+
+    text: str
+    details: Mapping[str, str] = dataclasses.field(default_factory=dict)
+    company: str = ""
+    report_id: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.text or not self.text.strip():
+            raise ValueError("objective text must be non-empty")
+        # Freeze the mapping so instances are safely hashable-by-identity
+        # and never mutated by downstream code.
+        object.__setattr__(self, "details", dict(self.details))
+
+    def present_details(self) -> dict[str, str]:
+        """Annotated key-value pairs with empty values dropped."""
+        return {k: v for k, v in self.details.items() if v and v.strip()}
+
+    def has_detail(self, field: str) -> bool:
+        value = self.details.get(field, "")
+        return bool(value and value.strip())

@@ -1,0 +1,81 @@
+"""Objective segmentation (paper future work: 'objective segmentation').
+
+Multi-target sentences — "Reduce X by 20%, and expand Y across all sites" —
+partially confuse the extraction model (paper Section 5.3). Segmentation
+splits a detected objective block into candidate objective clauses so each
+can be extracted independently.
+
+Splitting is conservative: sentence boundaries always split; coordinating
+", and " / "; " boundaries split only when both sides look like objective
+clauses (contain a verb-ish token or a quantity), so qualifier phrases that
+merely contain "and" are never broken apart.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.text.words import WordTokenizer
+
+_SENTENCE_SPLIT_RE = re.compile(r"(?<=[.!?])\s+(?=[A-Z0-9])")
+_COORD_SPLIT_RE = re.compile(r",\s+and\s+|;\s+")
+_QUANTITY_RE = re.compile(r"\d|%|\bnet[- ]?zero\b", re.IGNORECASE)
+
+_WORD_TOKENIZER = WordTokenizer()
+
+#: Words that suggest a clause states an objective (imperative verbs and
+#: commitment language); lowercase.
+_OBJECTIVE_CUES = {
+    "reduce", "achieve", "increase", "improve", "expand", "implement",
+    "promote", "develop", "establish", "strengthen", "maintain", "deliver",
+    "launch", "support", "integrate", "accelerate", "advance", "cut",
+    "lower", "decrease", "reach", "eliminate", "offset", "halve", "restore",
+    "replenish", "conserve", "recycle", "divert", "transition", "convert",
+    "redesign", "shift", "double", "prevent", "audit", "engage", "assess",
+    "certify", "require", "empower", "train", "invest", "donate", "protect",
+    "plant", "preserve", "keep", "reuse", "extend", "recover", "align",
+    "define", "publish", "embed", "substitute", "commit", "committed",
+    "pledge", "aim", "will", "source", "procure",
+}
+
+
+def _looks_like_objective_clause(clause: str) -> bool:
+    """Heuristic: a clause is objective-like if it has a cue verb or a
+    quantity."""
+    if _QUANTITY_RE.search(clause):
+        return True
+    words = {word.lower() for word in _WORD_TOKENIZER.words(clause)}
+    return bool(words & _OBJECTIVE_CUES)
+
+
+def split_sentences(text: str) -> list[str]:
+    """Split a text block into sentences (period/question/exclamation)."""
+    parts = [part.strip() for part in _SENTENCE_SPLIT_RE.split(text)]
+    return [part for part in parts if part]
+
+
+def segment_objectives(text: str) -> list[str]:
+    """Split a block into candidate objective clauses.
+
+    Sentences are always separated; within a sentence, coordinating
+    boundaries split only when both sides independently look like
+    objective clauses. Clauses that look like pure narrative are dropped
+    when at least one objective-like clause exists.
+    """
+    candidates: list[str] = []
+    for sentence in split_sentences(text):
+        pieces = [piece.strip(" ,;") for piece in _COORD_SPLIT_RE.split(sentence)]
+        pieces = [piece for piece in pieces if piece]
+        if len(pieces) > 1 and all(
+            _looks_like_objective_clause(piece) for piece in pieces
+        ):
+            candidates.extend(
+                piece if piece.endswith((".", "!", "?")) else piece + "."
+                for piece in pieces
+            )
+        else:
+            candidates.append(sentence)
+    objective_like = [
+        clause for clause in candidates if _looks_like_objective_clause(clause)
+    ]
+    return objective_like or candidates

@@ -1,0 +1,138 @@
+"""Algorithm 1: WeakSupervisionTokenLabeling.
+
+Converts coarse objective-level annotations into token-level IOB labels:
+
+1. tokenize the objective into ``T = [t_1, ..., t_|T|]``;
+2. initialize all weak labels to ``O``;
+3. for each annotated ``(k, v)``: tokenize ``v`` into ``U``, search for the
+   starting index ``s`` of ``U`` inside ``T``; if found, label ``T[s]`` as
+   ``B-k`` and ``T[s+1 .. s+|U|-1]`` as ``I-k``.
+
+Two reproduction-relevant details beyond the paper's pseudocode:
+
+* a match never overwrites tokens already labeled by an earlier annotation
+  (the ``forbidden`` mask passed to the matcher) — without this, overlapping
+  values such as Amount "20%" inside Qualifier "20% by 2025" would corrupt
+  earlier labels and produce ill-formed IOB;
+* annotations are processed longest-value-first so that a short value that
+  also occurs inside a longer one (e.g. a year that appears in both Baseline
+  and a Qualifier phrase) lands on its own occurrence.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections.abc import Mapping
+
+from repro.core.iob import OUTSIDE
+from repro.core.matching import ExactMatcher, TokenMatcher
+from repro.core.schema import AnnotatedObjective
+from repro.text.words import Token, WordTokenizer
+
+_DEFAULT_MATCHER = ExactMatcher()
+_DEFAULT_TOKENIZER = WordTokenizer()
+
+
+@dataclasses.dataclass
+class WeakLabelingStats:
+    """Bookkeeping for weak-label quality analysis.
+
+    Attributes:
+        annotations_total: key-value pairs offered to the algorithm.
+        annotations_matched: pairs for which a token match was found.
+        unmatched: the ``(field, value)`` pairs that found no match.
+    """
+
+    annotations_total: int = 0
+    annotations_matched: int = 0
+    unmatched: list[tuple[str, str]] = dataclasses.field(default_factory=list)
+
+    @property
+    def coverage(self) -> float:
+        """Fraction of annotations converted into token labels."""
+        if self.annotations_total == 0:
+            return 1.0
+        return self.annotations_matched / self.annotations_total
+
+    def merge(self, other: "WeakLabelingStats") -> None:
+        self.annotations_total += other.annotations_total
+        self.annotations_matched += other.annotations_matched
+        self.unmatched.extend(other.unmatched)
+
+
+def weak_token_labels(
+    tokens: list[str],
+    annotations: Mapping[str, str],
+    matcher: TokenMatcher | None = None,
+    value_tokenizer: WordTokenizer | None = None,
+    stats: WeakLabelingStats | None = None,
+) -> list[str]:
+    """Algorithm 1 over a pre-tokenized objective.
+
+    Args:
+        tokens: token surface forms of the objective (``T``).
+        annotations: objective-level key-value annotations (``A``).
+        matcher: subsequence matcher for line 5 (exact by default).
+        value_tokenizer: tokenizer applied to annotation values (line 4);
+            must be the one used to produce ``tokens``.
+        stats: optional accumulator recording match coverage.
+
+    Returns:
+        IOB labels ``L`` with ``len(L) == len(tokens)``.
+    """
+    matcher = matcher or _DEFAULT_MATCHER
+    value_tokenizer = value_tokenizer or _DEFAULT_TOKENIZER
+    labels = [OUTSIDE] * len(tokens)
+    taken = [False] * len(tokens)
+
+    items = [
+        (field, value)
+        for field, value in annotations.items()
+        if value and value.strip()
+    ]
+    # Longest value first; ties broken by field name for determinism.
+    items.sort(key=lambda item: (-len(item[1]), item[0]))
+
+    for field, value in items:
+        if stats is not None:
+            stats.annotations_total += 1
+        value_tokens = value_tokenizer.words(value)
+        if not value_tokens:
+            if stats is not None:
+                stats.unmatched.append((field, value))
+            continue
+        start = matcher.find(tokens, value_tokens, forbidden=taken)
+        if start == -1:
+            if stats is not None:
+                stats.unmatched.append((field, value))
+            continue
+        labels[start] = f"B-{field}"
+        taken[start] = True
+        for offset in range(1, len(value_tokens)):
+            labels[start + offset] = f"I-{field}"
+            taken[start + offset] = True
+        if stats is not None:
+            stats.annotations_matched += 1
+    return labels
+
+
+def weakly_label_objective(
+    objective: AnnotatedObjective,
+    word_tokenizer: WordTokenizer | None = None,
+    matcher: TokenMatcher | None = None,
+    stats: WeakLabelingStats | None = None,
+) -> tuple[list[Token], list[str]]:
+    """Tokenize an annotated objective and run Algorithm 1.
+
+    Returns ``(tokens_with_offsets, iob_labels)``.
+    """
+    word_tokenizer = word_tokenizer or _DEFAULT_TOKENIZER
+    tokens = word_tokenizer.tokenize(objective.text)
+    labels = weak_token_labels(
+        [token.text for token in tokens],
+        objective.present_details(),
+        matcher=matcher,
+        value_tokenizer=word_tokenizer,
+        stats=stats,
+    )
+    return tokens, labels

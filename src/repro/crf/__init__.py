@@ -1,0 +1,13 @@
+"""Conditional Random Fields baseline (paper Section 4.1).
+
+A traditional linear-chain CRF trained with token-level lexical,
+orthographic, and contextual features, exactly the baseline family the
+paper compares against. Training maximizes the conditional log-likelihood
+with forward-backward marginals; decoding uses Viterbi.
+"""
+
+from repro.crf.features import FeatureExtractor
+from repro.crf.model import LinearChainCRF
+from repro.crf.extractor import CrfDetailExtractor
+
+__all__ = ["FeatureExtractor", "LinearChainCRF", "CrfDetailExtractor"]

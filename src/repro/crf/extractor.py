@@ -1,0 +1,173 @@
+"""CRF detail extractor implementing the common interface.
+
+Training data comes from the same weak supervision signals as the
+transformer (Algorithm 1 output) — the comparison in Table 4 is about the
+*model family*, not the labeling: the CRF consumes word-level IOB labels
+directly (no subword projection needed).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import pickle
+from collections.abc import Sequence
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.base import DetailExtractor
+from repro.core.decoding import decode_details
+from repro.core.iob import LabelScheme
+from repro.core.matching import ExactMatcher
+from repro.core.schema import SUSTAINABILITY_FIELDS, AnnotatedObjective
+from repro.core.weak_labeling import WeakLabelingStats, weakly_label_objective
+from repro.crf.features import FeatureExtractor
+from repro.crf.model import LinearChainCRF
+from repro.text.normalize import TextNormalizer
+from repro.text.words import WordTokenizer
+
+
+@dataclasses.dataclass(frozen=True)
+class CrfConfig:
+    """Training hyperparameters for the CRF baseline."""
+
+    epochs: int = 8
+    learning_rate: float = 0.1
+    lr_decay: float = 0.85
+    l2: float = 1e-4
+    seed: int = 13
+
+
+class CrfDetailExtractor(DetailExtractor):
+    """Linear-chain CRF over lexical/orthographic/contextual features."""
+
+    name = "Conditional Random Fields"
+
+    def __init__(
+        self,
+        fields: Sequence[str] = SUSTAINABILITY_FIELDS,
+        config: CrfConfig | None = None,
+    ) -> None:
+        self.fields = tuple(fields)
+        self.config = config or CrfConfig()
+        self.scheme = LabelScheme(self.fields)
+        self.normalizer = TextNormalizer()
+        self.word_tokenizer = WordTokenizer()
+        self.matcher = ExactMatcher()
+        self.features = FeatureExtractor()
+        self.model: LinearChainCRF | None = None
+        self.weak_stats = WeakLabelingStats()
+
+    def fit(
+        self, objectives: Sequence[AnnotatedObjective]
+    ) -> "CrfDetailExtractor":
+        if not objectives:
+            raise ValueError("cannot fit on an empty objective set")
+        self.weak_stats = WeakLabelingStats()
+        sentences: list[list[list[int]]] = []
+        label_sequences: list[list[int]] = []
+        for objective in objectives:
+            normalized = AnnotatedObjective(
+                text=self.normalizer(objective.text),
+                details={
+                    field: self.normalizer(value)
+                    for field, value in objective.details.items()
+                },
+            )
+            tokens, labels = weakly_label_objective(
+                normalized,
+                word_tokenizer=self.word_tokenizer,
+                matcher=self.matcher,
+                stats=self.weak_stats,
+            )
+            if not tokens:
+                continue
+            sentences.append(
+                self.features.fit_sentence([t.text for t in tokens])
+            )
+            label_sequences.append(self.scheme.encode(labels))
+        self.features.freeze()
+        self.model = LinearChainCRF(
+            num_features=max(len(self.features), 1),
+            num_labels=len(self.scheme),
+            l2=self.config.l2,
+        )
+        rng = np.random.default_rng(self.config.seed)
+        lr = self.config.learning_rate
+        for __ in range(self.config.epochs):
+            order = rng.permutation(len(sentences))
+            for index in order:
+                self.model.sgd_update(
+                    sentences[index], label_sequences[index], lr
+                )
+            lr *= self.config.lr_decay
+        return self
+
+    # -- persistence ---------------------------------------------------------
+
+    def save(self, directory: str | Path) -> None:
+        """Persist config, feature map, and weights to a directory."""
+        if self.model is None:
+            raise RuntimeError("cannot save an unfitted extractor")
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        (directory / "config.json").write_text(
+            json.dumps(
+                {
+                    "fields": list(self.fields),
+                    "config": dataclasses.asdict(self.config),
+                }
+            ),
+            encoding="utf-8",
+        )
+        # The feature map is a plain str->int dict; pickle keeps it compact.
+        with open(directory / "features.pkl", "wb") as handle:
+            pickle.dump(self.features._feature_to_id, handle)
+        np.savez(
+            directory / "weights.npz",
+            emission=self.model.emission_weights,
+            transition=self.model.transition_weights,
+            start=self.model.start_weights,
+            end=self.model.end_weights,
+        )
+
+    @classmethod
+    def load(cls, directory: str | Path) -> "CrfDetailExtractor":
+        """Restore an extractor saved with :meth:`save`."""
+        directory = Path(directory)
+        payload = json.loads(
+            (directory / "config.json").read_text(encoding="utf-8")
+        )
+        extractor = cls(
+            fields=tuple(payload["fields"]),
+            config=CrfConfig(**payload["config"]),
+        )
+        with open(directory / "features.pkl", "rb") as handle:
+            extractor.features._feature_to_id = pickle.load(handle)
+        extractor.features.freeze()
+        with np.load(directory / "weights.npz") as archive:
+            extractor.model = LinearChainCRF(
+                num_features=archive["emission"].shape[0],
+                num_labels=archive["emission"].shape[1],
+                l2=extractor.config.l2,
+            )
+            extractor.model.emission_weights = archive["emission"]
+            extractor.model.transition_weights = archive["transition"]
+            extractor.model.start_weights = archive["start"]
+            extractor.model.end_weights = archive["end"]
+        return extractor
+
+    def extract(self, text: str) -> dict[str, str]:
+        if self.model is None:
+            raise RuntimeError("extractor is not fitted; call fit() first")
+        normalized = self.normalizer(text)
+        tokens = self.word_tokenizer.tokenize(normalized)
+        if not tokens:
+            return {field: "" for field in self.fields}
+        features = self.features.transform_sentence(
+            [token.text for token in tokens]
+        )
+        label_ids = self.model.viterbi(features)
+        labels = self.scheme.decode(label_ids)
+        return decode_details(normalized, tokens, labels, self.fields)

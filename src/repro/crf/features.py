@@ -1,0 +1,116 @@
+"""Token feature templates for the CRF baseline.
+
+The paper trains its CRF "with token-level lexical, orthographic, and
+contextual features". The templates below are the standard set used in
+CoNLL-style sequence labeling:
+
+* lexical — the token itself and its 3-character prefix/suffix;
+* orthographic — shape (``Xxxx``/``dddd``), capitalization, digits,
+  percent signs, plausible-year flags, punctuation;
+* contextual — the neighbouring tokens and their coarse shapes, plus
+  begin/end-of-sentence markers.
+"""
+
+from __future__ import annotations
+
+import re
+from collections.abc import Sequence
+
+_YEAR_RE = re.compile(r"^(19|20)\d\d$")
+_NUMBER_RE = re.compile(r"^\d+(?:[.,]\d+)*%?$")
+
+
+def token_shape(token: str) -> str:
+    """Coarse orthographic shape: 'Reduce' -> 'Xx', '2040' -> 'd'."""
+    shape: list[str] = []
+    for char in token:
+        if char.isupper():
+            code = "X"
+        elif char.islower():
+            code = "x"
+        elif char.isdigit():
+            code = "d"
+        else:
+            code = char
+        if not shape or shape[-1] != code:
+            shape.append(code)
+    return "".join(shape)
+
+
+def token_features(tokens: Sequence[str], index: int) -> list[str]:
+    """Feature strings for position ``index`` in ``tokens``."""
+    token = tokens[index]
+    lowered = token.lower()
+    features = [
+        f"w0={lowered}",
+        f"shape={token_shape(token)}",
+        f"prefix3={lowered[:3]}",
+        f"suffix3={lowered[-3:]}",
+        f"is_upper={token.isupper()}",
+        f"is_title={token.istitle()}",
+        f"is_digit={token.isdigit()}",
+        f"is_number={bool(_NUMBER_RE.match(token))}",
+        f"is_year={bool(_YEAR_RE.match(token))}",
+        f"has_percent={'%' in token}",
+        f"is_punct={not any(c.isalnum() for c in token)}",
+    ]
+    if index == 0:
+        features.append("BOS")
+    else:
+        previous = tokens[index - 1]
+        features.append(f"w-1={previous.lower()}")
+        features.append(f"shape-1={token_shape(previous)}")
+        features.append(f"w-1|w0={previous.lower()}|{lowered}")
+    if index == len(tokens) - 1:
+        features.append("EOS")
+    else:
+        following = tokens[index + 1]
+        features.append(f"w+1={following.lower()}")
+        features.append(f"shape+1={token_shape(following)}")
+    if index >= 2:
+        features.append(f"w-2={tokens[index - 2].lower()}")
+    if index + 2 < len(tokens):
+        features.append(f"w+2={tokens[index + 2].lower()}")
+    return features
+
+
+class FeatureExtractor:
+    """Maps feature strings to dense integer ids, frozen after fitting."""
+
+    def __init__(self) -> None:
+        self._feature_to_id: dict[str, int] = {}
+        self.frozen = False
+
+    def __len__(self) -> int:
+        return len(self._feature_to_id)
+
+    def fit_sentence(self, tokens: Sequence[str]) -> list[list[int]]:
+        """Register and return feature ids for every position (training)."""
+        if self.frozen:
+            raise RuntimeError("feature extractor is frozen")
+        return [
+            [self._intern(feature) for feature in token_features(tokens, i)]
+            for i in range(len(tokens))
+        ]
+
+    def transform_sentence(self, tokens: Sequence[str]) -> list[list[int]]:
+        """Feature ids for every position; unseen features are skipped."""
+        sentence_features: list[list[int]] = []
+        for i in range(len(tokens)):
+            ids = [
+                self._feature_to_id[feature]
+                for feature in token_features(tokens, i)
+                if feature in self._feature_to_id
+            ]
+            sentence_features.append(ids)
+        return sentence_features
+
+    def freeze(self) -> None:
+        self.frozen = True
+
+    def _intern(self, feature: str) -> int:
+        feature_id = self._feature_to_id.get(feature)
+        if feature_id is None:
+            feature_id = len(self._feature_to_id)
+            self._feature_to_id[feature] = feature_id
+        return feature_id

@@ -1,0 +1,40 @@
+"""Synthetic corpora reproducing the paper's datasets.
+
+The paper evaluates on a proprietary *Sustainability Goals* dataset (1106
+objectives from 718 reports of 422 companies, with field availability
+Action 85%, Baseline 14%, Deadline 34%) and on a 599-sentence slice of the
+public *NetZeroFacts* benchmark. Neither is shippable/available offline, so
+this package provides seeded generators that reproduce their published
+statistics — sizes, field-availability marginals, heterogeneity — on top of
+a grammar of realistic sustainability-objective surface forms.
+
+Deployment experiments (paper Tables 5–7) additionally need multi-page
+reports; :mod:`repro.datasets.reports` generates those with exactly the
+per-company document/page counts of Table 5.
+"""
+
+from repro.datasets.base import Dataset, train_test_split
+from repro.datasets.generator import GeneratorConfig, ObjectiveGenerator
+from repro.datasets.sustainability import build_sustainability_goals
+from repro.datasets.netzerofacts import build_netzerofacts
+from repro.datasets.reports import (
+    DEPLOYMENT_COMPANIES,
+    ReportGenerator,
+    SustainabilityReport,
+    TextBlock,
+    build_deployment_corpus,
+)
+
+__all__ = [
+    "Dataset",
+    "train_test_split",
+    "GeneratorConfig",
+    "ObjectiveGenerator",
+    "build_sustainability_goals",
+    "build_netzerofacts",
+    "DEPLOYMENT_COMPANIES",
+    "ReportGenerator",
+    "SustainabilityReport",
+    "TextBlock",
+    "build_deployment_corpus",
+]

@@ -1,0 +1,110 @@
+"""Dataset container, JSONL persistence, and split protocol."""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from collections.abc import Iterator, Sequence
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.schema import AnnotatedObjective
+
+
+@dataclasses.dataclass
+class Dataset:
+    """A named collection of annotated objectives with a field schema."""
+
+    name: str
+    fields: tuple[str, ...]
+    objectives: list[AnnotatedObjective]
+
+    def __len__(self) -> int:
+        return len(self.objectives)
+
+    def __iter__(self) -> Iterator[AnnotatedObjective]:
+        return iter(self.objectives)
+
+    def __getitem__(self, index: int) -> AnnotatedObjective:
+        return self.objectives[index]
+
+    def field_availability(self) -> dict[str, float]:
+        """Fraction of objectives annotated with each field."""
+        if not self.objectives:
+            return {field: 0.0 for field in self.fields}
+        return {
+            field: sum(
+                1 for obj in self.objectives if obj.has_detail(field)
+            )
+            / len(self.objectives)
+            for field in self.fields
+        }
+
+    def subset(self, indices: Sequence[int], name: str | None = None) -> "Dataset":
+        return Dataset(
+            name or self.name,
+            self.fields,
+            [self.objectives[i] for i in indices],
+        )
+
+    # -- persistence ---------------------------------------------------------
+
+    def save_jsonl(self, path: str | Path) -> None:
+        """One JSON object per line: text, details, provenance."""
+        with open(path, "w", encoding="utf-8") as handle:
+            header = {"name": self.name, "fields": list(self.fields)}
+            handle.write(json.dumps({"__header__": header}) + "\n")
+            for obj in self.objectives:
+                handle.write(
+                    json.dumps(
+                        {
+                            "text": obj.text,
+                            "details": dict(obj.details),
+                            "company": obj.company,
+                            "report_id": obj.report_id,
+                        }
+                    )
+                    + "\n"
+                )
+
+    @classmethod
+    def load_jsonl(cls, path: str | Path) -> "Dataset":
+        objectives: list[AnnotatedObjective] = []
+        name = Path(path).stem
+        fields: tuple[str, ...] = ()
+        with open(path, encoding="utf-8") as handle:
+            for line in handle:
+                record = json.loads(line)
+                if "__header__" in record:
+                    name = record["__header__"]["name"]
+                    fields = tuple(record["__header__"]["fields"])
+                    continue
+                objectives.append(
+                    AnnotatedObjective(
+                        text=record["text"],
+                        details=record.get("details", {}),
+                        company=record.get("company", ""),
+                        report_id=record.get("report_id", ""),
+                    )
+                )
+        return cls(name, fields, objectives)
+
+
+def train_test_split(
+    dataset: Dataset,
+    test_fraction: float = 0.2,
+    seed: int = 0,
+) -> tuple[Dataset, Dataset]:
+    """Shuffled split; the paper holds out 20% as the unseen test set."""
+    if not 0.0 < test_fraction < 1.0:
+        raise ValueError("test_fraction must be in (0, 1)")
+    rng = np.random.default_rng(seed)
+    order = rng.permutation(len(dataset))
+    num_test = max(1, int(round(len(dataset) * test_fraction)))
+    test_idx = order[:num_test]
+    train_idx = order[num_test:]
+    return (
+        dataset.subset(train_idx, f"{dataset.name}-train"),
+        dataset.subset(test_idx, f"{dataset.name}-test"),
+    )

@@ -1,0 +1,480 @@
+"""Grammar-based generator of annotated sustainability objectives.
+
+Each generated objective is an :class:`~repro.core.schema.AnnotatedObjective`
+whose annotation values are *exact substrings* of the text (modulo the
+controlled annotation-noise knobs below), matching how the paper's domain
+experts annotate: they copy the detail out of the objective.
+
+Realism knobs reproducing the paper's observations:
+
+* **field availability** — independent per-field presence probabilities;
+  the Sustainability Goals builder sets these to the paper's marginals
+  (Action 85%, Baseline 14%, Deadline 34%).
+* **annotation dropout** — a detail present in the text may be left
+  unannotated ("the annotations might not contain all key details",
+  Example 6).
+* **qualifier truncation** — experts sometimes annotate a clipped
+  qualifier (visible in the paper's own Table 6: "...in leadership
+  positions at").
+* **statistic years** — sentences like "Voluntary turnover rate in 2021:
+  8.1%" contain a year that is *neither* baseline nor deadline.
+* **multi-target sentences** — two objectives in one sentence with only
+  the first annotated, which the paper reports as a failure mode.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.core.schema import SUSTAINABILITY_FIELDS, AnnotatedObjective
+from repro.datasets import lexicon
+
+
+@dataclasses.dataclass(frozen=True)
+class GeneratorConfig:
+    """Probabilities steering the objective grammar."""
+
+    p_action: float = 0.88
+    p_amount: float = 0.72
+    p_qualifier: float = 0.82
+    p_baseline: float = 0.17
+    p_deadline: float = 0.42
+    p_prefix: float = 0.30
+    p_suffix: float = 0.18
+    p_context_sentence: float = 0.35
+    p_multi_target: float = 0.26
+    annotation_dropout: float = 0.06
+    qualifier_truncation: float = 0.05
+    typo_rate: float = 0.04
+    annotation_divergence: float = 0.02
+    deadline_years: tuple[int, int] = (2024, 2046)
+    baseline_years: tuple[int, int] = (2010, 2023)
+    statistic_years: tuple[int, int] = (2018, 2024)
+
+
+def _gerund(verb: str) -> str:
+    """Approximate English gerund: Reduce -> reducing, Cut -> cutting."""
+    word = verb.split()[0]
+    rest = verb[len(word):]
+    lower = word.lower()
+    if lower.endswith("e") and not lower.endswith(("ee", "ye")):
+        stem = lower[:-1] + "ing"
+    elif (
+        3 <= len(lower) <= 4  # short CVC verbs: cut, plan (not empower)
+        and lower[-1] not in "aeiouwxy"
+        and lower[-2] in "aeiou"
+        and lower[-3] not in "aeiou"
+    ):
+        stem = lower + lower[-1] + "ing"
+    else:
+        stem = lower + "ing"
+    return stem + rest
+
+
+class ObjectiveGenerator:
+    """Seeded generator of heterogeneous annotated objectives."""
+
+    def __init__(
+        self,
+        config: GeneratorConfig | None = None,
+        seed: int | np.random.Generator = 0,
+    ) -> None:
+        self.config = config or GeneratorConfig()
+        self.rng = (
+            seed
+            if isinstance(seed, np.random.Generator)
+            else np.random.default_rng(seed)
+        )
+
+    # -- random helpers ------------------------------------------------------
+
+    def _choice(self, pool):
+        return pool[int(self.rng.integers(len(pool)))]
+
+    def _flip(self, probability: float) -> bool:
+        return bool(self.rng.random() < probability)
+
+    def _year(self, bounds: tuple[int, int]) -> str:
+        return str(int(self.rng.integers(bounds[0], bounds[1])))
+
+    # -- value realization ------------------------------------------------------
+
+    def _make_amount(self, styles: tuple[str, ...]) -> str:
+        style = self._choice(styles) if styles else "percent"
+        if style == "percent":
+            return f"{int(self.rng.integers(5, 96))}%"
+        if style == "percent_words":
+            return f"{int(self.rng.integers(5, 96))} percent"
+        if style == "netzero":
+            return self._choice(("net-zero", "net zero", "carbon neutral"))
+        if style == "zero":
+            return self._choice(("Zero", "zero"))
+        if style == "absolute_tonnes":
+            quantity = self._choice(("1.5 million", "500,000", "2 million"))
+            return f"{quantity} tonnes"
+        if style == "count_large":
+            return self._choice(
+                ("100 million", "1 million", "10,000", "250", "500", "25,000")
+            )
+        if style == "currency":
+            return self._choice(
+                ("$50 million", "$10 million", "$250 million", "$1 billion")
+            )
+        raise ValueError(f"unknown amount style {style!r}")
+
+    def _make_qualifier(self, topic: lexicon.Topic) -> str:
+        """Compose a qualifier phrase: [modifier] head [tail].
+
+        70% of qualifiers are compositional (the cross product is large, so
+        test-time phrases are mostly unseen sequences); 30% come from the
+        topic's fixed idiomatic pool.
+        """
+        if self._flip(0.3):
+            return self._choice(topic.qualifiers)
+        heads = lexicon.QUALIFIER_HEADS_BY_TOPIC.get(
+            topic.name, topic.qualifiers
+        )
+        parts: list[str] = []
+        if self._flip(0.55):
+            parts.append(self._choice(lexicon.QUALIFIER_MODIFIERS))
+        if self._flip(0.3):
+            # Long-tail morphological compound head ("biofiltration
+            # capacity"): the compound itself is rare, its subword pieces
+            # are shared — the regime where BPE models stay robust while
+            # word-identity features see an unknown token.
+            compound = self._choice(
+                lexicon.COMPOUND_PREFIXES
+            ) + self._choice(lexicon.COMPOUND_STEMS)
+            parts.append(compound)
+            parts.append(self._choice(lexicon.COMPOUND_SUFFIX_UNITS))
+        else:
+            parts.append(self._choice(heads))
+        if self._flip(0.5):
+            parts.append(self._choice(lexicon.QUALIFIER_TAILS))
+        return self._maybe_typo(" ".join(parts))
+
+    def _make_verb(self, topic: lexicon.Topic) -> str:
+        """Pick an action verb with a Zipf-skewed distribution.
+
+        The skew makes some verbs rare, so test splits contain verbs seen
+        only a handful of times in training — lexical long-tail realism.
+        """
+        verbs = topic.verbs + lexicon.GENERIC_VERBS
+        rank = int(self.rng.zipf(1.6)) - 1
+        return verbs[min(rank, len(verbs) - 1)]
+
+    def _maybe_typo(self, phrase: str) -> str:
+        """PDF-extraction artifacts: drop or double a letter in one long
+        word of the phrase. Applied to *values before assembly*, so the
+        annotation copies the corrupted surface form (the expert copies
+        what the report says) and exact matching is unaffected — the typo
+        only adds out-of-vocabulary surface forms."""
+        if not self._flip(self.config.typo_rate):
+            return phrase
+        words = phrase.split()
+        candidates = [i for i, w in enumerate(words) if len(w) >= 8]
+        if not candidates:
+            return phrase
+        index = candidates[int(self.rng.integers(len(candidates)))]
+        word = words[index]
+        position = int(self.rng.integers(1, len(word) - 1))
+        if self._flip(0.5):
+            word = word[:position] + word[position + 1:]  # dropped letter
+        else:
+            word = word[:position] + word[position] + word[position:]
+        words[index] = word
+        return " ".join(words)
+
+    def _truncate_qualifier(self, qualifier: str) -> str:
+        words = qualifier.split()
+        if len(words) <= 3:
+            return qualifier
+        keep = int(self.rng.integers(2, len(words)))
+        return " ".join(words[:keep])
+
+    # -- clause builders ------------------------------------------------------
+
+    def _deadline_clause(self, year: str) -> str:
+        pattern = self._choice(
+            (
+                "by {year}",
+                "by the end of {year}",
+                "before {year}",
+                "no later than {year}",
+                "until {year}",
+            )
+        )
+        return pattern.format(year=year)
+
+    def _baseline_clause(self, year: str) -> str:
+        pattern = self._choice(
+            (
+                "(baseline {year})",
+                "against a {year} baseline",
+                "compared to {year} levels",
+                "from a {year} base year",
+                "relative to {year}",
+            )
+        )
+        return pattern.format(year=year)
+
+    # -- core assembly ------------------------------------------------------
+
+    def _assemble_core(
+        self,
+        topic: lexicon.Topic,
+        fields: set[str],
+        values: dict[str, str],
+        allow_prefix: bool,
+    ) -> tuple[str, dict[str, str]]:
+        """Build the core objective clause and its annotations."""
+        annotations: dict[str, str] = {}
+        action = values.get("Action", "")
+        amount = values.get("Amount", "")
+        qualifier = values.get("Qualifier", "")
+
+        if "Action" not in fields:
+            # Statistic-style objective without a verb.
+            if self._flip(0.5) and qualifier:
+                stat_year = self._year(self.config.statistic_years)
+                shown = qualifier.capitalize()
+                core = f"{shown} in {stat_year}: {amount}"
+                annotations["Qualifier"] = shown
+            elif qualifier:
+                core = f"{amount} {qualifier}"
+                annotations["Qualifier"] = qualifier
+            else:
+                core = f"{amount} achieved across our operations"
+            annotations["Amount"] = amount
+            return core, annotations
+
+        use_prefix = allow_prefix and self._flip(self.config.p_prefix)
+        if use_prefix:
+            prefix = self._choice(lexicon.PREFIXES)
+            if prefix.endswith(" to"):
+                verb_form = (
+                    _gerund(action) if self._flip(0.4) else action.lower()
+                )
+            else:
+                verb_form = action.lower()
+            lead = f"{prefix} {verb_form}"
+        else:
+            verb_form = action
+            lead = verb_form
+
+        annotations["Action"] = verb_form
+
+        shape = int(self.rng.integers(4))
+        if "Amount" in fields and "Qualifier" in fields:
+            if shape == 0:
+                core = f"{lead} {qualifier} by {amount}"
+            elif shape == 1:
+                core = f"{lead} {amount} of {qualifier}"
+            elif shape == 2:
+                core = f"{lead} {amount} {qualifier}"
+            else:
+                core = f"{lead} our {qualifier} by {amount}"
+            annotations["Amount"] = amount
+            annotations["Qualifier"] = qualifier
+        elif "Amount" in fields:
+            core = f"{lead} {amount} across the company"
+            annotations["Amount"] = amount
+        elif "Qualifier" in fields:
+            core = f"{lead} {qualifier}"
+            annotations["Qualifier"] = qualifier
+        else:
+            core = f"{lead} our sustainability performance"
+        return core, annotations
+
+    # -- public API ------------------------------------------------------
+
+    def _sample_fields(self, topic: lexicon.Topic) -> set[str]:
+        """Sample which key details this clause contains."""
+        config = self.config
+        fields: set[str] = set()
+        if self._flip(config.p_action):
+            fields.add("Action")
+        if topic.amount_styles and self._flip(config.p_amount):
+            fields.add("Amount")
+        if self._flip(config.p_qualifier):
+            fields.add("Qualifier")
+        if self._flip(config.p_deadline):
+            fields.add("Deadline")
+        if self._flip(config.p_baseline):
+            fields.add("Baseline")
+        # An objective with no action needs something quantified to exist.
+        if "Action" not in fields:
+            if not topic.amount_styles:
+                fields.add("Action")  # governance topics always have a verb
+            else:
+                fields.add("Amount")
+                fields.discard("Baseline")
+                fields.discard("Deadline")
+        return fields
+
+    def _make_clause(
+        self,
+        topic: lexicon.Topic,
+        force_amount: bool | None = None,
+        allow_prefix: bool = True,
+    ) -> tuple[str, dict[str, str]]:
+        """One full objective clause: core + optional timeline clauses.
+
+        Args:
+            force_amount: force the Amount field present (True) or absent
+                (False); None samples it from the config.
+        """
+        config = self.config
+        fields = self._sample_fields(topic)
+        if force_amount is True and topic.amount_styles:
+            fields.add("Amount")
+            fields.discard("Action") if False else None
+        elif force_amount is False:
+            fields.discard("Amount")
+            fields.add("Action")  # a clause needs an anchor
+
+        values: dict[str, str] = {}
+        values["Action"] = self._make_verb(topic)
+        if topic.amount_styles:
+            values["Amount"] = self._make_amount(topic.amount_styles)
+        values["Qualifier"] = self._make_qualifier(topic)
+
+        deadline_year = self._year(config.deadline_years)
+        baseline_year = self._year(config.baseline_years)
+        annotations: dict[str, str] = {}
+
+        # Deadline-first construction ("By 2023, we will install ...").
+        deadline_first = (
+            "Deadline" in fields and "Action" in fields and self._flip(0.25)
+        )
+        if deadline_first:
+            action = values["Action"]
+            verb_form = f"will {action.lower()}"
+            parts = [verb_form]
+            if "Amount" in fields:
+                parts.append(values["Amount"])
+                annotations["Amount"] = values["Amount"]
+            if "Qualifier" in fields:
+                parts.append(values["Qualifier"])
+                annotations["Qualifier"] = values["Qualifier"]
+            core = f"By {deadline_year}, we " + " ".join(parts)
+            # Annotation style varies between experts: sometimes the modal
+            # is included in the Action value (paper Table 7, C13).
+            annotations["Action"] = (
+                verb_form if self._flip(0.5) else action.lower()
+            )
+            annotations["Deadline"] = deadline_year
+            if "Baseline" in fields:
+                core += f", {self._baseline_clause(baseline_year)}"
+                annotations["Baseline"] = baseline_year
+        else:
+            core, annotations = self._assemble_core(
+                topic, fields, values, allow_prefix=allow_prefix
+            )
+            if "Deadline" in fields:
+                core += f" {self._deadline_clause(deadline_year)}"
+                annotations["Deadline"] = deadline_year
+            if "Baseline" in fields:
+                core += f" {self._baseline_clause(baseline_year)}"
+                annotations["Baseline"] = baseline_year
+        return core, annotations
+
+    def generate(self) -> AnnotatedObjective:
+        """Generate one annotated objective (possibly multi-target)."""
+        config = self.config
+        topic = self._choice(lexicon.TOPICS)
+        primary_core, primary_annotations = self._make_clause(topic)
+        clauses = [(primary_core, primary_annotations)]
+
+        # Multi-target sentences: a second objective clause in the same
+        # sentence. The expert annotates the *quantified* clause (the one
+        # with an Amount) regardless of its position — a global decision
+        # that local token features cannot reproduce, matching the paper's
+        # observation that multi-target objectives confuse extractors.
+        if self._flip(config.p_multi_target):
+            other_topic = self._choice(lexicon.TOPICS)
+            primary_has_amount = "Amount" in primary_annotations
+            force = (not primary_has_amount) if self._flip(0.75) else None
+            secondary = self._make_clause(
+                other_topic, force_amount=force, allow_prefix=False
+            )
+            clauses.append(secondary)
+            if self._flip(0.5):
+                clauses.reverse()
+
+        if len(clauses) == 1:
+            sentence = clauses[0][0]
+        else:
+            first, second = clauses[0][0], clauses[1][0]
+            lowered_second = second[0].lower() + second[1:]
+            # Keep the second clause's annotations consistent with its
+            # lowercased surface form (its Action often leads the clause).
+            second_annotations = {
+                field: (value[0].lower() + value[1:])
+                if value and second.startswith(value)
+                else value
+                for field, value in clauses[1][1].items()
+            }
+            clauses[1] = (lowered_second, second_annotations)
+            sentence = f"{first}, and {lowered_second}"
+
+        # Expert rule: annotate the clause with an Amount; ties and
+        # amount-less sentences fall back to the first clause.
+        quantified = [i for i, (__, ann) in enumerate(clauses) if ann.get("Amount")]
+        annotated_index = quantified[0] if len(quantified) == 1 else 0
+        annotations = dict(clauses[annotated_index][1])
+        if self._flip(config.p_suffix):
+            sentence += f" {self._choice(lexicon.SUFFIXES)}"
+        sentence += "."
+
+        # Context sentence before the objective (block-level noise).
+        if self._flip(config.p_context_sentence):
+            sentence = f"{self._choice(lexicon.NARRATIVE_SENTENCES)} {sentence}"
+
+        # Annotation noise: dropout, qualifier truncation, and divergence
+        # (the expert normalizes while the text keeps its surface form —
+        # the lexically-different annotations the paper's exact matcher
+        # misses and its proposed fuzzy matching would recover, §5.3).
+        final_annotations: dict[str, str] = {}
+        for field, value in annotations.items():
+            if self._flip(config.annotation_dropout):
+                continue
+            if field == "Qualifier" and self._flip(
+                config.qualifier_truncation
+            ):
+                value = self._truncate_qualifier(value)
+            if field in ("Action", "Qualifier") and self._flip(
+                config.annotation_divergence
+            ):
+                value = value.lower() if value != value.lower() else (
+                    value.capitalize()
+                )
+            final_annotations[field] = value
+
+        return AnnotatedObjective(text=sentence, details=final_annotations)
+
+    def generate_many(self, count: int) -> list[AnnotatedObjective]:
+        """Generate ``count`` objectives."""
+        return [self.generate() for __ in range(count)]
+
+
+def make_company_name(rng: np.random.Generator) -> str:
+    """A plausible synthetic company name."""
+    adjective = lexicon.COMPANY_ADJECTIVES[
+        int(rng.integers(len(lexicon.COMPANY_ADJECTIVES)))
+    ]
+    noun = lexicon.COMPANY_NOUNS[int(rng.integers(len(lexicon.COMPANY_NOUNS)))]
+    suffix = lexicon.COMPANY_SUFFIXES[
+        int(rng.integers(len(lexicon.COMPANY_SUFFIXES)))
+    ]
+    return f"{adjective} {noun} {suffix}"
+
+
+__all__ = [
+    "GeneratorConfig",
+    "ObjectiveGenerator",
+    "make_company_name",
+    "SUSTAINABILITY_FIELDS",
+]

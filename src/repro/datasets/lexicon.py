@@ -1,0 +1,418 @@
+"""Surface-form pools for the sustainability-objective grammar.
+
+The paper stresses that real objectives are "noisy, incomplete, and
+heterogeneous, reflecting differences in reporting styles, terminology, and
+levels of detail across organizations" (Section 3.2). These pools encode
+that heterogeneity: ESG topics with their own qualifier phrases and verbs,
+many amount/deadline/baseline surface forms, and distractor material
+(statistic years, stray numbers, boilerplate clauses) that makes extraction
+genuinely ambiguous.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+
+@dataclasses.dataclass(frozen=True)
+class Topic:
+    """An ESG topic: compatible action verbs and qualifier phrases."""
+
+    name: str
+    verbs: tuple[str, ...]
+    qualifiers: tuple[str, ...]
+    amount_styles: tuple[str, ...]  # subset of AMOUNT_STYLES keys
+
+
+#: Verbs shared across many topics (paper Table 6 shows this variety).
+GENERIC_VERBS = (
+    "Reduce",
+    "Achieve",
+    "Increase",
+    "Improve",
+    "Expand",
+    "Implement",
+    "Promote",
+    "Develop",
+    "Establish",
+    "Strengthen",
+    "Maintain",
+    "Deliver",
+    "Launch",
+    "Support",
+    "Integrate",
+    "Accelerate",
+    "Advance",
+)
+
+TOPICS: tuple[Topic, ...] = (
+    Topic(
+        name="emissions",
+        verbs=(
+            "Reduce", "Cut", "Lower", "Decrease", "Reach", "Achieve",
+            "Eliminate", "Offset", "Halve",
+        ),
+        qualifiers=(
+            "carbon emissions",
+            "greenhouse gas emissions",
+            "Scope 1 and 2 emissions",
+            "Scope 3 emissions",
+            "CO2 emissions across our operations",
+            "absolute carbon emissions",
+            "emission intensity of our products",
+            "our carbon footprint",
+            "fleet emissions",
+            "net carbon emissions",
+        ),
+        amount_styles=("percent", "netzero", "absolute_tonnes"),
+    ),
+    Topic(
+        name="energy",
+        verbs=("Reduce", "Cut", "Source", "Procure", "Increase", "Switch to"),
+        qualifiers=(
+            "energy consumption",
+            "electricity use at our facilities",
+            "energy intensity per unit of production",
+            "renewable electricity",
+            "purchased electricity from renewable sources",
+            "energy use in our data centers",
+            "fossil fuel consumption",
+        ),
+        amount_styles=("percent", "percent_words"),
+    ),
+    Topic(
+        name="water",
+        verbs=("Reduce", "Restore", "Replenish", "Conserve", "Recycle"),
+        qualifiers=(
+            "global water use",
+            "potable water intensity",
+            "freshwater withdrawal",
+            "water consumption at high-stress sites",
+            "process water in manufacturing",
+            "water used in our supply chain",
+        ),
+        amount_styles=("percent", "percent_words"),
+    ),
+    Topic(
+        name="waste",
+        verbs=(
+            "Reduce", "Divert", "Eliminate", "Achieve", "Recycle", "Compost",
+        ),
+        qualifiers=(
+            "landfill waste",
+            "single-use plastics",
+            "hazardous waste generation",
+            "food waste across our restaurants",
+            "Waste to Landfill",
+            "packaging waste",
+            "operational waste per site",
+        ),
+        amount_styles=("percent", "zero", "absolute_tonnes"),
+    ),
+    Topic(
+        name="packaging",
+        verbs=("Transition", "Convert", "Make", "Redesign", "Shift"),
+        qualifiers=(
+            "recyclable or reusable packaging",
+            "PCR content in bottles",
+            "plastic packaging",
+            "consumer packaging to recycled materials",
+            "virgin plastic in our packaging",
+        ),
+        amount_styles=("percent", "percent_words"),
+    ),
+    Topic(
+        name="diversity",
+        verbs=("Increase", "Promote", "Reach", "Improve", "Double"),
+        qualifiers=(
+            "representation of women in key leadership roles",
+            "women in leadership positions",
+            "proportion of women in management",
+            "ethnic diversity in senior roles",
+            "gender pay equity",
+            "female representation on our board",
+        ),
+        amount_styles=("percent", "percent_words"),
+    ),
+    Topic(
+        name="safety",
+        verbs=("Reduce", "Achieve", "Lower", "Prevent", "Maintain"),
+        qualifiers=(
+            "lost-time injury rate",
+            "risk of a serious incident or fatality",
+            "recordable incident rate",
+            "workplace accidents across all sites",
+            "total recordable injuries",
+        ),
+        amount_styles=("percent", "zero"),
+    ),
+    Topic(
+        name="supply_chain",
+        verbs=("Audit", "Engage", "Assess", "Certify", "Expand", "Require"),
+        qualifiers=(
+            "key suppliers against our sustainability standards",
+            "principles of sustainability and performance indicators",
+            "supplier sustainability assessments",
+            "responsibly sourced raw materials",
+            "conflict-free sourcing of minerals",
+            "traceability of our cocoa supply chain",
+        ),
+        amount_styles=("percent", "count_large"),
+    ),
+    Topic(
+        name="community",
+        verbs=("Empower", "Train", "Support", "Reach", "Invest in", "Donate"),
+        qualifiers=(
+            "smallholder farmers in low to middle income countries",
+            "students in STEM awareness activities",
+            "people through our digital skills programs",
+            "local community projects",
+            "volunteers engaged in community service",
+            "beneficiaries of our health initiatives",
+        ),
+        amount_styles=("count_large", "currency"),
+    ),
+    Topic(
+        name="biodiversity",
+        verbs=("Protect", "Restore", "Plant", "Implement", "Preserve"),
+        qualifiers=(
+            "biodiversity protection plans at priority sites",
+            "hectares of natural habitat",
+            "trees across our operating regions",
+            "deforestation-free supply chains",
+            "sensitive natural areas near our sites",
+        ),
+        amount_styles=("count_large", "percent"),
+    ),
+    Topic(
+        name="circularity",
+        verbs=("Keep", "Reuse", "Refurbish", "Extend", "Recover"),
+        qualifiers=(
+            "products and materials in use",
+            "refurbished devices returned to the market",
+            "materials recovered through take-back programs",
+            "product lifetime through repair services",
+        ),
+        amount_styles=("percent", "count_large"),
+    ),
+    Topic(
+        name="governance",
+        verbs=(
+            "Integrate", "Align", "Define", "Publish", "Link", "Embed",
+        ),
+        qualifiers=(
+            "sustainability information into our reporting cycle",
+            "sustainability strategies, goals and policies",
+            "executive remuneration with ESG performance",
+            "climate risk into enterprise risk management",
+            "sustainability criteria in investment decisions",
+        ),
+        amount_styles=(),  # governance objectives are typically unquantified
+    ),
+)
+
+#: Compositional qualifier grammar: qualifier = [modifier] head [tail].
+#: The cross product yields >100k distinct phrases, so most test-time
+#: qualifiers are unseen *as sequences* even when every word was seen in
+#: training — the lexical heterogeneity the paper emphasizes.
+QUALIFIER_MODIFIERS = (
+    "absolute", "total", "annual", "global", "operational", "direct",
+    "indirect", "upstream", "downstream", "specific", "overall", "net",
+    "relative", "average", "per-unit", "company-wide", "regional",
+    "scope-related", "combined", "aggregate", "normalized", "baseline",
+    "measured", "reported", "verified", "voluntary", "mandatory",
+)
+
+QUALIFIER_HEADS_BY_TOPIC: dict[str, tuple[str, ...]] = {
+    "emissions": (
+        "carbon emissions", "greenhouse gas emissions", "CO2 emissions",
+        "methane emissions", "emission intensity", "carbon footprint",
+        "fleet emissions", "process emissions", "fugitive emissions",
+        "combustion emissions",
+    ),
+    "energy": (
+        "energy consumption", "electricity use", "energy intensity",
+        "renewable electricity", "fuel consumption", "power demand",
+        "heating energy", "energy use", "grid electricity",
+    ),
+    "water": (
+        "water use", "water consumption", "water intensity",
+        "freshwater withdrawal", "water discharge", "process water",
+        "potable water intensity", "wastewater volume",
+    ),
+    "waste": (
+        "landfill waste", "hazardous waste", "food waste",
+        "packaging waste", "operational waste", "plastic waste",
+        "waste generation", "residual waste", "single-use plastics",
+    ),
+    "packaging": (
+        "recyclable packaging", "plastic packaging", "PCR content",
+        "virgin plastic", "packaging materials", "reusable packaging",
+        "recycled content",
+    ),
+    "diversity": (
+        "representation of women", "gender diversity", "pay equity",
+        "female representation", "ethnic diversity",
+        "women in leadership positions", "diversity of our workforce",
+    ),
+    "safety": (
+        "injury rate", "incident rate", "workplace accidents",
+        "lost-time injuries", "safety incidents", "recordable injuries",
+        "occupational illnesses",
+    ),
+    "supply_chain": (
+        "supplier assessments", "supplier audits", "sourcing standards",
+        "responsibly sourced materials", "supplier certifications",
+        "traceability coverage", "procurement practices",
+    ),
+    "community": (
+        "community investment", "volunteer hours", "training programs",
+        "digital skills programs", "health initiatives",
+        "education partnerships", "local employment",
+    ),
+    "biodiversity": (
+        "habitat restoration", "tree planting", "protected areas",
+        "biodiversity protection plans", "natural habitat",
+        "reforestation projects",
+    ),
+    "circularity": (
+        "material recovery", "product take-back", "refurbished devices",
+        "repair services", "recycled materials", "product lifetime",
+    ),
+    "governance": (
+        "sustainability reporting", "ESG disclosures", "climate governance",
+        "board oversight", "sustainability criteria", "risk integration",
+    ),
+}
+
+#: Morphological long-tail vocabulary: compounds assembled from shared
+#: sub-units. Each assembled compound is rare (often a hapax in a 1k-
+#: objective corpus), but its *pieces* are shared — exactly the regime
+#: where subword tokenization (Sennrich et al.) beats word-identity
+#: features, which is the paper's stated reason for using BPE (§3.2).
+COMPOUND_PREFIXES = (
+    "re", "bio", "eco", "agro", "hydro", "photo", "thermo", "electro",
+    "geo", "micro", "macro", "multi", "inter", "intra", "co", "de",
+)
+
+COMPOUND_STEMS = (
+    "forestation", "mediation", "generation", "circulation", "filtration",
+    "carbonization", "electrification", "mineralization", "gasification",
+    "densification", "valorization", "granulation", "digestion",
+    "fermentation", "distillation", "polymerization", "composting",
+    "desalination", "sequestration", "remanufacturing",
+)
+
+COMPOUND_SUFFIX_UNITS = (
+    "capacity", "throughput", "efficiency", "intensity", "coverage",
+    "volumes", "output", "rates", "yield", "potential",
+)
+
+QUALIFIER_TAILS = (
+    "across our operations",
+    "in our supply chain",
+    "at priority sites",
+    "per unit of production",
+    "at our facilities",
+    "in manufacturing",
+    "from purchased electricity",
+    "across all business units",
+    "in our own operations",
+    "at high-risk locations",
+    "per employee",
+    "across key markets",
+    "in our distribution network",
+    "at company-owned sites",
+    "throughout the value chain",
+    "in water-stressed regions",
+    "at our headquarters",
+    "across our product portfolio",
+)
+
+#: Initiative names for "We co-founded {initiative}" style objectives.
+INITIATIVES = (
+    "The Climate Pledge",
+    "the Science Based Targets initiative",
+    "the UN Global Compact",
+    "RE100",
+    "the Ellen MacArthur Foundation's New Plastics Economy",
+    "the Business Ambition for 1.5°C campaign",
+    "the Responsible Business Alliance",
+)
+
+#: Sentence openers that precede the core objective (distractor prefixes).
+PREFIXES = (
+    "As part of our sustainability strategy, we will",
+    "We are committed to",
+    "Our ambition is to",
+    "We aim to",
+    "We pledge to",
+    "Going forward, we intend to",
+    "In line with the Paris Agreement, we will",
+    "Together with our partners, we plan to",
+    "We have set a target to",
+)
+
+#: Trailing clauses appended after the core objective (distractor suffixes).
+SUFFIXES = (
+    "as verified by an independent third party",
+    "in collaboration with our suppliers",
+    "across all business units",
+    "supported by our science-based roadmap",
+    "in every market where we operate",
+    "while continuing to grow our business",
+    "as disclosed in our annual ESG report",
+)
+
+#: Narrative sentences that contain NO objective (noise blocks and
+#: multi-sentence padding). Some deliberately contain years and numbers.
+NARRATIVE_SENTENCES = (
+    "Climate change is one of the world's greatest crises, and addressing it requires joint action.",
+    "Our stakeholders increasingly expect transparent disclosure of environmental data.",
+    "Sustainability is embedded in our corporate values and daily decision making.",
+    "The board reviews environmental performance on a quarterly basis.",
+    "Last year we published our first integrated annual report.",
+    "Our company was founded in 1987 and today operates in 43 countries.",
+    "The materiality assessment identified twelve priority topics.",
+    "We engage regularly with investors, regulators, and community representatives.",
+    "In 2021, extreme weather events affected several of our production sites.",
+    "Employees completed more than 120,000 hours of training during the year.",
+    "The sustainability committee met 6 times over the reporting period.",
+    "Reducing environmental impact while growing the business remains a complex challenge.",
+    "Our products are sold in over 150 markets worldwide.",
+    "The report has been prepared in accordance with the GRI Standards.",
+    "Voluntary turnover decreased compared to the previous reporting period.",
+    "We operate 27 manufacturing facilities across three continents.",
+    "Customer satisfaction scores improved for the third consecutive year.",
+    "External assurance was provided for selected indicators.",
+    "Our supply chain spans more than 5,000 direct suppliers.",
+    "Digital transformation continued to reshape how we serve customers.",
+)
+
+#: Statistic sentences: contain numbers/years but are NOT objectives — the
+#: hard negatives that confuse naive extractors.
+STATISTIC_SENTENCES = (
+    "Voluntary turnover rate in {stat_year}: {small_percent}%",
+    "In {stat_year}, women represented {small_percent}% of our total workforce.",
+    "Our renewable share stood at {small_percent}% at the end of {stat_year}.",
+    "Total energy consumption was {big_number} MWh in {stat_year}.",
+    "We recycled {small_percent}% of operational waste in {stat_year}.",
+    "Charitable donations totalled {big_number} dollars during {stat_year}.",
+)
+
+#: Surnames/adjectives for synthetic company names.
+COMPANY_ADJECTIVES = (
+    "Global", "United", "Northern", "Pacific", "Apex", "Summit", "Vertex",
+    "Blue", "Green", "Silver", "First", "Prime", "Atlas", "Nova", "Delta",
+    "Crown", "Pioneer", "Heritage", "Horizon", "Solar", "Allied", "Central",
+    "Royal", "Eastern", "Western", "Quantum", "Sterling", "Cobalt",
+)
+
+COMPANY_NOUNS = (
+    "Industries", "Energy", "Foods", "Logistics", "Materials", "Pharma",
+    "Retail", "Chemicals", "Textiles", "Motors", "Electronics", "Packaging",
+    "Beverages", "Mining", "Utilities", "Airlines", "Telecom", "Holdings",
+    "Cement", "Paper", "Apparel", "Semiconductors", "Shipping", "Banking",
+)
+
+COMPANY_SUFFIXES = ("AG", "Inc.", "Group", "plc", "Ltd.", "Corp.", "SA")

@@ -1,0 +1,144 @@
+"""NetZeroFacts reconstruction: emission-goal sentences.
+
+The paper uses 599 sentences extracted from the NetZeroFacts benchmark
+(Wrzalik et al., 2024), each annotated with at least one of *target value*,
+*reference year*, and *target year*. This generator produces emission-goal
+sentences in the styles found in climate-related business reports, with
+exactly that schema and size.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.schema import NETZEROFACTS_FIELDS, AnnotatedObjective
+from repro.datasets.base import Dataset
+
+#: Paper Section 4.1: 599 annotated sentences.
+NUM_SENTENCES = 599
+
+_SCOPES = (
+    "Scope 1 and 2 GHG emissions",
+    "Scope 1, 2 and 3 emissions",
+    "absolute greenhouse gas emissions",
+    "CO2e emissions from our operations",
+    "carbon emissions per tonne of product",
+    "emission intensity of purchased electricity",
+    "our total carbon footprint",
+    "value chain emissions",
+)
+
+_COMPANY_REFERENCES = (
+    "We", "The Group", "Our company", "The Company", "We at headquarters",
+)
+
+_NET_TARGETS = (
+    "net-zero emissions",
+    "net zero across our value chain",
+    "carbon neutrality",
+    "climate neutrality in our own operations",
+)
+
+_FILLERS = (
+    "This target has been validated by the Science Based Targets initiative.",
+    "Progress is reported annually in our climate disclosures.",
+    "The target covers all consolidated subsidiaries.",
+    "Interim milestones will be reviewed by the board.",
+    "Our decarbonization roadmap prioritizes energy efficiency.",
+)
+
+
+def build_netzerofacts(seed: int = 0, size: int = NUM_SENTENCES) -> Dataset:
+    """Build the NetZeroFacts reconstruction (599 emission-goal sentences)."""
+    rng = np.random.default_rng(seed)
+
+    def choice(pool):
+        return pool[int(rng.integers(len(pool)))]
+
+    sentences: list[AnnotatedObjective] = []
+    for __ in range(size):
+        target_year = str(int(rng.integers(2025, 2051)))
+        reference_year = str(int(rng.integers(2010, 2023)))
+        percent = int(rng.integers(20, 96))
+        details: dict[str, str] = {}
+        shape = int(rng.integers(6))
+
+        if shape == 0:
+            target_value = f"{percent}%"
+            text = (
+                f"{choice(_COMPANY_REFERENCES)} aim to reduce "
+                f"{choice(_SCOPES)} by {target_value} by {target_year} "
+                f"from a {reference_year} base year."
+            )
+            details = {
+                "TargetValue": target_value,
+                "ReferenceYear": reference_year,
+                "TargetYear": target_year,
+            }
+        elif shape == 1:
+            target_value = f"{percent} percent"
+            text = (
+                f"{choice(_COMPANY_REFERENCES)} commit to cutting "
+                f"{choice(_SCOPES)} {target_value} by {target_year}, "
+                f"compared with {reference_year} levels."
+            )
+            details = {
+                "TargetValue": target_value,
+                "ReferenceYear": reference_year,
+                "TargetYear": target_year,
+            }
+        elif shape == 2:
+            target_value = choice(_NET_TARGETS)
+            text = (
+                f"{choice(_COMPANY_REFERENCES)} have pledged to achieve "
+                f"{target_value} by {target_year}."
+            )
+            details = {
+                "TargetValue": target_value,
+                "TargetYear": target_year,
+            }
+        elif shape == 3:
+            target_value = f"{percent}%"
+            text = (
+                f"By {target_year}, {choice(_SCOPES)} will be reduced by "
+                f"{target_value} relative to {reference_year}."
+            )
+            details = {
+                "TargetValue": target_value,
+                "ReferenceYear": reference_year,
+                "TargetYear": target_year,
+            }
+        elif shape == 4:
+            target_value = f"{percent}%"
+            text = (
+                f"Our near-term target is a {target_value} reduction in "
+                f"{choice(_SCOPES)} by {target_year}."
+            )
+            details = {
+                "TargetValue": target_value,
+                "TargetYear": target_year,
+            }
+        else:
+            target_value = choice(_NET_TARGETS)
+            text = (
+                f"The long-term ambition of reaching {target_value} by "
+                f"{target_year} builds on a {reference_year} baseline "
+                f"inventory."
+            )
+            details = {
+                "TargetValue": target_value,
+                "ReferenceYear": reference_year,
+                "TargetYear": target_year,
+            }
+
+        if rng.random() < 0.25:
+            text += f" {choice(_FILLERS)}"
+
+        # NetZeroFacts annotations are near-complete; apply a light dropout
+        # so "each ... annotated with AT LEAST one label" holds non-trivially.
+        if len(details) > 1 and rng.random() < 0.08:
+            drop = choice(sorted(details))
+            details = {k: v for k, v in details.items() if k != drop}
+
+        sentences.append(AnnotatedObjective(text=text, details=details))
+    return Dataset("netzerofacts", NETZEROFACTS_FIELDS, sentences)

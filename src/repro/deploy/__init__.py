@@ -1,0 +1,21 @@
+"""Deployment scenarios (paper Section 5).
+
+Scenario 1 runs the integrated GoalSpotter pipeline over the 14-company
+deployment corpus and produces the paper's Table 5 (corpus summary) and
+Table 6 (top-2 extracted objectives per company). Scenario 2 analyzes a
+single dense report (Table 7).
+"""
+
+from repro.deploy.scenarios import (
+    DeploymentResult,
+    build_trained_pipeline,
+    run_scenario_1,
+    run_scenario_2,
+)
+
+__all__ = [
+    "DeploymentResult",
+    "build_trained_pipeline",
+    "run_scenario_1",
+    "run_scenario_2",
+]

@@ -1,0 +1,27 @@
+"""Evaluation: value-level precision/recall/F1, timing, run protocol."""
+
+from repro.eval.metrics import (
+    FieldCounts,
+    MetricReport,
+    evaluate_extractions,
+    precision_recall_f1,
+    values_match,
+)
+from repro.eval.protocol import ApproachResult, run_comparison
+from repro.eval.tables import render_table
+from repro.eval.figures import render_bars
+from repro.eval.significance import BootstrapResult, paired_bootstrap
+
+__all__ = [
+    "FieldCounts",
+    "MetricReport",
+    "evaluate_extractions",
+    "precision_recall_f1",
+    "values_match",
+    "ApproachResult",
+    "run_comparison",
+    "render_table",
+    "render_bars",
+    "BootstrapResult",
+    "paired_bootstrap",
+]

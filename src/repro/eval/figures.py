@@ -1,0 +1,41 @@
+"""ASCII bar charts for regenerating the paper's figures in a terminal."""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+
+
+def render_bars(
+    values: Mapping[str, float],
+    title: str | None = None,
+    width: int = 40,
+    maximum: float | None = None,
+    fmt: str = "{:.2f}",
+) -> str:
+    """Render a labeled horizontal bar chart.
+
+    Args:
+        values: label -> value (non-negative).
+        title: optional chart title.
+        width: bar width in characters for the maximum value.
+        maximum: scale maximum (defaults to the largest value; use 1.0 for
+            F1 scores so charts are comparable across panels).
+        fmt: value format string.
+    """
+    if not values:
+        return title or ""
+    scale_max = maximum if maximum is not None else max(values.values())
+    scale_max = max(scale_max, 1e-12)
+    label_width = max(len(str(label)) for label in values)
+    lines = []
+    if title:
+        lines.append(title)
+    for label, value in values.items():
+        if value < 0:
+            raise ValueError(f"negative bar value for {label!r}: {value}")
+        bar = "#" * int(round(width * min(value, scale_max) / scale_max))
+        lines.append(
+            f"{str(label).ljust(label_width)} | "
+            f"{bar.ljust(width)} {fmt.format(value)}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,135 @@
+"""Value-level precision / recall / F1 (paper Section 4.1).
+
+Following the paper's definitions: a true positive is a correctly extracted
+detail that was actually present; a false positive is an incorrectly
+extracted detail (wrong value, or a value where none was annotated); a false
+negative is a failure to extract a detail that was present. Counts are
+accumulated per field over the test set and micro-averaged.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import re
+from collections.abc import Mapping, Sequence
+
+_WHITESPACE_RE = re.compile(r"\s+")
+_EDGE_PUNCT_RE = re.compile(r"^[\W_]+|[\W_]+$")
+
+
+def _canon(value: str) -> str:
+    """Canonical form for value comparison: casefold, trim punctuation."""
+    value = _WHITESPACE_RE.sub(" ", value.strip()).casefold()
+    return _EDGE_PUNCT_RE.sub("", value)
+
+
+def values_match(predicted: str, gold: str) -> bool:
+    """Whether an extracted value counts as correct for a gold value."""
+    return bool(gold.strip()) and _canon(predicted) == _canon(gold)
+
+
+@dataclasses.dataclass
+class FieldCounts:
+    """TP/FP/FN accumulator for one field."""
+
+    tp: int = 0
+    fp: int = 0
+    fn: int = 0
+
+    def update(self, predicted: str, gold: str) -> None:
+        has_prediction = bool(predicted and predicted.strip())
+        has_gold = bool(gold and gold.strip())
+        if has_prediction and has_gold:
+            if values_match(predicted, gold):
+                self.tp += 1
+            else:
+                self.fp += 1
+                self.fn += 1
+        elif has_prediction:
+            self.fp += 1
+        elif has_gold:
+            self.fn += 1
+
+    def merge(self, other: "FieldCounts") -> None:
+        self.tp += other.tp
+        self.fp += other.fp
+        self.fn += other.fn
+
+
+def precision_recall_f1(tp: int, fp: int, fn: int) -> tuple[float, float, float]:
+    """The paper's three effectiveness measures from raw counts."""
+    precision = tp / (tp + fp) if tp + fp else 0.0
+    recall = tp / (tp + fn) if tp + fn else 0.0
+    if precision + recall == 0.0:
+        return precision, recall, 0.0
+    f1 = 2 * precision * recall / (precision + recall)
+    return precision, recall, f1
+
+
+@dataclasses.dataclass
+class MetricReport:
+    """Micro-averaged metrics plus a per-field breakdown."""
+
+    per_field: dict[str, FieldCounts]
+
+    @property
+    def micro_counts(self) -> FieldCounts:
+        total = FieldCounts()
+        for counts in self.per_field.values():
+            total.merge(counts)
+        return total
+
+    @property
+    def precision(self) -> float:
+        counts = self.micro_counts
+        return precision_recall_f1(counts.tp, counts.fp, counts.fn)[0]
+
+    @property
+    def recall(self) -> float:
+        counts = self.micro_counts
+        return precision_recall_f1(counts.tp, counts.fp, counts.fn)[1]
+
+    @property
+    def f1(self) -> float:
+        counts = self.micro_counts
+        return precision_recall_f1(counts.tp, counts.fp, counts.fn)[2]
+
+    def field_f1(self, field: str) -> float:
+        counts = self.per_field[field]
+        return precision_recall_f1(counts.tp, counts.fp, counts.fn)[2]
+
+    def field_metrics(self, field: str) -> tuple[float, float, float]:
+        counts = self.per_field[field]
+        return precision_recall_f1(counts.tp, counts.fp, counts.fn)
+
+    def summary(self) -> dict[str, float]:
+        return {
+            "precision": self.precision,
+            "recall": self.recall,
+            "f1": self.f1,
+        }
+
+
+def evaluate_extractions(
+    predictions: Sequence[Mapping[str, str]],
+    gold: Sequence[Mapping[str, str]],
+    fields: Sequence[str],
+) -> MetricReport:
+    """Score predicted detail dicts against gold annotations.
+
+    Args:
+        predictions: one dict per objective (missing fields == ``""``).
+        gold: the annotated details per objective.
+        fields: the schema; only these fields are scored.
+    """
+    if len(predictions) != len(gold):
+        raise ValueError(
+            f"{len(predictions)} predictions vs {len(gold)} gold records"
+        )
+    per_field = {field: FieldCounts() for field in fields}
+    for predicted, annotated in zip(predictions, gold):
+        for field in fields:
+            per_field[field].update(
+                predicted.get(field, ""), annotated.get(field, "")
+            )
+    return MetricReport(per_field=per_field)

@@ -1,0 +1,40 @@
+"""Plain-text table rendering for benchmark output."""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[str]],
+    title: str | None = None,
+) -> str:
+    """Render an aligned monospace table (paper-style result tables)."""
+    columns = len(headers)
+    for row in rows:
+        if len(row) != columns:
+            raise ValueError(
+                f"row {row!r} has {len(row)} cells, expected {columns}"
+            )
+    widths = [
+        max(len(str(headers[i])), *(len(str(row[i])) for row in rows))
+        if rows
+        else len(str(headers[i]))
+        for i in range(columns)
+    ]
+
+    def format_row(cells: Sequence[str]) -> str:
+        return " | ".join(
+            str(cell).ljust(widths[i]) for i, cell in enumerate(cells)
+        )
+
+    separator = "-+-".join("-" * width for width in widths)
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(separator))
+    lines.append(format_row(headers))
+    lines.append(separator)
+    lines.extend(format_row(row) for row in rows)
+    return "\n".join(lines)

@@ -1,0 +1,19 @@
+"""GoalSpotter: sustainability objective detection + integrated extraction.
+
+GoalSpotter (Mahdavi et al., CIKM 2024) is the upstream system the paper
+extends: it classifies report text blocks into *objective* vs *noise*
+(Section 2.3) by fine-tuning a transformer. This package rebuilds that
+detection stage on our substrate and integrates the new detail-extraction
+service exactly as the paper's deployment does: detect objectives in
+reports, extract their key details, store structured records.
+"""
+
+from repro.goalspotter.detector import DetectorConfig, ObjectiveDetector
+from repro.goalspotter.pipeline import ExtractedRecord, GoalSpotter
+
+__all__ = [
+    "DetectorConfig",
+    "ObjectiveDetector",
+    "ExtractedRecord",
+    "GoalSpotter",
+]

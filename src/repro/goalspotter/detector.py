@@ -1,0 +1,107 @@
+"""Objective detection: text classification over report blocks.
+
+Follows GoalSpotter's formulation: each text block is classified as
+*objective* or *noise* with a fine-tuned transformer sequence classifier
+(mean-pooled encoder states + linear head on our substrate).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.models.sequence_classifier import SequenceClassifier
+from repro.models.training import FineTuneConfig, fit_sequence_classifier
+from repro.nn.encoder import EncoderConfig
+from repro.text.bpe import BpeTokenizer
+from repro.text.normalize import TextNormalizer
+from repro.text.words import WordTokenizer
+
+NOISE, OBJECTIVE = 0, 1
+
+
+@dataclasses.dataclass(frozen=True)
+class DetectorConfig:
+    """Detector hyperparameters (small encoder; blocks are short)."""
+
+    dim: int = 64
+    num_layers: int = 2
+    num_heads: int = 4
+    ffn_dim: int = 128
+    max_len: int = 96
+    dropout: float = 0.1
+    num_merges: int = 500
+    finetune: FineTuneConfig = dataclasses.field(
+        default_factory=lambda: FineTuneConfig(epochs=4, learning_rate=1e-3)
+    )
+    threshold: float = 0.5
+    seed: int = 13
+
+
+class ObjectiveDetector:
+    """Binary classifier: does a text block contain an objective?"""
+
+    def __init__(self, config: DetectorConfig | None = None) -> None:
+        self.config = config or DetectorConfig()
+        self.normalizer = TextNormalizer()
+        self.word_tokenizer = WordTokenizer()
+        self.tokenizer: BpeTokenizer | None = None
+        self.model: SequenceClassifier | None = None
+
+    def _encode(self, texts: Sequence[str]) -> list[list[int]]:
+        assert self.tokenizer is not None
+        sequences: list[list[int]] = []
+        for text in texts:
+            words = self.word_tokenizer.words(self.normalizer(text))
+            if not words:
+                words = ["."]
+            sequences.append(list(self.tokenizer.encode(words).ids))
+        return sequences
+
+    def fit(
+        self, texts: Sequence[str], labels: Sequence[int]
+    ) -> "ObjectiveDetector":
+        """Train on blocks with binary labels (1 = objective)."""
+        if len(texts) != len(labels):
+            raise ValueError("texts and labels must be parallel")
+        if not texts:
+            raise ValueError("cannot fit a detector on no blocks")
+        corpus = (
+            word
+            for text in texts
+            for word in self.word_tokenizer.words(self.normalizer(text))
+        )
+        self.tokenizer = BpeTokenizer.train(
+            corpus, num_merges=self.config.num_merges
+        )
+        rng = np.random.default_rng(self.config.seed)
+        encoder_config = EncoderConfig(
+            vocab_size=len(self.tokenizer.vocab),
+            dim=self.config.dim,
+            num_layers=self.config.num_layers,
+            num_heads=self.config.num_heads,
+            ffn_dim=self.config.ffn_dim,
+            max_len=self.config.max_len,
+            dropout=self.config.dropout,
+        )
+        self.model = SequenceClassifier(encoder_config, 2, rng)
+        fit_sequence_classifier(
+            self.model,
+            self._encode(texts),
+            list(labels),
+            self.config.finetune,
+        )
+        return self
+
+    def predict_proba(self, texts: Sequence[str]) -> np.ndarray:
+        """P(objective) for each block."""
+        if self.model is None:
+            raise RuntimeError("detector is not fitted; call fit() first")
+        probabilities = self.model.predict_proba(self._encode(texts))
+        return probabilities[:, OBJECTIVE]
+
+    def predict(self, texts: Sequence[str]) -> np.ndarray:
+        """Boolean objective mask for each block."""
+        return self.predict_proba(texts) >= self.config.threshold

@@ -1,0 +1,29 @@
+"""Zero-/few-shot prompting baselines over a simulated LLM.
+
+The paper prompts the open-weight Llama 4 109B. No LLM (or GPU) exists in
+this environment, so :class:`~repro.llm.engine.SimulatedLLM` stands in: a
+deterministic completion engine that genuinely *parses the prompt* — it
+locates the task instructions, any in-context examples, and the query
+objective — and answers from an internal reading-comprehension policy.
+
+Calibration mirrors the published behaviour of real LLMs on this task
+(paper Section 6.2 and [9]): without examples the model drifts in output
+format and over-extracts (zero-shot < few-shot), while in-context examples
+teach it the field inventory and the expected value granularity. A token
+throughput model provides the latency that Table 4's time column reports.
+"""
+
+from repro.llm.engine import LlmBehavior, SimulatedLLM
+from repro.llm.prompts import build_prompt, FieldDescription, FIELD_GUIDES
+from repro.llm.parse import parse_llm_json
+from repro.llm.extractor import PromptingExtractor
+
+__all__ = [
+    "LlmBehavior",
+    "SimulatedLLM",
+    "build_prompt",
+    "FieldDescription",
+    "FIELD_GUIDES",
+    "parse_llm_json",
+    "PromptingExtractor",
+]

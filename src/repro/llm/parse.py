@@ -1,0 +1,68 @@
+"""Robust parsing of LLM completions into detail dictionaries.
+
+Real prompting pipelines must survive format drift; this parser handles the
+completion styles the simulator (and real models) produce: bare JSON, JSON
+inside markdown fences or prose, and plain ``Key: value`` line answers.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+
+def _balanced_json_blocks(text: str) -> list[str]:
+    """Top-level brace-balanced ``{...}`` blocks, outermost first."""
+    blocks: list[str] = []
+    depth = 0
+    start = -1
+    for index, char in enumerate(text):
+        if char == "{":
+            if depth == 0:
+                start = index
+            depth += 1
+        elif char == "}" and depth > 0:
+            depth -= 1
+            if depth == 0:
+                blocks.append(text[start : index + 1])
+    return blocks
+_LINE_RE = re.compile(r"^(?P<key>[A-Za-z][A-Za-z ]{0,30}):\s*(?P<value>.*)$")
+_NOT_MENTIONED_RE = re.compile(
+    r"^\(?(not (mentioned|present|specified|applicable)|n/?a|none)\)?\.?$",
+    re.IGNORECASE,
+)
+
+
+def _clean_value(value: str) -> str:
+    value = value.strip().strip('"').strip()
+    if _NOT_MENTIONED_RE.match(value):
+        return ""
+    return value
+
+
+def parse_llm_json(completion: str) -> dict[str, str]:
+    """Extract a flat string->string mapping from a completion.
+
+    Tries, in order: every ``{...}`` block as JSON (with a single-quote
+    repair pass), then ``Key: value`` lines. Returns ``{}`` when nothing
+    parseable is found — callers treat that as "no details extracted".
+    """
+    for block in _balanced_json_blocks(completion):
+        for candidate in (block, block.replace("'", '"')):
+            try:
+                payload = json.loads(candidate)
+            except json.JSONDecodeError:
+                continue
+            if isinstance(payload, dict):
+                return {
+                    str(key): _clean_value(str(value))
+                    for key, value in payload.items()
+                    if not isinstance(value, (dict, list))
+                }
+    details: dict[str, str] = {}
+    for line in completion.splitlines():
+        match = _LINE_RE.match(line.strip())
+        if match:
+            details[match.group("key").strip()] = _clean_value(
+                match.group("value")
+            )
+    return details

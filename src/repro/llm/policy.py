@@ -1,0 +1,239 @@
+"""The simulated LLM's internal reading-comprehension policy.
+
+Rule-based extraction over an objective's word tokens: amount/value
+spotting, year-role attribution from the preceding context, verb spotting
+for actions, and qualifier phrase segmentation. This approximates the
+"world knowledge" a large instruction-tuned model brings to the task; the
+zero-/few-shot *difference* is applied on top by the engine's behaviour
+model, not here.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import re
+
+from repro.text.words import Token, WordTokenizer
+
+_WORD_TOKENIZER = WordTokenizer()
+
+_YEAR_RE = re.compile(r"^(19|20)\d\d$")
+_PERCENT_RE = re.compile(r"^\d+(?:[.,]\d+)*%$")
+_NUMBER_RE = re.compile(r"^\d+(?:[.,]\d+)*$")
+
+#: Verbs an instruction-tuned model recognizes as objective actions.
+KNOWN_VERBS = {
+    "reduce", "achieve", "increase", "improve", "expand", "implement",
+    "promote", "develop", "establish", "strengthen", "maintain", "deliver",
+    "launch", "support", "integrate", "accelerate", "advance", "cut",
+    "lower", "decrease", "reach", "eliminate", "offset", "halve", "source",
+    "procure", "switch", "restore", "replenish", "conserve", "recycle",
+    "divert", "compost", "transition", "convert", "make", "redesign",
+    "shift", "double", "prevent", "audit", "engage", "assess", "certify",
+    "require", "empower", "train", "invest", "donate", "protect", "plant",
+    "preserve", "keep", "reuse", "refurbish", "extend", "recover", "align",
+    "define", "publish", "link", "embed", "substitute", "explore", "join",
+    "perform", "demonstrate", "pursue", "incorporate", "share", "use",
+    "uses", "commit", "pledge", "aim", "co-found", "install", "restore",
+}
+
+#: Words that terminate a qualifier phrase.
+QUALIFIER_STOPPERS = {
+    "by", "before", "until", "no", "against", "compared", "relative",
+    "from", "in", "(", ",", ".", "and", "as", "supported", "across",
+    "while", "to",
+}
+
+#: Deadline cue words (the year after these is a deadline/target year).
+DEADLINE_CUES = {"by", "before", "until", "than"}  # "no later than"
+
+#: Baseline cue words (the year after these is a baseline/reference year).
+BASELINE_CUES = {"baseline", "to", "from", "with", "against", "relative"}
+
+
+@dataclasses.dataclass
+class Reading:
+    """What the policy believes about one objective text."""
+
+    tokens: list[Token]
+    action: str = ""
+    action_span: tuple[int, int] | None = None
+    amount: str = ""
+    amount_span: tuple[int, int] | None = None
+    qualifier: str = ""
+    qualifier_span: tuple[int, int] | None = None
+    baseline: str = ""
+    deadline: str = ""
+    statistic_year: str = ""  # a year that is neither baseline nor deadline
+
+
+def _find_amount(words: list[str]) -> tuple[int, int] | None:
+    """Locate the value expression; returns a token span or None."""
+    for index, word in enumerate(words):
+        lowered = word.lower()
+        if _PERCENT_RE.match(word):
+            return index, index + 1
+        if _NUMBER_RE.match(word) and not _YEAR_RE.match(word):
+            # "25 percent", "1 million", "500,000 tonnes", "250"
+            if index + 1 < len(words) and words[index + 1].lower() in (
+                "percent", "million", "billion", "tonnes", "percentage",
+            ):
+                if index + 2 < len(words) and words[index + 2].lower() in (
+                    "tonnes",
+                ):
+                    return index, index + 3
+                return index, index + 2
+            return index, index + 1
+        if lowered == "net" and index + 2 < len(words) and words[
+            index + 1
+        ] == "-" and words[index + 2].lower() == "zero":
+            return index, index + 3
+        if lowered == "net" and index + 1 < len(words) and words[
+            index + 1
+        ].lower() == "zero":
+            return index, index + 2
+        if lowered == "carbon" and index + 1 < len(words) and words[
+            index + 1
+        ].lower() in ("neutral", "neutrality"):
+            return index, index + 2
+        if lowered == "zero" and index + 1 < len(words):
+            return index, index + 1
+        if word == "$" and index + 1 < len(words) and _NUMBER_RE.match(
+            words[index + 1]
+        ):
+            end = index + 2
+            if end < len(words) and words[end].lower() in ("million", "billion"):
+                end += 1
+            return index, end
+        if lowered == "double":
+            return index, index + 1
+    return None
+
+
+def _find_action(words: list[str]) -> tuple[int, int] | None:
+    """Locate the action verb (possibly with a 'will' modal)."""
+    for index, word in enumerate(words):
+        lowered = word.lower()
+        if lowered == "will" and index + 1 < len(words):
+            candidate = words[index + 1].lower()
+            if candidate in KNOWN_VERBS or candidate.endswith("ment") is False:
+                end = index + 2
+                # "will be implemented"
+                if candidate == "be" and index + 2 < len(words):
+                    end = index + 3
+                return index, end
+        base = lowered[:-3] if lowered.endswith("ing") else lowered
+        if (
+            lowered in KNOWN_VERBS
+            or base in KNOWN_VERBS
+            or base + "e" in KNOWN_VERBS
+            or (lowered.endswith("ing") and base[:-1] in KNOWN_VERBS)
+        ):
+            return index, index + 1
+    return None
+
+
+def read_objective(text: str) -> Reading:
+    """Apply the reading-comprehension policy to an objective text."""
+    tokens = _WORD_TOKENIZER.tokenize(text)
+    words = [token.text for token in tokens]
+    reading = Reading(tokens=tokens)
+
+    amount_span = _find_amount(words)
+    if amount_span:
+        reading.amount_span = amount_span
+        reading.amount = text[
+            tokens[amount_span[0]].start : tokens[amount_span[1] - 1].end
+        ]
+
+    action_span = _find_action(words)
+    if action_span:
+        reading.action_span = action_span
+        reading.action = text[
+            tokens[action_span[0]].start : tokens[action_span[1] - 1].end
+        ]
+
+    # Year attribution from immediate context.
+    for index, word in enumerate(words):
+        if not _YEAR_RE.match(word):
+            continue
+        prev1 = words[index - 1].lower() if index >= 1 else ""
+        prev2 = words[index - 2].lower() if index >= 2 else ""
+        prev3 = words[index - 3].lower() if index >= 3 else ""
+        next1 = words[index + 1].lower() if index + 1 < len(words) else ""
+
+        is_baseline = (
+            "baseline" in (prev1, prev2, prev3)  # "(baseline 2017)"
+            or next1 in ("baseline", "base", "levels")  # "a 2017 baseline"
+            or (prev1 == "to" and prev2 in ("compared", "relative"))
+            or (prev1 == "from" and next1 != "")
+        )
+        is_deadline = (
+            prev1 in ("by", "before", "until", "than")
+            or (prev1 == "of" and prev2 == "end")  # "by the end of 2025"
+        )
+        if is_baseline:
+            if not reading.baseline:
+                reading.baseline = word
+        elif is_deadline:
+            if not reading.deadline:
+                reading.deadline = word
+        elif not reading.statistic_year:
+            reading.statistic_year = word
+
+    # Qualifier segmentation.
+    reading.qualifier_span = _find_qualifier(words, reading)
+    if reading.qualifier_span:
+        start, end = reading.qualifier_span
+        reading.qualifier = text[tokens[start].start : tokens[end - 1].end]
+    return reading
+
+
+def _extend_phrase(words: list[str], start: int) -> int:
+    """Extend a noun phrase from ``start`` until a stopper; returns end."""
+    end = start
+    while end < len(words):
+        lowered = words[end].lower()
+        if lowered in QUALIFIER_STOPPERS and end > start:
+            break
+        if not any(c.isalnum() for c in words[end]) and words[end] not in (
+            "-",
+        ):
+            break
+        if _YEAR_RE.match(words[end]):
+            break
+        end += 1
+    return end
+
+
+def _find_qualifier(
+    words: list[str], reading: Reading
+) -> tuple[int, int] | None:
+    # Preferred: the phrase right after "of" following the amount
+    # ("Restore 100% of our global water use"), else right after the
+    # amount, else between action and the next cue word.
+    if reading.amount_span:
+        after = reading.amount_span[1]
+        if after < len(words) and words[after].lower() == "of":
+            start = after + 1
+            if start < len(words) and words[start].lower() in ("our", "the"):
+                start += 1
+            end = _extend_phrase(words, start)
+            if end > start:
+                return start, end
+        if after < len(words) and words[after].lower() not in (
+            "by", ".", ",", "(", "across", "achieved",
+        ):
+            end = _extend_phrase(words, after)
+            if end > after:
+                return after, end
+    if reading.action_span:
+        start = reading.action_span[1]
+        if start < len(words) and words[start].lower() in ("our", "the"):
+            start += 1
+        end = _extend_phrase(words, start)
+        if reading.amount_span and start <= reading.amount_span[0] < end:
+            end = reading.amount_span[0]
+        if end > start:
+            return start, end
+    return None

@@ -1,0 +1,98 @@
+"""Prompt construction for the zero-/few-shot extraction baselines.
+
+The prompt layout follows the NetZeroFacts paper's few-shot protocol [32]:
+a task instruction, a field glossary, optionally three input/output
+examples, and the query objective. Everything downstream (the simulated
+LLM) works purely off this text — changing the prompt changes behaviour.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from collections.abc import Mapping, Sequence
+
+from repro.core.schema import AnnotatedObjective
+
+
+@dataclasses.dataclass(frozen=True)
+class FieldDescription:
+    """Glossary entry describing one extraction field to the model."""
+
+    name: str
+    description: str
+
+
+#: Field glossaries for both schemas (paper Section 2.2 definitions).
+FIELD_GUIDES: dict[str, FieldDescription] = {
+    "Action": FieldDescription(
+        "Action", "the verb describing the nature of the intended change"
+    ),
+    "Amount": FieldDescription(
+        "Amount",
+        "the relative or absolute value specifying the magnitude of the "
+        "change",
+    ),
+    "Qualifier": FieldDescription(
+        "Qualifier",
+        "the short phrase providing additional context to the amount",
+    ),
+    "Baseline": FieldDescription(
+        "Baseline", "the year when the change process began"
+    ),
+    "Deadline": FieldDescription(
+        "Deadline", "the year by which the change should be completed"
+    ),
+    "TargetValue": FieldDescription(
+        "TargetValue", "the emission reduction target value"
+    ),
+    "ReferenceYear": FieldDescription(
+        "ReferenceYear", "the base year the reduction is measured against"
+    ),
+    "TargetYear": FieldDescription(
+        "TargetYear", "the year by which the target should be reached"
+    ),
+}
+
+INSTRUCTION_HEADER = (
+    "You are an expert sustainability analyst. Extract the key details of "
+    "the following sustainability objective. Answer with a single JSON "
+    "object whose keys are exactly the field names listed below. Use an "
+    "empty string for details that are not present."
+)
+
+EXAMPLES_HEADER = "### Examples"
+OBJECTIVE_HEADER = "### Objective"
+OUTPUT_HEADER = "### Output"
+
+
+def build_prompt(
+    objective_text: str,
+    fields: Sequence[str],
+    examples: Sequence[AnnotatedObjective] = (),
+) -> str:
+    """Build a zero-shot (no examples) or few-shot extraction prompt."""
+    lines = [INSTRUCTION_HEADER, "", "Fields:"]
+    for field in fields:
+        guide = FIELD_GUIDES.get(field)
+        description = guide.description if guide else "the detail value"
+        lines.append(f"- {field}: {description}")
+    if examples:
+        lines.append("")
+        lines.append(EXAMPLES_HEADER)
+        for example in examples:
+            lines.append(f"{OBJECTIVE_HEADER}: {example.text}")
+            lines.append(
+                f"{OUTPUT_HEADER}: "
+                + json.dumps(_full_details(example.details, fields))
+            )
+    lines.append("")
+    lines.append(f"{OBJECTIVE_HEADER}: {objective_text}")
+    lines.append(f"{OUTPUT_HEADER}:")
+    return "\n".join(lines)
+
+
+def _full_details(
+    details: Mapping[str, str], fields: Sequence[str]
+) -> dict[str, str]:
+    return {field: details.get(field, "") for field in fields}

@@ -1,0 +1,42 @@
+"""Model zoo: encoder variants, task heads, pre-training, distillation.
+
+The paper's Figure 4 compares four encoder families — RoBERTa, BERT, and
+their distilled versions. This package reproduces that axis with from-scratch
+equivalents that differ the same way the originals do:
+
+* ``roberta``-style: masked-language-model pre-training with *dynamic*
+  masking (fresh masks every epoch) and a longer pre-training budget;
+* ``bert``-style: *static* masking (one fixed mask per sequence) and a
+  shorter budget;
+* ``distil*``: a shallower student distilled from the corresponding teacher.
+"""
+
+from repro.models.zoo import (
+    MODEL_ZOO,
+    ModelSpec,
+    PretrainSpec,
+    get_model_spec,
+)
+from repro.models.token_classifier import TokenClassifier
+from repro.models.sequence_classifier import SequenceClassifier
+from repro.models.mlm import MaskedLanguageModel, pretrain_encoder, pretrain_mlm
+from repro.models.distill import distill_encoder
+from repro.models.pretrained import build_pretraining_corpus, pretrain_for_domain
+from repro.models.training import FineTuneConfig, fit_token_classifier
+
+__all__ = [
+    "MODEL_ZOO",
+    "ModelSpec",
+    "PretrainSpec",
+    "get_model_spec",
+    "TokenClassifier",
+    "SequenceClassifier",
+    "MaskedLanguageModel",
+    "pretrain_encoder",
+    "pretrain_mlm",
+    "build_pretraining_corpus",
+    "pretrain_for_domain",
+    "distill_encoder",
+    "FineTuneConfig",
+    "fit_token_classifier",
+]

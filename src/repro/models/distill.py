@@ -1,0 +1,107 @@
+"""Knowledge distillation for the ``distil*`` encoder variants.
+
+A shallower student is trained to match the teacher's MLM distribution at
+masked positions (soft targets, temperature-scaled KL) in addition to the
+usual hard MLM loss — the DistilBERT recipe reduced to the parts that matter
+for this substrate.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.models.mlm import MaskedLanguageModel, apply_mlm_corruption
+from repro.models.zoo import ModelSpec
+from repro.nn.batching import iterate_minibatches, pad_sequences
+from repro.nn.encoder import TransformerEncoder
+from repro.nn.functional import log_softmax, softmax
+from repro.nn.loss import IGNORE_INDEX, cross_entropy
+from repro.nn.optim import AdamW, clip_grad_norm
+from repro.text.vocab import Vocabulary
+
+
+def _soft_cross_entropy(
+    student_logits: np.ndarray,
+    teacher_probs: np.ndarray,
+    position_mask: np.ndarray,
+    temperature: float,
+) -> tuple[float, np.ndarray]:
+    """KL-style soft loss at selected positions; returns (loss, dlogits)."""
+    num_positions = int(position_mask.sum())
+    if num_positions == 0:
+        return 0.0, np.zeros_like(student_logits)
+    scaled = student_logits / temperature
+    log_probs = log_softmax(scaled, axis=-1)
+    per_position = -(teacher_probs * log_probs).sum(axis=-1)
+    loss = float((per_position * position_mask).sum() / num_positions)
+    dscaled = (softmax(scaled, axis=-1) - teacher_probs)
+    dscaled *= position_mask[..., None] / num_positions
+    # d/dlogits of (logits / T) chain; the usual T^2 compensation keeps the
+    # gradient magnitude comparable across temperatures.
+    dlogits = dscaled * temperature
+    return loss, dlogits
+
+
+def distill_encoder(
+    teacher: MaskedLanguageModel,
+    student_spec: ModelSpec,
+    sequences: list[list[int]],
+    vocab: Vocabulary,
+    rng: np.random.Generator,
+    max_len: int = 96,
+    batch_size: int = 16,
+    lr: float = 1e-3,
+    temperature: float = 2.0,
+    soft_weight: float = 0.5,
+    epochs: int | None = None,
+    max_steps: int | None = None,
+) -> TransformerEncoder:
+    """Distill ``teacher`` into a fresh student encoder.
+
+    Returns the student's encoder (head discarded).
+    """
+    config = student_spec.encoder_config(len(vocab), max_len)
+    student = MaskedLanguageModel(TransformerEncoder(config, rng), rng)
+    optimizer = AdamW(student.parameters(), lr=lr, weight_decay=0.01)
+    teacher.eval()
+    student.train()
+
+    step = 0
+    for __ in range(epochs or student_spec.pretrain.epochs):
+        for indices in iterate_minibatches(len(sequences), batch_size, rng):
+            ids, mask = pad_sequences(
+                [sequences[i] for i in indices], max_len=max_len
+            )
+            corrupted, targets = apply_mlm_corruption(
+                ids, mask, vocab, rng, student_spec.pretrain.mask_prob
+            )
+            position_mask = (targets != IGNORE_INDEX).astype(mask.dtype)
+
+            teacher_logits = teacher(corrupted, mask)
+            teacher_probs = softmax(teacher_logits / temperature, axis=-1)
+
+            student.zero_grad()
+            student_logits = student(corrupted, mask)
+            batch, time, width = student_logits.shape
+
+            hard_loss, dhard = cross_entropy(
+                student_logits.reshape(batch * time, width),
+                targets.reshape(batch * time),
+                ignore_index=IGNORE_INDEX,
+            )
+            __ = hard_loss
+            soft_loss, dsoft = _soft_cross_entropy(
+                student_logits, teacher_probs, position_mask, temperature
+            )
+            __ = soft_loss
+            dlogits = (
+                (1.0 - soft_weight) * dhard.reshape(batch, time, width)
+                + soft_weight * dsoft
+            )
+            student.backward(dlogits)
+            clip_grad_norm(student.parameters(), 1.0)
+            optimizer.step()
+            step += 1
+            if max_steps is not None and step >= max_steps:
+                return student.encoder
+    return student.encoder

@@ -1,0 +1,169 @@
+"""Masked-language-model pre-training for encoder variants.
+
+RoBERTa-style variants use *dynamic* masking (a fresh mask every epoch);
+BERT-style variants use *static* masking (one mask drawn once per sequence).
+The 80/10/10 corruption split follows the original BERT recipe: of the
+selected positions, 80% become ``<mask>``, 10% a random vocabulary token,
+and 10% keep the original token.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.models.zoo import ModelSpec
+from repro.nn.batching import iterate_minibatches, pad_sequences
+from repro.nn.encoder import TransformerEncoder
+from repro.nn.layers import Linear
+from repro.nn.loss import IGNORE_INDEX, cross_entropy
+from repro.nn.module import Module
+from repro.nn.optim import AdamW, clip_grad_norm
+from repro.text.vocab import Vocabulary
+
+
+class MaskedLanguageModel(Module):
+    """Encoder + vocabulary-sized prediction head."""
+
+    def __init__(
+        self, encoder: TransformerEncoder, rng: np.random.Generator
+    ) -> None:
+        super().__init__()
+        self.encoder = encoder
+        self.head = Linear(encoder.config.dim, encoder.config.vocab_size, rng)
+
+    def forward(self, ids: np.ndarray, mask: np.ndarray) -> np.ndarray:
+        return self.head(self.encoder(ids, mask))
+
+    def backward(self, dlogits: np.ndarray) -> None:
+        self.encoder.backward(self.head.backward(dlogits))
+
+    def loss_and_backward(
+        self, ids: np.ndarray, mask: np.ndarray, targets: np.ndarray
+    ) -> float:
+        logits = self.forward(ids, mask)
+        batch, time, vocab = logits.shape
+        loss, dflat = cross_entropy(
+            logits.reshape(batch * time, vocab),
+            np.asarray(targets).reshape(batch * time),
+            ignore_index=IGNORE_INDEX,
+        )
+        self.backward(dflat.reshape(batch, time, vocab))
+        return loss
+
+
+def apply_mlm_corruption(
+    ids: np.ndarray,
+    mask: np.ndarray,
+    vocab: Vocabulary,
+    rng: np.random.Generator,
+    mask_prob: float = 0.15,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Corrupt a padded id batch for MLM.
+
+    Returns ``(corrupted_ids, targets)`` where targets carry the original id
+    at selected positions and ``IGNORE_INDEX`` elsewhere.
+    """
+    ids = np.asarray(ids)
+    real = np.asarray(mask) > 0
+    selected = (rng.random(ids.shape) < mask_prob) & real
+    # Guarantee at least one prediction target per batch so the loss is
+    # never vacuously zero on tiny corpora.
+    if not selected.any() and real.any():
+        rows, cols = np.nonzero(real)
+        pick = rng.integers(len(rows))
+        selected[rows[pick], cols[pick]] = True
+
+    targets = np.where(selected, ids, IGNORE_INDEX)
+    corrupted = ids.copy()
+    action_roll = rng.random(ids.shape)
+    use_mask_token = selected & (action_roll < 0.8)
+    use_random = selected & (action_roll >= 0.8) & (action_roll < 0.9)
+    corrupted[use_mask_token] = vocab.mask_id
+    num_random = int(use_random.sum())
+    if num_random:
+        corrupted[use_random] = rng.integers(
+            len(Vocabulary()), len(vocab), size=num_random
+        )
+    return corrupted, targets
+
+
+def pretrain_mlm(
+    spec: ModelSpec,
+    sequences: list[list[int]],
+    vocab: Vocabulary,
+    rng: np.random.Generator,
+    max_len: int = 96,
+    batch_size: int = 16,
+    lr: float = 1e-3,
+    max_steps: int | None = None,
+) -> MaskedLanguageModel:
+    """Pre-train a fresh MLM on ``sequences`` with the spec's recipe.
+
+    Args:
+        spec: zoo entry determining architecture and masking style.
+        sequences: subword id sequences from the pre-training corpus.
+        vocab: subword vocabulary (for mask/random token ids).
+        rng: source of all randomness (init, masking, shuffling).
+        max_steps: optional hard cap on optimizer steps (testing/benching).
+
+    Returns:
+        The trained model, including its MLM head (needed as a distillation
+        teacher; downstream fine-tuning uses only ``model.encoder``).
+    """
+    config = spec.encoder_config(len(vocab), max_len)
+    model = MaskedLanguageModel(TransformerEncoder(config, rng), rng)
+    optimizer = AdamW(model.parameters(), lr=lr, weight_decay=0.01)
+
+    # Static masking (BERT-style) corrupts every sequence exactly once,
+    # before training; dynamic masking re-corrupts each epoch.
+    static_batches: list[tuple[np.ndarray, np.ndarray, np.ndarray]] = []
+    if not spec.pretrain.dynamic_masking:
+        for indices in iterate_minibatches(len(sequences), batch_size):
+            ids, mask = pad_sequences(
+                [sequences[i] for i in indices], max_len=max_len
+            )
+            corrupted, targets = apply_mlm_corruption(
+                ids, mask, vocab, rng, spec.pretrain.mask_prob
+            )
+            static_batches.append((corrupted, mask, targets))
+
+    model.train()
+    step = 0
+    for __ in range(spec.pretrain.epochs):
+        if spec.pretrain.dynamic_masking:
+            batches = []
+            for indices in iterate_minibatches(len(sequences), batch_size, rng):
+                ids, mask = pad_sequences(
+                    [sequences[i] for i in indices], max_len=max_len
+                )
+                corrupted, targets = apply_mlm_corruption(
+                    ids, mask, vocab, rng, spec.pretrain.mask_prob
+                )
+                batches.append((corrupted, mask, targets))
+        else:
+            batches = static_batches
+        for corrupted, mask, targets in batches:
+            model.zero_grad()
+            model.loss_and_backward(corrupted, mask, targets)
+            clip_grad_norm(model.parameters(), 1.0)
+            optimizer.step()
+            step += 1
+            if max_steps is not None and step >= max_steps:
+                return model
+    return model
+
+
+def pretrain_encoder(
+    spec: ModelSpec,
+    sequences: list[list[int]],
+    vocab: Vocabulary,
+    rng: np.random.Generator,
+    max_len: int = 96,
+    batch_size: int = 16,
+    lr: float = 1e-3,
+    max_steps: int | None = None,
+) -> TransformerEncoder:
+    """Like :func:`pretrain_mlm` but returns only the encoder."""
+    return pretrain_mlm(
+        spec, sequences, vocab, rng, max_len, batch_size, lr, max_steps
+    ).encoder

@@ -1,0 +1,86 @@
+"""Transformer sequence classifier (GoalSpotter's detection model).
+
+GoalSpotter formulates objective detection as text classification over report
+blocks. This model mean-pools the encoder states over real tokens and applies
+a linear classification head.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.batching import pad_sequences
+from repro.nn.encoder import EncoderConfig, TransformerEncoder
+from repro.nn.layers import Dropout, Linear
+from repro.nn.loss import cross_entropy
+from repro.nn.module import Module
+
+
+class SequenceClassifier(Module):
+    """Mean-pooled encoder states -> linear head -> class logits."""
+
+    def __init__(
+        self,
+        config: EncoderConfig,
+        num_classes: int,
+        rng: np.random.Generator,
+        encoder: TransformerEncoder | None = None,
+    ) -> None:
+        super().__init__()
+        if num_classes <= 0:
+            raise ValueError("num_classes must be positive")
+        self.config = config
+        self.num_classes = num_classes
+        self.encoder = encoder or TransformerEncoder(config, rng)
+        self.head_dropout = Dropout(config.dropout, rng)
+        self.head = Linear(config.dim, num_classes, rng)
+        self._pool_cache: tuple[np.ndarray, np.ndarray] | None = None
+
+    def forward(self, ids: np.ndarray, mask: np.ndarray) -> np.ndarray:
+        """Return logits ``(batch, num_classes)``."""
+        states = self.encoder(ids, mask)
+        mask = np.asarray(mask, dtype=states.dtype)
+        counts = np.maximum(mask.sum(axis=1, keepdims=True), 1.0)
+        pooled = (states * mask[:, :, None]).sum(axis=1) / counts
+        self._pool_cache = (mask, counts)
+        return self.head(self.head_dropout(pooled))
+
+    def backward(self, dlogits: np.ndarray) -> None:
+        if self._pool_cache is None:
+            raise RuntimeError("backward called before forward")
+        mask, counts = self._pool_cache
+        dpooled = self.head_dropout.backward(self.head.backward(dlogits))
+        dstates = (
+            dpooled[:, None, :] * mask[:, :, None] / counts[:, :, None]
+        )
+        self.encoder.backward(dstates)
+
+    def loss_and_backward(
+        self, ids: np.ndarray, mask: np.ndarray, labels: np.ndarray
+    ) -> float:
+        logits = self.forward(ids, mask)
+        loss, dlogits = cross_entropy(logits, np.asarray(labels))
+        self.backward(dlogits)
+        return loss
+
+    def predict_proba(
+        self, sequences: list[list[int]], batch_size: int = 64
+    ) -> np.ndarray:
+        """Class probabilities for each id sequence, ``(n, num_classes)``."""
+        from repro.nn.functional import softmax
+
+        self.eval()
+        rows: list[np.ndarray] = []
+        for start in range(0, len(sequences), batch_size):
+            chunk = sequences[start : start + batch_size]
+            ids, mask = pad_sequences(
+                chunk, pad_value=self.config.pad_id, max_len=self.config.max_len
+            )
+            rows.append(softmax(self.forward(ids, mask), axis=-1))
+        return np.concatenate(rows, axis=0)
+
+    def predict(
+        self, sequences: list[list[int]], batch_size: int = 64
+    ) -> np.ndarray:
+        """Hard class predictions for each id sequence."""
+        return self.predict_proba(sequences, batch_size).argmax(axis=-1)

@@ -1,0 +1,100 @@
+"""Transformer token classifier: encoder + per-token softmax head.
+
+This is the sequence-labeling model of Section 3.3: the encoder produces
+contextual states and a linear head assigns one IOB label per subword piece.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.batching import pad_sequences
+from repro.nn.encoder import EncoderConfig, TransformerEncoder
+from repro.nn.layers import Dropout, Linear
+from repro.nn.loss import IGNORE_INDEX, cross_entropy
+from repro.nn.module import Module
+
+
+class TokenClassifier(Module):
+    """Per-token classifier over a transformer encoder."""
+
+    def __init__(
+        self,
+        config: EncoderConfig,
+        num_labels: int,
+        rng: np.random.Generator,
+        encoder: TransformerEncoder | None = None,
+    ) -> None:
+        super().__init__()
+        if num_labels <= 0:
+            raise ValueError("num_labels must be positive")
+        self.config = config
+        self.num_labels = num_labels
+        self.encoder = encoder or TransformerEncoder(config, rng)
+        self.head_dropout = Dropout(config.dropout, rng)
+        self.head = Linear(config.dim, num_labels, rng)
+
+    def forward(self, ids: np.ndarray, mask: np.ndarray) -> np.ndarray:
+        """Return logits ``(batch, time, num_labels)``."""
+        states = self.encoder(ids, mask)
+        return self.head(self.head_dropout(states))
+
+    def backward(self, dlogits: np.ndarray) -> None:
+        dstates = self.head_dropout.backward(self.head.backward(dlogits))
+        self.encoder.backward(dstates)
+
+    # -- convenience ---------------------------------------------------------
+
+    def loss_and_backward(
+        self,
+        ids: np.ndarray,
+        mask: np.ndarray,
+        labels: np.ndarray,
+        class_weights: np.ndarray | None = None,
+    ) -> float:
+        """Forward + loss + full backward pass; returns the loss value.
+
+        ``labels`` is ``(batch, time)`` with ``IGNORE_INDEX`` on padding and
+        on positions that should not contribute (e.g. non-first subword
+        pieces when using first-piece label alignment).
+        """
+        logits = self.forward(ids, mask)
+        batch, time, num_labels = logits.shape
+        loss, dflat = cross_entropy(
+            logits.reshape(batch * time, num_labels),
+            np.asarray(labels).reshape(batch * time),
+            ignore_index=IGNORE_INDEX,
+            class_weights=class_weights,
+        )
+        self.backward(dflat.reshape(batch, time, num_labels))
+        return loss
+
+    def predict_logits(
+        self,
+        sequences: list[list[int]],
+        batch_size: int = 32,
+    ) -> list[np.ndarray]:
+        """Per-token logits ``(len(seq), num_labels)`` per id sequence."""
+        self.eval()
+        outputs: list[np.ndarray] = []
+        for start in range(0, len(sequences), batch_size):
+            chunk = sequences[start : start + batch_size]
+            ids, mask = pad_sequences(
+                chunk, pad_value=self.config.pad_id, max_len=self.config.max_len
+            )
+            logits = self.forward(ids, mask)
+            for row, seq in enumerate(chunk):
+                length = min(len(seq), ids.shape[1])
+                outputs.append(logits[row, :length].copy())
+        return outputs
+
+    def predict(
+        self,
+        sequences: list[list[int]],
+        batch_size: int = 32,
+    ) -> list[np.ndarray]:
+        """Predict label ids (per-token argmax) for each id sequence."""
+        return [
+            logits.argmax(axis=-1)
+            for logits in self.predict_logits(sequences, batch_size)
+        ]

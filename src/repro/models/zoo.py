@@ -1,0 +1,113 @@
+"""Named encoder variants mirroring the paper's model-selection axis."""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.nn.encoder import EncoderConfig
+
+
+@dataclasses.dataclass(frozen=True)
+class PretrainSpec:
+    """Pre-training recipe for an encoder variant.
+
+    Attributes:
+        objective: ``"mlm"`` for all variants (NSP is long obsolete).
+        dynamic_masking: True for RoBERTa-style (fresh masks every pass),
+            False for BERT-style (masks fixed once per sequence).
+        epochs: passes over the pre-training corpus.
+        mask_prob: fraction of tokens selected for prediction.
+    """
+
+    objective: str = "mlm"
+    dynamic_masking: bool = True
+    epochs: int = 3
+    mask_prob: float = 0.15
+
+
+@dataclasses.dataclass(frozen=True)
+class ModelSpec:
+    """A named encoder variant: architecture + pre-training recipe."""
+
+    name: str
+    family: str  # "roberta" | "bert"
+    distilled: bool
+    dim: int
+    num_layers: int
+    num_heads: int
+    ffn_dim: int
+    dropout: float
+    pretrain: PretrainSpec
+    teacher: str | None = None  # zoo name of the distillation teacher
+
+    def encoder_config(self, vocab_size: int, max_len: int) -> EncoderConfig:
+        """Instantiate the encoder configuration for a given vocabulary."""
+        return EncoderConfig(
+            vocab_size=vocab_size,
+            dim=self.dim,
+            num_layers=self.num_layers,
+            num_heads=self.num_heads,
+            ffn_dim=self.ffn_dim,
+            max_len=max_len,
+            dropout=self.dropout,
+        )
+
+
+MODEL_ZOO: dict[str, ModelSpec] = {
+    "roberta": ModelSpec(
+        name="roberta",
+        family="roberta",
+        distilled=False,
+        dim=96,
+        num_layers=3,
+        num_heads=4,
+        ffn_dim=192,
+        dropout=0.1,
+        pretrain=PretrainSpec(dynamic_masking=True, epochs=3),
+    ),
+    "bert": ModelSpec(
+        name="bert",
+        family="bert",
+        distilled=False,
+        dim=96,
+        num_layers=3,
+        num_heads=4,
+        ffn_dim=192,
+        dropout=0.1,
+        pretrain=PretrainSpec(dynamic_masking=False, epochs=2),
+    ),
+    "distilroberta": ModelSpec(
+        name="distilroberta",
+        family="roberta",
+        distilled=True,
+        dim=96,
+        num_layers=2,
+        num_heads=4,
+        ffn_dim=192,
+        dropout=0.1,
+        pretrain=PretrainSpec(dynamic_masking=True, epochs=2),
+        teacher="roberta",
+    ),
+    "distilbert": ModelSpec(
+        name="distilbert",
+        family="bert",
+        distilled=True,
+        dim=96,
+        num_layers=2,
+        num_heads=4,
+        ffn_dim=192,
+        dropout=0.1,
+        pretrain=PretrainSpec(dynamic_masking=False, epochs=1),
+        teacher="bert",
+    ),
+}
+
+
+def get_model_spec(name: str) -> ModelSpec:
+    """Look up a zoo entry; raises ``KeyError`` with the valid names."""
+    try:
+        return MODEL_ZOO[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown model {name!r}; available: {sorted(MODEL_ZOO)}"
+        ) from None

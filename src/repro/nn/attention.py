@@ -1,0 +1,110 @@
+"""Multi-head scaled dot-product self-attention with padding masks."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.nn.functional import softmax
+from repro.nn.layers import Dropout, Linear
+from repro.nn.module import Module
+
+_MASK_FILL = -1e9
+
+
+class MultiHeadSelfAttention(Module):
+    """Standard transformer self-attention.
+
+    Input is ``(batch, time, dim)``; ``mask`` is ``(batch, time)`` with 1 for
+    real tokens and 0 for padding. Padded key positions receive a large
+    negative score before the softmax so they get (numerically) zero weight.
+    """
+
+    def __init__(
+        self,
+        dim: int,
+        num_heads: int,
+        rng: np.random.Generator,
+        dropout: float = 0.0,
+    ) -> None:
+        super().__init__()
+        if dim % num_heads != 0:
+            raise ValueError(f"dim {dim} not divisible by num_heads {num_heads}")
+        self.dim = dim
+        self.num_heads = num_heads
+        self.head_dim = dim // num_heads
+        self.query_proj = Linear(dim, dim, rng)
+        self.key_proj = Linear(dim, dim, rng)
+        self.value_proj = Linear(dim, dim, rng)
+        self.out_proj = Linear(dim, dim, rng)
+        self.attn_dropout = Dropout(dropout, rng)
+        self._cache: dict[str, np.ndarray] | None = None
+
+    def _split_heads(self, x: np.ndarray) -> np.ndarray:
+        batch, time, __ = x.shape
+        x = x.reshape(batch, time, self.num_heads, self.head_dim)
+        return x.transpose(0, 2, 1, 3)  # (B, H, T, Dh)
+
+    def _merge_heads(self, x: np.ndarray) -> np.ndarray:
+        batch, __, time, __ = x.shape
+        return x.transpose(0, 2, 1, 3).reshape(batch, time, self.dim)
+
+    def forward(self, x: np.ndarray, mask: np.ndarray) -> np.ndarray:
+        queries = self._split_heads(self.query_proj(x))
+        keys = self._split_heads(self.key_proj(x))
+        values = self._split_heads(self.value_proj(x))
+
+        scale = 1.0 / math.sqrt(self.head_dim)
+        scores = (queries @ keys.transpose(0, 1, 3, 2)) * scale
+        key_mask = np.asarray(mask)[:, None, None, :]  # (B, 1, 1, T)
+        scores = np.where(key_mask > 0, scores, _MASK_FILL)
+        weights = softmax(scores, axis=-1)
+        weights = self.attn_dropout(weights)
+        context = weights @ values
+        out = self.out_proj(self._merge_heads(context))
+
+        self._cache = {
+            "queries": queries,
+            "keys": keys,
+            "values": values,
+            "weights": weights,
+            "key_mask": key_mask,
+            "scale": np.asarray(scale),
+        }
+        return out
+
+    def backward(self, dout: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError("backward called before forward")
+        cache = self._cache
+        queries, keys, values = (
+            cache["queries"],
+            cache["keys"],
+            cache["values"],
+        )
+        weights = cache["weights"]
+        scale = float(cache["scale"])
+
+        dcontext_merged = self.out_proj.backward(dout)
+        dcontext = self._split_heads(dcontext_merged)
+
+        dweights = dcontext @ values.transpose(0, 1, 3, 2)
+        dvalues = weights.transpose(0, 1, 3, 2) @ dcontext
+        dweights = self.attn_dropout.backward(dweights)
+
+        # Softmax backward: dS = W * (dW - sum_k dW*W).
+        dscores = weights * (
+            dweights - np.sum(dweights * weights, axis=-1, keepdims=True)
+        )
+        # Masked positions had constant scores; their gradient is zero.
+        dscores = np.where(cache["key_mask"] > 0, dscores, 0.0)
+        dscores = dscores * scale
+
+        dqueries = dscores @ keys
+        dkeys = dscores.transpose(0, 1, 3, 2) @ queries
+
+        dx = self.query_proj.backward(self._merge_heads(dqueries))
+        dx = dx + self.key_proj.backward(self._merge_heads(dkeys))
+        dx = dx + self.value_proj.backward(self._merge_heads(dvalues))
+        return dx

@@ -1,0 +1,57 @@
+"""Batching helpers: padding, masks, and minibatch iteration."""
+
+from __future__ import annotations
+
+from collections.abc import Iterator, Sequence
+
+import numpy as np
+
+from repro.nn import precision
+
+
+def pad_sequences(
+    sequences: Sequence[Sequence[int]],
+    pad_value: int = 0,
+    max_len: int | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Pad variable-length id sequences into a dense batch.
+
+    Args:
+        sequences: list of integer sequences.
+        pad_value: fill value for padding positions.
+        max_len: optional hard cap; longer sequences are truncated.
+
+    Returns:
+        ``(ids, mask)`` — both ``(batch, time)``; ``mask`` is 1.0 on real
+        tokens and 0.0 on padding.
+    """
+    if not sequences:
+        raise ValueError("cannot pad an empty batch")
+    longest = max(len(seq) for seq in sequences)
+    width = min(longest, max_len) if max_len else longest
+    width = max(width, 1)
+    ids = np.full((len(sequences), width), pad_value, dtype=np.int64)
+    mask = np.zeros((len(sequences), width), dtype=precision.dtype())
+    for row, seq in enumerate(sequences):
+        clipped = list(seq)[:width]
+        ids[row, : len(clipped)] = clipped
+        mask[row, : len(clipped)] = 1.0
+    return ids, mask
+
+
+def iterate_minibatches(
+    num_items: int,
+    batch_size: int,
+    rng: np.random.Generator | None = None,
+) -> Iterator[np.ndarray]:
+    """Yield index arrays covering ``range(num_items)`` in batches.
+
+    Shuffles when ``rng`` is given (training); sequential otherwise (eval).
+    """
+    if batch_size <= 0:
+        raise ValueError("batch_size must be positive")
+    order = np.arange(num_items)
+    if rng is not None:
+        rng.shuffle(order)
+    for start in range(0, num_items, batch_size):
+        yield order[start : start + batch_size]

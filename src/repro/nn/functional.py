@@ -1,0 +1,44 @@
+"""Numerically stable activation and normalization functions."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+_SQRT_2_OVER_PI = math.sqrt(2.0 / math.pi)
+
+
+def gelu(x: np.ndarray) -> np.ndarray:
+    """GELU activation (tanh approximation, as used by BERT/RoBERTa)."""
+    inner = _SQRT_2_OVER_PI * (x + 0.044715 * x**3)
+    return 0.5 * x * (1.0 + np.tanh(inner))
+
+
+def gelu_grad(x: np.ndarray) -> np.ndarray:
+    """Derivative of :func:`gelu` with respect to its input."""
+    inner = _SQRT_2_OVER_PI * (x + 0.044715 * x**3)
+    tanh_inner = np.tanh(inner)
+    sech2 = 1.0 - tanh_inner**2
+    d_inner = _SQRT_2_OVER_PI * (1.0 + 3 * 0.044715 * x**2)
+    return 0.5 * (1.0 + tanh_inner) + 0.5 * x * sech2 * d_inner
+
+
+def softmax(x: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Stable softmax along ``axis``."""
+    shifted = x - np.max(x, axis=axis, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / np.sum(exp, axis=axis, keepdims=True)
+
+
+def log_softmax(x: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Stable log-softmax along ``axis``."""
+    shifted = x - np.max(x, axis=axis, keepdims=True)
+    return shifted - np.log(np.sum(np.exp(shifted), axis=axis, keepdims=True))
+
+
+def logsumexp(x: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Stable log-sum-exp along ``axis``."""
+    maximum = np.max(x, axis=axis, keepdims=True)
+    summed = np.log(np.sum(np.exp(x - maximum), axis=axis, keepdims=True))
+    return np.squeeze(maximum + summed, axis=axis)

@@ -1,0 +1,70 @@
+"""Softmax cross-entropy with ignore-index, returning loss and gradient."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.functional import log_softmax, softmax
+
+#: Target value excluded from the loss (padding / special positions).
+IGNORE_INDEX = -100
+
+
+def cross_entropy(
+    logits: np.ndarray,
+    targets: np.ndarray,
+    ignore_index: int = IGNORE_INDEX,
+    class_weights: np.ndarray | None = None,
+) -> tuple[float, np.ndarray]:
+    """Weighted mean softmax cross-entropy over non-ignored targets.
+
+    Args:
+        logits: ``(N, C)`` unnormalized scores.
+        targets: ``(N,)`` integer class ids; entries equal to
+            ``ignore_index`` contribute neither loss nor gradient.
+        class_weights: optional ``(C,)`` per-class loss weights. The usual
+            imbalanced-sequence-labeling remedy: most tokens are ``O``, so
+            down-weighting it keeps entity spans from collapsing.
+
+    Returns:
+        ``(loss, dlogits)`` where ``dlogits`` has shape ``(N, C)`` and is
+        already normalized (by the summed weights of valid targets) so it
+        can be fed straight into the model's backward pass.
+    """
+    logits = np.asarray(logits)
+    if not np.issubdtype(logits.dtype, np.floating):
+        logits = logits.astype(np.float64)
+    targets = np.asarray(targets)
+    if logits.ndim != 2 or targets.ndim != 1:
+        raise ValueError(
+            f"expected (N, C) logits and (N,) targets, got "
+            f"{logits.shape} and {targets.shape}"
+        )
+    valid = targets != ignore_index
+    if not valid.any():
+        return 0.0, np.zeros_like(logits)
+
+    safe_targets = np.where(valid, targets, 0)
+    if class_weights is None:
+        weights = valid.astype(logits.dtype)
+    else:
+        class_weights = np.asarray(class_weights, dtype=logits.dtype)
+        if class_weights.shape != (logits.shape[1],):
+            raise ValueError(
+                f"class_weights must have shape ({logits.shape[1]},), "
+                f"got {class_weights.shape}"
+            )
+        weights = np.where(valid, class_weights[safe_targets], 0.0)
+    total_weight = float(weights.sum())
+    if total_weight <= 0.0:
+        return 0.0, np.zeros_like(logits)
+
+    log_probs = log_softmax(logits, axis=-1)
+    picked = log_probs[np.arange(len(targets)), safe_targets]
+    loss = float(-(picked * weights).sum() / total_weight)
+
+    probs = softmax(logits, axis=-1)
+    dlogits = probs
+    dlogits[np.arange(len(targets)), safe_targets] -= 1.0
+    dlogits *= weights[:, None] / total_weight
+    return loss, dlogits

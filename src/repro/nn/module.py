@@ -1,0 +1,136 @@
+"""Parameter and Module base classes for the numpy DL substrate.
+
+A :class:`Parameter` couples a value array with its gradient accumulator.
+A :class:`Module` discovers parameters and sub-modules through its instance
+attributes (the same convention as torch.nn.Module) and provides traversal,
+train/eval mode switching, and state-dict (de)serialization.
+
+Modules implement ``forward`` (caching whatever the backward pass needs on
+``self``) and ``backward`` (consuming the upstream gradient, accumulating
+parameter gradients, and returning the gradient w.r.t. the input).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+import numpy as np
+
+from repro.nn import precision
+
+
+class Parameter:
+    """A trainable array with a gradient accumulator of the same shape."""
+
+    def __init__(self, value: np.ndarray) -> None:
+        self.value = np.asarray(value, dtype=precision.dtype())
+        self.grad = np.zeros_like(self.value)
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self.value.shape
+
+    def zero_grad(self) -> None:
+        self.grad.fill(0.0)
+
+    def __repr__(self) -> str:
+        return f"Parameter(shape={self.value.shape})"
+
+
+class Module:
+    """Base class with parameter traversal and train/eval mode."""
+
+    def __init__(self) -> None:
+        self.training = True
+
+    # -- traversal ----------------------------------------------------------
+
+    def named_parameters(self, prefix: str = "") -> Iterator[tuple[str, Parameter]]:
+        """Yield ``(dotted_name, parameter)`` for this module and children."""
+        for name, attr in vars(self).items():
+            full_name = f"{prefix}{name}"
+            if isinstance(attr, Parameter):
+                yield full_name, attr
+            elif isinstance(attr, Module):
+                yield from attr.named_parameters(f"{full_name}.")
+            elif isinstance(attr, (list, tuple)):
+                for index, item in enumerate(attr):
+                    if isinstance(item, Module):
+                        yield from item.named_parameters(
+                            f"{full_name}.{index}."
+                        )
+
+    def parameters(self) -> list[Parameter]:
+        """All parameters of this module and its descendants."""
+        return [param for __, param in self.named_parameters()]
+
+    def modules(self) -> Iterator["Module"]:
+        """Yield this module and all descendant modules."""
+        yield self
+        for attr in vars(self).values():
+            if isinstance(attr, Module):
+                yield from attr.modules()
+            elif isinstance(attr, (list, tuple)):
+                for item in attr:
+                    if isinstance(item, Module):
+                        yield from item.modules()
+
+    # -- mode / grads --------------------------------------------------------
+
+    def train(self) -> "Module":
+        """Switch this module and all descendants to training mode."""
+        for module in self.modules():
+            module.training = True
+        return self
+
+    def eval(self) -> "Module":
+        """Switch this module and all descendants to inference mode."""
+        for module in self.modules():
+            module.training = False
+        return self
+
+    def zero_grad(self) -> None:
+        """Reset the gradient accumulators of every parameter."""
+        for param in self.parameters():
+            param.zero_grad()
+
+    def num_parameters(self) -> int:
+        """Total number of scalar parameters."""
+        return sum(param.value.size for param in self.parameters())
+
+    # -- state dict ------------------------------------------------------------
+
+    def state_dict(self) -> dict[str, np.ndarray]:
+        """Copy of every parameter value, keyed by dotted name."""
+        return {
+            name: param.value.copy()
+            for name, param in self.named_parameters()
+        }
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        """Load parameter values saved by :meth:`state_dict` (strict)."""
+        own = dict(self.named_parameters())
+        missing = set(own) - set(state)
+        unexpected = set(state) - set(own)
+        if missing or unexpected:
+            raise KeyError(
+                f"state dict mismatch: missing={sorted(missing)}, "
+                f"unexpected={sorted(unexpected)}"
+            )
+        for name, param in own.items():
+            value = np.asarray(state[name], dtype=precision.dtype())
+            if value.shape != param.value.shape:
+                raise ValueError(
+                    f"shape mismatch for {name}: "
+                    f"{value.shape} vs {param.value.shape}"
+                )
+            param.value = value.copy()
+            param.grad = np.zeros_like(param.value)
+
+    # -- call sugar ---------------------------------------------------------------
+
+    def __call__(self, *args, **kwargs):
+        return self.forward(*args, **kwargs)
+
+    def forward(self, *args, **kwargs):  # pragma: no cover - interface
+        raise NotImplementedError

@@ -1,0 +1,110 @@
+"""Optimizers (Adam, AdamW), gradient clipping, and LR schedules.
+
+The paper's default fine-tuning setup (Section 3.3) is Adam with a learning
+rate of 5e-5, batch size 16, for up to 10 epochs; those defaults live in
+``repro.core.extractor`` — this module only supplies the machinery.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.nn.module import Parameter
+
+
+def clip_grad_norm(params: Sequence[Parameter], max_norm: float) -> float:
+    """Scale gradients in place so their global L2 norm is <= ``max_norm``.
+
+    Returns the pre-clipping norm.
+    """
+    total = math.sqrt(
+        sum(float(np.sum(param.grad**2)) for param in params)
+    )
+    if total > max_norm > 0:
+        scale = max_norm / (total + 1e-12)
+        for param in params:
+            param.grad *= scale
+    return total
+
+
+class Adam:
+    """Adam optimizer (Kingma & Ba, 2015) with optional coupled L2."""
+
+    def __init__(
+        self,
+        params: Sequence[Parameter],
+        lr: float = 1e-3,
+        betas: tuple[float, float] = (0.9, 0.999),
+        eps: float = 1e-8,
+        weight_decay: float = 0.0,
+    ) -> None:
+        self.params = list(params)
+        self.lr = lr
+        self.beta1, self.beta2 = betas
+        self.eps = eps
+        self.weight_decay = weight_decay
+        self.step_count = 0
+        self._m = [np.zeros_like(p.value) for p in self.params]
+        self._v = [np.zeros_like(p.value) for p in self.params]
+
+    def _effective_grad(self, param: Parameter) -> np.ndarray:
+        if self.weight_decay:
+            return param.grad + self.weight_decay * param.value
+        return param.grad
+
+    def step(self, lr_scale: float = 1.0) -> None:
+        """Apply one update; ``lr_scale`` multiplies the base LR (schedules)."""
+        self.step_count += 1
+        bias1 = 1.0 - self.beta1**self.step_count
+        bias2 = 1.0 - self.beta2**self.step_count
+        lr = self.lr * lr_scale
+        for index, param in enumerate(self.params):
+            grad = self._effective_grad(param)
+            self._m[index] = self.beta1 * self._m[index] + (1 - self.beta1) * grad
+            self._v[index] = self.beta2 * self._v[index] + (1 - self.beta2) * grad**2
+            m_hat = self._m[index] / bias1
+            v_hat = self._v[index] / bias2
+            param.value -= lr * m_hat / (np.sqrt(v_hat) + self.eps)
+            self._decoupled_decay(param, lr)
+
+    def _decoupled_decay(self, param: Parameter, lr: float) -> None:
+        """Hook for AdamW; plain Adam does nothing extra."""
+
+    def zero_grad(self) -> None:
+        """Reset gradients of all managed parameters."""
+        for param in self.params:
+            param.zero_grad()
+
+
+class AdamW(Adam):
+    """Adam with decoupled weight decay (Loshchilov & Hutter, 2019)."""
+
+    def _effective_grad(self, param: Parameter) -> np.ndarray:
+        return param.grad  # decay applied directly to weights instead
+
+    def _decoupled_decay(self, param: Parameter, lr: float) -> None:
+        if self.weight_decay:
+            param.value -= lr * self.weight_decay * param.value
+
+
+class LinearWarmupDecay:
+    """LR factor: linear warmup to 1.0, then linear decay to ``floor``."""
+
+    def __init__(
+        self, warmup_steps: int, total_steps: int, floor: float = 0.0
+    ) -> None:
+        if total_steps <= 0:
+            raise ValueError("total_steps must be positive")
+        self.warmup_steps = max(0, warmup_steps)
+        self.total_steps = total_steps
+        self.floor = floor
+
+    def __call__(self, step: int) -> float:
+        if self.warmup_steps and step < self.warmup_steps:
+            return (step + 1) / self.warmup_steps
+        remaining = max(0, self.total_steps - step)
+        decay_span = max(1, self.total_steps - self.warmup_steps)
+        return max(self.floor, remaining / decay_span)

@@ -1,0 +1,25 @@
+"""Global compute precision for the numpy DL substrate.
+
+Training runs in float32 by default (about 2x faster on this substrate's
+matmul-bound workloads). Gradient-checking tests switch to float64, where
+central differences are meaningful.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+_DTYPE = np.float32
+
+
+def dtype() -> type:
+    """The current compute dtype for parameters and activations."""
+    return _DTYPE
+
+
+def set_dtype(new_dtype) -> None:
+    """Set the global compute dtype (float32 or float64)."""
+    global _DTYPE
+    if new_dtype not in (np.float32, np.float64):
+        raise ValueError("dtype must be numpy float32 or float64")
+    _DTYPE = new_dtype

@@ -1,0 +1,22 @@
+"""State-dict persistence via ``.npz`` archives."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.nn.module import Module
+
+
+def save_state(module: Module, path: str | Path) -> None:
+    """Save a module's parameters to an ``.npz`` archive."""
+    state = module.state_dict()
+    np.savez(Path(path), **state)
+
+
+def load_state(module: Module, path: str | Path) -> None:
+    """Load parameters saved by :func:`save_state` into ``module``."""
+    with np.load(Path(path)) as archive:
+        state = {name: archive[name] for name in archive.files}
+    module.load_state_dict(state)

@@ -1,0 +1,25 @@
+"""Semantic normalization of extracted detail values.
+
+The paper names "normalization or categorization of actions and amounts"
+as the natural extension enabling "more fine-grained analysis and
+benchmarking across companies" (Section 2.4). This package implements it:
+raw extracted strings become typed values — amounts to numeric magnitudes
+with units, years to integers, actions to canonical change directions —
+so the objective database supports numeric filtering and comparison.
+"""
+
+from repro.normalize.amounts import AmountKind, NormalizedAmount, normalize_amount
+from repro.normalize.years import normalize_year
+from repro.normalize.actions import ActionDirection, normalize_action
+from repro.normalize.records import NormalizedDetails, normalize_details
+
+__all__ = [
+    "AmountKind",
+    "NormalizedAmount",
+    "normalize_amount",
+    "normalize_year",
+    "ActionDirection",
+    "normalize_action",
+    "NormalizedDetails",
+    "normalize_details",
+]

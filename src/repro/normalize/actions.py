@@ -1,0 +1,87 @@
+"""Categorize action verbs by their change direction.
+
+The categorization axis the paper suggests for actions: does the objective
+*decrease* something (emissions, waste), *increase* something
+(renewables, diversity), *reach a state* (net-zero, certification), or
+*maintain/establish a practice*.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class ActionDirection(enum.Enum):
+    """Canonical change direction of an objective's action."""
+
+    DECREASE = "decrease"
+    INCREASE = "increase"
+    ACHIEVE = "achieve"
+    TRANSFORM = "transform"
+    MAINTAIN = "maintain"
+    ENGAGE = "engage"
+    UNKNOWN = "unknown"
+
+
+_DIRECTION_LEXICON: dict[ActionDirection, frozenset[str]] = {
+    ActionDirection.DECREASE: frozenset(
+        {
+            "reduce", "cut", "lower", "decrease", "eliminate", "halve",
+            "divert", "prevent", "offset", "minimize", "phase",
+        }
+    ),
+    ActionDirection.INCREASE: frozenset(
+        {
+            "increase", "expand", "double", "triple", "grow", "raise",
+            "boost", "scale", "accelerate", "extend", "plant", "invest",
+            "donate", "train", "empower", "promote", "advance", "source",
+            "procure", "recycle", "restore", "replenish", "recover",
+        }
+    ),
+    ActionDirection.ACHIEVE: frozenset(
+        {"achieve", "reach", "deliver", "attain", "complete", "certify"}
+    ),
+    ActionDirection.TRANSFORM: frozenset(
+        {
+            "transition", "convert", "switch", "redesign", "shift",
+            "substitute", "transform", "integrate", "embed", "incorporate",
+            "implement", "install", "launch", "establish", "develop",
+            "define", "align", "link", "make",
+        }
+    ),
+    ActionDirection.MAINTAIN: frozenset(
+        {"maintain", "keep", "preserve", "protect", "conserve", "sustain"}
+    ),
+    ActionDirection.ENGAGE: frozenset(
+        {
+            "engage", "support", "join", "audit", "assess", "publish",
+            "share", "explore", "demonstrate", "pursue", "perform",
+            "strengthen", "improve", "co-found", "use", "uses",
+        }
+    ),
+}
+
+
+def normalize_action(raw: str) -> ActionDirection:
+    """Map an action value to its change direction.
+
+    Strips modals ("will install" -> "install") and inflection
+    ("reducing" -> "reduce") before lookup.
+    """
+    if not raw or not raw.strip():
+        return ActionDirection.UNKNOWN
+    words = [w for w in raw.lower().split() if w not in ("will", "be", "to")]
+    if not words:
+        return ActionDirection.UNKNOWN
+    verb = words[0]
+    candidates = [verb]
+    if verb.endswith("ing") and len(verb) > 5:
+        candidates += [verb[:-3], verb[:-3] + "e"]
+    if verb.endswith("ed") and len(verb) > 4:
+        candidates += [verb[:-2], verb[:-1]]
+    if verb.endswith("s") and len(verb) > 3:
+        candidates.append(verb[:-1])
+    for direction, verbs in _DIRECTION_LEXICON.items():
+        if any(candidate in verbs for candidate in candidates):
+            return direction
+    return ActionDirection.UNKNOWN

@@ -1,0 +1,121 @@
+"""Normalize amount strings to typed magnitudes.
+
+Handles the surface forms the corpus (and the paper's Tables 1/6/7)
+contain: percentages ("20%", "25 percent"), absolute counts with
+multipliers ("1 million", "10,000", "500"), monetary values
+("$50 million"), physical quantities ("1.5 million tonnes"), net-zero
+style pledges ("net-zero", "carbon neutral", "Zero"), and relative words
+("double", "halve").
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import re
+
+
+class AmountKind(enum.Enum):
+    """The semantic type of an amount value."""
+
+    PERCENT = "percent"
+    COUNT = "count"
+    MONEY = "money"
+    MASS = "mass"
+    NET_ZERO = "net_zero"
+    MULTIPLIER = "multiplier"
+    UNKNOWN = "unknown"
+
+
+@dataclasses.dataclass(frozen=True)
+class NormalizedAmount:
+    """A typed amount: kind + magnitude (+ unit where applicable)."""
+
+    kind: AmountKind
+    value: float | None = None
+    unit: str = ""
+    raw: str = ""
+
+    @property
+    def is_quantified(self) -> bool:
+        return self.value is not None
+
+
+_MULTIPLIERS = {
+    "thousand": 1e3,
+    "million": 1e6,
+    "billion": 1e9,
+    "trillion": 1e12,
+}
+
+_NET_ZERO_RE = re.compile(
+    r"^(net[\s-]?zero|carbon[\s-]?neutral(ity)?|climate[\s-]?neutral(ity)?"
+    r"|zero)\b",
+    re.IGNORECASE,
+)
+_PERCENT_RE = re.compile(
+    r"^(?P<number>\d+(?:[.,]\d+)?)\s*(?:%|(?:percent|per\s?cent)\b)",
+    re.IGNORECASE,
+)
+# Comma-grouped form first (requires a comma), then plain decimal — ordered
+# alternation would otherwise stop "1.5" at "1".
+_NUMBER_RE = re.compile(r"^(?P<number>\d{1,3}(?:,\d{3})+|\d+(?:\.\d+)?)")
+_RELATIVE_WORDS = {
+    "double": 2.0,
+    "triple": 3.0,
+    "halve": 0.5,
+    "half": 0.5,
+}
+_MASS_UNITS = ("tonnes", "tons", "tonne", "ton", "kg", "kilograms", "mwh")
+
+
+def _parse_number(text: str) -> float:
+    return float(text.replace(",", ""))
+
+
+def normalize_amount(raw: str) -> NormalizedAmount:
+    """Normalize a raw amount string; UNKNOWN kind when unparseable."""
+    text = (raw or "").strip()
+    if not text:
+        return NormalizedAmount(AmountKind.UNKNOWN, raw=raw)
+    lowered = text.lower()
+
+    if _NET_ZERO_RE.match(lowered):
+        return NormalizedAmount(AmountKind.NET_ZERO, value=0.0, raw=raw)
+
+    if lowered in _RELATIVE_WORDS:
+        return NormalizedAmount(
+            AmountKind.MULTIPLIER, value=_RELATIVE_WORDS[lowered], raw=raw
+        )
+
+    percent = _PERCENT_RE.match(lowered)
+    if percent:
+        return NormalizedAmount(
+            AmountKind.PERCENT,
+            value=_parse_number(percent.group("number")),
+            unit="%",
+            raw=raw,
+        )
+
+    money = lowered.startswith("$")
+    body = lowered[1:].strip() if money else lowered
+    number = _NUMBER_RE.match(body)
+    if not number:
+        return NormalizedAmount(AmountKind.UNKNOWN, raw=raw)
+    value = _parse_number(number.group("number"))
+    remainder = body[number.end():].strip()
+
+    for word, factor in _MULTIPLIERS.items():
+        if remainder.startswith(word):
+            value *= factor
+            remainder = remainder[len(word):].strip()
+            break
+
+    if money:
+        return NormalizedAmount(AmountKind.MONEY, value=value, unit="USD", raw=raw)
+    for unit in _MASS_UNITS:
+        if remainder.startswith(unit):
+            return NormalizedAmount(
+                AmountKind.MASS, value=value, unit=unit, raw=raw
+            )
+    return NormalizedAmount(AmountKind.COUNT, value=value, raw=raw)

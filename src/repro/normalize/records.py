@@ -1,0 +1,47 @@
+"""Normalize a full extracted-details record into typed values."""
+
+from __future__ import annotations
+
+import dataclasses
+from collections.abc import Mapping
+
+from repro.normalize.actions import ActionDirection, normalize_action
+from repro.normalize.amounts import NormalizedAmount, normalize_amount
+from repro.normalize.years import normalize_year
+
+
+@dataclasses.dataclass(frozen=True)
+class NormalizedDetails:
+    """Typed view of one objective's extracted details."""
+
+    action: ActionDirection
+    amount: NormalizedAmount
+    qualifier: str
+    baseline_year: int | None
+    deadline_year: int | None
+
+    @property
+    def horizon_years(self) -> int | None:
+        """Deadline minus baseline, when both are present."""
+        if self.baseline_year is None or self.deadline_year is None:
+            return None
+        return self.deadline_year - self.baseline_year
+
+    @property
+    def is_time_bound(self) -> bool:
+        return self.deadline_year is not None
+
+    @property
+    def is_quantified(self) -> bool:
+        return self.amount.is_quantified
+
+
+def normalize_details(details: Mapping[str, str]) -> NormalizedDetails:
+    """Normalize a raw detail dict (the extractor's output schema)."""
+    return NormalizedDetails(
+        action=normalize_action(details.get("Action", "")),
+        amount=normalize_amount(details.get("Amount", "")),
+        qualifier=(details.get("Qualifier", "") or "").strip(),
+        baseline_year=normalize_year(details.get("Baseline", "")),
+        deadline_year=normalize_year(details.get("Deadline", "")),
+    )

@@ -1,0 +1,20 @@
+"""Normalize baseline/deadline strings to integer years."""
+
+from __future__ import annotations
+
+import re
+
+_YEAR_RE = re.compile(r"\b((?:19|20)\d\d)\b")
+
+
+def normalize_year(raw: str) -> int | None:
+    """Extract the year from a baseline/deadline value.
+
+    Values are usually bare years ("2025") but deployment data also
+    produces phrases ("the end of 2025", "By 2023"). Returns ``None`` when
+    no plausible year is present.
+    """
+    if not raw:
+        return None
+    match = _YEAR_RE.search(raw)
+    return int(match.group(1)) if match else None

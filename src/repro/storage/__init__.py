@@ -1,0 +1,30 @@
+"""Structured objective database (the paper's motivating use case).
+
+Domain experts "store these structured data in databases to compare
+different target companies, monitor their progress toward their
+sustainability goals, and evaluate companies" (Section 5.1). This package
+provides that database: a SQLite-backed store with a typed schema over the
+five key details, plus the monitoring/comparison queries the paper
+describes (specificity, deadline timelines, company comparison).
+"""
+
+from repro.storage.store import ObjectiveStore, StoredObjective
+from repro.storage.monitor import (
+    company_comparison,
+    deadline_timeline,
+    horizon_statistics,
+    net_zero_pledges,
+    reduction_targets,
+    specificity_ranking,
+)
+
+__all__ = [
+    "ObjectiveStore",
+    "StoredObjective",
+    "company_comparison",
+    "deadline_timeline",
+    "horizon_statistics",
+    "net_zero_pledges",
+    "reduction_targets",
+    "specificity_ranking",
+]

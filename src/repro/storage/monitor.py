@@ -1,0 +1,145 @@
+"""Analyst monitoring queries over the objective store.
+
+These implement the analyses the paper attributes to domain experts
+(Section 5.1): comparing companies, ranking them by how *specific* their
+objectives are (exact amounts and timelines), and building deadline
+timelines so claimed commitments can be tracked over time.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.storage.store import ObjectiveStore
+
+
+@dataclasses.dataclass(frozen=True)
+class CompanyStats:
+    """Aggregate per-company extraction statistics."""
+
+    company: str
+    objectives: int
+    with_amount: int
+    with_deadline: int
+    with_baseline: int
+    mean_specificity: float
+
+
+def company_comparison(store: ObjectiveStore) -> list[CompanyStats]:
+    """Per-company aggregates, ordered by objective count (descending)."""
+    cursor = store.connection.execute(
+        """
+        SELECT company,
+               COUNT(*),
+               SUM(amount != ''),
+               SUM(deadline != ''),
+               SUM(baseline != ''),
+               AVG((action != '') + (amount != '') + (qualifier != '')
+                   + (baseline != '') + (deadline != ''))
+        FROM objectives
+        GROUP BY company
+        ORDER BY COUNT(*) DESC
+        """
+    )
+    return [
+        CompanyStats(
+            company=row[0],
+            objectives=int(row[1]),
+            with_amount=int(row[2] or 0),
+            with_deadline=int(row[3] or 0),
+            with_baseline=int(row[4] or 0),
+            mean_specificity=float(row[5] or 0.0),
+        )
+        for row in cursor.fetchall()
+    ]
+
+
+def specificity_ranking(store: ObjectiveStore) -> list[tuple[str, float]]:
+    """Companies ranked by mean specificity of their objectives.
+
+    The paper singles out companies "more specific in terms of indicating
+    the exact amount of change and the timeline" (C12, C13 in Table 6).
+    """
+    stats = company_comparison(store)
+    return sorted(
+        ((s.company, s.mean_specificity) for s in stats),
+        key=lambda item: item[1],
+        reverse=True,
+    )
+
+
+def deadline_timeline(store: ObjectiveStore) -> dict[str, int]:
+    """Number of commitments falling due per deadline year."""
+    cursor = store.connection.execute(
+        """
+        SELECT deadline, COUNT(*)
+        FROM objectives
+        WHERE deadline != ''
+        GROUP BY deadline
+        ORDER BY deadline
+        """
+    )
+    return {row[0]: int(row[1]) for row in cursor.fetchall()}
+
+
+def net_zero_pledges(store: ObjectiveStore) -> list[tuple[str, int | None]]:
+    """Companies with net-zero style pledges and their (typed) deadline.
+
+    Uses the normalized ``amount_kind``/``deadline_year`` columns, so the
+    query is robust to surface-form variety ("net-zero", "net zero",
+    "carbon neutral", "Zero").
+    """
+    cursor = store.connection.execute(
+        """
+        SELECT company, deadline_year
+        FROM objectives
+        WHERE amount_kind = 'net_zero'
+        ORDER BY deadline_year IS NULL, deadline_year, company
+        """
+    )
+    return [(row[0], row[1]) for row in cursor.fetchall()]
+
+
+def reduction_targets(
+    store: ObjectiveStore, min_percent: float = 0.0
+) -> list[tuple[str, float, int | None]]:
+    """Quantified percentage reductions: (company, percent, deadline year).
+
+    The analyst query behind "which companies commit to cutting at least
+    X% of something, and by when" — only possible on normalized columns.
+    """
+    cursor = store.connection.execute(
+        """
+        SELECT company, amount_value, deadline_year
+        FROM objectives
+        WHERE amount_kind = 'percent'
+          AND action_direction = 'decrease'
+          AND amount_value >= ?
+        ORDER BY amount_value DESC
+        """,
+        (min_percent,),
+    )
+    return [(row[0], float(row[1]), row[2]) for row in cursor.fetchall()]
+
+
+def horizon_statistics(store: ObjectiveStore) -> dict[str, float]:
+    """Aggregate statistics of commitment horizons (deadline - baseline)."""
+    cursor = store.connection.execute(
+        """
+        SELECT COUNT(*),
+               AVG(deadline_year - baseline_year),
+               MIN(deadline_year - baseline_year),
+               MAX(deadline_year - baseline_year)
+        FROM objectives
+        WHERE deadline_year IS NOT NULL AND baseline_year IS NOT NULL
+        """
+    )
+    count, mean, minimum, maximum = cursor.fetchone()
+    if not count:
+        return {"count": 0.0, "mean": 0.0, "min": 0.0, "max": 0.0}
+    return {
+        "count": float(count),
+        "mean": float(mean),
+        "min": float(minimum),
+        "max": float(maximum),
+    }

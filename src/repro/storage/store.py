@@ -1,0 +1,240 @@
+"""SQLite-backed store for extracted sustainability objectives."""
+
+from __future__ import annotations
+
+import dataclasses
+import sqlite3
+from collections.abc import Iterable, Sequence
+from pathlib import Path
+
+from repro.goalspotter.pipeline import ExtractedRecord
+from repro.normalize import normalize_details
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS objectives (
+    id INTEGER PRIMARY KEY AUTOINCREMENT,
+    company TEXT NOT NULL,
+    report_id TEXT NOT NULL,
+    page INTEGER NOT NULL,
+    objective TEXT NOT NULL,
+    action TEXT NOT NULL DEFAULT '',
+    amount TEXT NOT NULL DEFAULT '',
+    qualifier TEXT NOT NULL DEFAULT '',
+    baseline TEXT NOT NULL DEFAULT '',
+    deadline TEXT NOT NULL DEFAULT '',
+    score REAL NOT NULL DEFAULT 0.0,
+    -- normalized (typed) columns, populated on insert:
+    action_direction TEXT NOT NULL DEFAULT 'unknown',
+    amount_kind TEXT NOT NULL DEFAULT 'unknown',
+    amount_value REAL,
+    baseline_year INTEGER,
+    deadline_year INTEGER
+);
+CREATE INDEX IF NOT EXISTS idx_objectives_company ON objectives (company);
+CREATE INDEX IF NOT EXISTS idx_objectives_deadline ON objectives (deadline);
+CREATE INDEX IF NOT EXISTS idx_objectives_deadline_year
+    ON objectives (deadline_year);
+"""
+
+_FIELD_COLUMNS = {
+    "Action": "action",
+    "Amount": "amount",
+    "Qualifier": "qualifier",
+    "Baseline": "baseline",
+    "Deadline": "deadline",
+}
+
+
+@dataclasses.dataclass(frozen=True)
+class StoredObjective:
+    """A row read back from the objectives table."""
+
+    id: int
+    company: str
+    report_id: str
+    page: int
+    objective: str
+    action: str
+    amount: str
+    qualifier: str
+    baseline: str
+    deadline: str
+    score: float
+    action_direction: str = "unknown"
+    amount_kind: str = "unknown"
+    amount_value: float | None = None
+    baseline_year: int | None = None
+    deadline_year: int | None = None
+
+    @property
+    def details(self) -> dict[str, str]:
+        return {
+            "Action": self.action,
+            "Amount": self.amount,
+            "Qualifier": self.qualifier,
+            "Baseline": self.baseline,
+            "Deadline": self.deadline,
+        }
+
+    @property
+    def specificity(self) -> int:
+        """How many of the five key details are filled (paper Section 5.1:
+        companies 'more specific in terms of indicating the exact amount of
+        change and the timeline')."""
+        return sum(1 for value in self.details.values() if value)
+
+
+class ObjectiveStore:
+    """A structured database of extracted sustainability objectives.
+
+    Use as a context manager or call :meth:`close` explicitly. Pass
+    ``":memory:"`` (default) for an ephemeral store.
+    """
+
+    def __init__(self, path: str | Path = ":memory:") -> None:
+        self._conn = sqlite3.connect(str(path))
+        self._conn.executescript(_SCHEMA)
+        self._conn.commit()
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def close(self) -> None:
+        self._conn.close()
+
+    def __enter__(self) -> "ObjectiveStore":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    @property
+    def connection(self) -> sqlite3.Connection:
+        """The underlying connection (for ad-hoc analyst queries)."""
+        return self._conn
+
+    # -- writes ----------------------------------------------------------------
+
+    def insert_records(self, records: Iterable[ExtractedRecord]) -> int:
+        """Insert pipeline records (normalizing on the way in).
+
+        Returns the number of rows added.
+        """
+        rows = []
+        for record in records:
+            normalized = normalize_details(record.details)
+            rows.append(
+                (
+                    record.company,
+                    record.report_id,
+                    record.page,
+                    record.objective,
+                    record.details.get("Action", ""),
+                    record.details.get("Amount", ""),
+                    record.details.get("Qualifier", ""),
+                    record.details.get("Baseline", ""),
+                    record.details.get("Deadline", ""),
+                    record.score,
+                    normalized.action.value,
+                    normalized.amount.kind.value,
+                    normalized.amount.value,
+                    normalized.baseline_year,
+                    normalized.deadline_year,
+                )
+            )
+        with self._conn:
+            self._conn.executemany(
+                "INSERT INTO objectives (company, report_id, page, objective,"
+                " action, amount, qualifier, baseline, deadline, score,"
+                " action_direction, amount_kind, amount_value,"
+                " baseline_year, deadline_year)"
+                " VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+                rows,
+            )
+        return len(rows)
+
+    # -- reads -----------------------------------------------------------------
+
+    @staticmethod
+    def _row_to_objective(row: Sequence) -> StoredObjective:
+        return StoredObjective(*row)
+
+    def count(self, company: str | None = None) -> int:
+        if company is None:
+            cursor = self._conn.execute("SELECT COUNT(*) FROM objectives")
+        else:
+            cursor = self._conn.execute(
+                "SELECT COUNT(*) FROM objectives WHERE company = ?",
+                (company,),
+            )
+        return int(cursor.fetchone()[0])
+
+    def companies(self) -> list[str]:
+        cursor = self._conn.execute(
+            "SELECT DISTINCT company FROM objectives ORDER BY company"
+        )
+        return [row[0] for row in cursor.fetchall()]
+
+    def query(
+        self,
+        company: str | None = None,
+        has_field: str | None = None,
+        deadline_before: str | None = None,
+        deadline_after: str | None = None,
+        min_score: float | None = None,
+        limit: int | None = None,
+        order_by_score: bool = False,
+    ) -> list[StoredObjective]:
+        """Filter objectives on the structured columns.
+
+        Args:
+            company: exact company filter.
+            has_field: schema field name that must be non-empty
+                (e.g. ``"Deadline"``).
+            deadline_before / deadline_after: lexicographic year bounds
+                (years are 4-digit strings, so this is chronological).
+            min_score: minimum detector confidence.
+            limit: cap on returned rows.
+            order_by_score: sort by detector confidence, best first.
+        """
+        clauses: list[str] = []
+        params: list = []
+        if company is not None:
+            clauses.append("company = ?")
+            params.append(company)
+        if has_field is not None:
+            column = _FIELD_COLUMNS.get(has_field)
+            if column is None:
+                raise KeyError(f"unknown field {has_field!r}")
+            clauses.append(f"{column} != ''")
+        if deadline_before is not None:
+            clauses.append("deadline != '' AND deadline <= ?")
+            params.append(deadline_before)
+        if deadline_after is not None:
+            clauses.append("deadline != '' AND deadline >= ?")
+            params.append(deadline_after)
+        if min_score is not None:
+            clauses.append("score >= ?")
+            params.append(min_score)
+        sql = "SELECT * FROM objectives"
+        if clauses:
+            sql += " WHERE " + " AND ".join(clauses)
+        if order_by_score:
+            sql += " ORDER BY score DESC"
+        if limit is not None:
+            sql += " LIMIT ?"
+            params.append(limit)
+        cursor = self._conn.execute(sql, params)
+        return [self._row_to_objective(row) for row in cursor.fetchall()]
+
+    def field_fill_rates(self) -> dict[str, float]:
+        """Fraction of stored objectives with each detail filled."""
+        total = self.count()
+        if total == 0:
+            return {field: 0.0 for field in _FIELD_COLUMNS}
+        rates: dict[str, float] = {}
+        for field, column in _FIELD_COLUMNS.items():
+            cursor = self._conn.execute(
+                f"SELECT COUNT(*) FROM objectives WHERE {column} != ''"
+            )
+            rates[field] = int(cursor.fetchone()[0]) / total
+        return rates

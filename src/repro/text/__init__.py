@@ -1,0 +1,24 @@
+"""Text processing substrate: normalization, tokenization, and BPE.
+
+This package provides the preprocessing stack described in Section 3.2 of the
+paper: GoalSpotter-style text normalization, a word-level tokenizer that keeps
+character offsets (required to align annotations with the source text), and a
+trainable Byte-Pair Encoding subword tokenizer in the style of
+Sennrich et al. (2016).
+"""
+
+from repro.text.normalize import NormalizerConfig, TextNormalizer
+from repro.text.words import Token, WordTokenizer
+from repro.text.vocab import Vocabulary
+from repro.text.bpe import BpeTokenizer, SubwordEncoding, train_bpe
+
+__all__ = [
+    "NormalizerConfig",
+    "TextNormalizer",
+    "Token",
+    "WordTokenizer",
+    "Vocabulary",
+    "BpeTokenizer",
+    "SubwordEncoding",
+    "train_bpe",
+]

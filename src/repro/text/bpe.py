@@ -1,0 +1,269 @@
+"""Trainable Byte-Pair Encoding subword tokenizer.
+
+Implements the subword mechanism of Sennrich et al. (2016) that the paper
+relies on (Section 3.2): merges are learned greedily from corpus statistics,
+and encoding applies them in learned order. Every emitted piece remembers the
+index of the word it came from (``word_ids``), which is what lets the weak
+supervision pipeline project word-level IOB labels onto subword pieces and
+back (see ``repro.core.alignment``).
+
+Pieces use an explicit end-of-word marker (``</w>``) appended to the final
+character of each word, so decoding is exact and unknown words degrade
+gracefully to character pieces instead of a single ``<unk>``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from collections import Counter
+from collections.abc import Iterable, Sequence
+from pathlib import Path
+
+from repro.text.vocab import Vocabulary
+
+END_OF_WORD = "</w>"
+
+
+@dataclasses.dataclass(frozen=True)
+class SubwordEncoding:
+    """The result of encoding a word sequence into subword pieces.
+
+    Attributes:
+        pieces: subword strings, e.g. ``["redu", "ce</w>", "20%</w>"]``.
+        ids: vocabulary ids, aligned with ``pieces``.
+        word_ids: for each piece, the index of the source word it belongs to.
+    """
+
+    pieces: tuple[str, ...]
+    ids: tuple[int, ...]
+    word_ids: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if not (len(self.pieces) == len(self.ids) == len(self.word_ids)):
+            raise ValueError("pieces, ids and word_ids must be parallel")
+
+    def __len__(self) -> int:
+        return len(self.pieces)
+
+
+def _word_to_symbols(word: str) -> tuple[str, ...]:
+    """Split a word into its initial symbol sequence (chars + eow marker)."""
+    if not word:
+        raise ValueError("cannot encode an empty word")
+    chars = list(word)
+    chars[-1] += END_OF_WORD
+    return tuple(chars)
+
+
+def _count_pairs(
+    word_symbols: dict[tuple[str, ...], int],
+) -> Counter[tuple[str, str]]:
+    pairs: Counter[tuple[str, str]] = Counter()
+    for symbols, count in word_symbols.items():
+        for left, right in zip(symbols, symbols[1:]):
+            pairs[(left, right)] += count
+    return pairs
+
+
+def _merge_symbols(
+    symbols: tuple[str, ...], pair: tuple[str, str]
+) -> tuple[str, ...]:
+    merged: list[str] = []
+    i = 0
+    while i < len(symbols):
+        if (
+            i + 1 < len(symbols)
+            and symbols[i] == pair[0]
+            and symbols[i + 1] == pair[1]
+        ):
+            merged.append(symbols[i] + symbols[i + 1])
+            i += 2
+        else:
+            merged.append(symbols[i])
+            i += 1
+    return tuple(merged)
+
+
+def train_bpe(
+    words: Iterable[str],
+    num_merges: int = 1000,
+    min_pair_count: int = 2,
+) -> list[tuple[str, str]]:
+    """Learn a ranked list of BPE merges from a word stream.
+
+    Args:
+        words: corpus word stream (duplicates matter — they are counted).
+        num_merges: maximum number of merges to learn.
+        min_pair_count: stop once the most frequent pair falls below this.
+
+    Returns:
+        Merges in learned (priority) order.
+    """
+    word_counts = Counter(word for word in words if word)
+    word_symbols: dict[tuple[str, ...], int] = {
+        _word_to_symbols(word): count for word, count in word_counts.items()
+    }
+    merges: list[tuple[str, str]] = []
+    for _ in range(num_merges):
+        pairs = _count_pairs(word_symbols)
+        if not pairs:
+            break
+        # Deterministic tie-break: highest count, then lexicographic.
+        best_pair, best_count = max(
+            pairs.items(), key=lambda item: (item[1], item[0])
+        )
+        if best_count < min_pair_count:
+            break
+        merges.append(best_pair)
+        word_symbols = {
+            _merge_symbols(symbols, best_pair): count
+            for symbols, count in word_symbols.items()
+        }
+    return merges
+
+
+class BpeTokenizer:
+    """Applies learned BPE merges and maps pieces to vocabulary ids.
+
+    Construct via :meth:`train` (learn merges + build vocabulary from a
+    corpus) or directly from a merge list. Instances are immutable and cache
+    per-word encodings, so repeated encoding of a corpus is fast.
+    """
+
+    def __init__(
+        self,
+        merges: Sequence[tuple[str, str]],
+        vocab: Vocabulary | None = None,
+    ) -> None:
+        self.merges = [tuple(merge) for merge in merges]
+        self._merge_ranks: dict[tuple[str, str], int] = {
+            tuple(merge): rank for rank, merge in enumerate(self.merges)
+        }
+        self._word_cache: dict[str, tuple[str, ...]] = {}
+        if vocab is None:
+            vocab = self._build_vocab_from_merges()
+        self.vocab = vocab
+
+    # -- construction -----------------------------------------------------
+
+    @classmethod
+    def train(
+        cls,
+        words: Iterable[str],
+        num_merges: int = 1000,
+        min_pair_count: int = 2,
+    ) -> "BpeTokenizer":
+        """Learn merges from ``words`` and build the piece vocabulary."""
+        word_list = [word for word in words if word]
+        merges = train_bpe(word_list, num_merges, min_pair_count)
+        tokenizer = cls(merges, vocab=None)
+        # Extend the vocabulary with every piece observed on the training
+        # corpus, so frequent whole words unreachable via merge products
+        # (single-character words etc.) are still in-vocabulary.
+        pieces: list[str] = []
+        seen: set[str] = set(tokenizer.vocab.tokens)
+        for word in word_list:
+            for piece in tokenizer.encode_word(word):
+                if piece not in seen:
+                    seen.add(piece)
+                    pieces.append(piece)
+        tokenizer.vocab = Vocabulary(tokenizer._base_pieces() + pieces)
+        return tokenizer
+
+    def _base_pieces(self) -> list[str]:
+        """Alphabet pieces + merge products, deterministically ordered."""
+        alphabet: list[str] = []
+        seen: set[str] = set()
+        for left, right in self.merges:
+            for symbol in (left, right, left + right):
+                if symbol not in seen:
+                    seen.add(symbol)
+                    alphabet.append(symbol)
+        # Cover printable ASCII as single-char fallbacks (with and without
+        # the end-of-word marker) so any input degrades to char pieces.
+        for code in range(32, 127):
+            for symbol in (chr(code), chr(code) + END_OF_WORD):
+                if symbol not in seen:
+                    seen.add(symbol)
+                    alphabet.append(symbol)
+        return alphabet
+
+    def _build_vocab_from_merges(self) -> Vocabulary:
+        return Vocabulary(self._base_pieces())
+
+    # -- encoding ----------------------------------------------------------
+
+    def encode_word(self, word: str) -> tuple[str, ...]:
+        """Encode one word into subword piece strings."""
+        cached = self._word_cache.get(word)
+        if cached is not None:
+            return cached
+        symbols = _word_to_symbols(word)
+        while len(symbols) > 1:
+            candidate_ranks = [
+                (self._merge_ranks.get((left, right)), index)
+                for index, (left, right) in enumerate(
+                    zip(symbols, symbols[1:])
+                )
+            ]
+            applicable = [
+                (rank, index)
+                for rank, index in candidate_ranks
+                if rank is not None
+            ]
+            if not applicable:
+                break
+            rank, __ = min(applicable)
+            pair = self.merges[rank]
+            symbols = _merge_symbols(symbols, pair)
+        self._word_cache[word] = symbols
+        return symbols
+
+    def encode(self, words: Sequence[str]) -> SubwordEncoding:
+        """Encode a word sequence, tracking piece -> word provenance."""
+        pieces: list[str] = []
+        ids: list[int] = []
+        word_ids: list[int] = []
+        for word_index, word in enumerate(words):
+            for piece in self.encode_word(word):
+                pieces.append(piece)
+                ids.append(self.vocab.id_of(piece))
+                word_ids.append(word_index)
+        return SubwordEncoding(tuple(pieces), tuple(ids), tuple(word_ids))
+
+    def decode_word(self, pieces: Sequence[str]) -> str:
+        """Reassemble a word from its pieces (inverse of encode_word)."""
+        return "".join(pieces).replace(END_OF_WORD, "")
+
+    def decode(self, encoding: SubwordEncoding) -> list[str]:
+        """Reassemble the word sequence from an encoding."""
+        words: list[str] = []
+        current: list[str] = []
+        current_word = None
+        for piece, word_id in zip(encoding.pieces, encoding.word_ids):
+            if current_word is None:
+                current_word = word_id
+            if word_id != current_word:
+                words.append(self.decode_word(current))
+                current = []
+                current_word = word_id
+            current.append(piece)
+        if current:
+            words.append(self.decode_word(current))
+        return words
+
+    # -- persistence --------------------------------------------------------
+
+    def save(self, path: str | Path) -> None:
+        payload = {
+            "merges": [list(merge) for merge in self.merges],
+            "vocab": self.vocab.tokens[5:],  # strip special tokens
+        }
+        Path(path).write_text(json.dumps(payload), encoding="utf-8")
+
+    @classmethod
+    def load(cls, path: str | Path) -> "BpeTokenizer":
+        payload = json.loads(Path(path).read_text(encoding="utf-8"))
+        merges = [tuple(merge) for merge in payload["merges"]]
+        return cls(merges, Vocabulary(payload["vocab"]))

@@ -1,0 +1,102 @@
+"""GoalSpotter-style text normalization.
+
+The paper (Section 3.2) follows the preprocessing strategy of GoalSpotter:
+input texts are normalized and unnecessary characters are removed to reduce
+superficial noise before subword tokenization. This module implements that
+normalization step as a small, configurable, pure function over strings.
+
+The normalizer is deliberately conservative: downstream components align
+annotation values against the *normalized* objective text, so normalization
+must be deterministic and must not reorder or drop word-internal characters.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import re
+import unicodedata
+
+# Unicode punctuation that is folded to its plain-ASCII equivalent. Real
+# sustainability reports are PDF extractions full of typographic dashes and
+# quotes; folding them makes annotation values match the objective text.
+_CHAR_FOLDS = {
+    "‐": "-",  # hyphen
+    "‑": "-",  # non-breaking hyphen
+    "‒": "-",  # figure dash
+    "–": "-",  # en dash
+    "—": "-",  # em dash
+    "―": "-",  # horizontal bar
+    "‘": "'",
+    "’": "'",
+    "‚": "'",
+    "“": '"',
+    "”": '"',
+    "„": '"',
+    " ": " ",  # no-break space
+    " ": " ",
+    " ": " ",
+    "•": " ",  # bullet
+    "·": " ",  # middle dot
+    "﻿": "",  # BOM
+    "­": "",  # soft hyphen
+}
+
+_WHITESPACE_RE = re.compile(r"\s+")
+_CONTROL_RE = re.compile(r"[\x00-\x08\x0b\x0c\x0e-\x1f\x7f]")
+
+
+@dataclasses.dataclass(frozen=True)
+class NormalizerConfig:
+    """Configuration for :class:`TextNormalizer`.
+
+    Attributes:
+        fold_unicode_punctuation: replace typographic dashes/quotes/spaces
+            with their ASCII equivalents.
+        collapse_whitespace: replace runs of whitespace with a single space
+            and strip leading/trailing whitespace.
+        strip_control_characters: drop ASCII control characters.
+        nfkc: apply Unicode NFKC normalization (compatibility decomposition,
+            e.g. ligatures and full-width forms).
+        lowercase: lowercase the text. Off by default — casing is an
+            orthographic feature used by the CRF baseline and helps the
+            transformer spot proper nouns.
+    """
+
+    fold_unicode_punctuation: bool = True
+    collapse_whitespace: bool = True
+    strip_control_characters: bool = True
+    nfkc: bool = True
+    lowercase: bool = False
+
+
+class TextNormalizer:
+    """Deterministic text normalizer used across the whole system.
+
+    Example:
+        >>> TextNormalizer()("Reduce  CO₂ emissions – by 20% ")
+        'Reduce CO2 emissions - by 20%'
+    """
+
+    def __init__(self, config: NormalizerConfig | None = None) -> None:
+        self.config = config or NormalizerConfig()
+
+    def __call__(self, text: str) -> str:
+        return self.normalize(text)
+
+    def normalize(self, text: str) -> str:
+        """Return the normalized form of ``text``."""
+        if self.config.nfkc:
+            text = unicodedata.normalize("NFKC", text)
+        if self.config.fold_unicode_punctuation:
+            text = text.translate(str.maketrans(_CHAR_FOLDS))
+        if self.config.strip_control_characters:
+            text = _CONTROL_RE.sub(" ", text)
+        if self.config.collapse_whitespace:
+            text = _WHITESPACE_RE.sub(" ", text).strip()
+        if self.config.lowercase:
+            text = text.lower()
+        return text
+
+
+#: Module-level default instance; normalization is stateless so sharing is safe.
+DEFAULT_NORMALIZER = TextNormalizer()

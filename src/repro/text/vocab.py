@@ -1,0 +1,100 @@
+"""Vocabulary: a bidirectional token <-> id mapping with special tokens."""
+
+from __future__ import annotations
+
+import json
+from collections.abc import Iterable, Sequence
+from pathlib import Path
+
+PAD_TOKEN = "<pad>"
+UNK_TOKEN = "<unk>"
+CLS_TOKEN = "<cls>"
+SEP_TOKEN = "<sep>"
+MASK_TOKEN = "<mask>"
+
+SPECIAL_TOKENS = (PAD_TOKEN, UNK_TOKEN, CLS_TOKEN, SEP_TOKEN, MASK_TOKEN)
+
+
+class Vocabulary:
+    """An immutable-after-construction token/id mapping.
+
+    Special tokens always occupy the first ids, in the order of
+    :data:`SPECIAL_TOKENS`, so ``pad_id == 0`` everywhere in the code base.
+    """
+
+    def __init__(self, tokens: Iterable[str] = ()) -> None:
+        self._token_to_id: dict[str, int] = {}
+        self._id_to_token: list[str] = []
+        for token in SPECIAL_TOKENS:
+            self._add(token)
+        for token in tokens:
+            self._add(token)
+
+    def _add(self, token: str) -> int:
+        if token in self._token_to_id:
+            return self._token_to_id[token]
+        token_id = len(self._id_to_token)
+        self._token_to_id[token] = token_id
+        self._id_to_token.append(token)
+        return token_id
+
+    # -- lookups ---------------------------------------------------------
+
+    def id_of(self, token: str) -> int:
+        """Return the id of ``token``, or the <unk> id if unknown."""
+        return self._token_to_id.get(token, self.unk_id)
+
+    def token_of(self, token_id: int) -> str:
+        if not 0 <= token_id < len(self._id_to_token):
+            raise IndexError(f"token id {token_id} out of range")
+        return self._id_to_token[token_id]
+
+    def encode(self, tokens: Sequence[str]) -> list[int]:
+        return [self.id_of(token) for token in tokens]
+
+    def decode(self, ids: Sequence[int]) -> list[str]:
+        return [self.token_of(token_id) for token_id in ids]
+
+    def __contains__(self, token: str) -> bool:
+        return token in self._token_to_id
+
+    def __len__(self) -> int:
+        return len(self._id_to_token)
+
+    # -- special token ids ------------------------------------------------
+
+    @property
+    def pad_id(self) -> int:
+        return self._token_to_id[PAD_TOKEN]
+
+    @property
+    def unk_id(self) -> int:
+        return self._token_to_id[UNK_TOKEN]
+
+    @property
+    def cls_id(self) -> int:
+        return self._token_to_id[CLS_TOKEN]
+
+    @property
+    def sep_id(self) -> int:
+        return self._token_to_id[SEP_TOKEN]
+
+    @property
+    def mask_id(self) -> int:
+        return self._token_to_id[MASK_TOKEN]
+
+    @property
+    def tokens(self) -> list[str]:
+        """All tokens, including specials, in id order."""
+        return list(self._id_to_token)
+
+    # -- persistence -------------------------------------------------------
+
+    def save(self, path: str | Path) -> None:
+        payload = {"tokens": self._id_to_token[len(SPECIAL_TOKENS):]}
+        Path(path).write_text(json.dumps(payload), encoding="utf-8")
+
+    @classmethod
+    def load(cls, path: str | Path) -> "Vocabulary":
+        payload = json.loads(Path(path).read_text(encoding="utf-8"))
+        return cls(payload["tokens"])

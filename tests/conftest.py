@@ -1,0 +1,80 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.schema import AnnotatedObjective
+from repro.datasets.base import Dataset
+from repro.datasets.generator import ObjectiveGenerator
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture
+def paper_example() -> AnnotatedObjective:
+    """The paper's worked example (Figure 3 / Table 3)."""
+    return AnnotatedObjective(
+        text=(
+            "We co-founded The Climate Pledge, a commitment to reach "
+            "net-zero carbon by 2040."
+        ),
+        details={
+            "Action": "reach",
+            "Amount": "net-zero",
+            "Qualifier": "carbon",
+            "Baseline": "",
+            "Deadline": "2040",
+        },
+    )
+
+
+@pytest.fixture
+def table1_objectives() -> list[AnnotatedObjective]:
+    """The paper's Table 1 rows."""
+    return [
+        AnnotatedObjective(
+            "We co-founded The Climate Pledge, a commitment to reach "
+            "net-zero carbon by 2040.",
+            {
+                "Action": "reach",
+                "Amount": "net-zero",
+                "Qualifier": "carbon",
+                "Deadline": "2040",
+            },
+        ),
+        AnnotatedObjective(
+            "Restore 100% of our global water use by 2025.",
+            {
+                "Action": "Restore",
+                "Amount": "100%",
+                "Qualifier": "global water use",
+                "Deadline": "2025",
+            },
+        ),
+        AnnotatedObjective(
+            "Reduce energy consumption by 20% by 2025 (baseline 2017).",
+            {
+                "Action": "Reduce",
+                "Amount": "20%",
+                "Qualifier": "energy consumption",
+                "Baseline": "2017",
+                "Deadline": "2025",
+            },
+        ),
+    ]
+
+
+@pytest.fixture(scope="session")
+def tiny_dataset() -> Dataset:
+    """A small generated dataset shared across integration tests."""
+    generator = ObjectiveGenerator(seed=99)
+    return Dataset(
+        "tiny",
+        ("Action", "Amount", "Qualifier", "Baseline", "Deadline"),
+        generator.generate_many(80),
+    )

@@ -1,0 +1,105 @@
+"""Tests for word-label <-> subword-piece projection."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.alignment import (
+    pieces_to_word_labels,
+    word_labels_to_piece_targets,
+)
+from repro.core.iob import LabelScheme
+from repro.nn.loss import IGNORE_INDEX
+
+SCHEME = LabelScheme(["A", "B"])
+
+
+class TestWordLabelsToPieceTargets:
+    def test_first_strategy_marks_continuations_ignored(self):
+        # word 0 -> 2 pieces, word 1 -> 1 piece.
+        targets = word_labels_to_piece_targets(
+            ["B-A", "O"], [0, 0, 1], SCHEME, "first"
+        )
+        assert targets == [SCHEME.id_of("B-A"), IGNORE_INDEX, SCHEME.id_of("O")]
+
+    def test_all_strategy_converts_b_to_i(self):
+        targets = word_labels_to_piece_targets(
+            ["B-A"], [0, 0, 0], SCHEME, "all"
+        )
+        assert targets == [
+            SCHEME.id_of("B-A"), SCHEME.id_of("I-A"), SCHEME.id_of("I-A"),
+        ]
+
+    def test_all_strategy_repeats_inside_and_outside(self):
+        targets = word_labels_to_piece_targets(
+            ["I-B", "O"], [0, 0, 1, 1], SCHEME, "all"
+        )
+        assert targets == [
+            SCHEME.id_of("I-B"), SCHEME.id_of("I-B"),
+            SCHEME.id_of("O"), SCHEME.id_of("O"),
+        ]
+
+    def test_unknown_strategy(self):
+        with pytest.raises(ValueError):
+            word_labels_to_piece_targets(["O"], [0], SCHEME, "middle")
+
+    def test_word_id_out_of_range(self):
+        with pytest.raises(IndexError):
+            word_labels_to_piece_targets(["O"], [0, 1], SCHEME, "first")
+
+
+class TestPiecesToWordLabels:
+    def test_first_piece_wins(self):
+        labels = pieces_to_word_labels(
+            [SCHEME.id_of("B-A"), SCHEME.id_of("O"), SCHEME.id_of("O")],
+            [0, 0, 1],
+            SCHEME,
+            num_words=2,
+        )
+        assert labels == ["B-A", "O"]
+
+    def test_truncated_words_default_outside(self):
+        labels = pieces_to_word_labels(
+            [SCHEME.id_of("B-B")], [0], SCHEME, num_words=3
+        )
+        assert labels == ["B-B", "O", "O"]
+
+    def test_piece_beyond_num_words_ignored(self):
+        labels = pieces_to_word_labels(
+            [SCHEME.id_of("B-A"), SCHEME.id_of("B-B")],
+            [0, 5],
+            SCHEME,
+            num_words=1,
+        )
+        assert labels == ["B-A"]
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    st.lists(
+        st.tuples(
+            st.sampled_from(["O", "B-A", "I-A", "B-B", "I-B"]),
+            st.integers(1, 4),  # pieces per word
+        ),
+        min_size=1,
+        max_size=12,
+    )
+)
+def test_projection_roundtrip_property(word_specs):
+    """project -> fold-back recovers the word labels (first strategy)."""
+    word_labels = [label for label, __ in word_specs]
+    word_ids = [
+        word_index
+        for word_index, (__, pieces) in enumerate(word_specs)
+        for __ in range(pieces)
+    ]
+    targets = word_labels_to_piece_targets(
+        word_labels, word_ids, SCHEME, "first"
+    )
+    # Replace IGNORE_INDEX with O id, as a model prediction would.
+    predicted = [
+        t if t != IGNORE_INDEX else SCHEME.id_of("O") for t in targets
+    ]
+    recovered = pieces_to_word_labels(
+        predicted, word_ids, SCHEME, num_words=len(word_labels)
+    )
+    assert recovered == word_labels

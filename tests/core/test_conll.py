@@ -1,0 +1,80 @@
+"""Tests for CoNLL import/export of weak labels."""
+
+import pytest
+
+from repro.core.conll import (
+    export_weak_labels,
+    format_conll,
+    import_conll,
+    parse_conll,
+)
+from repro.core.schema import AnnotatedObjective
+
+
+class TestFormatConll:
+    def test_paper_table2_shape(self):
+        """One token + one label per line, as in the paper's Table 2."""
+        text = format_conll(
+            [(["Albert", "Einstein", "was"], ["B-PER", "I-PER", "O"])]
+        )
+        assert text == "Albert\tB-PER\nEinstein\tI-PER\nwas\tO\n"
+
+    def test_blank_line_between_sentences(self):
+        text = format_conll(
+            [(["a"], ["O"]), (["b"], ["B-X"])]
+        )
+        assert "\n\n" in text
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            format_conll([(["a", "b"], ["O"])])
+
+    def test_empty(self):
+        assert format_conll([]) == ""
+
+
+class TestParseConll:
+    def test_roundtrip(self):
+        sentences = [
+            (["Reduce", "waste"], ["B-Action", "O"]),
+            (["by", "20%"], ["O", "B-Amount"]),
+        ]
+        assert parse_conll(format_conll(sentences)) == sentences
+
+    def test_space_separated_fallback(self):
+        parsed = parse_conll("token B-X\nother O")
+        assert parsed == [(["token", "other"], ["B-X", "O"])]
+
+    def test_multi_column_takes_last(self):
+        """Classic CoNLL-2003 has POS/chunk columns; the label is last."""
+        parsed = parse_conll("Albert\tNNP\tI-NP\tB-PER")
+        assert parsed == [(["Albert"], ["B-PER"])]
+
+    def test_malformed_line(self):
+        with pytest.raises(ValueError):
+            parse_conll("loneword")
+
+    def test_trailing_sentence_without_blank_line(self):
+        parsed = parse_conll("a\tO\nb\tB-X")
+        assert len(parsed) == 1
+
+
+class TestExportImport:
+    def test_export_weak_labels_roundtrip(self, tmp_path, paper_example):
+        path = tmp_path / "weak.conll"
+        count = export_weak_labels([paper_example], path)
+        assert count == 1
+        sentences = import_conll(path)
+        tokens, labels = sentences[0]
+        assert tokens[tokens.index("reach")] == "reach"
+        assert labels[tokens.index("reach")] == "B-Action"
+        assert labels[tokens.index("2040")] == "B-Deadline"
+
+    def test_export_many(self, tmp_path):
+        objectives = [
+            AnnotatedObjective(f"Cut waste by {i}%.", {"Amount": f"{i}%"})
+            for i in range(1, 6)
+        ]
+        count = export_weak_labels(objectives, tmp_path / "many.conll")
+        assert count == 5
+        assert len(import_conll(tmp_path / "many.conll")) == 5

@@ -1,0 +1,88 @@
+"""Tests for IOB-constrained Viterbi decoding."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.constrained import (
+    constrained_decode,
+    start_mask,
+    transition_mask,
+)
+from repro.core.iob import LabelScheme, iob_to_spans
+
+SCHEME = LabelScheme(["A", "B"])
+# labels: O=0 B-A=1 I-A=2 B-B=3 I-B=4
+
+
+def decode_labels(logits):
+    return SCHEME.decode(constrained_decode(np.asarray(logits), SCHEME))
+
+
+class TestMasks:
+    def test_inside_requires_open_span(self):
+        mask = transition_mask(SCHEME)
+        assert mask[SCHEME.id_of("O"), SCHEME.id_of("I-A")] < -1e20
+        assert mask[SCHEME.id_of("B-B"), SCHEME.id_of("I-A")] < -1e20
+        assert mask[SCHEME.id_of("B-A"), SCHEME.id_of("I-A")] == 0
+        assert mask[SCHEME.id_of("I-A"), SCHEME.id_of("I-A")] == 0
+
+    def test_start_mask_blocks_inside(self):
+        mask = start_mask(SCHEME)
+        assert mask[SCHEME.id_of("I-A")] < -1e20
+        assert mask[SCHEME.id_of("B-A")] == 0
+        assert mask[SCHEME.id_of("O")] == 0
+
+
+class TestConstrainedDecode:
+    def test_clean_argmax_is_kept(self):
+        logits = np.full((3, 5), -5.0)
+        logits[0, SCHEME.id_of("B-A")] = 5
+        logits[1, SCHEME.id_of("I-A")] = 5
+        logits[2, SCHEME.id_of("O")] = 5
+        assert decode_labels(logits) == ["B-A", "I-A", "O"]
+
+    def test_dangling_inside_becomes_legal(self):
+        """Argmax would emit I-A at position 0; constrained decode cannot."""
+        logits = np.full((2, 5), -5.0)
+        logits[0, SCHEME.id_of("I-A")] = 5
+        logits[0, SCHEME.id_of("B-A")] = 4
+        logits[1, SCHEME.id_of("I-A")] = 5
+        labels = decode_labels(logits)
+        assert labels == ["B-A", "I-A"]
+        iob_to_spans(labels, repair=False)  # must be strictly valid
+
+    def test_field_switch_disallowed_mid_span(self):
+        logits = np.full((2, 5), -5.0)
+        logits[0, SCHEME.id_of("B-B")] = 5
+        logits[1, SCHEME.id_of("I-A")] = 5  # illegal continuation
+        logits[1, SCHEME.id_of("I-B")] = 4.5
+        assert decode_labels(logits) == ["B-B", "I-B"]
+
+    def test_empty_sequence(self):
+        assert constrained_decode(np.zeros((0, 5)), SCHEME).shape == (0,)
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            constrained_decode(np.zeros((2, 3)), SCHEME)
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.integers(0, 10_000), st.integers(1, 12))
+    def test_output_always_strictly_valid(self, seed, length):
+        rng = np.random.default_rng(seed)
+        logits = rng.normal(size=(length, len(SCHEME)))
+        labels = SCHEME.decode(constrained_decode(logits, SCHEME))
+        iob_to_spans(labels, repair=False)  # raises on malformed output
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(0, 10_000))
+    def test_beats_or_matches_any_valid_greedy_path(self, seed):
+        """The decoded path maximizes total logit among valid paths —
+        spot-check against the repaired argmax path."""
+        rng = np.random.default_rng(seed)
+        logits = rng.normal(size=(6, len(SCHEME)))
+        best = constrained_decode(logits, SCHEME)
+        best_score = logits[np.arange(6), best].sum()
+        # The all-O path is always valid; it cannot beat the optimum.
+        outside_score = logits[:, SCHEME.id_of("O")].sum()
+        assert best_score >= outside_score - 1e-9

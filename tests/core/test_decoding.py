@@ -1,0 +1,75 @@
+"""Tests for span decoding back to field values."""
+
+import pytest
+
+from repro.core.decoding import decode_details, span_text
+from repro.core.iob import Span
+from repro.text.words import WordTokenizer
+
+TOKENIZER = WordTokenizer()
+FIELDS = ("Action", "Amount", "Qualifier", "Baseline", "Deadline")
+
+
+def _decode(text, labels, fields=FIELDS):
+    tokens = TOKENIZER.tokenize(text)
+    return decode_details(text, tokens, labels, fields)
+
+
+class TestSpanText:
+    def test_recovers_source_substring(self):
+        text = "reach net-zero carbon"
+        tokens = TOKENIZER.tokenize(text)
+        # net - zero spans tokens 1..4
+        assert span_text(text, tokens, Span("Amount", 1, 4)) == "net-zero"
+
+    def test_out_of_range(self):
+        tokens = TOKENIZER.tokenize("a b")
+        with pytest.raises(ValueError):
+            span_text("a b", tokens, Span("A", 0, 5))
+
+
+class TestDecodeDetails:
+    def test_full_decoding(self):
+        text = "Reduce energy consumption by 20% by 2025"
+        labels = [
+            "B-Action", "B-Qualifier", "I-Qualifier", "O", "B-Amount",
+            "O", "B-Deadline",
+        ]
+        details = _decode(text, labels)
+        assert details == {
+            "Action": "Reduce",
+            "Amount": "20%",
+            "Qualifier": "energy consumption",
+            "Baseline": "",
+            "Deadline": "2025",
+        }
+
+    def test_all_outside_gives_empty_fields(self):
+        details = _decode("nothing here", ["O", "O"])
+        assert all(value == "" for value in details.values())
+
+    def test_hyphenated_value_recovered_verbatim(self):
+        text = "reach net-zero now"
+        labels = ["O", "B-Amount", "I-Amount", "I-Amount", "O"]
+        assert _decode(text, labels)["Amount"] == "net-zero"
+
+    def test_leftmost_span_kept_on_duplicates(self):
+        text = "cut 10% then 20%"
+        labels = ["O", "B-Amount", "O", "B-Amount"]
+        assert _decode(text, labels)["Amount"] == "10%"
+
+    def test_unknown_field_prediction_dropped(self):
+        text = "a b"
+        labels = ["B-Zzz", "O"]
+        details = _decode(text, labels)
+        assert all(value == "" for value in details.values())
+
+    def test_length_mismatch_raises(self):
+        tokens = TOKENIZER.tokenize("a b c")
+        with pytest.raises(ValueError):
+            decode_details("a b c", tokens, ["O"], FIELDS)
+
+    def test_repair_of_dangling_inside(self):
+        text = "improve water quality"
+        labels = ["O", "I-Qualifier", "I-Qualifier"]
+        assert _decode(text, labels)["Qualifier"] == "water quality"

@@ -1,0 +1,53 @@
+"""Config-dependent behaviour of WeakSupervisionExtractor (no training)."""
+
+from repro.core.extractor import ExtractorConfig, WeakSupervisionExtractor
+from repro.core.schema import AnnotatedObjective
+from repro.datasets.generator import GeneratorConfig, ObjectiveGenerator
+
+
+def _divergent_corpus():
+    """Objectives whose annotations often differ lexically from the text."""
+    config = GeneratorConfig(annotation_divergence=0.5)
+    return ObjectiveGenerator(config, seed=11).generate_many(120)
+
+
+class TestMatcherConfig:
+    def test_fuzzy_config_covers_more_than_exact(self):
+        objectives = _divergent_corpus()
+        coverages = {}
+        for matcher in ("exact", "fuzzy"):
+            extractor = WeakSupervisionExtractor(
+                ExtractorConfig(matcher=matcher)
+            )
+            extractor.prepare_weak_labels(objectives)
+            coverages[matcher] = extractor.weak_stats.coverage
+        assert coverages["fuzzy"] > coverages["exact"]
+
+
+class TestNormalizationConfig:
+    def test_normalization_folds_unicode(self):
+        objective = AnnotatedObjective(
+            "Reduce CO₂ emissions by 20% – by 2030.",
+            {"Action": "Reduce", "Qualifier": "CO2 emissions"},
+        )
+        normalizing = WeakSupervisionExtractor(ExtractorConfig())
+        words, labels = normalizing.prepare_weak_labels([objective])
+        assert "CO2" in words[0]
+        assert "B-Qualifier" in labels[0]
+
+        raw = WeakSupervisionExtractor(ExtractorConfig(normalize=False))
+        __, raw_labels = raw.prepare_weak_labels([objective])
+        assert "B-Qualifier" not in raw_labels[0]  # CO₂ != CO2 unnormalized
+
+
+class TestWeakLabelOutputs:
+    def test_labels_parallel_and_valid(self):
+        extractor = WeakSupervisionExtractor(ExtractorConfig())
+        objectives = ObjectiveGenerator(seed=4).generate_many(50)
+        words, labels = extractor.prepare_weak_labels(objectives)
+        from repro.core.iob import iob_to_spans
+
+        assert len(words) == len(labels) == 50
+        for word_seq, label_seq in zip(words, labels):
+            assert len(word_seq) == len(label_seq)
+            iob_to_spans(label_seq, repair=False)

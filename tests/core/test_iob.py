@@ -1,0 +1,125 @@
+"""Tests for IOB label schemes, encoding, and span conversion."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.iob import LabelScheme, Span, iob_to_spans, spans_to_iob
+
+
+class TestLabelScheme:
+    def test_outside_is_zero(self):
+        scheme = LabelScheme(["Action"])
+        assert scheme.id_of("O") == 0
+
+    def test_label_layout(self):
+        scheme = LabelScheme(["A", "B"])
+        assert scheme.labels == ("O", "B-A", "I-A", "B-B", "I-B")
+
+    def test_len(self):
+        assert len(LabelScheme(["A", "B", "C"])) == 7
+
+    def test_encode_decode_roundtrip(self):
+        scheme = LabelScheme(["Action", "Amount"])
+        labels = ["O", "B-Action", "I-Action", "B-Amount", "O"]
+        assert scheme.decode(scheme.encode(labels)) == labels
+
+    def test_unknown_label_raises(self):
+        with pytest.raises(KeyError):
+            LabelScheme(["A"]).id_of("B-Z")
+
+    def test_out_of_range_id_raises(self):
+        with pytest.raises(IndexError):
+            LabelScheme(["A"]).label_of(99)
+
+    def test_empty_fields_rejected(self):
+        with pytest.raises(ValueError):
+            LabelScheme([])
+
+    def test_duplicate_fields_rejected(self):
+        with pytest.raises(ValueError):
+            LabelScheme(["A", "A"])
+
+
+class TestSpan:
+    def test_length(self):
+        assert len(Span("A", 2, 5)) == 3
+
+    def test_invalid_span(self):
+        with pytest.raises(ValueError):
+            Span("A", 3, 3)
+        with pytest.raises(ValueError):
+            Span("A", -1, 2)
+
+
+class TestSpansToIob:
+    def test_single_span(self):
+        labels = spans_to_iob([Span("Action", 1, 3)], length=4)
+        assert labels == ["O", "B-Action", "I-Action", "O"]
+
+    def test_adjacent_spans_keep_boundaries(self):
+        labels = spans_to_iob(
+            [Span("A", 0, 2), Span("B", 2, 3)], length=3
+        )
+        assert labels == ["B-A", "I-A", "B-B"]
+
+    def test_overlap_rejected(self):
+        with pytest.raises(ValueError):
+            spans_to_iob([Span("A", 0, 2), Span("B", 1, 3)], length=4)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            spans_to_iob([Span("A", 0, 5)], length=3)
+
+
+class TestIobToSpans:
+    def test_simple_decode(self):
+        spans = iob_to_spans(["O", "B-A", "I-A", "O", "B-B"])
+        assert spans == [Span("A", 1, 3), Span("B", 4, 5)]
+
+    def test_dangling_inside_repaired(self):
+        spans = iob_to_spans(["O", "I-A", "I-A"], repair=True)
+        assert spans == [Span("A", 1, 3)]
+
+    def test_dangling_inside_strict_raises(self):
+        with pytest.raises(ValueError):
+            iob_to_spans(["O", "I-A"], repair=False)
+
+    def test_field_switch_inside(self):
+        spans = iob_to_spans(["B-A", "I-B"], repair=True)
+        assert spans == [Span("A", 0, 1), Span("B", 1, 2)]
+
+    def test_b_after_b_starts_new_span(self):
+        spans = iob_to_spans(["B-A", "B-A"])
+        assert spans == [Span("A", 0, 1), Span("A", 1, 2)]
+
+    def test_malformed_label_raises(self):
+        with pytest.raises(ValueError):
+            iob_to_spans(["X-A"])
+        with pytest.raises(ValueError):
+            iob_to_spans(["Banana"])
+
+    def test_empty_sequence(self):
+        assert iob_to_spans([]) == []
+
+    def test_span_reaching_end(self):
+        spans = iob_to_spans(["O", "B-A", "I-A"])
+        assert spans == [Span("A", 1, 3)]
+
+
+@given(
+    st.lists(
+        st.tuples(st.sampled_from(["X", "Y"]), st.integers(0, 8), st.integers(1, 4)),
+        max_size=4,
+    )
+)
+def test_spans_iob_roundtrip_property(raw):
+    """Non-overlapping spans survive spans->iob->spans exactly."""
+    spans = []
+    cursor = 0
+    for field, gap, width in raw:
+        start = cursor + gap
+        spans.append(Span(field, start, start + width))
+        cursor = start + width + 1  # ensure an O gap between spans
+    length = (spans[-1].end + 1) if spans else 5
+    labels = spans_to_iob(spans, length)
+    assert iob_to_spans(labels, repair=False) == spans

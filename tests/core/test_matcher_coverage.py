@@ -1,0 +1,33 @@
+"""Cross-matcher coverage properties on generated corpora."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.matching import ExactMatcher, FuzzyMatcher, LowercaseMatcher
+from repro.core.weak_labeling import WeakLabelingStats, weakly_label_objective
+from repro.datasets.generator import ObjectiveGenerator
+
+
+def _coverage(objectives, matcher):
+    stats = WeakLabelingStats()
+    for objective in objectives:
+        weakly_label_objective(objective, matcher=matcher, stats=stats)
+    return stats.coverage
+
+
+@settings(max_examples=10, deadline=None)
+@given(st.integers(0, 10_000))
+def test_fuzzy_dominates_lowercase_dominates_exact(seed):
+    """Coverage is monotone in matcher leniency on any generated corpus."""
+    objectives = ObjectiveGenerator(seed=seed).generate_many(60)
+    exact = _coverage(objectives, ExactMatcher())
+    lowercase = _coverage(objectives, LowercaseMatcher())
+    fuzzy = _coverage(objectives, FuzzyMatcher())
+    assert exact <= lowercase <= fuzzy
+
+
+@settings(max_examples=10, deadline=None)
+@given(st.integers(0, 10_000))
+def test_exact_coverage_is_high(seed):
+    """Annotations are near-verbatim, so even exact matching covers most."""
+    objectives = ObjectiveGenerator(seed=seed).generate_many(60)
+    assert _coverage(objectives, ExactMatcher()) > 0.9

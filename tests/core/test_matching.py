@@ -1,0 +1,106 @@
+"""Tests for exact/lowercase/fuzzy token matchers."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.matching import (
+    ExactMatcher,
+    FuzzyMatcher,
+    LowercaseMatcher,
+    _edit_distance_at_most_one,
+)
+
+
+class TestEditDistance:
+    @pytest.mark.parametrize(
+        "a,b,expected",
+        [
+            ("abc", "abc", True),
+            ("abc", "abd", True),   # substitution
+            ("abc", "abcd", True),  # insertion
+            ("abcd", "abc", True),  # deletion
+            ("abc", "axd", False),  # two edits
+            ("abc", "abcde", False),
+            ("", "a", True),
+            ("", "", True),
+        ],
+    )
+    def test_cases(self, a, b, expected):
+        assert _edit_distance_at_most_one(a, b) is expected
+
+    @given(st.text(max_size=10))
+    def test_reflexive(self, word):
+        assert _edit_distance_at_most_one(word, word)
+
+    @given(st.text(min_size=1, max_size=10), st.integers(0, 9))
+    def test_single_deletion_always_matches(self, word, position):
+        position = position % len(word)
+        shorter = word[:position] + word[position + 1:]
+        assert _edit_distance_at_most_one(word, shorter)
+
+
+class TestExactMatcher:
+    def test_find_basic(self):
+        matcher = ExactMatcher()
+        assert matcher.find(["a", "b", "c", "b"], ["b", "c"]) == 1
+
+    def test_find_not_present(self):
+        assert ExactMatcher().find(["a", "b"], ["z"]) == -1
+
+    def test_find_empty_needle(self):
+        assert ExactMatcher().find(["a"], []) == -1
+
+    def test_needle_longer_than_haystack(self):
+        assert ExactMatcher().find(["a"], ["a", "b"]) == -1
+
+    def test_case_sensitive(self):
+        assert ExactMatcher().find(["Reduce"], ["reduce"]) == -1
+
+    def test_forbidden_positions_skip_match(self):
+        matcher = ExactMatcher()
+        haystack = ["x", "a", "b", "a", "b"]
+        # First occurrence is blocked; matcher must take the second.
+        assert matcher.find(
+            haystack, ["a", "b"], forbidden=[False, True, False, False, False]
+        ) == 3
+
+    def test_all_occurrences_forbidden(self):
+        matcher = ExactMatcher()
+        assert matcher.find(["a"], ["a"], forbidden=[True]) == -1
+
+    def test_find_all(self):
+        matcher = ExactMatcher()
+        assert matcher.find_all(["a", "b", "a", "b"], ["a", "b"]) == [0, 2]
+
+
+class TestLowercaseMatcher:
+    def test_case_insensitive(self):
+        assert LowercaseMatcher().find(["Reduce"], ["reduce"]) == 0
+
+
+class TestFuzzyMatcher:
+    def test_exact_still_matches(self):
+        assert FuzzyMatcher().token_match("carbon", "carbon")
+
+    def test_case_insensitive(self):
+        assert FuzzyMatcher().token_match("Carbon", "carbon")
+
+    def test_plural_suffix(self):
+        assert FuzzyMatcher().token_match("emissions", "emission")
+
+    def test_gerund_suffix(self):
+        assert FuzzyMatcher().token_match("reducing", "reduce")
+
+    def test_typo_on_long_token(self):
+        assert FuzzyMatcher().token_match("sustainabilty", "sustainability")
+
+    def test_no_typo_tolerance_on_short_tokens(self):
+        assert not FuzzyMatcher().token_match("cat", "cut")
+
+    def test_completely_different(self):
+        assert not FuzzyMatcher().token_match("water", "carbon")
+
+    def test_find_with_inflection(self):
+        matcher = FuzzyMatcher()
+        haystack = ["We", "are", "reducing", "emissions"]
+        assert matcher.find(haystack, ["reduce"]) == 2

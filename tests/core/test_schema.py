@@ -1,0 +1,45 @@
+"""Tests for the AnnotatedObjective schema."""
+
+import pytest
+
+from repro.core.schema import (
+    AnnotatedObjective,
+    NETZEROFACTS_FIELDS,
+    SUSTAINABILITY_FIELDS,
+)
+
+
+class TestFieldSets:
+    def test_paper_field_inventories(self):
+        assert SUSTAINABILITY_FIELDS == (
+            "Action", "Amount", "Qualifier", "Baseline", "Deadline",
+        )
+        assert NETZEROFACTS_FIELDS == (
+            "TargetValue", "ReferenceYear", "TargetYear",
+        )
+
+
+class TestAnnotatedObjective:
+    def test_empty_text_rejected(self):
+        with pytest.raises(ValueError):
+            AnnotatedObjective("")
+        with pytest.raises(ValueError):
+            AnnotatedObjective("   ")
+
+    def test_present_details_drops_empty(self):
+        objective = AnnotatedObjective(
+            "x", {"Action": "do", "Deadline": "", "Baseline": "  "}
+        )
+        assert objective.present_details() == {"Action": "do"}
+
+    def test_has_detail(self):
+        objective = AnnotatedObjective("x", {"Action": "do", "Amount": ""})
+        assert objective.has_detail("Action")
+        assert not objective.has_detail("Amount")
+        assert not objective.has_detail("Deadline")
+
+    def test_details_copied_defensively(self):
+        source = {"Action": "do"}
+        objective = AnnotatedObjective("x", source)
+        source["Action"] = "mutated"
+        assert objective.details["Action"] == "do"

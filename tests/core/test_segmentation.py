@@ -1,0 +1,60 @@
+"""Tests for objective segmentation."""
+
+from repro.core.segmentation import (
+    segment_objectives,
+    split_sentences,
+)
+
+
+class TestSplitSentences:
+    def test_simple(self):
+        assert split_sentences("One here. Two there.") == [
+            "One here.", "Two there.",
+        ]
+
+    def test_no_split_inside_numbers(self):
+        assert split_sentences("Cut 8.1% of waste.") == ["Cut 8.1% of waste."]
+
+    def test_empty(self):
+        assert split_sentences("") == []
+
+
+class TestSegmentObjectives:
+    def test_multi_target_sentence_split(self):
+        clauses = segment_objectives(
+            "Reduce waste by 20% by 2030, and expand renewable "
+            "electricity across all sites."
+        )
+        assert len(clauses) == 2
+        assert clauses[0].startswith("Reduce waste")
+        assert clauses[1].startswith("expand renewable")
+
+    def test_qualifier_with_and_not_split(self):
+        clauses = segment_objectives(
+            "Define sustainability strategies, goals and policies."
+        )
+        assert len(clauses) == 1
+
+    def test_narrative_prefix_dropped(self):
+        clauses = segment_objectives(
+            "Climate change is one of the world's greatest crises. "
+            "Reduce carbon emissions by 40% by 2035."
+        )
+        assert any("Reduce carbon" in clause for clause in clauses)
+        assert all("greatest crises" not in clause for clause in clauses)
+
+    def test_pure_narrative_kept_as_fallback(self):
+        text = "The board met several times last quarter."
+        assert segment_objectives(text) == [text]
+
+    def test_semicolon_split(self):
+        clauses = segment_objectives(
+            "Cut water use by 15%; achieve zero waste to landfill by 2030."
+        )
+        assert len(clauses) == 2
+
+    def test_clauses_end_with_period(self):
+        clauses = segment_objectives(
+            "Reduce waste by 20%, and achieve net-zero by 2040."
+        )
+        assert all(clause.endswith(".") for clause in clauses)

@@ -1,0 +1,151 @@
+"""Tests for Algorithm 1 (weak supervision token labeling)."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.iob import iob_to_spans
+from repro.core.matching import FuzzyMatcher
+from repro.core.schema import AnnotatedObjective
+from repro.core.weak_labeling import (
+    WeakLabelingStats,
+    weak_token_labels,
+    weakly_label_objective,
+)
+from repro.datasets.generator import ObjectiveGenerator
+
+
+class TestPaperWorkedExample:
+    def test_table3_reproduced_exactly(self, paper_example):
+        """The paper's Table 3, token by token."""
+        tokens, labels = weakly_label_objective(paper_example)
+        expected = [
+            ("We", "O"), ("co", "O"), ("-", "O"), ("founded", "O"),
+            ("The", "O"), ("Climate", "O"), ("Pledge", "O"), (",", "O"),
+            ("a", "O"), ("commitment", "O"), ("to", "O"),
+            ("reach", "B-Action"),
+            ("net", "B-Amount"), ("-", "I-Amount"), ("zero", "I-Amount"),
+            ("carbon", "B-Qualifier"),
+            ("by", "O"),
+            ("2040", "B-Deadline"),
+            (".", "O"),
+        ]
+        assert [(t.text, l) for t, l in zip(tokens, labels)] == expected
+
+    def test_table1_rows_fully_matched(self, table1_objectives):
+        stats = WeakLabelingStats()
+        for objective in table1_objectives:
+            weakly_label_objective(objective, stats=stats)
+        assert stats.coverage == 1.0
+
+
+class TestWeakTokenLabels:
+    def test_empty_annotations_all_outside(self):
+        labels = weak_token_labels(["a", "b"], {})
+        assert labels == ["O", "O"]
+
+    def test_labels_parallel_to_tokens(self):
+        labels = weak_token_labels(["x"] * 7, {"Action": "x"})
+        assert len(labels) == 7
+
+    def test_unmatched_value_recorded(self):
+        stats = WeakLabelingStats()
+        labels = weak_token_labels(
+            ["nothing", "here"], {"Action": "reduce"}, stats=stats
+        )
+        assert labels == ["O", "O"]
+        assert stats.unmatched == [("Action", "reduce")]
+        assert stats.coverage == 0.0
+
+    def test_empty_value_skipped(self):
+        labels = weak_token_labels(["a"], {"Action": "  "})
+        assert labels == ["O"]
+
+    def test_first_occurrence_wins(self):
+        labels = weak_token_labels(
+            ["by", "2025", "and", "2025"], {"Deadline": "2025"}
+        )
+        assert labels == ["O", "B-Deadline", "O", "O"]
+
+    def test_no_overwrite_of_earlier_annotation(self):
+        # "20%" appears inside the longer qualifier value; longest-first
+        # processing labels the qualifier, and the amount must find its
+        # own (different) occurrence or none — never corrupt the qualifier.
+        tokens = ["cut", "waste", "by", "20%"]
+        labels = weak_token_labels(
+            tokens, {"Qualifier": "waste by 20%", "Amount": "20%"}
+        )
+        assert labels == ["O", "B-Qualifier", "I-Qualifier", "I-Qualifier"]
+
+    def test_shared_year_disambiguation(self):
+        # Deadline and baseline share no year here; both must land.
+        tokens = "Reduce waste by 20% by 2025 ( baseline 2017 )".split()
+        labels = weak_token_labels(
+            tokens,
+            {"Amount": "20%", "Deadline": "2025", "Baseline": "2017"},
+        )
+        assert labels[tokens.index("2025")] == "B-Deadline"
+        assert labels[tokens.index("2017")] == "B-Baseline"
+
+    def test_multi_token_value_gets_bio_prefixes(self):
+        labels = weak_token_labels(
+            ["improve", "energy", "use", "now"],
+            {"Qualifier": "energy use"},
+        )
+        assert labels == ["O", "B-Qualifier", "I-Qualifier", "O"]
+
+    def test_stats_accumulate(self):
+        stats = WeakLabelingStats()
+        weak_token_labels(["a"], {"Action": "a"}, stats=stats)
+        weak_token_labels(["b"], {"Action": "zz"}, stats=stats)
+        assert stats.annotations_total == 2
+        assert stats.annotations_matched == 1
+        assert 0.0 < stats.coverage < 1.0
+
+    def test_stats_merge(self):
+        a = WeakLabelingStats(2, 1, [("Action", "x")])
+        b = WeakLabelingStats(3, 3, [])
+        a.merge(b)
+        assert a.annotations_total == 5
+        assert a.annotations_matched == 4
+
+    def test_fuzzy_matcher_recovers_inflection(self):
+        tokens = ["We", "are", "reducing", "waste"]
+        labels = weak_token_labels(
+            tokens, {"Action": "reduce"}, matcher=FuzzyMatcher()
+        )
+        assert labels == ["O", "O", "B-Action", "O"]
+
+
+class TestAlgorithmInvariants:
+    @settings(max_examples=60, deadline=None)
+    @given(st.integers(0, 10_000))
+    def test_output_is_valid_iob(self, seed):
+        """Algorithm 1 output decodes strictly (no dangling I- labels)."""
+        generator = ObjectiveGenerator(seed=seed)
+        objective = generator.generate()
+        __, labels = weakly_label_objective(objective)
+        iob_to_spans(labels, repair=False)  # must not raise
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.integers(0, 10_000))
+    def test_one_span_per_annotated_field_at_most(self, seed):
+        generator = ObjectiveGenerator(seed=seed)
+        objective = generator.generate()
+        __, labels = weakly_label_objective(objective)
+        spans = iob_to_spans(labels, repair=False)
+        fields = [span.field for span in spans]
+        assert len(fields) == len(set(fields))
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.integers(0, 10_000))
+    def test_matched_spans_reproduce_annotation_tokens(self, seed):
+        """Tokens under a span equal the tokenized annotation value."""
+        from repro.text.words import WordTokenizer
+
+        tokenizer = WordTokenizer()
+        generator = ObjectiveGenerator(seed=seed)
+        objective = generator.generate()
+        tokens, labels = weakly_label_objective(objective)
+        words = [t.text for t in tokens]
+        for span in iob_to_spans(labels, repair=False):
+            value = objective.present_details()[span.field]
+            assert words[span.start : span.end] == tokenizer.words(value)

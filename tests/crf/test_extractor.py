@@ -1,0 +1,87 @@
+"""End-to-end tests for the CRF detail extractor."""
+
+import pytest
+
+from repro.core.schema import AnnotatedObjective
+from repro.crf.extractor import CrfConfig, CrfDetailExtractor
+
+
+@pytest.fixture(scope="module")
+def fitted(tiny_dataset):
+    extractor = CrfDetailExtractor(config=CrfConfig(epochs=4))
+    return extractor.fit(tiny_dataset.objectives)
+
+
+class TestCrfDetailExtractor:
+    def test_fit_returns_self(self, tiny_dataset):
+        extractor = CrfDetailExtractor(config=CrfConfig(epochs=1))
+        assert extractor.fit(tiny_dataset.objectives[:10]) is extractor
+
+    def test_extract_has_all_fields(self, fitted):
+        details = fitted.extract("Reduce waste by 20% by 2030.")
+        assert set(details) == {
+            "Action", "Amount", "Qualifier", "Baseline", "Deadline",
+        }
+
+    def test_learns_training_patterns(self, fitted, tiny_dataset):
+        """On its own training data the CRF should be mostly right."""
+        from repro.eval import evaluate_extractions
+
+        subset = tiny_dataset.objectives[:30]
+        predictions = fitted.extract_batch([o.text for o in subset])
+        report = evaluate_extractions(
+            predictions, [o.details for o in subset], tiny_dataset.fields
+        )
+        assert report.f1 > 0.6
+
+    def test_extract_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            CrfDetailExtractor().extract("text")
+
+    def test_fit_empty_raises(self):
+        with pytest.raises(ValueError):
+            CrfDetailExtractor().fit([])
+
+    def test_empty_text_extraction(self, fitted):
+        details = fitted.extract("...")
+        assert all(isinstance(v, str) for v in details.values())
+
+    def test_weak_stats_populated(self, fitted):
+        assert fitted.weak_stats.annotations_total > 0
+        assert fitted.weak_stats.coverage > 0.9
+
+    def test_values_are_substrings(self, fitted):
+        text = "Cut energy consumption by 25% by 2031 (baseline 2019)."
+        details = fitted.extract(text)
+        for value in details.values():
+            if value:
+                assert value in text
+
+    def test_extract_single_objective(self):
+        examples = [
+            AnnotatedObjective(
+                f"Reduce waste by {p}% by {y}.",
+                {"Action": "Reduce", "Amount": f"{p}%", "Deadline": str(y)},
+            )
+            for p, y in zip(range(10, 60, 5), range(2025, 2035))
+        ]
+        extractor = CrfDetailExtractor(config=CrfConfig(epochs=6)).fit(examples)
+        details = extractor.extract("Reduce waste by 33% by 2040.")
+        assert details["Amount"] == "33%"
+        assert details["Action"] == "Reduce"
+
+
+class TestPersistence:
+    def test_save_load_roundtrip(self, fitted, tmp_path):
+        fitted.save(tmp_path / "crf")
+        from repro.crf.extractor import CrfDetailExtractor
+
+        loaded = CrfDetailExtractor.load(tmp_path / "crf")
+        text = "Reduce waste by 20% by 2030."
+        assert loaded.extract(text) == fitted.extract(text)
+
+    def test_save_unfitted_raises(self, tmp_path):
+        from repro.crf.extractor import CrfDetailExtractor
+
+        with pytest.raises(RuntimeError):
+            CrfDetailExtractor().save(tmp_path / "x")

@@ -1,0 +1,66 @@
+"""CRF and prompting baselines on the NetZeroFacts schema."""
+
+import pytest
+
+from repro.core.schema import NETZEROFACTS_FIELDS
+from repro.crf.extractor import CrfConfig, CrfDetailExtractor
+from repro.datasets.base import train_test_split
+from repro.datasets.netzerofacts import build_netzerofacts
+from repro.eval import evaluate_extractions
+from repro.llm import PromptingExtractor
+
+
+@pytest.fixture(scope="module")
+def nz_split():
+    dataset = build_netzerofacts(seed=2, size=200)
+    return train_test_split(dataset, 0.2, seed=0)
+
+
+class TestNetZeroFactsBaselines:
+    def test_crf_learns_emission_schema(self, nz_split):
+        train, test = nz_split
+        extractor = CrfDetailExtractor(
+            fields=NETZEROFACTS_FIELDS, config=CrfConfig(epochs=5)
+        )
+        extractor.fit(train.objectives)
+        predictions = extractor.extract_batch(
+            [o.text for o in test.objectives]
+        )
+        report = evaluate_extractions(
+            predictions,
+            [o.details for o in test.objectives],
+            NETZEROFACTS_FIELDS,
+        )
+        assert report.f1 > 0.5
+
+    def test_few_shot_prompting_on_emission_schema(self, nz_split):
+        train, test = nz_split
+        extractor = PromptingExtractor(
+            "few", fields=NETZEROFACTS_FIELDS, seed=1
+        )
+        extractor.fit(train.objectives)
+        predictions = extractor.extract_batch(
+            [o.text for o in test.objectives[:50]]
+        )
+        report = evaluate_extractions(
+            predictions,
+            [o.details for o in test.objectives[:50]],
+            NETZEROFACTS_FIELDS,
+        )
+        assert report.f1 > 0.3  # heuristic reading works on emission goals
+
+    def test_zero_below_few(self, nz_split):
+        train, test = nz_split
+        texts = [o.text for o in test.objectives[:60]]
+        gold = [o.details for o in test.objectives[:60]]
+        scores = {}
+        for mode in ("zero", "few"):
+            extractor = PromptingExtractor(
+                mode, fields=NETZEROFACTS_FIELDS, seed=2
+            )
+            extractor.fit(train.objectives)
+            predictions = extractor.extract_batch(texts)
+            scores[mode] = evaluate_extractions(
+                predictions, gold, NETZEROFACTS_FIELDS
+            ).f1
+        assert scores["few"] >= scores["zero"]

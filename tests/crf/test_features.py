@@ -1,0 +1,84 @@
+"""Tests for CRF feature extraction."""
+
+import pytest
+
+from repro.crf.features import FeatureExtractor, token_features, token_shape
+
+
+class TestTokenShape:
+    @pytest.mark.parametrize(
+        "token,shape",
+        [
+            ("Reduce", "Xx"),
+            ("2040", "d"),
+            ("20%", "d%"),
+            ("net-zero", "x-x"),
+            ("CO2", "Xd"),
+            ("ALL", "X"),
+            ("", ""),
+        ],
+    )
+    def test_shapes(self, token, shape):
+        assert token_shape(token) == shape
+
+
+class TestTokenFeatures:
+    def test_lexical_feature_present(self):
+        features = token_features(["Reduce", "waste"], 0)
+        assert "w0=reduce" in features
+
+    def test_orthographic_features(self):
+        features = token_features(["2040"], 0)
+        assert "is_year=True" in features
+        assert "is_digit=True" in features
+
+    def test_percent_feature(self):
+        assert "has_percent=True" in token_features(["20%"], 0)
+
+    def test_bos_eos(self):
+        features_first = token_features(["a", "b"], 0)
+        features_last = token_features(["a", "b"], 1)
+        assert "BOS" in features_first
+        assert "EOS" in features_last
+
+    def test_context_features(self):
+        features = token_features(["cut", "waste", "by"], 1)
+        assert "w-1=cut" in features
+        assert "w+1=by" in features
+        assert "w-1|w0=cut|waste" in features
+
+    def test_wide_context(self):
+        features = token_features(["a", "b", "c", "d", "e"], 2)
+        assert "w-2=a" in features
+        assert "w+2=e" in features
+
+    def test_year_not_flagged_for_word(self):
+        assert "is_year=False" in token_features(["waste"], 0)
+
+
+class TestFeatureExtractor:
+    def test_fit_interns_features(self):
+        extractor = FeatureExtractor()
+        ids = extractor.fit_sentence(["Reduce", "waste"])
+        assert len(extractor) > 0
+        assert all(isinstance(i, int) for row in ids for i in row)
+
+    def test_same_feature_same_id(self):
+        extractor = FeatureExtractor()
+        first = extractor.fit_sentence(["waste"])
+        second = extractor.fit_sentence(["waste"])
+        assert first == second
+
+    def test_transform_skips_unseen(self):
+        extractor = FeatureExtractor()
+        extractor.fit_sentence(["known"])
+        extractor.freeze()
+        transformed = extractor.transform_sentence(["unseen"])
+        known_count = len(extractor.transform_sentence(["known"])[0])
+        assert len(transformed[0]) < known_count
+
+    def test_frozen_rejects_fit(self):
+        extractor = FeatureExtractor()
+        extractor.freeze()
+        with pytest.raises(RuntimeError):
+            extractor.fit_sentence(["x"])

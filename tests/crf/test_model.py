@@ -1,0 +1,144 @@
+"""Tests for the linear-chain CRF: brute-force checks on tiny chains."""
+
+import itertools
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.crf.model import LinearChainCRF
+
+
+def brute_force_log_partition(crf: LinearChainCRF, features) -> float:
+    """Enumerate all label paths and logsumexp their scores."""
+    length = len(features)
+    scores = [
+        crf.sequence_score(features, list(path))
+        for path in itertools.product(range(crf.num_labels), repeat=length)
+    ]
+    return float(np.log(np.sum(np.exp(scores))))
+
+
+@pytest.fixture
+def small_crf():
+    rng = np.random.default_rng(5)
+    crf = LinearChainCRF(num_features=6, num_labels=3)
+    crf.emission_weights = rng.normal(size=crf.emission_weights.shape)
+    crf.transition_weights = rng.normal(size=crf.transition_weights.shape)
+    crf.start_weights = rng.normal(size=3)
+    crf.end_weights = rng.normal(size=3)
+    return crf
+
+
+@pytest.fixture
+def features():
+    return [[0, 2], [1], [3, 4, 5], [0]]
+
+
+class TestPartition:
+    def test_matches_brute_force(self, small_crf, features):
+        assert small_crf.log_partition(features) == pytest.approx(
+            brute_force_log_partition(small_crf, features)
+        )
+
+    def test_log_likelihood_is_negative_log_prob(self, small_crf, features):
+        total = 0.0
+        for path in itertools.product(range(3), repeat=len(features)):
+            total += np.exp(small_crf.log_likelihood(features, list(path)))
+        assert total == pytest.approx(1.0)
+
+    def test_partition_upper_bounds_any_path(self, small_crf, features):
+        log_z = small_crf.log_partition(features)
+        for path in itertools.product(range(3), repeat=len(features)):
+            assert small_crf.sequence_score(features, list(path)) <= log_z + 1e-9
+
+
+class TestMarginals:
+    def test_unary_marginals_sum_to_one(self, small_crf, features):
+        unary, __ = small_crf.marginals(features)
+        np.testing.assert_allclose(unary.sum(axis=1), 1.0)
+
+    def test_unary_matches_brute_force(self, small_crf, features):
+        unary, __ = small_crf.marginals(features)
+        log_z = small_crf.log_partition(features)
+        expected = np.zeros_like(unary)
+        for path in itertools.product(range(3), repeat=len(features)):
+            probability = np.exp(
+                small_crf.sequence_score(features, list(path)) - log_z
+            )
+            for position, label in enumerate(path):
+                expected[position, label] += probability
+        np.testing.assert_allclose(unary, expected, atol=1e-9)
+
+    def test_pairwise_consistent_with_unary(self, small_crf, features):
+        unary, pairwise = small_crf.marginals(features)
+        # Marginalizing the pairwise over the next label gives the unary.
+        np.testing.assert_allclose(
+            pairwise[0].sum(axis=1), unary[0], atol=1e-9
+        )
+        np.testing.assert_allclose(
+            pairwise[0].sum(axis=0), unary[1], atol=1e-9
+        )
+
+
+class TestViterbi:
+    def test_finds_best_path(self, small_crf, features):
+        best = small_crf.viterbi(features)
+        best_score = small_crf.sequence_score(features, best)
+        for path in itertools.product(range(3), repeat=len(features)):
+            assert small_crf.sequence_score(features, list(path)) <= (
+                best_score + 1e-9
+            )
+
+    def test_empty_sequence(self, small_crf):
+        assert small_crf.viterbi([]) == []
+
+    def test_single_position(self, small_crf):
+        path = small_crf.viterbi([[0]])
+        assert len(path) == 1
+
+
+class TestTraining:
+    def test_sgd_increases_likelihood(self, small_crf, features):
+        labels = [0, 1, 2, 0]
+        before = small_crf.log_likelihood(features, labels)
+        for __ in range(20):
+            small_crf.sgd_update(features, labels, lr=0.2)
+        after = small_crf.log_likelihood(features, labels)
+        assert after > before
+
+    def test_learns_simple_pattern(self):
+        # Feature 0 -> label 0, feature 1 -> label 1.
+        crf = LinearChainCRF(num_features=2, num_labels=2, l2=0.0)
+        data = [
+            ([[0], [1], [0]], [0, 1, 0]),
+            ([[1], [0]], [1, 0]),
+        ]
+        for __ in range(50):
+            for features, labels in data:
+                crf.sgd_update(features, labels, lr=0.1)
+        assert crf.viterbi([[0], [1], [1], [0]]) == [0, 1, 1, 0]
+
+    def test_mismatched_lengths_raise(self, small_crf):
+        with pytest.raises(ValueError):
+            small_crf.sgd_update([[0]], [0, 1], lr=0.1)
+
+    def test_constructor_validation(self):
+        with pytest.raises(ValueError):
+            LinearChainCRF(0, 3)
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(0, 1000))
+def test_partition_bounds_property(seed):
+    """log Z >= score of the Viterbi path, always."""
+    rng = np.random.default_rng(seed)
+    crf = LinearChainCRF(num_features=4, num_labels=3)
+    crf.emission_weights = rng.normal(size=crf.emission_weights.shape)
+    crf.transition_weights = rng.normal(size=crf.transition_weights.shape)
+    features = [
+        list(rng.choice(4, size=rng.integers(1, 3), replace=False))
+        for __ in range(int(rng.integers(1, 6)))
+    ]
+    best = crf.viterbi(features)
+    assert crf.log_partition(features) >= crf.sequence_score(features, best)

@@ -1,0 +1,72 @@
+"""Tests for Dataset containers and splits."""
+
+import pytest
+
+from repro.core.schema import AnnotatedObjective
+from repro.datasets.base import Dataset, train_test_split
+
+
+@pytest.fixture
+def dataset():
+    objectives = [
+        AnnotatedObjective(f"Objective number {i}.", {"Action": "do"})
+        for i in range(10)
+    ]
+    return Dataset("demo", ("Action", "Amount"), objectives)
+
+
+class TestDataset:
+    def test_len_iter_getitem(self, dataset):
+        assert len(dataset) == 10
+        assert dataset[0].text == "Objective number 0."
+        assert len(list(dataset)) == 10
+
+    def test_field_availability(self, dataset):
+        availability = dataset.field_availability()
+        assert availability["Action"] == 1.0
+        assert availability["Amount"] == 0.0
+
+    def test_field_availability_empty(self):
+        empty = Dataset("e", ("Action",), [])
+        assert empty.field_availability() == {"Action": 0.0}
+
+    def test_subset(self, dataset):
+        sub = dataset.subset([1, 3, 5], name="sub")
+        assert len(sub) == 3
+        assert sub.name == "sub"
+        assert sub[0].text == "Objective number 1."
+
+    def test_jsonl_roundtrip(self, dataset, tmp_path):
+        path = tmp_path / "data.jsonl"
+        dataset.save_jsonl(path)
+        loaded = Dataset.load_jsonl(path)
+        assert loaded.name == dataset.name
+        assert loaded.fields == dataset.fields
+        assert [o.text for o in loaded] == [o.text for o in dataset]
+        assert loaded[0].details == dataset[0].details
+
+
+class TestTrainTestSplit:
+    def test_disjoint_and_complete(self, dataset):
+        train, test = train_test_split(dataset, 0.2, seed=0)
+        assert len(train) + len(test) == len(dataset)
+        train_texts = {o.text for o in train}
+        test_texts = {o.text for o in test}
+        assert not train_texts & test_texts
+
+    def test_paper_fraction(self, dataset):
+        __, test = train_test_split(dataset, 0.2, seed=0)
+        assert len(test) == 2
+
+    def test_seed_changes_split(self, dataset):
+        __, test_a = train_test_split(dataset, 0.2, seed=0)
+        __, test_b = train_test_split(dataset, 0.2, seed=1)
+        texts_a = {o.text for o in test_a}
+        texts_b = {o.text for o in test_b}
+        assert texts_a != texts_b  # 10 choose 2 makes collision unlikely
+
+    def test_invalid_fraction(self, dataset):
+        with pytest.raises(ValueError):
+            train_test_split(dataset, 0.0)
+        with pytest.raises(ValueError):
+            train_test_split(dataset, 1.0)

@@ -1,0 +1,111 @@
+"""Tests for the objective grammar generator."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.weak_labeling import WeakLabelingStats, weakly_label_objective
+from repro.datasets.generator import (
+    GeneratorConfig,
+    ObjectiveGenerator,
+    _gerund,
+    make_company_name,
+)
+
+
+class TestGerund:
+    @pytest.mark.parametrize(
+        "verb,expected",
+        [
+            ("Reduce", "reducing"),
+            ("Cut", "cutting"),
+            ("Reach", "reaching"),
+            ("Promote", "promoting"),
+            ("Empower", "empowering"),
+            ("Keep", "keeping"),
+        ],
+    )
+    def test_inflections(self, verb, expected):
+        assert _gerund(verb) == expected
+
+    def test_multiword_verb(self):
+        assert _gerund("Switch to").startswith("switching")
+
+
+class TestObjectiveGenerator:
+    def test_deterministic_given_seed(self):
+        a = ObjectiveGenerator(seed=5).generate_many(10)
+        b = ObjectiveGenerator(seed=5).generate_many(10)
+        assert [o.text for o in a] == [o.text for o in b]
+
+    def test_different_seeds_differ(self):
+        a = ObjectiveGenerator(seed=1).generate_many(10)
+        b = ObjectiveGenerator(seed=2).generate_many(10)
+        assert [o.text for o in a] != [o.text for o in b]
+
+    def test_annotations_are_substrings_mostly(self):
+        """Exact substrings, except the small annotation-divergence noise
+        (expert normalization) the fuzzy-matching ablation relies on."""
+        generator = ObjectiveGenerator(seed=3)
+        total = divergent = 0
+        for objective in generator.generate_many(200):
+            for value in objective.present_details().values():
+                total += 1
+                divergent += value not in objective.text
+        assert divergent / total < 0.05
+
+    def test_annotations_are_exact_substrings_without_divergence(self):
+        config = GeneratorConfig(annotation_divergence=0.0)
+        generator = ObjectiveGenerator(config, seed=3)
+        for objective in generator.generate_many(200):
+            for value in objective.present_details().values():
+                assert value in objective.text, (value, objective.text)
+
+    def test_texts_end_with_period(self):
+        generator = ObjectiveGenerator(seed=4)
+        assert all(o.text.endswith(".") for o in generator.generate_many(50))
+
+    def test_field_availability_tracks_config(self):
+        config = GeneratorConfig(
+            p_deadline=1.0, p_baseline=0.0, annotation_dropout=0.0,
+            p_action=1.0,
+        )
+        generator = ObjectiveGenerator(config, seed=6)
+        objectives = generator.generate_many(100)
+        deadline_rate = np.mean([o.has_detail("Deadline") for o in objectives])
+        baseline_rate = np.mean([o.has_detail("Baseline") for o in objectives])
+        assert deadline_rate > 0.9
+        assert baseline_rate == 0.0
+
+    def test_annotation_dropout_removes_details(self):
+        high_dropout = GeneratorConfig(annotation_dropout=0.95)
+        generator = ObjectiveGenerator(high_dropout, seed=7)
+        objectives = generator.generate_many(50)
+        mean_details = np.mean(
+            [len(o.present_details()) for o in objectives]
+        )
+        assert mean_details < 1.0
+
+    def test_weak_labeling_coverage_high(self):
+        """Exact matching must cover nearly all generated annotations."""
+        generator = ObjectiveGenerator(seed=8)
+        stats = WeakLabelingStats()
+        for objective in generator.generate_many(300):
+            weakly_label_objective(objective, stats=stats)
+        assert stats.coverage > 0.97
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(0, 100_000))
+    def test_any_seed_generates_valid_objective(self, seed):
+        objective = ObjectiveGenerator(seed=seed).generate()
+        assert objective.text.strip()
+        for field in objective.details:
+            assert field in (
+                "Action", "Amount", "Qualifier", "Baseline", "Deadline",
+            )
+
+
+class TestMakeCompanyName:
+    def test_format(self):
+        name = make_company_name(np.random.default_rng(0))
+        assert len(name.split()) == 3

@@ -1,0 +1,61 @@
+"""Sanity tests over the lexicon pools the grammar draws from."""
+
+from repro.datasets import lexicon
+
+
+class TestTopics:
+    def test_topics_nonempty(self):
+        assert len(lexicon.TOPICS) >= 10
+
+    def test_every_topic_has_verbs_and_qualifiers(self):
+        for topic in lexicon.TOPICS:
+            assert topic.verbs, topic.name
+            assert topic.qualifiers, topic.name
+
+    def test_amount_styles_are_known(self):
+        known = {
+            "percent", "percent_words", "netzero", "zero",
+            "absolute_tonnes", "count_large", "currency",
+        }
+        for topic in lexicon.TOPICS:
+            assert set(topic.amount_styles) <= known, topic.name
+
+    def test_governance_is_unquantified(self):
+        governance = next(
+            t for t in lexicon.TOPICS if t.name == "governance"
+        )
+        assert governance.amount_styles == ()
+
+    def test_topic_names_unique(self):
+        names = [t.name for t in lexicon.TOPICS]
+        assert len(names) == len(set(names))
+
+
+class TestPools:
+    def test_compound_pools_nonempty(self):
+        assert len(lexicon.COMPOUND_PREFIXES) >= 10
+        assert len(lexicon.COMPOUND_STEMS) >= 15
+        assert len(lexicon.COMPOUND_SUFFIX_UNITS) >= 5
+
+    def test_compound_space_is_large(self):
+        combinations = (
+            len(lexicon.COMPOUND_PREFIXES)
+            * len(lexicon.COMPOUND_STEMS)
+            * len(lexicon.COMPOUND_SUFFIX_UNITS)
+        )
+        assert combinations > 1000  # long-tail regime
+
+    def test_qualifier_heads_cover_topics(self):
+        topic_names = {t.name for t in lexicon.TOPICS}
+        assert set(lexicon.QUALIFIER_HEADS_BY_TOPIC) <= topic_names
+
+    def test_narrative_sentences_contain_hard_negatives(self):
+        with_numbers = [
+            s for s in lexicon.NARRATIVE_SENTENCES
+            if any(c.isdigit() for c in s)
+        ]
+        assert len(with_numbers) >= 3  # years/numbers that are NOT details
+
+    def test_statistic_templates_have_placeholders(self):
+        for template in lexicon.STATISTIC_SENTENCES:
+            assert "{stat_year}" in template or "{big_number}" in template

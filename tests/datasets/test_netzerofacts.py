@@ -1,0 +1,53 @@
+"""Tests for the NetZeroFacts reconstruction."""
+
+import pytest
+
+from repro.datasets.netzerofacts import NUM_SENTENCES, build_netzerofacts
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return build_netzerofacts(seed=0)
+
+
+class TestNetZeroFacts:
+    def test_paper_size(self, dataset):
+        assert len(dataset) == NUM_SENTENCES == 599
+
+    def test_schema(self, dataset):
+        assert dataset.fields == ("TargetValue", "ReferenceYear", "TargetYear")
+
+    def test_every_sentence_has_at_least_one_label(self, dataset):
+        """Paper: 'each of which is annotated with at least one label'."""
+        assert all(o.present_details() for o in dataset)
+
+    def test_annotations_are_substrings(self, dataset):
+        for objective in dataset:
+            for value in objective.present_details().values():
+                assert value in objective.text
+
+    def test_target_years_plausible(self, dataset):
+        for objective in dataset:
+            year = objective.details.get("TargetYear", "")
+            if year:
+                assert 2025 <= int(year) <= 2050
+
+    def test_reference_years_before_target_years(self, dataset):
+        for objective in dataset:
+            reference = objective.details.get("ReferenceYear", "")
+            target = objective.details.get("TargetYear", "")
+            if reference and target:
+                assert int(reference) < int(target)
+
+    def test_reproducible(self):
+        a = build_netzerofacts(seed=9, size=30)
+        b = build_netzerofacts(seed=9, size=30)
+        assert [o.text for o in a] == [o.text for o in b]
+
+    def test_emission_vocabulary_present(self, dataset):
+        emission_mentions = sum(
+            1 for o in dataset if "emission" in o.text.lower()
+            or "carbon" in o.text.lower() or "climate" in o.text.lower()
+            or "net" in o.text.lower()
+        )
+        assert emission_mentions > len(dataset) * 0.8

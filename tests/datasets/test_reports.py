@@ -1,0 +1,94 @@
+"""Tests for the report generator and deployment corpus."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.reports import (
+    DEPLOYMENT_COMPANIES,
+    ReportGenerator,
+    _split_total,
+    build_deployment_corpus,
+    corpus_summary,
+)
+
+
+class TestSplitTotal:
+    def test_sums_exactly(self):
+        rng = np.random.default_rng(0)
+        parts = _split_total(100, 7, rng, minimum=1)
+        assert parts.sum() == 100
+        assert (parts >= 1).all()
+
+    def test_zero_minimum(self):
+        rng = np.random.default_rng(1)
+        parts = _split_total(5, 10, rng, minimum=0)
+        assert parts.sum() == 5
+        assert (parts >= 0).all()
+
+    def test_too_small_total_raises(self):
+        with pytest.raises(ValueError):
+            _split_total(3, 5, np.random.default_rng(0), minimum=1)
+
+
+class TestReportGenerator:
+    def test_exact_page_and_objective_counts(self):
+        generator = ReportGenerator(seed=2)
+        report = generator.generate_report("ACME", "r1", 12, 5)
+        assert report.num_pages == 12
+        assert len(report.objectives()) == 5
+
+    def test_objectives_carry_provenance(self):
+        generator = ReportGenerator(seed=3)
+        report = generator.generate_report("ACME", "r1", 4, 2)
+        for objective in report.objectives():
+            assert objective.company == "ACME"
+            assert objective.report_id == "r1"
+
+    def test_noise_blocks_not_objectives(self):
+        generator = ReportGenerator(seed=4)
+        report = generator.generate_report("X", "r", 5, 0)
+        assert all(not block.is_objective for block in report.blocks())
+        assert all(block.text.strip() for block in report.blocks())
+
+    def test_zero_pages_rejected(self):
+        with pytest.raises(ValueError):
+            ReportGenerator(seed=0).generate_report("X", "r", 0, 0)
+
+
+class TestDeploymentCorpus:
+    def test_table5_totals_at_scale(self):
+        """At scale=1 the corpus matches Table 5: 380 docs, 37,871 pages,
+        3,580 objectives. We verify the scaled-down version proportionally
+        (full scale is exercised by the deployment benchmark)."""
+        reports = build_deployment_corpus(seed=0, scale=0.05)
+        summary = corpus_summary(reports)
+        companies = {row[0] for row in summary}
+        assert companies == {name for name, *__ in DEPLOYMENT_COMPANIES}
+        total_docs = sum(row[1] for row in summary)
+        expected_docs = sum(
+            max(1, round(docs * 0.05)) for __, docs, *__unused in DEPLOYMENT_COMPANIES
+        )
+        assert total_docs == expected_docs
+
+    def test_per_company_page_counts_scale(self):
+        reports = build_deployment_corpus(seed=1, scale=0.02)
+        summary = {row[0]: row for row in corpus_summary(reports)}
+        for company, docs, pages, objectives in DEPLOYMENT_COMPANIES:
+            assert summary[company][2] == pytest.approx(
+                pages * 0.02, rel=0.2, abs=3
+            )
+
+    def test_paper_totals_constant(self):
+        assert sum(d for __, d, *_ in DEPLOYMENT_COMPANIES) == 380
+        assert sum(p for *_, p, __ in DEPLOYMENT_COMPANIES) == 37871
+        assert sum(o for *_, o in DEPLOYMENT_COMPANIES) == 3580
+
+    def test_invalid_scale(self):
+        with pytest.raises(ValueError):
+            build_deployment_corpus(scale=0.0)
+
+    def test_reproducible(self):
+        a = build_deployment_corpus(seed=5, scale=0.02)
+        b = build_deployment_corpus(seed=5, scale=0.02)
+        assert [r.report_id for r in a] == [r.report_id for r in b]
+        assert a[0].pages[0].blocks[0].text == b[0].pages[0].blocks[0].text

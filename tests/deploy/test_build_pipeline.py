@@ -1,0 +1,44 @@
+"""Tests for pipeline construction with an injected extractor."""
+
+from repro.core.base import DetailExtractor
+from repro.datasets.base import Dataset
+from repro.deploy.scenarios import build_trained_pipeline
+from repro.goalspotter.detector import DetectorConfig
+from repro.models.training import FineTuneConfig
+
+
+class StubExtractor(DetailExtractor):
+    name = "stub"
+
+    def fit(self, objectives):
+        return self
+
+    def extract(self, text):
+        return {"Action": "", "Amount": "", "Qualifier": "",
+                "Baseline": "", "Deadline": ""}
+
+
+def test_build_pipeline_with_injected_extractor():
+    """Passing an extractor skips extractor training but still trains the
+    detector on generated blocks."""
+    dataset = Dataset("empty-ok", ("Action",), [])
+    fast_detector = DetectorConfig(
+        dim=32,
+        num_layers=1,
+        num_heads=2,
+        ffn_dim=64,
+        num_merges=150,
+        finetune=FineTuneConfig(epochs=1, learning_rate=2e-3),
+    )
+    pipeline = build_trained_pipeline(
+        dataset,
+        seed=0,
+        detector_blocks=120,
+        detector_config=fast_detector,
+        extractor=StubExtractor(),
+    )
+    assert pipeline.extractor.name == "stub"
+    probabilities = pipeline.detector.predict_proba(
+        ["Reduce waste by 20% by 2030."]
+    )
+    assert 0.0 <= probabilities[0] <= 1.0

@@ -1,0 +1,102 @@
+"""Tests for the deployment scenario runners (small-scale)."""
+
+import numpy as np
+import pytest
+
+from repro.core.base import DetailExtractor
+from repro.datasets.reports import ReportGenerator, build_deployment_corpus
+from repro.deploy.scenarios import (
+    records_table,
+    run_scenario_1,
+    run_scenario_2,
+)
+from repro.goalspotter.pipeline import GoalSpotter
+
+
+class StubDetector:
+    """Flags blocks whose details-bearing grammar markers are present."""
+
+    class config:
+        threshold = 0.5
+
+    def predict_proba(self, texts):
+        import re
+
+        scores = []
+        for text in texts:
+            has_percent = "%" in text or "percent" in text
+            has_future_year = bool(re.search(r"20[3-4]\d", text))
+            scores.append(0.9 if (has_percent or has_future_year) else 0.1)
+        return np.array(scores)
+
+
+class StubExtractor(DetailExtractor):
+    name = "stub"
+
+    def fit(self, objectives):
+        return self
+
+    def extract(self, text):
+        return {
+            "Action": "Reduce", "Amount": "10%", "Qualifier": "waste",
+            "Baseline": "", "Deadline": "",
+        }
+
+
+@pytest.fixture(scope="module")
+def pipeline():
+    return GoalSpotter(StubDetector(), StubExtractor())
+
+
+@pytest.fixture(scope="module")
+def result(pipeline):
+    reports = build_deployment_corpus(seed=0, scale=0.01)
+    return run_scenario_1(pipeline, reports=reports)
+
+
+class TestScenario1:
+    def test_summary_covers_all_companies(self, result):
+        companies = [row[0] for row in result.summary_rows]
+        assert companies == [f"C{i}" for i in range(1, 15)]
+
+    def test_totals_consistent(self, result):
+        docs, pages, objectives = result.totals
+        assert docs == sum(row[1] for row in result.summary_rows)
+        assert objectives == len(result.records)
+
+    def test_store_filled(self, result):
+        assert result.store.count() == len(result.records)
+
+    def test_top_records_capped(self, result):
+        for records in result.top_records.values():
+            assert len(records) <= 2
+
+    def test_detected_counts_positive(self, result):
+        detected = sum(row[3] for row in result.summary_rows)
+        assert detected > 0
+
+
+class TestScenario2:
+    def test_single_report_records(self, pipeline):
+        records = run_scenario_2(pipeline, num_pages=10, num_objectives=5, top_k=4)
+        assert len(records) <= 4
+        scores = [record.score for record in records]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_custom_report(self, pipeline):
+        report = ReportGenerator(seed=3).generate_report("X", "r", 5, 3)
+        records = run_scenario_2(pipeline, report=report)
+        assert all(record.company == "X" for record in records)
+
+
+class TestRecordsTable:
+    def test_rows_shape(self, pipeline):
+        records = run_scenario_2(pipeline, num_pages=6, num_objectives=4)
+        rows = records_table(records)
+        for row in rows:
+            assert len(row) == 2 + 5  # company, objective, five fields
+
+    def test_long_text_truncated(self, pipeline):
+        records = run_scenario_2(pipeline, num_pages=6, num_objectives=4)
+        rows = records_table(records, max_text=20)
+        assert all(len(row[1]) <= 20 for row in rows)

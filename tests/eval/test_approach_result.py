@@ -1,0 +1,33 @@
+"""Tests for ApproachResult row formatting."""
+
+from repro.eval.protocol import ApproachResult
+
+
+def make_result(train_seconds=0.0, inference_seconds=0.0):
+    return ApproachResult(
+        approach="X",
+        dataset="d",
+        precision=0.5,
+        recall=0.25,
+        f1=0.333,
+        train_seconds=train_seconds,
+        inference_seconds=inference_seconds,
+        runs=1,
+    )
+
+
+class TestApproachResult:
+    def test_sub_minute_formats_as_less_than_one(self):
+        assert make_result(10.0, 5.0).row()[4] == "< 1"
+
+    def test_minutes_rounded(self):
+        assert make_result(110.0, 10.0).row()[4] == "2"
+
+    def test_metrics_formatting(self):
+        row = make_result().row()
+        assert row[1] == "0.50"
+        assert row[2] == "0.25"
+        assert row[3] == "0.33"
+
+    def test_total_seconds(self):
+        assert make_result(60.0, 30.0).total_seconds == 90.0

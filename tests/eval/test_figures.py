@@ -1,0 +1,40 @@
+"""Tests for ASCII figure rendering."""
+
+import pytest
+
+from repro.eval.figures import render_bars
+
+
+class TestRenderBars:
+    def test_basic_chart(self):
+        chart = render_bars({"Action": 0.9, "Baseline": 0.45}, maximum=1.0)
+        lines = chart.splitlines()
+        assert len(lines) == 2
+        assert lines[0].count("#") == 36  # 0.9 * 40
+        assert lines[1].count("#") == 18
+
+    def test_title(self):
+        chart = render_bars({"a": 1.0}, title="Figure 4")
+        assert chart.startswith("Figure 4")
+
+    def test_values_printed(self):
+        chart = render_bars({"a": 0.57}, maximum=1.0)
+        assert "0.57" in chart
+
+    def test_auto_scale(self):
+        chart = render_bars({"big": 200.0, "small": 100.0}, width=10)
+        lines = chart.splitlines()
+        assert lines[0].count("#") == 10
+        assert lines[1].count("#") == 5
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            render_bars({"x": -1.0})
+
+    def test_empty(self):
+        assert render_bars({}) == ""
+        assert render_bars({}, title="t") == "t"
+
+    def test_overflow_clipped(self):
+        chart = render_bars({"x": 5.0}, maximum=1.0, width=10)
+        assert chart.count("#") == 10

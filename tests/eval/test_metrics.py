@@ -1,0 +1,135 @@
+"""Tests for the paper's evaluation measures."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.eval.metrics import (
+    FieldCounts,
+    evaluate_extractions,
+    precision_recall_f1,
+    values_match,
+)
+
+FIELDS = ("Action", "Amount")
+
+
+class TestValuesMatch:
+    def test_exact(self):
+        assert values_match("Reduce", "Reduce")
+
+    def test_case_insensitive(self):
+        assert values_match("reduce", "Reduce")
+
+    def test_whitespace_normalized(self):
+        assert values_match("energy  consumption", "energy consumption")
+
+    def test_edge_punctuation_ignored(self):
+        assert values_match("2040.", "2040")
+
+    def test_empty_gold_never_matches(self):
+        assert not values_match("", "")
+        assert not values_match("x", "")
+
+    def test_different_values(self):
+        assert not values_match("20%", "30%")
+
+    def test_partial_value_is_not_match(self):
+        assert not values_match("energy", "energy consumption")
+
+
+class TestFieldCounts:
+    def test_true_positive(self):
+        counts = FieldCounts()
+        counts.update("20%", "20%")
+        assert (counts.tp, counts.fp, counts.fn) == (1, 0, 0)
+
+    def test_wrong_value_is_fp_and_fn(self):
+        """Paper semantics: extracting the wrong value both pollutes the
+        output (FP) and misses the right one (FN)."""
+        counts = FieldCounts()
+        counts.update("20%", "30%")
+        assert (counts.tp, counts.fp, counts.fn) == (0, 1, 1)
+
+    def test_spurious_extraction_is_fp(self):
+        counts = FieldCounts()
+        counts.update("20%", "")
+        assert (counts.tp, counts.fp, counts.fn) == (0, 1, 0)
+
+    def test_missed_extraction_is_fn(self):
+        counts = FieldCounts()
+        counts.update("", "20%")
+        assert (counts.tp, counts.fp, counts.fn) == (0, 0, 1)
+
+    def test_both_absent_counts_nothing(self):
+        counts = FieldCounts()
+        counts.update("", "")
+        assert (counts.tp, counts.fp, counts.fn) == (0, 0, 0)
+
+    def test_merge(self):
+        a = FieldCounts(1, 2, 3)
+        a.merge(FieldCounts(10, 20, 30))
+        assert (a.tp, a.fp, a.fn) == (11, 22, 33)
+
+
+class TestPrecisionRecallF1:
+    def test_perfect(self):
+        assert precision_recall_f1(10, 0, 0) == (1.0, 1.0, 1.0)
+
+    def test_zero_counts(self):
+        assert precision_recall_f1(0, 0, 0) == (0.0, 0.0, 0.0)
+
+    def test_hand_computed(self):
+        precision, recall, f1 = precision_recall_f1(6, 2, 4)
+        assert precision == pytest.approx(0.75)
+        assert recall == pytest.approx(0.6)
+        assert f1 == pytest.approx(2 * 0.75 * 0.6 / 1.35)
+
+    @given(st.integers(0, 100), st.integers(0, 100), st.integers(0, 100))
+    def test_bounds(self, tp, fp, fn):
+        precision, recall, f1 = precision_recall_f1(tp, fp, fn)
+        assert 0.0 <= precision <= 1.0
+        assert 0.0 <= recall <= 1.0
+        assert 0.0 <= f1 <= 1.0
+        assert min(precision, recall) - 1e-9 <= f1 <= max(precision, recall) + 1e-9
+
+
+class TestEvaluateExtractions:
+    def test_hand_counted_report(self):
+        predictions = [
+            {"Action": "Reduce", "Amount": "20%"},   # both right
+            {"Action": "Cut", "Amount": ""},          # action wrong, amount FN
+            {"Action": "", "Amount": "5%"},           # spurious amount
+        ]
+        gold = [
+            {"Action": "Reduce", "Amount": "20%"},
+            {"Action": "Increase", "Amount": "10%"},
+            {"Action": "", "Amount": ""},
+        ]
+        report = evaluate_extractions(predictions, gold, FIELDS)
+        action = report.per_field["Action"]
+        amount = report.per_field["Amount"]
+        assert (action.tp, action.fp, action.fn) == (1, 1, 1)
+        assert (amount.tp, amount.fp, amount.fn) == (1, 1, 1)
+        assert report.precision == pytest.approx(2 / 4)
+        assert report.recall == pytest.approx(2 / 4)
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            evaluate_extractions([{}], [{}, {}], FIELDS)
+
+    def test_field_f1_accessor(self):
+        report = evaluate_extractions(
+            [{"Action": "a"}], [{"Action": "a"}], FIELDS
+        )
+        assert report.field_f1("Action") == 1.0
+        assert report.field_f1("Amount") == 0.0
+
+    def test_summary_keys(self):
+        report = evaluate_extractions([], [], FIELDS)
+        assert set(report.summary()) == {"precision", "recall", "f1"}
+
+    def test_fields_outside_schema_ignored(self):
+        report = evaluate_extractions(
+            [{"Other": "x", "Action": "a"}], [{"Action": "a"}], FIELDS
+        )
+        assert report.precision == 1.0

@@ -1,0 +1,104 @@
+"""Tests for the evaluation run protocol."""
+
+import pytest
+
+from repro.core.base import DetailExtractor
+from repro.core.schema import AnnotatedObjective
+from repro.datasets.base import Dataset
+from repro.eval.protocol import evaluate_extractor, run_comparison
+
+
+class OracleExtractor(DetailExtractor):
+    """Returns the gold annotations (memorized at fit time by text)."""
+
+    name = "oracle"
+
+    def __init__(self, fields):
+        self.fields = fields
+        self.memory = {}
+
+    def fit(self, objectives):
+        self.memory = {o.text: dict(o.details) for o in objectives}
+        return self
+
+    def extract(self, text):
+        details = {field: "" for field in self.fields}
+        details.update(self.memory.get(text, {}))
+        return details
+
+
+class NullExtractor(DetailExtractor):
+    name = "null"
+
+    def __init__(self, fields):
+        self.fields = fields
+
+    def fit(self, objectives):
+        return self
+
+    def extract(self, text):
+        return {field: "" for field in self.fields}
+
+
+@pytest.fixture
+def dataset():
+    objectives = [
+        AnnotatedObjective(f"Reduce waste by {i}%.", {"Amount": f"{i}%"})
+        for i in range(1, 41)
+    ]
+    return Dataset("toy", ("Amount",), objectives)
+
+
+class TestEvaluateExtractor:
+    def test_null_extractor_zero_metrics(self, dataset):
+        from repro.datasets.base import train_test_split
+
+        train, test = train_test_split(dataset, 0.2, seed=0)
+        report, fit_s, inf_s = evaluate_extractor(
+            NullExtractor(dataset.fields), train, test
+        )
+        assert report.f1 == 0.0
+        assert fit_s >= 0.0 and inf_s >= 0.0
+
+
+class TestRunComparison:
+    def test_null_extractor(self, dataset):
+        result = run_comparison(
+            lambda seed: NullExtractor(dataset.fields),
+            dataset,
+            "null",
+            runs=2,
+        )
+        assert result.f1 == 0.0
+        assert result.runs == 2
+        assert len(result.per_run_f1) == 2
+
+    def test_row_format(self, dataset):
+        result = run_comparison(
+            lambda seed: NullExtractor(dataset.fields), dataset, "null", runs=1
+        )
+        row = result.row()
+        assert row[0] == "null"
+        assert row[4] == "< 1"  # sub-minute run
+
+    def test_each_run_uses_different_split(self, dataset):
+        """An extractor that memorizes training data cannot score 1.0 on
+        a *held-out* split; if splits were identical across runs the seeds
+        would not matter."""
+        result = run_comparison(
+            lambda seed: OracleExtractor(dataset.fields),
+            dataset,
+            "oracle",
+            runs=3,
+        )
+        # Oracle never saw the test texts, so F1 must be 0 on every run —
+        # proving the split is genuinely held out.
+        assert result.f1 == 0.0
+
+    def test_total_seconds(self, dataset):
+        result = run_comparison(
+            lambda seed: NullExtractor(dataset.fields), dataset, "null", runs=1
+        )
+        assert result.total_seconds == pytest.approx(
+            result.train_seconds + result.inference_seconds
+        )

@@ -1,0 +1,74 @@
+"""Tests for the paired bootstrap significance test."""
+
+import pytest
+
+from repro.eval.significance import BootstrapResult, paired_bootstrap
+
+FIELDS = ("Amount",)
+
+
+def _gold(n):
+    return [{"Amount": f"{i}%"} for i in range(n)]
+
+
+def _perfect(n):
+    return [{"Amount": f"{i}%"} for i in range(n)]
+
+
+def _noisy(n, wrong_every=3):
+    return [
+        {"Amount": f"{i}%" if i % wrong_every else "999%"}
+        for i in range(n)
+    ]
+
+
+class TestPairedBootstrap:
+    def test_clear_winner_is_significant(self):
+        gold = _gold(60)
+        result = paired_bootstrap(
+            _perfect(60), _noisy(60), gold, FIELDS, samples=200
+        )
+        assert result.delta > 0
+        assert result.p_value < 0.05
+        assert result.significant()
+
+    def test_identical_systems_not_significant(self):
+        gold = _gold(40)
+        predictions = _noisy(40)
+        result = paired_bootstrap(
+            predictions, predictions, gold, FIELDS, samples=100
+        )
+        assert result.delta == pytest.approx(0.0)
+        assert not result.significant()
+        assert result.p_value == 1.0  # ties count for B in the one-sided test
+
+    def test_f1_values_reported(self):
+        gold = _gold(30)
+        result = paired_bootstrap(
+            _perfect(30), _noisy(30), gold, FIELDS, samples=50
+        )
+        assert result.f1_a == pytest.approx(1.0)
+        assert result.f1_b < 1.0
+
+    def test_parallel_validation(self):
+        with pytest.raises(ValueError):
+            paired_bootstrap([{}], [{}, {}], [{}], FIELDS)
+
+    def test_empty_gold_rejected(self):
+        with pytest.raises(ValueError):
+            paired_bootstrap([], [], [], FIELDS)
+
+    def test_deterministic_given_seed(self):
+        gold = _gold(30)
+        a = paired_bootstrap(
+            _perfect(30), _noisy(30), gold, FIELDS, samples=50, seed=3
+        )
+        b = paired_bootstrap(
+            _perfect(30), _noisy(30), gold, FIELDS, samples=50, seed=3
+        )
+        assert a == b
+
+    def test_result_dataclass(self):
+        result = BootstrapResult(0.9, 0.5, 0.4, 0.01, 100)
+        assert result.significant()
+        assert not BootstrapResult(0.5, 0.9, -0.4, 0.99, 100).significant()

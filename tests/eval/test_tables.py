@@ -1,0 +1,36 @@
+"""Tests for table rendering."""
+
+import pytest
+
+from repro.eval.tables import render_table
+
+
+class TestRenderTable:
+    def test_basic_layout(self):
+        text = render_table(
+            ["Approach", "F1"],
+            [["CRF", "0.61"], ["GoalSpotter", "0.85"]],
+        )
+        lines = text.splitlines()
+        assert "Approach" in lines[0]
+        assert "-" in lines[1]
+        assert "GoalSpotter" in lines[3]
+
+    def test_title(self):
+        text = render_table(["a"], [["b"]], title="Table 4")
+        assert text.startswith("Table 4")
+
+    def test_alignment(self):
+        text = render_table(["col"], [["longer-value"], ["x"]])
+        lines = text.splitlines()
+        assert len(lines[2]) == len(lines[3].rstrip()) or len(
+            lines[2].rstrip()
+        ) >= len("longer-value")
+
+    def test_cell_count_mismatch(self):
+        with pytest.raises(ValueError):
+            render_table(["a", "b"], [["only-one"]])
+
+    def test_empty_rows(self):
+        text = render_table(["a", "b"], [])
+        assert "a" in text

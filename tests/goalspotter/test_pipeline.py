@@ -1,0 +1,114 @@
+"""Tests for the integrated GoalSpotter pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.core.base import DetailExtractor
+from repro.datasets.reports import ReportGenerator
+from repro.goalspotter.pipeline import ExtractedRecord, GoalSpotter
+
+
+class StubDetector:
+    """Deterministic detector: flags blocks containing a % sign or year."""
+
+    class config:
+        threshold = 0.5
+
+    def predict_proba(self, texts):
+        return np.array(
+            [0.9 if ("%" in t or "20" in t) else 0.1 for t in texts]
+        )
+
+
+class StubExtractor(DetailExtractor):
+    name = "stub"
+
+    def fit(self, objectives):
+        return self
+
+    def extract(self, text):
+        return {"Action": "Reduce", "Amount": "", "Qualifier": "",
+                "Baseline": "", "Deadline": ""}
+
+
+@pytest.fixture
+def pipeline():
+    return GoalSpotter(StubDetector(), StubExtractor())
+
+
+@pytest.fixture
+def report():
+    return ReportGenerator(seed=1).generate_report("ACME", "r0", 6, 4)
+
+
+class TestGoalSpotter:
+    def test_records_have_provenance(self, pipeline, report):
+        records = pipeline.process_report(report)
+        assert records
+        for record in records:
+            assert record.company == "ACME"
+            assert record.report_id == "r0"
+            assert 0 <= record.page < report.num_pages
+
+    def test_empty_corpus(self, pipeline):
+        assert pipeline.process_reports([]) == []
+
+    def test_details_attached(self, pipeline, report):
+        records = pipeline.process_report(report)
+        assert all(r.details["Action"] == "Reduce" for r in records)
+
+    def test_scores_above_threshold(self, pipeline, report):
+        records = pipeline.process_report(report)
+        assert all(r.score >= 0.5 for r in records)
+
+    def test_top_records_per_company(self):
+        records = [
+            ExtractedRecord("A", "r", 0, f"obj {i}", {}, score=i / 10)
+            for i in range(5)
+        ] + [
+            ExtractedRecord("B", "r", 0, "other", {}, score=0.7)
+        ]
+        top = GoalSpotter.top_records_per_company(records, top_k=2)
+        assert list(top) == ["A", "B"]
+        assert len(top["A"]) == 2
+        assert top["A"][0].score == 0.4  # highest first
+
+    def test_record_as_row(self):
+        record = ExtractedRecord(
+            "A", "r", 0, "obj", {"Action": "Cut"}, 0.9
+        )
+        row = record.as_row(("Action", "Amount"))
+        assert row == ["A", "obj", "Cut", ""]
+
+
+class TestSegmentation:
+    def test_segmenting_pipeline_splits_multi_target_blocks(self):
+        pipeline = GoalSpotter(StubDetector(), StubExtractor(), segment=True)
+        report = ReportGenerator(seed=2).generate_report("ACME", "r", 3, 0)
+        # Inject a known multi-target objective block.
+        from repro.datasets.reports import TextBlock
+
+        report.pages[0].blocks.append(
+            TextBlock(
+                text=(
+                    "Reduce waste by 20% by 2030, and expand renewable "
+                    "electricity across all sites."
+                ),
+                is_objective=True,
+            )
+        )
+        records = pipeline.process_report(report)
+        reduce_records = [r for r in records if "Reduce waste" in r.objective]
+        expand_records = [r for r in records if "expand renewable" in r.objective]
+        assert reduce_records and expand_records
+        # Clauses, not the full block, are the extraction units.
+        assert all(
+            "expand renewable" not in r.objective for r in reduce_records
+        )
+
+    def test_non_segmenting_pipeline_keeps_blocks_whole(self):
+        pipeline = GoalSpotter(StubDetector(), StubExtractor(), segment=False)
+        report = ReportGenerator(seed=2).generate_report("ACME", "r", 3, 2)
+        records = pipeline.process_report(report)
+        block_texts = {b.text for b in report.blocks()}
+        assert all(r.objective in block_texts for r in records)

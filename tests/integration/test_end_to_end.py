@@ -1,0 +1,144 @@
+"""End-to-end integration tests on small configurations.
+
+These train real (tiny) models, so they are the slowest tests in the suite
+— budget a couple of minutes.
+"""
+
+import pytest
+
+from repro.core.extractor import ExtractorConfig, WeakSupervisionExtractor
+from repro.datasets.base import train_test_split
+from repro.datasets.generator import ObjectiveGenerator
+from repro.datasets.base import Dataset
+from repro.eval import evaluate_extractions
+from repro.models.training import FineTuneConfig
+
+
+FAST_FINETUNE = FineTuneConfig(epochs=6, learning_rate=1.5e-3, batch_size=16)
+
+
+@pytest.fixture(scope="module")
+def small_dataset():
+    generator = ObjectiveGenerator(seed=123)
+    return Dataset(
+        "small",
+        ("Action", "Amount", "Qualifier", "Baseline", "Deadline"),
+        generator.generate_many(220),
+    )
+
+
+@pytest.fixture(scope="module")
+def fitted_extractor(small_dataset):
+    train, __ = train_test_split(small_dataset, 0.2, seed=0)
+    extractor = WeakSupervisionExtractor(
+        ExtractorConfig(finetune=FAST_FINETUNE, num_merges=300)
+    )
+    return extractor.fit(train.objectives)
+
+
+class TestEndToEnd:
+    def test_learns_above_trivial_baseline(self, small_dataset, fitted_extractor):
+        __, test = train_test_split(small_dataset, 0.2, seed=0)
+        predictions = fitted_extractor.extract_batch(
+            [o.text for o in test.objectives]
+        )
+        report = evaluate_extractions(
+            predictions,
+            [o.details for o in test.objectives],
+            small_dataset.fields,
+        )
+        # 220 examples and 6 epochs is far from the full protocol; the
+        # bar here is only "clearly learned something transferable".
+        assert report.f1 > 0.35
+
+    def test_extract_returns_all_fields(self, fitted_extractor):
+        details = fitted_extractor.extract("Reduce waste by 20% by 2030.")
+        assert set(details) == {
+            "Action", "Amount", "Qualifier", "Baseline", "Deadline",
+        }
+
+    def test_extracted_values_are_substrings(self, fitted_extractor):
+        text = "Cut water use by 30% by 2035 (baseline 2020)."
+        for value in fitted_extractor.extract(text).values():
+            if value:
+                assert value in text
+
+    def test_extract_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            WeakSupervisionExtractor().extract("x")
+
+    def test_fit_empty_raises(self):
+        with pytest.raises(ValueError):
+            WeakSupervisionExtractor().fit([])
+
+    def test_empty_text_extraction(self, fitted_extractor):
+        details = fitted_extractor.extract("   ...   ")
+        assert all(value == "" for value in details.values())
+
+    def test_save_load_roundtrip(self, fitted_extractor, tmp_path):
+        fitted_extractor.save(tmp_path / "model")
+        loaded = WeakSupervisionExtractor.load(tmp_path / "model")
+        text = "Reduce emissions by 40% by 2033."
+        assert loaded.extract(text) == fitted_extractor.extract(text)
+
+    def test_weak_stats_recorded(self, fitted_extractor):
+        assert fitted_extractor.weak_stats.annotations_total > 0
+        assert fitted_extractor.weak_stats.coverage > 0.9
+
+    def test_loss_history_decreases(self, fitted_extractor):
+        history = fitted_extractor.loss_history
+        assert history[-1] < history[0]
+
+
+class TestNetZeroFactsSchema:
+    def test_extractor_on_netzerofacts_fields(self):
+        from repro.core.schema import NETZEROFACTS_FIELDS
+        from repro.datasets.netzerofacts import build_netzerofacts
+
+        dataset = build_netzerofacts(seed=0, size=150)
+        train, test = train_test_split(dataset, 0.2, seed=0)
+        extractor = WeakSupervisionExtractor(
+            ExtractorConfig(
+                fields=NETZEROFACTS_FIELDS,
+                finetune=FAST_FINETUNE,
+                num_merges=300,
+            )
+        )
+        extractor.fit(train.objectives)
+        predictions = extractor.extract_batch(
+            [o.text for o in test.objectives]
+        )
+        report = evaluate_extractions(
+            predictions,
+            [o.details for o in test.objectives],
+            NETZEROFACTS_FIELDS,
+        )
+        assert report.f1 > 0.5  # templated emission goals are learnable
+
+
+class TestRobustness:
+    def test_very_long_text_is_truncated_not_crashed(self, fitted_extractor):
+        long_text = (
+            "Reduce energy consumption by 20% by 2030. " * 40
+        )
+        details = fitted_extractor.extract(long_text)
+        assert set(details) == {
+            "Action", "Amount", "Qualifier", "Baseline", "Deadline",
+        }
+
+    def test_extract_batch_empty(self, fitted_extractor):
+        assert fitted_extractor.extract_batch([]) == []
+
+    def test_unicode_noise_handled(self, fitted_extractor):
+        details = fitted_extractor.extract(
+            "Reduce  CO₂ emissions – by 20% ﻿by 2030."
+        )
+        assert isinstance(details["Amount"], str)
+
+    def test_batch_mixes_empty_and_real_texts(self, fitted_extractor):
+        results = fitted_extractor.extract_batch(
+            ["", "Reduce waste by 20%.", "   "]
+        )
+        assert len(results) == 3
+        assert all(v == "" for v in results[0].values())
+        assert all(v == "" for v in results[2].values())

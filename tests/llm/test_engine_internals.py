@@ -1,0 +1,44 @@
+"""Unit tests for SimulatedLLM prompt parsing internals."""
+
+from repro.core.schema import SUSTAINABILITY_FIELDS
+from repro.llm.engine import SimulatedLLM
+from repro.llm.prompts import build_prompt
+
+
+class TestParseFields:
+    def test_reads_glossary(self):
+        prompt = build_prompt("x.", ("Action", "Deadline"))
+        assert SimulatedLLM._parse_fields(prompt) == ["Action", "Deadline"]
+
+    def test_full_schema(self):
+        prompt = build_prompt("x.", SUSTAINABILITY_FIELDS)
+        assert SimulatedLLM._parse_fields(prompt) == list(
+            SUSTAINABILITY_FIELDS
+        )
+
+    def test_no_fields(self):
+        assert SimulatedLLM._parse_fields("hello") == []
+
+
+class TestParseQuery:
+    def test_finds_final_objective(self):
+        prompt = build_prompt("Cut waste by 5%.", ("Action",))
+        assert SimulatedLLM._parse_query(prompt) == "Cut waste by 5%."
+
+    def test_ignores_example_objectives(self):
+        from repro.core.schema import AnnotatedObjective
+
+        prompt = build_prompt(
+            "The real query.",
+            ("Action",),
+            [AnnotatedObjective("An example objective.", {"Action": "x"})],
+        )
+        assert SimulatedLLM._parse_query(prompt) == "The real query."
+
+    def test_fallback_to_last_line(self):
+        assert SimulatedLLM._parse_query("just text\nfinal line") == (
+            "final line"
+        )
+
+    def test_empty_prompt(self):
+        assert SimulatedLLM._parse_query("") == ""

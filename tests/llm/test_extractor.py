@@ -1,0 +1,59 @@
+"""Tests for the prompting extractors."""
+
+import pytest
+
+from repro.llm.extractor import PromptingExtractor
+
+
+class TestPromptingExtractor:
+    def test_invalid_mode(self):
+        with pytest.raises(ValueError):
+            PromptingExtractor("many")
+
+    def test_zero_shot_fit_is_noop(self):
+        extractor = PromptingExtractor("zero")
+        extractor.fit([])
+        assert extractor.examples == []
+
+    def test_few_shot_requires_training_data(self):
+        with pytest.raises(ValueError):
+            PromptingExtractor("few").fit([])
+
+    def test_few_shot_selects_three_examples(self, tiny_dataset):
+        extractor = PromptingExtractor("few")
+        extractor.fit(tiny_dataset.objectives)
+        assert len(extractor.examples) == 3
+
+    def test_example_selection_covers_fields(self, tiny_dataset):
+        extractor = PromptingExtractor("few")
+        extractor.fit(tiny_dataset.objectives)
+        covered = set()
+        for example in extractor.examples:
+            covered |= set(example.present_details())
+        # Action/Amount/Qualifier are common enough to always be covered.
+        assert {"Action", "Qualifier"} <= covered
+
+    def test_extract_returns_schema_fields(self, tiny_dataset):
+        extractor = PromptingExtractor("few", seed=3)
+        extractor.fit(tiny_dataset.objectives)
+        details = extractor.extract("Reduce waste by 20% by 2030.")
+        assert set(details) == set(extractor.fields)
+
+    def test_extract_finds_obvious_amount(self, tiny_dataset):
+        extractor = PromptingExtractor("few", seed=3)
+        extractor.fit(tiny_dataset.objectives)
+        results = extractor.extract_batch(
+            [f"Reduce waste by {p}% by 2030." for p in (20, 30, 40)]
+        )
+        hits = sum(1 for r, p in zip(results, (20, 30, 40)) if f"{p}%" in r["Amount"])
+        assert hits >= 2
+
+    def test_simulated_seconds_grow(self, tiny_dataset):
+        extractor = PromptingExtractor("zero")
+        extractor.fit([])
+        extractor.extract("Reduce waste by 10%.")
+        assert extractor.simulated_seconds > 0
+
+    def test_names(self):
+        assert PromptingExtractor("zero").name == "Zero-Shot Prompting"
+        assert PromptingExtractor("few").name == "Few-Shot Prompting"

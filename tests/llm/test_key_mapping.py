@@ -1,0 +1,52 @@
+"""Schema mapping of (possibly drifted) completion keys."""
+
+from repro.core.schema import SUSTAINABILITY_FIELDS
+from repro.llm.engine import SimulatedLLM
+from repro.llm.extractor import PromptingExtractor
+
+
+class RecordingLLM(SimulatedLLM):
+    """Returns a canned completion regardless of the prompt."""
+
+    def __init__(self, completion: str) -> None:
+        super().__init__(seed=0)
+        self.completion = completion
+
+    def complete(self, prompt: str) -> str:
+        self.calls += 1
+        return self.completion
+
+
+def extractor_with(completion: str) -> PromptingExtractor:
+    return PromptingExtractor(
+        "zero", fields=SUSTAINABILITY_FIELDS, llm=RecordingLLM(completion)
+    )
+
+
+class TestKeyMapping:
+    def test_exact_keys_mapped(self):
+        extractor = extractor_with('{"Action": "Cut", "Amount": "5%"}')
+        details = extractor.extract("whatever")
+        assert details["Action"] == "Cut"
+        assert details["Amount"] == "5%"
+
+    def test_case_insensitive_keys(self):
+        extractor = extractor_with('{"action": "Cut", "DEADLINE": "2030"}')
+        details = extractor.extract("whatever")
+        assert details["Action"] == "Cut"
+        assert details["Deadline"] == "2030"
+
+    def test_unmappable_drifted_keys_dropped(self):
+        extractor = extractor_with('{"Time frame": "2030"}')
+        details = extractor.extract("whatever")
+        assert all(value == "" for value in details.values())
+
+    def test_first_value_wins_on_duplicates(self):
+        extractor = extractor_with('{"Action": "Cut", "action": "Raise"}')
+        assert extractor.extract("x")["Action"] == "Cut"
+
+    def test_unparseable_completion_gives_empty_schema(self):
+        extractor = extractor_with("I have no idea.")
+        details = extractor.extract("whatever")
+        assert set(details) == set(SUSTAINABILITY_FIELDS)
+        assert all(value == "" for value in details.values())

@@ -1,0 +1,47 @@
+"""Tests for robust completion parsing."""
+
+from repro.llm.parse import parse_llm_json
+
+
+class TestParseLlmJson:
+    def test_bare_json(self):
+        assert parse_llm_json('{"Action": "Reduce"}') == {"Action": "Reduce"}
+
+    def test_json_in_markdown_fence(self):
+        completion = '```json\n{"Action": "Cut"}\n```'
+        assert parse_llm_json(completion) == {"Action": "Cut"}
+
+    def test_json_in_prose(self):
+        completion = 'Sure! The details are: {"Amount": "20%"} — anything else?'
+        assert parse_llm_json(completion) == {"Amount": "20%"}
+
+    def test_single_quotes_repaired(self):
+        assert parse_llm_json("{'Action': 'Expand'}") == {"Action": "Expand"}
+
+    def test_key_value_lines_fallback(self):
+        completion = "Here is what I found.\nAction: Reduce\nAmount: 20%"
+        parsed = parse_llm_json(completion)
+        assert parsed["Action"] == "Reduce"
+        assert parsed["Amount"] == "20%"
+
+    def test_not_mentioned_normalized_to_empty(self):
+        completion = "Action: Reduce\nDeadline: (not mentioned)"
+        assert parse_llm_json(completion)["Deadline"] == ""
+
+    def test_na_normalized(self):
+        assert parse_llm_json("Baseline: N/A")["Baseline"] == ""
+
+    def test_unparseable_gives_empty(self):
+        assert parse_llm_json("I could not find anything useful") == {}
+
+    def test_nested_values_skipped(self):
+        completion = '{"Action": "x", "nested": {"a": 1}}'
+        parsed = parse_llm_json(completion)
+        assert "nested" not in parsed
+        assert parsed["Action"] == "x"
+
+    def test_empty_completion(self):
+        assert parse_llm_json("") == {}
+
+    def test_numeric_values_stringified(self):
+        assert parse_llm_json('{"Deadline": 2040}') == {"Deadline": "2040"}

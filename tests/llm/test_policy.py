@@ -1,0 +1,61 @@
+"""Tests for the simulated LLM's reading-comprehension policy."""
+
+from repro.llm.policy import read_objective
+
+
+class TestReadObjective:
+    def test_percent_amount(self):
+        reading = read_objective("Reduce waste by 20% by 2030.")
+        assert reading.amount == "20%"
+
+    def test_percent_words(self):
+        reading = read_objective("Cut emissions 25 percent by 2030.")
+        assert reading.amount == "25 percent"
+
+    def test_net_zero_hyphenated(self):
+        reading = read_objective("Reach net-zero carbon by 2040.")
+        assert reading.amount == "net-zero"
+
+    def test_action_verb(self):
+        reading = read_objective("Reduce waste by 20%.")
+        assert reading.action == "Reduce"
+
+    def test_will_modal_action(self):
+        reading = read_objective("By 2023, we will install 1 million units.")
+        assert reading.action.lower().startswith("will")
+
+    def test_deadline_after_by(self):
+        reading = read_objective("Achieve carbon neutrality by 2035.")
+        assert reading.deadline == "2035"
+
+    def test_baseline_parenthetical(self):
+        reading = read_objective("Cut use by 10% by 2030 (baseline 2017).")
+        assert reading.baseline == "2017"
+        assert reading.deadline == "2030"
+
+    def test_baseline_compared_to_levels(self):
+        reading = read_objective("Cut use by 10% compared to 2015 levels.")
+        assert reading.baseline == "2015"
+
+    def test_statistic_year_not_deadline(self):
+        reading = read_objective("Voluntary turnover rate in 2021: 8.1%")
+        assert reading.deadline == ""
+        assert reading.statistic_year == "2021"
+        assert reading.amount == "8.1%"
+
+    def test_qualifier_between_action_and_by(self):
+        reading = read_objective("Reduce energy consumption by 20%.")
+        assert reading.qualifier == "energy consumption"
+
+    def test_qualifier_after_of(self):
+        reading = read_objective("Restore 100% of our global water use by 2025.")
+        assert reading.qualifier == "global water use"
+
+    def test_empty_text(self):
+        reading = read_objective("")
+        assert reading.action == ""
+        assert reading.amount == ""
+
+    def test_currency_amount(self):
+        reading = read_objective("Invest $50 million in community projects.")
+        assert "50" in reading.amount

@@ -1,0 +1,44 @@
+"""Tests for prompt construction."""
+
+from repro.core.schema import AnnotatedObjective, SUSTAINABILITY_FIELDS
+from repro.llm.prompts import (
+    EXAMPLES_HEADER,
+    OBJECTIVE_HEADER,
+    build_prompt,
+)
+
+
+class TestBuildPrompt:
+    def test_zero_shot_has_no_examples_section(self):
+        prompt = build_prompt("Reduce waste.", SUSTAINABILITY_FIELDS)
+        assert EXAMPLES_HEADER not in prompt
+
+    def test_few_shot_contains_examples(self):
+        example = AnnotatedObjective(
+            "Cut waste by 10%.", {"Action": "Cut", "Amount": "10%"}
+        )
+        prompt = build_prompt("Reduce waste.", SUSTAINABILITY_FIELDS, [example])
+        assert EXAMPLES_HEADER in prompt
+        assert "Cut waste by 10%." in prompt
+        assert '"Action": "Cut"' in prompt
+
+    def test_query_is_last_objective(self):
+        example = AnnotatedObjective("Example text.", {"Action": "do"})
+        prompt = build_prompt("Query text.", ("Action",), [example])
+        marker = f"{OBJECTIVE_HEADER}: Query text."
+        assert prompt.rfind(marker) > prompt.find("Example text.")
+
+    def test_all_fields_described(self):
+        prompt = build_prompt("x.", SUSTAINABILITY_FIELDS)
+        for field in SUSTAINABILITY_FIELDS:
+            assert f"- {field}:" in prompt
+
+    def test_example_outputs_cover_all_fields(self):
+        example = AnnotatedObjective("Cut waste.", {"Action": "Cut"})
+        prompt = build_prompt("q.", SUSTAINABILITY_FIELDS, [example])
+        # Missing fields must be shown as empty strings in the example JSON.
+        assert '"Deadline": ""' in prompt
+
+    def test_netzerofacts_fields_supported(self):
+        prompt = build_prompt("x.", ("TargetValue", "TargetYear"))
+        assert "- TargetValue:" in prompt

@@ -1,0 +1,70 @@
+"""Tests for knowledge distillation."""
+
+import numpy as np
+import pytest
+
+from repro.models.distill import _soft_cross_entropy, distill_encoder
+from repro.models.mlm import pretrain_mlm
+from repro.models.zoo import get_model_spec
+from repro.nn.functional import softmax
+from repro.text.vocab import Vocabulary
+
+
+@pytest.fixture
+def vocab():
+    return Vocabulary([f"tok{i}" for i in range(20)])
+
+
+class TestSoftCrossEntropy:
+    def test_zero_when_distributions_match(self, rng):
+        logits = rng.normal(size=(1, 3, 4))
+        teacher = softmax(logits / 2.0, axis=-1)
+        position_mask = np.ones((1, 3))
+        loss, __ = _soft_cross_entropy(logits, teacher, position_mask, 2.0)
+        # Cross-entropy equals entropy when p == q; it is minimal there.
+        mismatched = softmax(rng.normal(size=(1, 3, 4)), axis=-1)
+        worse, __ = _soft_cross_entropy(logits, mismatched, position_mask, 2.0)
+        assert loss < worse
+
+    def test_masked_positions_no_gradient(self, rng):
+        logits = rng.normal(size=(1, 2, 4))
+        teacher = softmax(rng.normal(size=(1, 2, 4)), axis=-1)
+        position_mask = np.array([[1.0, 0.0]])
+        __, dlogits = _soft_cross_entropy(logits, teacher, position_mask, 2.0)
+        np.testing.assert_array_equal(dlogits[0, 1], 0.0)
+
+    def test_empty_mask(self, rng):
+        logits = rng.normal(size=(1, 2, 4))
+        teacher = softmax(logits, axis=-1)
+        loss, dlogits = _soft_cross_entropy(
+            logits, teacher, np.zeros((1, 2)), 2.0
+        )
+        assert loss == 0.0
+        np.testing.assert_array_equal(dlogits, 0.0)
+
+
+class TestDistillEncoder:
+    def test_student_is_shallower(self, vocab, rng):
+        sequences = [list(rng.integers(5, 20, size=6)) for __ in range(20)]
+        teacher = pretrain_mlm(
+            get_model_spec("roberta"), sequences, vocab, rng,
+            max_len=10, max_steps=2,
+        )
+        student = distill_encoder(
+            teacher, get_model_spec("distilroberta"), sequences, vocab, rng,
+            max_len=10, max_steps=2,
+        )
+        assert len(student.layers) < len(teacher.encoder.layers)
+
+    def test_student_usable_downstream(self, vocab, rng):
+        sequences = [list(rng.integers(5, 20, size=6)) for __ in range(10)]
+        teacher = pretrain_mlm(
+            get_model_spec("bert"), sequences, vocab, rng,
+            max_len=10, max_steps=2,
+        )
+        student = distill_encoder(
+            teacher, get_model_spec("distilbert"), sequences, vocab, rng,
+            max_len=10, max_steps=2,
+        )
+        states = student(np.array([[5, 6]]), np.ones((1, 2)))
+        assert states.shape == (1, 2, student.config.dim)

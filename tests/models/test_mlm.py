@@ -1,0 +1,113 @@
+"""Tests for MLM corruption and pre-training."""
+
+import numpy as np
+import pytest
+
+from repro.models.mlm import (
+    MaskedLanguageModel,
+    apply_mlm_corruption,
+    pretrain_encoder,
+    pretrain_mlm,
+)
+from repro.models.zoo import get_model_spec
+from repro.nn.encoder import EncoderConfig, TransformerEncoder
+from repro.nn.loss import IGNORE_INDEX
+from repro.text.vocab import Vocabulary
+
+
+@pytest.fixture
+def vocab():
+    return Vocabulary([f"tok{i}" for i in range(30)])
+
+
+class TestApplyMlmCorruption:
+    def test_targets_only_at_selected_positions(self, vocab, rng):
+        ids = rng.integers(5, 35, size=(4, 10))
+        mask = np.ones((4, 10))
+        corrupted, targets = apply_mlm_corruption(ids, mask, vocab, rng)
+        selected = targets != IGNORE_INDEX
+        # Original ids preserved as targets where selected.
+        np.testing.assert_array_equal(targets[selected], ids[selected])
+        # Non-selected positions are untouched in the input.
+        np.testing.assert_array_equal(corrupted[~selected], ids[~selected])
+
+    def test_padding_never_selected(self, vocab, rng):
+        ids = rng.integers(5, 35, size=(2, 6))
+        mask = np.zeros((2, 6))
+        mask[:, :2] = 1
+        __, targets = apply_mlm_corruption(ids, mask, vocab, rng)
+        assert (targets[:, 2:] == IGNORE_INDEX).all()
+
+    def test_at_least_one_target(self, vocab, rng):
+        ids = rng.integers(5, 35, size=(1, 3))
+        mask = np.ones((1, 3))
+        # Probability 0 would select nothing; the guard must pick one.
+        __, targets = apply_mlm_corruption(ids, mask, vocab, rng, mask_prob=0.0)
+        assert (targets != IGNORE_INDEX).sum() == 1
+
+    def test_mask_token_used(self, vocab, rng):
+        ids = rng.integers(5, 35, size=(8, 20))
+        mask = np.ones((8, 20))
+        corrupted, targets = apply_mlm_corruption(
+            ids, mask, vocab, rng, mask_prob=0.5
+        )
+        assert (corrupted == vocab.mask_id).sum() > 0
+
+
+class TestPretraining:
+    def _sequences(self, rng, count=30):
+        return [list(rng.integers(5, 30, size=8)) for __ in range(count)]
+
+    def test_pretrain_mlm_keeps_head(self, vocab, rng):
+        model = pretrain_mlm(
+            get_model_spec("roberta"),
+            self._sequences(rng),
+            vocab,
+            rng,
+            max_len=12,
+            max_steps=3,
+        )
+        assert isinstance(model, MaskedLanguageModel)
+        logits = model(np.array([[5, 6, 7]]), np.ones((1, 3)))
+        assert logits.shape == (1, 3, len(vocab))
+
+    def test_pretrain_encoder_returns_encoder(self, vocab, rng):
+        encoder = pretrain_encoder(
+            get_model_spec("bert"),
+            self._sequences(rng),
+            vocab,
+            rng,
+            max_len=12,
+            max_steps=3,
+        )
+        assert isinstance(encoder, TransformerEncoder)
+
+    def test_max_steps_caps_work(self, vocab, rng):
+        # Must finish fast even with a large epoch budget.
+        pretrain_encoder(
+            get_model_spec("roberta"),
+            self._sequences(rng, count=100),
+            vocab,
+            rng,
+            max_len=12,
+            max_steps=2,
+        )
+
+    def test_mlm_loss_decreases(self, vocab, rng):
+        """A few hundred steps on a tiny corpus should reduce MLM loss."""
+        spec = get_model_spec("roberta")
+        sequences = self._sequences(rng, count=20)
+        config = spec.encoder_config(len(vocab), 12)
+        model = MaskedLanguageModel(TransformerEncoder(config, rng), rng)
+        from repro.nn.batching import pad_sequences
+        from repro.nn.optim import AdamW
+
+        optimizer = AdamW(model.parameters(), lr=1e-3)
+        ids, mask = pad_sequences(sequences)
+        corrupted, targets = apply_mlm_corruption(ids, mask, vocab, rng)
+        first = model.loss_and_backward(corrupted, mask, targets)
+        for __ in range(30):
+            model.zero_grad()
+            loss = model.loss_and_backward(corrupted, mask, targets)
+            optimizer.step()
+        assert loss < first

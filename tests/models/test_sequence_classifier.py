@@ -1,0 +1,66 @@
+"""Tests for the sequence classifier (GoalSpotter's detection model)."""
+
+import numpy as np
+import pytest
+
+from repro.models.sequence_classifier import SequenceClassifier
+from repro.models.training import FineTuneConfig, fit_sequence_classifier
+from repro.nn.encoder import EncoderConfig
+
+
+@pytest.fixture
+def config():
+    return EncoderConfig(
+        vocab_size=30, dim=16, num_layers=1, num_heads=2, ffn_dim=32,
+        max_len=12, dropout=0.0,
+    )
+
+
+class TestSequenceClassifier:
+    def test_logit_shape(self, config, rng):
+        model = SequenceClassifier(config, num_classes=3, rng=rng)
+        logits = model(rng.integers(0, 30, size=(4, 7)), np.ones((4, 7)))
+        assert logits.shape == (4, 3)
+
+    def test_invalid_num_classes(self, config, rng):
+        with pytest.raises(ValueError):
+            SequenceClassifier(config, num_classes=0, rng=rng)
+
+    def test_padding_does_not_change_prediction(self, config, rng):
+        model = SequenceClassifier(config, num_classes=2, rng=rng)
+        model.eval()
+        short = model.predict_proba([[3, 4, 5]])
+        padded = model.predict_proba([[3, 4, 5], [3, 4, 5, 6, 7, 8]])
+        np.testing.assert_allclose(short[0], padded[0], atol=1e-9)
+
+    def test_learns_token_presence(self, config, rng):
+        """Class 1 iff token 7 appears anywhere in the sequence."""
+        model = SequenceClassifier(config, num_classes=2, rng=rng)
+        seqs, labels = [], []
+        for __ in range(80):
+            seq = list(rng.integers(8, 30, size=6))
+            label = int(rng.random() < 0.5)
+            if label:
+                seq[int(rng.integers(6))] = 7
+            seqs.append(seq)
+            labels.append(label)
+        fit_sequence_classifier(
+            model, seqs, labels,
+            FineTuneConfig(epochs=8, learning_rate=2e-3, batch_size=8),
+        )
+        assert model.predict([[7, 9, 10]])[0] == 1
+        assert model.predict([[9, 10, 11]])[0] == 0
+
+    def test_predict_proba_rows_sum_to_one(self, config, rng):
+        model = SequenceClassifier(config, num_classes=4, rng=rng)
+        probs = model.predict_proba([[1, 2], [3]])
+        np.testing.assert_allclose(probs.sum(axis=1), 1.0)
+
+    def test_loss_and_backward_returns_scalar(self, config, rng):
+        model = SequenceClassifier(config, num_classes=2, rng=rng)
+        loss = model.loss_and_backward(
+            rng.integers(0, 30, size=(2, 5)),
+            np.ones((2, 5)),
+            np.array([0, 1]),
+        )
+        assert loss > 0

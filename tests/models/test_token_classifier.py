@@ -1,0 +1,69 @@
+"""Tests for the token classifier model."""
+
+import numpy as np
+import pytest
+
+from repro.models.token_classifier import TokenClassifier
+from repro.models.training import FineTuneConfig, fit_token_classifier
+from repro.nn.encoder import EncoderConfig
+from repro.nn.loss import IGNORE_INDEX
+
+
+@pytest.fixture
+def config():
+    return EncoderConfig(
+        vocab_size=40, dim=16, num_layers=1, num_heads=2, ffn_dim=32,
+        max_len=16, dropout=0.0,
+    )
+
+
+class TestTokenClassifier:
+    def test_logit_shape(self, config, rng):
+        model = TokenClassifier(config, num_labels=5, rng=rng)
+        logits = model(rng.integers(0, 40, size=(2, 6)), np.ones((2, 6)))
+        assert logits.shape == (2, 6, 5)
+
+    def test_invalid_num_labels(self, config, rng):
+        with pytest.raises(ValueError):
+            TokenClassifier(config, num_labels=0, rng=rng)
+
+    def test_loss_decreases(self, config, rng):
+        model = TokenClassifier(config, num_labels=2, rng=rng)
+        seqs = [list(rng.integers(5, 40, size=8)) for __ in range(40)]
+        labels = [[int(t % 2) for t in s] for s in seqs]
+        history = fit_token_classifier(
+            model, seqs, labels,
+            FineTuneConfig(epochs=4, learning_rate=2e-3, batch_size=8),
+        )
+        assert history[-1] < history[0]
+
+    def test_predict_returns_per_sequence_lengths(self, config, rng):
+        model = TokenClassifier(config, num_labels=3, rng=rng)
+        seqs = [[1, 2, 3], [4, 5], [6]]
+        predictions = model.predict(seqs)
+        assert [len(p) for p in predictions] == [3, 2, 1]
+
+    def test_predict_truncates_to_max_len(self, config, rng):
+        model = TokenClassifier(config, num_labels=3, rng=rng)
+        predictions = model.predict([list(range(1, 30))])
+        assert len(predictions[0]) == config.max_len
+
+    def test_ignore_index_excluded_from_loss(self, config, rng):
+        model = TokenClassifier(config, num_labels=2, rng=rng)
+        ids = rng.integers(0, 40, size=(1, 4))
+        mask = np.ones((1, 4))
+        all_ignored = np.full((1, 4), IGNORE_INDEX)
+        loss = model.loss_and_backward(ids, mask, all_ignored)
+        assert loss == 0.0
+
+    def test_learns_positional_rule(self, config, rng):
+        """Label depends on position only — requires position embeddings."""
+        model = TokenClassifier(config, num_labels=2, rng=rng)
+        seqs = [list(rng.integers(5, 40, size=6)) for __ in range(60)]
+        labels = [[1 if i < 2 else 0 for i in range(6)] for __ in seqs]
+        fit_token_classifier(
+            model, seqs, labels,
+            FineTuneConfig(epochs=6, learning_rate=2e-3, batch_size=8),
+        )
+        prediction = model.predict([list(rng.integers(5, 40, size=6))])[0]
+        assert list(prediction) == [1, 1, 0, 0, 0, 0]

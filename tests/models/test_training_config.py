@@ -1,0 +1,53 @@
+"""Validation tests for training/extractor configuration."""
+
+import pytest
+
+from repro.core.extractor import ExtractorConfig
+from repro.models.training import FineTuneConfig
+
+
+class TestFineTuneConfig:
+    def test_defaults_follow_paper(self):
+        config = FineTuneConfig()
+        assert config.epochs == 10
+        assert config.batch_size == 16
+        assert config.optimizer == "adam"
+
+    def test_rejects_bad_epochs(self):
+        with pytest.raises(ValueError):
+            FineTuneConfig(epochs=0)
+
+    def test_rejects_bad_batch(self):
+        with pytest.raises(ValueError):
+            FineTuneConfig(batch_size=0)
+
+    def test_rejects_unknown_optimizer(self):
+        with pytest.raises(ValueError):
+            FineTuneConfig(optimizer="sgd")
+
+
+class TestExtractorConfig:
+    def test_defaults(self):
+        config = ExtractorConfig()
+        assert config.model == "roberta"
+        assert config.matcher == "exact"  # the paper's implementation
+        assert config.subword_strategy == "all"
+        assert config.constrained_decoding is True
+
+    def test_rejects_empty_fields(self):
+        with pytest.raises(ValueError):
+            ExtractorConfig(fields=())
+
+    def test_rejects_unknown_matcher(self):
+        with pytest.raises(ValueError):
+            ExtractorConfig(matcher="psychic")
+
+    def test_rejects_bad_outside_weight(self):
+        with pytest.raises(ValueError):
+            ExtractorConfig(outside_weight=0.0)
+
+    def test_matcher_factory(self):
+        from repro.core.matching import FuzzyMatcher
+
+        config = ExtractorConfig(matcher="fuzzy")
+        assert isinstance(config.build_matcher(), FuzzyMatcher)

@@ -1,0 +1,47 @@
+"""Tests for the model zoo specs."""
+
+import pytest
+
+from repro.models.zoo import MODEL_ZOO, get_model_spec
+
+
+class TestModelZoo:
+    def test_paper_variants_present(self):
+        """Figure 4 compares RoBERTa, BERT, and their distilled versions."""
+        assert set(MODEL_ZOO) == {
+            "roberta", "bert", "distilroberta", "distilbert",
+        }
+
+    def test_distilled_are_shallower(self):
+        assert (
+            MODEL_ZOO["distilroberta"].num_layers
+            < MODEL_ZOO["roberta"].num_layers
+        )
+        assert MODEL_ZOO["distilbert"].num_layers < MODEL_ZOO["bert"].num_layers
+
+    def test_distilled_have_teachers(self):
+        assert MODEL_ZOO["distilroberta"].teacher == "roberta"
+        assert MODEL_ZOO["distilbert"].teacher == "bert"
+        assert MODEL_ZOO["roberta"].teacher is None
+
+    def test_roberta_uses_dynamic_masking(self):
+        assert MODEL_ZOO["roberta"].pretrain.dynamic_masking
+        assert not MODEL_ZOO["bert"].pretrain.dynamic_masking
+
+    def test_roberta_has_larger_pretraining_budget(self):
+        assert (
+            MODEL_ZOO["roberta"].pretrain.epochs
+            >= MODEL_ZOO["bert"].pretrain.epochs
+        )
+
+    def test_encoder_config_instantiation(self):
+        config = MODEL_ZOO["roberta"].encoder_config(
+            vocab_size=500, max_len=64
+        )
+        assert config.vocab_size == 500
+        assert config.max_len == 64
+        assert config.dim == MODEL_ZOO["roberta"].dim
+
+    def test_unknown_model_raises_with_names(self):
+        with pytest.raises(KeyError, match="roberta"):
+            get_model_spec("gpt4")

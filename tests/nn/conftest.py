@@ -1,0 +1,14 @@
+"""Gradient-check tests need float64 precision; restore float32 after."""
+
+import numpy as np
+import pytest
+
+from repro.nn import precision
+
+
+@pytest.fixture(autouse=True)
+def float64_precision():
+    previous = precision.dtype()
+    precision.set_dtype(np.float64)
+    yield
+    precision.set_dtype(previous)

@@ -1,0 +1,36 @@
+"""Numerical gradient checking helpers for the numpy DL substrate."""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+import numpy as np
+
+
+def numeric_gradient(
+    func: Callable[[np.ndarray], float],
+    x: np.ndarray,
+    epsilon: float = 1e-6,
+) -> np.ndarray:
+    """Central-difference gradient of a scalar function of an array."""
+    grad = np.zeros_like(x)
+    flat_x = x.reshape(-1)
+    flat_grad = grad.reshape(-1)
+    for index in range(flat_x.size):
+        original = flat_x[index]
+        flat_x[index] = original + epsilon
+        plus = func(x)
+        flat_x[index] = original - epsilon
+        minus = func(x)
+        flat_x[index] = original
+        flat_grad[index] = (plus - minus) / (2 * epsilon)
+    return grad
+
+
+def assert_close(
+    analytic: np.ndarray,
+    numeric: np.ndarray,
+    rtol: float = 1e-4,
+    atol: float = 1e-6,
+) -> None:
+    np.testing.assert_allclose(analytic, numeric, rtol=rtol, atol=atol)

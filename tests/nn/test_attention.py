@@ -1,0 +1,95 @@
+"""Gradient and masking tests for multi-head self-attention."""
+
+import numpy as np
+import pytest
+
+from repro.nn.attention import MultiHeadSelfAttention
+from tests.nn.gradcheck import assert_close, numeric_gradient
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(3)
+
+
+@pytest.fixture
+def attention(rng):
+    layer = MultiHeadSelfAttention(dim=8, num_heads=2, rng=rng, dropout=0.0)
+    layer.eval()
+    return layer
+
+
+class TestMultiHeadSelfAttention:
+    def test_forward_shape(self, attention, rng):
+        x = rng.normal(size=(2, 5, 8))
+        mask = np.ones((2, 5))
+        assert attention(x, mask).shape == (2, 5, 8)
+
+    def test_dim_must_divide(self, rng):
+        with pytest.raises(ValueError):
+            MultiHeadSelfAttention(dim=7, num_heads=2, rng=rng)
+
+    def test_padding_does_not_affect_real_positions(self, attention, rng):
+        x = rng.normal(size=(1, 4, 8))
+        mask_full = np.array([[1.0, 1.0, 1.0, 0.0]])
+        out_masked = attention(x, mask_full)
+        # Changing the padded position's content must not change outputs
+        # at real positions.
+        x2 = x.copy()
+        x2[0, 3] = rng.normal(size=8) * 100
+        out_masked2 = attention(x2, mask_full)
+        np.testing.assert_allclose(
+            out_masked[0, :3], out_masked2[0, :3], atol=1e-10
+        )
+
+    def test_input_gradient(self, attention, rng):
+        x = rng.normal(size=(1, 3, 8))
+        mask = np.ones((1, 3))
+        dout = rng.normal(size=(1, 3, 8))
+
+        def loss(x_in):
+            return float((attention.forward(x_in, mask) * dout).sum())
+
+        attention.forward(x, mask)
+        dx = attention.backward(dout)
+        assert_close(dx, numeric_gradient(loss, x.copy()), rtol=1e-3)
+
+    def test_input_gradient_with_padding(self, attention, rng):
+        x = rng.normal(size=(2, 4, 8))
+        mask = np.array([[1, 1, 1, 0], [1, 1, 0, 0]], dtype=float)
+        dout = rng.normal(size=(2, 4, 8))
+
+        def loss(x_in):
+            return float((attention.forward(x_in, mask) * dout).sum())
+
+        attention.forward(x, mask)
+        dx = attention.backward(dout)
+        assert_close(dx, numeric_gradient(loss, x.copy()), rtol=1e-3)
+
+    def test_parameter_gradient(self, attention, rng):
+        x = rng.normal(size=(1, 3, 8))
+        mask = np.ones((1, 3))
+        dout = rng.normal(size=(1, 3, 8))
+
+        def loss(w):
+            attention.query_proj.weight.value = w
+            return float((attention.forward(x, mask) * dout).sum())
+
+        w0 = attention.query_proj.weight.value.copy()
+        attention.forward(x, mask)
+        attention.zero_grad()
+        attention.backward(dout)
+        assert_close(
+            attention.query_proj.weight.grad,
+            numeric_gradient(loss, w0.copy()),
+            rtol=1e-3,
+        )
+
+    def test_attention_weights_sum_to_one(self, attention, rng):
+        x = rng.normal(size=(1, 5, 8))
+        mask = np.array([[1, 1, 1, 1, 0]], dtype=float)
+        attention(x, mask)
+        weights = attention._cache["weights"]
+        np.testing.assert_allclose(weights.sum(axis=-1), 1.0, atol=1e-9)
+        # Padded key gets ~zero attention everywhere.
+        assert weights[..., 4].max() < 1e-6

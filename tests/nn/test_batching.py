@@ -1,0 +1,69 @@
+"""Tests for padding and minibatch iteration."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.nn.batching import iterate_minibatches, pad_sequences
+
+
+class TestPadSequences:
+    def test_basic_padding(self):
+        ids, mask = pad_sequences([[1, 2, 3], [4]])
+        np.testing.assert_array_equal(ids, [[1, 2, 3], [4, 0, 0]])
+        np.testing.assert_array_equal(mask, [[1, 1, 1], [1, 0, 0]])
+
+    def test_custom_pad_value(self):
+        ids, __ = pad_sequences([[1], [2, 3]], pad_value=9)
+        assert ids[0, 1] == 9
+
+    def test_max_len_truncates(self):
+        ids, mask = pad_sequences([[1, 2, 3, 4, 5]], max_len=3)
+        assert ids.shape == (1, 3)
+        np.testing.assert_array_equal(mask, [[1, 1, 1]])
+
+    def test_empty_batch_raises(self):
+        with pytest.raises(ValueError):
+            pad_sequences([])
+
+    def test_all_empty_sequences(self):
+        ids, mask = pad_sequences([[], []])
+        assert ids.shape == (2, 1)
+        assert mask.sum() == 0
+
+    @given(
+        st.lists(
+            st.lists(st.integers(1, 100), max_size=20),
+            min_size=1,
+            max_size=10,
+        )
+    )
+    def test_mask_counts_match_lengths(self, sequences):
+        __, mask = pad_sequences(sequences)
+        for row, seq in zip(mask, sequences):
+            assert row.sum() == len(seq)
+
+
+class TestIterateMinibatches:
+    def test_covers_all_indices(self):
+        batches = list(iterate_minibatches(10, 3))
+        seen = np.concatenate(batches)
+        assert sorted(seen.tolist()) == list(range(10))
+
+    def test_sequential_without_rng(self):
+        batches = list(iterate_minibatches(5, 2))
+        np.testing.assert_array_equal(batches[0], [0, 1])
+
+    def test_shuffled_with_rng(self):
+        rng = np.random.default_rng(0)
+        batches = list(iterate_minibatches(100, 100, rng))
+        assert not np.array_equal(batches[0], np.arange(100))
+        assert sorted(batches[0].tolist()) == list(range(100))
+
+    def test_batch_size_validation(self):
+        with pytest.raises(ValueError):
+            list(iterate_minibatches(5, 0))
+
+    def test_last_batch_may_be_smaller(self):
+        batches = list(iterate_minibatches(7, 3))
+        assert [len(b) for b in batches] == [3, 3, 1]

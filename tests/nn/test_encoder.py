@@ -1,0 +1,114 @@
+"""Tests for the transformer encoder stack."""
+
+import numpy as np
+import pytest
+
+from repro.nn.encoder import (
+    EncoderConfig,
+    FeedForward,
+    TransformerEncoder,
+    TransformerEncoderLayer,
+)
+from tests.nn.gradcheck import assert_close, numeric_gradient
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(11)
+
+
+@pytest.fixture
+def config():
+    return EncoderConfig(
+        vocab_size=30, dim=8, num_layers=2, num_heads=2, ffn_dim=16,
+        max_len=12, dropout=0.0,
+    )
+
+
+class TestEncoderConfig:
+    def test_rejects_indivisible_heads(self):
+        with pytest.raises(ValueError):
+            EncoderConfig(vocab_size=10, dim=10, num_heads=3)
+
+    def test_rejects_nonpositive_sizes(self):
+        with pytest.raises(ValueError):
+            EncoderConfig(vocab_size=0)
+
+
+class TestFeedForward:
+    def test_gradient(self, rng):
+        ffn = FeedForward(6, 12, rng, dropout=0.0)
+        ffn.eval()
+        x = rng.normal(size=(2, 6))
+        dout = rng.normal(size=(2, 6))
+
+        def loss(x_in):
+            return float((ffn.forward(x_in) * dout).sum())
+
+        ffn.forward(x)
+        dx = ffn.backward(dout)
+        assert_close(dx, numeric_gradient(loss, x.copy()), rtol=1e-3)
+
+
+class TestEncoderLayer:
+    def test_gradient(self, rng):
+        layer = TransformerEncoderLayer(8, 2, 16, rng, dropout=0.0)
+        layer.eval()
+        x = rng.normal(size=(1, 4, 8))
+        mask = np.ones((1, 4))
+        dout = rng.normal(size=(1, 4, 8))
+
+        def loss(x_in):
+            return float((layer.forward(x_in, mask) * dout).sum())
+
+        layer.forward(x, mask)
+        dx = layer.backward(dout)
+        assert_close(dx, numeric_gradient(loss, x.copy()), rtol=1e-3)
+
+
+class TestTransformerEncoder:
+    def test_forward_shape(self, config, rng):
+        encoder = TransformerEncoder(config, rng)
+        ids = rng.integers(0, 30, size=(3, 7))
+        states = encoder(ids, np.ones((3, 7)))
+        assert states.shape == (3, 7, 8)
+
+    def test_rejects_too_long(self, config, rng):
+        encoder = TransformerEncoder(config, rng)
+        ids = np.zeros((1, 13), dtype=int)
+        with pytest.raises(ValueError):
+            encoder(ids, np.ones((1, 13)))
+
+    def test_rejects_1d_input(self, config, rng):
+        encoder = TransformerEncoder(config, rng)
+        with pytest.raises(ValueError):
+            encoder(np.zeros(5, dtype=int), np.ones(5))
+
+    def test_position_sensitivity(self, config, rng):
+        """Same token in different positions gets different states."""
+        encoder = TransformerEncoder(config, rng)
+        encoder.eval()
+        ids = np.array([[7, 7, 7]])
+        states = encoder(ids, np.ones((1, 3)))
+        assert not np.allclose(states[0, 0], states[0, 1])
+
+    def test_embedding_gradient_flows(self, config, rng):
+        encoder = TransformerEncoder(config, rng)
+        encoder.eval()
+        ids = rng.integers(0, 30, size=(2, 5))
+        states = encoder(ids, np.ones((2, 5)))
+        encoder.zero_grad()
+        encoder.backward(np.ones_like(states))
+        touched = encoder.token_embedding.weight.grad[np.unique(ids)]
+        assert np.abs(touched).sum() > 0
+
+    def test_deterministic_in_eval(self, config, rng):
+        encoder = TransformerEncoder(config, rng)
+        encoder.eval()
+        ids = rng.integers(0, 30, size=(2, 5))
+        mask = np.ones((2, 5))
+        np.testing.assert_array_equal(encoder(ids, mask), encoder(ids, mask))
+
+    def test_num_parameters_positive(self, config, rng):
+        encoder = TransformerEncoder(config, rng)
+        assert encoder.num_parameters() > 0

@@ -1,0 +1,60 @@
+"""Tests for activation/normalization functions."""
+
+import numpy as np
+from hypothesis import given, strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.nn.functional import gelu, gelu_grad, log_softmax, logsumexp, softmax
+from tests.nn.gradcheck import numeric_gradient
+
+
+class TestGelu:
+    def test_zero_at_zero(self):
+        assert gelu(np.zeros(1))[0] == 0.0
+
+    def test_approaches_identity_for_large_x(self):
+        np.testing.assert_allclose(gelu(np.array([10.0]))[0], 10.0, rtol=1e-4)
+
+    def test_vanishes_for_large_negative_x(self):
+        assert abs(gelu(np.array([-10.0]))[0]) < 1e-4
+
+    def test_grad_matches_numeric(self):
+        x = np.linspace(-3, 3, 13)
+
+        def scalar_sum(x_in):
+            return float(gelu(x_in).sum())
+
+        np.testing.assert_allclose(
+            gelu_grad(x), numeric_gradient(scalar_sum, x.copy()), rtol=1e-4
+        )
+
+
+class TestSoftmax:
+    def test_sums_to_one(self):
+        probs = softmax(np.random.default_rng(0).normal(size=(4, 7)))
+        np.testing.assert_allclose(probs.sum(axis=-1), 1.0)
+
+    def test_stable_for_large_inputs(self):
+        probs = softmax(np.array([[1e9, 1e9 - 1.0]]))
+        assert np.isfinite(probs).all()
+
+    def test_log_softmax_consistent(self):
+        x = np.random.default_rng(1).normal(size=(3, 5))
+        np.testing.assert_allclose(log_softmax(x), np.log(softmax(x)))
+
+
+class TestLogsumexp:
+    def test_matches_naive(self):
+        x = np.random.default_rng(2).normal(size=(4, 6))
+        np.testing.assert_allclose(
+            logsumexp(x, axis=-1), np.log(np.exp(x).sum(axis=-1))
+        )
+
+    def test_stable(self):
+        assert np.isfinite(logsumexp(np.array([1e9, 1e9])))
+
+    @given(
+        hnp.arrays(np.float64, (5,), elements=st.floats(-50, 50))
+    )
+    def test_upper_bounds_max(self, x):
+        assert logsumexp(x, axis=0) >= x.max() - 1e-9

@@ -1,0 +1,171 @@
+"""Numeric gradient checks and behaviour tests for core layers."""
+
+import numpy as np
+import pytest
+
+from repro.nn.layers import Dropout, Embedding, LayerNorm, Linear
+from tests.nn.gradcheck import assert_close, numeric_gradient
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(7)
+
+
+class TestLinear:
+    def test_forward_shape(self, rng):
+        layer = Linear(4, 6, rng)
+        out = layer(rng.normal(size=(2, 3, 4)))
+        assert out.shape == (2, 3, 6)
+
+    def test_input_gradient(self, rng):
+        layer = Linear(4, 3, rng)
+        x = rng.normal(size=(2, 4))
+        dout = rng.normal(size=(2, 3))
+
+        def loss(x_in):
+            return float((layer.forward(x_in) * dout).sum())
+
+        layer.forward(x)
+        dx = layer.backward(dout)
+        assert_close(dx, numeric_gradient(loss, x.copy()))
+
+    def test_weight_gradient(self, rng):
+        layer = Linear(4, 3, rng)
+        x = rng.normal(size=(5, 4))
+        dout = rng.normal(size=(5, 3))
+
+        def loss(w):
+            layer.weight.value = w
+            return float((layer.forward(x) * dout).sum())
+
+        w0 = layer.weight.value.copy()
+        layer.forward(x)
+        layer.zero_grad()
+        layer.backward(dout)
+        analytic = layer.weight.grad.copy()
+        numeric = numeric_gradient(loss, w0.copy())
+        assert_close(analytic, numeric)
+
+    def test_bias_gradient(self, rng):
+        layer = Linear(3, 2, rng)
+        x = rng.normal(size=(4, 3))
+        dout = rng.normal(size=(4, 2))
+        layer.forward(x)
+        layer.zero_grad()
+        layer.backward(dout)
+        assert_close(layer.bias.grad, dout.sum(axis=0))
+
+    def test_no_bias(self, rng):
+        layer = Linear(3, 2, rng, bias=False)
+        assert layer.bias is None
+        assert layer(np.zeros((1, 3))).shape == (1, 2)
+
+    def test_backward_before_forward_raises(self, rng):
+        layer = Linear(2, 2, rng)
+        with pytest.raises(RuntimeError):
+            layer.backward(np.zeros((1, 2)))
+
+
+class TestEmbedding:
+    def test_forward_lookup(self, rng):
+        layer = Embedding(10, 4, rng)
+        ids = np.array([[1, 2], [2, 3]])
+        out = layer(ids)
+        assert out.shape == (2, 2, 4)
+        np.testing.assert_array_equal(out[0, 1], out[1, 0])
+
+    def test_gradient_accumulates_for_repeated_ids(self, rng):
+        layer = Embedding(5, 3, rng)
+        ids = np.array([[1, 1, 2]])
+        dout = np.ones((1, 3, 3))
+        layer(ids)
+        layer.zero_grad()
+        layer.backward(dout)
+        np.testing.assert_allclose(layer.weight.grad[1], 2 * np.ones(3))
+        np.testing.assert_allclose(layer.weight.grad[2], np.ones(3))
+        np.testing.assert_allclose(layer.weight.grad[0], np.zeros(3))
+
+
+class TestLayerNorm:
+    def test_output_is_normalized(self, rng):
+        layer = LayerNorm(8)
+        out = layer(rng.normal(size=(4, 8)) * 5 + 3)
+        np.testing.assert_allclose(out.mean(axis=-1), 0.0, atol=1e-9)
+        np.testing.assert_allclose(out.std(axis=-1), 1.0, atol=1e-2)
+
+    def test_input_gradient(self, rng):
+        layer = LayerNorm(6)
+        layer.gamma.value = rng.normal(size=6)
+        layer.beta.value = rng.normal(size=6)
+        x = rng.normal(size=(3, 6))
+        dout = rng.normal(size=(3, 6))
+
+        def loss(x_in):
+            return float((layer.forward(x_in) * dout).sum())
+
+        layer.forward(x)
+        dx = layer.backward(dout)
+        assert_close(dx, numeric_gradient(loss, x.copy()), rtol=1e-3)
+
+    def test_gamma_beta_gradients(self, rng):
+        layer = LayerNorm(4)
+        x = rng.normal(size=(5, 4))
+        dout = rng.normal(size=(5, 4))
+
+        def loss_gamma(g):
+            layer.gamma.value = g
+            return float((layer.forward(x) * dout).sum())
+
+        g0 = layer.gamma.value.copy()
+        layer.forward(x)
+        layer.zero_grad()
+        layer.backward(dout)
+        assert_close(
+            layer.gamma.grad, numeric_gradient(loss_gamma, g0.copy()),
+            rtol=1e-3,
+        )
+        assert_close(layer.beta.grad, dout.sum(axis=0))
+
+    def test_3d_input(self, rng):
+        layer = LayerNorm(4)
+        out = layer(rng.normal(size=(2, 3, 4)))
+        assert out.shape == (2, 3, 4)
+
+
+class TestDropout:
+    def test_eval_mode_is_identity(self, rng):
+        layer = Dropout(0.5, rng)
+        layer.eval()
+        x = rng.normal(size=(10, 10))
+        np.testing.assert_array_equal(layer(x), x)
+
+    def test_train_mode_zeroes_and_scales(self, rng):
+        layer = Dropout(0.5, rng)
+        x = np.ones((100, 100))
+        out = layer(x)
+        values = set(np.unique(np.round(out, 6)))
+        assert values <= {0.0, 2.0}
+
+    def test_preserves_expectation(self, rng):
+        layer = Dropout(0.3, rng)
+        x = np.ones((200, 200))
+        assert abs(layer(x).mean() - 1.0) < 0.02
+
+    def test_backward_uses_same_mask(self, rng):
+        layer = Dropout(0.5, rng)
+        x = np.ones((50, 50))
+        out = layer(x)
+        grad = layer.backward(np.ones_like(x))
+        np.testing.assert_array_equal(grad == 0, out == 0)
+
+    def test_zero_probability_is_identity(self, rng):
+        layer = Dropout(0.0, rng)
+        x = rng.normal(size=(5, 5))
+        np.testing.assert_array_equal(layer(x), x)
+
+    def test_invalid_probability(self, rng):
+        with pytest.raises(ValueError):
+            Dropout(1.0, rng)
+        with pytest.raises(ValueError):
+            Dropout(-0.1, rng)

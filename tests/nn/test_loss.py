@@ -1,0 +1,77 @@
+"""Tests for softmax cross-entropy with ignore-index."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.nn.loss import IGNORE_INDEX, cross_entropy
+from tests.nn.gradcheck import assert_close, numeric_gradient
+
+
+class TestCrossEntropy:
+    def test_perfect_prediction_low_loss(self):
+        logits = np.array([[100.0, 0.0], [0.0, 100.0]])
+        loss, __ = cross_entropy(logits, np.array([0, 1]))
+        assert loss < 1e-6
+
+    def test_uniform_prediction_log_c(self):
+        logits = np.zeros((4, 3))
+        loss, __ = cross_entropy(logits, np.array([0, 1, 2, 0]))
+        assert loss == pytest.approx(np.log(3))
+
+    def test_ignore_index_excluded(self):
+        logits = np.array([[10.0, 0.0], [0.0, 10.0]])
+        loss_all, __ = cross_entropy(logits, np.array([0, 0]))
+        loss_ignored, dlogits = cross_entropy(
+            logits, np.array([0, IGNORE_INDEX])
+        )
+        assert loss_ignored < loss_all
+        np.testing.assert_array_equal(dlogits[1], 0.0)
+
+    def test_all_ignored(self):
+        logits = np.ones((2, 3))
+        loss, dlogits = cross_entropy(
+            logits, np.array([IGNORE_INDEX, IGNORE_INDEX])
+        )
+        assert loss == 0.0
+        np.testing.assert_array_equal(dlogits, 0.0)
+
+    def test_gradient_matches_numeric(self):
+        rng = np.random.default_rng(0)
+        logits = rng.normal(size=(4, 5))
+        targets = np.array([0, 3, IGNORE_INDEX, 2])
+
+        def loss_fn(l):
+            return cross_entropy(l, targets)[0]
+
+        __, dlogits = cross_entropy(logits.copy(), targets)
+        assert_close(dlogits, numeric_gradient(loss_fn, logits.copy()), rtol=1e-4)
+
+    def test_gradient_rows_sum_to_zero(self):
+        rng = np.random.default_rng(1)
+        logits = rng.normal(size=(3, 4))
+        __, dlogits = cross_entropy(logits, np.array([1, 2, 0]))
+        np.testing.assert_allclose(dlogits.sum(axis=1), 0.0, atol=1e-12)
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            cross_entropy(np.zeros((2, 3, 4)), np.zeros(2, dtype=int))
+
+    def test_extreme_logits_stable(self):
+        logits = np.array([[1e9, -1e9], [-1e9, 1e9]])
+        loss, dlogits = cross_entropy(logits, np.array([0, 1]))
+        assert np.isfinite(loss)
+        assert np.isfinite(dlogits).all()
+
+    @given(
+        hnp.arrays(
+            np.float64,
+            (6, 4),
+            elements=st.floats(-20, 20),
+        ),
+        st.lists(st.integers(0, 3), min_size=6, max_size=6),
+    )
+    def test_loss_nonnegative(self, logits, targets):
+        loss, __ = cross_entropy(logits, np.array(targets))
+        assert loss >= 0.0

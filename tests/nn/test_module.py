@@ -1,0 +1,78 @@
+"""Tests for the Module/Parameter base machinery."""
+
+import numpy as np
+import pytest
+
+from repro.nn.layers import LayerNorm, Linear
+from repro.nn.module import Module, Parameter
+
+
+class Toy(Module):
+    def __init__(self, rng):
+        super().__init__()
+        self.linear = Linear(3, 3, rng)
+        self.norm = LayerNorm(3)
+        self.stack = [Linear(3, 3, rng), Linear(3, 3, rng)]
+
+    def forward(self, x):
+        return self.norm(self.linear(x))
+
+
+@pytest.fixture
+def toy():
+    return Toy(np.random.default_rng(0))
+
+
+class TestModule:
+    def test_named_parameters_cover_children_and_lists(self, toy):
+        names = {name for name, __ in toy.named_parameters()}
+        assert "linear.weight" in names
+        assert "norm.gamma" in names
+        assert "stack.0.weight" in names
+        assert "stack.1.bias" in names
+
+    def test_parameter_count(self, toy):
+        # 3 Linears: (3*3 + 3) each; LayerNorm: 3 + 3.
+        assert toy.num_parameters() == 3 * 12 + 6
+
+    def test_train_eval_propagates(self, toy):
+        toy.eval()
+        assert all(not m.training for m in toy.modules())
+        toy.train()
+        assert all(m.training for m in toy.modules())
+
+    def test_zero_grad(self, toy):
+        for param in toy.parameters():
+            param.grad += 1.0
+        toy.zero_grad()
+        assert all(np.all(p.grad == 0) for p in toy.parameters())
+
+    def test_state_dict_roundtrip(self, toy):
+        state = toy.state_dict()
+        other = Toy(np.random.default_rng(42))
+        other.load_state_dict(state)
+        for (__, a), (__, b) in zip(
+            toy.named_parameters(), other.named_parameters()
+        ):
+            np.testing.assert_array_equal(a.value, b.value)
+
+    def test_load_rejects_missing_keys(self, toy):
+        state = toy.state_dict()
+        state.pop("linear.weight")
+        with pytest.raises(KeyError):
+            toy.load_state_dict(state)
+
+    def test_load_rejects_extra_keys(self, toy):
+        state = toy.state_dict()
+        state["phantom"] = np.zeros(1)
+        with pytest.raises(KeyError):
+            toy.load_state_dict(state)
+
+    def test_load_rejects_shape_mismatch(self, toy):
+        state = toy.state_dict()
+        state["linear.weight"] = np.zeros((1, 1))
+        with pytest.raises(ValueError):
+            toy.load_state_dict(state)
+
+    def test_parameter_repr(self):
+        assert "shape" in repr(Parameter(np.zeros((2, 3))))

@@ -1,0 +1,106 @@
+"""Tests for optimizers, clipping, and schedules."""
+
+import numpy as np
+import pytest
+
+from repro.nn.module import Parameter
+from repro.nn.optim import Adam, AdamW, LinearWarmupDecay, clip_grad_norm
+
+
+def quadratic_param(start=5.0):
+    return Parameter(np.array([start]))
+
+
+class TestAdam:
+    def test_minimizes_quadratic(self):
+        param = quadratic_param()
+        optimizer = Adam([param], lr=0.3)
+        for __ in range(200):
+            param.zero_grad()
+            param.grad += 2 * param.value  # d/dx x^2
+            optimizer.step()
+        assert abs(param.value[0]) < 1e-2
+
+    def test_lr_scale(self):
+        param = quadratic_param()
+        optimizer = Adam([param], lr=0.1)
+        param.grad += 2 * param.value
+        before = param.value.copy()
+        optimizer.step(lr_scale=0.0)
+        np.testing.assert_array_equal(param.value, before)
+
+    def test_coupled_weight_decay_changes_grad(self):
+        param = Parameter(np.array([1.0]))
+        optimizer = Adam([param], lr=0.1, weight_decay=0.5)
+        # No loss gradient: only decay drives the update.
+        optimizer.step()
+        assert param.value[0] < 1.0
+
+    def test_zero_grad(self):
+        param = quadratic_param()
+        optimizer = Adam([param])
+        param.grad += 1.0
+        optimizer.zero_grad()
+        np.testing.assert_array_equal(param.grad, 0.0)
+
+
+class TestAdamW:
+    def test_decoupled_decay_shrinks_weights(self):
+        param = Parameter(np.array([1.0]))
+        optimizer = AdamW([param], lr=0.1, weight_decay=0.1)
+        optimizer.step()  # zero gradient, pure decay
+        assert 0.98 < param.value[0] < 1.0
+
+    def test_minimizes_quadratic(self):
+        param = quadratic_param()
+        optimizer = AdamW([param], lr=0.3, weight_decay=0.01)
+        for __ in range(200):
+            param.zero_grad()
+            param.grad += 2 * param.value
+            optimizer.step()
+        assert abs(param.value[0]) < 1e-2
+
+
+class TestClipGradNorm:
+    def test_no_clip_below_threshold(self):
+        param = Parameter(np.zeros(4))
+        param.grad += np.array([0.1, 0.1, 0.1, 0.1])
+        norm = clip_grad_norm([param], max_norm=10.0)
+        assert norm == pytest.approx(0.2)
+        np.testing.assert_allclose(param.grad, 0.1)
+
+    def test_clips_above_threshold(self):
+        param = Parameter(np.zeros(1))
+        param.grad += np.array([100.0])
+        clip_grad_norm([param], max_norm=1.0)
+        assert abs(param.grad[0]) <= 1.0 + 1e-9
+
+    def test_global_norm_across_params(self):
+        a = Parameter(np.zeros(1))
+        b = Parameter(np.zeros(1))
+        a.grad += 3.0
+        b.grad += 4.0
+        norm = clip_grad_norm([a, b], max_norm=5.0)
+        assert norm == pytest.approx(5.0)
+
+
+class TestLinearWarmupDecay:
+    def test_warmup_ramps_up(self):
+        schedule = LinearWarmupDecay(warmup_steps=10, total_steps=100)
+        assert schedule(0) == pytest.approx(0.1)
+        assert schedule(9) == pytest.approx(1.0)
+
+    def test_decays_to_floor(self):
+        schedule = LinearWarmupDecay(
+            warmup_steps=0, total_steps=10, floor=0.05
+        )
+        assert schedule(10) == pytest.approx(0.05)
+
+    def test_monotone_decay_after_warmup(self):
+        schedule = LinearWarmupDecay(warmup_steps=5, total_steps=50)
+        values = [schedule(step) for step in range(5, 50)]
+        assert values == sorted(values, reverse=True)
+
+    def test_rejects_bad_total(self):
+        with pytest.raises(ValueError):
+            LinearWarmupDecay(0, 0)

@@ -1,0 +1,42 @@
+"""Tests for the global precision switch."""
+
+import numpy as np
+import pytest
+
+from repro.nn import precision
+from repro.nn.encoder import EncoderConfig, TransformerEncoder
+from repro.nn.module import Parameter
+
+
+class TestPrecision:
+    def test_default_inside_nn_tests_is_float64(self):
+        # The tests/nn conftest pins float64 for gradient checks.
+        assert precision.dtype() is np.float64
+
+    def test_parameter_uses_current_dtype(self):
+        precision.set_dtype(np.float32)
+        try:
+            param = Parameter(np.ones(3))
+            assert param.value.dtype == np.float32
+        finally:
+            precision.set_dtype(np.float64)
+
+    def test_rejects_non_float(self):
+        with pytest.raises(ValueError):
+            precision.set_dtype(np.int32)
+
+    def test_forward_preserves_dtype(self):
+        precision.set_dtype(np.float32)
+        try:
+            config = EncoderConfig(
+                vocab_size=20, dim=8, num_layers=1, num_heads=2,
+                ffn_dim=16, max_len=8, dropout=0.0,
+            )
+            encoder = TransformerEncoder(config, np.random.default_rng(0))
+            encoder.eval()
+            ids = np.array([[1, 2, 3]])
+            mask = np.ones((1, 3), dtype=np.float32)
+            states = encoder(ids, mask)
+            assert states.dtype == np.float32
+        finally:
+            precision.set_dtype(np.float64)

@@ -1,0 +1,52 @@
+"""Tests for amount normalization."""
+
+import pytest
+
+from repro.normalize.amounts import AmountKind, normalize_amount
+
+
+class TestNormalizeAmount:
+    @pytest.mark.parametrize(
+        "raw,kind,value",
+        [
+            ("20%", AmountKind.PERCENT, 20.0),
+            ("8.1%", AmountKind.PERCENT, 8.1),
+            ("25 percent", AmountKind.PERCENT, 25.0),
+            ("net-zero", AmountKind.NET_ZERO, 0.0),
+            ("net zero", AmountKind.NET_ZERO, 0.0),
+            ("carbon neutral", AmountKind.NET_ZERO, 0.0),
+            ("Zero", AmountKind.NET_ZERO, 0.0),
+            ("double", AmountKind.MULTIPLIER, 2.0),
+            ("halve", AmountKind.MULTIPLIER, 0.5),
+            ("1 million", AmountKind.COUNT, 1e6),
+            ("100 million", AmountKind.COUNT, 1e8),
+            ("10,000", AmountKind.COUNT, 10_000.0),
+            ("250", AmountKind.COUNT, 250.0),
+            ("$50 million", AmountKind.MONEY, 5e7),
+            ("$1 billion", AmountKind.MONEY, 1e9),
+            ("1.5 million tonnes", AmountKind.MASS, 1.5e6),
+            ("500,000 tonnes", AmountKind.MASS, 500_000.0),
+        ],
+    )
+    def test_known_forms(self, raw, kind, value):
+        normalized = normalize_amount(raw)
+        assert normalized.kind == kind
+        assert normalized.value == pytest.approx(value)
+
+    def test_empty_is_unknown(self):
+        assert normalize_amount("").kind == AmountKind.UNKNOWN
+        assert not normalize_amount("").is_quantified
+
+    def test_prose_is_unknown(self):
+        assert normalize_amount("a substantial share").kind == (
+            AmountKind.UNKNOWN
+        )
+
+    def test_raw_preserved(self):
+        assert normalize_amount("20%").raw == "20%"
+
+    def test_money_unit(self):
+        assert normalize_amount("$10 million").unit == "USD"
+
+    def test_mass_unit(self):
+        assert normalize_amount("2 million tonnes").unit == "tonnes"

@@ -1,0 +1,47 @@
+"""Tests for full-record normalization."""
+
+from repro.normalize import (
+    ActionDirection,
+    AmountKind,
+    normalize_details,
+)
+
+
+class TestNormalizeDetails:
+    def test_paper_table1_row3(self):
+        normalized = normalize_details(
+            {
+                "Action": "Reduce",
+                "Amount": "20%",
+                "Qualifier": "energy consumption",
+                "Baseline": "2017",
+                "Deadline": "2025",
+            }
+        )
+        assert normalized.action == ActionDirection.DECREASE
+        assert normalized.amount.kind == AmountKind.PERCENT
+        assert normalized.amount.value == 20.0
+        assert normalized.baseline_year == 2017
+        assert normalized.deadline_year == 2025
+        assert normalized.horizon_years == 8
+        assert normalized.is_time_bound
+        assert normalized.is_quantified
+
+    def test_empty_record(self):
+        normalized = normalize_details({})
+        assert normalized.action == ActionDirection.UNKNOWN
+        assert not normalized.is_quantified
+        assert not normalized.is_time_bound
+        assert normalized.horizon_years is None
+
+    def test_net_zero_pledge(self):
+        normalized = normalize_details(
+            {"Action": "reach", "Amount": "net-zero", "Deadline": "2040"}
+        )
+        assert normalized.action == ActionDirection.ACHIEVE
+        assert normalized.amount.kind == AmountKind.NET_ZERO
+        assert normalized.deadline_year == 2040
+
+    def test_horizon_requires_both_years(self):
+        only_deadline = normalize_details({"Deadline": "2030"})
+        assert only_deadline.horizon_years is None

@@ -1,0 +1,44 @@
+"""Tests for year and action normalization."""
+
+import pytest
+
+from repro.normalize.actions import ActionDirection, normalize_action
+from repro.normalize.years import normalize_year
+
+
+class TestNormalizeYear:
+    @pytest.mark.parametrize(
+        "raw,expected",
+        [
+            ("2025", 2025),
+            ("the end of 2025", 2025),
+            ("By 2023", 2023),
+            ("1998", 1998),
+            ("", None),
+            ("someday", None),
+            ("2525", None),  # outside the plausible range
+        ],
+    )
+    def test_cases(self, raw, expected):
+        assert normalize_year(raw) == expected
+
+
+class TestNormalizeAction:
+    @pytest.mark.parametrize(
+        "raw,direction",
+        [
+            ("Reduce", ActionDirection.DECREASE),
+            ("reducing", ActionDirection.DECREASE),
+            ("will install", ActionDirection.TRANSFORM),
+            ("will be implemented", ActionDirection.TRANSFORM),
+            ("Reached", ActionDirection.ACHIEVE),
+            ("Increase", ActionDirection.INCREASE),
+            ("empowering", ActionDirection.INCREASE),
+            ("Keep", ActionDirection.MAINTAIN),
+            ("Uses", ActionDirection.ENGAGE),
+            ("", ActionDirection.UNKNOWN),
+            ("zorble", ActionDirection.UNKNOWN),
+        ],
+    )
+    def test_cases(self, raw, direction):
+        assert normalize_action(raw) == direction

@@ -1,0 +1,117 @@
+"""Tests for analyst monitoring queries."""
+
+import pytest
+
+from repro.goalspotter.pipeline import ExtractedRecord
+from repro.storage.monitor import (
+    company_comparison,
+    deadline_timeline,
+    specificity_ranking,
+)
+from repro.storage.store import ObjectiveStore
+
+
+def record(company, amount="", deadline="", baseline=""):
+    details = {
+        "Action": "Reduce",
+        "Amount": amount,
+        "Qualifier": "waste",
+        "Baseline": baseline,
+        "Deadline": deadline,
+    }
+    return ExtractedRecord(company, "r", 0, "objective text", details, 0.8)
+
+
+@pytest.fixture
+def store():
+    with ObjectiveStore() as s:
+        # Specific company: amounts + deadlines everywhere.
+        s.insert_records(
+            [record("Specific", "20%", "2030", "2020") for __ in range(3)]
+        )
+        # Vague company: action/qualifier only.
+        s.insert_records([record("Vague") for __ in range(5)])
+        yield s
+
+
+class TestCompanyComparison:
+    def test_ordered_by_count(self, store):
+        stats = company_comparison(store)
+        assert [s.company for s in stats] == ["Vague", "Specific"]
+
+    def test_counts(self, store):
+        stats = {s.company: s for s in company_comparison(store)}
+        assert stats["Specific"].objectives == 3
+        assert stats["Specific"].with_deadline == 3
+        assert stats["Vague"].with_deadline == 0
+
+    def test_mean_specificity(self, store):
+        stats = {s.company: s for s in company_comparison(store)}
+        assert stats["Specific"].mean_specificity == pytest.approx(5.0)
+        assert stats["Vague"].mean_specificity == pytest.approx(2.0)
+
+
+class TestSpecificityRanking:
+    def test_specific_company_ranks_first(self, store):
+        ranking = specificity_ranking(store)
+        assert ranking[0][0] == "Specific"
+
+
+class TestDeadlineTimeline:
+    def test_counts_per_year(self, store):
+        assert deadline_timeline(store) == {"2030": 3}
+
+    def test_empty_store(self):
+        with ObjectiveStore() as empty:
+            assert deadline_timeline(empty) == {}
+
+
+class TestNormalizedQueries:
+    @pytest.fixture
+    def typed_store(self):
+        from repro.storage.store import ObjectiveStore
+
+        with ObjectiveStore() as s:
+            s.insert_records(
+                [
+                    record("NetZeroCo", amount="net-zero", deadline="2040"),
+                    record("NetZeroCo2", amount="carbon neutral", deadline=""),
+                    record("Cutter", amount="40%", deadline="2030",
+                           baseline="2020"),
+                    record("SmallCutter", amount="10%", deadline="2026",
+                           baseline="2024"),
+                ]
+            )
+            yield s
+
+    def test_net_zero_pledges(self, typed_store):
+        from repro.storage.monitor import net_zero_pledges
+
+        pledges = net_zero_pledges(typed_store)
+        assert ("NetZeroCo", 2040) in pledges
+        assert ("NetZeroCo2", None) in pledges
+        assert all(company != "Cutter" for company, __ in pledges)
+
+    def test_reduction_targets_threshold(self, typed_store):
+        from repro.storage.monitor import reduction_targets
+
+        targets = reduction_targets(typed_store, min_percent=20.0)
+        assert [t[0] for t in targets] == ["Cutter"]
+        assert targets[0][1] == 40.0
+        assert targets[0][2] == 2030
+
+    def test_horizon_statistics(self, typed_store):
+        from repro.storage.monitor import horizon_statistics
+
+        stats = horizon_statistics(typed_store)
+        assert stats["count"] == 2.0
+        assert stats["min"] == 2.0
+        assert stats["max"] == 10.0
+        assert stats["mean"] == pytest.approx(6.0)
+
+    def test_horizon_statistics_empty(self):
+        from repro.storage.monitor import horizon_statistics
+        from repro.storage.store import ObjectiveStore
+
+        with ObjectiveStore() as empty:
+            assert horizon_statistics(empty)["count"] == 0.0

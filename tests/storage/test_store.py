@@ -1,0 +1,103 @@
+"""Tests for the SQLite objective store."""
+
+import pytest
+
+from repro.goalspotter.pipeline import ExtractedRecord
+from repro.storage.store import ObjectiveStore
+
+
+def record(company="ACME", deadline="2030", amount="20%", score=0.9):
+    return ExtractedRecord(
+        company=company,
+        report_id="r0",
+        page=3,
+        objective=f"Reduce waste by {amount} by {deadline}.",
+        details={
+            "Action": "Reduce",
+            "Amount": amount,
+            "Qualifier": "waste",
+            "Baseline": "",
+            "Deadline": deadline,
+        },
+        score=score,
+    )
+
+
+@pytest.fixture
+def store():
+    with ObjectiveStore() as s:
+        yield s
+
+
+class TestObjectiveStore:
+    def test_insert_and_count(self, store):
+        assert store.insert_records([record(), record("Other")]) == 2
+        assert store.count() == 2
+        assert store.count("ACME") == 1
+
+    def test_companies_listing(self, store):
+        store.insert_records([record("B"), record("A"), record("B")])
+        assert store.companies() == ["A", "B"]
+
+    def test_query_by_company(self, store):
+        store.insert_records([record("A"), record("B")])
+        rows = store.query(company="A")
+        assert len(rows) == 1
+        assert rows[0].company == "A"
+
+    def test_query_has_field(self, store):
+        with_deadline = record(deadline="2030")
+        without_deadline = record(deadline="")
+        store.insert_records([with_deadline, without_deadline])
+        rows = store.query(has_field="Deadline")
+        assert len(rows) == 1
+
+    def test_query_unknown_field_raises(self, store):
+        with pytest.raises(KeyError):
+            store.query(has_field="Nope")
+
+    def test_deadline_range(self, store):
+        store.insert_records(
+            [record(deadline="2025"), record(deadline="2040"),
+             record(deadline="")]
+        )
+        assert len(store.query(deadline_before="2030")) == 1
+        assert len(store.query(deadline_after="2030")) == 1
+
+    def test_min_score_and_order(self, store):
+        store.insert_records(
+            [record(score=0.4), record(score=0.9), record(score=0.7)]
+        )
+        rows = store.query(min_score=0.5, order_by_score=True)
+        assert [r.score for r in rows] == [0.9, 0.7]
+
+    def test_limit(self, store):
+        store.insert_records([record() for __ in range(5)])
+        assert len(store.query(limit=2)) == 2
+
+    def test_details_roundtrip(self, store):
+        store.insert_records([record()])
+        row = store.query()[0]
+        assert row.details["Amount"] == "20%"
+        assert row.details["Baseline"] == ""
+
+    def test_specificity(self, store):
+        store.insert_records([record()])
+        assert store.query()[0].specificity == 4  # all but Baseline
+
+    def test_field_fill_rates(self, store):
+        store.insert_records([record(deadline="2030"), record(deadline="")])
+        rates = store.field_fill_rates()
+        assert rates["Deadline"] == 0.5
+        assert rates["Action"] == 1.0
+
+    def test_fill_rates_empty_store(self, store):
+        rates = store.field_fill_rates()
+        assert all(v == 0.0 for v in rates.values())
+
+    def test_file_persistence(self, tmp_path):
+        path = tmp_path / "objectives.db"
+        with ObjectiveStore(path) as store:
+            store.insert_records([record()])
+        with ObjectiveStore(path) as reopened:
+            assert reopened.count() == 1

@@ -1,0 +1,63 @@
+"""Tests for the benchmark harness helpers."""
+
+import pytest
+
+from benchmarks.common import (
+    PAPER_TABLE4,
+    bench_epochs,
+    bench_runs,
+    bench_scale,
+    default_extractor_config,
+    env_float,
+    env_int,
+)
+
+
+class TestEnvKnobs:
+    def test_defaults(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BENCH_RUNS", raising=False)
+        monkeypatch.delenv("REPRO_BENCH_EPOCHS", raising=False)
+        monkeypatch.delenv("REPRO_BENCH_SCALE", raising=False)
+        assert bench_runs() == 1
+        assert bench_epochs() == 10  # the paper's default
+        assert bench_scale() == 1.0  # full Table 5 corpus
+
+    def test_env_overrides(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_RUNS", "5")
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "0.25")
+        assert bench_runs() == 5
+        assert bench_scale() == 0.25
+
+    def test_env_parsers(self, monkeypatch):
+        monkeypatch.setenv("X_INT", "7")
+        monkeypatch.setenv("X_FLOAT", "0.5")
+        assert env_int("X_INT", 1) == 7
+        assert env_float("X_FLOAT", 1.0) == 0.5
+        assert env_int("X_MISSING", 3) == 3
+
+
+class TestPaperConstants:
+    def test_table4_paper_numbers(self):
+        """The hard-coded paper numbers match Table 4 of the paper."""
+        sg = PAPER_TABLE4["sustainability-goals"]
+        assert sg["GoalSpotter"] == (0.89, 0.95, 0.92)
+        assert sg["Conditional Random Fields"] == (0.60, 0.86, 0.71)
+        nzf = PAPER_TABLE4["netzerofacts"]
+        assert nzf["GoalSpotter"] == (0.87, 0.83, 0.85)
+        assert nzf["Few-Shot Prompting"] == (0.70, 0.94, 0.80)
+
+    def test_goalspotter_wins_in_paper(self):
+        for dataset in PAPER_TABLE4.values():
+            best = max(dataset.values(), key=lambda prf: prf[2])
+            assert dataset["GoalSpotter"] == best
+
+
+class TestDefaultConfig:
+    def test_uses_paper_epochs(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BENCH_EPOCHS", raising=False)
+        config = default_extractor_config()
+        assert config.finetune.epochs == 10
+
+    def test_fields_override(self):
+        config = default_extractor_config(fields=("TargetValue",))
+        assert config.fields == ("TargetValue",)

@@ -1,0 +1,88 @@
+"""Tests for the command-line interface (small configurations)."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture(scope="module")
+def dataset_path(tmp_path_factory):
+    path = tmp_path_factory.mktemp("cli") / "goals.jsonl"
+    # Build a small dataset by generating and saving manually (the CLI
+    # builder writes the full 1106; tests use a slice for speed).
+    from repro.datasets.sustainability import build_sustainability_goals
+
+    build_sustainability_goals(seed=0, size=120).save_jsonl(path)
+    return path
+
+
+@pytest.fixture(scope="module")
+def model_dir(dataset_path, tmp_path_factory):
+    out = tmp_path_factory.mktemp("cli-model") / "model"
+    code = main(
+        [
+            "train",
+            "--data", str(dataset_path),
+            "--out", str(out),
+            "--epochs", "4",
+        ]
+    )
+    assert code == 0
+    return out
+
+
+class TestCli:
+    def test_build_dataset(self, tmp_path, capsys):
+        out = tmp_path / "nz.jsonl"
+        code = main(
+            ["build-dataset", "--name", "netzerofacts", "--out", str(out)]
+        )
+        assert code == 0
+        assert out.exists()
+        assert "599" in capsys.readouterr().out
+
+    def test_extract_text(self, model_dir, capsys):
+        code = main(
+            [
+                "extract",
+                "--model", str(model_dir),
+                "--text", "Reduce waste by 20% by 2030.",
+            ]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out.strip())
+        assert set(payload["details"]) == {
+            "Action", "Amount", "Qualifier", "Baseline", "Deadline",
+        }
+
+    def test_extract_requires_input(self, model_dir, capsys):
+        assert main(["extract", "--model", str(model_dir)]) == 2
+
+    def test_extract_from_file(self, model_dir, tmp_path, capsys):
+        source = tmp_path / "objectives.txt"
+        source.write_text(
+            "Reduce waste by 10%.\nCut emissions by 30% by 2035.\n"
+        )
+        code = main(
+            ["extract", "--model", str(model_dir), "--input", str(source)]
+        )
+        assert code == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert len(lines) == 2
+
+    def test_evaluate(self, model_dir, dataset_path, capsys):
+        code = main(
+            [
+                "evaluate",
+                "--data", str(dataset_path),
+                "--model", str(model_dir),
+            ]
+        )
+        assert code == 0
+        assert "micro" in capsys.readouterr().out
+
+    def test_unknown_command_exits(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])

@@ -1,0 +1,78 @@
+"""Tests for GoalSpotter-style text normalization."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.text.normalize import NormalizerConfig, TextNormalizer
+
+
+@pytest.fixture
+def normalizer() -> TextNormalizer:
+    return TextNormalizer()
+
+
+class TestTextNormalizer:
+    def test_collapses_whitespace(self, normalizer):
+        assert normalizer("a  b\t c\nd") == "a b c d"
+
+    def test_strips_edges(self, normalizer):
+        assert normalizer("  hello  ") == "hello"
+
+    def test_folds_em_dash(self, normalizer):
+        assert normalizer("2020—2025") == "2020-2025"
+
+    def test_folds_en_dash(self, normalizer):
+        assert normalizer("2020–2025") == "2020-2025"
+
+    def test_folds_curly_quotes(self, normalizer):
+        assert normalizer("“net-zero”") == '"net-zero"'
+        assert normalizer("company’s") == "company's"
+
+    def test_folds_nonbreaking_space(self, normalizer):
+        assert normalizer("20 %") == "20 %"
+
+    def test_removes_soft_hyphen(self, normalizer):
+        assert normalizer("sustain­ability") == "sustainability"
+
+    def test_strips_control_characters(self, normalizer):
+        assert normalizer("a\x01b\x02c") == "a b c"
+
+    def test_nfkc_folds_superscripts(self, normalizer):
+        assert normalizer("CO₂") == "CO2"
+
+    def test_bullet_becomes_space(self, normalizer):
+        assert normalizer("• Reduce waste") == "Reduce waste"
+
+    def test_lowercase_off_by_default(self, normalizer):
+        assert normalizer("Reduce") == "Reduce"
+
+    def test_lowercase_option(self):
+        lowering = TextNormalizer(NormalizerConfig(lowercase=True))
+        assert lowering("ReDuce") == "reduce"
+
+    def test_disabled_options_are_respected(self):
+        raw = TextNormalizer(
+            NormalizerConfig(
+                fold_unicode_punctuation=False,
+                collapse_whitespace=False,
+                strip_control_characters=False,
+                nfkc=False,
+            )
+        )
+        assert raw("a  —b") == "a  —b"
+
+    def test_idempotent_on_clean_text(self, normalizer):
+        text = "Reduce energy consumption by 20% by 2025 (baseline 2017)."
+        assert normalizer(text) == text
+
+    @given(st.text(max_size=200))
+    def test_normalization_is_idempotent(self, text):
+        normalizer = TextNormalizer()
+        once = normalizer(text)
+        assert normalizer(once) == once
+
+    @given(st.text(max_size=200))
+    def test_output_has_no_double_spaces(self, text):
+        result = TextNormalizer()(text)
+        assert "  " not in result
+        assert result == result.strip()

@@ -1,0 +1,51 @@
+"""Tests for the Vocabulary mapping."""
+
+import pytest
+
+from repro.text.vocab import SPECIAL_TOKENS, Vocabulary
+
+
+class TestVocabulary:
+    def test_specials_come_first(self):
+        vocab = Vocabulary(["a", "b"])
+        assert vocab.tokens[: len(SPECIAL_TOKENS)] == list(SPECIAL_TOKENS)
+
+    def test_pad_is_zero(self):
+        assert Vocabulary().pad_id == 0
+
+    def test_roundtrip(self):
+        vocab = Vocabulary(["alpha", "beta", "gamma"])
+        ids = vocab.encode(["beta", "alpha"])
+        assert vocab.decode(ids) == ["beta", "alpha"]
+
+    def test_unknown_maps_to_unk(self):
+        vocab = Vocabulary(["known"])
+        assert vocab.id_of("unknown") == vocab.unk_id
+
+    def test_duplicates_are_ignored(self):
+        vocab = Vocabulary(["x", "x", "y"])
+        assert len(vocab) == len(SPECIAL_TOKENS) + 2
+
+    def test_contains(self):
+        vocab = Vocabulary(["here"])
+        assert "here" in vocab
+        assert "gone" not in vocab
+
+    def test_token_of_out_of_range(self):
+        vocab = Vocabulary()
+        with pytest.raises(IndexError):
+            vocab.token_of(len(vocab))
+
+    def test_special_ids_are_distinct(self):
+        vocab = Vocabulary()
+        ids = {
+            vocab.pad_id, vocab.unk_id, vocab.cls_id,
+            vocab.sep_id, vocab.mask_id,
+        }
+        assert len(ids) == 5
+
+    def test_save_load_roundtrip(self, tmp_path):
+        vocab = Vocabulary(["one", "two", "three"])
+        vocab.save(tmp_path / "vocab.json")
+        loaded = Vocabulary.load(tmp_path / "vocab.json")
+        assert loaded.tokens == vocab.tokens
