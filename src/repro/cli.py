@@ -12,6 +12,7 @@ Subcommands cover the full lifecycle::
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import json
 import sys
 from collections.abc import Sequence
@@ -62,6 +63,19 @@ def _cmd_train(args: argparse.Namespace) -> int:
 
 def _cmd_extract(args: argparse.Namespace) -> int:
     extractor = WeakSupervisionExtractor.load(args.model)
+    overrides = {}
+    if args.batching:
+        overrides["batching"] = args.batching
+    if args.token_budget is not None:
+        overrides["token_budget"] = args.token_budget
+    if overrides:
+        try:
+            extractor.config = dataclasses.replace(
+                extractor.config, **overrides
+            )
+        except ValueError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
     if args.text:
         texts = [args.text]
     elif args.input:
@@ -72,6 +86,11 @@ def _cmd_extract(args: argparse.Namespace) -> int:
         return 2
     for text, details in zip(texts, extractor.extract_batch(texts)):
         print(json.dumps({"objective": text, "details": details}))
+    if args.stats and extractor.last_run_stats is not None:
+        print(
+            json.dumps({"stats": extractor.last_run_stats.as_dict()}),
+            file=sys.stderr,
+        )
     return 0
 
 
@@ -151,6 +170,22 @@ def build_parser() -> argparse.ArgumentParser:
     extract.add_argument("--model", required=True)
     extract.add_argument("--text")
     extract.add_argument("--input", help="file with one objective per line")
+    extract.add_argument(
+        "--batching",
+        choices=["bucketed", "arrival"],
+        help="override the inference batching strategy",
+    )
+    extract.add_argument(
+        "--token-budget",
+        type=int,
+        help="padded-token budget per microbatch (bucketed batching)",
+    )
+    extract.add_argument(
+        "--stats",
+        action="store_true",
+        help="print runtime stats (tokens/sec, padding waste, cache hits) "
+        "as JSON on stderr",
+    )
     extract.set_defaults(func=_cmd_extract)
 
     evaluate = sub.add_parser("evaluate", help="evaluate a saved model")

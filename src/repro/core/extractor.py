@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import dataclasses
 import json
+from collections import OrderedDict
 from collections.abc import Sequence
 from pathlib import Path
 
@@ -37,6 +38,7 @@ from repro.models.training import FineTuneConfig, fit_token_classifier
 from repro.models.zoo import get_model_spec
 from repro.nn.encoder import TransformerEncoder
 from repro.nn.serialize import load_state, save_state
+from repro.runtime.profiling import PerfCounters, RunStats
 from repro.text.bpe import BpeTokenizer
 from repro.text.normalize import TextNormalizer
 from repro.text.words import WordTokenizer
@@ -71,6 +73,11 @@ class ExtractorConfig:
     num_merges: int = 600
     normalize: bool = True
     seed: int = 13
+    #: Production batching: "bucketed" length-sorts sequences and packs
+    #: microbatches under ``token_budget`` padded tokens; "arrival" keeps
+    #: the naive fixed-row chunking (the pre-runtime behaviour).
+    batching: str = "bucketed"
+    token_budget: int = 4096
 
     def __post_init__(self) -> None:
         if not self.fields:
@@ -81,6 +88,13 @@ class ExtractorConfig:
             )
         if self.outside_weight <= 0:
             raise ValueError("outside_weight must be positive")
+        if self.batching not in ("bucketed", "arrival"):
+            raise ValueError(
+                f"unknown batching {self.batching!r}; "
+                "use 'bucketed' or 'arrival'"
+            )
+        if self.token_budget <= 0:
+            raise ValueError("token_budget must be positive")
 
     def build_matcher(self) -> TokenMatcher:
         return _MATCHERS[self.matcher]()
@@ -116,11 +130,38 @@ class WeakSupervisionExtractor(DetailExtractor):
         #: Weak-labeling coverage stats from the last ``fit`` call.
         self.weak_stats = WeakLabelingStats()
         self.loss_history: list[float] = []
+        #: Runtime observability from the last ``extract_batch`` call.
+        self.last_run_stats: RunStats | None = None
+        self._normalize_cache: OrderedDict[str, str] = OrderedDict()
+        self._normalize_cache_size = 4096
+        self._normalize_hits = 0
+        self._normalize_misses = 0
 
     # -- development phase -------------------------------------------------
 
     def _normalize(self, text: str) -> str:
         return self.normalizer(text) if self.config.normalize else text
+
+    def _normalize_cached(self, text: str) -> str:
+        """Production-path normalization with a bounded LRU memo.
+
+        Report corpora repeat blocks (headers, boilerplate objectives), so
+        the production path memoizes normalization; ``fit`` keeps the
+        uncached :meth:`_normalize` since training corpora are seen once.
+        """
+        if not self.config.normalize:
+            return text
+        cached = self._normalize_cache.get(text)
+        if cached is not None:
+            self._normalize_cache.move_to_end(text)
+            self._normalize_hits += 1
+            return cached
+        self._normalize_misses += 1
+        normalized = self.normalizer(text)
+        self._normalize_cache[text] = normalized
+        if len(self._normalize_cache) > self._normalize_cache_size:
+            self._normalize_cache.popitem(last=False)
+        return normalized
 
     def _normalize_objective(
         self, objective: AnnotatedObjective
@@ -223,53 +264,85 @@ class WeakSupervisionExtractor(DetailExtractor):
     def extract(self, text: str) -> dict[str, str]:
         return self.extract_batch([text])[0]
 
+    def _predict_kwargs(self, counters: PerfCounters) -> dict:
+        bucketed = self.config.batching == "bucketed"
+        return {
+            "token_budget": self.config.token_budget if bucketed else None,
+            "sort_by_length": bucketed,
+            "counters": counters,
+        }
+
     def extract_batch(self, texts: Sequence[str]) -> list[dict[str, str]]:
         if self.model is None or self.tokenizer is None:
             raise RuntimeError("extractor is not fitted; call fit() first")
-        normalized = [self._normalize(text) for text in texts]
-        token_lists = [
-            self.word_tokenizer.tokenize(text) for text in normalized
-        ]
-        encodings = [
-            self.tokenizer.encode([token.text for token in tokens])
-            if tokens
-            else None
-            for tokens in token_lists
-        ]
-        sequences = [
-            list(encoding.ids) for encoding in encodings if encoding
-        ]
-        if self.config.constrained_decoding:
-            prediction_list = [
-                constrained_decode(logits, self.scheme)
-                for logits in self.model.predict_logits(sequences)
+        counters = PerfCounters()
+        cache_before = self.tokenizer.cache_info()
+        with counters.timer("wall_seconds"):
+            with counters.timer("normalize_seconds"):
+                normalized = [self._normalize_cached(text) for text in texts]
+            with counters.timer("tokenize_seconds"):
+                token_lists = [
+                    self.word_tokenizer.tokenize(text) for text in normalized
+                ]
+                encodings = [
+                    self.tokenizer.encode([token.text for token in tokens])
+                    if tokens
+                    else None
+                    for tokens in token_lists
+                ]
+            sequences = [
+                list(encoding.ids) for encoding in encodings if encoding
             ]
-        else:
-            prediction_list = self.model.predict(sequences)
-        predictions = iter(prediction_list)
-        results: list[dict[str, str]] = []
-        for text, tokens, encoding in zip(
-            normalized, token_lists, encodings
-        ):
-            if encoding is None:
-                results.append({field: "" for field in self.config.fields})
-                continue
-            piece_labels = next(predictions)
-            word_labels = pieces_to_word_labels(
-                piece_labels,
-                encoding.word_ids[: len(piece_labels)],
-                self.scheme,
-                num_words=len(tokens),
-            )
-            results.append(
-                decode_details(
-                    text,
-                    tokens,
-                    word_labels,
-                    self.config.fields,
-                    span_policy=self.config.span_policy,
-                )
-            )
+            with counters.timer("model_seconds"):
+                if self.config.constrained_decoding:
+                    prediction_list = [
+                        constrained_decode(logits, self.scheme)
+                        for logits in self.model.predict_logits(
+                            sequences, **self._predict_kwargs(counters)
+                        )
+                    ]
+                else:
+                    prediction_list = self.model.predict(
+                        sequences, **self._predict_kwargs(counters)
+                    )
+            with counters.timer("decode_seconds"):
+                predictions = iter(prediction_list)
+                results: list[dict[str, str]] = []
+                for text, tokens, encoding in zip(
+                    normalized, token_lists, encodings
+                ):
+                    if encoding is None:
+                        results.append(
+                            {field: "" for field in self.config.fields}
+                        )
+                        continue
+                    piece_labels = next(predictions)
+                    word_labels = pieces_to_word_labels(
+                        piece_labels,
+                        encoding.word_ids[: len(piece_labels)],
+                        self.scheme,
+                        num_words=len(tokens),
+                    )
+                    results.append(
+                        decode_details(
+                            text,
+                            tokens,
+                            word_labels,
+                            self.config.fields,
+                            span_policy=self.config.span_policy,
+                        )
+                    )
+        cache_after = self.tokenizer.cache_info()
+        self.last_run_stats = RunStats.from_counters(
+            counters,
+            wall_seconds=counters.get("wall_seconds"),
+            bpe_cache_hits=cache_after["hits"] - cache_before["hits"],
+            bpe_cache_misses=cache_after["misses"] - cache_before["misses"],
+            extra={
+                "normalize_cache_hits": float(self._normalize_hits),
+                "normalize_cache_misses": float(self._normalize_misses),
+            },
+        )
         return results
 
     # -- persistence ---------------------------------------------------------

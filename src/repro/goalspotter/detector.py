@@ -15,6 +15,7 @@ import numpy as np
 from repro.models.sequence_classifier import SequenceClassifier
 from repro.models.training import FineTuneConfig, fit_sequence_classifier
 from repro.nn.encoder import EncoderConfig
+from repro.runtime.profiling import PerfCounters, RunStats
 from repro.text.bpe import BpeTokenizer
 from repro.text.normalize import TextNormalizer
 from repro.text.words import WordTokenizer
@@ -49,6 +50,8 @@ class ObjectiveDetector:
         self.word_tokenizer = WordTokenizer()
         self.tokenizer: BpeTokenizer | None = None
         self.model: SequenceClassifier | None = None
+        #: Runtime observability from the last ``predict_proba`` call.
+        self.last_run_stats: RunStats | None = None
 
     def _encode(self, texts: Sequence[str]) -> list[list[int]]:
         assert self.tokenizer is not None
@@ -96,10 +99,20 @@ class ObjectiveDetector:
         return self
 
     def predict_proba(self, texts: Sequence[str]) -> np.ndarray:
-        """P(objective) for each block."""
+        """P(objective) for each block (length-bucketed scoring)."""
         if self.model is None:
             raise RuntimeError("detector is not fitted; call fit() first")
-        probabilities = self.model.predict_proba(self._encode(texts))
+        counters = PerfCounters()
+        with counters.timer("wall_seconds"):
+            with counters.timer("tokenize_seconds"):
+                sequences = self._encode(texts)
+            with counters.timer("model_seconds"):
+                probabilities = self.model.predict_proba(
+                    sequences, counters=counters
+                )
+        self.last_run_stats = RunStats.from_counters(
+            counters, wall_seconds=counters.get("wall_seconds")
+        )
         return probabilities[:, OBJECTIVE]
 
     def predict(self, texts: Sequence[str]) -> np.ndarray:

@@ -13,8 +13,10 @@ from collections.abc import Sequence
 import numpy as np
 
 from repro.core.base import DetailExtractor
+from repro.core.segmentation import segment_objectives
 from repro.datasets.reports import SustainabilityReport
 from repro.goalspotter.detector import ObjectiveDetector
+from repro.runtime.profiling import PerfCounters
 
 
 @dataclasses.dataclass(frozen=True)
@@ -52,6 +54,8 @@ class GoalSpotter:
         self.detector = detector
         self.extractor = extractor
         self.segment = segment
+        #: Stage timings and counts from the last ``process_reports`` call.
+        self.last_run_stats: dict | None = None
 
     def process_report(
         self, report: SustainabilityReport
@@ -73,42 +77,58 @@ class GoalSpotter:
                         (report.company, report.report_id, page_index)
                     )
         if not block_texts:
+            self.last_run_stats = None
             return []
-        scores = self.detector.predict_proba(block_texts)
-        detected = scores >= self.detector.config.threshold
-        detected_indices = np.nonzero(detected)[0]
+        counters = PerfCounters()
+        with counters.timer("wall_seconds"):
+            with counters.timer("detect_seconds"):
+                scores = self.detector.predict_proba(block_texts)
+            detected = scores >= self.detector.config.threshold
+            detected_indices = np.nonzero(detected)[0]
 
-        # Optionally segment detected blocks into objective clauses.
-        units: list[str] = []  # texts handed to the extractor
-        unit_block: list[int] = []  # owning block index per unit
-        for block_index in detected_indices:
-            text = block_texts[block_index]
-            if self.segment:
-                from repro.core.segmentation import segment_objectives
+            # Segment detected blocks into extraction units in one pass
+            # (one clause per unit when segmentation is on, else the block).
+            units: list[str] = []  # texts handed to the extractor
+            unit_block: list[int] = []  # owning block index per unit
+            for block_index in detected_indices:
+                text = block_texts[block_index]
+                clauses = segment_objectives(text) if self.segment else (text,)
+                for clause in clauses:
+                    units.append(clause)
+                    unit_block.append(int(block_index))
 
-                clauses = segment_objectives(text)
-            else:
-                clauses = [text]
-            for clause in clauses:
-                units.append(clause)
-                unit_block.append(int(block_index))
-
-        details_list = self.extractor.extract_batch(units)
-        records: list[ExtractedRecord] = []
-        for unit_text, block_index, details in zip(
-            units, unit_block, details_list
-        ):
-            company, report_id, page_index = provenance[block_index]
-            records.append(
-                ExtractedRecord(
-                    company=company,
-                    report_id=report_id,
-                    page=page_index,
-                    objective=unit_text,
-                    details=details,
-                    score=float(scores[block_index]),
+            with counters.timer("extract_seconds"):
+                details_list = self.extractor.extract_batch(units)
+            records: list[ExtractedRecord] = []
+            for unit_text, block_index, details in zip(
+                units, unit_block, details_list
+            ):
+                company, report_id, page_index = provenance[block_index]
+                records.append(
+                    ExtractedRecord(
+                        company=company,
+                        report_id=report_id,
+                        page=page_index,
+                        objective=unit_text,
+                        details=details,
+                        score=float(scores[block_index]),
+                    )
                 )
-            )
+        wall = counters.get("wall_seconds")
+        extractor_stats = getattr(self.extractor, "last_run_stats", None)
+        self.last_run_stats = {
+            "wall_seconds": wall,
+            "detect_seconds": counters.get("detect_seconds"),
+            "extract_seconds": counters.get("extract_seconds"),
+            "blocks": len(block_texts),
+            "detected_blocks": int(detected.sum()),
+            "extraction_units": len(units),
+            "records": len(records),
+            "blocks_per_second": len(block_texts) / wall if wall > 0 else 0.0,
+            "extractor": (
+                extractor_stats.as_dict() if extractor_stats else None
+            ),
+        }
         return records
 
     @staticmethod

@@ -9,11 +9,14 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.nn import precision
 from repro.nn.batching import pad_sequences
 from repro.nn.encoder import EncoderConfig, TransformerEncoder
 from repro.nn.layers import Dropout, Linear
 from repro.nn.loss import cross_entropy
-from repro.nn.module import Module
+from repro.nn.module import Module, inference_mode
+from repro.runtime.profiling import PerfCounters
+from repro.runtime.scheduler import plan_batches
 
 
 class SequenceClassifier(Module):
@@ -64,23 +67,51 @@ class SequenceClassifier(Module):
         return loss
 
     def predict_proba(
-        self, sequences: list[list[int]], batch_size: int = 64
+        self,
+        sequences: list[list[int]],
+        batch_size: int = 64,
+        *,
+        token_budget: int | None = None,
+        sort_by_length: bool = True,
+        counters: PerfCounters | None = None,
     ) -> np.ndarray:
-        """Class probabilities for each id sequence, ``(n, num_classes)``."""
+        """Class probabilities for each id sequence, ``(n, num_classes)``.
+
+        Uses the same length-bucketed scheduler as the token classifier
+        (token budget defaults to ``batch_size * max_len``); rows come back
+        in the original sequence order.
+        """
         from repro.nn.functional import softmax
 
         self.eval()
-        rows: list[np.ndarray] = []
-        for start in range(0, len(sequences), batch_size):
-            chunk = sequences[start : start + batch_size]
-            ids, mask = pad_sequences(
-                chunk, pad_value=self.config.pad_id, max_len=self.config.max_len
-            )
-            rows.append(softmax(self.forward(ids, mask), axis=-1))
-        return np.concatenate(rows, axis=0)
+        if not sequences:
+            return np.zeros((0, self.num_classes), dtype=precision.dtype())
+        plan = plan_batches(
+            [len(seq) for seq in sequences],
+            token_budget=token_budget or batch_size * self.config.max_len,
+            max_len=self.config.max_len,
+            max_rows=None if sort_by_length else batch_size,
+            sort_by_length=sort_by_length,
+        )
+        out = np.zeros((len(sequences), self.num_classes), dtype=precision.dtype())
+        with inference_mode():
+            for microbatch in plan.microbatches:
+                chunk = [sequences[index] for index in microbatch.indices]
+                ids, mask = pad_sequences(
+                    chunk, pad_value=self.config.pad_id, width=microbatch.width
+                )
+                out[list(microbatch.indices)] = softmax(
+                    self.forward(ids, mask), axis=-1
+                )
+        if counters is not None:
+            counters.add("sequences", len(sequences))
+            counters.add("microbatches", len(plan.microbatches))
+            counters.add("total_tokens", plan.total_tokens)
+            counters.add("padded_tokens", plan.padded_tokens)
+        return out
 
     def predict(
-        self, sequences: list[list[int]], batch_size: int = 64
+        self, sequences: list[list[int]], batch_size: int = 64, **kwargs
     ) -> np.ndarray:
         """Hard class predictions for each id sequence."""
-        return self.predict_proba(sequences, batch_size).argmax(axis=-1)
+        return self.predict_proba(sequences, batch_size, **kwargs).argmax(axis=-1)

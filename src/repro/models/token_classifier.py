@@ -12,7 +12,9 @@ from repro.nn.batching import pad_sequences
 from repro.nn.encoder import EncoderConfig, TransformerEncoder
 from repro.nn.layers import Dropout, Linear
 from repro.nn.loss import IGNORE_INDEX, cross_entropy
-from repro.nn.module import Module
+from repro.nn.module import Module, inference_mode
+from repro.runtime.profiling import PerfCounters
+from repro.runtime.scheduler import plan_batches
 
 
 class TokenClassifier(Module):
@@ -73,28 +75,55 @@ class TokenClassifier(Module):
         self,
         sequences: list[list[int]],
         batch_size: int = 32,
+        *,
+        token_budget: int | None = None,
+        sort_by_length: bool = True,
+        counters: PerfCounters | None = None,
     ) -> list[np.ndarray]:
-        """Per-token logits ``(len(seq), num_labels)`` per id sequence."""
+        """Per-token logits ``(len(seq), num_labels)`` per id sequence.
+
+        Sequences are length-bucketed under a token budget (default
+        ``batch_size * max_len``), so mixed-length corpora pad to
+        near-uniform widths; results come back in the original order and
+        are bitwise-independent of the packing. ``sort_by_length=False``
+        reproduces naive arrival-order chunks of ``batch_size`` rows.
+        """
         self.eval()
-        outputs: list[np.ndarray] = []
-        for start in range(0, len(sequences), batch_size):
-            chunk = sequences[start : start + batch_size]
-            ids, mask = pad_sequences(
-                chunk, pad_value=self.config.pad_id, max_len=self.config.max_len
-            )
-            logits = self.forward(ids, mask)
-            for row, seq in enumerate(chunk):
-                length = min(len(seq), ids.shape[1])
-                outputs.append(logits[row, :length].copy())
+        if not sequences:
+            return []
+        plan = plan_batches(
+            [len(seq) for seq in sequences],
+            token_budget=token_budget or batch_size * self.config.max_len,
+            max_len=self.config.max_len,
+            max_rows=None if sort_by_length else batch_size,
+            sort_by_length=sort_by_length,
+        )
+        outputs: list[np.ndarray | None] = [None] * len(sequences)
+        with inference_mode():
+            for microbatch in plan.microbatches:
+                chunk = [sequences[index] for index in microbatch.indices]
+                ids, mask = pad_sequences(
+                    chunk, pad_value=self.config.pad_id, width=microbatch.width
+                )
+                logits = self.forward(ids, mask)
+                for row, index in enumerate(microbatch.indices):
+                    length = min(len(sequences[index]), microbatch.width)
+                    outputs[index] = logits[row, :length].copy()
+        if counters is not None:
+            counters.add("sequences", len(sequences))
+            counters.add("microbatches", len(plan.microbatches))
+            counters.add("total_tokens", plan.total_tokens)
+            counters.add("padded_tokens", plan.padded_tokens)
         return outputs
 
     def predict(
         self,
         sequences: list[list[int]],
         batch_size: int = 32,
+        **kwargs,
     ) -> list[np.ndarray]:
         """Predict label ids (per-token argmax) for each id sequence."""
         return [
             logits.argmax(axis=-1)
-            for logits in self.predict_logits(sequences, batch_size)
+            for logits in self.predict_logits(sequences, batch_size, **kwargs)
         ]

@@ -11,7 +11,7 @@ Every layer's backward pass is verified against numerical gradients in the
 test suite (``tests/nn``).
 """
 
-from repro.nn.module import Module, Parameter
+from repro.nn.module import Module, Parameter, inference_mode, is_inference
 from repro.nn.layers import Dropout, Embedding, LayerNorm, Linear
 from repro.nn.attention import MultiHeadSelfAttention
 from repro.nn.encoder import (
@@ -32,6 +32,8 @@ from repro.nn.batching import iterate_minibatches, pad_sequences
 __all__ = [
     "Module",
     "Parameter",
+    "inference_mode",
+    "is_inference",
     "Dropout",
     "Embedding",
     "LayerNorm",

@@ -6,9 +6,9 @@ import math
 
 import numpy as np
 
-from repro.nn.functional import softmax
+from repro.nn.functional import masked_softmax
 from repro.nn.layers import Dropout, Linear
-from repro.nn.module import Module
+from repro.nn.module import Module, is_inference
 
 _MASK_FILL = -1e9
 
@@ -18,7 +18,26 @@ class MultiHeadSelfAttention(Module):
 
     Input is ``(batch, time, dim)``; ``mask`` is ``(batch, time)`` with 1 for
     real tokens and 0 for padding. Padded key positions receive a large
-    negative score before the softmax so they get (numerically) zero weight.
+    negative score before the softmax so they get exactly zero weight.
+
+    The query/key/value projections keep their own ``Linear`` modules (so
+    parameter names, initialization, and checkpoints are unchanged) but are
+    applied as one fused ``(dim, 3*dim)`` GEMM in both forward and backward:
+    concatenating the weights once per call is O(dim^2) against the
+    O(batch*time*dim^2) projection itself, and one large GEMM beats three
+    small ones. Under :func:`repro.nn.module.inference_mode` the backward
+    cache is not built at all.
+
+    ``ctx_pad_to`` pins the contraction length of the attention-weighted
+    value sum (``weights @ values``) to a fixed width (typically the
+    encoder's ``max_len``). NumPy's stacked matmul regroups its inner
+    accumulation depending on the contraction length, so the same sequence
+    padded to different bucket widths would otherwise produce logits that
+    differ in the last ulp. Padding that one contraction to a constant K
+    with exact-zero weights makes the summation order identical for every
+    packing, which is what lets the bucketed scheduler promise
+    bitwise-identical outputs to the naive arrival-order path. All other
+    matmuls contract over fixed model dimensions and need no pinning.
     """
 
     def __init__(
@@ -27,6 +46,7 @@ class MultiHeadSelfAttention(Module):
         num_heads: int,
         rng: np.random.Generator,
         dropout: float = 0.0,
+        ctx_pad_to: int | None = None,
     ) -> None:
         super().__init__()
         if dim % num_heads != 0:
@@ -39,6 +59,7 @@ class MultiHeadSelfAttention(Module):
         self.value_proj = Linear(dim, dim, rng)
         self.out_proj = Linear(dim, dim, rng)
         self.attn_dropout = Dropout(dropout, rng)
+        self.ctx_pad_to = ctx_pad_to
         self._cache: dict[str, np.ndarray] | None = None
 
     def _split_heads(self, x: np.ndarray) -> np.ndarray:
@@ -50,28 +71,81 @@ class MultiHeadSelfAttention(Module):
         batch, __, time, __ = x.shape
         return x.transpose(0, 2, 1, 3).reshape(batch, time, self.dim)
 
+    def _fused_qkv_weights(self) -> tuple[np.ndarray, np.ndarray]:
+        weight = np.concatenate(
+            [
+                self.query_proj.weight.value,
+                self.key_proj.weight.value,
+                self.value_proj.weight.value,
+            ],
+            axis=1,
+        )  # (D, 3D)
+        bias = np.concatenate(
+            [
+                self.query_proj.bias.value,
+                self.key_proj.bias.value,
+                self.value_proj.bias.value,
+            ]
+        )
+        return weight, bias
+
+    def _context(
+        self, weights: np.ndarray, values: np.ndarray
+    ) -> np.ndarray:
+        """``weights @ values`` with the contraction length pinned.
+
+        Embedding both operands in zero blocks of width ``ctx_pad_to``
+        keeps the inner summation order — and therefore the rounding — of
+        every real term independent of the bucket width this batch was
+        padded to. The padded tail contributes exact zeros (weights there
+        are exactly 0.0), so real rows are unchanged mathematically and
+        reproducible bitwise. Both operands are materialized contiguously
+        so every packing hits the same matmul kernel.
+        """
+        batch, heads, time, __ = weights.shape
+        target = self.ctx_pad_to
+        if target is None or time > target:
+            return weights @ np.ascontiguousarray(values)
+        padded_weights = np.zeros(
+            (batch, heads, time, target), dtype=weights.dtype
+        )
+        padded_weights[..., :time] = weights
+        padded_values = np.zeros(
+            (batch, heads, target, self.head_dim), dtype=values.dtype
+        )
+        padded_values[..., :time, :] = values
+        return padded_weights @ padded_values
+
     def forward(self, x: np.ndarray, mask: np.ndarray) -> np.ndarray:
-        queries = self._split_heads(self.query_proj(x))
-        keys = self._split_heads(self.key_proj(x))
-        values = self._split_heads(self.value_proj(x))
+        fused_weight, fused_bias = self._fused_qkv_weights()
+        qkv = x @ fused_weight + fused_bias  # single GEMM for Q, K, V
+        raw_q, raw_k, raw_v = np.split(qkv, 3, axis=-1)
+        queries = self._split_heads(raw_q)
+        keys = self._split_heads(raw_k)
+        values = self._split_heads(raw_v)
 
         scale = 1.0 / math.sqrt(self.head_dim)
         scores = (queries @ keys.transpose(0, 1, 3, 2)) * scale
         key_mask = np.asarray(mask)[:, None, None, :]  # (B, 1, 1, T)
         scores = np.where(key_mask > 0, scores, _MASK_FILL)
-        weights = softmax(scores, axis=-1)
+        weights = masked_softmax(scores, key_mask)
         weights = self.attn_dropout(weights)
-        context = weights @ values
+        context = self._context(weights, values)
         out = self.out_proj(self._merge_heads(context))
 
-        self._cache = {
-            "queries": queries,
-            "keys": keys,
-            "values": values,
-            "weights": weights,
-            "key_mask": key_mask,
-            "scale": np.asarray(scale),
-        }
+        if is_inference():
+            self._cache = None
+        else:
+            self._cache = {
+                "x": x,
+                "fused_weight": fused_weight,
+                "queries": queries,
+                "keys": keys,
+                "values": values,
+                "weights": weights,
+                "key_mask": key_mask,
+                "scale": np.asarray(scale),
+            }
         return out
 
     def backward(self, dout: np.ndarray) -> np.ndarray:
@@ -104,7 +178,27 @@ class MultiHeadSelfAttention(Module):
         dqueries = dscores @ keys
         dkeys = dscores.transpose(0, 1, 3, 2) @ queries
 
-        dx = self.query_proj.backward(self._merge_heads(dqueries))
-        dx = dx + self.key_proj.backward(self._merge_heads(dkeys))
-        dx = dx + self.value_proj.backward(self._merge_heads(dvalues))
-        return dx
+        # Fused projection backward: one GEMM each for the weight gradient
+        # and the input gradient, then split back per projection.
+        dfused = np.concatenate(
+            [
+                self._merge_heads(dqueries),
+                self._merge_heads(dkeys),
+                self._merge_heads(dvalues),
+            ],
+            axis=-1,
+        )  # (B, T, 3D)
+        x = cache["x"]
+        flat_x = x.reshape(-1, self.dim)
+        flat_dfused = dfused.reshape(-1, 3 * self.dim)
+        dweight = flat_x.T @ flat_dfused  # (D, 3D)
+        dbias = flat_dfused.sum(axis=0)
+        dq_w, dk_w, dv_w = np.split(dweight, 3, axis=1)
+        dq_b, dk_b, dv_b = np.split(dbias, 3)
+        self.query_proj.weight.grad += dq_w
+        self.key_proj.weight.grad += dk_w
+        self.value_proj.weight.grad += dv_w
+        self.query_proj.bias.grad += dq_b
+        self.key_proj.bias.grad += dk_b
+        self.value_proj.bias.grad += dv_b
+        return dfused @ cache["fused_weight"].T

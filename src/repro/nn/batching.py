@@ -13,6 +13,7 @@ def pad_sequences(
     sequences: Sequence[Sequence[int]],
     pad_value: int = 0,
     max_len: int | None = None,
+    width: int | None = None,
 ) -> tuple[np.ndarray, np.ndarray]:
     """Pad variable-length id sequences into a dense batch.
 
@@ -20,6 +21,10 @@ def pad_sequences(
         sequences: list of integer sequences.
         pad_value: fill value for padding positions.
         max_len: optional hard cap; longer sequences are truncated.
+        width: exact padded width to use, overriding the longest-member
+            computation (and ``max_len``). This is how the batch scheduler
+            (:mod:`repro.runtime.scheduler`) hands its width decisions to
+            padding, so planning and padding cannot disagree.
 
     Returns:
         ``(ids, mask)`` — both ``(batch, time)``; ``mask`` is 1.0 on real
@@ -27,16 +32,26 @@ def pad_sequences(
     """
     if not sequences:
         raise ValueError("cannot pad an empty batch")
-    longest = max(len(seq) for seq in sequences)
-    width = min(longest, max_len) if max_len else longest
-    width = max(width, 1)
+    lengths = np.array([len(seq) for seq in sequences], dtype=np.int64)
+    if width is None:
+        longest = int(lengths.max())
+        width = min(longest, max_len) if max_len else longest
+        width = max(width, 1)
+    elif width < 1:
+        raise ValueError("width must be positive")
+    clipped = np.minimum(lengths, width)
+    keep = np.arange(width)[None, :] < clipped[:, None]
     ids = np.full((len(sequences), width), pad_value, dtype=np.int64)
-    mask = np.zeros((len(sequences), width), dtype=precision.dtype())
-    for row, seq in enumerate(sequences):
-        clipped = list(seq)[:width]
-        ids[row, : len(clipped)] = clipped
-        mask[row, : len(clipped)] = 1.0
-    return ids, mask
+    if bool((lengths > width).any()):
+        flat = [
+            token
+            for seq in sequences
+            for token in (seq if len(seq) <= width else list(seq)[:width])
+        ]
+    else:
+        flat = [token for seq in sequences for token in seq]
+    ids[keep] = np.asarray(flat, dtype=np.int64)
+    return ids, keep.astype(precision.dtype())
 
 
 def iterate_minibatches(

@@ -16,7 +16,7 @@ import numpy as np
 from repro.nn.functional import gelu, gelu_grad
 from repro.nn.attention import MultiHeadSelfAttention
 from repro.nn.layers import Dropout, Embedding, LayerNorm, Linear
-from repro.nn.module import Module
+from repro.nn.module import Module, is_inference
 
 
 @dataclasses.dataclass(frozen=True)
@@ -53,7 +53,7 @@ class FeedForward(Module):
 
     def forward(self, x: np.ndarray) -> np.ndarray:
         hidden = self.expand(x)
-        self._pre_activation = hidden
+        self._pre_activation = None if is_inference() else hidden
         activated = gelu(hidden)
         return self.dropout(self.contract(activated))
 
@@ -76,10 +76,13 @@ class TransformerEncoderLayer(Module):
         ffn_dim: int,
         rng: np.random.Generator,
         dropout: float,
+        ctx_pad_to: int | None = None,
     ) -> None:
         super().__init__()
         self.attn_norm = LayerNorm(dim)
-        self.attention = MultiHeadSelfAttention(dim, num_heads, rng, dropout)
+        self.attention = MultiHeadSelfAttention(
+            dim, num_heads, rng, dropout, ctx_pad_to=ctx_pad_to
+        )
         self.attn_dropout = Dropout(dropout, rng)
         self.ffn_norm = LayerNorm(dim)
         self.ffn = FeedForward(dim, ffn_dim, rng, dropout)
@@ -115,7 +118,12 @@ class TransformerEncoder(Module):
         self.embedding_dropout = Dropout(config.dropout, rng)
         self.layers = [
             TransformerEncoderLayer(
-                config.dim, config.num_heads, config.ffn_dim, rng, config.dropout
+                config.dim,
+                config.num_heads,
+                config.ffn_dim,
+                rng,
+                config.dropout,
+                ctx_pad_to=config.max_len,
             )
             for __ in range(config.num_layers)
         ]
@@ -134,7 +142,7 @@ class TransformerEncoder(Module):
         positions = np.broadcast_to(
             np.arange(ids.shape[1]), ids.shape
         )
-        self._positions = positions
+        self._positions = None if is_inference() else positions
         states = self.token_embedding(ids) + self.position_embedding(positions)
         states = self.embedding_dropout(states)
         for layer in self.layers:

@@ -31,6 +31,28 @@ def softmax(x: np.ndarray, axis: int = -1) -> np.ndarray:
     return exp / np.sum(exp, axis=axis, keepdims=True)
 
 
+def masked_softmax(scores: np.ndarray, key_mask: np.ndarray) -> np.ndarray:
+    """Softmax over the last axis with exact zeros at masked positions.
+
+    ``key_mask`` broadcasts against ``scores`` and is nonzero on real
+    positions. Two properties matter for batched inference:
+
+    * masked positions get weight exactly ``0.0`` (not merely tiny), and
+    * the normalizer is a *sequential* cumulative sum, so a row's result is
+      independent of how much trailing padding follows it. ``np.sum`` uses
+      pairwise summation, which regroups the real terms when the axis
+      grows; trailing ``+0.0`` terms leave a running sum bitwise unchanged.
+
+    The second property is what lets the length-bucketed scheduler
+    (:mod:`repro.runtime.scheduler`) guarantee bitwise-identical logits for
+    any batch packing. Rows with no real positions get all-zero weights.
+    """
+    shifted = scores - np.max(scores, axis=-1, keepdims=True)
+    exp = np.exp(shifted) * (key_mask > 0)
+    denom = np.cumsum(exp, axis=-1)[..., -1:]
+    return exp / np.maximum(denom, np.finfo(exp.dtype).tiny)
+
+
 def log_softmax(x: np.ndarray, axis: int = -1) -> np.ndarray:
     """Stable log-softmax along ``axis``."""
     shifted = x - np.max(x, axis=axis, keepdims=True)

@@ -9,7 +9,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.nn.module import Module, Parameter
+from repro.nn.module import Module, Parameter, is_inference
 
 
 class Linear(Module):
@@ -31,7 +31,7 @@ class Linear(Module):
         self._x: np.ndarray | None = None
 
     def forward(self, x: np.ndarray) -> np.ndarray:
-        self._x = x
+        self._x = None if is_inference() else x
         out = x @ self.weight.value
         if self.bias is not None:
             out = out + self.bias.value
@@ -62,8 +62,9 @@ class Embedding(Module):
         self._ids: np.ndarray | None = None
 
     def forward(self, ids: np.ndarray) -> np.ndarray:
-        self._ids = np.asarray(ids)
-        return self.weight.value[self._ids]
+        ids = np.asarray(ids)
+        self._ids = None if is_inference() else ids
+        return self.weight.value[ids]
 
     def backward(self, dout: np.ndarray) -> None:
         """Accumulate gradients; embeddings have no upstream input."""
@@ -88,7 +89,7 @@ class LayerNorm(Module):
         var = x.var(axis=-1, keepdims=True)
         inv_std = 1.0 / np.sqrt(var + self.eps)
         x_hat = (x - mean) * inv_std
-        self._cache = (x_hat, inv_std, x)
+        self._cache = None if is_inference() else (x_hat, inv_std, x)
         return self.gamma.value * x_hat + self.beta.value
 
     def backward(self, dout: np.ndarray) -> np.ndarray:
@@ -123,7 +124,7 @@ class Dropout(Module):
         self._mask: np.ndarray | None = None
 
     def forward(self, x: np.ndarray) -> np.ndarray:
-        if not self.training or self.p == 0.0:
+        if not self.training or self.p == 0.0 or is_inference():
             self._mask = None
             return x
         keep = 1.0 - self.p

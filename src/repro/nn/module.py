@@ -12,11 +12,37 @@ parameter gradients, and returning the gradient w.r.t. the input).
 
 from __future__ import annotations
 
+import contextlib
 from collections.abc import Iterator
 
 import numpy as np
 
 from repro.nn import precision
+
+_inference_depth = 0
+
+
+def is_inference() -> bool:
+    """True inside an :func:`inference_mode` block."""
+    return _inference_depth > 0
+
+
+@contextlib.contextmanager
+def inference_mode() -> Iterator[None]:
+    """Forward-only mode: layers skip backward-cache construction.
+
+    Unlike ``Module.eval()`` (which only changes layer *behaviour*, e.g.
+    turning dropout into the identity), inference mode promises that no
+    ``backward`` will follow, so ``forward`` skips storing activations and
+    masks entirely. Re-entrant; calling ``backward`` after a forward run
+    under inference mode raises "backward called before forward".
+    """
+    global _inference_depth
+    _inference_depth += 1
+    try:
+        yield
+    finally:
+        _inference_depth -= 1
 
 
 class Parameter:

@@ -1,0 +1,27 @@
+"""Batched inference runtime: scheduling, inference mode, observability.
+
+The production workload (detect -> extract -> store over tens of thousands
+of report pages, Tables 5-7) is batch inference. This package makes that
+path fast and measurable:
+
+* :mod:`repro.runtime.scheduler` — length-bucketed batch planning under a
+  token budget, used by every prediction path;
+* :mod:`repro.runtime.profiling` — perf counters, timers, tokens/sec,
+  padding-waste and cache-hit-rate reporting;
+* :func:`repro.nn.module.inference_mode` (re-exported here) — disables
+  backward-cache construction during prediction.
+"""
+
+from repro.nn.module import inference_mode, is_inference
+from repro.runtime.profiling import PerfCounters, RunStats
+from repro.runtime.scheduler import BatchPlan, Microbatch, plan_batches
+
+__all__ = [
+    "BatchPlan",
+    "Microbatch",
+    "PerfCounters",
+    "RunStats",
+    "inference_mode",
+    "is_inference",
+    "plan_batches",
+]

@@ -1,0 +1,124 @@
+"""Lightweight perf counters for the inference runtime.
+
+Table 4's "minutes" column and the deployment story (Tables 5-7) are
+throughput claims; this module gives every prediction path trustworthy
+numbers to back them: wall-clock timers, token counters, padding-waste and
+cache-hit ratios. Everything is plain floats/ints and serializes to JSON
+(``benchmarks/bench_inference_throughput.py`` asserts the schema).
+"""
+
+from __future__ import annotations
+
+import contextlib
+import dataclasses
+import time
+from collections.abc import Iterator
+
+
+class PerfCounters:
+    """Accumulating named counters plus wall-clock timers."""
+
+    def __init__(self) -> None:
+        self._values: dict[str, float] = {}
+
+    def add(self, name: str, amount: float = 1.0) -> None:
+        self._values[name] = self._values.get(name, 0.0) + amount
+
+    def get(self, name: str, default: float = 0.0) -> float:
+        return self._values.get(name, default)
+
+    @contextlib.contextmanager
+    def timer(self, name: str) -> Iterator[None]:
+        """Accumulate the elapsed seconds of the ``with`` body into ``name``."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.add(name, time.perf_counter() - start)
+
+    def as_dict(self) -> dict[str, float]:
+        return dict(self._values)
+
+
+@dataclasses.dataclass
+class RunStats:
+    """Observability record of one batched inference run.
+
+    Exposed as ``WeakSupervisionExtractor.last_run_stats`` (and mirrored by
+    the detector and the GoalSpotter pipeline) after every production call.
+    """
+
+    wall_seconds: float = 0.0
+    sequences: int = 0
+    microbatches: int = 0
+    total_tokens: int = 0
+    padded_tokens: int = 0
+    bpe_cache_hits: int = 0
+    bpe_cache_misses: int = 0
+    timings: dict[str, float] = dataclasses.field(default_factory=dict)
+    extra: dict[str, float] = dataclasses.field(default_factory=dict)
+
+    @property
+    def tokens_per_second(self) -> float:
+        if self.wall_seconds <= 0.0:
+            return 0.0
+        return self.total_tokens / self.wall_seconds
+
+    @property
+    def padding_waste(self) -> float:
+        """Fraction of the encoder's padded footprint spent on padding."""
+        if self.padded_tokens == 0:
+            return 0.0
+        return 1.0 - self.total_tokens / self.padded_tokens
+
+    @property
+    def bpe_cache_hit_rate(self) -> float:
+        lookups = self.bpe_cache_hits + self.bpe_cache_misses
+        if lookups == 0:
+            return 0.0
+        return self.bpe_cache_hits / lookups
+
+    def as_dict(self) -> dict:
+        """JSON-ready flat view, derived ratios included."""
+        return {
+            "wall_seconds": self.wall_seconds,
+            "sequences": self.sequences,
+            "microbatches": self.microbatches,
+            "total_tokens": self.total_tokens,
+            "padded_tokens": self.padded_tokens,
+            "tokens_per_second": self.tokens_per_second,
+            "padding_waste": self.padding_waste,
+            "bpe_cache_hits": self.bpe_cache_hits,
+            "bpe_cache_misses": self.bpe_cache_misses,
+            "bpe_cache_hit_rate": self.bpe_cache_hit_rate,
+            "timings": dict(self.timings),
+            "extra": dict(self.extra),
+        }
+
+    @classmethod
+    def from_counters(
+        cls,
+        counters: PerfCounters,
+        wall_seconds: float,
+        bpe_cache_hits: int = 0,
+        bpe_cache_misses: int = 0,
+        extra: dict[str, float] | None = None,
+    ) -> "RunStats":
+        """Assemble stats from the counters the prediction paths fill in."""
+        values = counters.as_dict()
+        timings = {
+            name: value
+            for name, value in values.items()
+            if name.endswith("_seconds")
+        }
+        return cls(
+            wall_seconds=wall_seconds,
+            sequences=int(values.get("sequences", 0)),
+            microbatches=int(values.get("microbatches", 0)),
+            total_tokens=int(values.get("total_tokens", 0)),
+            padded_tokens=int(values.get("padded_tokens", 0)),
+            bpe_cache_hits=bpe_cache_hits,
+            bpe_cache_misses=bpe_cache_misses,
+            timings=timings,
+            extra=extra or {},
+        )

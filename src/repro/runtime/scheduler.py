@@ -1,0 +1,130 @@
+"""Length-bucketed batch planning for inference.
+
+Arrival-order chunking pads every sequence in a chunk to the chunk's longest
+member, so a mixed-length corpus spends most of its FLOPs on padding. The
+planner here sorts sequences by token count (a stable sort, so ties keep
+arrival order), packs near-uniform-length neighbours into microbatches under
+a *token budget* — the padded footprint ``rows * width`` of the batch the
+encoder will actually see, not a fixed row count — and records the original
+index of every row so callers can restore arrival order exactly.
+
+The plan carries explicit width decisions; ``repro.nn.batching.pad_sequences``
+accepts them via its ``width`` argument so padding and planning cannot
+disagree. Combined with the width-invariant attention softmax
+(:func:`repro.nn.functional.masked_softmax`) and the pinned-length context
+contraction (``MultiHeadSelfAttention.ctx_pad_to``), a sequence's logits are
+bitwise-identical no matter which microbatch it lands in, which is what lets
+``tests/runtime/test_equivalence.py`` compare bucketed and arrival-order
+plans with ``np.array_equal``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections.abc import Sequence
+
+
+@dataclasses.dataclass(frozen=True)
+class Microbatch:
+    """One padded batch the model will run: row order is ``indices``."""
+
+    indices: tuple[int, ...]  # original sequence positions, row order
+    width: int  # padded time dimension
+
+    @property
+    def rows(self) -> int:
+        return len(self.indices)
+
+    @property
+    def padded_tokens(self) -> int:
+        """The padded footprint the encoder computes over."""
+        return self.rows * self.width
+
+
+@dataclasses.dataclass(frozen=True)
+class BatchPlan:
+    """A partition of sequence indices into microbatches."""
+
+    microbatches: tuple[Microbatch, ...]
+    total_tokens: int  # sum of effective (clipped) sequence lengths
+    padded_tokens: int  # sum of microbatch padded footprints
+
+    @property
+    def num_sequences(self) -> int:
+        return sum(batch.rows for batch in self.microbatches)
+
+    @property
+    def padding_waste(self) -> float:
+        """Fraction of the computed footprint that is padding."""
+        if self.padded_tokens == 0:
+            return 0.0
+        return 1.0 - self.total_tokens / self.padded_tokens
+
+
+def plan_batches(
+    lengths: Sequence[int],
+    token_budget: int = 4096,
+    max_len: int | None = None,
+    max_rows: int | None = None,
+    sort_by_length: bool = True,
+) -> BatchPlan:
+    """Plan microbatches over sequences of the given token counts.
+
+    Args:
+        lengths: per-sequence token counts, in arrival order.
+        token_budget: cap on a microbatch's padded footprint
+            (``rows * width``). A single sequence longer than the budget
+            still gets a (singleton) microbatch.
+        max_len: model length cap; longer sequences are budgeted at the
+            clipped length (padding then truncates to the same width).
+        max_rows: optional cap on rows per microbatch. With
+            ``sort_by_length=False`` and a generous budget this reproduces
+            naive arrival-order chunking exactly.
+        sort_by_length: sort sequences by token count before packing
+            (stable, so equal lengths keep arrival order).
+
+    Returns:
+        A :class:`BatchPlan` whose microbatches partition
+        ``range(len(lengths))`` — every index appears in exactly one
+        microbatch, exactly once.
+    """
+    if token_budget <= 0:
+        raise ValueError("token_budget must be positive")
+    if max_rows is not None and max_rows <= 0:
+        raise ValueError("max_rows must be positive")
+
+    # Effective length: what the padded batch will actually be sized by.
+    effective = [
+        max(1, min(length, max_len) if max_len else length)
+        for length in lengths
+    ]
+    order = list(range(len(lengths)))
+    if sort_by_length:
+        order.sort(key=lambda index: effective[index])
+
+    microbatches: list[Microbatch] = []
+    current: list[int] = []
+    width = 0
+
+    def close() -> None:
+        nonlocal current, width
+        if current:
+            microbatches.append(Microbatch(tuple(current), width))
+            current, width = [], 0
+
+    for index in order:
+        length = effective[index]
+        grown = max(width, length)
+        if current and (
+            (len(current) + 1) * grown > token_budget
+            or (max_rows is not None and len(current) >= max_rows)
+        ):
+            close()
+            grown = length
+        current.append(index)
+        width = grown
+    close()
+
+    total = sum(effective)
+    padded = sum(batch.padded_tokens for batch in microbatches)
+    return BatchPlan(tuple(microbatches), total, padded)

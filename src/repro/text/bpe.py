@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import dataclasses
 import json
-from collections import Counter
+from collections import Counter, OrderedDict
 from collections.abc import Iterable, Sequence
 from pathlib import Path
 
@@ -127,20 +127,30 @@ class BpeTokenizer:
     """Applies learned BPE merges and maps pieces to vocabulary ids.
 
     Construct via :meth:`train` (learn merges + build vocabulary from a
-    corpus) or directly from a merge list. Instances are immutable and cache
-    per-word encodings, so repeated encoding of a corpus is fast.
+    corpus) or directly from a merge list. BPE is deterministic per word and
+    report corpora repeat words heavily, so encoding memoizes ``word ->
+    (pieces, ids)`` in a bounded LRU (``cache_size`` entries); hit/miss
+    counters are exposed via :meth:`cache_info` for throughput reporting.
     """
 
     def __init__(
         self,
         merges: Sequence[tuple[str, str]],
         vocab: Vocabulary | None = None,
+        cache_size: int = 65536,
     ) -> None:
+        if cache_size <= 0:
+            raise ValueError("cache_size must be positive")
         self.merges = [tuple(merge) for merge in merges]
         self._merge_ranks: dict[tuple[str, str], int] = {
             tuple(merge): rank for rank, merge in enumerate(self.merges)
         }
-        self._word_cache: dict[str, tuple[str, ...]] = {}
+        self.cache_size = cache_size
+        self._word_cache: OrderedDict[
+            str, tuple[tuple[str, ...], tuple[int, ...]]
+        ] = OrderedDict()
+        self._cache_hits = 0
+        self._cache_misses = 0
         if vocab is None:
             vocab = self._build_vocab_from_merges()
         self.vocab = vocab
@@ -169,6 +179,8 @@ class BpeTokenizer:
                     seen.add(piece)
                     pieces.append(piece)
         tokenizer.vocab = Vocabulary(tokenizer._base_pieces() + pieces)
+        # Cached ids were resolved against the pre-extension vocabulary.
+        tokenizer.clear_cache()
         return tokenizer
 
     def _base_pieces(self) -> list[str]:
@@ -194,11 +206,7 @@ class BpeTokenizer:
 
     # -- encoding ----------------------------------------------------------
 
-    def encode_word(self, word: str) -> tuple[str, ...]:
-        """Encode one word into subword piece strings."""
-        cached = self._word_cache.get(word)
-        if cached is not None:
-            return cached
+    def _apply_merges(self, word: str) -> tuple[str, ...]:
         symbols = _word_to_symbols(word)
         while len(symbols) > 1:
             candidate_ranks = [
@@ -217,8 +225,27 @@ class BpeTokenizer:
             rank, __ = min(applicable)
             pair = self.merges[rank]
             symbols = _merge_symbols(symbols, pair)
-        self._word_cache[word] = symbols
         return symbols
+
+    def _encode_word_cached(
+        self, word: str
+    ) -> tuple[tuple[str, ...], tuple[int, ...]]:
+        cached = self._word_cache.get(word)
+        if cached is not None:
+            self._word_cache.move_to_end(word)
+            self._cache_hits += 1
+            return cached
+        self._cache_misses += 1
+        pieces = self._apply_merges(word)
+        entry = (pieces, tuple(self.vocab.id_of(piece) for piece in pieces))
+        self._word_cache[word] = entry
+        if len(self._word_cache) > self.cache_size:
+            self._word_cache.popitem(last=False)
+        return entry
+
+    def encode_word(self, word: str) -> tuple[str, ...]:
+        """Encode one word into subword piece strings."""
+        return self._encode_word_cached(word)[0]
 
     def encode(self, words: Sequence[str]) -> SubwordEncoding:
         """Encode a word sequence, tracking piece -> word provenance."""
@@ -226,11 +253,28 @@ class BpeTokenizer:
         ids: list[int] = []
         word_ids: list[int] = []
         for word_index, word in enumerate(words):
-            for piece in self.encode_word(word):
-                pieces.append(piece)
-                ids.append(self.vocab.id_of(piece))
-                word_ids.append(word_index)
+            word_pieces, word_piece_ids = self._encode_word_cached(word)
+            pieces.extend(word_pieces)
+            ids.extend(word_piece_ids)
+            word_ids.extend([word_index] * len(word_pieces))
         return SubwordEncoding(tuple(pieces), tuple(ids), tuple(word_ids))
+
+    # -- cache bookkeeping ---------------------------------------------------
+
+    def clear_cache(self) -> None:
+        """Drop memoized encodings (required after replacing ``vocab``)."""
+        self._word_cache.clear()
+        self._cache_hits = 0
+        self._cache_misses = 0
+
+    def cache_info(self) -> dict[str, int]:
+        """Hit/miss counters and occupancy of the per-word LRU memo."""
+        return {
+            "hits": self._cache_hits,
+            "misses": self._cache_misses,
+            "size": len(self._word_cache),
+            "maxsize": self.cache_size,
+        }
 
     def decode_word(self, pieces: Sequence[str]) -> str:
         """Reassemble a word from its pieces (inverse of encode_word)."""

@@ -1,0 +1,86 @@
+"""Fast smoke test for the inference-throughput benchmark.
+
+Runs ``benchmarks/bench_inference_throughput.py`` at a tiny scale and
+asserts the JSON report schema, so a refactor of the runtime or the bench
+cannot silently break the measurement before a full (slow) benchmark run.
+Marked ``smoke``: deselect with ``-m "not smoke"`` if needed.
+"""
+
+import json
+
+import pytest
+
+from benchmarks.bench_inference_throughput import run_throughput_benchmark
+
+RUN_KEYS = {
+    "wall_seconds": float,
+    "sequences": int,
+    "microbatches": int,
+    "total_tokens": int,
+    "padded_tokens": int,
+    "tokens_per_second": float,
+    "padding_waste": float,
+    "bpe_cache_hits": int,
+    "bpe_cache_misses": int,
+    "bpe_cache_hit_rate": float,
+    "timings": dict,
+    "extra": dict,
+}
+
+PIPELINE_RUN_KEYS = {
+    "wall_seconds": float,
+    "detect_seconds": float,
+    "extract_seconds": float,
+    "blocks": int,
+    "detected_blocks": int,
+    "extraction_units": int,
+    "records": int,
+    "blocks_per_second": float,
+    "pages": int,
+    "pages_per_second": float,
+}
+
+
+def _assert_schema(payload: dict, schema: dict) -> None:
+    for key, expected_type in schema.items():
+        assert key in payload, f"missing key {key!r}"
+        assert isinstance(payload[key], expected_type), (
+            f"{key!r} is {type(payload[key]).__name__}, "
+            f"wanted {expected_type.__name__}"
+        )
+
+
+@pytest.mark.smoke
+def test_throughput_benchmark_smoke():
+    report = run_throughput_benchmark(
+        num_texts=24, epochs=1, num_pages=4, detector_blocks=60
+    )
+
+    # The report must round-trip through JSON (the bench emits it as such).
+    report = json.loads(json.dumps(report))
+
+    assert set(report) == {"config", "extractor", "pipeline"}
+    assert report["config"]["num_texts"] == 24
+
+    extractor = report["extractor"]
+    assert set(extractor) >= {
+        "arrival", "bucketed", "speedup", "logits_identical",
+        "results_identical",
+    }
+    # Correctness invariants hold even at smoke scale.
+    assert extractor["logits_identical"] is True
+    assert extractor["results_identical"] is True
+    assert extractor["speedup"] > 0.0
+    for mode in ("arrival", "bucketed"):
+        _assert_schema(extractor[mode], RUN_KEYS)
+        assert extractor[mode]["sequences"] == 24
+        assert 0.0 <= extractor[mode]["padding_waste"] < 1.0
+        assert "model_seconds" in extractor[mode]["timings"]
+
+    pipeline = report["pipeline"]
+    assert set(pipeline) >= {"arrival", "bucketed", "speedup"}
+    for mode in ("arrival", "bucketed"):
+        _assert_schema(pipeline[mode], PIPELINE_RUN_KEYS)
+        assert pipeline[mode]["extractor"] is None or isinstance(
+            pipeline[mode]["extractor"], dict
+        )

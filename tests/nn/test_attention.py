@@ -85,6 +85,26 @@ class TestMultiHeadSelfAttention:
             rtol=1e-3,
         )
 
+    def test_key_and_value_parameter_gradients(self, attention, rng):
+        """The fused backward must split gradients to all three projections."""
+        x = rng.normal(size=(1, 3, 8))
+        mask = np.ones((1, 3))
+        dout = rng.normal(size=(1, 3, 8))
+        attention.forward(x, mask)
+        attention.zero_grad()
+        attention.backward(dout)
+        for proj_name in ("key_proj", "value_proj"):
+            proj = getattr(attention, proj_name)
+
+            def loss(w, proj=proj):
+                proj.weight.value = w
+                return float((attention.forward(x, mask) * dout).sum())
+
+            w0 = proj.weight.value.copy()
+            numeric = numeric_gradient(loss, w0.copy())
+            proj.weight.value = w0
+            assert_close(proj.weight.grad, numeric, rtol=1e-3)
+
     def test_attention_weights_sum_to_one(self, attention, rng):
         x = rng.normal(size=(1, 5, 8))
         mask = np.array([[1, 1, 1, 1, 0]], dtype=float)
@@ -93,3 +113,84 @@ class TestMultiHeadSelfAttention:
         np.testing.assert_allclose(weights.sum(axis=-1), 1.0, atol=1e-9)
         # Padded key gets ~zero attention everywhere.
         assert weights[..., 4].max() < 1e-6
+
+
+class TestFusedQkvProjection:
+    """The single-GEMM QKV path must match three separate projections."""
+
+    def _reference_forward(self, attention, x, mask):
+        queries = attention._split_heads(attention.query_proj(x))
+        keys = attention._split_heads(attention.key_proj(x))
+        values = attention._split_heads(attention.value_proj(x))
+        scale = 1.0 / np.sqrt(attention.head_dim)
+        scores = (queries @ keys.transpose(0, 1, 3, 2)) * scale
+        key_mask = mask[:, None, None, :]
+        scores = np.where(key_mask > 0, scores, -1e9)
+        shifted = scores - scores.max(axis=-1, keepdims=True)
+        exp = np.exp(shifted) * (key_mask > 0)
+        weights = exp / exp.sum(axis=-1, keepdims=True)
+        context = weights @ values
+        return attention.out_proj(attention._merge_heads(context))
+
+    def test_forward_matches_three_projections(self, attention, rng):
+        x = rng.normal(size=(2, 5, 8))
+        mask = np.array(
+            [[1, 1, 1, 1, 1], [1, 1, 1, 0, 0]], dtype=np.float64
+        )
+        fused = attention(x, mask)
+        reference = self._reference_forward(attention, x, mask)
+        # Compare real positions only; padded rows are garbage by contract.
+        for row, real in enumerate((5, 3)):
+            np.testing.assert_allclose(
+                fused[row, :real], reference[row, :real], rtol=1e-6, atol=1e-8
+            )
+
+    def test_fused_weights_concatenate_in_qkv_order(self, attention):
+        weight, bias = attention._fused_qkv_weights()
+        dim = attention.dim
+        np.testing.assert_array_equal(
+            weight[:, :dim], attention.query_proj.weight.value
+        )
+        np.testing.assert_array_equal(
+            weight[:, dim : 2 * dim], attention.key_proj.weight.value
+        )
+        np.testing.assert_array_equal(
+            weight[:, 2 * dim :], attention.value_proj.weight.value
+        )
+        np.testing.assert_array_equal(bias[:dim], attention.query_proj.bias.value)
+
+    def test_ctx_pinning_does_not_change_values(self, rng):
+        plain = MultiHeadSelfAttention(dim=8, num_heads=2, rng=rng, dropout=0.0)
+        pinned = MultiHeadSelfAttention(
+            dim=8, num_heads=2, rng=rng, dropout=0.0, ctx_pad_to=16
+        )
+        for proj in ("query_proj", "key_proj", "value_proj", "out_proj"):
+            getattr(pinned, proj).weight.value = (
+                getattr(plain, proj).weight.value.copy()
+            )
+            getattr(pinned, proj).bias.value = (
+                getattr(plain, proj).bias.value.copy()
+            )
+        plain.eval()
+        pinned.eval()
+        x = rng.normal(size=(1, 5, 8))
+        mask = np.array([[1, 1, 1, 1, 0]], dtype=np.float64)
+        np.testing.assert_allclose(
+            plain(x, mask)[0, :4], pinned(x, mask)[0, :4], rtol=1e-9
+        )
+
+    def test_ctx_pinning_makes_output_width_invariant(self, rng):
+        pinned = MultiHeadSelfAttention(
+            dim=8, num_heads=2, rng=rng, dropout=0.0, ctx_pad_to=16
+        )
+        pinned.eval()
+        x_small = rng.normal(size=(1, 4, 8)).astype(np.float32)
+        x_large = np.zeros((1, 12, 8), dtype=np.float32)
+        x_large[:, :4] = x_small
+        x_large[:, 4:] = rng.normal(size=(1, 8, 8))  # padded garbage
+        mask_small = np.ones((1, 4), dtype=np.float32)
+        mask_large = np.zeros((1, 12), dtype=np.float32)
+        mask_large[:, :4] = 1.0
+        out_small = pinned(x_small, mask_small)[0, :4]
+        out_large = pinned(x_large, mask_large)[0, :4]
+        assert np.array_equal(out_small, out_large)

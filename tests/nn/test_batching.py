@@ -31,6 +31,27 @@ class TestPadSequences:
         assert ids.shape == (2, 1)
         assert mask.sum() == 0
 
+    def test_explicit_width_overrides_longest(self):
+        ids, mask = pad_sequences([[1, 2], [3]], width=5)
+        assert ids.shape == (2, 5)
+        np.testing.assert_array_equal(mask, [[1, 1, 0, 0, 0], [1, 0, 0, 0, 0]])
+
+    def test_explicit_width_truncates(self):
+        ids, mask = pad_sequences([[1, 2, 3, 4], [5]], width=2)
+        np.testing.assert_array_equal(ids, [[1, 2], [5, 0]])
+        np.testing.assert_array_equal(mask, [[1, 1], [1, 0]])
+
+    def test_width_wins_over_max_len(self):
+        # The scheduler's width decision is authoritative: planning and
+        # padding must not disagree.
+        ids, __ = pad_sequences([[1, 2, 3]], max_len=2, width=3)
+        assert ids.shape == (1, 3)
+
+    def test_ids_dtype_and_mask_values(self):
+        ids, mask = pad_sequences([[7, 8], [9]])
+        assert ids.dtype == np.int64
+        assert set(np.unique(mask)) <= {0.0, 1.0}
+
     @given(
         st.lists(
             st.lists(st.integers(1, 100), max_size=20),
@@ -42,6 +63,20 @@ class TestPadSequences:
         __, mask = pad_sequences(sequences)
         for row, seq in zip(mask, sequences):
             assert row.sum() == len(seq)
+
+    @given(
+        st.lists(
+            st.lists(st.integers(1, 100), max_size=20),
+            min_size=1,
+            max_size=10,
+        ),
+        st.integers(min_value=1, max_value=25),
+    )
+    def test_width_mask_counts_are_clipped_lengths(self, sequences, width):
+        ids, mask = pad_sequences(sequences, width=width)
+        assert ids.shape == (len(sequences), width)
+        for row, seq in zip(mask, sequences):
+            assert row.sum() == min(len(seq), width)
 
 
 class TestIterateMinibatches:

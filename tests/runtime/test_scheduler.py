@@ -1,0 +1,155 @@
+"""Property and example tests for the length-bucketed batch planner."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.runtime.scheduler import Microbatch, plan_batches
+
+lengths_strategy = st.lists(
+    st.integers(min_value=0, max_value=300), min_size=0, max_size=120
+)
+budget_strategy = st.integers(min_value=1, max_value=512)
+max_len_strategy = st.one_of(
+    st.none(), st.integers(min_value=1, max_value=128)
+)
+
+
+class TestPlanIsPermutationPartition:
+    @given(
+        lengths=lengths_strategy,
+        token_budget=budget_strategy,
+        max_len=max_len_strategy,
+        max_rows=st.one_of(st.none(), st.integers(1, 16)),
+        sort_by_length=st.booleans(),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_every_index_exactly_once(
+        self, lengths, token_budget, max_len, max_rows, sort_by_length
+    ):
+        plan = plan_batches(
+            lengths,
+            token_budget=token_budget,
+            max_len=max_len,
+            max_rows=max_rows,
+            sort_by_length=sort_by_length,
+        )
+        flat = [
+            index
+            for microbatch in plan.microbatches
+            for index in microbatch.indices
+        ]
+        assert sorted(flat) == list(range(len(lengths)))
+
+    @given(
+        lengths=lengths_strategy,
+        token_budget=budget_strategy,
+        max_len=max_len_strategy,
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_order_restoration_is_exact(self, lengths, token_budget, max_len):
+        """Scattering microbatch rows back by index recovers arrival order."""
+        plan = plan_batches(lengths, token_budget=token_budget, max_len=max_len)
+        restored = [None] * len(lengths)
+        for microbatch in plan.microbatches:
+            for row, index in enumerate(microbatch.indices):
+                assert restored[index] is None  # no double-writes
+                restored[index] = (microbatch, row)
+        assert all(slot is not None for slot in restored)
+
+    @given(
+        lengths=lengths_strategy,
+        token_budget=budget_strategy,
+        max_len=max_len_strategy,
+        max_rows=st.one_of(st.none(), st.integers(1, 16)),
+        sort_by_length=st.booleans(),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_budget_respected_unless_singleton_oversized(
+        self, lengths, token_budget, max_len, max_rows, sort_by_length
+    ):
+        plan = plan_batches(
+            lengths,
+            token_budget=token_budget,
+            max_len=max_len,
+            max_rows=max_rows,
+            sort_by_length=sort_by_length,
+        )
+        for microbatch in plan.microbatches:
+            if microbatch.padded_tokens > token_budget:
+                # Only a single sequence longer than the whole budget may
+                # exceed it, and then only as a singleton.
+                assert microbatch.rows == 1
+            if max_rows is not None:
+                assert microbatch.rows <= max_rows
+
+    @given(
+        lengths=lengths_strategy,
+        token_budget=budget_strategy,
+        max_len=st.integers(min_value=1, max_value=128),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_widths_cover_clipped_lengths(self, lengths, token_budget, max_len):
+        """Every row fits its microbatch width; no width exceeds max_len."""
+        plan = plan_batches(lengths, token_budget=token_budget, max_len=max_len)
+        for microbatch in plan.microbatches:
+            assert 1 <= microbatch.width <= max_len
+            for index in microbatch.indices:
+                effective = max(1, min(lengths[index], max_len))
+                assert effective <= microbatch.width
+
+
+class TestPlanBatchesExamples:
+    def test_empty_input(self):
+        plan = plan_batches([])
+        assert plan.microbatches == ()
+        assert plan.total_tokens == 0
+        assert plan.padding_waste == 0.0
+
+    def test_sorting_is_stable_on_ties(self):
+        plan = plan_batches([4, 4, 4], token_budget=1000)
+        assert plan.microbatches[0].indices == (0, 1, 2)
+
+    def test_bucketing_reduces_padding_vs_arrival(self):
+        # Alternating short/long: arrival-order chunks pad every short
+        # sequence to the long width; sorting separates them.
+        lengths = [2, 50] * 10
+        arrival = plan_batches(
+            lengths, token_budget=4 * 50, max_rows=4, sort_by_length=False
+        )
+        bucketed = plan_batches(lengths, token_budget=4 * 50)
+        assert bucketed.padding_waste < arrival.padding_waste
+
+    def test_arrival_mode_reproduces_fixed_chunking(self):
+        """sort=False + max_rows reproduces the legacy fixed-size chunks."""
+        lengths = [7, 3, 9, 2, 5, 8, 1]
+        batch_size, max_len = 3, 16
+        plan = plan_batches(
+            lengths,
+            token_budget=batch_size * max_len,
+            max_len=max_len,
+            max_rows=batch_size,
+            sort_by_length=False,
+        )
+        assert [m.indices for m in plan.microbatches] == [
+            (0, 1, 2),
+            (3, 4, 5),
+            (6,),
+        ]
+        assert [m.width for m in plan.microbatches] == [9, 8, 1]
+
+    def test_oversized_singleton_allowed(self):
+        plan = plan_batches([100], token_budget=10)
+        assert plan.microbatches == (Microbatch((0,), 100),)
+
+    def test_zero_length_treated_as_one(self):
+        plan = plan_batches([0, 0], token_budget=10)
+        assert plan.total_tokens == 2
+
+    def test_invalid_budget_rejected(self):
+        with pytest.raises(ValueError):
+            plan_batches([1], token_budget=0)
+
+    def test_invalid_max_rows_rejected(self):
+        with pytest.raises(ValueError):
+            plan_batches([1], max_rows=0)
