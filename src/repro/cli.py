@@ -24,6 +24,18 @@ from repro.datasets.netzerofacts import build_netzerofacts
 from repro.datasets.sustainability import build_sustainability_goals
 from repro.eval import evaluate_extractions, render_table
 from repro.models.training import FineTuneConfig
+from repro.runtime.errors import InputError, ReproError
+from repro.runtime.resilience import MAX_BLOCK_CHARS, RetryPolicy, run_stage
+
+#: Exit codes of ``repro extract`` (see DESIGN.md "Failure model"):
+#: 0 = success (possibly partial, with a warning on stderr),
+#: 2 = input error, 3 = model/numerical error.
+EXIT_INPUT_ERROR = 2
+EXIT_MODEL_ERROR = 3
+
+
+def _exit_code_for(error: ReproError) -> int:
+    return EXIT_INPUT_ERROR if isinstance(error, InputError) else EXIT_MODEL_ERROR
 
 _DATASET_BUILDERS = {
     "sustainability-goals": (build_sustainability_goals, SUSTAINABILITY_FIELDS),
@@ -62,7 +74,11 @@ def _cmd_train(args: argparse.Namespace) -> int:
 
 
 def _cmd_extract(args: argparse.Namespace) -> int:
-    extractor = WeakSupervisionExtractor.load(args.model)
+    try:
+        extractor = WeakSupervisionExtractor.load(args.model)
+    except (OSError, KeyError, ValueError) as error:
+        print(f"error: cannot load model: {error}", file=sys.stderr)
+        return EXIT_INPUT_ERROR
     overrides = {}
     if args.batching:
         overrides["batching"] = args.batching
@@ -75,7 +91,7 @@ def _cmd_extract(args: argparse.Namespace) -> int:
             )
         except ValueError as error:
             print(f"error: {error}", file=sys.stderr)
-            return 2
+            return EXIT_INPUT_ERROR
     if args.text:
         texts = [args.text]
     elif args.input:
@@ -83,15 +99,93 @@ def _cmd_extract(args: argparse.Namespace) -> int:
             texts = [line.strip() for line in handle if line.strip()]
     else:
         print("either --text or --input is required", file=sys.stderr)
-        return 2
-    for text, details in zip(texts, extractor.extract_batch(texts)):
-        print(json.dumps({"objective": text, "details": details}))
+        return EXIT_INPUT_ERROR
+
+    policy = RetryPolicy(max_retries=args.max_retries)
+    skipped = 0
+    degraded = 0
+    try:
+        if not texts:
+            raise InputError("no input texts", stage="validate")
+        for index, text in enumerate(texts):
+            if len(text) > MAX_BLOCK_CHARS:
+                raise InputError(
+                    f"input line {index + 1} is {len(text)} chars "
+                    f"(limit {MAX_BLOCK_CHARS})",
+                    stage="validate",
+                )
+        results = _extract_resilient(
+            extractor, texts, args.on_error, policy
+        )
+        for text, (details, status) in zip(texts, results):
+            if status == "skipped":
+                skipped += 1
+                continue
+            payload = {"objective": text, "details": details}
+            if args.on_error != "raise":
+                payload["status"] = status
+            if status != "ok":
+                degraded += 1
+            print(json.dumps(payload))
+    except ReproError as error:
+        stage = error.stage or "extract"
+        print(
+            f"error [{type(error).__name__}] in stage {stage!r}: {error}",
+            file=sys.stderr,
+        )
+        return _exit_code_for(error)
     if args.stats and extractor.last_run_stats is not None:
         print(
             json.dumps({"stats": extractor.last_run_stats.as_dict()}),
             file=sys.stderr,
         )
+    if skipped or degraded:
+        print(
+            f"warning: partial success — {skipped} input(s) skipped, "
+            f"{degraded} degraded to empty details",
+            file=sys.stderr,
+        )
     return 0
+
+
+def _extract_resilient(
+    extractor: WeakSupervisionExtractor,
+    texts: list[str],
+    on_error: str,
+    policy: RetryPolicy,
+) -> list[tuple[dict[str, str], str]]:
+    """Batch-extract with per-text fault isolation.
+
+    Mirrors the pipeline runtime: one optimistic batched call; if it
+    raises and the policy is not ``"raise"``, fall back to per-text calls
+    where each failure is skipped or degraded to empty details.
+    """
+    try:
+        details_list = run_stage(
+            lambda: extractor.extract_batch(texts),
+            stage="extract",
+            policy=policy,
+        )
+        return [(details, "ok") for details in details_list]
+    except ReproError:
+        if on_error == "raise":
+            raise
+    empty = {field: "" for field in extractor.config.fields}
+    results: list[tuple[dict[str, str], str]] = []
+    for text in texts:
+        try:
+            details = run_stage(
+                lambda t=text: extractor.extract(t),
+                stage="extract",
+                policy=policy,
+            )
+            results.append((details, "ok"))
+        except ReproError:
+            if on_error == "skip":
+                results.append((dict(empty), "skipped"))
+            else:
+                results.append((dict(empty), "failed"))
+    return results
 
 
 def _cmd_evaluate(args: argparse.Namespace) -> int:
@@ -185,6 +279,20 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print runtime stats (tokens/sec, padding waste, cache hits) "
         "as JSON on stderr",
+    )
+    extract.add_argument(
+        "--on-error",
+        choices=["raise", "skip", "degrade"],
+        default="raise",
+        help="failure policy: abort (exit 2/3), skip failed inputs, or "
+        "degrade them to empty flagged details (partial success exits 0 "
+        "with a warning on stderr)",
+    )
+    extract.add_argument(
+        "--max-retries",
+        type=int,
+        default=0,
+        help="retry attempts per extraction stage (seeded backoff)",
     )
     extract.set_defaults(func=_cmd_extract)
 

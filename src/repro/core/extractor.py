@@ -132,6 +132,9 @@ class WeakSupervisionExtractor(DetailExtractor):
         self.loss_history: list[float] = []
         #: Runtime observability from the last ``extract_batch`` call.
         self.last_run_stats: RunStats | None = None
+        #: Optional chaos hooks (``repro.runtime.resilience.FaultInjector``):
+        #: checked at the "tokenize" and "forward" stages of extract_batch.
+        self.fault_injector = None
         self._normalize_cache: OrderedDict[str, str] = OrderedDict()
         self._normalize_cache_size = 4096
         self._normalize_hits = 0
@@ -156,8 +159,10 @@ class WeakSupervisionExtractor(DetailExtractor):
             self._normalize_cache.move_to_end(text)
             self._normalize_hits += 1
             return cached
-        self._normalize_misses += 1
+        # Compute before counting/caching so a raised fault leaves the
+        # cache and its hit/miss accounting untouched.
         normalized = self.normalizer(text)
+        self._normalize_misses += 1
         self._normalize_cache[text] = normalized
         if len(self._normalize_cache) > self._normalize_cache_size:
             self._normalize_cache.popitem(last=False)
@@ -281,6 +286,8 @@ class WeakSupervisionExtractor(DetailExtractor):
             with counters.timer("normalize_seconds"):
                 normalized = [self._normalize_cached(text) for text in texts]
             with counters.timer("tokenize_seconds"):
+                if self.fault_injector is not None:
+                    self.fault_injector.check("tokenize")
                 token_lists = [
                     self.word_tokenizer.tokenize(text) for text in normalized
                 ]
@@ -294,6 +301,8 @@ class WeakSupervisionExtractor(DetailExtractor):
                 list(encoding.ids) for encoding in encodings if encoding
             ]
             with counters.timer("model_seconds"):
+                if self.fault_injector is not None:
+                    self.fault_injector.check("forward")
                 if self.config.constrained_decoding:
                     prediction_list = [
                         constrained_decode(logits, self.scheme)

@@ -3,20 +3,56 @@
 This is the system of the paper's Figure 1/2 and Section 5: reports go in,
 structured objective records (text + five key details + provenance) come
 out, ready for the structured database (:mod:`repro.storage`).
+
+The pipeline is fault-tolerant (see ``DESIGN.md`` section "Failure
+model"): ``process_reports`` takes an ``on_error`` policy —
+
+* ``"raise"`` (default): strict input validation, first failure aborts;
+* ``"skip"``: failed documents land in the :class:`QuarantineQueue` with
+  their error, stage and retry history; the rest of the batch survives;
+* ``"degrade"``: like ``"skip"``, but a document whose transformer
+  extraction fails irrecoverably walks the degradation ladder — the CRF
+  fallback extractor first, flagged-empty records last — so every
+  document still yields records (``ExtractedRecord.status`` says how).
+
+The clean path stays the single corpus-batched run of PR 1; per-document
+isolation (with retries, per-stage circuit breakers, deadlines and NaN
+guards) only engages after the batched run fails.
 """
 
 from __future__ import annotations
 
+import contextlib
 import dataclasses
 from collections.abc import Sequence
 
 import numpy as np
 
 from repro.core.base import DetailExtractor
+from repro.core.schema import SUSTAINABILITY_FIELDS
 from repro.core.segmentation import segment_objectives
 from repro.datasets.reports import SustainabilityReport
 from repro.goalspotter.detector import ObjectiveDetector
+from repro.nn.module import numeric_guard
+from repro.runtime.errors import InputError, ReproError
 from repro.runtime.profiling import PerfCounters
+from repro.runtime.resilience import (
+    CircuitBreaker,
+    FaultInjector,
+    QuarantineQueue,
+    RetryPolicy,
+    run_stage,
+    sanitize_report,
+    validate_report,
+)
+
+#: Valid ``on_error`` policies.
+ON_ERROR_POLICIES = ("raise", "skip", "degrade")
+
+#: ``ExtractedRecord.status`` values, in degradation-ladder order.
+STATUS_OK = "ok"  # transformer extraction succeeded
+STATUS_DEGRADED = "degraded"  # CRF fallback extraction
+STATUS_FAILED = "failed"  # flagged-empty details
 
 
 @dataclasses.dataclass(frozen=True)
@@ -29,6 +65,7 @@ class ExtractedRecord:
     objective: str
     details: dict[str, str]
     score: float  # detector confidence
+    status: str = STATUS_OK  # ok | degraded | failed (degradation ladder)
 
     def as_row(self, fields: Sequence[str]) -> list[str]:
         return [self.company, self.objective] + [
@@ -43,6 +80,21 @@ class GoalSpotter:
     is enabled: each detected block is split into candidate objective
     clauses (:mod:`repro.core.segmentation`) and details are extracted per
     clause, yielding one record per clause.
+
+    Resilience knobs (all optional; the defaults reproduce the strict
+    pre-resilience behaviour):
+
+    Args:
+        fallback_extractor: degradation-ladder step for ``"degrade"`` mode
+            (typically a trained :class:`repro.crf.CrfDetailExtractor`).
+        retry_policy: per-stage retry/backoff/deadline policy.
+        fault_injector: deterministic chaos hooks for the test suite; the
+            pipeline checks in at the ``"detect"``/``"extract"`` stages.
+        on_error: default policy for :meth:`process_reports`.
+        breaker_threshold / breaker_recovery_time: per-stage circuit
+            breaker configuration (consecutive failures to trip, seconds
+            until a half-open trial).
+        max_block_chars: input-validation bound on block length.
     """
 
     def __init__(
@@ -50,23 +102,129 @@ class GoalSpotter:
         detector: ObjectiveDetector,
         extractor: DetailExtractor,
         segment: bool = False,
+        *,
+        fallback_extractor: DetailExtractor | None = None,
+        retry_policy: RetryPolicy | None = None,
+        fault_injector: FaultInjector | None = None,
+        on_error: str = "raise",
+        breaker_threshold: int = 8,
+        breaker_recovery_time: float = 0.0,
+        max_block_chars: int = 50_000,
     ) -> None:
+        if on_error not in ON_ERROR_POLICIES:
+            raise ValueError(
+                f"unknown on_error {on_error!r}; use {ON_ERROR_POLICIES}"
+            )
         self.detector = detector
         self.extractor = extractor
         self.segment = segment
+        self.fallback_extractor = fallback_extractor
+        self.retry_policy = retry_policy or RetryPolicy()
+        self.fault_injector = fault_injector
+        self.on_error = on_error
+        self.max_block_chars = max_block_chars
+        #: Irrecoverably failed documents (persists across runs; drain()).
+        self.quarantine = QuarantineQueue()
+        self._breakers: dict[str, CircuitBreaker] = {}
+        self._breaker_threshold = breaker_threshold
+        self._breaker_recovery_time = breaker_recovery_time
         #: Stage timings and counts from the last ``process_reports`` call.
         self.last_run_stats: dict | None = None
 
+    # -- public API ---------------------------------------------------------
+
     def process_report(
-        self, report: SustainabilityReport
+        self, report: SustainabilityReport, on_error: str | None = None
     ) -> list[ExtractedRecord]:
         """Run the full pipeline on one report."""
-        return self.process_reports([report])
+        return self.process_reports([report], on_error=on_error)
 
     def process_reports(
-        self, reports: Sequence[SustainabilityReport]
+        self,
+        reports: Sequence[SustainabilityReport],
+        on_error: str | None = None,
     ) -> list[ExtractedRecord]:
-        """Run the full pipeline on a report corpus (batched inference)."""
+        """Run the full pipeline on a report corpus (batched inference).
+
+        ``on_error`` overrides the instance default for this call; see the
+        class docstring for the policy semantics.
+        """
+        mode = on_error if on_error is not None else self.on_error
+        if mode not in ON_ERROR_POLICIES:
+            raise ValueError(
+                f"unknown on_error {mode!r}; use {ON_ERROR_POLICIES}"
+            )
+        counters = PerfCounters()
+        quarantined_before = len(self.quarantine)
+
+        if mode == "raise":
+            for report in reports:
+                validate_report(report, self.max_block_chars)
+            usable = list(reports)
+        else:
+            usable = []
+            for report in reports:
+                clean = sanitize_report(
+                    report, self.max_block_chars, counters
+                )
+                if not any(page.blocks for page in clean.pages):
+                    error = InputError(
+                        "report has no usable text blocks",
+                        stage="validate",
+                        report_id=clean.report_id,
+                    )
+                    self.quarantine.put(clean, "validate", error)
+                    continue
+                usable.append(clean)
+
+        fast_path = True
+        with counters.timer("wall_seconds"):
+            if mode == "raise":
+                records = self._run_corpus(usable, counters, guard=False)
+            else:
+                # Scratch counters: a fast path that dies mid-run must not
+                # leak partial block/timing counts into the real stats.
+                scratch = PerfCounters()
+                try:
+                    records = self._run_corpus(usable, scratch, guard=True)
+                except Exception:
+                    # Batched fast path died: re-run with per-document
+                    # isolation, retries, and the degradation ladder.
+                    fast_path = False
+                    counters.add("fast_path_failures")
+                    records = []
+                    for report in usable:
+                        records.extend(
+                            self._process_document(report, mode, counters)
+                        )
+                else:
+                    for name, value in scratch.as_dict().items():
+                        counters.add(name, value)
+
+        if mode == "raise" and not records and counters.get("blocks") == 0:
+            self.last_run_stats = None
+            return records
+        self._finalize_stats(
+            counters,
+            mode=mode,
+            records=records,
+            fast_path=fast_path,
+            quarantined=len(self.quarantine) - quarantined_before,
+        )
+        return records
+
+    # -- batched fast path --------------------------------------------------
+
+    def _guard(self, guard: bool):
+        return numeric_guard() if guard else contextlib.nullcontext()
+
+    def _run_corpus(
+        self,
+        reports: Sequence[SustainabilityReport],
+        counters: PerfCounters,
+        guard: bool,
+    ) -> list[ExtractedRecord]:
+        """The PR 1 corpus-batched run (one detect call, one extract call)."""
         block_texts: list[str] = []
         provenance: list[tuple[str, str, int]] = []
         for report in reports:
@@ -77,59 +235,225 @@ class GoalSpotter:
                         (report.company, report.report_id, page_index)
                     )
         if not block_texts:
-            self.last_run_stats = None
             return []
-        counters = PerfCounters()
-        with counters.timer("wall_seconds"):
-            with counters.timer("detect_seconds"):
-                scores = self.detector.predict_proba(block_texts)
-            detected = scores >= self.detector.config.threshold
-            detected_indices = np.nonzero(detected)[0]
+        counters.add("blocks", len(block_texts))
+        with counters.timer("detect_seconds"), self._guard(guard):
+            if self.fault_injector is not None:
+                self.fault_injector.check("detect")
+            scores = self.detector.predict_proba(block_texts)
+        detected = scores >= self.detector.config.threshold
+        counters.add("detected_blocks", int(detected.sum()))
 
-            # Segment detected blocks into extraction units in one pass
-            # (one clause per unit when segmentation is on, else the block).
-            units: list[str] = []  # texts handed to the extractor
-            unit_block: list[int] = []  # owning block index per unit
-            for block_index in detected_indices:
-                text = block_texts[block_index]
-                clauses = segment_objectives(text) if self.segment else (text,)
-                for clause in clauses:
-                    units.append(clause)
-                    unit_block.append(int(block_index))
+        units, unit_block = self._segment_units(
+            block_texts, np.nonzero(detected)[0]
+        )
+        counters.add("extraction_units", len(units))
+        with counters.timer("extract_seconds"), self._guard(guard):
+            if self.fault_injector is not None:
+                self.fault_injector.check("extract")
+            details_list = self.extractor.extract_batch(units)
+        records: list[ExtractedRecord] = []
+        for unit_text, block_index, details in zip(
+            units, unit_block, details_list
+        ):
+            company, report_id, page_index = provenance[block_index]
+            records.append(
+                ExtractedRecord(
+                    company=company,
+                    report_id=report_id,
+                    page=page_index,
+                    objective=unit_text,
+                    details=details,
+                    score=float(scores[block_index]),
+                )
+            )
+        return records
 
-            with counters.timer("extract_seconds"):
-                details_list = self.extractor.extract_batch(units)
-            records: list[ExtractedRecord] = []
+    # -- per-document resilient path -----------------------------------------
+
+    def _breaker(self, stage: str) -> CircuitBreaker:
+        if stage not in self._breakers:
+            self._breakers[stage] = CircuitBreaker(
+                failure_threshold=self._breaker_threshold,
+                recovery_time=self._breaker_recovery_time,
+            )
+        return self._breakers[stage]
+
+    def _segment_units(
+        self, block_texts: Sequence[str], detected_indices
+    ) -> tuple[list[str], list[int]]:
+        """Segment detected blocks into extraction units in one pass
+        (one clause per unit when segmentation is on, else the block)."""
+        units: list[str] = []
+        unit_block: list[int] = []
+        for block_index in detected_indices:
+            text = block_texts[block_index]
+            clauses = segment_objectives(text) if self.segment else (text,)
+            for clause in clauses:
+                units.append(clause)
+                unit_block.append(int(block_index))
+        return units, unit_block
+
+    def _schema_fields(self) -> tuple[str, ...]:
+        config = getattr(self.extractor, "config", None)
+        fields = getattr(config, "fields", None) or getattr(
+            self.extractor, "fields", None
+        )
+        return tuple(fields) if fields else SUSTAINABILITY_FIELDS
+
+    def _process_document(
+        self,
+        report: SustainabilityReport,
+        mode: str,
+        counters: PerfCounters,
+    ) -> list[ExtractedRecord]:
+        """Run one document through detect -> extract with full resilience.
+
+        Failures here never propagate: the document either yields records
+        (possibly degraded/flagged) or lands in the quarantine queue.
+        """
+        block_texts: list[str] = []
+        pages: list[int] = []
+        for page_index, page in enumerate(report.pages):
+            for block in page.blocks:
+                block_texts.append(block.text)
+                pages.append(page_index)
+        if not block_texts:
+            return []
+        counters.add("blocks", len(block_texts))
+        counters.add("documents_isolated")
+
+        try:
+            with counters.timer("detect_seconds"), self._guard(True):
+                scores = run_stage(
+                    lambda: self.detector.predict_proba(block_texts),
+                    stage="detect",
+                    policy=self.retry_policy,
+                    breaker=self._breaker("detect"),
+                    injector=self.fault_injector,
+                    counters=counters,
+                    report_id=report.report_id,
+                )
+        except ReproError as error:
+            # No detection fallback exists, so an irrecoverable detect
+            # failure quarantines the document under every policy.
+            self.quarantine.put(report, "detect", error)
+            return []
+
+        detected = scores >= self.detector.config.threshold
+        counters.add("detected_blocks", int(detected.sum()))
+        units, unit_block = self._segment_units(
+            block_texts, np.nonzero(detected)[0]
+        )
+        counters.add("extraction_units", len(units))
+        if not units:
+            return []
+
+        status = STATUS_OK
+        try:
+            with counters.timer("extract_seconds"), self._guard(True):
+                details_list = run_stage(
+                    lambda: self.extractor.extract_batch(units),
+                    stage="extract",
+                    policy=self.retry_policy,
+                    breaker=self._breaker("extract"),
+                    injector=self.fault_injector,
+                    counters=counters,
+                    report_id=report.report_id,
+                )
+        except ReproError as error:
+            if mode == "skip":
+                self.quarantine.put(report, "extract", error)
+                return []
+            details_list, status = self._degraded_extract(
+                units, report, counters
+            )
+
+        return [
+            ExtractedRecord(
+                company=report.company,
+                report_id=report.report_id,
+                page=pages[block_index],
+                objective=unit_text,
+                details=details,
+                score=float(scores[block_index]),
+                status=status,
+            )
             for unit_text, block_index, details in zip(
                 units, unit_block, details_list
-            ):
-                company, report_id, page_index = provenance[block_index]
-                records.append(
-                    ExtractedRecord(
-                        company=company,
-                        report_id=report_id,
-                        page=page_index,
-                        objective=unit_text,
-                        details=details,
-                        score=float(scores[block_index]),
+            )
+        ]
+
+    def _degraded_extract(
+        self,
+        units: list[str],
+        report: SustainabilityReport,
+        counters: PerfCounters,
+    ) -> tuple[list[dict[str, str]], str]:
+        """The degradation ladder: CRF fallback, then flagged-empty."""
+        if self.fallback_extractor is not None:
+            try:
+                with counters.timer("fallback_seconds"), self._guard(True):
+                    details_list = run_stage(
+                        lambda: self.fallback_extractor.extract_batch(units),
+                        stage="fallback_extract",
+                        policy=self.retry_policy,
+                        breaker=self._breaker("fallback_extract"),
+                        injector=self.fault_injector,
+                        counters=counters,
+                        report_id=report.report_id,
                     )
-                )
+                counters.add("fallback_documents")
+                return details_list, STATUS_DEGRADED
+            except ReproError:
+                pass
+        fields = self._schema_fields()
+        return (
+            [{field: "" for field in fields} for __ in units],
+            STATUS_FAILED,
+        )
+
+    # -- observability -------------------------------------------------------
+
+    def _finalize_stats(
+        self,
+        counters: PerfCounters,
+        *,
+        mode: str,
+        records: list[ExtractedRecord],
+        fast_path: bool,
+        quarantined: int,
+    ) -> None:
         wall = counters.get("wall_seconds")
+        blocks = int(counters.get("blocks"))
         extractor_stats = getattr(self.extractor, "last_run_stats", None)
         self.last_run_stats = {
             "wall_seconds": wall,
             "detect_seconds": counters.get("detect_seconds"),
             "extract_seconds": counters.get("extract_seconds"),
-            "blocks": len(block_texts),
-            "detected_blocks": int(detected.sum()),
-            "extraction_units": len(units),
+            "blocks": blocks,
+            "detected_blocks": int(counters.get("detected_blocks")),
+            "extraction_units": int(counters.get("extraction_units")),
             "records": len(records),
-            "blocks_per_second": len(block_texts) / wall if wall > 0 else 0.0,
+            "blocks_per_second": blocks / wall if wall > 0 else 0.0,
+            # Robustness observability:
+            "on_error": mode,
+            "fast_path": fast_path,
+            "retries": int(counters.get("retries")),
+            "failures": int(counters.get("stage_failures")),
+            "degraded_records": sum(
+                1 for r in records if r.status == STATUS_DEGRADED
+            ),
+            "failed_records": sum(
+                1 for r in records if r.status == STATUS_FAILED
+            ),
+            "fallback_documents": int(counters.get("fallback_documents")),
+            "quarantined_documents": quarantined,
+            "sanitized_blocks": int(counters.get("sanitized_blocks")),
             "extractor": (
                 extractor_stats.as_dict() if extractor_stats else None
             ),
         }
-        return records
 
     @staticmethod
     def top_records_per_company(

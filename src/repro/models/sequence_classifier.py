@@ -14,7 +14,7 @@ from repro.nn.batching import pad_sequences
 from repro.nn.encoder import EncoderConfig, TransformerEncoder
 from repro.nn.layers import Dropout, Linear
 from repro.nn.loss import cross_entropy
-from repro.nn.module import Module, inference_mode
+from repro.nn.module import Module, guard_finite, inference_mode
 from repro.runtime.profiling import PerfCounters
 from repro.runtime.scheduler import plan_batches
 
@@ -46,7 +46,10 @@ class SequenceClassifier(Module):
         counts = np.maximum(mask.sum(axis=1, keepdims=True), 1.0)
         pooled = (states * mask[:, :, None]).sum(axis=1) / counts
         self._pool_cache = (mask, counts)
-        return self.head(self.head_dropout(pooled))
+        return guard_finite(
+            self.head(self.head_dropout(pooled)),
+            "sequence classifier logits",
+        )
 
     def backward(self, dlogits: np.ndarray) -> None:
         if self._pool_cache is None:

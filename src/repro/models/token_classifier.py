@@ -12,7 +12,7 @@ from repro.nn.batching import pad_sequences
 from repro.nn.encoder import EncoderConfig, TransformerEncoder
 from repro.nn.layers import Dropout, Linear
 from repro.nn.loss import IGNORE_INDEX, cross_entropy
-from repro.nn.module import Module, inference_mode
+from repro.nn.module import Module, guard_finite, inference_mode
 from repro.runtime.profiling import PerfCounters
 from repro.runtime.scheduler import plan_batches
 
@@ -39,7 +39,9 @@ class TokenClassifier(Module):
     def forward(self, ids: np.ndarray, mask: np.ndarray) -> np.ndarray:
         """Return logits ``(batch, time, num_labels)``."""
         states = self.encoder(ids, mask)
-        return self.head(self.head_dropout(states))
+        return guard_finite(
+            self.head(self.head_dropout(states)), "token classifier logits"
+        )
 
     def backward(self, dlogits: np.ndarray) -> None:
         dstates = self.head_dropout.backward(self.head.backward(dlogits))

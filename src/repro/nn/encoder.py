@@ -16,7 +16,7 @@ import numpy as np
 from repro.nn.functional import gelu, gelu_grad
 from repro.nn.attention import MultiHeadSelfAttention
 from repro.nn.layers import Dropout, Embedding, LayerNorm, Linear
-from repro.nn.module import Module, is_inference
+from repro.nn.module import Module, guard_finite, is_inference
 
 
 @dataclasses.dataclass(frozen=True)
@@ -147,7 +147,7 @@ class TransformerEncoder(Module):
         states = self.embedding_dropout(states)
         for layer in self.layers:
             states = layer(states, mask)
-        return self.final_norm(states)
+        return guard_finite(self.final_norm(states), "encoder states")
 
     def backward(self, dout: np.ndarray) -> None:
         """Backpropagate into all parameters (inputs are ids, no dinput)."""

@@ -45,6 +45,51 @@ def inference_mode() -> Iterator[None]:
         _inference_depth -= 1
 
 
+_numeric_guard_depth = 0
+
+
+def numeric_guard_active() -> bool:
+    """True inside a :func:`numeric_guard` block."""
+    return _numeric_guard_depth > 0
+
+
+@contextlib.contextmanager
+def numeric_guard() -> Iterator[None]:
+    """Opt-in NaN/inf detection on forward passes.
+
+    Inside this block, model forwards (encoder states, classifier logits)
+    verify their outputs are finite and raise
+    :class:`repro.runtime.errors.NumericalError` otherwise, so a poisoned
+    activation surfaces as a classified, retryable stage failure instead
+    of silently corrupting every downstream record. Off by default: the
+    clean path pays nothing. Re-entrant.
+    """
+    global _numeric_guard_depth
+    _numeric_guard_depth += 1
+    try:
+        yield
+    finally:
+        _numeric_guard_depth -= 1
+
+
+def guard_finite(array: np.ndarray, context: str) -> np.ndarray:
+    """Raise ``NumericalError`` if ``array`` is non-finite under the guard.
+
+    A no-op (and free) outside :func:`numeric_guard` blocks. Returns the
+    array so call sites can wrap their return expression.
+    """
+    if _numeric_guard_depth > 0 and not np.all(np.isfinite(array)):
+        # Imported lazily: repro.runtime imports this module at package
+        # init, so a top-level import here would be circular.
+        from repro.runtime.errors import NumericalError
+
+        bad = int(np.size(array) - np.sum(np.isfinite(array)))
+        raise NumericalError(
+            f"non-finite values ({bad} element(s)) in {context}"
+        )
+    return array
+
+
 class Parameter:
     """A trainable array with a gradient accumulator of the same shape."""
 

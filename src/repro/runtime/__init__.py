@@ -1,27 +1,77 @@
-"""Batched inference runtime: scheduling, inference mode, observability.
+"""Batched inference runtime: scheduling, resilience, observability.
 
 The production workload (detect -> extract -> store over tens of thousands
 of report pages, Tables 5-7) is batch inference. This package makes that
-path fast and measurable:
+path fast, fault-tolerant, and measurable:
 
 * :mod:`repro.runtime.scheduler` — length-bucketed batch planning under a
   token budget, used by every prediction path;
+* :mod:`repro.runtime.errors` — the structured failure taxonomy
+  (``ReproError`` -> ``InputError``/``ModelError``/``NumericalError``/
+  ``StageTimeout``);
+* :mod:`repro.runtime.resilience` — retry policies with seeded backoff,
+  per-stage circuit breakers and deadlines, quarantine, input validation,
+  and a deterministic fault injector for the chaos suite;
 * :mod:`repro.runtime.profiling` — perf counters, timers, tokens/sec,
-  padding-waste and cache-hit-rate reporting;
-* :func:`repro.nn.module.inference_mode` (re-exported here) — disables
-  backward-cache construction during prediction.
+  padding-waste, cache-hit-rate, and failure/retry/degradation reporting;
+* :func:`repro.nn.module.inference_mode` / :func:`repro.nn.module.numeric_guard`
+  (re-exported here) — backward-cache-free prediction and opt-in NaN/inf
+  guards.
 """
 
-from repro.nn.module import inference_mode, is_inference
+from repro.nn.module import (
+    inference_mode,
+    is_inference,
+    numeric_guard,
+    numeric_guard_active,
+)
+from repro.runtime.errors import (
+    CircuitOpenError,
+    InputError,
+    ModelError,
+    NumericalError,
+    ReproError,
+    StageTimeout,
+    classify_error,
+)
 from repro.runtime.profiling import PerfCounters, RunStats
+from repro.runtime.resilience import (
+    CircuitBreaker,
+    FaultInjector,
+    FaultSpec,
+    QuarantineEntry,
+    QuarantineQueue,
+    RetryPolicy,
+    run_stage,
+    sanitize_report,
+    validate_report,
+)
 from repro.runtime.scheduler import BatchPlan, Microbatch, plan_batches
 
 __all__ = [
     "BatchPlan",
+    "CircuitBreaker",
+    "CircuitOpenError",
+    "FaultInjector",
+    "FaultSpec",
+    "InputError",
     "Microbatch",
+    "ModelError",
+    "NumericalError",
     "PerfCounters",
+    "QuarantineEntry",
+    "QuarantineQueue",
+    "ReproError",
+    "RetryPolicy",
     "RunStats",
+    "StageTimeout",
+    "classify_error",
     "inference_mode",
     "is_inference",
+    "numeric_guard",
+    "numeric_guard_active",
     "plan_batches",
+    "run_stage",
+    "sanitize_report",
+    "validate_report",
 ]

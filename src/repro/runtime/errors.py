@@ -1,0 +1,127 @@
+"""Structured exception taxonomy for the fault-tolerant runtime.
+
+Every failure the pipeline can survive is classified into one of four
+:class:`ReproError` subclasses so policies (retry, degrade, skip,
+quarantine) can dispatch on *what went wrong* instead of string-matching
+tracebacks:
+
+* :class:`InputError` — the caller's data is malformed (``None`` blocks,
+  empty reports, absurd block lengths). Deterministic: never retried.
+* :class:`ModelError` — a model stage failed (missing weights, shape
+  mismatch, anything unexpected raised inside a stage). Retryable.
+* :class:`NumericalError` — NaN/inf escaped a forward pass (raised by the
+  opt-in guards in :mod:`repro.nn.module`). Retryable.
+* :class:`StageTimeout` — a stage exhausted its deadline budget across
+  retry attempts. Terminal for that stage call.
+
+Errors carry provenance (``stage``, ``report_id``, ``page``) and, once a
+:class:`~repro.runtime.resilience.RetryPolicy` has handled them, the
+attempt count and per-attempt history — which is what lands in the
+:class:`~repro.runtime.resilience.QuarantineQueue`.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class of the runtime failure taxonomy.
+
+    Attributes:
+        stage: pipeline stage that failed (``"detect"``, ``"extract"``, ...).
+        report_id: offending document, when known.
+        page: offending page index within the document, when known.
+        attempts: how many attempts were made before giving up (filled by
+            the retry machinery).
+        history: one short string per failed attempt.
+        injected: True when raised by a :class:`FaultInjector` (testing).
+    """
+
+    retryable = True
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        stage: str | None = None,
+        report_id: str | None = None,
+        page: int | None = None,
+    ) -> None:
+        super().__init__(message)
+        self.stage = stage
+        self.report_id = report_id
+        self.page = page
+        self.attempts: int = 0
+        self.history: list[str] = []
+        self.injected: bool = False
+
+    def context(self) -> dict:
+        """JSON-ready provenance view (quarantine / logging)."""
+        return {
+            "error": type(self).__name__,
+            "message": str(self),
+            "stage": self.stage,
+            "report_id": self.report_id,
+            "page": self.page,
+            "attempts": self.attempts,
+            "history": list(self.history),
+            "injected": self.injected,
+        }
+
+
+class InputError(ReproError):
+    """Malformed caller data; deterministic, so never retried."""
+
+    retryable = False
+
+
+class ModelError(ReproError):
+    """A model stage failed (wraps unexpected in-stage exceptions)."""
+
+
+class NumericalError(ModelError):
+    """NaN/inf detected in a forward pass (see ``repro.nn.module``)."""
+
+
+class StageTimeout(ReproError):
+    """A stage exhausted its per-stage deadline budget."""
+
+    retryable = False
+
+
+class CircuitOpenError(ModelError):
+    """A stage's circuit breaker is open; the call was not attempted."""
+
+    retryable = False
+
+
+#: Short names used by the fault injector and CLI to pick an error class.
+ERROR_CLASSES: dict[str, type[ReproError]] = {
+    "input": InputError,
+    "model": ModelError,
+    "numerical": NumericalError,
+    "timeout": StageTimeout,
+}
+
+
+def classify_error(
+    error: BaseException, *, stage: str | None = None
+) -> ReproError:
+    """Fold an arbitrary exception into the taxonomy.
+
+    :class:`ReproError` instances pass through (gaining ``stage`` if they
+    did not record one); ``FloatingPointError`` becomes
+    :class:`NumericalError`; everything else becomes :class:`ModelError`
+    with the original exception chained as ``__cause__``.
+    """
+    if isinstance(error, ReproError):
+        if error.stage is None:
+            error.stage = stage
+        return error
+    if isinstance(error, FloatingPointError):
+        wrapped: ReproError = NumericalError(str(error), stage=stage)
+    else:
+        wrapped = ModelError(
+            f"{type(error).__name__}: {error}", stage=stage
+        )
+    wrapped.__cause__ = error
+    return wrapped

@@ -55,6 +55,11 @@ class RunStats:
     padded_tokens: int = 0
     bpe_cache_hits: int = 0
     bpe_cache_misses: int = 0
+    # Robustness counters (filled by the fault-tolerant runtime paths).
+    retries: int = 0
+    failures: int = 0
+    degraded: int = 0
+    quarantined: int = 0
     timings: dict[str, float] = dataclasses.field(default_factory=dict)
     extra: dict[str, float] = dataclasses.field(default_factory=dict)
 
@@ -91,6 +96,10 @@ class RunStats:
             "bpe_cache_hits": self.bpe_cache_hits,
             "bpe_cache_misses": self.bpe_cache_misses,
             "bpe_cache_hit_rate": self.bpe_cache_hit_rate,
+            "retries": self.retries,
+            "failures": self.failures,
+            "degraded": self.degraded,
+            "quarantined": self.quarantined,
             "timings": dict(self.timings),
             "extra": dict(self.extra),
         }
@@ -119,6 +128,10 @@ class RunStats:
             padded_tokens=int(values.get("padded_tokens", 0)),
             bpe_cache_hits=bpe_cache_hits,
             bpe_cache_misses=bpe_cache_misses,
+            retries=int(values.get("retries", 0)),
+            failures=int(values.get("stage_failures", 0)),
+            degraded=int(values.get("degraded", 0)),
+            quarantined=int(values.get("quarantined", 0)),
             timings=timings,
             extra=extra or {},
         )

@@ -8,7 +8,11 @@ five key details, plus the monitoring/comparison queries the paper
 describes (specificity, deadline timelines, company comparison).
 """
 
-from repro.storage.store import ObjectiveStore, StoredObjective
+from repro.storage.store import (
+    ObjectiveStore,
+    StoredObjective,
+    atomic_store_records,
+)
 from repro.storage.monitor import (
     company_comparison,
     deadline_timeline,
@@ -21,6 +25,7 @@ from repro.storage.monitor import (
 __all__ = [
     "ObjectiveStore",
     "StoredObjective",
+    "atomic_store_records",
     "company_comparison",
     "deadline_timeline",
     "horizon_statistics",

@@ -3,8 +3,11 @@
 from __future__ import annotations
 
 import dataclasses
+import os
+import shutil
 import sqlite3
-from collections.abc import Iterable, Sequence
+import time
+from collections.abc import Callable, Iterable, Sequence
 from pathlib import Path
 
 from repro.goalspotter.pipeline import ExtractedRecord
@@ -238,3 +241,58 @@ class ObjectiveStore:
             )
             rates[field] = int(cursor.fetchone()[0]) / total
         return rates
+
+
+def atomic_store_records(
+    path: str | Path,
+    records: Sequence[ExtractedRecord],
+    *,
+    retry_policy=None,
+    fault_injector=None,
+    sleep: Callable[[float], None] = time.sleep,
+) -> int:
+    """Insert ``records`` into the store at ``path`` atomically.
+
+    The write happens against a temp copy of the database which then
+    replaces the original via ``os.replace`` (atomic on POSIX), so a crash
+    or fault at any point leaves the original file untouched — the batch
+    either lands completely or not at all. Retryable under ``retry_policy``
+    (a :class:`repro.runtime.resilience.RetryPolicy`); the optional
+    ``fault_injector`` is checked at the ``"store"`` stage (call entry) and
+    ``"store_commit"`` (after the temp write, before the rename) for crash
+    simulation.
+
+    Returns the number of rows added.
+    """
+    from repro.runtime.resilience import run_stage
+
+    path = Path(path)
+    if str(path) == ":memory:":
+        raise ValueError("atomic writes need a file-backed store")
+    tmp = path.with_name(path.name + ".tmp")
+
+    def attempt() -> int:
+        if tmp.exists():
+            tmp.unlink()
+        try:
+            if path.exists():
+                shutil.copy2(path, tmp)
+            with ObjectiveStore(tmp) as store:
+                added = store.insert_records(records)
+            with open(tmp, "rb") as handle:
+                os.fsync(handle.fileno())
+            if fault_injector is not None:
+                fault_injector.check("store_commit")
+            os.replace(tmp, path)
+            return added
+        except BaseException:
+            tmp.unlink(missing_ok=True)
+            raise
+
+    return run_stage(
+        attempt,
+        stage="store",
+        policy=retry_policy,
+        injector=fault_injector,
+        sleep=sleep,
+    )

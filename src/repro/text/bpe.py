@@ -235,9 +235,12 @@ class BpeTokenizer:
             self._word_cache.move_to_end(word)
             self._cache_hits += 1
             return cached
-        self._cache_misses += 1
+        # Compute fully before touching the cache or its counters: a fault
+        # raised mid-encode (e.g. an injected error, or a vocabulary swap)
+        # must leave no partial entry and no phantom miss behind.
         pieces = self._apply_merges(word)
         entry = (pieces, tuple(self.vocab.id_of(piece) for piece in pieces))
+        self._cache_misses += 1
         self._word_cache[word] = entry
         if len(self._word_cache) > self.cache_size:
             self._word_cache.popitem(last=False)

@@ -1,0 +1,308 @@
+"""Chaos suite: the pipeline under injected faults and malformed input.
+
+Property tested (ISSUE 2): under any injected fault pattern,
+``process_reports(on_error="skip")`` returns exactly the records of the
+non-faulted documents in order, and ``"degrade"`` never returns fewer
+records than ``"skip"``.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.base import DetailExtractor
+from repro.datasets.reports import Page, SustainabilityReport, TextBlock
+from repro.goalspotter.pipeline import GoalSpotter
+from repro.runtime.errors import InputError
+from repro.runtime.resilience import FaultInjector, FaultSpec, RetryPolicy
+
+pytestmark = pytest.mark.chaos
+
+FAST_RETRY = RetryPolicy(max_retries=2, base_delay=0.0, jitter=0.0)
+
+
+class StubDetector:
+    """Deterministic detector: flags blocks containing a % sign."""
+
+    class config:
+        threshold = 0.5
+
+    def predict_proba(self, texts):
+        return np.array([0.9 if "%" in t else 0.1 for t in texts])
+
+
+class StubExtractor(DetailExtractor):
+    name = "stub"
+
+    def fit(self, objectives):
+        return self
+
+    def extract(self, text):
+        return {
+            "Action": "Reduce",
+            "Amount": "20%",
+            "Qualifier": text[:10],
+            "Baseline": "",
+            "Deadline": "",
+        }
+
+
+class PoisonedExtractor(StubExtractor):
+    """Fails (every attempt) on any unit mentioning a poisoned doc tag."""
+
+    def __init__(self, poisoned_tags):
+        self.poisoned_tags = set(poisoned_tags)
+
+    def extract_batch(self, texts):
+        for text in texts:
+            if any(tag in text for tag in self.poisoned_tags):
+                raise ValueError(f"poisoned unit: {text[:30]}")
+        return [self.extract(text) for text in texts]
+
+    def extract(self, text):
+        if any(tag in text for tag in self.poisoned_tags):
+            raise ValueError(f"poisoned unit: {text[:30]}")
+        return super().extract(text)
+
+
+def make_corpus(num_docs, blocks_per_doc=3):
+    """Each doc gets objective blocks tagged with its own identity."""
+    reports = []
+    for doc in range(num_docs):
+        blocks = [
+            TextBlock(f"cut waste 5% [tag-{doc:03d}] block {b}", True)
+            for b in range(blocks_per_doc)
+        ]
+        blocks.append(TextBlock("narrative noise, nothing here", False))
+        reports.append(
+            SustainabilityReport(
+                company=f"C{doc % 3}",
+                report_id=f"doc-{doc:03d}",
+                pages=[Page(blocks=blocks)],
+            )
+        )
+    return reports
+
+
+def make_pipeline(extractor, **kwargs):
+    kwargs.setdefault("retry_policy", FAST_RETRY)
+    return GoalSpotter(StubDetector(), extractor, **kwargs)
+
+
+class TestFaultIsolationProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        num_docs=st.integers(min_value=1, max_value=6),
+        faulted=st.sets(st.integers(min_value=0, max_value=5)),
+    )
+    def test_skip_returns_exactly_the_non_faulted_docs_in_order(
+        self, num_docs, faulted
+    ):
+        faulted = {doc for doc in faulted if doc < num_docs}
+        tags = {f"tag-{doc:03d}" for doc in faulted}
+        corpus = make_corpus(num_docs)
+
+        clean = make_pipeline(StubExtractor())
+        expected = [
+            record
+            for record in clean.process_reports(corpus)
+            if record.report_id not in {f"doc-{d:03d}" for d in faulted}
+        ]
+
+        pipeline = make_pipeline(PoisonedExtractor(tags))
+        records = pipeline.process_reports(corpus, on_error="skip")
+
+        assert [
+            (r.company, r.report_id, r.page, r.objective, r.details, r.score)
+            for r in records
+        ] == [
+            (r.company, r.report_id, r.page, r.objective, r.details, r.score)
+            for r in expected
+        ]
+        assert all(r.status == "ok" for r in records)
+        assert sorted(pipeline.quarantine.report_ids()) == sorted(
+            f"doc-{d:03d}" for d in faulted
+        )
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        num_docs=st.integers(min_value=1, max_value=6),
+        faulted=st.sets(st.integers(min_value=0, max_value=5)),
+        with_fallback=st.booleans(),
+    )
+    def test_degrade_never_returns_fewer_records_than_skip(
+        self, num_docs, faulted, with_fallback
+    ):
+        faulted = {doc for doc in faulted if doc < num_docs}
+        tags = {f"tag-{doc:03d}" for doc in faulted}
+        corpus = make_corpus(num_docs)
+
+        skip_pipeline = make_pipeline(PoisonedExtractor(tags))
+        skip_records = skip_pipeline.process_reports(corpus, on_error="skip")
+
+        fallback = StubExtractor() if with_fallback else None
+        degrade_pipeline = make_pipeline(
+            PoisonedExtractor(tags), fallback_extractor=fallback
+        )
+        degrade_records = degrade_pipeline.process_reports(
+            corpus, on_error="degrade"
+        )
+
+        assert len(degrade_records) >= len(skip_records)
+        # Degrade mode yields records for every document.
+        assert {r.report_id for r in degrade_records} == {
+            report.report_id for report in corpus
+        }
+        expected_status = "degraded" if with_fallback else "failed"
+        for record in degrade_records:
+            if record.report_id in {f"doc-{d:03d}" for d in faulted}:
+                assert record.status == expected_status
+            else:
+                assert record.status == "ok"
+
+
+class TestAcceptanceScenario:
+    def test_20_percent_extract_faults_degrade_completes(self):
+        """ISSUE 2 acceptance: seeded injector failing 20% of extract
+        calls; degrade completes with records for every doc, recoverable
+        faults retried (not quarantined), stats observable."""
+        corpus = make_corpus(20)
+        # Call #1 is the optimistic corpus-batched call: fault it so the
+        # run drops to per-document isolation, where every document's
+        # extract call then fails with probability 0.2.
+        injector = FaultInjector(
+            [
+                FaultSpec(stage="extract", nth_calls=(1,)),
+                FaultSpec(stage="extract", rate=0.2),
+            ],
+            seed=11,
+        )
+        pipeline = make_pipeline(
+            StubExtractor(),
+            fallback_extractor=StubExtractor(),
+            fault_injector=injector,
+            retry_policy=RetryPolicy(
+                max_retries=4, base_delay=0.0, jitter=0.0
+            ),
+        )
+        records = pipeline.process_reports(corpus, on_error="degrade")
+        assert {r.report_id for r in records} == {
+            report.report_id for report in corpus
+        }
+        assert len(pipeline.quarantine) == 0  # everything was recoverable
+        stats = pipeline.last_run_stats
+        assert injector.injected("extract") > 0
+        assert stats["retries"] > 0
+        assert stats["failures"] >= stats["retries"]
+        assert stats["degraded_records"] == sum(
+            1 for r in records if r.status == "degraded"
+        )
+        assert stats["quarantined_documents"] == 0
+        assert stats["on_error"] == "degrade"
+        assert not stats["fast_path"]
+
+    def test_clean_run_stays_on_fast_path(self):
+        corpus = make_corpus(4)
+        pipeline = make_pipeline(StubExtractor())
+        records = pipeline.process_reports(corpus, on_error="degrade")
+        stats = pipeline.last_run_stats
+        assert stats["fast_path"]
+        assert stats["retries"] == 0
+        assert stats["failures"] == 0
+        assert all(r.status == "ok" for r in records)
+
+    def test_nan_logits_classified_and_degraded(self):
+        class NanDetectorModelExtractor(StubExtractor):
+            """Extractor whose first batch call trips the NaN guard."""
+
+            def __init__(self):
+                self.calls = 0
+
+            def extract_batch(self, texts):
+                self.calls += 1
+                if self.calls <= 4:
+                    from repro.runtime.errors import NumericalError
+
+                    raise NumericalError("nan in logits", stage="forward")
+                return super().extract_batch(texts)
+
+        pipeline = make_pipeline(
+            NanDetectorModelExtractor(),
+            retry_policy=RetryPolicy(max_retries=0, base_delay=0.0),
+        )
+        records = pipeline.process_reports(make_corpus(2), on_error="degrade")
+        assert records
+        assert all(r.status == "failed" for r in records)
+        assert all(
+            all(value == "" for value in r.details.values()) for r in records
+        )
+
+
+class TestInputHandling:
+    def test_raise_mode_rejects_malformed_blocks(self):
+        report = SustainabilityReport(
+            "ACME",
+            "bad-doc",
+            pages=[Page(blocks=[TextBlock(None, False)])],
+        )
+        pipeline = make_pipeline(StubExtractor())
+        with pytest.raises(InputError) as excinfo:
+            pipeline.process_reports([report])
+        assert excinfo.value.report_id == "bad-doc"
+        assert excinfo.value.page == 0
+
+    def test_raise_mode_rejects_empty_report(self):
+        pipeline = make_pipeline(StubExtractor())
+        with pytest.raises(InputError):
+            pipeline.process_reports(
+                [SustainabilityReport("ACME", "empty", pages=[])]
+            )
+
+    def test_skip_mode_sanitizes_and_quarantines_empty(self):
+        good = make_corpus(1)[0]
+        bad_block = SustainabilityReport(
+            "ACME",
+            "dirty",
+            pages=[
+                Page(blocks=[TextBlock(None, False), TextBlock("ok 5%", True)])
+            ],
+        )
+        empty = SustainabilityReport(
+            "ACME",
+            "hollow",
+            pages=[Page(blocks=[TextBlock(None, False)])],
+        )
+        pipeline = make_pipeline(StubExtractor())
+        records = pipeline.process_reports(
+            [good, bad_block, empty], on_error="skip"
+        )
+        assert {r.report_id for r in records} == {good.report_id, "dirty"}
+        assert pipeline.quarantine.report_ids() == ["hollow"]
+        stats = pipeline.last_run_stats
+        assert stats["sanitized_blocks"] >= 1
+        assert stats["quarantined_documents"] == 1
+
+    def test_invalid_on_error_rejected(self):
+        pipeline = make_pipeline(StubExtractor())
+        with pytest.raises(ValueError):
+            pipeline.process_reports([], on_error="explode")
+        with pytest.raises(ValueError):
+            GoalSpotter(StubDetector(), StubExtractor(), on_error="explode")
+
+    def test_detect_stage_failure_quarantines_under_degrade(self):
+        class BrokenDetector(StubDetector):
+            def predict_proba(self, texts):
+                raise RuntimeError("detector weights corrupted")
+
+        pipeline = GoalSpotter(
+            BrokenDetector(),
+            StubExtractor(),
+            retry_policy=FAST_RETRY,
+        )
+        records = pipeline.process_reports(make_corpus(2), on_error="degrade")
+        assert records == []
+        assert len(pipeline.quarantine) == 2
+        for entry in pipeline.quarantine:
+            assert entry.stage == "detect"
+            assert entry.error.attempts == 3

@@ -1,0 +1,85 @@
+"""Tests for the structured failure taxonomy."""
+
+import pytest
+
+from repro.runtime.errors import (
+    ERROR_CLASSES,
+    CircuitOpenError,
+    InputError,
+    ModelError,
+    NumericalError,
+    ReproError,
+    StageTimeout,
+    classify_error,
+)
+
+
+class TestTaxonomy:
+    def test_hierarchy(self):
+        assert issubclass(InputError, ReproError)
+        assert issubclass(ModelError, ReproError)
+        assert issubclass(NumericalError, ModelError)
+        assert issubclass(StageTimeout, ReproError)
+        assert issubclass(CircuitOpenError, ModelError)
+
+    def test_retryability(self):
+        assert ModelError("x").retryable
+        assert NumericalError("x").retryable
+        assert not InputError("x").retryable
+        assert not StageTimeout("x").retryable
+        assert not CircuitOpenError("x").retryable
+
+    def test_context_carries_provenance(self):
+        error = InputError(
+            "bad block", stage="validate", report_id="C1-doc-004", page=7
+        )
+        context = error.context()
+        assert context["error"] == "InputError"
+        assert context["stage"] == "validate"
+        assert context["report_id"] == "C1-doc-004"
+        assert context["page"] == 7
+        assert context["attempts"] == 0
+        assert context["injected"] is False
+
+    def test_error_classes_registry(self):
+        assert ERROR_CLASSES["input"] is InputError
+        assert ERROR_CLASSES["model"] is ModelError
+        assert ERROR_CLASSES["numerical"] is NumericalError
+        assert ERROR_CLASSES["timeout"] is StageTimeout
+
+
+class TestClassifyError:
+    def test_repro_error_passes_through(self):
+        original = NumericalError("nan", stage="forward")
+        assert classify_error(original) is original
+
+    def test_repro_error_gains_missing_stage(self):
+        original = ModelError("boom")
+        classified = classify_error(original, stage="extract")
+        assert classified is original
+        assert classified.stage == "extract"
+
+    def test_existing_stage_not_overwritten(self):
+        original = ModelError("boom", stage="detect")
+        assert classify_error(original, stage="extract").stage == "detect"
+
+    def test_floating_point_error_becomes_numerical(self):
+        classified = classify_error(
+            FloatingPointError("overflow"), stage="forward"
+        )
+        assert isinstance(classified, NumericalError)
+        assert classified.stage == "forward"
+        assert isinstance(classified.__cause__, FloatingPointError)
+
+    def test_foreign_exception_becomes_model_error(self):
+        raw = ValueError("shape mismatch")
+        classified = classify_error(raw, stage="extract")
+        assert isinstance(classified, ModelError)
+        assert not isinstance(classified, NumericalError)
+        assert "ValueError" in str(classified)
+        assert classified.__cause__ is raw
+
+    @pytest.mark.parametrize("kind", sorted(ERROR_CLASSES))
+    def test_registry_instances_classify_to_themselves(self, kind):
+        error = ERROR_CLASSES[kind]("x")
+        assert classify_error(error) is error

@@ -1,0 +1,409 @@
+"""Tests for retry policies, circuit breakers, fault injection, quarantine."""
+
+import dataclasses
+
+import pytest
+
+from repro.datasets.reports import Page, SustainabilityReport, TextBlock
+from repro.runtime.errors import (
+    CircuitOpenError,
+    InputError,
+    ModelError,
+    NumericalError,
+    StageTimeout,
+)
+from repro.runtime.profiling import PerfCounters
+from repro.runtime.resilience import (
+    CircuitBreaker,
+    FaultInjector,
+    FaultSpec,
+    QuarantineQueue,
+    RetryPolicy,
+    run_stage,
+    sanitize_report,
+    validate_report,
+)
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+def no_sleep(_delay: float) -> None:
+    pass
+
+
+class TestRetryPolicy:
+    def test_backoff_is_deterministic_per_stage(self):
+        policy = RetryPolicy(max_retries=4, seed=42)
+        assert policy.delays("extract") == policy.delays("extract")
+        # Different stages draw different jitter streams.
+        assert policy.delays("extract") != policy.delays("detect")
+
+    def test_backoff_is_exponential_and_capped(self):
+        policy = RetryPolicy(
+            max_retries=6, base_delay=0.1, max_delay=0.5, jitter=0.0
+        )
+        assert policy.delays("s") == [0.1, 0.2, 0.4, 0.5, 0.5, 0.5]
+
+    def test_jitter_bounds(self):
+        policy = RetryPolicy(
+            max_retries=50, base_delay=1.0, max_delay=1.0, jitter=0.5
+        )
+        for delay in policy.delays("s"):
+            assert 1.0 <= delay <= 1.5
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"max_retries": -1},
+            {"base_delay": -0.1},
+            {"jitter": -1.0},
+            {"deadline": 0.0},
+        ],
+    )
+    def test_invalid_config_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            RetryPolicy(**kwargs)
+
+
+class TestRunStage:
+    def test_success_passes_result_through(self):
+        assert run_stage(lambda: 42, stage="s") == 42
+
+    def test_retries_until_success(self):
+        calls = []
+
+        def flaky():
+            calls.append(1)
+            if len(calls) < 3:
+                raise ValueError("boom")
+            return "ok"
+
+        counters = PerfCounters()
+        result = run_stage(
+            flaky,
+            stage="s",
+            policy=RetryPolicy(max_retries=3, base_delay=0.0),
+            counters=counters,
+            sleep=no_sleep,
+        )
+        assert result == "ok"
+        assert len(calls) == 3
+        assert counters.get("retries") == 2
+        assert counters.get("stage_failures") == 2
+
+    def test_exhausted_retries_raise_with_history(self):
+        def always_fails():
+            raise ValueError("boom")
+
+        with pytest.raises(ModelError) as excinfo:
+            run_stage(
+                always_fails,
+                stage="extract",
+                policy=RetryPolicy(max_retries=2, base_delay=0.0),
+                report_id="doc-1",
+                sleep=no_sleep,
+            )
+        error = excinfo.value
+        assert error.attempts == 3
+        assert len(error.history) == 3
+        assert error.stage == "extract"
+        assert error.report_id == "doc-1"
+
+    def test_input_error_is_not_retried(self):
+        calls = []
+
+        def bad_input():
+            calls.append(1)
+            raise InputError("malformed")
+
+        with pytest.raises(InputError):
+            run_stage(
+                bad_input,
+                stage="s",
+                policy=RetryPolicy(max_retries=5, base_delay=0.0),
+                sleep=no_sleep,
+            )
+        assert len(calls) == 1
+
+    def test_deadline_budget_raises_stage_timeout(self):
+        clock = FakeClock()
+
+        def slow_failure():
+            clock.advance(0.6)
+            raise ValueError("boom")
+
+        with pytest.raises(StageTimeout) as excinfo:
+            run_stage(
+                slow_failure,
+                stage="s",
+                policy=RetryPolicy(
+                    max_retries=10, base_delay=0.0, deadline=1.0
+                ),
+                clock=clock,
+                sleep=no_sleep,
+            )
+        assert excinfo.value.history  # carries the attempts so far
+        assert excinfo.value.attempts == 2
+
+    def test_numerical_error_is_retryable(self):
+        calls = []
+
+        def nan_once():
+            calls.append(1)
+            if len(calls) == 1:
+                raise NumericalError("nan in logits")
+            return "recovered"
+
+        result = run_stage(
+            nan_once,
+            stage="s",
+            policy=RetryPolicy(max_retries=1, base_delay=0.0),
+            sleep=no_sleep,
+        )
+        assert result == "recovered"
+
+    def test_open_breaker_fails_fast(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(
+            failure_threshold=1, recovery_time=100.0, clock=clock
+        )
+        breaker.record_failure()  # trips at threshold 1
+        calls = []
+        with pytest.raises(CircuitOpenError):
+            run_stage(
+                lambda: calls.append(1),
+                stage="s",
+                breaker=breaker,
+                sleep=no_sleep,
+            )
+        assert not calls  # fn never invoked
+
+
+class TestCircuitBreaker:
+    def test_transitions_closed_open_half_open_closed(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(
+            failure_threshold=2, recovery_time=10.0, clock=clock
+        )
+        assert breaker.state == "closed"
+        breaker.record_failure()
+        assert breaker.state == "closed"  # below threshold
+        breaker.record_failure()
+        assert breaker.state == "open"
+        assert not breaker.allow()
+        clock.advance(10.0)
+        assert breaker.state == "half_open"
+        assert breaker.allow()  # one trial admitted
+        breaker.record_success()
+        assert breaker.state == "closed"
+
+    def test_half_open_failure_reopens(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(
+            failure_threshold=1, recovery_time=5.0, clock=clock
+        )
+        breaker.record_failure()
+        clock.advance(5.0)
+        assert breaker.allow()
+        breaker.record_failure()
+        assert breaker.state == "open"
+        assert not breaker.allow()
+
+    def test_success_resets_consecutive_failures(self):
+        breaker = CircuitBreaker(failure_threshold=2, recovery_time=5.0)
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        assert breaker.state == "closed"
+
+    def test_zero_recovery_time_never_blocks(self):
+        breaker = CircuitBreaker(failure_threshold=1, recovery_time=0.0)
+        breaker.record_failure()
+        assert breaker.allow()
+
+
+class TestFaultInjector:
+    def test_same_seed_same_pattern(self):
+        def pattern(seed):
+            injector = FaultInjector(
+                [FaultSpec(stage="extract", rate=0.3)], seed=seed
+            )
+            fired = []
+            for call in range(50):
+                try:
+                    injector.check("extract")
+                except ModelError:
+                    fired.append(call)
+            return fired
+
+        assert pattern(7) == pattern(7)
+        assert pattern(7) != pattern(8)
+
+    def test_reset_replays_pattern(self):
+        injector = FaultInjector(
+            [FaultSpec(stage="extract", rate=0.4)], seed=3
+        )
+
+        def observe():
+            fired = []
+            for call in range(30):
+                try:
+                    injector.check("extract")
+                except ModelError:
+                    fired.append(call)
+            return fired
+
+        first = observe()
+        injector.reset()
+        assert observe() == first
+
+    def test_nth_call_targeting(self):
+        injector = FaultInjector(
+            [FaultSpec(stage="forward", error="numerical", nth_calls=(2, 4))]
+        )
+        injector.check("forward")  # call 1: clean
+        with pytest.raises(NumericalError) as excinfo:
+            injector.check("forward")  # call 2: injected
+        assert excinfo.value.injected
+        injector.check("forward")  # call 3: clean
+        with pytest.raises(NumericalError):
+            injector.check("forward")  # call 4: injected
+        assert injector.calls("forward") == 4
+        assert injector.injected("forward") == 2
+
+    def test_stage_isolation(self):
+        injector = FaultInjector(
+            [FaultSpec(stage="extract", rate=1.0)], seed=0
+        )
+        injector.check("detect")  # other stages unaffected
+        with pytest.raises(ModelError):
+            injector.check("extract")
+
+    def test_error_kinds(self):
+        injector = FaultInjector(
+            [FaultSpec(stage="s", error="input", nth_calls=(1,))]
+        )
+        with pytest.raises(InputError):
+            injector.check("s")
+
+    def test_wrap(self):
+        injector = FaultInjector(
+            [FaultSpec(stage="s", nth_calls=(2,))]
+        )
+        wrapped = injector.wrap("s", lambda x: x + 1)
+        assert wrapped(1) == 2
+        with pytest.raises(ModelError):
+            wrapped(1)
+
+    def test_invalid_specs_rejected(self):
+        with pytest.raises(ValueError):
+            FaultSpec(stage="s", error="nope")
+        with pytest.raises(ValueError):
+            FaultSpec(stage="s", rate=1.5)
+        with pytest.raises(ValueError):
+            FaultSpec(stage="s", nth_calls=(0,))
+
+
+class TestQuarantine:
+    def make_report(self, report_id="r1"):
+        return SustainabilityReport(
+            company="ACME",
+            report_id=report_id,
+            pages=[Page(blocks=[TextBlock("text", False)])],
+        )
+
+    def test_entries_carry_full_provenance(self):
+        queue = QuarantineQueue()
+        error = ModelError("boom", stage="extract")
+        error.attempts = 3
+        error.history = ["ModelError: boom"] * 3
+        queue.put(self.make_report("r7"), "extract", error)
+        assert len(queue) == 1
+        payload = queue.as_dicts()[0]
+        assert payload["report_id"] == "r7"
+        assert payload["company"] == "ACME"
+        assert payload["stage"] == "extract"
+        assert payload["attempts"] == 3
+        assert len(payload["history"]) == 3
+
+    def test_drain_clears(self):
+        queue = QuarantineQueue()
+        queue.put(self.make_report(), "detect", ModelError("x"))
+        entries = queue.drain()
+        assert len(entries) == 1
+        assert len(queue) == 0
+        assert queue.report_ids() == []
+
+
+class TestValidation:
+    def make_report(self, blocks, report_id="r1"):
+        return SustainabilityReport(
+            company="ACME",
+            report_id=report_id,
+            pages=[Page(blocks=list(blocks))],
+        )
+
+    def test_valid_report_passes(self):
+        validate_report(self.make_report([TextBlock("fine", False)]))
+
+    def test_non_str_block_rejected_with_provenance(self):
+        report = self.make_report(
+            [TextBlock("ok", False), TextBlock(None, False)]
+        )
+        with pytest.raises(InputError) as excinfo:
+            validate_report(report)
+        assert excinfo.value.report_id == "r1"
+        assert excinfo.value.page == 0
+
+    def test_empty_report_rejected(self):
+        report = SustainabilityReport("ACME", "r1", pages=[])
+        with pytest.raises(InputError):
+            validate_report(report)
+        with pytest.raises(InputError):
+            validate_report(self.make_report([]))
+
+    def test_absurd_block_length_rejected(self):
+        report = self.make_report([TextBlock("x" * 100, False)])
+        with pytest.raises(InputError):
+            validate_report(report, max_block_chars=99)
+
+    def test_non_report_rejected(self):
+        with pytest.raises(InputError):
+            validate_report("not a report")
+
+    def test_sanitize_drops_and_truncates(self):
+        counters = PerfCounters()
+        report = self.make_report(
+            [
+                TextBlock("keep me", False),
+                TextBlock(None, False),
+                TextBlock("y" * 100, False),
+            ]
+        )
+        clean = sanitize_report(report, max_block_chars=10, counters=counters)
+        texts = [b.text for b in clean.pages[0].blocks]
+        assert texts == ["keep me", "y" * 10]
+        assert counters.get("sanitized_blocks") == 2
+
+    def test_sanitize_clean_report_returns_same_object(self):
+        report = self.make_report([TextBlock("fine", False)])
+        assert sanitize_report(report) is report
+
+    def test_sanitize_preserves_block_metadata(self):
+        block = TextBlock("z" * 100, True, details={"Action": "cut"})
+        clean = sanitize_report(
+            self.make_report([block]), max_block_chars=10
+        )
+        kept = clean.pages[0].blocks[0]
+        assert kept.is_objective
+        assert kept.details == {"Action": "cut"}
+        assert dataclasses.asdict(kept)["text"] == "z" * 10

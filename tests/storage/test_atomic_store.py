@@ -1,0 +1,90 @@
+"""Atomic (temp-file + rename) store writes and crash simulation."""
+
+import pytest
+
+from repro.goalspotter.pipeline import ExtractedRecord
+from repro.runtime.errors import ModelError
+from repro.runtime.resilience import FaultInjector, FaultSpec, RetryPolicy
+from repro.storage.store import ObjectiveStore, atomic_store_records
+
+
+def make_records(n, company="ACME"):
+    return [
+        ExtractedRecord(
+            company=company,
+            report_id="r0",
+            page=index,
+            objective=f"Reduce waste by {index}% by 2030",
+            details={"Action": "Reduce", "Deadline": "2030"},
+            score=0.9,
+        )
+        for index in range(n)
+    ]
+
+
+def count_rows(path):
+    with ObjectiveStore(path) as store:
+        return store.count()
+
+
+class TestAtomicStore:
+    def test_writes_land_completely(self, tmp_path):
+        db = tmp_path / "objectives.db"
+        added = atomic_store_records(db, make_records(5))
+        assert added == 5
+        assert count_rows(db) == 5
+        assert not (tmp_path / "objectives.db.tmp").exists()
+
+    def test_appends_to_existing_store(self, tmp_path):
+        db = tmp_path / "objectives.db"
+        atomic_store_records(db, make_records(3))
+        atomic_store_records(db, make_records(2, company="OTHER"))
+        assert count_rows(db) == 5
+
+    def test_memory_store_rejected(self):
+        with pytest.raises(ValueError):
+            atomic_store_records(":memory:", make_records(1))
+
+    def test_crash_before_rename_leaves_original_untouched(self, tmp_path):
+        """Simulated crash between the temp write and the rename."""
+        db = tmp_path / "objectives.db"
+        atomic_store_records(db, make_records(3))
+        injector = FaultInjector(
+            [FaultSpec(stage="store_commit", nth_calls=(1,))]
+        )
+        with pytest.raises(ModelError):
+            atomic_store_records(
+                db, make_records(4), fault_injector=injector
+            )
+        # Original rows intact, no rows of the crashed batch, no debris.
+        assert count_rows(db) == 3
+        assert not (tmp_path / "objectives.db.tmp").exists()
+
+    def test_crashed_write_is_retryable(self, tmp_path):
+        db = tmp_path / "objectives.db"
+        atomic_store_records(db, make_records(3))
+        injector = FaultInjector(
+            [FaultSpec(stage="store_commit", nth_calls=(1,))]
+        )
+        added = atomic_store_records(
+            db,
+            make_records(4),
+            fault_injector=injector,
+            retry_policy=RetryPolicy(max_retries=1, base_delay=0.0),
+            sleep=lambda _s: None,
+        )
+        assert added == 4
+        assert count_rows(db) == 7  # exactly once despite the crash
+
+    def test_fault_at_stage_entry_respects_retry_policy(self, tmp_path):
+        db = tmp_path / "objectives.db"
+        injector = FaultInjector([FaultSpec(stage="store", nth_calls=(1,))])
+        added = atomic_store_records(
+            db,
+            make_records(2),
+            fault_injector=injector,
+            retry_policy=RetryPolicy(max_retries=2, base_delay=0.0),
+            sleep=lambda _s: None,
+        )
+        assert added == 2
+        assert count_rows(db) == 2

@@ -1,0 +1,98 @@
+"""Regression: caches must not retain results produced during a fault.
+
+ISSUE 2 satellite: the BpeTokenizer word LRU and the extractor's
+normalize memo compute-then-cache; a fault raised mid-compute (injected or
+organic) must leave no partial entry and no phantom hit/miss counts.
+"""
+
+import pytest
+
+from repro.core.extractor import WeakSupervisionExtractor
+from repro.runtime.errors import ModelError
+from repro.text.bpe import BpeTokenizer
+
+
+class TestBpeCacheFaultSafety:
+    def make_tokenizer(self):
+        return BpeTokenizer.train(["reduce", "waste", "reduce"], num_merges=10)
+
+    def test_fault_during_encode_leaves_cache_clean(self, monkeypatch):
+        tokenizer = self.make_tokenizer()
+        tokenizer.clear_cache()
+        expected = tokenizer.encode_word("waste")
+        tokenizer.clear_cache()
+
+        real_id_of = tokenizer.vocab.id_of
+        state = {"poisoned": True}
+
+        def poisoned_id_of(piece):
+            if state["poisoned"]:
+                raise ModelError("injected vocab fault", stage="tokenize")
+            return real_id_of(piece)
+
+        monkeypatch.setattr(tokenizer.vocab, "id_of", poisoned_id_of)
+        with pytest.raises(ModelError):
+            tokenizer.encode_word("waste")
+
+        # The faulted call cached nothing and counted nothing.
+        info = tokenizer.cache_info()
+        assert info["size"] == 0
+        assert info["hits"] == 0
+        assert info["misses"] == 0
+
+        # After the fault clears, encoding produces the correct result —
+        # not a poisoned cached entry.
+        state["poisoned"] = False
+        assert tokenizer.encode_word("waste") == expected
+        info = tokenizer.cache_info()
+        assert info["size"] == 1
+        assert info["misses"] == 1
+
+    def test_fault_mid_batch_keeps_only_pre_fault_entries(self, monkeypatch):
+        tokenizer = self.make_tokenizer()
+        tokenizer.clear_cache()
+
+        real_apply = tokenizer._apply_merges
+
+        def poisoned_apply(word):
+            if word == "waste":
+                raise ModelError("injected merge fault", stage="tokenize")
+            return real_apply(word)
+
+        monkeypatch.setattr(tokenizer, "_apply_merges", poisoned_apply)
+        with pytest.raises(ModelError):
+            tokenizer.encode(["reduce", "waste"])
+        # "reduce" finished cleanly before the fault: a valid entry.
+        info = tokenizer.cache_info()
+        assert info["size"] == 1
+        assert info["misses"] == 1
+        assert tokenizer.encode_word("reduce")  # served from cache
+        assert tokenizer.cache_info()["hits"] == 1
+
+
+class TestNormalizeCacheFaultSafety:
+    def test_fault_during_normalize_leaves_memo_clean(self, monkeypatch):
+        extractor = WeakSupervisionExtractor()
+        expected = extractor._normalize_cached("Reduce WASTE by 20%")
+        extractor._normalize_cache.clear()
+        extractor._normalize_hits = 0
+        extractor._normalize_misses = 0
+
+        real_normalizer = extractor.normalizer
+        state = {"poisoned": True}
+
+        def poisoned(text):
+            if state["poisoned"]:
+                raise ModelError("injected normalize fault", stage="tokenize")
+            return real_normalizer(text)
+
+        monkeypatch.setattr(extractor, "normalizer", poisoned)
+        with pytest.raises(ModelError):
+            extractor._normalize_cached("Reduce WASTE by 20%")
+        assert len(extractor._normalize_cache) == 0
+        assert extractor._normalize_misses == 0
+
+        state["poisoned"] = False
+        assert extractor._normalize_cached("Reduce WASTE by 20%") == expected
+        assert extractor._normalize_misses == 1
+        assert len(extractor._normalize_cache) == 1
