@@ -1,0 +1,87 @@
+"""Online-serving benchmark: dynamic micro-batching vs. batch-size-1.
+
+Drives a :class:`repro.serve.ServingEngine` over a deterministic untrained
+backend (real tokenizer + transformer forward passes, seeded weights) with
+closed-loop levels at increasing client concurrency plus one open-loop
+level on a seeded Poisson arrival schedule. Every level runs twice — with
+the dynamic micro-batcher, and with ``max_batch_requests=1`` (the
+request-at-a-time baseline) — and the report compares throughput and p95
+latency at the heaviest level. The headline claim: micro-batching beats
+batch-size-1 serving on throughput at equal or better p95.
+
+The request schedule, backend weights, and request texts are all pure
+functions of the seed; wall-clock latencies of course vary by machine.
+Writes ``BENCH_serving.json`` at the repo root.
+
+Run standalone::
+
+    PYTHONPATH=src python benchmarks/bench_serving.py
+
+or under pytest (``pytest benchmarks/bench_serving.py -s``).
+
+Knobs: ``REPRO_BENCH_SERVE_REQUESTS`` (requests at the heaviest level,
+default 192), ``REPRO_BENCH_SERVE_WORKERS`` (worker threads, default 2).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from benchmarks.common import env_int
+from repro.serve.loadgen import LoadLevel, run_serving_bench
+
+RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_serving.json"
+
+
+def default_levels(num_requests: int) -> list[LoadLevel]:
+    """Three closed-loop concurrency steps plus one open-loop level."""
+    return [
+        LoadLevel("closed-1", "closed", 1, max(8, num_requests // 4)),
+        LoadLevel("closed-4", "closed", 4, max(16, num_requests // 2)),
+        LoadLevel("open-300rps", "open", 300.0, max(16, num_requests // 2)),
+        LoadLevel("closed-16", "closed", 16, num_requests),
+    ]
+
+
+def run_serving_benchmark(
+    num_requests: int | None = None,
+    num_workers: int | None = None,
+    seed: int = 0,
+    write_report: bool = True,
+) -> dict:
+    """Run all levels in both modes and (by default) write the report."""
+    num_requests = num_requests or env_int("REPRO_BENCH_SERVE_REQUESTS", 192)
+    num_workers = num_workers or env_int("REPRO_BENCH_SERVE_WORKERS", 2)
+    report = run_serving_bench(
+        default_levels(num_requests),
+        seed=seed,
+        num_texts=48,
+        num_workers=num_workers,
+    )
+    if write_report:
+        RESULT_PATH.write_text(json.dumps(report, indent=2) + "\n")
+    return report
+
+
+@pytest.mark.benchmark(group="serving")
+def test_microbatching_beats_batch1_serving(benchmark):
+    report = benchmark.pedantic(run_serving_benchmark, rounds=1, iterations=1)
+    print()
+    print(json.dumps(report["comparison"], indent=2))
+    assert len(report["levels"]) >= 3
+    comparison = report["comparison"]
+    assert comparison["throughput_speedup"] > 1.0, (
+        f"micro-batching only reached "
+        f"{comparison['throughput_speedup']:.2f}x of batch-1 throughput"
+    )
+    assert comparison["microbatch_wins"], (
+        "micro-batching did not beat batch-size-1 serving at equal-or-"
+        f"better p95: {json.dumps(comparison, indent=2)}"
+    )
+
+
+if __name__ == "__main__":
+    print(json.dumps(run_serving_benchmark(), indent=2))

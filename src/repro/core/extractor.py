@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import dataclasses
 import json
+import threading
 from collections import OrderedDict
 from collections.abc import Sequence
 from pathlib import Path
@@ -130,15 +131,24 @@ class WeakSupervisionExtractor(DetailExtractor):
         #: Weak-labeling coverage stats from the last ``fit`` call.
         self.weak_stats = WeakLabelingStats()
         self.loss_history: list[float] = []
-        #: Runtime observability from the last ``extract_batch`` call.
+        #: Runtime observability from the last *completed* ``extract_batch``
+        #: call. Under concurrent serving workers overlapping calls each
+        #: publish here last-writer-wins; ``total_run_stats`` below is the
+        #: merge-safe aggregate that never loses a run.
         self.last_run_stats: RunStats | None = None
+        #: Merged stats across every ``extract_batch`` call (lock-guarded).
+        self.total_run_stats = RunStats()
         #: Optional chaos hooks (``repro.runtime.resilience.FaultInjector``):
         #: checked at the "tokenize" and "forward" stages of extract_batch.
         self.fault_injector = None
         self._normalize_cache: OrderedDict[str, str] = OrderedDict()
         self._normalize_cache_size = 4096
+        # Shared by concurrent serving workers: the OrderedDict LRU
+        # reorder/evict and hit/miss counters mutate under this lock.
+        self._normalize_lock = threading.Lock()
         self._normalize_hits = 0
         self._normalize_misses = 0
+        self._stats_lock = threading.Lock()
 
     # -- development phase -------------------------------------------------
 
@@ -154,18 +164,21 @@ class WeakSupervisionExtractor(DetailExtractor):
         """
         if not self.config.normalize:
             return text
-        cached = self._normalize_cache.get(text)
-        if cached is not None:
-            self._normalize_cache.move_to_end(text)
-            self._normalize_hits += 1
-            return cached
+        with self._normalize_lock:
+            cached = self._normalize_cache.get(text)
+            if cached is not None:
+                self._normalize_cache.move_to_end(text)
+                self._normalize_hits += 1
+                return cached
         # Compute before counting/caching so a raised fault leaves the
-        # cache and its hit/miss accounting untouched.
+        # cache and its hit/miss accounting untouched (and concurrent
+        # duplicate misses write identical values — harmless).
         normalized = self.normalizer(text)
-        self._normalize_misses += 1
-        self._normalize_cache[text] = normalized
-        if len(self._normalize_cache) > self._normalize_cache_size:
-            self._normalize_cache.popitem(last=False)
+        with self._normalize_lock:
+            self._normalize_misses += 1
+            self._normalize_cache[text] = normalized
+            if len(self._normalize_cache) > self._normalize_cache_size:
+                self._normalize_cache.popitem(last=False)
         return normalized
 
     def _normalize_objective(
@@ -342,16 +355,22 @@ class WeakSupervisionExtractor(DetailExtractor):
                         )
                     )
         cache_after = self.tokenizer.cache_info()
-        self.last_run_stats = RunStats.from_counters(
+        with self._normalize_lock:
+            normalize_hits = float(self._normalize_hits)
+            normalize_misses = float(self._normalize_misses)
+        stats = RunStats.from_counters(
             counters,
             wall_seconds=counters.get("wall_seconds"),
             bpe_cache_hits=cache_after["hits"] - cache_before["hits"],
             bpe_cache_misses=cache_after["misses"] - cache_before["misses"],
             extra={
-                "normalize_cache_hits": float(self._normalize_hits),
-                "normalize_cache_misses": float(self._normalize_misses),
+                "normalize_cache_hits": normalize_hits,
+                "normalize_cache_misses": normalize_misses,
             },
         )
+        with self._stats_lock:
+            self.last_run_stats = stats
+            self.total_run_stats = self.total_run_stats.merge(stats)
         return results
 
     # -- persistence ---------------------------------------------------------

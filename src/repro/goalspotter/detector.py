@@ -8,6 +8,7 @@ Follows GoalSpotter's formulation: each text block is classified as
 from __future__ import annotations
 
 import dataclasses
+import threading
 from collections.abc import Sequence
 
 import numpy as np
@@ -50,8 +51,12 @@ class ObjectiveDetector:
         self.word_tokenizer = WordTokenizer()
         self.tokenizer: BpeTokenizer | None = None
         self.model: SequenceClassifier | None = None
-        #: Runtime observability from the last ``predict_proba`` call.
+        #: Runtime observability from the last *completed* ``predict_proba``
+        #: call (last-writer-wins under concurrency; see total_run_stats).
         self.last_run_stats: RunStats | None = None
+        #: Merged stats across every ``predict_proba`` call (lock-guarded).
+        self.total_run_stats = RunStats()
+        self._stats_lock = threading.Lock()
 
     def _encode(self, texts: Sequence[str]) -> list[list[int]]:
         assert self.tokenizer is not None
@@ -110,9 +115,12 @@ class ObjectiveDetector:
                 probabilities = self.model.predict_proba(
                     sequences, counters=counters
                 )
-        self.last_run_stats = RunStats.from_counters(
+        stats = RunStats.from_counters(
             counters, wall_seconds=counters.get("wall_seconds")
         )
+        with self._stats_lock:
+            self.last_run_stats = stats
+            self.total_run_stats = self.total_run_stats.merge(stats)
         return probabilities[:, OBJECTIVE]
 
     def predict(self, texts: Sequence[str]) -> np.ndarray:

@@ -36,7 +36,9 @@ class SequenceClassifier(Module):
         self.num_classes = num_classes
         self.encoder = encoder or TransformerEncoder(config, rng)
         self.head_dropout = Dropout(config.dropout, rng)
-        self.head = Linear(config.dim, num_classes, rng)
+        # row_invariant: a text's logits must not depend on its batch-mates
+        # (see Linear docstring and the serving equivalence contract).
+        self.head = Linear(config.dim, num_classes, rng, row_invariant=True)
         self._pool_cache: tuple[np.ndarray, np.ndarray] | None = None
 
     def forward(self, ids: np.ndarray, mask: np.ndarray) -> np.ndarray:
@@ -44,7 +46,20 @@ class SequenceClassifier(Module):
         states = self.encoder(ids, mask)
         mask = np.asarray(mask, dtype=states.dtype)
         counts = np.maximum(mask.sum(axis=1, keepdims=True), 1.0)
-        pooled = (states * mask[:, :, None]).sum(axis=1) / counts
+        # Width-invariant mean pooling: sum each row over its *real* tokens
+        # only. A full-width masked sum ties the floating-point reduction
+        # order to the pad width, so the same text pooled in differently
+        # packed batches drifts by an ulp — which would break the serving
+        # engine's batched-equals-sequential bitwise contract (the encoder
+        # itself is already pad-width-invariant).
+        pooled = np.stack(
+            [
+                row_states[row_mask > 0].sum(axis=0)
+                if row_mask.any()
+                else np.zeros(states.shape[-1], dtype=states.dtype)
+                for row_states, row_mask in zip(states, mask)
+            ]
+        ) / counts
         self._pool_cache = (mask, counts)
         return guard_finite(
             self.head(self.head_dropout(pooled)),

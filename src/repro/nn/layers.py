@@ -13,7 +13,18 @@ from repro.nn.module import Module, Parameter, is_inference
 
 
 class Linear(Module):
-    """Affine map ``y = x W + b`` applied to the last axis."""
+    """Affine map ``y = x W + b`` applied to the last axis.
+
+    With ``row_invariant=True`` a 2-D input is multiplied row by row
+    (vector-matrix products) instead of as one matrix product. BLAS picks
+    different kernels — and hence different floating-point reduction
+    orders — for different row counts, so a plain ``x @ W`` gives a row
+    results that depend on its batch-mates at the ulp level. Row products
+    make each output a function of that row alone, whatever the batch
+    size. Only worth it for small heads on pooled states (it trades the
+    single GEMM for ``rows`` GEMVs); bulk token-level layers should keep
+    the default.
+    """
 
     def __init__(
         self,
@@ -21,6 +32,7 @@ class Linear(Module):
         out_features: int,
         rng: np.random.Generator,
         bias: bool = True,
+        row_invariant: bool = False,
     ) -> None:
         super().__init__()
         scale = np.sqrt(2.0 / (in_features + out_features))
@@ -28,11 +40,15 @@ class Linear(Module):
             rng.normal(0.0, scale, size=(in_features, out_features))
         )
         self.bias = Parameter(np.zeros(out_features)) if bias else None
+        self.row_invariant = row_invariant
         self._x: np.ndarray | None = None
 
     def forward(self, x: np.ndarray) -> np.ndarray:
         self._x = None if is_inference() else x
-        out = x @ self.weight.value
+        if self.row_invariant and x.ndim == 2:
+            out = np.stack([row @ self.weight.value for row in x])
+        else:
+            out = x @ self.weight.value
         if self.bias is not None:
             out = out + self.bias.value
         return out

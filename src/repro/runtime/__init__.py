@@ -30,6 +30,7 @@ from repro.runtime.errors import (
     InputError,
     ModelError,
     NumericalError,
+    OverloadedError,
     ReproError,
     StageTimeout,
     classify_error,
@@ -58,6 +59,7 @@ __all__ = [
     "Microbatch",
     "ModelError",
     "NumericalError",
+    "OverloadedError",
     "PerfCounters",
     "QuarantineEntry",
     "QuarantineQueue",

@@ -94,12 +94,26 @@ class CircuitOpenError(ModelError):
     retryable = False
 
 
+class OverloadedError(ReproError):
+    """The serving engine shed this request instead of queueing it.
+
+    Raised by :meth:`repro.serve.ServingEngine.submit` when admission
+    control finds the request's priority queue at its depth bound (or the
+    engine draining/stopped). Not retryable *inside* the engine — the
+    whole point of load shedding is to fail fast; the caller decides
+    whether to back off and resubmit.
+    """
+
+    retryable = False
+
+
 #: Short names used by the fault injector and CLI to pick an error class.
 ERROR_CLASSES: dict[str, type[ReproError]] = {
     "input": InputError,
     "model": ModelError,
     "numerical": NumericalError,
     "timeout": StageTimeout,
+    "overloaded": OverloadedError,
 }
 
 

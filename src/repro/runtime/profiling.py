@@ -11,21 +11,30 @@ from __future__ import annotations
 
 import contextlib
 import dataclasses
+import threading
 import time
 from collections.abc import Iterator
 
 
 class PerfCounters:
-    """Accumulating named counters plus wall-clock timers."""
+    """Accumulating named counters plus wall-clock timers.
+
+    Thread-safe: ``add``/``merge``/``snapshot`` take an internal lock, so
+    per-worker counters in the serving engine can aggregate into a shared
+    instance without losing increments.
+    """
 
     def __init__(self) -> None:
         self._values: dict[str, float] = {}
+        self._lock = threading.Lock()
 
     def add(self, name: str, amount: float = 1.0) -> None:
-        self._values[name] = self._values.get(name, 0.0) + amount
+        with self._lock:
+            self._values[name] = self._values.get(name, 0.0) + amount
 
     def get(self, name: str, default: float = 0.0) -> float:
-        return self._values.get(name, default)
+        with self._lock:
+            return self._values.get(name, default)
 
     @contextlib.contextmanager
     def timer(self, name: str) -> Iterator[None]:
@@ -36,8 +45,18 @@ class PerfCounters:
         finally:
             self.add(name, time.perf_counter() - start)
 
+    def merge(self, other: "PerfCounters") -> None:
+        """Fold another counter set into this one (sum per name)."""
+        for name, value in other.snapshot().items():
+            self.add(name, value)
+
+    def snapshot(self) -> dict[str, float]:
+        """A consistent point-in-time copy of all counters."""
+        with self._lock:
+            return dict(self._values)
+
     def as_dict(self) -> dict[str, float]:
-        return dict(self._values)
+        return self.snapshot()
 
 
 @dataclasses.dataclass
@@ -103,6 +122,34 @@ class RunStats:
             "timings": dict(self.timings),
             "extra": dict(self.extra),
         }
+
+    def merge(self, other: "RunStats") -> "RunStats":
+        """A new RunStats summing this one and ``other``.
+
+        Ratios (tokens/sec, hit rates) re-derive from the summed fields,
+        so per-worker stats aggregate into fleet-wide numbers exactly.
+        """
+        timings = dict(self.timings)
+        for name, value in other.timings.items():
+            timings[name] = timings.get(name, 0.0) + value
+        extra = dict(self.extra)
+        for name, value in other.extra.items():
+            extra[name] = extra.get(name, 0.0) + value
+        return RunStats(
+            wall_seconds=self.wall_seconds + other.wall_seconds,
+            sequences=self.sequences + other.sequences,
+            microbatches=self.microbatches + other.microbatches,
+            total_tokens=self.total_tokens + other.total_tokens,
+            padded_tokens=self.padded_tokens + other.padded_tokens,
+            bpe_cache_hits=self.bpe_cache_hits + other.bpe_cache_hits,
+            bpe_cache_misses=self.bpe_cache_misses + other.bpe_cache_misses,
+            retries=self.retries + other.retries,
+            failures=self.failures + other.failures,
+            degraded=self.degraded + other.degraded,
+            quarantined=self.quarantined + other.quarantined,
+            timings=timings,
+            extra=extra,
+        )
 
     @classmethod
     def from_counters(

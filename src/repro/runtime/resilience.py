@@ -27,6 +27,7 @@ advanced once per call.
 from __future__ import annotations
 
 import dataclasses
+import threading
 import time
 from collections.abc import Callable, Iterator, Sequence
 
@@ -113,7 +114,8 @@ class CircuitBreaker:
     success closes the breaker; a half-open failure re-opens it.
 
     ``clock`` is injectable for deterministic tests (defaults to
-    ``time.monotonic``).
+    ``time.monotonic``). Thread-safe: serving workers share one breaker
+    per stage, so state transitions happen under an internal lock.
     """
 
     def __init__(
@@ -129,6 +131,7 @@ class CircuitBreaker:
         self.failure_threshold = failure_threshold
         self.recovery_time = recovery_time
         self._clock = clock
+        self._lock = threading.RLock()
         self._state = CLOSED
         self._consecutive_failures = 0
         self._opened_at = 0.0
@@ -137,44 +140,50 @@ class CircuitBreaker:
     def state(self) -> str:
         # An open breaker whose cooldown elapsed is reported (and behaves)
         # as half-open: the next allow() admits one trial call.
-        if (
-            self._state == OPEN
-            and self._clock() - self._opened_at >= self.recovery_time
-        ):
-            return HALF_OPEN
-        return self._state
+        with self._lock:
+            if (
+                self._state == OPEN
+                and self._clock() - self._opened_at >= self.recovery_time
+            ):
+                return HALF_OPEN
+            return self._state
 
     def allow(self) -> bool:
         """Whether a call may proceed right now."""
-        state = self.state
-        if state == CLOSED:
-            return True
-        if state == HALF_OPEN:
-            self._state = HALF_OPEN
-            return True
-        return False
+        with self._lock:
+            state = self.state
+            if state == CLOSED:
+                return True
+            if state == HALF_OPEN:
+                self._state = HALF_OPEN
+                return True
+            return False
 
     def record_success(self) -> None:
-        self._state = CLOSED
-        self._consecutive_failures = 0
+        with self._lock:
+            self._state = CLOSED
+            self._consecutive_failures = 0
 
     def record_failure(self) -> None:
-        if self._state == HALF_OPEN:
-            self._trip()
-            return
-        self._consecutive_failures += 1
-        if self._consecutive_failures >= self.failure_threshold:
-            self._trip()
+        with self._lock:
+            if self._state == HALF_OPEN:
+                self._trip()
+                return
+            self._consecutive_failures += 1
+            if self._consecutive_failures >= self.failure_threshold:
+                self._trip()
 
     def _trip(self) -> None:
-        self._state = OPEN
-        self._consecutive_failures = 0
-        self._opened_at = self._clock()
+        with self._lock:
+            self._state = OPEN
+            self._consecutive_failures = 0
+            self._opened_at = self._clock()
 
     def reset(self) -> None:
-        self._state = CLOSED
-        self._consecutive_failures = 0
-        self._opened_at = 0.0
+        with self._lock:
+            self._state = CLOSED
+            self._consecutive_failures = 0
+            self._opened_at = 0.0
 
 
 # -- fault injection ---------------------------------------------------------
@@ -220,6 +229,7 @@ class FaultInjector:
     def __init__(self, specs: Sequence[FaultSpec], seed: int = 0) -> None:
         self.specs = tuple(specs)
         self.seed = seed
+        self._lock = threading.Lock()
         self._calls: dict[str, int] = {}
         self._injected: dict[str, int] = {}
         self._rngs: dict[int, np.random.Generator] = {}
@@ -227,20 +237,23 @@ class FaultInjector:
 
     def reset(self) -> None:
         """Restart call counters and RNG streams (same pattern replays)."""
-        self._calls = {}
-        self._injected = {}
-        self._rngs = {
-            index: _stage_rng(self.seed + index, spec.stage)
-            for index, spec in enumerate(self.specs)
-        }
+        with self._lock:
+            self._calls = {}
+            self._injected = {}
+            self._rngs = {
+                index: _stage_rng(self.seed + index, spec.stage)
+                for index, spec in enumerate(self.specs)
+            }
 
     def calls(self, stage: str) -> int:
         """How many times ``stage`` checked in (including faulted calls)."""
-        return self._calls.get(stage, 0)
+        with self._lock:
+            return self._calls.get(stage, 0)
 
     def injected(self, stage: str) -> int:
         """How many faults were injected into ``stage``."""
-        return self._injected.get(stage, 0)
+        with self._lock:
+            return self._injected.get(stage, 0)
 
     def check(
         self,
@@ -249,28 +262,45 @@ class FaultInjector:
         report_id: str | None = None,
         page: int | None = None,
     ) -> None:
-        """Count a call of ``stage`` and raise if any spec triggers."""
-        ordinal = self._calls.get(stage, 0) + 1
-        self._calls[stage] = ordinal
-        for index, spec in enumerate(self.specs):
-            if spec.stage != stage:
-                continue
-            # Always advance the rate RNG so the draw sequence depends only
-            # on the stage call ordinal, not on which call triggered.
-            draw = (
-                float(self._rngs[index].random()) if spec.rate > 0 else 1.0
-            )
-            if ordinal in spec.nth_calls or draw < spec.rate:
-                self._injected[stage] = self._injected.get(stage, 0) + 1
-                error = ERROR_CLASSES[spec.error](
-                    spec.message
-                    or f"injected {spec.error} fault (call #{ordinal})",
-                    stage=stage,
-                    report_id=report_id,
-                    page=page,
+        """Count a call of ``stage`` and raise if any spec triggers.
+
+        Thread-safe: concurrent serving workers check in on the same
+        stage; call ordinals and RNG draws advance atomically (which call
+        of a concurrent pair gets a given ordinal is scheduler-dependent,
+        but the fault *pattern over ordinals* stays deterministic).
+        """
+        with self._lock:
+            ordinal = self._calls.get(stage, 0) + 1
+            self._calls[stage] = ordinal
+            triggered: FaultSpec | None = None
+            for index, spec in enumerate(self.specs):
+                if spec.stage != stage:
+                    continue
+                # Always advance the rate RNG so the draw sequence depends
+                # only on the stage call ordinal, not on which call
+                # triggered.
+                draw = (
+                    float(self._rngs[index].random())
+                    if spec.rate > 0
+                    else 1.0
                 )
-                error.injected = True
-                raise error
+                if triggered is None and (
+                    ordinal in spec.nth_calls or draw < spec.rate
+                ):
+                    triggered = spec
+                    self._injected[stage] = (
+                        self._injected.get(stage, 0) + 1
+                    )
+        if triggered is not None:
+            error = ERROR_CLASSES[triggered.error](
+                triggered.message
+                or f"injected {triggered.error} fault (call #{ordinal})",
+                stage=stage,
+                report_id=report_id,
+                page=page,
+            )
+            error.injected = True
+            raise error
 
     def wrap(self, stage: str, fn: Callable) -> Callable:
         """A callable that checks in with the injector, then calls ``fn``."""

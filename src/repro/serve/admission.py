@@ -1,0 +1,266 @@
+"""Admission control: bounded priority queues with load shedding.
+
+The engine's front door. Each priority class (``interactive`` ahead of
+``bulk``) gets its own bounded FIFO; when a class is at its depth bound the
+submit call is *rejected immediately* with a typed
+:class:`~repro.runtime.errors.OverloadedError` instead of blocking the
+caller — under overload an online system must shed, not queue without
+bound. Workers lease entries out of the queues (``pop`` + ``gather``); the
+controller tracks leases so :meth:`wait_idle` can tell "drained" apart
+from "queue momentarily empty but work still in flight".
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from collections.abc import Mapping
+
+from repro.runtime.errors import OverloadedError
+from repro.serve.metrics import SloMetrics
+
+#: Priority classes, highest first: dispatch always prefers interactive.
+PRIORITIES = ("interactive", "bulk")
+
+
+class AdmissionController:
+    """Bounded two-class priority queue with lease accounting.
+
+    Args:
+        queue_depth: per-class depth bound, or a mapping
+            ``{priority: depth}`` to bound the classes differently.
+        metrics: engine metrics registry; rejection/admission counters
+            land here (``admitted``, ``rejected``, ``rejected.<class>``).
+        clock: injectable monotonic clock for deterministic tests.
+    """
+
+    def __init__(
+        self,
+        queue_depth: int | Mapping[str, int] = 64,
+        metrics: SloMetrics | None = None,
+        clock=time.monotonic,
+    ) -> None:
+        if isinstance(queue_depth, Mapping):
+            depths = {
+                priority: int(queue_depth.get(priority, 64))
+                for priority in PRIORITIES
+            }
+        else:
+            depths = {priority: int(queue_depth) for priority in PRIORITIES}
+        for priority, depth in depths.items():
+            if depth <= 0:
+                raise ValueError(
+                    f"queue depth for {priority!r} must be positive"
+                )
+        self.depths = depths
+        self.metrics = metrics
+        self._clock = clock
+        self._queues: dict[str, deque] = {
+            priority: deque() for priority in PRIORITIES
+        }
+        self._cond = threading.Condition()
+        self._leased = 0
+        self._shedding = False  # draining: reject new, serve queued
+        self._closed = False  # stopped: reject new, wake all poppers
+
+    # -- state ---------------------------------------------------------------
+
+    def __len__(self) -> int:
+        with self._cond:
+            return sum(len(queue) for queue in self._queues.values())
+
+    def depth(self, priority: str) -> int:
+        with self._cond:
+            return len(self._queues[priority])
+
+    def pending(self) -> int:
+        """Queued plus leased (in-flight) entries."""
+        with self._cond:
+            return (
+                sum(len(queue) for queue in self._queues.values())
+                + self._leased
+            )
+
+    def shed(self) -> None:
+        """Enter drain mode: reject new admissions, keep serving queued."""
+        with self._cond:
+            self._shedding = True
+            self._cond.notify_all()
+
+    def close(self) -> None:
+        """Stop the queue: reject admissions and wake every blocked pop."""
+        with self._cond:
+            self._shedding = True
+            self._closed = True
+            self._cond.notify_all()
+
+    @property
+    def closed(self) -> bool:
+        with self._cond:
+            return self._closed
+
+    # -- producer side -------------------------------------------------------
+
+    def admit(self, entry) -> None:
+        """Enqueue ``entry`` or raise :class:`OverloadedError` (no blocking).
+
+        ``entry`` must expose ``priority`` (a :data:`PRIORITIES` member).
+        """
+        priority = entry.priority
+        with self._cond:
+            if self._shedding:
+                self._count("rejected", priority)
+                raise OverloadedError(
+                    "engine is draining and not accepting requests",
+                    stage="admission",
+                )
+            queue = self._queues[priority]
+            if len(queue) >= self.depths[priority]:
+                self._count("rejected", priority)
+                raise OverloadedError(
+                    f"{priority} queue is at its depth bound "
+                    f"({self.depths[priority]}); request shed",
+                    stage="admission",
+                )
+            queue.append(entry)
+            if self.metrics is not None:
+                self.metrics.count("admitted")
+            self._cond.notify()
+
+    def _count(self, name: str, priority: str) -> None:
+        if self.metrics is not None:
+            self.metrics.count(name)
+            self.metrics.count(f"{name}.{priority}")
+
+    # -- consumer side (workers) ---------------------------------------------
+
+    def pop(self, timeout: float | None = None):
+        """Lease the oldest entry of the highest non-empty priority.
+
+        Blocks up to ``timeout`` seconds; returns ``None`` on timeout or
+        when the controller is closed and empty. A returned entry is
+        *leased*: call :meth:`release` once its work finished.
+        """
+        deadline = None if timeout is None else self._clock() + timeout
+        with self._cond:
+            while True:
+                for priority in PRIORITIES:
+                    queue = self._queues[priority]
+                    if queue:
+                        self._leased += 1
+                        return queue.popleft()
+                if self._closed:
+                    return None
+                if deadline is None:
+                    self._cond.wait()
+                    continue
+                remaining = deadline - self._clock()
+                if remaining <= 0:
+                    return None
+                self._cond.wait(remaining)
+
+    def gather(
+        self,
+        first,
+        *,
+        max_requests: int,
+        max_tokens: int,
+        max_wait_seconds: float,
+    ) -> list:
+        """Coalesce a micro-batch around an already-leased ``first`` entry.
+
+        Greedily leases queued entries of the same ``kind`` (interactive
+        before bulk, FIFO within a class) until the batch reaches
+        ``max_requests`` rows or ``max_tokens`` estimated tokens, waiting
+        up to ``max_wait_seconds`` for more arrivals — flush on whichever
+        bound trips first. Two cases never wait: while shedding (drain —
+        latency beats batching once the engine is closing down), and when
+        the system is otherwise idle (nothing queued, no other request in
+        flight that could produce a follow-up), so a lone low-load request
+        pays zero batching tax.
+        """
+        batch = [first]
+        tokens = first.cost
+        if max_requests <= 1:
+            return batch
+        deadline = self._clock() + max_wait_seconds
+        with self._cond:
+            while len(batch) < max_requests and tokens < max_tokens:
+                entry = self._pop_compatible_locked(
+                    first.request.kind, max_tokens - tokens
+                )
+                if entry is not None:
+                    self._leased += 1
+                    batch.append(entry)
+                    tokens += entry.cost
+                    continue
+                others = (
+                    sum(len(queue) for queue in self._queues.values())
+                    + self._leased
+                    - len(batch)
+                )
+                remaining = deadline - self._clock()
+                if (
+                    remaining <= 0
+                    or others <= 0
+                    or self._closed
+                    or self._shedding
+                ):
+                    break
+                self._cond.wait(min(remaining, 0.01))
+        return batch
+
+    def _pop_compatible_locked(self, kind: str, token_headroom: int):
+        """The oldest same-kind entry that fits the remaining token budget.
+
+        Only the *head* of each class is considered — skipping over a
+        too-large head to batch a smaller later request would reorder the
+        FIFO and starve big requests.
+        """
+        for priority in PRIORITIES:
+            queue = self._queues[priority]
+            if not queue:
+                continue
+            head = queue[0]
+            if head.request.kind != kind:
+                continue
+            if head.cost > token_headroom:
+                continue
+            return queue.popleft()
+        return None
+
+    def release(self, leases: int = 1) -> None:
+        """Return ``leases`` finished leases (wakes :meth:`wait_idle`)."""
+        with self._cond:
+            self._leased -= leases
+            if self._leased < 0:
+                raise RuntimeError("released more leases than taken")
+            self._cond.notify_all()
+
+    def pop_all(self) -> list:
+        """Unconditionally empty every queue (abort path); no leases taken."""
+        with self._cond:
+            entries: list = []
+            for priority in PRIORITIES:
+                entries.extend(self._queues[priority])
+                self._queues[priority].clear()
+            self._cond.notify_all()
+            return entries
+
+    def wait_idle(self, timeout: float | None = None) -> bool:
+        """Block until queues are empty and all leases returned."""
+        deadline = None if timeout is None else self._clock() + timeout
+        with self._cond:
+            while (
+                sum(len(queue) for queue in self._queues.values()) > 0
+                or self._leased > 0
+            ):
+                if deadline is None:
+                    self._cond.wait()
+                    continue
+                remaining = deadline - self._clock()
+                if remaining <= 0:
+                    return False
+                self._cond.wait(remaining)
+            return True

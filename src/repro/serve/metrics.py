@@ -1,0 +1,151 @@
+"""SLO metrics for the online serving tier.
+
+The batch runtime reports throughput per *run* (:mod:`repro.runtime.profiling`);
+an online engine needs distributions per *request*: latency percentiles,
+the queue-wait vs. compute split, and shed/degrade counts. This module
+extends the profiling layer with thread-safe latency histograms and a
+snapshot API the engine exposes via ``ServingEngine.metrics_snapshot()``.
+
+Everything here is stdlib + plain floats, serializes to JSON, and is safe
+to touch from many worker threads at once.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from repro.runtime.profiling import PerfCounters
+
+#: Quantiles every histogram snapshot reports.
+SLO_QUANTILES = (("p50", 0.50), ("p95", 0.95), ("p99", 0.99))
+
+
+class LatencyHistogram:
+    """Bounded reservoir of latency samples with exact rank quantiles.
+
+    Keeps the most recent ``max_samples`` observations in a ring buffer
+    (count/sum/max stay exact over the full lifetime) and computes
+    p50/p95/p99 by nearest-rank over the retained window. Thread-safe.
+    """
+
+    def __init__(self, max_samples: int = 8192) -> None:
+        if max_samples <= 0:
+            raise ValueError("max_samples must be positive")
+        self.max_samples = max_samples
+        self._samples: list[float] = []
+        self._cursor = 0
+        self._count = 0
+        self._sum = 0.0
+        self._max = 0.0
+        self._lock = threading.Lock()
+
+    def observe(self, seconds: float) -> None:
+        value = float(seconds)
+        with self._lock:
+            self._count += 1
+            self._sum += value
+            if value > self._max:
+                self._max = value
+            if len(self._samples) < self.max_samples:
+                self._samples.append(value)
+            else:
+                self._samples[self._cursor] = value
+                self._cursor = (self._cursor + 1) % self.max_samples
+
+    @property
+    def count(self) -> int:
+        with self._lock:
+            return self._count
+
+    def quantile(self, q: float) -> float:
+        """Nearest-rank quantile over the retained window (0 if empty)."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("quantile must be in [0, 1]")
+        with self._lock:
+            ordered = sorted(self._samples)
+        if not ordered:
+            return 0.0
+        rank = min(len(ordered) - 1, max(0, int(round(q * len(ordered))) - 1))
+        if q <= 0.0:
+            rank = 0
+        return ordered[rank]
+
+    def snapshot(self) -> dict[str, float]:
+        """JSON-ready summary: count, mean, max, and the SLO quantiles."""
+        with self._lock:
+            count = self._count
+            total = self._sum
+            peak = self._max
+            ordered = sorted(self._samples)
+        summary = {
+            "count": count,
+            "mean_seconds": total / count if count else 0.0,
+            "max_seconds": peak,
+        }
+        for name, q in SLO_QUANTILES:
+            if not ordered:
+                summary[name] = 0.0
+                continue
+            rank = min(
+                len(ordered) - 1, max(0, int(round(q * len(ordered))) - 1)
+            )
+            summary[name] = ordered[rank]
+        return summary
+
+
+class SloMetrics:
+    """The engine's metrics registry: counters + named latency histograms.
+
+    Histogram names follow ``<kind>.<phase>`` (``extract.queue_wait``,
+    ``extract.compute``, ``detect.total`` ...); counters use flat names
+    (``completed``, ``rejected``, ``degraded``, ``batches`` ...). The
+    snapshot derives throughput from ``completed`` over the observation
+    window so an idle engine reports a decaying rate, not a stale one.
+    """
+
+    def __init__(
+        self,
+        max_samples: int = 8192,
+        clock=time.monotonic,
+    ) -> None:
+        self.counters = PerfCounters()
+        self._histograms: dict[str, LatencyHistogram] = {}
+        self._max_samples = max_samples
+        self._lock = threading.Lock()
+        self._clock = clock
+        self._started_at = clock()
+
+    def histogram(self, name: str) -> LatencyHistogram:
+        with self._lock:
+            histogram = self._histograms.get(name)
+            if histogram is None:
+                histogram = LatencyHistogram(self._max_samples)
+                self._histograms[name] = histogram
+            return histogram
+
+    def observe(self, name: str, seconds: float) -> None:
+        self.histogram(name).observe(seconds)
+
+    def count(self, name: str, amount: float = 1.0) -> None:
+        self.counters.add(name, amount)
+
+    def snapshot(self) -> dict:
+        """One consistent JSON-ready view of every counter and histogram."""
+        with self._lock:
+            histograms = dict(self._histograms)
+        counters = self.counters.snapshot()
+        elapsed = max(self._clock() - self._started_at, 1e-9)
+        completed = counters.get("completed", 0.0)
+        return {
+            "uptime_seconds": elapsed,
+            "counters": counters,
+            "latency": {
+                name: histogram.snapshot()
+                for name, histogram in sorted(histograms.items())
+            },
+            "throughput": {
+                "completed": completed,
+                "requests_per_second": completed / elapsed,
+            },
+        }

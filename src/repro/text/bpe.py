@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import dataclasses
 import json
+import threading
 from collections import Counter, OrderedDict
 from collections.abc import Iterable, Sequence
 from pathlib import Path
@@ -149,6 +150,10 @@ class BpeTokenizer:
         self._word_cache: OrderedDict[
             str, tuple[tuple[str, ...], tuple[int, ...]]
         ] = OrderedDict()
+        # Concurrent serving workers share one tokenizer; the OrderedDict
+        # reorder/evict operations are not atomic, so every cache touch
+        # (including the hit/miss counters) happens under this lock.
+        self._cache_lock = threading.Lock()
         self._cache_hits = 0
         self._cache_misses = 0
         if vocab is None:
@@ -230,20 +235,24 @@ class BpeTokenizer:
     def _encode_word_cached(
         self, word: str
     ) -> tuple[tuple[str, ...], tuple[int, ...]]:
-        cached = self._word_cache.get(word)
-        if cached is not None:
-            self._word_cache.move_to_end(word)
-            self._cache_hits += 1
-            return cached
+        with self._cache_lock:
+            cached = self._word_cache.get(word)
+            if cached is not None:
+                self._word_cache.move_to_end(word)
+                self._cache_hits += 1
+                return cached
         # Compute fully before touching the cache or its counters: a fault
         # raised mid-encode (e.g. an injected error, or a vocabulary swap)
-        # must leave no partial entry and no phantom miss behind.
+        # must leave no partial entry and no phantom miss behind. Two
+        # threads may both miss and compute the same word — the entries
+        # are identical, so last-writer-wins is harmless.
         pieces = self._apply_merges(word)
         entry = (pieces, tuple(self.vocab.id_of(piece) for piece in pieces))
-        self._cache_misses += 1
-        self._word_cache[word] = entry
-        if len(self._word_cache) > self.cache_size:
-            self._word_cache.popitem(last=False)
+        with self._cache_lock:
+            self._cache_misses += 1
+            self._word_cache[word] = entry
+            if len(self._word_cache) > self.cache_size:
+                self._word_cache.popitem(last=False)
         return entry
 
     def encode_word(self, word: str) -> tuple[str, ...]:
@@ -266,18 +275,20 @@ class BpeTokenizer:
 
     def clear_cache(self) -> None:
         """Drop memoized encodings (required after replacing ``vocab``)."""
-        self._word_cache.clear()
-        self._cache_hits = 0
-        self._cache_misses = 0
+        with self._cache_lock:
+            self._word_cache.clear()
+            self._cache_hits = 0
+            self._cache_misses = 0
 
     def cache_info(self) -> dict[str, int]:
         """Hit/miss counters and occupancy of the per-word LRU memo."""
-        return {
-            "hits": self._cache_hits,
-            "misses": self._cache_misses,
-            "size": len(self._word_cache),
-            "maxsize": self.cache_size,
-        }
+        with self._cache_lock:
+            return {
+                "hits": self._cache_hits,
+                "misses": self._cache_misses,
+                "size": len(self._word_cache),
+                "maxsize": self.cache_size,
+            }
 
     def decode_word(self, pieces: Sequence[str]) -> str:
         """Reassemble a word from its pieces (inverse of encode_word)."""

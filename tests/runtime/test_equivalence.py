@@ -59,7 +59,16 @@ class TestBucketedEqualsNaive:
         model = SequenceClassifier(config, num_classes=3, rng=rng)
         naive = model.predict_proba(mixed_sequences, sort_by_length=False)
         bucketed = model.predict_proba(mixed_sequences, token_budget=48)
-        np.testing.assert_allclose(naive, bucketed, rtol=1e-5, atol=1e-6)
+        # bitwise, not allclose: width-invariant pooling + row-invariant
+        # head make sequence scores independent of batch packing too
+        assert np.array_equal(naive, bucketed)
+        singles = np.concatenate(
+            [
+                model.predict_proba([sequence], sort_by_length=False)
+                for sequence in mixed_sequences
+            ]
+        )
+        assert np.array_equal(naive, singles)
 
     def test_logits_independent_of_pad_width(self, config, rng):
         """The core invariant: pad width never changes a real row's output."""

@@ -1,0 +1,74 @@
+"""Shared fixtures for the serving-subsystem tests.
+
+Most engine tests drive cheap deterministic stub backends; the
+equivalence property and the bench smoke test use the real (untrained,
+seeded) demo backend from :mod:`repro.serve.loadgen`, built once per
+session because BPE training dominates its cost.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.serve.loadgen import build_demo_backend, build_request_texts
+
+
+class RecordingExtractor:
+    """Deterministic stub extractor that records processing order."""
+
+    def __init__(self, delay: float = 0.0):
+        self.delay = delay
+        self.calls: list[list[str]] = []
+        self._lock = threading.Lock()
+
+    def extract_batch(self, texts):
+        with self._lock:
+            self.calls.append(list(texts))
+        if self.delay:
+            time.sleep(self.delay)
+        return [{"Action": "reduce", "Qualifier": text[:12]} for text in texts]
+
+
+class PoisonedExtractor(RecordingExtractor):
+    """Fails every attempt on texts carrying a poison tag."""
+
+    def __init__(self, tag: str = "POISON", delay: float = 0.0):
+        super().__init__(delay)
+        self.tag = tag
+
+    def extract_batch(self, texts):
+        if any(self.tag in text for text in texts):
+            raise ValueError(f"poisoned request in batch of {len(texts)}")
+        return super().extract_batch(texts)
+
+
+class StubDetector:
+    """Deterministic stub detector: scores by presence of a % sign."""
+
+    def predict_proba(self, texts):
+        return np.array([0.9 if "%" in text else 0.1 for text in texts])
+
+
+@pytest.fixture
+def recording_extractor():
+    return RecordingExtractor()
+
+
+@pytest.fixture
+def stub_detector():
+    return StubDetector()
+
+
+@pytest.fixture(scope="session")
+def demo_backend():
+    """The real untrained detector + extractor pair (built once)."""
+    return build_demo_backend(seed=3, num_objectives=24)
+
+
+@pytest.fixture(scope="session")
+def demo_texts():
+    return build_request_texts(seed=7, num_texts=12)

@@ -1,0 +1,156 @@
+"""Unit tests for the admission controller: bounds, priorities, leases."""
+
+import pytest
+
+from repro.runtime.errors import OverloadedError
+from repro.serve.admission import PRIORITIES, AdmissionController
+from repro.serve.engine import ServeRequest, _QueuedRequest
+
+pytestmark = pytest.mark.serve
+
+
+def entry(text="cut waste 5%", kind="extract", priority="interactive",
+          cost=None):
+    request = ServeRequest(kind=kind, texts=(text,), priority=priority)
+    return _QueuedRequest(
+        request, cost if cost is not None else len(text.split()), 0.0
+    )
+
+
+class TestBounds:
+    def test_rejects_at_exact_depth_bound(self):
+        controller = AdmissionController(queue_depth=3)
+        for _ in range(3):
+            controller.admit(entry())
+        with pytest.raises(OverloadedError) as excinfo:
+            controller.admit(entry())
+        assert excinfo.value.retryable is False
+        assert len(controller) == 3
+
+    def test_bounds_are_per_priority_class(self):
+        controller = AdmissionController(queue_depth=2)
+        controller.admit(entry(priority="interactive"))
+        controller.admit(entry(priority="interactive"))
+        with pytest.raises(OverloadedError):
+            controller.admit(entry(priority="interactive"))
+        # the bulk class has its own bound and still has room
+        controller.admit(entry(priority="bulk"))
+        assert controller.depth("bulk") == 1
+
+    def test_mapping_depths(self):
+        controller = AdmissionController(
+            queue_depth={"interactive": 1, "bulk": 2}
+        )
+        controller.admit(entry(priority="interactive"))
+        with pytest.raises(OverloadedError):
+            controller.admit(entry(priority="interactive"))
+        controller.admit(entry(priority="bulk"))
+        controller.admit(entry(priority="bulk"))
+
+    def test_shedding_rejects_everything(self):
+        controller = AdmissionController(queue_depth=8)
+        controller.shed()
+        with pytest.raises(OverloadedError):
+            controller.admit(entry())
+
+
+class TestPriorities:
+    def test_pop_prefers_interactive(self):
+        controller = AdmissionController(queue_depth=8)
+        bulk = entry("bulk job", priority="bulk")
+        interactive = entry("user query", priority="interactive")
+        controller.admit(bulk)
+        controller.admit(interactive)
+        assert controller.pop(timeout=0) is interactive
+        assert controller.pop(timeout=0) is bulk
+
+    def test_fifo_within_a_class(self):
+        controller = AdmissionController(queue_depth=8)
+        first, second = entry("first request"), entry("second request")
+        controller.admit(first)
+        controller.admit(second)
+        assert controller.pop(timeout=0) is first
+        assert controller.pop(timeout=0) is second
+
+
+class TestGather:
+    def test_coalesces_up_to_request_bound(self):
+        controller = AdmissionController(queue_depth=16)
+        entries = [entry(f"request number {i}") for i in range(5)]
+        for item in entries:
+            controller.admit(item)
+        first = controller.pop(timeout=0)
+        batch = controller.gather(
+            first, max_requests=3, max_tokens=1024, max_wait_seconds=0.0
+        )
+        assert batch == entries[:3]
+        assert len(controller) == 2
+
+    def test_respects_token_budget(self):
+        controller = AdmissionController(queue_depth=16)
+        small = entry("tiny", cost=2)
+        big = entry("huge request", cost=100)
+        controller.admit(small)
+        controller.admit(big)
+        first = controller.pop(timeout=0)
+        batch = controller.gather(
+            first, max_requests=8, max_tokens=50, max_wait_seconds=0.0
+        )
+        # the big head does not fit the remaining budget: flush without it
+        assert batch == [small]
+        assert controller.depth("interactive") == 1
+
+    def test_never_mixes_kinds(self):
+        controller = AdmissionController(queue_depth=16)
+        extract = entry("extract me", kind="extract")
+        detect = entry("detect me", kind="detect")
+        controller.admit(extract)
+        controller.admit(detect)
+        first = controller.pop(timeout=0)
+        batch = controller.gather(
+            first, max_requests=8, max_tokens=1024, max_wait_seconds=0.0
+        )
+        assert batch == [extract]
+
+    def test_idle_gather_returns_immediately(self):
+        # nothing else queued or leased: a lone request pays no batching tax
+        ticks = []
+
+        def clock():
+            ticks.append(None)
+            return 0.0  # frozen clock: any wait() would loop forever
+
+        controller = AdmissionController(queue_depth=16, clock=clock)
+        only = entry()
+        controller.admit(only)
+        first = controller.pop(timeout=0)
+        batch = controller.gather(
+            first, max_requests=8, max_tokens=1024, max_wait_seconds=10.0
+        )
+        assert batch == [only]
+
+
+class TestLeases:
+    def test_wait_idle_waits_for_leases(self):
+        controller = AdmissionController(queue_depth=8)
+        controller.admit(entry())
+        leased = controller.pop(timeout=0)
+        assert leased is not None
+        assert len(controller) == 0  # queue empty ...
+        assert controller.wait_idle(timeout=0.01) is False  # ... not idle
+        controller.release()
+        assert controller.wait_idle(timeout=1.0) is True
+
+    def test_over_release_is_an_error(self):
+        controller = AdmissionController(queue_depth=8)
+        with pytest.raises(RuntimeError):
+            controller.release()
+
+    def test_pop_all_empties_every_class(self):
+        controller = AdmissionController(queue_depth=8)
+        for priority in PRIORITIES:
+            controller.admit(entry(priority=priority))
+        drained = controller.pop_all()
+        assert len(drained) == 2
+        assert len(controller) == 0
+        assert controller.wait_idle(timeout=0.1) is True

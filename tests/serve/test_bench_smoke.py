@@ -1,0 +1,106 @@
+"""Smoke tests for the serving benchmark and the serve-bench CLI.
+
+Runs tiny load levels and asserts the ``BENCH_serving.json`` schema —
+no performance claims here (those live in ``benchmarks/bench_serving.py``,
+which only runs when the benchmarks tree is invoked explicitly).
+"""
+
+import json
+
+import pytest
+
+import benchmarks.bench_serving as bench_serving
+from repro.cli import main
+from repro.serve.loadgen import LoadLevel, run_serving_bench
+
+pytestmark = [pytest.mark.serve, pytest.mark.smoke]
+
+LEVEL_KEYS = {
+    "level", "mode", "offered", "requests", "completed", "rejected",
+    "failed", "wall_seconds", "throughput_rps", "latency", "queue_wait",
+    "compute", "mean_batch_rows", "engine_metrics",
+}
+PERCENTILE_KEYS = {"count", "mean_seconds", "max_seconds", "p50", "p95", "p99"}
+
+
+def assert_report_schema(report, num_levels):
+    assert report["schema_version"] == 1
+    assert {"seed", "num_workers", "max_batch_requests", "levels"} <= set(
+        report["config"]
+    )
+    assert len(report["levels"]) == num_levels
+    for level in report["levels"]:
+        assert set(level) == {"level", "offered", "mode", "modes"}
+        assert set(level["modes"]) == {"microbatch", "batch1"}
+        for mode_report in level["modes"].values():
+            assert LEVEL_KEYS <= set(mode_report)
+            for split in ("latency", "queue_wait", "compute"):
+                assert set(mode_report[split]) == PERCENTILE_KEYS
+            assert mode_report["completed"] + mode_report[
+                "rejected"
+            ] + mode_report["failed"] == mode_report["requests"]
+    comparison = report["comparison"]
+    assert {
+        "level", "microbatch_throughput_rps", "batch1_throughput_rps",
+        "throughput_speedup", "microbatch_p95_seconds",
+        "batch1_p95_seconds", "microbatch_wins",
+    } == set(comparison)
+    assert isinstance(comparison["microbatch_wins"], bool)
+
+
+def test_run_serving_bench_schema_closed_and_open():
+    report = run_serving_bench(
+        [
+            LoadLevel("closed-2", "closed", 2, 6),
+            LoadLevel("open-80rps", "open", 80.0, 6),
+        ],
+        seed=0,
+        num_texts=8,
+        num_workers=2,
+    )
+    assert_report_schema(report, num_levels=2)
+    for level in report["levels"]:
+        for mode_report in level["modes"].values():
+            assert mode_report["completed"] == 6
+            engine = mode_report["engine_metrics"]
+            assert engine["counters"]["completed"] == 6
+            assert "extract.total" in engine["latency"]
+
+
+def test_bench_module_writes_report(monkeypatch, tmp_path):
+    result_path = tmp_path / "BENCH_serving.json"
+    monkeypatch.setattr(bench_serving, "RESULT_PATH", result_path)
+    monkeypatch.setenv("REPRO_BENCH_SERVE_REQUESTS", "8")
+    report = bench_serving.run_serving_benchmark()
+    assert result_path.exists()
+    on_disk = json.loads(result_path.read_text())
+    assert on_disk["comparison"] == report["comparison"]
+    assert_report_schema(on_disk, num_levels=4)
+    modes = {level["mode"] for level in on_disk["levels"]}
+    assert modes == {"closed", "open"}  # both loop disciplines covered
+
+
+def test_cli_serve_bench(tmp_path, capsys):
+    out = tmp_path / "report.json"
+    code = main(
+        [
+            "serve-bench",
+            "--level", "closed:2",
+            "--requests", "6",
+            "--out", str(out),
+        ]
+    )
+    assert code == 0
+    report = json.loads(out.read_text())
+    assert_report_schema(report, num_levels=1)
+    stdout = capsys.readouterr().out
+    assert "throughput" in stdout
+    assert str(out) in stdout
+
+
+def test_cli_serve_bench_bad_level(tmp_path, capsys):
+    code = main(
+        ["serve-bench", "--level", "sideways", "--out", str(tmp_path / "r")]
+    )
+    assert code == 2
+    assert "bad --level" in capsys.readouterr().err

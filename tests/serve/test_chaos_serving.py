@@ -1,0 +1,122 @@
+"""Chaos tests: the engine under injected faults and poisoned requests.
+
+Property (ISSUE satellite 4): a poisoned request degrades (fallback
+extractor) or lands in the quarantine — its batch-mates complete
+normally, the workers survive, and the engine keeps serving afterwards.
+"""
+
+import pytest
+
+from repro.runtime.errors import ModelError, ReproError
+from repro.runtime.resilience import FaultInjector, FaultSpec, RetryPolicy
+from repro.serve.engine import ServingConfig, ServingEngine
+from tests.serve.conftest import PoisonedExtractor, RecordingExtractor
+
+pytestmark = [pytest.mark.serve, pytest.mark.chaos]
+
+NO_RETRY = RetryPolicy(max_retries=0, base_delay=0.0, jitter=0.0)
+
+
+def chaos_engine(extractor, fallback=None, injector=None, **config):
+    config.setdefault("num_workers", 1)
+    config.setdefault("max_wait_ms", 0.0)
+    config.setdefault("breaker_threshold", 1000)  # chaos aims at the ladder
+    return ServingEngine(
+        extractor=extractor,
+        fallback_extractor=fallback,
+        fault_injector=injector,
+        retry_policy=NO_RETRY,
+        config=ServingConfig(**config),
+    )
+
+
+class TestPoisonedRequests:
+    def test_poison_is_isolated_from_batch_mates(self):
+        extractor = PoisonedExtractor()
+        engine = chaos_engine(extractor, max_batch_requests=8)
+        futures = [
+            engine.submit(kind="extract", texts=f"reduce waste, batch {i}")
+            for i in range(3)
+        ]
+        poisoned = engine.submit(kind="extract", texts="POISON this one")
+        with engine:
+            results = [future.result(timeout=10.0) for future in futures]
+            error = poisoned.exception(timeout=10.0)
+        # batch-mates all completed despite sharing a batch with the poison
+        assert all(result.status == "ok" for result in results)
+        assert isinstance(error, ReproError)
+        snapshot = engine.metrics_snapshot()
+        assert snapshot["counters"]["batch_isolations"] >= 1
+        assert snapshot["counters"]["failed"] == 1
+        assert snapshot["counters"]["completed"] == 3
+
+    def test_poison_quarantined_with_provenance(self):
+        engine = chaos_engine(PoisonedExtractor())
+        future = engine.submit(kind="extract", texts="POISON pill")
+        with engine:
+            assert future.exception(timeout=10.0) is not None
+        assert len(engine.quarantine) == 1
+        record = engine.quarantine[0]
+        assert record["kind"] == "extract"
+        assert record["texts"] == ["POISON pill"]
+        assert record["stage"] == "extract"
+
+    def test_poison_degrades_through_fallback(self):
+        fallback = RecordingExtractor()
+        engine = chaos_engine(PoisonedExtractor(), fallback=fallback)
+        future = engine.submit(kind="extract", texts="POISON but recoverable")
+        with engine:
+            result = future.result(timeout=10.0)
+        assert result.status == "degraded"
+        assert result.values[0]["Action"] == "reduce"
+        assert len(engine.quarantine) == 0
+        assert engine.metrics_snapshot()["counters"]["degraded"] == 1
+
+
+class TestInjectedFaults:
+    def test_engine_survives_fault_storm_and_keeps_serving(self):
+        injector = FaultInjector(
+            [FaultSpec(stage="extract", error="model", rate=0.4)], seed=2
+        )
+        fallback = RecordingExtractor()
+        engine = chaos_engine(
+            RecordingExtractor(),
+            fallback=fallback,
+            injector=injector,
+            max_batch_requests=4,
+        )
+        futures = [
+            engine.submit(kind="extract", texts=f"cut emissions run {i}")
+            for i in range(24)
+        ]
+        engine.start()
+        results = [future.result(timeout=30.0) for future in futures]
+        # fallback always recovers: every request resolves ok-or-degraded
+        statuses = {result.status for result in results}
+        assert statuses <= {"ok", "degraded"}
+        assert injector.injected("extract") > 0
+        assert "degraded" in statuses
+        # the engine is still alive and serving after the storm
+        late = engine.extract("late request after chaos")
+        assert late.result(timeout=10.0).status in ("ok", "degraded")
+        engine.shutdown()
+        snapshot = engine.metrics_snapshot()
+        assert snapshot["counters"]["completed"] == 25
+        assert snapshot["counters"].get("failed", 0) == 0
+
+    def test_fault_without_fallback_quarantines_not_kills(self):
+        injector = FaultInjector(
+            [FaultSpec(stage="extract", error="model", nth_calls=(1,))],
+            seed=5,
+        )
+        engine = chaos_engine(RecordingExtractor(), injector=injector)
+        first = engine.submit(kind="extract", texts="doomed request")
+        with engine:
+            error = first.exception(timeout=10.0)
+            # worker survived the fault: the next request still completes
+            second = engine.extract("healthy request")
+            result = second.result(timeout=10.0)
+        assert isinstance(error, ModelError)
+        assert error.injected
+        assert result.status == "ok"
+        assert len(engine.quarantine) == 1

@@ -1,0 +1,171 @@
+"""Engine lifecycle tests: overload shedding, priorities, drain, metrics.
+
+Requests may be submitted before ``start()`` — the queue fills with no
+workers attached — which is what makes the overload and priority-order
+assertions here fully deterministic.
+"""
+
+import pytest
+
+from repro.runtime.errors import InputError, OverloadedError
+from repro.serve.engine import ServingConfig, ServingEngine
+from tests.serve.conftest import RecordingExtractor
+
+pytestmark = pytest.mark.serve
+
+
+def make_engine(extractor, detector=None, **config):
+    config.setdefault("num_workers", 1)
+    config.setdefault("max_wait_ms", 0.0)
+    return ServingEngine(
+        detector=detector, extractor=extractor, config=ServingConfig(**config)
+    )
+
+
+class TestValidation:
+    def test_needs_a_backend(self):
+        with pytest.raises(ValueError):
+            ServingEngine()
+
+    def test_rejects_unknown_kind_and_priority(self, recording_extractor):
+        engine = make_engine(recording_extractor)
+        with pytest.raises(InputError):
+            engine.submit(kind="translate", texts="hello world")
+        with pytest.raises(InputError):
+            engine.submit(kind="extract", texts="hi", priority="urgent")
+
+    def test_rejects_empty_texts(self, recording_extractor):
+        engine = make_engine(recording_extractor)
+        with pytest.raises(InputError):
+            engine.submit(kind="extract", texts=())
+        with pytest.raises(InputError):
+            engine.submit(kind="extract", texts="   ")
+
+    def test_rejects_kind_without_backend(self, recording_extractor):
+        engine = make_engine(recording_extractor)
+        with pytest.raises(InputError):
+            engine.submit(kind="detect", texts="is this an objective?")
+
+
+class TestOverload:
+    def test_sheds_deterministically_at_queue_bound(self, recording_extractor):
+        engine = make_engine(recording_extractor, queue_depth=4)
+        for index in range(4):  # unstarted engine: nothing drains the queue
+            engine.submit(kind="extract", texts=f"request {index}")
+        with pytest.raises(OverloadedError):
+            engine.submit(kind="extract", texts="one too many")
+        snapshot = engine.metrics_snapshot()
+        assert snapshot["counters"]["submitted"] == 5
+        assert snapshot["counters"]["admitted"] == 4
+        assert snapshot["counters"]["rejected"] == 1
+        assert snapshot["counters"]["rejected.interactive"] == 1
+        assert snapshot["engine"]["queue_depth"]["interactive"] == 4
+
+    def test_shed_requests_complete_after_start(self, recording_extractor):
+        engine = make_engine(recording_extractor, queue_depth=2)
+        futures = [
+            engine.submit(kind="extract", texts=f"request {i}")
+            for i in range(2)
+        ]
+        with pytest.raises(OverloadedError):
+            engine.submit(kind="extract", texts="shed me")
+        with engine:
+            results = [future.result(timeout=10.0) for future in futures]
+        assert all(result.status == "ok" for result in results)
+
+
+class TestPriorities:
+    def test_interactive_dispatched_before_bulk(self, recording_extractor):
+        engine = make_engine(recording_extractor, max_batch_requests=1)
+        bulk = [
+            engine.submit(kind="extract", texts=f"bulk {i}", priority="bulk")
+            for i in range(3)
+        ]
+        interactive = [
+            engine.submit(kind="extract", texts=f"user {i}")
+            for i in range(2)
+        ]
+        with engine:
+            for future in interactive + bulk:
+                future.result(timeout=10.0)
+        processed = [texts[0] for texts in recording_extractor.calls]
+        assert processed == ["user 0", "user 1", "bulk 0", "bulk 1", "bulk 2"]
+
+
+class TestDrainAndShutdown:
+    def test_drain_completes_in_flight_and_sheds_new(self):
+        slow = RecordingExtractor(delay=0.02)
+        engine = make_engine(slow, num_workers=2)
+        futures = [
+            engine.submit(kind="extract", texts=f"request {i}")
+            for i in range(6)
+        ]
+        engine.start()
+        assert engine.drain(timeout=10.0) is True
+        assert engine.state == "draining"
+        for future in futures:  # everything admitted before drain finished
+            assert future.result(timeout=0).status == "ok"
+        with pytest.raises(OverloadedError):
+            engine.submit(kind="extract", texts="late arrival")
+        engine.shutdown()
+        assert engine.state == "stopped"
+
+    def test_drain_requires_a_started_engine(self, recording_extractor):
+        engine = make_engine(recording_extractor)
+        with pytest.raises(RuntimeError):
+            engine.drain()
+
+    def test_abort_shutdown_fails_queued_requests(self, recording_extractor):
+        engine = make_engine(recording_extractor)
+        future = engine.submit(kind="extract", texts="never ran")
+        engine.shutdown(drain=False)  # never started: abort path
+        with pytest.raises(OverloadedError):
+            future.result(timeout=0)
+        assert engine.state == "stopped"
+        assert recording_extractor.calls == []
+
+    def test_context_manager_drains(self, recording_extractor):
+        engine = make_engine(recording_extractor)
+        with engine:
+            future = engine.extract("cut emissions 30% by 2030")
+        assert future.result(timeout=0).status == "ok"
+        assert engine.state == "stopped"
+
+    def test_restart_after_stop_is_an_error(self, recording_extractor):
+        engine = make_engine(recording_extractor)
+        engine.start()
+        engine.shutdown()
+        with pytest.raises(RuntimeError):
+            engine.start()
+
+
+class TestServing:
+    def test_detect_and_extract_round_trip(
+        self, recording_extractor, stub_detector
+    ):
+        engine = make_engine(recording_extractor, detector=stub_detector)
+        with engine:
+            detect = engine.detect(["cut waste 5%", "plain narrative"])
+            extract = engine.extract("cut waste 5% by 2030")
+            scores = detect.result(timeout=10.0)
+            details = extract.result(timeout=10.0)
+        assert scores.kind == "detect"
+        assert [float(s) for s in scores.values] == [0.9, 0.1]
+        assert details.kind == "extract"
+        assert details.values[0]["Action"] == "reduce"
+        assert details.batch_size >= 1
+        assert details.total_seconds >= details.compute_seconds >= 0.0
+
+    def test_metrics_snapshot_shape(self, recording_extractor):
+        engine = make_engine(recording_extractor)
+        with engine:
+            engine.extract("cut waste 5%").result(timeout=10.0)
+        snapshot = engine.metrics_snapshot()
+        assert snapshot["counters"]["completed"] == 1
+        assert snapshot["latency"]["extract.total"]["count"] == 1
+        assert snapshot["latency"]["extract.queue_wait"]["count"] == 1
+        assert snapshot["latency"]["extract.compute"]["count"] == 1
+        assert snapshot["throughput"]["completed"] == 1
+        assert snapshot["engine"]["state"] == "stopped"
+        assert snapshot["engine"]["breakers"]["extract"] == "closed"
+        assert snapshot["engine"]["quarantined"] == 0
