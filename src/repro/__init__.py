@@ -29,8 +29,8 @@ __version__ = "1.0.0"
 __all__ = [
     "AnnotatedObjective",
     "ExtractorConfig",
-    "WeakSupervisionExtractor",
-    "SUSTAINABILITY_FIELDS",
     "NETZEROFACTS_FIELDS",
+    "SUSTAINABILITY_FIELDS",
+    "WeakSupervisionExtractor",
     "__version__",
 ]

@@ -38,6 +38,21 @@ EXIT_MODEL_ERROR = 3
 def _exit_code_for(error: ReproError) -> int:
     return EXIT_INPUT_ERROR if isinstance(error, InputError) else EXIT_MODEL_ERROR
 
+def _workers_arg(value: str) -> int | str:
+    """``--workers`` values: ``auto`` (one per CPU core) or a positive int."""
+    if value == "auto":
+        return "auto"
+    try:
+        count = int(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected an integer or 'auto', got {value!r}"
+        ) from None
+    if count < 1:
+        raise argparse.ArgumentTypeError("workers must be >= 1")
+    return count
+
+
 _DATASET_BUILDERS = {
     "sustainability-goals": (build_sustainability_goals, SUSTAINABILITY_FIELDS),
     "netzerofacts": (build_netzerofacts, NETZEROFACTS_FIELDS),
@@ -116,7 +131,7 @@ def _cmd_extract(args: argparse.Namespace) -> int:
                     stage="validate",
                 )
         results = _extract_resilient(
-            extractor, texts, args.on_error, policy
+            extractor, texts, args.on_error, policy, workers=args.workers
         )
         for text, (details, status) in zip(texts, results):
             if status == "skipped":
@@ -154,19 +169,25 @@ def _extract_resilient(
     texts: list[str],
     on_error: str,
     policy: RetryPolicy,
+    workers: int | str | None = 1,
 ) -> list[tuple[dict[str, str], str]]:
     """Batch-extract with per-text fault isolation.
 
-    Mirrors the pipeline runtime: one optimistic batched call; if it
-    raises and the policy is not ``"raise"``, fall back to per-text calls
-    where each failure is skipped or degraded to empty details.
+    Mirrors the pipeline runtime: one optimistic batched call (sharded
+    over worker processes when ``workers`` > 1 — bitwise-identical
+    results either way); if it raises and the policy is not ``"raise"``,
+    fall back to sequential per-text calls where each failure is skipped
+    or degraded to empty details.
     """
+    from repro.runtime.parallel import extract_batch_parallel, resolve_workers
+
+    def batch() -> list[dict[str, str]]:
+        if resolve_workers(workers) > 1 and len(texts) > 1:
+            return extract_batch_parallel(extractor, texts, workers=workers)
+        return extractor.extract_batch(texts)
+
     try:
-        details_list = run_stage(
-            lambda: extractor.extract_batch(texts),
-            stage="extract",
-            policy=policy,
-        )
+        details_list = run_stage(batch, stage="extract", policy=policy)
         return [(details, "ok") for details in details_list]
     except ReproError:
         if on_error == "raise":
@@ -226,8 +247,16 @@ def _cmd_deploy(args: argparse.Namespace) -> int:
             finetune=FineTuneConfig(epochs=args.epochs),
         ),
     )
-    print(f"processing deployment corpus (scale={args.scale}) ...")
-    result = run_scenario_1(pipeline, scale=args.scale, store_path=args.db)
+    from repro.runtime.parallel import resolve_workers
+
+    workers = resolve_workers(args.workers)
+    print(
+        f"processing deployment corpus (scale={args.scale}, "
+        f"workers={workers}) ..."
+    )
+    result = run_scenario_1(
+        pipeline, scale=args.scale, store_path=args.db, workers=workers
+    )
     docs, pages, detected = result.totals
     print(
         f"processed {docs} documents / {pages} pages; "
@@ -341,6 +370,13 @@ def build_parser() -> argparse.ArgumentParser:
         default=0,
         help="retry attempts per extraction stage (seeded backoff)",
     )
+    extract.add_argument(
+        "--workers",
+        type=_workers_arg,
+        default=1,
+        help="worker processes for batch extraction ('auto' = one per "
+        "CPU core); results are bitwise-identical to --workers 1",
+    )
     extract.set_defaults(func=_cmd_extract)
 
     evaluate = sub.add_parser("evaluate", help="evaluate a saved model")
@@ -356,6 +392,13 @@ def build_parser() -> argparse.ArgumentParser:
     deploy.add_argument("--scale", type=float, default=0.05)
     deploy.add_argument("--epochs", type=int, default=10)
     deploy.add_argument("--seed", type=int, default=0)
+    deploy.add_argument(
+        "--workers",
+        type=_workers_arg,
+        default="auto",
+        help="worker processes for corpus processing (default 'auto' = "
+        "one per CPU core); records are bitwise-identical to --workers 1",
+    )
     deploy.set_defaults(func=_cmd_deploy)
 
     serve = sub.add_parser(

@@ -50,28 +50,28 @@ from repro.core.extractor import (
 
 __all__ = [
     "AnnotatedObjective",
+    "DetailExtractor",
+    "ExactMatcher",
+    "ExtractorConfig",
+    "FuzzyMatcher",
+    "LabelScheme",
+    "LowercaseMatcher",
     "NETZEROFACTS_FIELDS",
     "SUSTAINABILITY_FIELDS",
-    "LabelScheme",
     "Span",
-    "iob_to_spans",
-    "spans_to_iob",
-    "ExactMatcher",
-    "FuzzyMatcher",
-    "LowercaseMatcher",
     "TokenMatcher",
     "WeakLabelingStats",
-    "weak_token_labels",
-    "weakly_label_objective",
-    "pieces_to_word_labels",
-    "word_labels_to_piece_targets",
+    "WeakSupervisionExtractor",
+    "constrained_decode",
     "decode_details",
-    "DetailExtractor",
     "export_weak_labels",
     "format_conll",
     "import_conll",
+    "iob_to_spans",
+    "pieces_to_word_labels",
     "segment_objectives",
-    "constrained_decode",
-    "ExtractorConfig",
-    "WeakSupervisionExtractor",
+    "spans_to_iob",
+    "weak_token_labels",
+    "weakly_label_objective",
+    "word_labels_to_piece_targets",
 ]

@@ -150,6 +150,43 @@ class WeakSupervisionExtractor(DetailExtractor):
         self._normalize_misses = 0
         self._stats_lock = threading.Lock()
 
+    def __getstate__(self) -> dict:
+        # Parallel shard workers receive a copy of the extractor; locks
+        # don't pickle and caches are value-transparent, so the copy
+        # starts with fresh ones (results are unaffected).
+        state = self.__dict__.copy()
+        del state["_normalize_lock"]
+        del state["_stats_lock"]
+        state["_normalize_cache"] = OrderedDict()
+        state["_normalize_hits"] = 0
+        state["_normalize_misses"] = 0
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._normalize_lock = threading.Lock()
+        self._stats_lock = threading.Lock()
+
+    def build_model(self, encoder_config=None) -> TokenClassifier:
+        """A freshly initialized token classifier shaped for this config.
+
+        Requires a fitted tokenizer (the vocabulary fixes the embedding
+        shape). ``encoder_config`` overrides the model-zoo-derived encoder
+        geometry — the parallel runtime's broadcast passes the fitted
+        model's actual config so pretrained/distilled encoders rebuild
+        with the right shapes. Used by :meth:`load` and the broadcast
+        restore path; weights are expected to be loaded over the top.
+        """
+        if self.tokenizer is None:
+            raise RuntimeError("tokenizer is not fitted; call fit() first")
+        if encoder_config is None:
+            spec = get_model_spec(self.config.model)
+            encoder_config = spec.encoder_config(
+                len(self.tokenizer.vocab), self.config.max_len
+            )
+        rng = np.random.default_rng(self.config.seed)
+        return TokenClassifier(encoder_config, len(self.scheme), rng)
+
     # -- development phase -------------------------------------------------
 
     def _normalize(self, text: str) -> str:
@@ -401,13 +438,6 @@ class WeakSupervisionExtractor(DetailExtractor):
         config = ExtractorConfig(finetune=finetune, **payload)
         tokenizer = BpeTokenizer.load(directory / "tokenizer.json")
         extractor = cls(config, tokenizer=tokenizer)
-        rng = np.random.default_rng(config.seed)
-        spec = get_model_spec(config.model)
-        encoder_config = spec.encoder_config(
-            len(tokenizer.vocab), config.max_len
-        )
-        extractor.model = TokenClassifier(
-            encoder_config, len(extractor.scheme), rng
-        )
+        extractor.model = extractor.build_model()
         load_state(extractor.model, directory / "model.npz")
         return extractor

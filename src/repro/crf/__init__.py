@@ -10,4 +10,8 @@ from repro.crf.features import FeatureExtractor
 from repro.crf.model import LinearChainCRF
 from repro.crf.extractor import CrfDetailExtractor
 
-__all__ = ["FeatureExtractor", "LinearChainCRF", "CrfDetailExtractor"]
+__all__ = [
+    "CrfDetailExtractor",
+    "FeatureExtractor",
+    "LinearChainCRF",
+]

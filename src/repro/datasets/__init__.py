@@ -26,15 +26,15 @@ from repro.datasets.reports import (
 )
 
 __all__ = [
+    "DEPLOYMENT_COMPANIES",
     "Dataset",
-    "train_test_split",
     "GeneratorConfig",
     "ObjectiveGenerator",
-    "build_sustainability_goals",
-    "build_netzerofacts",
-    "DEPLOYMENT_COMPANIES",
     "ReportGenerator",
     "SustainabilityReport",
     "TextBlock",
     "build_deployment_corpus",
+    "build_netzerofacts",
+    "build_sustainability_goals",
+    "train_test_split",
 ]

@@ -475,6 +475,6 @@ def make_company_name(rng: np.random.Generator) -> str:
 __all__ = [
     "GeneratorConfig",
     "ObjectiveGenerator",
-    "make_company_name",
     "SUSTAINABILITY_FIELDS",
+    "make_company_name",
 ]

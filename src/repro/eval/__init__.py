@@ -13,15 +13,15 @@ from repro.eval.figures import render_bars
 from repro.eval.significance import BootstrapResult, paired_bootstrap
 
 __all__ = [
+    "ApproachResult",
+    "BootstrapResult",
     "FieldCounts",
     "MetricReport",
     "evaluate_extractions",
-    "precision_recall_f1",
-    "values_match",
-    "ApproachResult",
-    "run_comparison",
-    "render_table",
-    "render_bars",
-    "BootstrapResult",
     "paired_bootstrap",
+    "precision_recall_f1",
+    "render_bars",
+    "render_table",
+    "run_comparison",
+    "values_match",
 ]

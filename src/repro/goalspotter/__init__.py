@@ -13,7 +13,7 @@ from repro.goalspotter.pipeline import ExtractedRecord, GoalSpotter
 
 __all__ = [
     "DetectorConfig",
-    "ObjectiveDetector",
     "ExtractedRecord",
     "GoalSpotter",
+    "ObjectiveDetector",
 ]

@@ -58,6 +58,40 @@ class ObjectiveDetector:
         self.total_run_stats = RunStats()
         self._stats_lock = threading.Lock()
 
+    def __getstate__(self) -> dict:
+        state = self.__dict__.copy()
+        del state["_stats_lock"]
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._stats_lock = threading.Lock()
+
+    def build_model(
+        self, encoder_config: EncoderConfig | None = None
+    ) -> SequenceClassifier:
+        """A freshly initialized classifier shaped for this detector.
+
+        Requires a fitted tokenizer (the vocabulary fixes the embedding
+        shape). Used by :meth:`fit` and by the parallel runtime's model
+        broadcast to rebuild the module skeleton before loading state;
+        ``encoder_config`` overrides the config-derived encoder geometry.
+        """
+        if self.tokenizer is None:
+            raise RuntimeError("tokenizer is not fitted; call fit() first")
+        rng = np.random.default_rng(self.config.seed)
+        if encoder_config is None:
+            encoder_config = EncoderConfig(
+                vocab_size=len(self.tokenizer.vocab),
+                dim=self.config.dim,
+                num_layers=self.config.num_layers,
+                num_heads=self.config.num_heads,
+                ffn_dim=self.config.ffn_dim,
+                max_len=self.config.max_len,
+                dropout=self.config.dropout,
+            )
+        return SequenceClassifier(encoder_config, 2, rng)
+
     def _encode(self, texts: Sequence[str]) -> list[list[int]]:
         assert self.tokenizer is not None
         sequences: list[list[int]] = []
@@ -84,17 +118,7 @@ class ObjectiveDetector:
         self.tokenizer = BpeTokenizer.train(
             corpus, num_merges=self.config.num_merges
         )
-        rng = np.random.default_rng(self.config.seed)
-        encoder_config = EncoderConfig(
-            vocab_size=len(self.tokenizer.vocab),
-            dim=self.config.dim,
-            num_layers=self.config.num_layers,
-            num_heads=self.config.num_heads,
-            ffn_dim=self.config.ffn_dim,
-            max_len=self.config.max_len,
-            dropout=self.config.dropout,
-        )
-        self.model = SequenceClassifier(encoder_config, 2, rng)
+        self.model = self.build_model()
         fit_sequence_classifier(
             self.model,
             self._encode(texts),

@@ -95,6 +95,10 @@ class GoalSpotter:
             breaker configuration (consecutive failures to trip, seconds
             until a half-open trial).
         max_block_chars: input-validation bound on block length.
+        workers: default process count for :meth:`process_reports`
+            (``1`` = in-process; ``"auto"``/``None`` = one per CPU core).
+            Parallel runs are bitwise-identical to sequential ones — see
+            :mod:`repro.runtime.parallel`.
     """
 
     def __init__(
@@ -110,6 +114,7 @@ class GoalSpotter:
         breaker_threshold: int = 8,
         breaker_recovery_time: float = 0.0,
         max_block_chars: int = 50_000,
+        workers: int | str | None = 1,
     ) -> None:
         if on_error not in ON_ERROR_POLICIES:
             raise ValueError(
@@ -123,6 +128,7 @@ class GoalSpotter:
         self.fault_injector = fault_injector
         self.on_error = on_error
         self.max_block_chars = max_block_chars
+        self.workers = workers
         #: Irrecoverably failed documents (persists across runs; drain()).
         self.quarantine = QuarantineQueue()
         self._breakers: dict[str, CircuitBreaker] = {}
@@ -143,17 +149,35 @@ class GoalSpotter:
         self,
         reports: Sequence[SustainabilityReport],
         on_error: str | None = None,
+        *,
+        workers: int | str | None = None,
     ) -> list[ExtractedRecord]:
         """Run the full pipeline on a report corpus (batched inference).
 
         ``on_error`` overrides the instance default for this call; see the
-        class docstring for the policy semantics.
+        class docstring for the policy semantics. ``workers`` overrides
+        the instance default: more than one worker dispatches to the
+        sharded multiprocessing runtime (:mod:`repro.runtime.parallel`),
+        which is bitwise-identical to the sequential path.
         """
         mode = on_error if on_error is not None else self.on_error
         if mode not in ON_ERROR_POLICIES:
             raise ValueError(
                 f"unknown on_error {mode!r}; use {ON_ERROR_POLICIES}"
             )
+        if workers is None:
+            workers = self.workers
+        if workers != 1:
+            # Deferred import: repro.runtime.parallel needs this module.
+            from repro.runtime.parallel import (
+                process_reports_parallel,
+                resolve_workers,
+            )
+
+            if resolve_workers(workers) > 1 and len(reports) > 1:
+                return process_reports_parallel(
+                    self, reports, workers=workers, on_error=mode
+                )
         counters = PerfCounters()
         quarantined_before = len(self.quarantine)
 

@@ -19,11 +19,11 @@ from repro.llm.parse import parse_llm_json
 from repro.llm.extractor import PromptingExtractor
 
 __all__ = [
+    "FIELD_GUIDES",
+    "FieldDescription",
     "LlmBehavior",
+    "PromptingExtractor",
     "SimulatedLLM",
     "build_prompt",
-    "FieldDescription",
-    "FIELD_GUIDES",
     "parse_llm_json",
-    "PromptingExtractor",
 ]

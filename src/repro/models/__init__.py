@@ -25,18 +25,18 @@ from repro.models.pretrained import build_pretraining_corpus, pretrain_for_domai
 from repro.models.training import FineTuneConfig, fit_token_classifier
 
 __all__ = [
+    "FineTuneConfig",
     "MODEL_ZOO",
+    "MaskedLanguageModel",
     "ModelSpec",
     "PretrainSpec",
-    "get_model_spec",
-    "TokenClassifier",
     "SequenceClassifier",
-    "MaskedLanguageModel",
-    "pretrain_encoder",
-    "pretrain_mlm",
+    "TokenClassifier",
     "build_pretraining_corpus",
-    "pretrain_for_domain",
     "distill_encoder",
-    "FineTuneConfig",
     "fit_token_classifier",
+    "get_model_spec",
+    "pretrain_encoder",
+    "pretrain_for_domain",
+    "pretrain_mlm",
 ]

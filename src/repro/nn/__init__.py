@@ -30,24 +30,24 @@ from repro.nn.optim import (
 from repro.nn.batching import iterate_minibatches, pad_sequences
 
 __all__ = [
-    "Module",
-    "Parameter",
-    "inference_mode",
-    "is_inference",
-    "Dropout",
-    "Embedding",
-    "LayerNorm",
-    "Linear",
-    "MultiHeadSelfAttention",
-    "EncoderConfig",
-    "FeedForward",
-    "TransformerEncoder",
-    "TransformerEncoderLayer",
-    "cross_entropy",
     "Adam",
     "AdamW",
+    "Dropout",
+    "Embedding",
+    "EncoderConfig",
+    "FeedForward",
+    "LayerNorm",
+    "Linear",
     "LinearWarmupDecay",
+    "Module",
+    "MultiHeadSelfAttention",
+    "Parameter",
+    "TransformerEncoder",
+    "TransformerEncoderLayer",
     "clip_grad_norm",
+    "cross_entropy",
+    "inference_mode",
+    "is_inference",
     "iterate_minibatches",
     "pad_sequences",
 ]

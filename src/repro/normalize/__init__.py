@@ -14,12 +14,12 @@ from repro.normalize.actions import ActionDirection, normalize_action
 from repro.normalize.records import NormalizedDetails, normalize_details
 
 __all__ = [
+    "ActionDirection",
     "AmountKind",
     "NormalizedAmount",
-    "normalize_amount",
-    "normalize_year",
-    "ActionDirection",
-    "normalize_action",
     "NormalizedDetails",
+    "normalize_action",
+    "normalize_amount",
     "normalize_details",
+    "normalize_year",
 ]

@@ -14,6 +14,9 @@ path fast, fault-tolerant, and measurable:
   and a deterministic fault injector for the chaos suite;
 * :mod:`repro.runtime.profiling` — perf counters, timers, tokens/sec,
   padding-waste, cache-hit-rate, and failure/retry/degradation reporting;
+* :mod:`repro.runtime.parallel` — data-parallel sharded corpus execution
+  across worker processes (one-shot model broadcast, balanced contiguous
+  shards, merged stats/quarantine; bitwise-identical to sequential);
 * :func:`repro.nn.module.inference_mode` / :func:`repro.nn.module.numeric_guard`
   (re-exported here) — backward-cache-free prediction and opt-in NaN/inf
   guards.
@@ -34,6 +37,23 @@ from repro.runtime.errors import (
     ReproError,
     StageTimeout,
     classify_error,
+)
+from repro.runtime.parallel import (
+    PipelineBroadcast,
+    Shard,
+    ShardResult,
+    ShardTask,
+    broadcast_extractor,
+    broadcast_pipeline,
+    estimate_report_cost,
+    estimate_text_cost,
+    extract_batch_parallel,
+    plan_shards,
+    process_reports_parallel,
+    resolve_workers,
+    restore_pipeline,
+    run_shard,
+    shard_seed,
 )
 from repro.runtime.profiling import PerfCounters, RunStats
 from repro.runtime.resilience import (
@@ -61,19 +81,34 @@ __all__ = [
     "NumericalError",
     "OverloadedError",
     "PerfCounters",
+    "PipelineBroadcast",
     "QuarantineEntry",
     "QuarantineQueue",
     "ReproError",
     "RetryPolicy",
     "RunStats",
+    "Shard",
+    "ShardResult",
+    "ShardTask",
     "StageTimeout",
+    "broadcast_extractor",
+    "broadcast_pipeline",
     "classify_error",
+    "estimate_report_cost",
+    "estimate_text_cost",
+    "extract_batch_parallel",
     "inference_mode",
     "is_inference",
     "numeric_guard",
     "numeric_guard_active",
     "plan_batches",
+    "plan_shards",
+    "process_reports_parallel",
+    "resolve_workers",
+    "restore_pipeline",
+    "run_shard",
     "run_stage",
     "sanitize_report",
+    "shard_seed",
     "validate_report",
 ]

@@ -1,0 +1,681 @@
+"""Data-parallel sharded corpus runtime (multiprocessing).
+
+The batch runtime (PR 1) made single-process corpus inference fast; this
+module makes it use every core. A corpus of reports is split into
+contiguous *shards* balanced by estimated token count (the same
+whitespace-word length proxy the scheduler and serving engine budget by),
+the fitted pipeline is broadcast to worker processes exactly **once** at
+spawn — model weights travel as compact ``.npz`` payloads via
+:mod:`repro.nn.serialize`, never re-pickled per document — and each worker
+runs the existing resilient pipeline over its shard (``on_error``
+semantics, per-shard :class:`~repro.runtime.resilience.FaultInjector` with
+deterministic per-shard seeds, quarantine shipped back and merged).
+
+**Correctness contract**: ``workers=N`` is bitwise-identical to
+``workers=1``. Three properties underwrite this:
+
+* shards are contiguous index ranges, so concatenating shard results in
+  shard order restores exact input order (records *and* quarantine);
+* a sequence's logits are bitwise-invariant to microbatch packing (the
+  PR 1/PR 3 width-invariance guarantees), so per-shard batched detection
+  and extraction produce the same scores as one corpus-wide batch;
+* caches (BPE, normalize) are value-transparent and every worker's RNG
+  state derives deterministically from the broadcast.
+
+Per-shard ``RunStats``/``PerfCounters`` merge back through the PR 3
+merge-safe APIs (:meth:`RunStats.merge`), so fleet-wide counters equal the
+sum of per-shard counters exactly.
+
+Entry points: :func:`process_reports_parallel` (the GoalSpotter corpus
+path — also reachable as ``GoalSpotter(..., workers=N)`` or
+``process_reports(..., workers=N)``) and :func:`extract_batch_parallel`
+(the bulk extractor path, wired to ``repro extract --workers``).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import multiprocessing
+import os
+import pickle
+import time
+from collections.abc import Mapping, Sequence
+from typing import TYPE_CHECKING, Any
+
+from repro.nn.module import Module
+from repro.nn.serialize import state_from_bytes, state_to_bytes
+from repro.runtime.profiling import PerfCounters, RunStats
+from repro.runtime.resilience import (
+    FaultInjector,
+    FaultSpec,
+    QuarantineEntry,
+    QuarantineQueue,
+)
+
+if TYPE_CHECKING:  # avoid an import cycle through repro.runtime.__init__
+    from repro.core.extractor import WeakSupervisionExtractor
+    from repro.datasets.reports import SustainabilityReport
+    from repro.goalspotter.pipeline import ExtractedRecord, GoalSpotter
+
+__all__ = [
+    "PipelineBroadcast",
+    "Shard",
+    "ShardResult",
+    "ShardTask",
+    "broadcast_extractor",
+    "broadcast_pipeline",
+    "estimate_report_cost",
+    "estimate_text_cost",
+    "extract_batch_parallel",
+    "plan_shards",
+    "process_reports_parallel",
+    "resolve_workers",
+    "restore_pipeline",
+    "run_shard",
+    "shard_seed",
+]
+
+
+# -- worker-count resolution --------------------------------------------------
+
+
+def resolve_workers(workers: int | str | None) -> int:
+    """Resolve a worker-count knob to a concrete positive integer.
+
+    ``None``, ``0`` and ``"auto"`` mean "one worker per CPU core"; any
+    other value must be a positive integer.
+    """
+    if workers in (None, 0, "auto"):
+        return max(1, os.cpu_count() or 1)
+    count = int(workers)
+    if count < 1:
+        raise ValueError(f"workers must be >= 1, got {workers!r}")
+    return count
+
+
+# -- shard planning -----------------------------------------------------------
+
+
+def estimate_text_cost(text: str) -> int:
+    """Cheap token-cost estimate for one text (words, min 1).
+
+    The same length proxy the serving engine budgets micro-batches by;
+    exact BPE lengths would cost a tokenizer pass per block, which is the
+    work we are trying to parallelize.
+    """
+    return max(1, len(text.split()))
+
+
+def estimate_report_cost(report: "SustainabilityReport") -> int:
+    """Estimated token count of one report (the shard-balancing weight)."""
+    return max(
+        1,
+        sum(
+            estimate_text_cost(block.text)
+            for page in report.pages
+            for block in page.blocks
+            if isinstance(getattr(block, "text", None), str)
+        ),
+    )
+
+
+@dataclasses.dataclass(frozen=True)
+class Shard:
+    """One contiguous slice ``[start, stop)`` of the input corpus."""
+
+    index: int
+    start: int
+    stop: int
+    cost: int  # summed estimated token count of the slice
+
+    @property
+    def size(self) -> int:
+        return self.stop - self.start
+
+
+def _shards_needed(costs: Sequence[int], capacity: int) -> int:
+    """How many contiguous shards a greedy split needs under ``capacity``."""
+    shards, load = 1, 0
+    for cost in costs:
+        if load and load + cost > capacity:
+            shards += 1
+            load = 0
+        load += cost
+    return shards
+
+
+def plan_shards(costs: Sequence[int], num_shards: int) -> list[Shard]:
+    """Partition ``costs`` into at most ``num_shards`` contiguous shards.
+
+    Minimizes the maximum shard cost (binary search over the capacity, then
+    one greedy split), which is the makespan under perfectly parallel
+    workers. Contiguity is what makes order restoration exact: shard
+    results concatenated in shard order *are* input order.
+
+    Returns non-empty shards only; with fewer items than shards, every
+    item gets its own shard.
+    """
+    if num_shards < 1:
+        raise ValueError("num_shards must be >= 1")
+    if not costs:
+        return []
+    if any(cost < 0 for cost in costs):
+        raise ValueError("costs must be non-negative")
+    low, high = max(costs), sum(costs)
+    while low < high:
+        middle = (low + high) // 2
+        if _shards_needed(costs, middle) <= num_shards:
+            high = middle
+        else:
+            low = middle + 1
+    capacity = low
+    shards: list[Shard] = []
+    start, load = 0, 0
+    for position, cost in enumerate(costs):
+        if position > start and load + cost > capacity:
+            shards.append(Shard(len(shards), start, position, load))
+            start, load = position, 0
+        load += cost
+    shards.append(Shard(len(shards), start, len(costs), load))
+    return shards
+
+
+def shard_seed(seed: int, shard_index: int) -> int:
+    """Deterministic per-shard fault-injector seed."""
+    return (seed * 1_000_003 + 7_919 * (shard_index + 1)) & 0x7FFFFFFF
+
+
+# -- model broadcast ----------------------------------------------------------
+
+
+@dataclasses.dataclass(frozen=True)
+class _ModelState:
+    """One fitted model detached from the broadcast skeleton."""
+
+    component: str  # attribute name on the host object ("" = the object)
+    encoder_config: Any  # the fitted model's actual EncoderConfig
+    payload: bytes  # npz bytes from repro.nn.serialize.state_to_bytes
+
+
+@dataclasses.dataclass(frozen=True)
+class PipelineBroadcast:
+    """Everything a worker needs, shipped once at spawn.
+
+    ``skeleton`` is the host object pickled with its fitted models
+    detached (configs, tokenizers, policies — small); ``states`` carries
+    each model's parameters as one compact npz payload produced by
+    :func:`repro.nn.serialize.state_to_bytes`.
+    """
+
+    skeleton: bytes
+    states: tuple[_ModelState, ...]
+
+    @property
+    def num_bytes(self) -> int:
+        return len(self.skeleton) + sum(
+            len(state.payload) for state in self.states
+        )
+
+
+def _component(host: Any, path: str) -> Any:
+    return host if path == "" else getattr(host, path, None)
+
+
+def _broadcast(host: Any, components: Sequence[str]) -> PipelineBroadcast:
+    """Detach fitted models, pickle the skeleton, restore the host."""
+    states: list[_ModelState] = []
+    detached: list[tuple[Any, Module]] = []
+    try:
+        for name in components:
+            owner = _component(host, name)
+            model = getattr(owner, "model", None)
+            if owner is None or not isinstance(model, Module):
+                continue
+            states.append(
+                _ModelState(
+                    component=name,
+                    encoder_config=getattr(model, "config", None),
+                    payload=state_to_bytes(model),
+                )
+            )
+            detached.append((owner, model))
+            owner.model = None
+        skeleton = pickle.dumps(host, protocol=pickle.HIGHEST_PROTOCOL)
+    finally:
+        for owner, model in detached:
+            owner.model = model
+    return PipelineBroadcast(skeleton=skeleton, states=tuple(states))
+
+
+_PIPELINE_COMPONENTS = ("detector", "extractor", "fallback_extractor")
+
+
+def broadcast_pipeline(pipeline: "GoalSpotter") -> PipelineBroadcast:
+    """Package a fitted :class:`GoalSpotter` for worker processes.
+
+    Run-scoped state (quarantine, breakers, stats) is excluded so every
+    worker starts clean; the caller's pipeline is left untouched.
+    """
+    saved = (
+        pipeline.quarantine,
+        pipeline._breakers,
+        pipeline.last_run_stats,
+    )
+    pipeline.quarantine = QuarantineQueue()
+    pipeline._breakers = {}
+    pipeline.last_run_stats = None
+    try:
+        return _broadcast(pipeline, _PIPELINE_COMPONENTS)
+    finally:
+        (
+            pipeline.quarantine,
+            pipeline._breakers,
+            pipeline.last_run_stats,
+        ) = saved
+
+
+def broadcast_extractor(
+    extractor: "WeakSupervisionExtractor",
+) -> PipelineBroadcast:
+    """Package a fitted extractor for the bulk-extraction worker pool."""
+    return _broadcast(extractor, ("",))
+
+
+def restore_pipeline(broadcast: PipelineBroadcast) -> Any:
+    """Rebuild the broadcast host: unpickle the skeleton, reload weights.
+
+    Each detached model is rebuilt from its owner's ``build_model`` (with
+    the fitted model's actual encoder config, so pretrained or distilled
+    geometries restore exactly) and its parameters loaded via
+    :func:`repro.nn.serialize.state_from_bytes`.
+    """
+    host = pickle.loads(broadcast.skeleton)
+    for state in broadcast.states:
+        owner = _component(host, state.component)
+        owner.model = owner.build_model(state.encoder_config)
+        state_from_bytes(owner.model, state.payload)
+    return host
+
+
+# -- shard execution ----------------------------------------------------------
+
+
+@dataclasses.dataclass(frozen=True)
+class ShardTask:
+    """One unit of worker work: a contiguous slice of the corpus."""
+
+    index: int
+    start: int
+    reports: tuple  # tuple[SustainabilityReport, ...]
+    mode: str  # on_error policy for this run
+    specs: tuple[FaultSpec, ...]  # fault specs active in this shard
+    seed: int  # per-shard injector seed
+
+
+@dataclasses.dataclass
+class ShardResult:
+    """What one shard sends back to the coordinator."""
+
+    index: int
+    start: int
+    records: list  # list[ExtractedRecord], shard-local input order
+    quarantine: list  # list[QuarantineEntry], shard-local order
+    stats: dict | None  # the shard pipeline's last_run_stats
+    extractor_stats: RunStats | None
+    detector_stats: RunStats | None
+    error: Exception | None = None  # first failure under mode="raise"
+
+
+_WORKER_PIPELINE: Any = None
+_WORKER_EXTRACTOR: Any = None
+
+
+def _init_worker(payload: bytes) -> None:
+    """Pool initializer: restore the broadcast pipeline exactly once."""
+    global _WORKER_PIPELINE
+    _WORKER_PIPELINE = restore_pipeline(pickle.loads(payload))
+
+
+def run_shard(task: ShardTask, pipeline: Any = None) -> ShardResult:
+    """Run one shard through a pipeline (the worker's broadcast copy).
+
+    The pipeline's run-scoped state is reset first — fresh quarantine,
+    fresh per-shard fault injector (``task.specs`` under ``task.seed``),
+    zeroed stage stats — so a shard's outcome depends only on its inputs
+    and the broadcast, never on pool scheduling.
+    """
+    from repro.runtime.errors import ReproError
+
+    if pipeline is None:
+        pipeline = _WORKER_PIPELINE
+    if pipeline is None:
+        raise RuntimeError("shard worker was not initialized")
+    pipeline.quarantine = QuarantineQueue()
+    pipeline.fault_injector = (
+        FaultInjector(task.specs, seed=task.seed) if task.specs else None
+    )
+    for owner in (pipeline.detector, pipeline.extractor):
+        if hasattr(owner, "total_run_stats"):
+            owner.total_run_stats = RunStats()
+            owner.last_run_stats = None
+
+    error: Exception | None = None
+    records: list = []
+    try:
+        records = pipeline.process_reports(
+            list(task.reports), on_error=task.mode, workers=1
+        )
+    except ReproError as raised:
+        error = raised  # re-raised by the coordinator in shard order
+    return ShardResult(
+        index=task.index,
+        start=task.start,
+        records=records,
+        quarantine=list(pipeline.quarantine),
+        stats=pipeline.last_run_stats,
+        extractor_stats=getattr(
+            pipeline.extractor, "total_run_stats", None
+        ),
+        detector_stats=getattr(pipeline.detector, "total_run_stats", None),
+        error=error,
+    )
+
+
+def _default_start_method() -> str:
+    methods = multiprocessing.get_all_start_methods()
+    return "fork" if "fork" in methods else "spawn"
+
+
+def _map_tasks(
+    tasks: Sequence[ShardTask],
+    broadcast: PipelineBroadcast,
+    workers: int,
+    start_method: str | None,
+) -> list[ShardResult]:
+    """Run shard tasks: in-process for one worker, a pool otherwise.
+
+    The single-worker path still executes on a pipeline *restored from
+    the broadcast* (never the caller's), so ``workers=1`` and
+    ``workers=N`` traverse byte-for-byte the same code and state.
+    """
+    if workers <= 1 or len(tasks) <= 1:
+        local = restore_pipeline(broadcast)
+        return [run_shard(task, pipeline=local) for task in tasks]
+    payload = pickle.dumps(broadcast, protocol=pickle.HIGHEST_PROTOCOL)
+    context = multiprocessing.get_context(
+        start_method or _default_start_method()
+    )
+    with context.Pool(
+        processes=min(workers, len(tasks)),
+        initializer=_init_worker,
+        initargs=(payload,),
+    ) as pool:
+        return pool.map(run_shard, tasks, chunksize=1)
+
+
+# -- the corpus entry point ---------------------------------------------------
+
+
+def process_reports_parallel(
+    pipeline: "GoalSpotter",
+    reports: Sequence["SustainabilityReport"],
+    *,
+    workers: int | str | None = None,
+    on_error: str | None = None,
+    num_shards: int | None = None,
+    shard_faults: Mapping[int, Sequence[FaultSpec]] | None = None,
+    start_method: str | None = None,
+) -> list["ExtractedRecord"]:
+    """Run ``pipeline.process_reports`` data-parallel over shards.
+
+    Bitwise-identical to the sequential call (records, scores,
+    quarantine) for any ``workers``/``num_shards`` split; see the module
+    docstring for why. Results are restored to exact input order;
+    quarantine entries merge into ``pipeline.quarantine`` in input order;
+    ``pipeline.last_run_stats`` becomes a merged view whose counters are
+    the exact sums of the per-shard counters (kept under ``"shards"``).
+
+    Args:
+        workers: process count (``None``/``"auto"`` = CPU count).
+        on_error: overrides the pipeline's policy for this call.
+        num_shards: shard count (default ``workers``); may exceed
+            ``workers`` for finer balancing, or pin the shard layout
+            while varying ``workers`` (the determinism suite does this).
+        shard_faults: extra :class:`FaultSpec` lists keyed by shard
+            index — chaos testing of exactly one shard. Specs on
+            ``pipeline.fault_injector`` apply to *every* shard, each
+            under its own :func:`shard_seed`.
+        start_method: multiprocessing start method (default ``fork``
+            where available, else ``spawn``).
+    """
+    mode = on_error if on_error is not None else pipeline.on_error
+    reports = list(reports)
+    workers = resolve_workers(workers)
+    if not reports:
+        return pipeline.process_reports([], on_error=mode, workers=1)
+
+    wall_start = time.perf_counter()
+    with_timer = PerfCounters()
+    with with_timer.timer("broadcast_seconds"):
+        broadcast = broadcast_pipeline(pipeline)
+
+    costs = [estimate_report_cost(report) for report in reports]
+    shards = plan_shards(costs, min(num_shards or workers, len(reports)))
+    extra_faults = dict(shard_faults or {})
+    base_injector = pipeline.fault_injector
+    base_specs = (
+        tuple(base_injector.specs) if base_injector is not None else ()
+    )
+    base_seed = base_injector.seed if base_injector is not None else 0
+    tasks = [
+        ShardTask(
+            index=shard.index,
+            start=shard.start,
+            reports=tuple(reports[shard.start : shard.stop]),
+            mode=mode,
+            specs=base_specs + tuple(extra_faults.get(shard.index, ())),
+            seed=shard_seed(base_seed, shard.index),
+        )
+        for shard in shards
+    ]
+
+    results = _map_tasks(tasks, broadcast, workers, start_method)
+    results.sort(key=lambda result: result.start)
+
+    for result in results:
+        if result.error is not None:
+            raise result.error  # mode="raise": first failure, input order
+
+    records: list = []
+    quarantine: list[QuarantineEntry] = []
+    for result in results:
+        records.extend(result.records)
+        quarantine.extend(result.quarantine)
+    pipeline.quarantine.extend(quarantine)
+
+    wall = time.perf_counter() - wall_start
+    pipeline.last_run_stats = _merge_shard_stats(
+        pipeline,
+        results,
+        mode=mode,
+        workers=workers,
+        wall=wall,
+        broadcast_seconds=with_timer.get("broadcast_seconds"),
+        broadcast_bytes=broadcast.num_bytes,
+        num_records=len(records),
+    )
+    return records
+
+
+#: last_run_stats keys summed across shards by the merge.
+_SUMMED_STAT_KEYS = (
+    "detect_seconds",
+    "extract_seconds",
+    "blocks",
+    "detected_blocks",
+    "extraction_units",
+    "records",
+    "retries",
+    "failures",
+    "degraded_records",
+    "failed_records",
+    "fallback_documents",
+    "quarantined_documents",
+    "sanitized_blocks",
+)
+
+
+def _merge_shard_stats(
+    pipeline: Any,
+    results: Sequence[ShardResult],
+    *,
+    mode: str,
+    workers: int,
+    wall: float,
+    broadcast_seconds: float,
+    broadcast_bytes: int,
+    num_records: int,
+) -> dict:
+    """One run-stats dict whose counters sum the per-shard counters."""
+    merged: dict = {name: 0 for name in _SUMMED_STAT_KEYS}
+    shard_wall = 0.0
+    fast_path = True
+    for result in results:
+        stats = result.stats or {}
+        for name in _SUMMED_STAT_KEYS:
+            merged[name] += stats.get(name, 0)
+        shard_wall += stats.get("wall_seconds", 0.0)
+        fast_path = fast_path and bool(stats.get("fast_path", True))
+
+    extractor_stats = RunStats()
+    detector_stats = RunStats()
+    for result in results:
+        if result.extractor_stats is not None:
+            extractor_stats = extractor_stats.merge(result.extractor_stats)
+        if result.detector_stats is not None:
+            detector_stats = detector_stats.merge(result.detector_stats)
+    for owner, stats in (
+        (pipeline.extractor, extractor_stats),
+        (pipeline.detector, detector_stats),
+    ):
+        if hasattr(owner, "total_run_stats"):
+            owner.total_run_stats = owner.total_run_stats.merge(stats)
+            owner.last_run_stats = stats
+
+    blocks = int(merged["blocks"])
+    merged.update(
+        {
+            "wall_seconds": wall,
+            "blocks_per_second": blocks / wall if wall > 0 else 0.0,
+            "records": num_records,
+            "on_error": mode,
+            "fast_path": fast_path,
+            "extractor": extractor_stats.as_dict(),
+            # Parallel-runtime observability:
+            "workers": workers,
+            "num_shards": len(results),
+            "shard_wall_seconds": shard_wall,
+            "broadcast_seconds": broadcast_seconds,
+            "broadcast_bytes": broadcast_bytes,
+            "shards": [result.stats for result in results],
+        }
+    )
+    return merged
+
+
+# -- the bulk extractor entry point -------------------------------------------
+
+
+@dataclasses.dataclass(frozen=True)
+class _ExtractTask:
+    index: int
+    start: int
+    texts: tuple
+
+
+def _init_extract_worker(payload: bytes) -> None:
+    global _WORKER_EXTRACTOR
+    _WORKER_EXTRACTOR = restore_pipeline(pickle.loads(payload))
+
+
+def _run_extract_shard(task: _ExtractTask):
+    extractor = _WORKER_EXTRACTOR
+    if extractor is None:
+        raise RuntimeError("extract worker was not initialized")
+    details = extractor.extract_batch(list(task.texts))
+    return (
+        task.index,
+        task.start,
+        details,
+        getattr(extractor, "last_run_stats", None),
+    )
+
+
+def extract_batch_parallel(
+    extractor: "WeakSupervisionExtractor",
+    texts: Sequence[str],
+    *,
+    workers: int | str | None = None,
+    num_shards: int | None = None,
+    start_method: str | None = None,
+) -> list[dict[str, str]]:
+    """Shard ``extractor.extract_batch`` across worker processes.
+
+    Bitwise-identical to the sequential call and restored to input
+    order (contiguous shards, packing-invariant logits). The merged
+    per-shard :class:`RunStats` lands in ``extractor.last_run_stats``
+    and folds into ``extractor.total_run_stats``.
+    """
+    texts = list(texts)
+    workers = resolve_workers(workers)
+    if not texts:
+        return []
+    broadcast = broadcast_extractor(extractor)
+    costs = [estimate_text_cost(text) for text in texts]
+    shards = plan_shards(costs, min(num_shards or workers, len(texts)))
+    tasks = [
+        _ExtractTask(
+            index=shard.index,
+            start=shard.start,
+            texts=tuple(texts[shard.start : shard.stop]),
+        )
+        for shard in shards
+    ]
+    if workers <= 1 or len(tasks) <= 1:
+        local = restore_pipeline(broadcast)
+        outcomes = [_run_extract_shard_on(task, local) for task in tasks]
+    else:
+        payload = pickle.dumps(broadcast, protocol=pickle.HIGHEST_PROTOCOL)
+        context = multiprocessing.get_context(
+            start_method or _default_start_method()
+        )
+        with context.Pool(
+            processes=min(workers, len(tasks)),
+            initializer=_init_extract_worker,
+            initargs=(payload,),
+        ) as pool:
+            outcomes = pool.map(_run_extract_shard, tasks, chunksize=1)
+    outcomes.sort(key=lambda outcome: outcome[1])
+    details: list[dict[str, str]] = []
+    merged = RunStats()
+    for __, __, shard_details, shard_stats in outcomes:
+        details.extend(shard_details)
+        if shard_stats is not None:
+            merged = merged.merge(shard_stats)
+    if hasattr(extractor, "total_run_stats"):
+        with extractor._stats_lock:
+            extractor.last_run_stats = merged
+            extractor.total_run_stats = extractor.total_run_stats.merge(
+                merged
+            )
+    return details
+
+
+def _run_extract_shard_on(task: _ExtractTask, extractor: Any):
+    details = extractor.extract_batch(list(task.texts))
+    return (
+        task.index,
+        task.start,
+        details,
+        getattr(extractor, "last_run_stats", None),
+    )

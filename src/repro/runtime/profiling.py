@@ -28,6 +28,16 @@ class PerfCounters:
         self._values: dict[str, float] = {}
         self._lock = threading.Lock()
 
+    def __getstate__(self) -> dict:
+        # Locks don't pickle; counters cross process boundaries as a
+        # point-in-time snapshot (the parallel runtime merges them back
+        # with ``merge``).
+        return {"_values": self.snapshot()}
+
+    def __setstate__(self, state: dict) -> None:
+        self._values = dict(state["_values"])
+        self._lock = threading.Lock()
+
     def add(self, name: str, amount: float = 1.0) -> None:
         with self._lock:
             self._values[name] = self._values.get(name, 0.0) + amount

@@ -29,7 +29,7 @@ from __future__ import annotations
 import dataclasses
 import threading
 import time
-from collections.abc import Callable, Iterator, Sequence
+from collections.abc import Callable, Iterable, Iterator, Sequence
 
 import numpy as np
 
@@ -136,6 +136,15 @@ class CircuitBreaker:
         self._consecutive_failures = 0
         self._opened_at = 0.0
 
+    def __getstate__(self) -> dict:
+        state = self.__dict__.copy()
+        del state["_lock"]
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._lock = threading.RLock()
+
     @property
     def state(self) -> str:
         # An open breaker whose cooldown elapsed is reported (and behaves)
@@ -233,6 +242,18 @@ class FaultInjector:
         self._calls: dict[str, int] = {}
         self._injected: dict[str, int] = {}
         self._rngs: dict[int, np.random.Generator] = {}
+        self.reset()
+
+    def __getstate__(self) -> dict:
+        # Only the configuration crosses a process boundary; the receiver
+        # starts with fresh call counters and RNG streams (the parallel
+        # runtime reseeds per shard via :func:`shard_injector`).
+        return {"specs": self.specs, "seed": self.seed}
+
+    def __setstate__(self, state: dict) -> None:
+        self.specs = state["specs"]
+        self.seed = state["seed"]
+        self._lock = threading.Lock()
         self.reset()
 
     def reset(self) -> None:
@@ -353,6 +374,10 @@ class QuarantineQueue:
                 error=error,
             )
         )
+
+    def extend(self, entries: Iterable[QuarantineEntry]) -> None:
+        """Append already-built entries (shard results merging back)."""
+        self._entries.extend(entries)
 
     def __len__(self) -> int:
         return len(self._entries)

@@ -41,6 +41,15 @@ from repro.serve.loadgen import (
 )
 from repro.serve.metrics import LatencyHistogram, SloMetrics
 
+# Bulk (offline) lane of a serving deployment: the data-parallel corpus
+# runtime, re-exported so serving callers can drain backlogs on every core
+# with the same bitwise-reproducibility contract as the online lane.
+from repro.runtime.parallel import (
+    extract_batch_parallel,
+    process_reports_parallel,
+    resolve_workers,
+)
+
 __all__ = [
     "AdmissionController",
     "KIND_DETECT",
@@ -57,6 +66,9 @@ __all__ = [
     "SloMetrics",
     "build_demo_backend",
     "build_request_texts",
+    "extract_batch_parallel",
+    "process_reports_parallel",
+    "resolve_workers",
     "run_load_level",
     "run_serving_bench",
 ]

@@ -12,6 +12,7 @@ from repro.storage.store import (
     ObjectiveStore,
     StoredObjective,
     atomic_store_records,
+    atomic_store_shards,
 )
 from repro.storage.monitor import (
     company_comparison,
@@ -26,6 +27,7 @@ __all__ = [
     "ObjectiveStore",
     "StoredObjective",
     "atomic_store_records",
+    "atomic_store_shards",
     "company_comparison",
     "deadline_timeline",
     "horizon_statistics",

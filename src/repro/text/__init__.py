@@ -13,12 +13,12 @@ from repro.text.vocab import Vocabulary
 from repro.text.bpe import BpeTokenizer, SubwordEncoding, train_bpe
 
 __all__ = [
+    "BpeTokenizer",
     "NormalizerConfig",
+    "SubwordEncoding",
     "TextNormalizer",
     "Token",
-    "WordTokenizer",
     "Vocabulary",
-    "BpeTokenizer",
-    "SubwordEncoding",
+    "WordTokenizer",
     "train_bpe",
 ]

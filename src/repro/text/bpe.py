@@ -160,6 +160,21 @@ class BpeTokenizer:
             vocab = self._build_vocab_from_merges()
         self.vocab = vocab
 
+    def __getstate__(self) -> dict:
+        # A tokenizer crossing a process boundary (parallel shard workers)
+        # ships its merges/vocab but starts with a cold cache and a fresh
+        # lock — caches are value-transparent, so results are unaffected.
+        state = self.__dict__.copy()
+        del state["_cache_lock"]
+        state["_word_cache"] = OrderedDict()
+        state["_cache_hits"] = 0
+        state["_cache_misses"] = 0
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._cache_lock = threading.Lock()
+
     # -- construction -----------------------------------------------------
 
     @classmethod

@@ -10,6 +10,23 @@ from repro.datasets.base import Dataset
 from repro.datasets.generator import ObjectiveGenerator
 
 
+def pytest_addoption(parser: pytest.Parser) -> None:
+    parser.addoption(
+        "--update-golden",
+        action="store_true",
+        default=False,
+        help="regenerate the tests/golden/ fixtures from the current code "
+        "instead of comparing against them (review the diff before "
+        "committing!)",
+    )
+
+
+@pytest.fixture(scope="session")
+def update_golden(request: pytest.FixtureRequest) -> bool:
+    """Whether this run should rewrite golden fixtures (--update-golden)."""
+    return bool(request.config.getoption("--update-golden"))
+
+
 @pytest.fixture
 def rng() -> np.random.Generator:
     return np.random.default_rng(1234)

@@ -43,7 +43,10 @@ class TestSoftCrossEntropy:
         np.testing.assert_array_equal(dlogits, 0.0)
 
 
+@pytest.mark.slow
 class TestDistillEncoder:
+    """Teacher pretraining + distillation loops — `slow`-marked."""
+
     def test_student_is_shallower(self, vocab, rng):
         sequences = [list(rng.integers(5, 20, size=6)) for __ in range(20)]
         teacher = pretrain_mlm(

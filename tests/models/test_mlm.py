@@ -54,7 +54,10 @@ class TestApplyMlmCorruption:
         assert (corrupted == vocab.mask_id).sum() > 0
 
 
+@pytest.mark.slow
 class TestPretraining:
+    """MLM training loops — `slow`-marked, deselected in tier 1."""
+
     def _sequences(self, rng, count=30):
         return [list(rng.integers(5, 30, size=8)) for __ in range(count)]
 

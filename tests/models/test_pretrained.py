@@ -34,7 +34,10 @@ class TestCacheKey:
         )
 
 
+@pytest.mark.slow
 class TestPretrainForDomain:
+    """Domain pretraining (MLM steps + BPE training) — `slow`-marked."""
+
     def test_capped_run_returns_consistent_pair(self):
         tokenizer, encoder = pretrain_for_domain(
             "roberta",
