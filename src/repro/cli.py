@@ -79,8 +79,28 @@ def _cmd_train(args: argparse.Namespace) -> int:
     )
     extractor = WeakSupervisionExtractor(config)
     train, __ = train_test_split(dataset, args.test_fraction, seed=args.seed)
+    checkpoint = None
+    if args.checkpoint_dir:
+        from repro.runtime.checkpoint import CheckpointManager
+
+        checkpoint = CheckpointManager(
+            args.checkpoint_dir,
+            every=args.checkpoint_every,
+            resume=args.resume,
+        )
     print(f"training on {len(train)} objectives ...")
-    extractor.fit(train.objectives)
+    try:
+        extractor.fit(train.objectives, checkpoint=checkpoint)
+    except ReproError as error:
+        print(
+            f"error [{type(error).__name__}]: {error}", file=sys.stderr
+        )
+        return _exit_code_for(error)
+    if checkpoint is not None and checkpoint.resumed_from is not None:
+        marker = " (rolled back past a corrupt checkpoint)" if (
+            checkpoint.rolled_back
+        ) else ""
+        print(f"resumed_from_step={checkpoint.resumed_from}{marker}")
     extractor.save(args.out)
     print(
         f"saved model to {args.out} "
@@ -92,7 +112,7 @@ def _cmd_train(args: argparse.Namespace) -> int:
 def _cmd_extract(args: argparse.Namespace) -> int:
     try:
         extractor = WeakSupervisionExtractor.load(args.model)
-    except (OSError, KeyError, ValueError) as error:
+    except (OSError, KeyError, ValueError, ReproError) as error:
         print(f"error: cannot load model: {error}", file=sys.stderr)
         return EXIT_INPUT_ERROR
     overrides = {}
@@ -334,6 +354,24 @@ def build_parser() -> argparse.ArgumentParser:
     train.add_argument("--learning-rate", type=float, default=1e-3)
     train.add_argument("--test-fraction", type=float, default=0.2)
     train.add_argument("--seed", type=int, default=0)
+    train.add_argument(
+        "--checkpoint-dir",
+        help="directory for durable training checkpoints (atomic, "
+        "checksummed; resume is bitwise-identical to uninterrupted)",
+    )
+    train.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=10,
+        help="checkpoint every N optimizer steps (default 10)",
+    )
+    train.add_argument(
+        "--resume",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="resume from the latest good checkpoint in --checkpoint-dir "
+        "(default on; --no-resume starts fresh)",
+    )
     train.set_defaults(func=_cmd_train)
 
     extract = sub.add_parser("extract", help="extract details from text")

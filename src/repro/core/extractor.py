@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import dataclasses
 import json
+import shutil
 import threading
 from collections import OrderedDict
 from collections.abc import Sequence
@@ -39,6 +40,14 @@ from repro.models.training import FineTuneConfig, fit_token_classifier
 from repro.models.zoo import get_model_spec
 from repro.nn.encoder import TransformerEncoder
 from repro.nn.serialize import load_state, save_state
+from repro.runtime.checkpoint import (
+    CheckpointManager,
+    read_json,
+    replace_dir,
+    verify_manifest,
+    write_manifest,
+)
+from repro.runtime.errors import ArtifactError
 from repro.runtime.profiling import PerfCounters, RunStats
 from repro.text.bpe import BpeTokenizer
 from repro.text.normalize import TextNormalizer
@@ -258,7 +267,9 @@ class WeakSupervisionExtractor(DetailExtractor):
         return word_sequences, label_sequences
 
     def fit(
-        self, objectives: Sequence[AnnotatedObjective]
+        self,
+        objectives: Sequence[AnnotatedObjective],
+        checkpoint: CheckpointManager | None = None,
     ) -> "WeakSupervisionExtractor":
         if not objectives:
             raise ValueError("cannot fit on an empty objective set")
@@ -311,6 +322,7 @@ class WeakSupervisionExtractor(DetailExtractor):
             target_sequences,
             self.config.finetune,
             class_weights=class_weights,
+            checkpoint=checkpoint,
         )
         return self
 
@@ -413,31 +425,71 @@ class WeakSupervisionExtractor(DetailExtractor):
     # -- persistence ---------------------------------------------------------
 
     def save(self, directory: str | Path) -> None:
-        """Persist config, tokenizer, and model weights to a directory."""
+        """Persist config, tokenizer, and model weights to a directory.
+
+        Atomic end-to-end: everything (including a checksum manifest) is
+        written to a sibling temp directory, fsynced, and renamed into
+        place, so a crash mid-save never leaves a half-written model
+        directory behind. Fault-injection sites: ``save`` on entry,
+        ``save_commit`` between the full write and the publish rename.
+        """
         if self.model is None or self.tokenizer is None:
             raise RuntimeError("cannot save an unfitted extractor")
+        if self.fault_injector is not None:
+            self.fault_injector.check("save")
         directory = Path(directory)
-        directory.mkdir(parents=True, exist_ok=True)
+        directory.parent.mkdir(parents=True, exist_ok=True)
+        tmp = directory.with_name(directory.name + ".tmp")
+        if tmp.exists():
+            shutil.rmtree(tmp)
+        tmp.mkdir(parents=True)
         payload = dataclasses.asdict(self.config)
         payload["finetune"] = dataclasses.asdict(self.config.finetune)
-        (directory / "config.json").write_text(
+        (tmp / "config.json").write_text(
             json.dumps(payload), encoding="utf-8"
         )
-        self.tokenizer.save(directory / "tokenizer.json")
-        save_state(self.model, directory / "model.npz")
+        self.tokenizer.save(tmp / "tokenizer.json")
+        save_state(self.model, tmp / "model.npz")
+        write_manifest(
+            tmp,
+            ["config.json", "tokenizer.json", "model.npz"],
+            kind="weak_supervision_extractor",
+        )
+        if self.fault_injector is not None:
+            self.fault_injector.check("save_commit")
+        replace_dir(tmp, directory)
 
     @classmethod
     def load(cls, directory: str | Path) -> "WeakSupervisionExtractor":
-        """Restore an extractor saved with :meth:`save`."""
+        """Restore an extractor saved with :meth:`save`.
+
+        Verifies integrity before trusting bytes: when the directory has a
+        manifest every artifact is checksummed against it, and any missing,
+        truncated, corrupt, or mismatched artifact raises a typed
+        :class:`~repro.runtime.errors.ArtifactError` (directories from
+        pre-manifest saves still load, with per-file checks only).
+        """
         directory = Path(directory)
-        payload = json.loads(
-            (directory / "config.json").read_text(encoding="utf-8")
+        manifest = verify_manifest(
+            directory, kind="weak_supervision_extractor", required=False
         )
-        finetune = FineTuneConfig(**payload.pop("finetune"))
-        payload["fields"] = tuple(payload["fields"])
-        config = ExtractorConfig(finetune=finetune, **payload)
+        artifacts = (manifest or {}).get("artifacts", {})
+        payload = read_json(directory / "config.json")
+        try:
+            finetune = FineTuneConfig(**payload.pop("finetune"))
+            payload["fields"] = tuple(payload["fields"])
+            config = ExtractorConfig(finetune=finetune, **payload)
+        except (AttributeError, KeyError, TypeError, ValueError) as error:
+            raise ArtifactError(
+                f"extractor config is malformed: {error}",
+                path=str(directory / "config.json"),
+            ) from error
         tokenizer = BpeTokenizer.load(directory / "tokenizer.json")
         extractor = cls(config, tokenizer=tokenizer)
         extractor.model = extractor.build_model()
-        load_state(extractor.model, directory / "model.npz")
+        load_state(
+            extractor.model,
+            directory / "model.npz",
+            expected_sha256=artifacts.get("model.npz", {}).get("sha256"),
+        )
         return extractor

@@ -11,6 +11,7 @@ from __future__ import annotations
 import dataclasses
 import json
 import pickle
+import shutil
 from collections.abc import Sequence
 from pathlib import Path
 
@@ -24,6 +25,13 @@ from repro.core.schema import SUSTAINABILITY_FIELDS, AnnotatedObjective
 from repro.core.weak_labeling import WeakLabelingStats, weakly_label_objective
 from repro.crf.features import FeatureExtractor
 from repro.crf.model import LinearChainCRF
+from repro.runtime.checkpoint import (
+    read_json,
+    replace_dir,
+    verify_manifest,
+    write_manifest,
+)
+from repro.runtime.errors import ArtifactError
 from repro.text.normalize import TextNormalizer
 from repro.text.words import WordTokenizer
 
@@ -107,12 +115,21 @@ class CrfDetailExtractor(DetailExtractor):
     # -- persistence ---------------------------------------------------------
 
     def save(self, directory: str | Path) -> None:
-        """Persist config, feature map, and weights to a directory."""
+        """Persist config, feature map, and weights to a directory.
+
+        Atomic end-to-end: artifacts plus a checksum manifest land in a
+        sibling temp directory that is renamed into place, so a crash
+        mid-save never leaves a half-written model directory.
+        """
         if self.model is None:
             raise RuntimeError("cannot save an unfitted extractor")
         directory = Path(directory)
-        directory.mkdir(parents=True, exist_ok=True)
-        (directory / "config.json").write_text(
+        directory.parent.mkdir(parents=True, exist_ok=True)
+        tmp = directory.with_name(directory.name + ".tmp")
+        if tmp.exists():
+            shutil.rmtree(tmp)
+        tmp.mkdir(parents=True)
+        (tmp / "config.json").write_text(
             json.dumps(
                 {
                     "fields": list(self.fields),
@@ -122,40 +139,74 @@ class CrfDetailExtractor(DetailExtractor):
             encoding="utf-8",
         )
         # The feature map is a plain str->int dict; pickle keeps it compact.
-        with open(directory / "features.pkl", "wb") as handle:
+        with open(tmp / "features.pkl", "wb") as handle:
             pickle.dump(self.features._feature_to_id, handle)
         np.savez(
-            directory / "weights.npz",
+            tmp / "weights.npz",
             emission=self.model.emission_weights,
             transition=self.model.transition_weights,
             start=self.model.start_weights,
             end=self.model.end_weights,
         )
+        write_manifest(
+            tmp,
+            ["config.json", "features.pkl", "weights.npz"],
+            kind="crf_extractor",
+        )
+        replace_dir(tmp, directory)
 
     @classmethod
     def load(cls, directory: str | Path) -> "CrfDetailExtractor":
-        """Restore an extractor saved with :meth:`save`."""
+        """Restore an extractor saved with :meth:`save`.
+
+        Checksums every artifact against the manifest when present, and
+        wraps truncated/corrupt bytes in a typed
+        :class:`~repro.runtime.errors.ArtifactError` instead of letting a
+        bare pickle/numpy/KeyError escape.
+        """
         directory = Path(directory)
-        payload = json.loads(
-            (directory / "config.json").read_text(encoding="utf-8")
-        )
-        extractor = cls(
-            fields=tuple(payload["fields"]),
-            config=CrfConfig(**payload["config"]),
-        )
-        with open(directory / "features.pkl", "rb") as handle:
-            extractor.features._feature_to_id = pickle.load(handle)
-        extractor.features.freeze()
-        with np.load(directory / "weights.npz") as archive:
-            extractor.model = LinearChainCRF(
-                num_features=archive["emission"].shape[0],
-                num_labels=archive["emission"].shape[1],
-                l2=extractor.config.l2,
+        verify_manifest(directory, kind="crf_extractor", required=False)
+        payload = read_json(directory / "config.json")
+        try:
+            extractor = cls(
+                fields=tuple(payload["fields"]),
+                config=CrfConfig(**payload["config"]),
             )
-            extractor.model.emission_weights = archive["emission"]
-            extractor.model.transition_weights = archive["transition"]
-            extractor.model.start_weights = archive["start"]
-            extractor.model.end_weights = archive["end"]
+        except (KeyError, TypeError, ValueError) as error:
+            raise ArtifactError(
+                f"CRF config is malformed: {error}",
+                path=str(directory / "config.json"),
+            ) from error
+        try:
+            with open(directory / "features.pkl", "rb") as handle:
+                feature_map = pickle.load(handle)
+        except Exception as error:
+            raise ArtifactError(
+                f"unreadable feature map "
+                f"({type(error).__name__}: {error})",
+                path=str(directory / "features.pkl"),
+            ) from error
+        extractor.features._feature_to_id = feature_map
+        extractor.features.freeze()
+        try:
+            with np.load(directory / "weights.npz") as archive:
+                extractor.model = LinearChainCRF(
+                    num_features=archive["emission"].shape[0],
+                    num_labels=archive["emission"].shape[1],
+                    l2=extractor.config.l2,
+                )
+                extractor.model.emission_weights = archive["emission"]
+                extractor.model.transition_weights = archive["transition"]
+                extractor.model.start_weights = archive["start"]
+                extractor.model.end_weights = archive["end"]
+        except ArtifactError:
+            raise
+        except Exception as error:
+            raise ArtifactError(
+                f"unreadable CRF weights "
+                f"({type(error).__name__}: {error})",
+                path=str(directory / "weights.npz"),
+            ) from error
         return extractor
 
     def extract(self, text: str) -> dict[str, str]:

@@ -4,9 +4,23 @@ A shallower student is trained to match the teacher's MLM distribution at
 masked positions (soft targets, temperature-scaled KL) in addition to the
 usual hard MLM loss — the DistilBERT recipe reduced to the parts that matter
 for this substrate.
+
+:func:`distill_encoder` is durable: pass a
+:class:`~repro.runtime.checkpoint.CheckpointManager` and a killed run
+resumes bitwise-identically. Unlike the MLM loop, corruption here is
+drawn *per batch inside the step loop* (interleaved with the student's
+dropout draws, from the same generator), so the epoch "plan" a resume
+re-derives from the ``epoch_start`` snapshot is the shuffle permutation
+only; jumping the generator to the ``now`` snapshot accounts for the
+skipped batches' corruption and dropout draws in one move. Progress is
+observable through an optional
+:class:`~repro.runtime.profiling.PerfCounters` (``train_steps``,
+``train_epochs``, ``train_loss_total``, ``resumed_from_step``).
 """
 
 from __future__ import annotations
+
+import dataclasses
 
 import numpy as np
 
@@ -17,6 +31,13 @@ from repro.nn.encoder import TransformerEncoder
 from repro.nn.functional import log_softmax, softmax
 from repro.nn.loss import IGNORE_INDEX, cross_entropy
 from repro.nn.optim import AdamW, clip_grad_norm
+from repro.nn.serialize import load_optimizer_state, rng_state, set_rng_state
+from repro.runtime.checkpoint import (
+    CheckpointManager,
+    config_fingerprint,
+    restore_rng_states,
+)
+from repro.runtime.profiling import PerfCounters
 from repro.text.vocab import Vocabulary
 
 
@@ -55,20 +76,90 @@ def distill_encoder(
     soft_weight: float = 0.5,
     epochs: int | None = None,
     max_steps: int | None = None,
+    checkpoint: CheckpointManager | None = None,
+    counters: PerfCounters | None = None,
 ) -> TransformerEncoder:
     """Distill ``teacher`` into a fresh student encoder.
 
-    Returns the student's encoder (head discarded).
+    Returns the student's encoder (head discarded). With ``checkpoint``
+    set, the loop checkpoints every optimizer step boundary at the
+    manager's cadence and resumes bitwise-identically after a crash.
     """
     config = student_spec.encoder_config(len(vocab), max_len)
     student = MaskedLanguageModel(TransformerEncoder(config, rng), rng)
     optimizer = AdamW(student.parameters(), lr=lr, weight_decay=0.01)
     teacher.eval()
+
+    total_epochs = epochs or student_spec.pretrain.epochs
+    resume = None
+    if checkpoint is not None:
+        checkpoint.bind(
+            config_fingerprint(
+                loop="distill_encoder",
+                student_spec=dataclasses.asdict(student_spec),
+                num_sequences=len(sequences),
+                vocab_size=len(vocab),
+                max_len=max_len,
+                batch_size=batch_size,
+                lr=lr,
+                temperature=temperature,
+                soft_weight=soft_weight,
+                epochs=total_epochs,
+                max_steps=max_steps,
+            )
+        )
+        resume = checkpoint.load_latest()
+        if resume is not None:
+            student.load_state_dict(resume.model_state)
+            if resume.done:
+                return student.encoder
+            load_optimizer_state(optimizer, resume.optimizer_state)
+            if counters is not None:
+                counters.add("resumed_from_step", resume.step)
     student.train()
 
-    step = 0
-    for __ in range(epochs or student_spec.pretrain.epochs):
-        for indices in iterate_minibatches(len(sequences), batch_size, rng):
+    step = resume.step if resume else 0
+    start_epoch = resume.epoch if resume else 0
+    history: list[float] = list(resume.history) if resume else []
+    pending = resume is not None
+
+    def _checkpoint_step(epoch, steps_in_epoch, losses, epoch_start, done):
+        checkpoint.maybe_save(
+            student,
+            optimizer,
+            rng,
+            step=step,
+            epoch=epoch,
+            steps_in_epoch=steps_in_epoch,
+            history=history,
+            epoch_losses=losses,
+            rng_setup=None,
+            rng_epoch_start=epoch_start,
+            done=done,
+            force=done,
+        )
+
+    for epoch in range(start_epoch, total_epochs):
+        if pending:
+            rng_epoch_start = resume.rng_epoch_start
+            if rng_epoch_start is not None:
+                set_rng_state(rng, rng_epoch_start)
+        else:
+            rng_epoch_start = (
+                rng_state(rng) if checkpoint is not None else None
+            )
+        # The plan is the shuffle permutation only; corruption stays
+        # interleaved with dropout in the step loop below. Materializing
+        # is draw-neutral (the generator shuffles once up front).
+        plan = list(iterate_minibatches(len(sequences), batch_size, rng))
+        losses: list[float] = []
+        done_in_epoch = 0
+        if pending:
+            pending = False
+            losses = list(resume.epoch_losses)
+            done_in_epoch = resume.steps_in_epoch
+            restore_rng_states(resume.rng_now, rng, student)
+        for indices in plan[done_in_epoch:]:
             ids, mask = pad_sequences(
                 [sequences[i] for i in indices], max_len=max_len
             )
@@ -89,11 +180,10 @@ def distill_encoder(
                 targets.reshape(batch * time),
                 ignore_index=IGNORE_INDEX,
             )
-            __ = hard_loss
             soft_loss, dsoft = _soft_cross_entropy(
                 student_logits, teacher_probs, position_mask, temperature
             )
-            __ = soft_loss
+            loss = (1.0 - soft_weight) * hard_loss + soft_weight * soft_loss
             dlogits = (
                 (1.0 - soft_weight) * dhard.reshape(batch, time, width)
                 + soft_weight * dsoft
@@ -101,7 +191,25 @@ def distill_encoder(
             student.backward(dlogits)
             clip_grad_norm(student.parameters(), 1.0)
             optimizer.step()
+            losses.append(loss)
             step += 1
+            done_in_epoch += 1
+            if counters is not None:
+                counters.add("train_steps")
+                counters.add("train_loss_total", loss)
             if max_steps is not None and step >= max_steps:
+                if checkpoint is not None:
+                    history.append(float(np.mean(losses)))
+                    _checkpoint_step(epoch, done_in_epoch, [], None, True)
                 return student.encoder
+            if checkpoint is not None:
+                _checkpoint_step(
+                    epoch, done_in_epoch, losses, rng_epoch_start, False
+                )
+        if losses:
+            history.append(float(np.mean(losses)))
+        if counters is not None:
+            counters.add("train_epochs")
+    if checkpoint is not None:
+        _checkpoint_step(total_epochs, 0, [], None, True)
     return student.encoder

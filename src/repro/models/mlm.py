@@ -5,9 +5,27 @@ BERT-style variants use *static* masking (one mask drawn once per sequence).
 The 80/10/10 corruption split follows the original BERT recipe: of the
 selected positions, 80% become ``<mask>``, 10% a random vocabulary token,
 and 10% keep the original token.
+
+:func:`pretrain_mlm` is durable: pass a
+:class:`~repro.runtime.checkpoint.CheckpointManager` and a killed run
+resumes bitwise-identically to the uninterrupted one. The MLM loop has a
+wrinkle the fine-tuning loops don't: the caller's generator is also the
+model's dropout generator *and* the source of masking corruption, and
+static masking draws corruption once before the epochs. A checkpoint
+therefore records three snapshots of the same stream — ``setup`` (before
+the static mask draws), ``epoch_start`` (before the epoch's
+shuffle+corruption draws), and ``now`` (the step boundary) — so resume
+can replay the static build from ``setup``, the epoch plan from
+``epoch_start``, then jump the stream to ``now`` and continue. Progress
+is observable through an optional
+:class:`~repro.runtime.profiling.PerfCounters` (``train_steps``,
+``train_epochs``, ``train_loss_total``, and ``resumed_from_step`` when a
+run picks up from a checkpoint).
 """
 
 from __future__ import annotations
+
+import dataclasses
 
 import numpy as np
 
@@ -18,6 +36,13 @@ from repro.nn.layers import Linear
 from repro.nn.loss import IGNORE_INDEX, cross_entropy
 from repro.nn.module import Module
 from repro.nn.optim import AdamW, clip_grad_norm
+from repro.nn.serialize import load_optimizer_state, rng_state, set_rng_state
+from repro.runtime.checkpoint import (
+    CheckpointManager,
+    config_fingerprint,
+    restore_rng_states,
+)
+from repro.runtime.profiling import PerfCounters
 from repro.text.vocab import Vocabulary
 
 
@@ -96,6 +121,8 @@ def pretrain_mlm(
     batch_size: int = 16,
     lr: float = 1e-3,
     max_steps: int | None = None,
+    checkpoint: CheckpointManager | None = None,
+    counters: PerfCounters | None = None,
 ) -> MaskedLanguageModel:
     """Pre-train a fresh MLM on ``sequences`` with the spec's recipe.
 
@@ -105,6 +132,9 @@ def pretrain_mlm(
         vocab: subword vocabulary (for mask/random token ids).
         rng: source of all randomness (init, masking, shuffling).
         max_steps: optional hard cap on optimizer steps (testing/benching).
+        checkpoint: optional manager for durable, bitwise-resumable runs.
+        counters: optional progress counters (``train_steps``,
+            ``train_epochs``, ``train_loss_total``, ``resumed_from_step``).
 
     Returns:
         The trained model, including its MLM head (needed as a distillation
@@ -113,6 +143,34 @@ def pretrain_mlm(
     config = spec.encoder_config(len(vocab), max_len)
     model = MaskedLanguageModel(TransformerEncoder(config, rng), rng)
     optimizer = AdamW(model.parameters(), lr=lr, weight_decay=0.01)
+
+    # Snapshot before any data-plan draws: resume replays the static
+    # masking build from exactly here.
+    rng_setup = rng_state(rng) if checkpoint is not None else None
+    resume = None
+    if checkpoint is not None:
+        checkpoint.bind(
+            config_fingerprint(
+                loop="pretrain_mlm",
+                spec=dataclasses.asdict(spec),
+                num_sequences=len(sequences),
+                vocab_size=len(vocab),
+                max_len=max_len,
+                batch_size=batch_size,
+                lr=lr,
+                max_steps=max_steps,
+            )
+        )
+        resume = checkpoint.load_latest()
+        if resume is not None:
+            model.load_state_dict(resume.model_state)
+            if resume.done:
+                return model
+            load_optimizer_state(optimizer, resume.optimizer_state)
+            if resume.rng_setup is not None:
+                set_rng_state(rng, resume.rng_setup)
+            if counters is not None:
+                counters.add("resumed_from_step", resume.step)
 
     # Static masking (BERT-style) corrupts every sequence exactly once,
     # before training; dynamic masking re-corrupts each epoch.
@@ -128,8 +186,36 @@ def pretrain_mlm(
             static_batches.append((corrupted, mask, targets))
 
     model.train()
-    step = 0
-    for __ in range(spec.pretrain.epochs):
+    step = resume.step if resume else 0
+    start_epoch = resume.epoch if resume else 0
+    history: list[float] = list(resume.history) if resume else []
+    pending = resume is not None
+
+    def _checkpoint_step(epoch, steps_in_epoch, losses, epoch_start, done):
+        checkpoint.maybe_save(
+            model,
+            optimizer,
+            rng,
+            step=step,
+            epoch=epoch,
+            steps_in_epoch=steps_in_epoch,
+            history=history,
+            epoch_losses=losses,
+            rng_setup=rng_setup,
+            rng_epoch_start=epoch_start,
+            done=done,
+            force=done,
+        )
+
+    for epoch in range(start_epoch, spec.pretrain.epochs):
+        if pending:
+            rng_epoch_start = resume.rng_epoch_start
+            if rng_epoch_start is not None:
+                set_rng_state(rng, rng_epoch_start)
+        else:
+            rng_epoch_start = (
+                rng_state(rng) if checkpoint is not None else None
+            )
         if spec.pretrain.dynamic_masking:
             batches = []
             for indices in iterate_minibatches(len(sequences), batch_size, rng):
@@ -142,14 +228,39 @@ def pretrain_mlm(
                 batches.append((corrupted, mask, targets))
         else:
             batches = static_batches
-        for corrupted, mask, targets in batches:
+        losses: list[float] = []
+        done_in_epoch = 0
+        if pending:
+            pending = False
+            losses = list(resume.epoch_losses)
+            done_in_epoch = resume.steps_in_epoch
+            restore_rng_states(resume.rng_now, rng, model)
+        for corrupted, mask, targets in batches[done_in_epoch:]:
             model.zero_grad()
-            model.loss_and_backward(corrupted, mask, targets)
+            loss = model.loss_and_backward(corrupted, mask, targets)
             clip_grad_norm(model.parameters(), 1.0)
             optimizer.step()
+            losses.append(loss)
             step += 1
+            done_in_epoch += 1
+            if counters is not None:
+                counters.add("train_steps")
+                counters.add("train_loss_total", loss)
             if max_steps is not None and step >= max_steps:
+                if checkpoint is not None:
+                    history.append(float(np.mean(losses)))
+                    _checkpoint_step(epoch, done_in_epoch, [], None, True)
                 return model
+            if checkpoint is not None:
+                _checkpoint_step(
+                    epoch, done_in_epoch, losses, rng_epoch_start, False
+                )
+        if losses:
+            history.append(float(np.mean(losses)))
+        if counters is not None:
+            counters.add("train_epochs")
+    if checkpoint is not None:
+        _checkpoint_step(spec.pretrain.epochs, 0, [], None, True)
     return model
 
 
@@ -162,8 +273,19 @@ def pretrain_encoder(
     batch_size: int = 16,
     lr: float = 1e-3,
     max_steps: int | None = None,
+    checkpoint: CheckpointManager | None = None,
+    counters: PerfCounters | None = None,
 ) -> TransformerEncoder:
     """Like :func:`pretrain_mlm` but returns only the encoder."""
     return pretrain_mlm(
-        spec, sequences, vocab, rng, max_len, batch_size, lr, max_steps
+        spec,
+        sequences,
+        vocab,
+        rng,
+        max_len,
+        batch_size,
+        lr,
+        max_steps,
+        checkpoint=checkpoint,
+        counters=counters,
     ).encoder

@@ -6,6 +6,17 @@ defaults to 1e-3 rather than the paper's 5e-5 because our encoders are two
 orders of magnitude smaller and (optionally) far less pre-trained; Figure 4's
 learning-rate sweep is reproduced over the substrate-appropriate range in
 ``benchmarks/bench_figure4_hyperparams.py``.
+
+Both loops accept an optional
+:class:`~repro.runtime.checkpoint.CheckpointManager` and then run
+*durably*: every optimizer step is a potential checkpoint/crash boundary,
+and a killed run resumed from its latest checkpoint produces final
+weights, optimizer moments, and loss history bit-for-bit identical to the
+uninterrupted run. The resume recipe: restore the loop generator to its
+epoch-start snapshot, re-derive the epoch's shuffle plan (same draws),
+then fast-forward every generator — loop and dropout — to the step
+boundary and continue with the remaining batches. Checkpointing draws no
+randomness of its own, so enabling it never changes a fresh run.
 """
 
 from __future__ import annotations
@@ -20,6 +31,12 @@ from repro.models.token_classifier import TokenClassifier
 from repro.nn.batching import iterate_minibatches, pad_sequences
 from repro.nn.loss import IGNORE_INDEX
 from repro.nn.optim import Adam, AdamW, LinearWarmupDecay, clip_grad_norm
+from repro.nn.serialize import load_optimizer_state, rng_state, set_rng_state
+from repro.runtime.checkpoint import (
+    CheckpointManager,
+    config_fingerprint,
+    restore_rng_states,
+)
 
 
 @dataclasses.dataclass(frozen=True)
@@ -61,6 +78,25 @@ def _pad_labels(
     return padded
 
 
+def _bootstrap_resume(checkpoint, fingerprint, model, optimizer, rng):
+    """Bind the config hash and load the latest good checkpoint, if any.
+
+    Returns the loaded :class:`~repro.runtime.checkpoint.TrainState` (with
+    model/optimizer state applied and the loop generator rewound to the
+    checkpoint's epoch start) or ``None`` for a fresh start.
+    """
+    checkpoint.bind(fingerprint)
+    state = checkpoint.load_latest()
+    if state is None:
+        return None
+    model.load_state_dict(state.model_state)
+    if not state.done:
+        load_optimizer_state(optimizer, state.optimizer_state)
+        if state.rng_epoch_start is not None:
+            set_rng_state(rng, state.rng_epoch_start)
+    return state
+
+
 def fit_token_classifier(
     model: TokenClassifier,
     sequences: list[list[int]],
@@ -68,11 +104,17 @@ def fit_token_classifier(
     config: FineTuneConfig,
     on_epoch_end: Callable[[int, float], None] | None = None,
     class_weights: np.ndarray | None = None,
+    checkpoint: CheckpointManager | None = None,
 ) -> list[float]:
     """Fine-tune a token classifier; returns mean loss per epoch.
 
     ``label_sequences`` are per-piece label ids aligned with ``sequences``;
     use ``IGNORE_INDEX`` for positions excluded from the loss.
+
+    With ``checkpoint`` set, the loop checkpoints at the manager's cadence
+    and resumes from the latest good checkpoint bitwise-identically (see
+    the module docstring); ``on_epoch_end`` for the epoch a crash landed
+    in is re-invoked on resume (at-least-once).
     """
     if len(sequences) != len(label_sequences):
         raise ValueError("sequences and label_sequences must be parallel")
@@ -85,14 +127,49 @@ def fit_token_classifier(
     schedule = LinearWarmupDecay(
         int(config.warmup_fraction * total_steps), total_steps
     )
+    resume = None
+    if checkpoint is not None:
+        resume = _bootstrap_resume(
+            checkpoint,
+            config_fingerprint(
+                loop="fit_token_classifier",
+                config=dataclasses.asdict(config),
+                num_sequences=len(sequences),
+                class_weights=(
+                    None
+                    if class_weights is None
+                    else [float(w) for w in np.asarray(class_weights).ravel()]
+                ),
+            ),
+            model,
+            optimizer,
+            rng,
+        )
+        if resume is not None and resume.done:
+            return list(resume.history)
     model.train()
-    history: list[float] = []
-    step = 0
-    for epoch in range(config.epochs):
+    history: list[float] = list(resume.history) if resume else []
+    step = resume.step if resume else 0
+    start_epoch = resume.epoch if resume else 0
+    pending = resume is not None
+    for epoch in range(start_epoch, config.epochs):
+        rng_epoch_start = (
+            rng_state(rng) if checkpoint is not None else None
+        )
+        # Materializing the plan is draw-neutral: the generator shuffles
+        # once up front either way, and the loop RNG is used for nothing
+        # else inside the epoch.
+        plan = list(
+            iterate_minibatches(len(sequences), config.batch_size, rng)
+        )
         losses: list[float] = []
-        for indices in iterate_minibatches(
-            len(sequences), config.batch_size, rng
-        ):
+        done_in_epoch = 0
+        if pending:
+            pending = False
+            losses = list(resume.epoch_losses)
+            done_in_epoch = resume.steps_in_epoch
+            restore_rng_states(resume.rng_now, rng, model)
+        for indices in plan[done_in_epoch:]:
             ids, mask = pad_sequences(
                 [sequences[i] for i in indices],
                 pad_value=model.config.pad_id,
@@ -109,10 +186,39 @@ def fit_token_classifier(
             optimizer.step(lr_scale=schedule(step))
             losses.append(loss)
             step += 1
+            done_in_epoch += 1
+            if checkpoint is not None:
+                checkpoint.maybe_save(
+                    model,
+                    optimizer,
+                    rng,
+                    step=step,
+                    epoch=epoch,
+                    steps_in_epoch=done_in_epoch,
+                    history=history,
+                    epoch_losses=losses,
+                    rng_setup=None,
+                    rng_epoch_start=rng_epoch_start,
+                )
         epoch_loss = float(np.mean(losses))
         history.append(epoch_loss)
         if on_epoch_end is not None:
             on_epoch_end(epoch, epoch_loss)
+    if checkpoint is not None:
+        checkpoint.maybe_save(
+            model,
+            optimizer,
+            rng,
+            step=step,
+            epoch=config.epochs,
+            steps_in_epoch=0,
+            history=history,
+            epoch_losses=[],
+            rng_setup=None,
+            rng_epoch_start=None,
+            done=True,
+            force=True,
+        )
     return history
 
 
@@ -121,8 +227,13 @@ def fit_sequence_classifier(
     sequences: list[list[int]],
     labels: list[int],
     config: FineTuneConfig,
+    checkpoint: CheckpointManager | None = None,
 ) -> list[float]:
-    """Fine-tune a sequence classifier; returns mean loss per epoch."""
+    """Fine-tune a sequence classifier; returns mean loss per epoch.
+
+    Supports the same durable checkpoint/resume contract as
+    :func:`fit_token_classifier`.
+    """
     if len(sequences) != len(labels):
         raise ValueError("sequences and labels must be parallel")
     if not sequences:
@@ -135,14 +246,41 @@ def fit_sequence_classifier(
         int(config.warmup_fraction * total_steps), total_steps
     )
     label_array = np.asarray(labels, dtype=np.int64)
+    resume = None
+    if checkpoint is not None:
+        resume = _bootstrap_resume(
+            checkpoint,
+            config_fingerprint(
+                loop="fit_sequence_classifier",
+                config=dataclasses.asdict(config),
+                num_sequences=len(sequences),
+            ),
+            model,
+            optimizer,
+            rng,
+        )
+        if resume is not None and resume.done:
+            return list(resume.history)
     model.train()
-    history: list[float] = []
-    step = 0
-    for __ in range(config.epochs):
+    history: list[float] = list(resume.history) if resume else []
+    step = resume.step if resume else 0
+    start_epoch = resume.epoch if resume else 0
+    pending = resume is not None
+    for epoch in range(start_epoch, config.epochs):
+        rng_epoch_start = (
+            rng_state(rng) if checkpoint is not None else None
+        )
+        plan = list(
+            iterate_minibatches(len(sequences), config.batch_size, rng)
+        )
         losses: list[float] = []
-        for indices in iterate_minibatches(
-            len(sequences), config.batch_size, rng
-        ):
+        done_in_epoch = 0
+        if pending:
+            pending = False
+            losses = list(resume.epoch_losses)
+            done_in_epoch = resume.steps_in_epoch
+            restore_rng_states(resume.rng_now, rng, model)
+        for indices in plan[done_in_epoch:]:
             ids, mask = pad_sequences(
                 [sequences[i] for i in indices],
                 pad_value=model.config.pad_id,
@@ -154,5 +292,34 @@ def fit_sequence_classifier(
             optimizer.step(lr_scale=schedule(step))
             losses.append(loss)
             step += 1
+            done_in_epoch += 1
+            if checkpoint is not None:
+                checkpoint.maybe_save(
+                    model,
+                    optimizer,
+                    rng,
+                    step=step,
+                    epoch=epoch,
+                    steps_in_epoch=done_in_epoch,
+                    history=history,
+                    epoch_losses=losses,
+                    rng_setup=None,
+                    rng_epoch_start=rng_epoch_start,
+                )
         history.append(float(np.mean(losses)))
+    if checkpoint is not None:
+        checkpoint.maybe_save(
+            model,
+            optimizer,
+            rng,
+            step=step,
+            epoch=config.epochs,
+            steps_in_epoch=0,
+            history=history,
+            epoch_losses=[],
+            rng_setup=None,
+            rng_epoch_start=None,
+            done=True,
+            force=True,
+        )
     return history

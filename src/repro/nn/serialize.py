@@ -1,4 +1,4 @@
-"""State-dict persistence via ``.npz`` archives.
+"""State-dict persistence via ``.npz`` archives, plus training-state capture.
 
 Besides file-backed :func:`save_state`/:func:`load_state`, this module
 provides in-memory ``bytes`` variants (:func:`state_to_bytes` /
@@ -7,10 +7,28 @@ provides in-memory ``bytes`` variants (:func:`state_to_bytes` /
 processes exactly once at spawn — one compact npz payload per model
 instead of re-pickling parameter arrays with every task — plus
 :func:`state_digest` so a receiver can verify the broadcast landed intact.
+
+The durable-training runtime (:mod:`repro.runtime.checkpoint`) builds on
+the capture helpers here:
+
+* :func:`optimizer_state` / :func:`load_optimizer_state` — Adam/AdamW
+  moments and step counter as an npz-ready mapping;
+* :func:`rng_state` / :func:`set_rng_state` — a JSON-able snapshot of a
+  ``numpy.random.Generator``'s bit-generator state;
+* :func:`module_rngs` — the distinct ``Generator`` objects a module tree
+  holds (dropout layers keep drawing from their construction-time RNG
+  during training forwards, so bitwise resume must restore them too).
+
+``load_state`` verifies before it trusts: unreadable/truncated archives
+and key or shape mismatches raise a typed
+:class:`~repro.runtime.errors.ArtifactError` carrying the offending path
+(and, when ``expected_sha256`` is given, the expected/actual digests)
+instead of a bare ``zipfile``/``KeyError`` from deep inside numpy.
 """
 
 from __future__ import annotations
 
+import copy
 import hashlib
 import io
 from pathlib import Path
@@ -20,12 +38,54 @@ import numpy as np
 from repro.nn.module import Module
 
 __all__ = [
+    "file_sha256",
+    "load_optimizer_state",
     "load_state",
+    "module_rngs",
+    "optimizer_state",
+    "rng_state",
     "save_state",
+    "set_rng_state",
     "state_digest",
     "state_from_bytes",
     "state_to_bytes",
 ]
+
+
+def _artifact_error(
+    message: str,
+    path: str | Path | None = None,
+    expected: str | None = None,
+    actual: str | None = None,
+):
+    # Imported lazily: repro.runtime imports this module at package init,
+    # so a top-level import here would be circular.
+    from repro.runtime.errors import ArtifactError
+
+    return ArtifactError(
+        message,
+        path=str(path) if path is not None else None,
+        expected=expected,
+        actual=actual,
+    )
+
+
+def file_sha256(path: str | Path) -> str:
+    """SHA-256 hex digest of a file's bytes.
+
+    Raises :class:`~repro.runtime.errors.ArtifactError` when the file is
+    missing or unreadable.
+    """
+    digest = hashlib.sha256()
+    try:
+        with open(path, "rb") as handle:
+            for chunk in iter(lambda: handle.read(1 << 20), b""):
+                digest.update(chunk)
+    except OSError as error:
+        raise _artifact_error(
+            f"cannot read artifact: {error}", path
+        ) from error
+    return digest.hexdigest()
 
 
 def save_state(module: Module, path: str | Path) -> None:
@@ -34,11 +94,41 @@ def save_state(module: Module, path: str | Path) -> None:
     np.savez(Path(path), **state)
 
 
-def load_state(module: Module, path: str | Path) -> None:
-    """Load parameters saved by :func:`save_state` into ``module``."""
-    with np.load(Path(path)) as archive:
-        state = {name: archive[name] for name in archive.files}
-    module.load_state_dict(state)
+def load_state(
+    module: Module, path: str | Path, *, expected_sha256: str | None = None
+) -> None:
+    """Load parameters saved by :func:`save_state` into ``module``.
+
+    Verifies integrity before mutating the module: an unreadable or
+    truncated archive, a digest mismatch against ``expected_sha256``, and
+    missing/unexpected/mis-shaped keys all raise
+    :class:`~repro.runtime.errors.ArtifactError` with the offending path —
+    the module is left untouched on failure.
+    """
+    path = Path(path)
+    if expected_sha256 is not None:
+        actual = file_sha256(path)
+        if actual != expected_sha256:
+            raise _artifact_error(
+                f"artifact digest mismatch for {path.name}",
+                path,
+                expected=expected_sha256,
+                actual=actual,
+            )
+    try:
+        with np.load(path) as archive:
+            state = {name: archive[name] for name in archive.files}
+    except Exception as error:
+        raise _artifact_error(
+            f"unreadable state archive ({type(error).__name__}: {error})",
+            path,
+        ) from error
+    try:
+        module.load_state_dict(state)
+    except (KeyError, ValueError) as error:
+        raise _artifact_error(
+            f"state archive does not match the module: {error}", path
+        ) from error
 
 
 def state_to_bytes(module: Module) -> bytes:
@@ -72,3 +162,86 @@ def state_digest(module: Module) -> str:
         digest.update(str(array.shape).encode("utf-8"))
         digest.update(array.tobytes())
     return digest.hexdigest()
+
+
+# -- optimizer state ---------------------------------------------------------
+
+
+def optimizer_state(optimizer) -> dict[str, np.ndarray]:
+    """Adam/AdamW moments and step counter as an npz-ready mapping.
+
+    Keys: ``step_count`` plus ``m_NNNN``/``v_NNNN`` per parameter, in the
+    optimizer's (deterministic) parameter order.
+    """
+    state: dict[str, np.ndarray] = {
+        "step_count": np.asarray(optimizer.step_count, dtype=np.int64)
+    }
+    for index, (m, v) in enumerate(zip(optimizer._m, optimizer._v)):
+        state[f"m_{index:04d}"] = m
+        state[f"v_{index:04d}"] = v
+    return state
+
+
+def load_optimizer_state(optimizer, state: dict[str, np.ndarray]) -> None:
+    """Restore moments/step saved by :func:`optimizer_state` (strict).
+
+    Raises ``ValueError`` on key or shape mismatches (the checkpoint
+    manager wraps this into an ``ArtifactError`` with the artifact path).
+    """
+    count = len(optimizer.params)
+    expected = {"step_count"}
+    expected.update(f"m_{i:04d}" for i in range(count))
+    expected.update(f"v_{i:04d}" for i in range(count))
+    if set(state) != expected:
+        missing = sorted(expected - set(state))
+        unexpected = sorted(set(state) - expected)
+        raise ValueError(
+            f"optimizer state mismatch: missing={missing}, "
+            f"unexpected={unexpected}"
+        )
+    moments_m: list[np.ndarray] = []
+    moments_v: list[np.ndarray] = []
+    for index, param in enumerate(optimizer.params):
+        for prefix, out in (("m", moments_m), ("v", moments_v)):
+            value = np.asarray(state[f"{prefix}_{index:04d}"])
+            if value.shape != param.value.shape:
+                raise ValueError(
+                    f"optimizer moment {prefix}_{index:04d} has shape "
+                    f"{value.shape}, parameter has {param.value.shape}"
+                )
+            out.append(value.astype(param.value.dtype, copy=True))
+    optimizer._m = moments_m
+    optimizer._v = moments_v
+    optimizer.step_count = int(np.asarray(state["step_count"]))
+
+
+# -- RNG state ---------------------------------------------------------------
+
+
+def rng_state(rng: np.random.Generator) -> dict:
+    """A JSON-able deep copy of a generator's bit-generator state."""
+    return copy.deepcopy(rng.bit_generator.state)
+
+
+def set_rng_state(rng: np.random.Generator, state: dict) -> None:
+    """Restore a state captured by :func:`rng_state` into ``rng``."""
+    rng.bit_generator.state = copy.deepcopy(state)
+
+
+def module_rngs(module: Module) -> list[np.random.Generator]:
+    """The distinct ``Generator`` objects held anywhere in a module tree.
+
+    Dropout layers keep their construction-time RNG and draw from it on
+    every training forward, so a bitwise-resumable checkpoint must capture
+    these alongside the training loop's own generator. Deduplicated by
+    object identity in deterministic traversal order (multiple layers
+    usually share one generator).
+    """
+    rngs: list[np.random.Generator] = []
+    seen: set[int] = set()
+    for child in module.modules():
+        rng = getattr(child, "rng", None)
+        if isinstance(rng, np.random.Generator) and id(rng) not in seen:
+            seen.add(id(rng))
+            rngs.append(rng)
+    return rngs

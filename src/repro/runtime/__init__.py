@@ -17,6 +17,9 @@ path fast, fault-tolerant, and measurable:
 * :mod:`repro.runtime.parallel` — data-parallel sharded corpus execution
   across worker processes (one-shot model broadcast, balanced contiguous
   shards, merged stats/quarantine; bitwise-identical to sequential);
+* :mod:`repro.runtime.checkpoint` — durable training: atomic, checksummed,
+  bitwise-resumable checkpoints with manifests, a last-good pointer, and
+  corruption rollback (typed ``ArtifactError`` on every load surface);
 * :func:`repro.nn.module.inference_mode` / :func:`repro.nn.module.numeric_guard`
   (re-exported here) — backward-cache-free prediction and opt-in NaN/inf
   guards.
@@ -28,7 +31,15 @@ from repro.nn.module import (
     numeric_guard,
     numeric_guard_active,
 )
+from repro.runtime.checkpoint import (
+    CheckpointManager,
+    TrainState,
+    config_fingerprint,
+    verify_manifest,
+    write_manifest,
+)
 from repro.runtime.errors import (
+    ArtifactError,
     CircuitOpenError,
     InputError,
     ModelError,
@@ -70,7 +81,9 @@ from repro.runtime.resilience import (
 from repro.runtime.scheduler import BatchPlan, Microbatch, plan_batches
 
 __all__ = [
+    "ArtifactError",
     "BatchPlan",
+    "CheckpointManager",
     "CircuitBreaker",
     "CircuitOpenError",
     "FaultInjector",
@@ -91,9 +104,11 @@ __all__ = [
     "ShardResult",
     "ShardTask",
     "StageTimeout",
+    "TrainState",
     "broadcast_extractor",
     "broadcast_pipeline",
     "classify_error",
+    "config_fingerprint",
     "estimate_report_cost",
     "estimate_text_cost",
     "extract_batch_parallel",
@@ -111,4 +126,6 @@ __all__ = [
     "sanitize_report",
     "shard_seed",
     "validate_report",
+    "verify_manifest",
+    "write_manifest",
 ]

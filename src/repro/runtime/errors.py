@@ -88,6 +88,53 @@ class StageTimeout(ReproError):
     retryable = False
 
 
+class ArtifactError(InputError):
+    """A persisted artifact failed integrity verification at load time.
+
+    Raised by every load surface (``nn.serialize.load_state``, extractor /
+    CRF / tokenizer / vocabulary loads, and the checkpoint manager) when
+    bytes on disk are truncated, corrupted, missing, or belong to a
+    different configuration — instead of a bare ``zipfile``/``numpy``/
+    ``KeyError`` escaping from deep inside a parser. Deterministic (the
+    bytes will not fix themselves), so never retried; the checkpoint
+    manager reacts by rolling back to the previous last-good checkpoint.
+
+    Attributes:
+        path: the offending file, when known.
+        expected: expected content digest (or schema detail), when known.
+        actual: actual digest observed on disk, when known.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        path: str | None = None,
+        expected: str | None = None,
+        actual: str | None = None,
+        stage: str | None = None,
+        report_id: str | None = None,
+        page: int | None = None,
+    ) -> None:
+        super().__init__(
+            message, stage=stage, report_id=report_id, page=page
+        )
+        self.path = path
+        self.expected = expected
+        self.actual = actual
+
+    def context(self) -> dict:
+        payload = super().context()
+        payload.update(
+            {
+                "path": self.path,
+                "expected": self.expected,
+                "actual": self.actual,
+            }
+        )
+        return payload
+
+
 class CircuitOpenError(ModelError):
     """A stage's circuit breaker is open; the call was not attempted."""
 
@@ -114,6 +161,7 @@ ERROR_CLASSES: dict[str, type[ReproError]] = {
     "numerical": NumericalError,
     "timeout": StageTimeout,
     "overloaded": OverloadedError,
+    "artifact": ArtifactError,
 }
 
 

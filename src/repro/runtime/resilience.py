@@ -233,6 +233,13 @@ class FaultInjector:
     :meth:`wrap`); when a spec triggers, the corresponding taxonomy error
     is raised with ``injected=True``. Same seed + same call sequence =>
     same fault pattern, which is what makes the chaos suite reproducible.
+
+    Established crash sites: ``tokenize``/``forward`` (extract_batch),
+    ``store``/``store_commit`` (atomic record stores), ``save``/
+    ``save_commit`` (extractor directory saves), and — for the durable
+    training runtime — ``train_step`` (every optimizer-step boundary),
+    ``checkpoint`` (checkpoint save entry), and ``checkpoint_commit``
+    (between a fully-written temp checkpoint and its publication).
     """
 
     def __init__(self, specs: Sequence[FaultSpec], seed: int = 0) -> None:

@@ -284,6 +284,11 @@ def atomic_store_records(
             if fault_injector is not None:
                 fault_injector.check("store_commit")
             os.replace(tmp, path)
+            # Durability of the rename itself, not just the file bytes:
+            # without the directory fsync a crash can roll back os.replace.
+            from repro.runtime.checkpoint import fsync_dir
+
+            fsync_dir(path.parent)
             return added
         except BaseException:
             tmp.unlink(missing_ok=True)

@@ -337,6 +337,43 @@ class BpeTokenizer:
 
     @classmethod
     def load(cls, path: str | Path) -> "BpeTokenizer":
-        payload = json.loads(Path(path).read_text(encoding="utf-8"))
-        merges = [tuple(merge) for merge in payload["merges"]]
+        """Restore a tokenizer saved with :meth:`save`.
+
+        A missing, unreadable, or malformed file raises a typed
+        :class:`~repro.runtime.errors.ArtifactError` (lazy import — this
+        module sits below the runtime package in the import graph).
+        """
+        from repro.runtime.errors import ArtifactError
+
+        path = Path(path)
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+        except OSError as error:
+            raise ArtifactError(
+                f"cannot read tokenizer: {error}", path=str(path)
+            ) from error
+        except ValueError as error:
+            raise ArtifactError(
+                f"tokenizer is not valid JSON ({error})", path=str(path)
+            ) from error
+        if (
+            not isinstance(payload, dict)
+            or not isinstance(payload.get("merges"), list)
+            or not isinstance(payload.get("vocab"), list)
+        ):
+            raise ArtifactError(
+                "tokenizer payload must be a JSON object with "
+                "'merges' and 'vocab' lists",
+                path=str(path),
+            )
+        try:
+            merges = [
+                (str(left), str(right))
+                for left, right in payload["merges"]
+            ]
+        except (TypeError, ValueError) as error:
+            raise ArtifactError(
+                f"tokenizer merge table is malformed: {error}",
+                path=str(path),
+            ) from error
         return cls(merges, Vocabulary(payload["vocab"]))

@@ -96,5 +96,32 @@ class Vocabulary:
 
     @classmethod
     def load(cls, path: str | Path) -> "Vocabulary":
-        payload = json.loads(Path(path).read_text(encoding="utf-8"))
-        return cls(payload["tokens"])
+        """Restore a vocabulary saved with :meth:`save`.
+
+        A missing, unreadable, or malformed file raises a typed
+        :class:`~repro.runtime.errors.ArtifactError` (lazy import — this
+        module sits below the runtime package in the import graph).
+        """
+        from repro.runtime.errors import ArtifactError
+
+        path = Path(path)
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+        except OSError as error:
+            raise ArtifactError(
+                f"cannot read vocabulary: {error}", path=str(path)
+            ) from error
+        except ValueError as error:
+            raise ArtifactError(
+                f"vocabulary is not valid JSON ({error})", path=str(path)
+            ) from error
+        tokens = payload.get("tokens") if isinstance(payload, dict) else None
+        if not isinstance(tokens, list) or not all(
+            isinstance(token, str) for token in tokens
+        ):
+            raise ArtifactError(
+                "vocabulary payload must be a JSON object with a "
+                "'tokens' list of strings",
+                path=str(path),
+            )
+        return cls(tokens)

@@ -1,0 +1,700 @@
+"""Durable-training tests: bitwise resume, corruption rollback, chaos.
+
+The headline contract of :mod:`repro.runtime.checkpoint`:
+
+* kill a training run at *any* optimizer-step boundary, resume from the
+  latest good checkpoint, and the final weights/optimizer/history are
+  bit-for-bit identical to the never-interrupted run — for
+  token-classifier fine-tuning, MLM pre-training (static and dynamic
+  masking), and distillation;
+* a single flipped or truncated byte in any artifact is detected at load
+  (typed ``ArtifactError``) and resume rolls back to the previous
+  last-good checkpoint instead of loading garbage;
+* a crash storm (seeded fault injector, PR-2 conventions) never prevents
+  the run from eventually completing with the uninterrupted result.
+"""
+
+import json
+import shutil
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.models.distill import distill_encoder
+from repro.models.mlm import pretrain_mlm
+from repro.models.token_classifier import TokenClassifier
+from repro.models.training import (
+    FineTuneConfig,
+    fit_sequence_classifier,
+    fit_token_classifier,
+)
+from repro.models.zoo import ModelSpec, PretrainSpec
+from repro.nn.encoder import EncoderConfig
+from repro.runtime.checkpoint import (
+    MANIFEST_NAME,
+    CheckpointManager,
+    config_fingerprint,
+    verify_manifest,
+)
+from repro.runtime.errors import ArtifactError, ModelError
+from repro.runtime.resilience import FaultInjector, FaultSpec
+from repro.text.vocab import Vocabulary
+
+pytestmark = pytest.mark.checkpoint
+
+# -- tiny-but-real fixtures --------------------------------------------------
+# dropout > 0 on purpose: the resume contract must cover the dropout
+# generators' draws, which is the hard part of bitwise equivalence.
+
+ENCODER = EncoderConfig(
+    vocab_size=40,
+    dim=16,
+    num_layers=1,
+    num_heads=2,
+    ffn_dim=32,
+    max_len=12,
+    dropout=0.1,
+)
+FINETUNE = FineTuneConfig(epochs=3, batch_size=4, seed=13)
+NUM_STEPS = 9  # 3 epochs x ceil(10 / 4) steps
+
+
+def build_classifier(seed: int = 7) -> TokenClassifier:
+    return TokenClassifier(ENCODER, num_labels=3, rng=np.random.default_rng(seed))
+
+
+def make_dataset(num: int = 10) -> tuple[list[list[int]], list[list[int]]]:
+    rng = np.random.default_rng(0)
+    sequences = [
+        [int(x) for x in rng.integers(1, 40, size=int(rng.integers(3, 12)))]
+        for __ in range(num)
+    ]
+    labels = [[x % 3 for x in seq] for seq in sequences]
+    return sequences, labels
+
+
+def make_vocab() -> Vocabulary:
+    return Vocabulary([f"tok{i}" for i in range(20)])
+
+
+def make_spec(dynamic: bool, epochs: int = 2) -> ModelSpec:
+    return ModelSpec(
+        name="tiny",
+        family="roberta" if dynamic else "bert",
+        distilled=False,
+        dim=16,
+        num_layers=1,
+        num_heads=2,
+        ffn_dim=32,
+        dropout=0.1,
+        pretrain=PretrainSpec(
+            dynamic_masking=dynamic, epochs=epochs, mask_prob=0.3
+        ),
+    )
+
+
+def mlm_sequences(vocab: Vocabulary, num: int = 8) -> list[list[int]]:
+    rng = np.random.default_rng(0)
+    return [
+        [int(x) for x in rng.integers(5, len(vocab), size=int(rng.integers(3, 10)))]
+        for __ in range(num)
+    ]
+
+
+def assert_states_equal(left: dict, right: dict, context: str = "") -> None:
+    assert sorted(left) == sorted(right), context
+    for name in left:
+        a, b = np.asarray(left[name]), np.asarray(right[name])
+        assert a.dtype == b.dtype and a.shape == b.shape, (context, name)
+        # float.hex-grade equality: compare raw bytes, not approximate values
+        assert a.tobytes() == b.tobytes(), (context, name)
+
+
+def kill_then_resume_classifier(tmp_path, kill_at: int, every: int = 1):
+    """Train with a crash injected at ``kill_at``; resume to completion."""
+    sequences, labels = make_dataset()
+    crash_dir = tmp_path / f"ckpt-{kill_at}-{every}"
+    injector = FaultInjector(
+        [FaultSpec(stage="train_step", error="model", nth_calls=(kill_at,))],
+        seed=1,
+    )
+    interrupted = build_classifier()
+    manager = CheckpointManager(crash_dir, every=every, fault_injector=injector)
+    with pytest.raises(ModelError):
+        fit_token_classifier(
+            interrupted, sequences, labels, FINETUNE, checkpoint=manager
+        )
+    resumed_model = build_classifier()
+    resumed_manager = CheckpointManager(crash_dir, every=every)
+    history = fit_token_classifier(
+        resumed_model, sequences, labels, FINETUNE, checkpoint=resumed_manager
+    )
+    return resumed_model, history, resumed_manager
+
+
+# -- bitwise resume: fine-tuning ---------------------------------------------
+
+
+class TestBitwiseResumeFineTune:
+    @pytest.fixture(scope="class")
+    def uninterrupted(self):
+        sequences, labels = make_dataset()
+        model = build_classifier()
+        history = fit_token_classifier(model, sequences, labels, FINETUNE)
+        return model.state_dict(), history
+
+    def test_checkpointing_never_changes_a_fresh_run(
+        self, tmp_path, uninterrupted
+    ):
+        baseline_state, baseline_history = uninterrupted
+        sequences, labels = make_dataset()
+        model = build_classifier()
+        manager = CheckpointManager(tmp_path / "ckpt", every=1)
+        history = fit_token_classifier(
+            model, sequences, labels, FINETUNE, checkpoint=manager
+        )
+        assert history == baseline_history
+        assert_states_equal(model.state_dict(), baseline_state)
+        assert manager.saves == NUM_STEPS + 1  # every step + the final marker
+
+    def test_kill_at_every_step_boundary_resumes_bitwise(
+        self, tmp_path, uninterrupted
+    ):
+        baseline_state, baseline_history = uninterrupted
+        for kill_at in range(1, NUM_STEPS + 1):
+            model, history, manager = kill_then_resume_classifier(
+                tmp_path, kill_at
+            )
+            assert history == baseline_history, kill_at
+            assert_states_equal(
+                model.state_dict(), baseline_state, f"kill_at={kill_at}"
+            )
+            if kill_at > 1:
+                assert manager.resumed_from == kill_at - 1
+
+    @settings(max_examples=12, deadline=None)
+    @given(
+        kill_at=st.integers(min_value=1, max_value=NUM_STEPS),
+        every=st.integers(min_value=1, max_value=4),
+    )
+    def test_resume_equals_uninterrupted_property(
+        self, tmp_path_factory, uninterrupted, kill_at, every
+    ):
+        baseline_state, baseline_history = uninterrupted
+        tmp_path = tmp_path_factory.mktemp("prop")
+        model, history, __ = kill_then_resume_classifier(
+            tmp_path, kill_at, every=every
+        )
+        assert history == baseline_history
+        assert_states_equal(
+            model.state_dict(),
+            baseline_state,
+            f"kill_at={kill_at} every={every}",
+        )
+
+    def test_resuming_a_completed_run_is_a_noop(self, tmp_path, uninterrupted):
+        baseline_state, baseline_history = uninterrupted
+        sequences, labels = make_dataset()
+        first = build_classifier()
+        fit_token_classifier(
+            first,
+            sequences,
+            labels,
+            FINETUNE,
+            checkpoint=CheckpointManager(tmp_path / "done", every=1),
+        )
+        again = build_classifier()
+        manager = CheckpointManager(tmp_path / "done", every=1)
+        history = fit_token_classifier(
+            again, sequences, labels, FINETUNE, checkpoint=manager
+        )
+        assert history == baseline_history
+        assert_states_equal(again.state_dict(), baseline_state)
+        assert manager.saves == 0  # nothing retrained, nothing rewritten
+
+    def test_config_change_refuses_to_resume(self, tmp_path):
+        sequences, labels = make_dataset()
+        with pytest.raises(ModelError):
+            fit_token_classifier(
+                build_classifier(),
+                sequences,
+                labels,
+                FINETUNE,
+                checkpoint=CheckpointManager(
+                    tmp_path / "cfg",
+                    every=1,
+                    fault_injector=FaultInjector(
+                        [
+                            FaultSpec(
+                                stage="train_step",
+                                error="model",
+                                nth_calls=(4,),
+                            )
+                        ],
+                        seed=1,
+                    ),
+                ),
+            )
+        different = FineTuneConfig(epochs=3, batch_size=4, seed=14)
+        with pytest.raises(ArtifactError):
+            fit_token_classifier(
+                build_classifier(),
+                sequences,
+                labels,
+                different,
+                checkpoint=CheckpointManager(tmp_path / "cfg", every=1),
+            )
+
+    def test_sequence_classifier_resumes_bitwise(self, tmp_path):
+        from repro.models.sequence_classifier import SequenceClassifier
+
+        rng = np.random.default_rng(0)
+        sequences = [
+            [int(x) for x in rng.integers(1, 40, size=6)] for __ in range(8)
+        ]
+        labels = [i % 2 for i in range(8)]
+        config = FineTuneConfig(epochs=2, batch_size=4, seed=13)
+
+        def build():
+            return SequenceClassifier(
+                ENCODER, num_classes=2, rng=np.random.default_rng(3)
+            )
+
+        baseline = build()
+        base_history = fit_sequence_classifier(
+            baseline, sequences, labels, config
+        )
+        injector = FaultInjector(
+            [FaultSpec(stage="train_step", error="model", nth_calls=(3,))],
+            seed=1,
+        )
+        with pytest.raises(ModelError):
+            fit_sequence_classifier(
+                build(),
+                sequences,
+                labels,
+                config,
+                checkpoint=CheckpointManager(
+                    tmp_path / "seq", every=1, fault_injector=injector
+                ),
+            )
+        resumed = build()
+        history = fit_sequence_classifier(
+            resumed,
+            sequences,
+            labels,
+            config,
+            checkpoint=CheckpointManager(tmp_path / "seq", every=1),
+        )
+        assert history == base_history
+        assert_states_equal(resumed.state_dict(), baseline.state_dict())
+
+
+# -- bitwise resume: MLM pre-training and distillation -----------------------
+
+
+class TestBitwiseResumePretrain:
+    @pytest.mark.parametrize("dynamic", [True, False])
+    def test_mlm_kill_and_resume_bitwise(self, tmp_path, dynamic):
+        vocab = make_vocab()
+        sequences = mlm_sequences(vocab)
+        spec = make_spec(dynamic)
+        baseline = pretrain_mlm(
+            spec, sequences, vocab, np.random.default_rng(5),
+            max_len=12, batch_size=4,
+        )
+        total_steps = 2 * 2  # 2 epochs x 2 batches
+        for kill_at in range(1, total_steps + 1):
+            crash_dir = tmp_path / f"mlm-{dynamic}-{kill_at}"
+            injector = FaultInjector(
+                [
+                    FaultSpec(
+                        stage="train_step",
+                        error="model",
+                        nth_calls=(kill_at,),
+                    )
+                ],
+                seed=1,
+            )
+            with pytest.raises(ModelError):
+                pretrain_mlm(
+                    spec, sequences, vocab, np.random.default_rng(5),
+                    max_len=12, batch_size=4,
+                    checkpoint=CheckpointManager(
+                        crash_dir, every=1, fault_injector=injector
+                    ),
+                )
+            resumed = pretrain_mlm(
+                spec, sequences, vocab, np.random.default_rng(5),
+                max_len=12, batch_size=4,
+                checkpoint=CheckpointManager(crash_dir, every=1),
+            )
+            assert_states_equal(
+                resumed.state_dict(),
+                baseline.state_dict(),
+                f"dynamic={dynamic} kill_at={kill_at}",
+            )
+
+    def test_distill_kill_and_resume_bitwise(self, tmp_path):
+        vocab = make_vocab()
+        sequences = mlm_sequences(vocab)
+        teacher = pretrain_mlm(
+            make_spec(True), sequences, vocab, np.random.default_rng(5),
+            max_len=12, batch_size=4,
+        )
+        student_spec = make_spec(True)
+        baseline = distill_encoder(
+            teacher, student_spec, sequences, vocab,
+            np.random.default_rng(9), max_len=12, batch_size=4,
+        )
+        for kill_at in range(1, 5):
+            crash_dir = tmp_path / f"distill-{kill_at}"
+            injector = FaultInjector(
+                [
+                    FaultSpec(
+                        stage="train_step",
+                        error="model",
+                        nth_calls=(kill_at,),
+                    )
+                ],
+                seed=1,
+            )
+            with pytest.raises(ModelError):
+                distill_encoder(
+                    teacher, student_spec, sequences, vocab,
+                    np.random.default_rng(9), max_len=12, batch_size=4,
+                    checkpoint=CheckpointManager(
+                        crash_dir, every=1, fault_injector=injector
+                    ),
+                )
+            resumed = distill_encoder(
+                teacher, student_spec, sequences, vocab,
+                np.random.default_rng(9), max_len=12, batch_size=4,
+                checkpoint=CheckpointManager(crash_dir, every=1),
+            )
+            assert_states_equal(
+                resumed.state_dict(),
+                baseline.state_dict(),
+                f"kill_at={kill_at}",
+            )
+
+    def test_mlm_counters_report_progress_and_resume(self, tmp_path):
+        from repro.runtime.profiling import PerfCounters
+
+        vocab = make_vocab()
+        sequences = mlm_sequences(vocab)
+        spec = make_spec(True)
+        counters = PerfCounters()
+        pretrain_mlm(
+            spec, sequences, vocab, np.random.default_rng(5),
+            max_len=12, batch_size=4, counters=counters,
+        )
+        assert counters.get("train_steps") == 4
+        assert counters.get("train_epochs") == 2
+        assert counters.get("train_loss_total") > 0
+        assert counters.get("resumed_from_step") == 0
+
+        injector = FaultInjector(
+            [FaultSpec(stage="train_step", error="model", nth_calls=(3,))],
+            seed=1,
+        )
+        with pytest.raises(ModelError):
+            pretrain_mlm(
+                spec, sequences, vocab, np.random.default_rng(5),
+                max_len=12, batch_size=4,
+                checkpoint=CheckpointManager(
+                    tmp_path / "ctr", every=1, fault_injector=injector
+                ),
+            )
+        resumed_counters = PerfCounters()
+        pretrain_mlm(
+            spec, sequences, vocab, np.random.default_rng(5),
+            max_len=12, batch_size=4,
+            checkpoint=CheckpointManager(tmp_path / "ctr", every=1),
+            counters=resumed_counters,
+        )
+        assert resumed_counters.get("resumed_from_step") == 2
+        assert resumed_counters.get("train_steps") == 2  # only the remainder
+
+
+# -- corruption detection and last-good rollback -----------------------------
+
+
+def flip_one_byte(path) -> None:
+    data = bytearray(path.read_bytes())
+    assert data, f"cannot corrupt empty file {path}"
+    data[len(data) // 2] ^= 0xFF
+    path.write_bytes(bytes(data))
+
+
+class TestCorruptionRollback:
+    @pytest.fixture()
+    def two_checkpoints(self, tmp_path):
+        """A checkpoint dir holding steps 4 and 5 plus trained baseline."""
+        sequences, labels = make_dataset()
+        injector = FaultInjector(
+            [FaultSpec(stage="train_step", error="model", nth_calls=(6,))],
+            seed=1,
+        )
+        model = build_classifier()
+        manager = CheckpointManager(
+            tmp_path / "ckpt", every=1, keep=2, fault_injector=injector
+        )
+        with pytest.raises(ModelError):
+            fit_token_classifier(
+                model, sequences, labels, FINETUNE, checkpoint=manager
+            )
+        directory = tmp_path / "ckpt"
+        assert sorted(p.name for p in directory.glob("step-*")) == [
+            "step-00000004",
+            "step-00000005",
+        ]
+        return directory, sequences, labels
+
+    @pytest.mark.parametrize(
+        "artifact",
+        ["model.npz", "optimizer.npz", "losses.npz", "state.json"],
+    )
+    def test_single_byte_flip_detected_and_rolled_back(
+        self, two_checkpoints, artifact
+    ):
+        directory, __, __labels = two_checkpoints
+        flip_one_byte(directory / "step-00000005" / artifact)
+        manager = CheckpointManager(directory, every=1)
+        with pytest.raises(ArtifactError) as excinfo:
+            manager.load(directory / "step-00000005")
+        assert excinfo.value.path is not None
+        state = manager.load_latest()
+        assert state is not None and state.step == 4
+        assert manager.rolled_back
+
+    def test_truncated_artifact_detected_and_rolled_back(
+        self, two_checkpoints
+    ):
+        directory, __, __labels = two_checkpoints
+        target = directory / "step-00000005" / "model.npz"
+        target.write_bytes(target.read_bytes()[:-7])
+        manager = CheckpointManager(directory, every=1)
+        state = manager.load_latest()
+        assert state is not None and state.step == 4
+        assert manager.rolled_back
+
+    def test_corrupt_manifest_rolls_back(self, two_checkpoints):
+        directory, __, __labels = two_checkpoints
+        (directory / "step-00000005" / MANIFEST_NAME).write_text("{not json")
+        manager = CheckpointManager(directory, every=1)
+        state = manager.load_latest()
+        assert state is not None and state.step == 4
+        assert manager.rolled_back
+
+    def test_corrupt_pointer_still_loads_newest(self, two_checkpoints):
+        directory, __, __labels = two_checkpoints
+        (directory / "LATEST").write_text("garbage")
+        manager = CheckpointManager(directory, every=1)
+        state = manager.load_latest()
+        assert state is not None and state.step == 5
+        assert not manager.rolled_back
+
+    def test_rollback_resume_still_matches_uninterrupted(
+        self, two_checkpoints
+    ):
+        directory, sequences, labels = two_checkpoints
+        baseline = build_classifier()
+        baseline_history = fit_token_classifier(
+            baseline, sequences, labels, FINETUNE
+        )
+        flip_one_byte(directory / "step-00000005" / "model.npz")
+        resumed = build_classifier()
+        manager = CheckpointManager(directory, every=1)
+        history = fit_token_classifier(
+            resumed, sequences, labels, FINETUNE, checkpoint=manager
+        )
+        assert manager.resumed_from == 4
+        assert manager.rolled_back
+        assert history == baseline_history
+        assert_states_equal(resumed.state_dict(), baseline.state_dict())
+
+    def test_all_checkpoints_corrupt_raises_first_error(
+        self, two_checkpoints
+    ):
+        directory, __, __labels = two_checkpoints
+        for step_dir in directory.glob("step-*"):
+            flip_one_byte(step_dir / "model.npz")
+        with pytest.raises(ArtifactError):
+            CheckpointManager(directory, every=1).load_latest()
+
+    def test_empty_directory_resumes_fresh(self, tmp_path):
+        manager = CheckpointManager(tmp_path / "nothing", every=1)
+        assert manager.load_latest() is None
+        assert manager.resumed_from is None
+
+    def test_resume_false_ignores_checkpoints(self, two_checkpoints):
+        directory, __, __labels = two_checkpoints
+        manager = CheckpointManager(directory, every=1, resume=False)
+        assert manager.load_latest() is None
+
+    def test_retention_prunes_old_checkpoints(self, tmp_path):
+        sequences, labels = make_dataset()
+        manager = CheckpointManager(tmp_path / "keep", every=1, keep=2)
+        fit_token_classifier(
+            build_classifier(), sequences, labels, FINETUNE,
+            checkpoint=manager,
+        )
+        names = sorted(p.name for p in (tmp_path / "keep").glob("step-*"))
+        assert len(names) == 2
+        assert names[-1] == f"step-{NUM_STEPS:08d}"
+
+
+# -- crash window in the save path -------------------------------------------
+
+
+class TestAtomicPublish:
+    def test_crash_before_commit_leaves_previous_checkpoint_good(
+        self, tmp_path
+    ):
+        sequences, labels = make_dataset()
+        injector = FaultInjector(
+            [
+                FaultSpec(
+                    stage="checkpoint_commit",
+                    error="model",
+                    nth_calls=(3,),
+                )
+            ],
+            seed=1,
+        )
+        manager = CheckpointManager(
+            tmp_path / "ckpt", every=1, fault_injector=injector
+        )
+        with pytest.raises(ModelError):
+            fit_token_classifier(
+                build_classifier(), sequences, labels, FINETUNE,
+                checkpoint=manager,
+            )
+        reader = CheckpointManager(tmp_path / "ckpt", every=1)
+        state = reader.load_latest()
+        assert state is not None and state.step == 2
+        assert not reader.rolled_back
+
+    def test_crash_at_checkpoint_entry_keeps_previous(self, tmp_path):
+        sequences, labels = make_dataset()
+        injector = FaultInjector(
+            [FaultSpec(stage="checkpoint", error="model", nth_calls=(4,))],
+            seed=1,
+        )
+        manager = CheckpointManager(
+            tmp_path / "ckpt", every=1, fault_injector=injector
+        )
+        with pytest.raises(ModelError):
+            fit_token_classifier(
+                build_classifier(), sequences, labels, FINETUNE,
+                checkpoint=manager,
+            )
+        state = CheckpointManager(tmp_path / "ckpt", every=1).load_latest()
+        assert state is not None and state.step == 3
+
+
+# -- chaos: crash storm across all durable sites -----------------------------
+
+
+@pytest.mark.chaos
+class TestCrashStorm:
+    def test_storm_of_crashes_converges_to_uninterrupted_result(
+        self, tmp_path
+    ):
+        """PR-2 seeding conventions: one storm per seed, rate-based faults
+        at every durable-training site; keep resuming until the run
+        completes, then demand the uninterrupted result, bitwise."""
+        sequences, labels = make_dataset()
+        baseline = build_classifier()
+        baseline_history = fit_token_classifier(
+            baseline, sequences, labels, FINETUNE
+        )
+        for seed in range(3):
+            specs = [
+                FaultSpec(stage="train_step", error="model", rate=0.12),
+                FaultSpec(stage="checkpoint", error="model", rate=0.06),
+                FaultSpec(stage="checkpoint_commit", error="model", rate=0.06),
+            ]
+            crash_dir = tmp_path / f"storm-{seed}"
+            attempts = 0
+            while True:
+                attempts += 1
+                assert attempts < 60, "storm never converged"
+                model = build_classifier()
+                manager = CheckpointManager(
+                    crash_dir,
+                    every=1,
+                    fault_injector=FaultInjector(specs, seed=seed + attempts),
+                )
+                try:
+                    history = fit_token_classifier(
+                        model, sequences, labels, FINETUNE,
+                        checkpoint=manager,
+                    )
+                except ModelError:
+                    continue
+                break
+            assert history == baseline_history, f"seed={seed}"
+            assert_states_equal(
+                model.state_dict(), baseline.state_dict(), f"seed={seed}"
+            )
+
+
+# -- manifest + fingerprint units --------------------------------------------
+
+
+class TestManifestUnits:
+    def test_fingerprint_is_order_insensitive_and_value_sensitive(self):
+        a = config_fingerprint(alpha=1, beta="x")
+        b = config_fingerprint(beta="x", alpha=1)
+        c = config_fingerprint(alpha=2, beta="x")
+        assert a == b
+        assert a != c
+
+    def test_verify_manifest_reports_expected_and_actual_digest(
+        self, tmp_path
+    ):
+        from repro.runtime.checkpoint import write_manifest
+
+        (tmp_path / "blob.bin").write_bytes(b"payload")
+        manifest = write_manifest(tmp_path, ["blob.bin"], kind="test")
+        assert verify_manifest(tmp_path, kind="test") == manifest
+        flip_one_byte(tmp_path / "blob.bin")
+        with pytest.raises(ArtifactError) as excinfo:
+            verify_manifest(tmp_path, kind="test")
+        error = excinfo.value
+        assert error.expected != error.actual
+        assert error.expected == manifest["artifacts"]["blob.bin"]["sha256"]
+        assert json.loads(
+            json.dumps(error.context())
+        )["path"].endswith("blob.bin")
+
+    def test_kind_mismatch_is_detected(self, tmp_path):
+        from repro.runtime.checkpoint import write_manifest
+
+        (tmp_path / "blob.bin").write_bytes(b"payload")
+        write_manifest(tmp_path, ["blob.bin"], kind="test")
+        with pytest.raises(ArtifactError):
+            verify_manifest(tmp_path, kind="other")
+
+    def test_missing_manifest_optional_vs_required(self, tmp_path):
+        assert verify_manifest(tmp_path, required=False) is None
+        with pytest.raises(ArtifactError):
+            verify_manifest(tmp_path, required=True)
+
+    def test_stale_tmp_dirs_are_pruned_on_save(self, tmp_path):
+        sequences, labels = make_dataset()
+        directory = tmp_path / "ckpt"
+        directory.mkdir()
+        stale = directory / "step-00000001.tmp"
+        stale.mkdir()
+        (stale / "junk").write_text("x")
+        fit_token_classifier(
+            build_classifier(), sequences, labels, FINETUNE,
+            checkpoint=CheckpointManager(directory, every=1),
+        )
+        assert not stale.exists()
+        shutil.rmtree(directory)
