@@ -1,0 +1,342 @@
+"""Content-addressed result cache + int8 path: throughput and fidelity.
+
+Backs the inference-cache tentpole: corpora of sustainability reports are
+boilerplate-heavy (the same legal disclaimers, vision statements, and
+restated objectives recur across reports and years), so a cross-request
+result cache keyed by token content turns recomputation into lookups.
+This bench measures ``extract_batch`` over a seeded request stream at
+three repeat ratios (0%, 30%, 70% of blocks drawn from a boilerplate
+pool), compares cached vs. uncached throughput **and** against the
+committed pre-cache baseline in ``BENCH_inference_throughput.json``
+(``extractor.bucketed.tokens_per_second``), and asserts cache-served
+results are bitwise-identical to recomputation — both at the decoded
+detail level and on raw logits.
+
+The quantization half runs the int8 equivalence gate on the golden
+25-report fixture (the frozen recipe from
+``tests/integration/test_golden.py``): residual-coded int8 must keep
+every top label identical and every score delta under a tight bound, and
+the JSON records the gate report plus the weight-storage shrink.
+
+Run standalone from the repo root::
+
+    PYTHONPATH=src:. python benchmarks/bench_cache_quant.py
+
+and commit the output as ``BENCH_cache_quant.json``. Under pytest, the
+reduced-scale smoke level runs by default; the full sweep is ``slow``.
+
+Knobs: ``REPRO_BENCH_TEXTS`` (stream size, default 400) and
+``REPRO_BENCH_EPOCHS`` (training epochs, default 2).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+import sys
+
+import numpy as np
+import pytest
+
+from benchmarks.bench_inference_throughput import (
+    _train_extractor,
+    build_mixed_length_corpus,
+)
+from benchmarks.common import env_int
+from repro.core.extractor import WeakSupervisionExtractor
+from repro.datasets.generator import ObjectiveGenerator
+from repro.nn.attention import MultiHeadSelfAttention
+from repro.nn.layers import Linear
+from repro.runtime.profiling import RunStats
+
+#: Repeat ratios swept by the bench; the acceptance claim is >=2x at 0.7.
+REPEAT_RATIOS = (0.0, 0.3, 0.7)
+
+#: Distinct boilerplate blocks the repeated fraction is drawn from.
+BOILERPLATE_POOL = 8
+
+#: Result-cache capacity used for the cached runs.
+CACHE_CAPACITY = 4096
+
+#: Baseline artifact committed by ``bench_inference_throughput`` (PR 1's
+#: bucketed batching, no result cache) that the speedup claim is against.
+BASELINE_ARTIFACT = "BENCH_inference_throughput.json"
+
+#: Score-delta bound for the int8 gate on the golden fixture. Residual
+#: int8 coding lands around 1.5e-4 on this substrate; the bound leaves
+#: headroom without ever excusing a label flip (labels are gated exactly).
+GATE_BOUND = 1e-3
+
+
+def build_repeat_stream(
+    objective_texts: list[str],
+    num_texts: int,
+    repeat_ratio: float,
+    seed: int,
+) -> list[str]:
+    """A request stream where ``repeat_ratio`` of blocks are boilerplate.
+
+    The unique fraction reuses the mixed-length corpus builder (same
+    length skew as the baseline bench); the repeated fraction cycles a
+    small pool of fixed *dense paragraphs* (4-7 objectives each — real
+    boilerplate is long: disclaimers, vision statements, restated goal
+    lists), shuffled into the stream so repeats arrive interleaved with
+    fresh work — the access pattern a cross-request cache actually sees.
+    """
+    rng = np.random.default_rng(seed)
+    unique = build_mixed_length_corpus(
+        objective_texts, num_texts=num_texts, seed=seed + 1
+    )
+    pool_rng = np.random.default_rng(seed + 2)
+    pool = []
+    for __ in range(BOILERPLATE_POOL):
+        picks = pool_rng.integers(
+            0, len(objective_texts), size=int(pool_rng.integers(4, 8))
+        )
+        pool.append(" ".join(objective_texts[pick] for pick in picks))
+    stream = [
+        pool[int(rng.integers(0, BOILERPLATE_POOL))]
+        if rng.random() < repeat_ratio
+        else unique[position]
+        for position in range(num_texts)
+    ]
+    return stream
+
+
+def _view(
+    extractor: WeakSupervisionExtractor, capacity: int
+) -> WeakSupervisionExtractor:
+    """A view of a fitted extractor with its own result-cache capacity."""
+    clone = WeakSupervisionExtractor(
+        dataclasses.replace(
+            extractor.config,
+            batching="bucketed",
+            result_cache_capacity=capacity,
+            result_cache_seed=0,
+        ),
+        tokenizer=extractor.tokenizer,
+    )
+    clone.model = extractor.model
+    return clone
+
+
+def _run_stream(
+    extractor: WeakSupervisionExtractor,
+    stream: list[str],
+    request_size: int,
+) -> tuple[list[dict[str, str]], RunStats]:
+    """Feed ``stream`` through ``extract_batch`` in request-sized chunks."""
+    results: list[dict[str, str]] = []
+    merged = RunStats()
+    for start in range(0, len(stream), request_size):
+        results.extend(extractor.extract_batch(stream[start : start + request_size]))
+        merged = merged.merge(extractor.last_run_stats)
+    return results, merged
+
+
+def _logits_bitwise_identical(
+    extractor: WeakSupervisionExtractor, stream: list[str]
+) -> bool:
+    """Cache-hit logits must be bit-for-bit the uncached forward's."""
+    sequences: list[list[int]] = []
+    for text in stream:
+        tokens = extractor.word_tokenizer.tokenize(extractor._normalize(text))
+        if tokens:
+            encoding = extractor.tokenizer.encode(
+                [token.text for token in tokens]
+            )
+            sequences.append(list(encoding.ids))
+    budget = extractor.config.token_budget
+    uncached = extractor.model.predict_logits(sequences, token_budget=budget)
+    cache = _view(extractor, CACHE_CAPACITY).result_cache
+    first = extractor.model.predict_logits(
+        sequences, token_budget=budget, cache=cache
+    )
+    warm = extractor.model.predict_logits(
+        sequences, token_budget=budget, cache=cache
+    )
+    return all(
+        np.array_equal(base, cold) and np.array_equal(base, hot)
+        for base, cold, hot in zip(uncached, first, warm)
+    )
+
+
+def run_cache_sweep(
+    num_texts: int, epochs: int, seed: int = 0, request_size: int = 50
+) -> dict:
+    """Uncached vs. cached throughput at each repeat ratio."""
+    extractor = _train_extractor(epochs=epochs, seed=seed)
+    corpus_objectives = ObjectiveGenerator(seed=seed + 1).generate_many(60)
+    objective_texts = [objective.text for objective in corpus_objectives]
+
+    sweep: dict[str, dict] = {}
+    for ratio in REPEAT_RATIOS:
+        stream = build_repeat_stream(
+            objective_texts,
+            num_texts=num_texts,
+            repeat_ratio=ratio,
+            seed=seed + 10,
+        )
+        runs: dict[str, RunStats] = {}
+        results: dict[str, list[dict[str, str]]] = {}
+        for label, capacity in (("uncached", 0), ("cached", CACHE_CAPACITY)):
+            view = _view(extractor, capacity)
+            extractor.tokenizer.clear_cache()  # symmetric cold start
+            results[label], runs[label] = _run_stream(
+                view, stream, request_size
+            )
+        uncached_tps = runs["uncached"].tokens_per_second
+        cached_tps = runs["cached"].tokens_per_second
+        sweep[f"{ratio:.1f}"] = {
+            "uncached": runs["uncached"].as_dict(),
+            "cached": runs["cached"].as_dict(),
+            "speedup_vs_uncached": (
+                cached_tps / uncached_tps if uncached_tps else 0.0
+            ),
+            "results_identical": results["uncached"] == results["cached"],
+            "logits_bitwise_identical": _logits_bitwise_identical(
+                extractor, stream[: min(len(stream), 80)]
+            ),
+        }
+    return sweep
+
+
+def _weight_footprint(extractor: WeakSupervisionExtractor) -> dict:
+    """fp32 vs. attached-int8 storage for every quantized weight."""
+    fp32_bytes = 0
+    int8_bytes = 0
+    for child in extractor.model.modules():
+        if isinstance(child, MultiHeadSelfAttention):
+            if child._quant_fused is not None:
+                fp32_bytes += 3 * child.query_proj.weight.value.nbytes
+                int8_bytes += child._quant_fused.num_bytes
+        elif isinstance(child, Linear) and child._quant is not None:
+            fp32_bytes += child.weight.value.nbytes
+            int8_bytes += child._quant.num_bytes
+    return {
+        "fp32_weight_bytes": fp32_bytes,
+        "int8_weight_bytes": int8_bytes,
+        "shrink": fp32_bytes / int8_bytes if int8_bytes else 0.0,
+    }
+
+
+def run_quant_gate() -> dict:
+    """Int8 equivalence gate on the frozen golden 25-report fixture."""
+    tests_dir = os.path.join(
+        os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "tests"
+    )
+    if tests_dir not in sys.path:
+        sys.path.insert(0, tests_dir)
+    from integration.test_golden import (
+        build_golden_corpus,
+        build_golden_pipeline,
+    )
+
+    pipeline = build_golden_pipeline()
+    corpus = build_golden_corpus()
+    extractor = pipeline.extractor
+    blocks = [
+        block.text
+        for report in corpus
+        for page in report.pages
+        for block in page.blocks
+    ]
+    report = extractor.enable_quantization(
+        mode="int8", calibration_texts=blocks, max_score_delta=GATE_BOUND
+    )
+    footprint = _weight_footprint(extractor)
+    extractor.disable_quantization()
+    return {
+        "gate": report.as_dict(),
+        "calibration_blocks": len(blocks),
+        "reports": len(corpus),
+        **footprint,
+    }
+
+
+def run_cache_quant_benchmark(
+    num_texts: int | None = None,
+    epochs: int | None = None,
+    seed: int = 0,
+    with_quant_gate: bool = True,
+) -> dict:
+    """The full benchmark; returns the JSON-ready report."""
+    num_texts = num_texts or env_int("REPRO_BENCH_TEXTS", 400)
+    epochs = epochs or env_int("REPRO_BENCH_EPOCHS", 2)
+    sweep = run_cache_sweep(num_texts=num_texts, epochs=epochs, seed=seed)
+
+    baseline_tps = None
+    baseline_path = os.path.join(
+        os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+        BASELINE_ARTIFACT,
+    )
+    if os.path.exists(baseline_path):
+        with open(baseline_path, encoding="utf-8") as handle:
+            baseline = json.load(handle)
+        baseline_tps = baseline["extractor"]["bucketed"]["tokens_per_second"]
+    for level in sweep.values():
+        cached_tps = level["cached"]["tokens_per_second"]
+        level["speedup_vs_baseline"] = (
+            cached_tps / baseline_tps if baseline_tps else None
+        )
+
+    report = {
+        "config": {
+            "num_texts": num_texts,
+            "epochs": epochs,
+            "seed": seed,
+            "repeat_ratios": list(REPEAT_RATIOS),
+            "cache_capacity": CACHE_CAPACITY,
+            "gate_bound": GATE_BOUND,
+        },
+        "baseline_tokens_per_second": baseline_tps,
+        "sweep": sweep,
+    }
+    if with_quant_gate:
+        report["quantization"] = run_quant_gate()
+    return report
+
+
+def _assert_sweep(report: dict, require_baseline_speedup: bool) -> None:
+    for level in report["sweep"].values():
+        assert level["results_identical"]
+        assert level["logits_bitwise_identical"]
+    hot = report["sweep"]["0.7"]
+    assert hot["cached"]["result_cache_hits"] > 0
+    assert hot["speedup_vs_uncached"] > 1.0
+    if require_baseline_speedup:
+        # The headline claim: >=2x extractor tokens/sec over the
+        # committed pre-cache baseline at a 70% repeat ratio.
+        assert hot["speedup_vs_baseline"] is not None
+        assert hot["speedup_vs_baseline"] >= 2.0
+
+
+@pytest.mark.smoke
+@pytest.mark.cache
+def test_cache_sweep_smoke():
+    """Reduced-scale sweep: identity + hit-path speedup, no 2x claim."""
+    report = run_cache_quant_benchmark(
+        num_texts=60, epochs=1, with_quant_gate=False
+    )
+    _assert_sweep(report, require_baseline_speedup=False)
+
+
+@pytest.mark.slow
+@pytest.mark.cache
+@pytest.mark.quant
+@pytest.mark.benchmark(group="runtime")
+def test_cache_quant_full(benchmark):
+    """Full sweep + golden-fixture gate; the acceptance-level run."""
+    report = benchmark.pedantic(
+        run_cache_quant_benchmark, rounds=1, iterations=1
+    )
+    print()
+    print(json.dumps(report, indent=2))
+    _assert_sweep(report, require_baseline_speedup=True)
+    assert report["quantization"]["gate"]["passed"]
+    assert report["quantization"]["shrink"] > 1.9
+
+
+if __name__ == "__main__":
+    print(json.dumps(run_cache_quant_benchmark(), indent=2))

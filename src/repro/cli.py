@@ -120,6 +120,8 @@ def _cmd_extract(args: argparse.Namespace) -> int:
         overrides["batching"] = args.batching
     if args.token_budget is not None:
         overrides["token_budget"] = args.token_budget
+    if args.cache_capacity is not None:
+        overrides["result_cache_capacity"] = args.cache_capacity
     if overrides:
         try:
             extractor.config = dataclasses.replace(
@@ -136,6 +138,21 @@ def _cmd_extract(args: argparse.Namespace) -> int:
     else:
         print("either --text or --input is required", file=sys.stderr)
         return EXIT_INPUT_ERROR
+
+    if args.quantize:
+        try:
+            report = extractor.enable_quantization(
+                mode=args.quantize, calibration_texts=texts[:32]
+            )
+        except ReproError as error:
+            print(
+                f"error [{type(error).__name__}]: {error}", file=sys.stderr
+            )
+            return _exit_code_for(error)
+        print(
+            json.dumps({"quantization_gate": report.as_dict()}),
+            file=sys.stderr,
+        )
 
     policy = RetryPolicy(max_retries=args.max_retries)
     skipped = 0
@@ -389,10 +406,22 @@ def build_parser() -> argparse.ArgumentParser:
         help="padded-token budget per microbatch (bucketed batching)",
     )
     extract.add_argument(
+        "--cache-capacity",
+        type=int,
+        help="content-addressed result cache entries (0 disables; repeated "
+        "inputs are served bitwise-identically without a forward pass)",
+    )
+    extract.add_argument(
+        "--quantize",
+        choices=["int8"],
+        help="enable the int8 encoder path, gated on an equivalence check "
+        "over the inputs (refuses — exit 3 — if any top label changes)",
+    )
+    extract.add_argument(
         "--stats",
         action="store_true",
-        help="print runtime stats (tokens/sec, padding waste, cache hits) "
-        "as JSON on stderr",
+        help="print runtime stats (tokens/sec, padding waste, BPE and "
+        "result_cache_* hit/miss/eviction counters) as JSON on stderr",
     )
     extract.add_argument(
         "--on-error",

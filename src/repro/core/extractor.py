@@ -47,8 +47,9 @@ from repro.runtime.checkpoint import (
     verify_manifest,
     write_manifest,
 )
-from repro.runtime.errors import ArtifactError
+from repro.runtime.errors import ArtifactError, QuantizationError
 from repro.runtime.profiling import PerfCounters, RunStats
+from repro.runtime.rescache import ResultCache
 from repro.text.bpe import BpeTokenizer
 from repro.text.normalize import TextNormalizer
 from repro.text.words import WordTokenizer
@@ -88,6 +89,17 @@ class ExtractorConfig:
     #: the naive fixed-row chunking (the pre-runtime behaviour).
     batching: str = "bucketed"
     token_budget: int = 4096
+    #: Numeric inference path: ``None`` keeps fp32; ``"int8"`` attaches the
+    #: quantized encoder path on first use (raw switch — the *gated* entry
+    #: point is :meth:`WeakSupervisionExtractor.enable_quantization`, which
+    #: only flips this after the equivalence gate passes).
+    quantize: str | None = None
+    #: Content-addressed result cache over ``predict_logits``: 0 disables
+    #: it (the default — identical behaviour to earlier releases), any
+    #: positive value bounds the number of cached per-sequence results.
+    result_cache_capacity: int = 0
+    #: Seed of the cache's deterministic random-replacement eviction.
+    result_cache_seed: int = 0
 
     def __post_init__(self) -> None:
         if not self.fields:
@@ -105,6 +117,12 @@ class ExtractorConfig:
             )
         if self.token_budget <= 0:
             raise ValueError("token_budget must be positive")
+        if self.quantize not in (None, "int8"):
+            raise ValueError(
+                f"unknown quantize mode {self.quantize!r}; use None or 'int8'"
+            )
+        if self.result_cache_capacity < 0:
+            raise ValueError("result_cache_capacity must be >= 0")
 
     def build_matcher(self) -> TokenMatcher:
         return _MATCHERS[self.matcher]()
@@ -152,6 +170,11 @@ class WeakSupervisionExtractor(DetailExtractor):
         self.fault_injector = None
         self._normalize_cache: OrderedDict[str, str] = OrderedDict()
         self._normalize_cache_size = 4096
+        #: Content-addressed result cache (lazily built from the config;
+        #: the CLI replaces ``self.config`` after construction, so the
+        #: cache resolves against the *current* capacity/seed per call).
+        self._result_cache: ResultCache | None = None
+        self._result_cache_key: tuple[int, int] | None = None
         # Shared by concurrent serving workers: the OrderedDict LRU
         # reorder/evict and hit/miss counters mutate under this lock.
         self._normalize_lock = threading.Lock()
@@ -331,17 +354,122 @@ class WeakSupervisionExtractor(DetailExtractor):
     def extract(self, text: str) -> dict[str, str]:
         return self.extract_batch([text])[0]
 
+    @property
+    def result_cache(self) -> ResultCache | None:
+        """The active result cache (``None`` while capacity is 0)."""
+        return self._resolve_result_cache()
+
+    def _resolve_result_cache(self) -> ResultCache | None:
+        """Build/rebuild the result cache to match the current config.
+
+        Lazy because the CLI (and tests) swap ``self.config`` after
+        construction; a capacity/seed change drops the old cache — stale
+        entries under a different eviction stream would make statistics
+        irreproducible.
+        """
+        capacity = self.config.result_cache_capacity
+        if capacity <= 0:
+            self._result_cache = None
+            self._result_cache_key = None
+            return None
+        wanted = (capacity, self.config.result_cache_seed)
+        if self._result_cache is None or self._result_cache_key != wanted:
+            self._result_cache = ResultCache(
+                capacity=capacity, seed=self.config.result_cache_seed
+            )
+            self._result_cache_key = wanted
+        return self._result_cache
+
+    def _apply_config_quantization(self) -> None:
+        """Make the model's numeric path match ``config.quantize``.
+
+        Re-applied per extract call because quantized tensors are derived
+        state: the parallel runtime's broadcast rebuilds models from fp32
+        weights, so shard copies re-attach here (ungated — the gate ran
+        on the owner against the same weight bytes).
+        """
+        from repro.nn.quant import quantization_state
+
+        state = quantization_state(self.model)
+        if self.config.quantize is not None and state is None:
+            self.model.enable_quantization(self.config.quantize)
+        elif self.config.quantize is None and state is not None:
+            self.model.disable_quantization()
+
+    def enable_quantization(
+        self,
+        mode: str = "int8",
+        calibration_texts: Sequence[str] | None = None,
+        max_score_delta: float = 0.5,
+    ):
+        """Gated opt-in to the int8 encoder path.
+
+        Runs the fp32 baseline on ``calibration_texts``, attaches the
+        quantized tensors, re-runs, and compares with
+        :func:`repro.nn.quant.equivalence_report`: every prediction must
+        keep its top label at every position and the largest logit delta
+        must stay within ``max_score_delta``. On failure the model is
+        restored to fp32 and :class:`QuantizationError` is raised — the
+        path never silently degrades extractions. Returns the (passing)
+        report; on success ``config.quantize`` is flipped so saves,
+        parallel broadcasts, and later calls keep the path.
+        """
+        if self.model is None or self.tokenizer is None:
+            raise RuntimeError("extractor is not fitted; call fit() first")
+        if calibration_texts is None or not list(calibration_texts):
+            raise ValueError("calibration_texts must be non-empty")
+        sequences = []
+        for text in calibration_texts:
+            tokens = self.word_tokenizer.tokenize(self._normalize(text))
+            if not tokens:
+                continue
+            encoding = self.tokenizer.encode(
+                [token.text for token in tokens]
+            )
+            sequences.append(list(encoding.ids))
+        if not sequences:
+            raise ValueError(
+                "calibration_texts produced no token sequences"
+            )
+        from repro.nn.quant import equivalence_report
+
+        self.model.disable_quantization()
+        baseline = self.model.predict_logits(sequences)
+        self.model.enable_quantization(mode)
+        candidate = self.model.predict_logits(sequences)
+        report = equivalence_report(baseline, candidate, max_score_delta)
+        if not report.passed:
+            self.model.disable_quantization()
+            self.config = dataclasses.replace(self.config, quantize=None)
+            raise QuantizationError(
+                f"int8 equivalence gate failed: "
+                f"{report.top_label_matches}/{report.total} top labels "
+                f"match, max |delta| {report.max_abs_delta:.6g} "
+                f"(bound {report.bound:.6g})",
+                stage="quantize",
+            )
+        self.config = dataclasses.replace(self.config, quantize=mode)
+        return report
+
+    def disable_quantization(self) -> None:
+        """Return to the bitwise-fp32 inference path."""
+        self.config = dataclasses.replace(self.config, quantize=None)
+        if self.model is not None:
+            self.model.disable_quantization()
+
     def _predict_kwargs(self, counters: PerfCounters) -> dict:
         bucketed = self.config.batching == "bucketed"
         return {
             "token_budget": self.config.token_budget if bucketed else None,
             "sort_by_length": bucketed,
             "counters": counters,
+            "cache": self._resolve_result_cache(),
         }
 
     def extract_batch(self, texts: Sequence[str]) -> list[dict[str, str]]:
         if self.model is None or self.tokenizer is None:
             raise RuntimeError("extractor is not fitted; call fit() first")
+        self._apply_config_quantization()
         counters = PerfCounters()
         cache_before = self.tokenizer.cache_info()
         with counters.timer("wall_seconds"):

@@ -17,6 +17,7 @@ from repro.models.sequence_classifier import SequenceClassifier
 from repro.models.training import FineTuneConfig, fit_sequence_classifier
 from repro.nn.encoder import EncoderConfig
 from repro.runtime.profiling import PerfCounters, RunStats
+from repro.runtime.rescache import ResultCache
 from repro.text.bpe import BpeTokenizer
 from repro.text.normalize import TextNormalizer
 from repro.text.words import WordTokenizer
@@ -40,6 +41,14 @@ class DetectorConfig:
     )
     threshold: float = 0.5
     seed: int = 13
+    #: Content-addressed result cache over ``predict_proba`` (0 = off).
+    result_cache_capacity: int = 0
+    #: Seed of the cache's deterministic random-replacement eviction.
+    result_cache_seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.result_cache_capacity < 0:
+            raise ValueError("result_cache_capacity must be >= 0")
 
 
 class ObjectiveDetector:
@@ -56,6 +65,16 @@ class ObjectiveDetector:
         self.last_run_stats: RunStats | None = None
         #: Merged stats across every ``predict_proba`` call (lock-guarded).
         self.total_run_stats = RunStats()
+        #: Content-addressed probability-row cache (None while capacity
+        #: is 0). Built eagerly — DetectorConfig is fixed at construction.
+        self.result_cache: ResultCache | None = (
+            ResultCache(
+                capacity=self.config.result_cache_capacity,
+                seed=self.config.result_cache_seed,
+            )
+            if self.config.result_cache_capacity > 0
+            else None
+        )
         self._stats_lock = threading.Lock()
 
     def __getstate__(self) -> dict:
@@ -137,7 +156,7 @@ class ObjectiveDetector:
                 sequences = self._encode(texts)
             with counters.timer("model_seconds"):
                 probabilities = self.model.predict_proba(
-                    sequences, counters=counters
+                    sequences, counters=counters, cache=self.result_cache
                 )
         stats = RunStats.from_counters(
             counters, wall_seconds=counters.get("wall_seconds")

@@ -15,7 +15,9 @@ from repro.nn.encoder import EncoderConfig, TransformerEncoder
 from repro.nn.layers import Dropout, Linear
 from repro.nn.loss import cross_entropy
 from repro.nn.module import Module, guard_finite, inference_mode
+from repro.runtime import rescache
 from repro.runtime.profiling import PerfCounters
+from repro.runtime.rescache import ResultCache, result_key
 from repro.runtime.scheduler import plan_batches
 
 
@@ -84,6 +86,28 @@ class SequenceClassifier(Module):
         self.backward(dlogits)
         return loss
 
+    def enable_quantization(self, mode: str = "int8") -> int:
+        """Attach the int8 inference path (see :mod:`repro.nn.quant`).
+
+        Ungated at this level — integration layers that own calibration
+        data wrap this in the top-label equivalence gate. Returns the
+        number of quantized attachment points.
+        """
+        from repro.nn.quant import quantize_module
+
+        return quantize_module(self, mode)
+
+    def disable_quantization(self) -> int:
+        """Detach the int8 path, restoring bitwise-fp32 forwards."""
+        from repro.nn.quant import dequantize_module
+
+        return dequantize_module(self)
+
+    def _cache_variant(self) -> str:
+        from repro.nn.quant import quantization_state
+
+        return quantization_state(self) or ""
+
     def predict_proba(
         self,
         sequences: list[list[int]],
@@ -92,40 +116,102 @@ class SequenceClassifier(Module):
         token_budget: int | None = None,
         sort_by_length: bool = True,
         counters: PerfCounters | None = None,
+        cache: ResultCache | None = None,
     ) -> np.ndarray:
         """Class probabilities for each id sequence, ``(n, num_classes)``.
 
         Uses the same length-bucketed scheduler as the token classifier
         (token budget defaults to ``batch_size * max_len``); rows come back
-        in the original sequence order.
+        in the original sequence order. With ``cache``, probability rows
+        are looked up by content key (ids + model fingerprint +
+        quantization variant) and only the misses are planned and
+        computed; width-invariant pooling makes hits bitwise-identical to
+        a full uncached run.
         """
         from repro.nn.functional import softmax
 
         self.eval()
         if not sequences:
             return np.zeros((0, self.num_classes), dtype=precision.dtype())
-        plan = plan_batches(
-            [len(seq) for seq in sequences],
-            token_budget=token_budget or batch_size * self.config.max_len,
-            max_len=self.config.max_len,
-            max_rows=None if sort_by_length else batch_size,
-            sort_by_length=sort_by_length,
-        )
         out = np.zeros((len(sequences), self.num_classes), dtype=precision.dtype())
-        with inference_mode():
-            for microbatch in plan.microbatches:
-                chunk = [sequences[index] for index in microbatch.indices]
-                ids, mask = pad_sequences(
-                    chunk, pad_value=self.config.pad_id, width=microbatch.width
-                )
-                out[list(microbatch.indices)] = softmax(
-                    self.forward(ids, mask), axis=-1
-                )
+        effective_len = [
+            max(1, min(len(seq), self.config.max_len)) for seq in sequences
+        ]
+        cached_tokens = 0
+        hits = 0
+        key_of: dict[int, str] = {}
+        groups: dict[str, list[int]] = {}
+        if cache is None:
+            compute = list(range(len(sequences)))
+        else:
+            fingerprint = self.fingerprint()
+            variant = self._cache_variant()
+            compute = []
+            for index, seq in enumerate(sequences):
+                key = result_key(seq, fingerprint, variant)
+                found = cache.get(key)
+                if found is not None:
+                    out[index] = found
+                    hits += 1
+                    cached_tokens += effective_len[index]
+                else:
+                    key_of[index] = key
+                    if key not in groups:
+                        compute.append(index)
+                    groups.setdefault(key, []).append(index)
+        plan = None
+        evictions = 0
+        if compute:
+            plan = plan_batches(
+                [len(sequences[index]) for index in compute],
+                token_budget=token_budget or batch_size * self.config.max_len,
+                max_len=self.config.max_len,
+                max_rows=None if sort_by_length else batch_size,
+                sort_by_length=sort_by_length,
+            )
+            with inference_mode():
+                for microbatch in plan.microbatches:
+                    chunk_indices = [
+                        compute[position] for position in microbatch.indices
+                    ]
+                    chunk = [sequences[index] for index in chunk_indices]
+                    ids, mask = pad_sequences(
+                        chunk,
+                        pad_value=self.config.pad_id,
+                        width=microbatch.width,
+                    )
+                    out[chunk_indices] = softmax(
+                        self.forward(ids, mask), axis=-1
+                    )
+                    if cache is not None:
+                        for index in chunk_indices:
+                            evictions += cache.put(
+                                key_of[index], out[index]
+                            )
+        total_tokens = plan.total_tokens if plan else 0
+        if cache is not None:
+            # Fan computed rows out to intra-call duplicates (same key
+            # means same ids, so the copy is what a redundant forward
+            # would have produced).
+            for key, indices in groups.items():
+                first = indices[0]
+                for index in indices[1:]:
+                    out[index] = out[first]
+                    cached_tokens += effective_len[index]
+            total_tokens += cached_tokens
         if counters is not None:
             counters.add("sequences", len(sequences))
-            counters.add("microbatches", len(plan.microbatches))
-            counters.add("total_tokens", plan.total_tokens)
-            counters.add("padded_tokens", plan.padded_tokens)
+            counters.add("microbatches", len(plan.microbatches) if plan else 0)
+            counters.add("total_tokens", total_tokens)
+            counters.add("padded_tokens", plan.padded_tokens if plan else 0)
+            if cache is not None:
+                counters.add(rescache.HITS, hits)
+                counters.add(rescache.MISSES, len(sequences) - hits)
+                counters.add(rescache.CACHED_TOKENS, cached_tokens)
+                if evictions:
+                    counters.add(rescache.EVICTIONS, evictions)
+                if not compute:
+                    counters.add(rescache.BYPASSES, 1)
         return out
 
     def predict(

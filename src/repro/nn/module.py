@@ -13,6 +13,7 @@ parameter gradients, and returning the gradient w.r.t. the input).
 from __future__ import annotations
 
 import contextlib
+import hashlib
 from collections.abc import Iterator
 
 import numpy as np
@@ -113,6 +114,8 @@ class Module:
 
     def __init__(self) -> None:
         self.training = True
+        self._state_version = 0
+        self._fingerprint_cache: tuple[int, str] | None = None
 
     # -- traversal ----------------------------------------------------------
 
@@ -152,6 +155,7 @@ class Module:
         """Switch this module and all descendants to training mode."""
         for module in self.modules():
             module.training = True
+        self.bump_state_version()
         return self
 
     def eval(self) -> "Module":
@@ -164,6 +168,10 @@ class Module:
         """Reset the gradient accumulators of every parameter."""
         for param in self.parameters():
             param.zero_grad()
+        # Training loops call zero_grad() once per optimizer step, i.e.
+        # right around every in-place weight mutation — bumping here keeps
+        # the memoized fingerprint honest without hashing on the hot path.
+        self.bump_state_version()
 
     def num_parameters(self) -> int:
         """Total number of scalar parameters."""
@@ -197,6 +205,44 @@ class Module:
                 )
             param.value = value.copy()
             param.grad = np.zeros_like(param.value)
+        self.bump_state_version()
+
+    # -- content fingerprint -------------------------------------------------
+
+    def bump_state_version(self) -> None:
+        """Invalidate the memoized :meth:`fingerprint`.
+
+        Called automatically on every path that mutates parameter values
+        (``load_state_dict``, ``zero_grad`` — which training loops invoke
+        once per optimizer step — and ``train``). Call it manually after
+        any out-of-band in-place weight edit.
+        """
+        self._state_version = getattr(self, "_state_version", 0) + 1
+
+    def fingerprint(self) -> str:
+        """SHA-256 content digest of every parameter (memoized).
+
+        The digest covers sorted dotted parameter names, dtypes, shapes,
+        and raw value bytes — the same content hash convention as
+        :func:`repro.nn.serialize.state_digest` — so two modules with
+        bitwise-equal weights share a fingerprint and a single flipped
+        byte changes it. Memoized against ``_state_version``: repeated
+        inference-path lookups (the result cache keys every request by
+        this) cost a tuple compare, not a re-hash.
+        """
+        version = getattr(self, "_state_version", 0)
+        cached = getattr(self, "_fingerprint_cache", None)
+        if cached is not None and cached[0] == version:
+            return cached[1]
+        digest = hashlib.sha256()
+        for name, param in sorted(self.named_parameters()):
+            digest.update(name.encode("utf-8"))
+            digest.update(str(param.value.dtype).encode("ascii"))
+            digest.update(repr(param.value.shape).encode("ascii"))
+            digest.update(np.ascontiguousarray(param.value).tobytes())
+        result = digest.hexdigest()
+        self._fingerprint_cache = (version, result)
+        return result
 
     # -- call sugar ---------------------------------------------------------------
 

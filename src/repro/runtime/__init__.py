@@ -20,6 +20,10 @@ path fast, fault-tolerant, and measurable:
 * :mod:`repro.runtime.checkpoint` — durable training: atomic, checksummed,
   bitwise-resumable checkpoints with manifests, a last-good pointer, and
   corruption rollback (typed ``ArtifactError`` on every load surface);
+* :mod:`repro.runtime.rescache` — content-addressed cross-request result
+  cache (keys pin token ids + weight fingerprint + numeric variant;
+  bounded, seeded-deterministic eviction; hits are bitwise-identical to
+  recomputation thanks to packing invariance);
 * :func:`repro.nn.module.inference_mode` / :func:`repro.nn.module.numeric_guard`
   (re-exported here) — backward-cache-free prediction and opt-in NaN/inf
   guards.
@@ -45,6 +49,7 @@ from repro.runtime.errors import (
     ModelError,
     NumericalError,
     OverloadedError,
+    QuantizationError,
     ReproError,
     StageTimeout,
     classify_error,
@@ -67,6 +72,7 @@ from repro.runtime.parallel import (
     shard_seed,
 )
 from repro.runtime.profiling import PerfCounters, RunStats
+from repro.runtime.rescache import CacheStats, ResultCache, result_key
 from repro.runtime.resilience import (
     CircuitBreaker,
     FaultInjector,
@@ -83,6 +89,7 @@ from repro.runtime.scheduler import BatchPlan, Microbatch, plan_batches
 __all__ = [
     "ArtifactError",
     "BatchPlan",
+    "CacheStats",
     "CheckpointManager",
     "CircuitBreaker",
     "CircuitOpenError",
@@ -95,9 +102,11 @@ __all__ = [
     "OverloadedError",
     "PerfCounters",
     "PipelineBroadcast",
+    "QuantizationError",
     "QuarantineEntry",
     "QuarantineQueue",
     "ReproError",
+    "ResultCache",
     "RetryPolicy",
     "RunStats",
     "Shard",
@@ -121,6 +130,7 @@ __all__ = [
     "process_reports_parallel",
     "resolve_workers",
     "restore_pipeline",
+    "result_key",
     "run_shard",
     "run_stage",
     "sanitize_report",

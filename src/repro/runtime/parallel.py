@@ -19,8 +19,12 @@ deterministic per-shard seeds, quarantine shipped back and merged).
 * a sequence's logits are bitwise-invariant to microbatch packing (the
   PR 1/PR 3 width-invariance guarantees), so per-shard batched detection
   and extraction produce the same scores as one corpus-wide batch;
-* caches (BPE, normalize) are value-transparent and every worker's RNG
-  state derives deterministically from the broadcast.
+* caches (BPE, normalize, and the content-addressed result cache of
+  :mod:`repro.runtime.rescache`) are value-transparent and every worker's
+  RNG state derives deterministically from the broadcast — a pickled
+  :class:`~repro.runtime.rescache.ResultCache` arrives *empty* with fresh
+  stats, and the single-worker path restores from the same broadcast, so
+  ``workers=1`` and ``workers=N`` stay bitwise-identical with caching on.
 
 Per-shard ``RunStats``/``PerfCounters`` merge back through the PR 3
 merge-safe APIs (:meth:`RunStats.merge`), so fleet-wide counters equal the
@@ -625,6 +629,14 @@ def extract_batch_parallel(
     order (contiguous shards, packing-invariant logits). The merged
     per-shard :class:`RunStats` lands in ``extractor.last_run_stats``
     and folds into ``extractor.total_run_stats``.
+
+    With ``result_cache_capacity`` set on the extractor config, each
+    shard worker runs its own *fresh* cache (the broadcast pickles the
+    cache as empty): repeats within one worker's shards hit, repeats
+    split across workers miss (a single worker therefore sees more hits
+    than a wide pool), and the per-shard ``result_cache_*`` stats merge
+    back additively. Values never depend on cache state, so caching
+    keeps ``workers=N`` bitwise-identical to ``workers=1``.
     """
     texts = list(texts)
     workers = resolve_workers(workers)

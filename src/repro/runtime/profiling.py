@@ -84,6 +84,14 @@ class RunStats:
     padded_tokens: int = 0
     bpe_cache_hits: int = 0
     bpe_cache_misses: int = 0
+    # Content-addressed result cache (repro.runtime.rescache): sequence
+    # lookups, deterministic evictions, whole calls served without a
+    # forward pass (bypasses), and effective tokens served from cache.
+    result_cache_hits: int = 0
+    result_cache_misses: int = 0
+    result_cache_evictions: int = 0
+    result_cache_bypasses: int = 0
+    result_cache_tokens: int = 0
     # Robustness counters (filled by the fault-tolerant runtime paths).
     retries: int = 0
     failures: int = 0
@@ -112,6 +120,13 @@ class RunStats:
             return 0.0
         return self.bpe_cache_hits / lookups
 
+    @property
+    def result_cache_hit_rate(self) -> float:
+        lookups = self.result_cache_hits + self.result_cache_misses
+        if lookups == 0:
+            return 0.0
+        return self.result_cache_hits / lookups
+
     def as_dict(self) -> dict:
         """JSON-ready flat view, derived ratios included."""
         return {
@@ -125,6 +140,12 @@ class RunStats:
             "bpe_cache_hits": self.bpe_cache_hits,
             "bpe_cache_misses": self.bpe_cache_misses,
             "bpe_cache_hit_rate": self.bpe_cache_hit_rate,
+            "result_cache_hits": self.result_cache_hits,
+            "result_cache_misses": self.result_cache_misses,
+            "result_cache_evictions": self.result_cache_evictions,
+            "result_cache_bypasses": self.result_cache_bypasses,
+            "result_cache_tokens": self.result_cache_tokens,
+            "result_cache_hit_rate": self.result_cache_hit_rate,
             "retries": self.retries,
             "failures": self.failures,
             "degraded": self.degraded,
@@ -153,6 +174,16 @@ class RunStats:
             padded_tokens=self.padded_tokens + other.padded_tokens,
             bpe_cache_hits=self.bpe_cache_hits + other.bpe_cache_hits,
             bpe_cache_misses=self.bpe_cache_misses + other.bpe_cache_misses,
+            result_cache_hits=self.result_cache_hits
+            + other.result_cache_hits,
+            result_cache_misses=self.result_cache_misses
+            + other.result_cache_misses,
+            result_cache_evictions=self.result_cache_evictions
+            + other.result_cache_evictions,
+            result_cache_bypasses=self.result_cache_bypasses
+            + other.result_cache_bypasses,
+            result_cache_tokens=self.result_cache_tokens
+            + other.result_cache_tokens,
             retries=self.retries + other.retries,
             failures=self.failures + other.failures,
             degraded=self.degraded + other.degraded,
@@ -185,6 +216,15 @@ class RunStats:
             padded_tokens=int(values.get("padded_tokens", 0)),
             bpe_cache_hits=bpe_cache_hits,
             bpe_cache_misses=bpe_cache_misses,
+            result_cache_hits=int(values.get("result_cache_hits", 0)),
+            result_cache_misses=int(values.get("result_cache_misses", 0)),
+            result_cache_evictions=int(
+                values.get("result_cache_evictions", 0)
+            ),
+            result_cache_bypasses=int(
+                values.get("result_cache_bypasses", 0)
+            ),
+            result_cache_tokens=int(values.get("result_cache_tokens", 0)),
             retries=int(values.get("retries", 0)),
             failures=int(values.get("stage_failures", 0)),
             degraded=int(values.get("degraded", 0)),

@@ -36,6 +36,7 @@ from collections.abc import Mapping, Sequence
 from concurrent.futures import Future
 
 from repro.runtime.errors import InputError, OverloadedError, ReproError
+from repro.runtime.rescache import ResultCache, result_key
 from repro.runtime.resilience import (
     CircuitBreaker,
     FaultInjector,
@@ -135,6 +136,12 @@ class ServingConfig:
         breaker_threshold / breaker_recovery_time: per-stage circuit
             breaker configuration.
         quarantine_limit: how many failed-request records to retain.
+        result_cache_capacity: entries in the content-addressed result
+            cache probed at submit time (0 — the default — disables it).
+            Hits resolve immediately: they bypass admission, queueing,
+            and the batch-token budget entirely (``batch_size=0`` marks
+            them in the :class:`ServeResult`).
+        result_cache_seed: seed of the cache's deterministic eviction.
     """
 
     num_workers: int = 2
@@ -145,6 +152,8 @@ class ServingConfig:
     breaker_threshold: int = 8
     breaker_recovery_time: float = 0.0
     quarantine_limit: int = 256
+    result_cache_capacity: int = 0
+    result_cache_seed: int = 0
 
     def __post_init__(self) -> None:
         if self.num_workers <= 0:
@@ -157,6 +166,8 @@ class ServingConfig:
             raise ValueError("max_wait_ms must be non-negative")
         if self.quarantine_limit <= 0:
             raise ValueError("quarantine_limit must be positive")
+        if self.result_cache_capacity < 0:
+            raise ValueError("result_cache_capacity must be >= 0")
 
 
 def _estimate_tokens(texts: Sequence[str]) -> int:
@@ -216,6 +227,15 @@ class ServingEngine:
             )
             for stage in (KIND_DETECT, KIND_EXTRACT, "fallback_extract")
         }
+        #: Content-addressed request-result cache (None while disabled).
+        self.result_cache: ResultCache | None = (
+            ResultCache(
+                capacity=self.config.result_cache_capacity,
+                seed=self.config.result_cache_seed,
+            )
+            if self.config.result_cache_capacity > 0
+            else None
+        )
         #: Failed requests with full error provenance (bounded).
         self.quarantine: deque[dict] = deque(
             maxlen=self.config.quarantine_limit
@@ -354,11 +374,73 @@ class ServingEngine:
                 "engine has no extractor backend", stage="admission"
             )
         self.metrics.count("submitted")
+        if self.result_cache is not None:
+            fast = self._serve_from_cache(request)
+            if fast is not None:
+                return fast
         entry = _QueuedRequest(
             request, _estimate_tokens(request.texts), self._clock()
         )
         self.admission.admit(entry)  # raises OverloadedError when shedding
         return entry.future
+
+    def _cache_key(self, request: ServeRequest) -> str | None:
+        """Content key of a request, or None when it cannot be pinned.
+
+        The key hashes the request payload (kind + texts) with the
+        backend model's weight fingerprint and quantization variant, so a
+        hot-swapped checkpoint or a newly enabled int8 path can never be
+        served another model's records. Unfitted backends get no key.
+        """
+        from repro.nn.quant import quantization_state
+
+        backend = (
+            self.detector if request.kind == KIND_DETECT else self.extractor
+        )
+        model = getattr(backend, "model", None)
+        if model is None or not hasattr(model, "fingerprint"):
+            return None
+        payload = request.kind + "\x00" + "\x00".join(request.texts)
+        return result_key(
+            payload, model.fingerprint(), quantization_state(model) or ""
+        )
+
+    def _serve_from_cache(self, request: ServeRequest) -> Future | None:
+        """Resolve a submit immediately on a cache hit (else None).
+
+        Hits never enter admission: they cost no queue slot, no worker
+        lease, and no batch-token budget — which is the point of probing
+        before :meth:`AdmissionController.admit`.
+        """
+        key = self._cache_key(request)
+        if key is None:
+            return None
+        values = self.result_cache.get(key)
+        if values is None:
+            self.metrics.count(f"cache.misses.{request.priority}")
+            return None
+        self.metrics.count(f"cache.hits.{request.priority}")
+        self.metrics.count("cache_fast_path")
+        self.metrics.count("completed")
+        self.metrics.observe(f"{request.kind}.total", 0.0)
+        future: Future = Future()
+        future.set_result(
+            ServeResult(
+                kind=request.kind,
+                # Detail records are mutable dicts; hand out copies so a
+                # caller's edits cannot corrupt the cached entry.
+                values=tuple(
+                    dict(value) if isinstance(value, dict) else value
+                    for value in values
+                ),
+                status=STATUS_OK,
+                queue_wait_seconds=0.0,
+                compute_seconds=0.0,
+                total_seconds=0.0,
+                batch_size=0,
+            )
+        )
+        return future
 
     def detect(self, texts, priority: str = "interactive") -> Future:
         """Convenience: submit a detection request."""
@@ -537,6 +619,21 @@ class ServingEngine:
         kind = entry.request.kind
         queue_wait = max(0.0, compute_start - entry.admitted_at)
         total = max(0.0, now - entry.admitted_at)
+        if status == STATUS_OK and self.result_cache is not None:
+            # Key recomputed *after* compute so the entry is pinned to
+            # the weights that actually produced these values (a model
+            # hot-swapped mid-flight lands under its own fingerprint).
+            key = self._cache_key(entry.request)
+            if key is not None:
+                # Store copies of mutable detail records: the caller gets
+                # the originals and may edit them freely.
+                self.result_cache.put(
+                    key,
+                    tuple(
+                        dict(value) if isinstance(value, dict) else value
+                        for value in values
+                    ),
+                )
         self.metrics.count("completed")
         self.metrics.observe(f"{kind}.queue_wait", queue_wait)
         self.metrics.observe(f"{kind}.compute", compute_seconds)

@@ -148,4 +148,33 @@ class SloMetrics:
                 "completed": completed,
                 "requests_per_second": completed / elapsed,
             },
+            "cache": _cache_view(counters),
         }
+
+
+def _cache_view(counters: dict[str, float]) -> dict:
+    """Per-priority result-cache hit rates from the flat counters.
+
+    The engine counts ``cache.hits.<priority>`` / ``cache.misses.<priority>``
+    at submit time; this folds them into ``{priority: {hits, misses,
+    hit_rate}}`` so SLO dashboards can see who benefits from the fast path
+    (interactive traffic usually should; bulk sweeps usually churn).
+    """
+    priorities: dict[str, dict[str, float]] = {}
+    for name, value in counters.items():
+        for verdict, prefix in (
+            ("hits", "cache.hits."),
+            ("misses", "cache.misses."),
+        ):
+            if name.startswith(prefix):
+                priority = name[len(prefix):]
+                priorities.setdefault(
+                    priority, {"hits": 0.0, "misses": 0.0}
+                )[verdict] = value
+    for stats in priorities.values():
+        lookups = stats["hits"] + stats["misses"]
+        stats["hit_rate"] = stats["hits"] / lookups if lookups else 0.0
+    return {
+        "fast_path": counters.get("cache_fast_path", 0.0),
+        "by_priority": dict(sorted(priorities.items())),
+    }

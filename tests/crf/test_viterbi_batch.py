@@ -1,0 +1,122 @@
+"""Batched Viterbi must be bitwise-identical to sequential decoding.
+
+``viterbi_batch`` pads the emission matrices and vectorizes the DP over
+sentences; the tests pin that the vectorization changes nothing — not
+even argmax tie-breaking, which integer-valued weights force constantly.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.crf.extractor import CrfConfig, CrfDetailExtractor
+from repro.crf.model import LinearChainCRF
+
+
+def make_crf(seed: int, num_features: int = 8, num_labels: int = 4):
+    rng = np.random.default_rng(seed)
+    crf = LinearChainCRF(num_features=num_features, num_labels=num_labels)
+    crf.emission_weights = rng.normal(size=crf.emission_weights.shape)
+    crf.transition_weights = rng.normal(size=crf.transition_weights.shape)
+    crf.start_weights = rng.normal(size=num_labels)
+    crf.end_weights = rng.normal(size=num_labels)
+    return crf
+
+
+def random_sentences(rng, count, num_features, max_len=7):
+    sentences = []
+    for __ in range(count):
+        length = int(rng.integers(1, max_len + 1))
+        sentences.append(
+            [
+                sorted(
+                    set(
+                        map(
+                            int,
+                            rng.integers(
+                                0,
+                                num_features,
+                                size=int(rng.integers(1, 4)),
+                            ),
+                        )
+                    )
+                )
+                for __ in range(length)
+            ]
+        )
+    return sentences
+
+
+class TestViterbiBatch:
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(0, 10_000), count=st.integers(1, 8))
+    def test_matches_sequential_bitwise(self, seed, count):
+        crf = make_crf(seed)
+        sentences = random_sentences(
+            np.random.default_rng(seed + 1), count, crf.num_features
+        )
+        expected = [crf.viterbi(sentence) for sentence in sentences]
+        assert crf.viterbi_batch(sentences) == expected
+
+    def test_tie_breaking_identical_under_integer_weights(self):
+        """Integer weights make equal-score paths ubiquitous; batched
+        argmax must pick exactly the label sequential argmax picks."""
+        crf = make_crf(0)
+        rng = np.random.default_rng(42)
+        crf.emission_weights = rng.integers(
+            -1, 2, size=crf.emission_weights.shape
+        ).astype(float)
+        crf.transition_weights = np.zeros_like(crf.transition_weights)
+        crf.start_weights = np.zeros_like(crf.start_weights)
+        crf.end_weights = np.zeros_like(crf.end_weights)
+        sentences = random_sentences(rng, 12, crf.num_features)
+        expected = [crf.viterbi(sentence) for sentence in sentences]
+        assert crf.viterbi_batch(sentences) == expected
+
+    def test_all_zero_weights_break_ties_to_label_zero(self):
+        crf = LinearChainCRF(num_features=3, num_labels=3)
+        sentences = [[[0], [1]], [[2]]]
+        assert crf.viterbi_batch(sentences) == [[0, 0], [0]]
+
+    def test_mixed_lengths(self):
+        crf = make_crf(5)
+        sentences = [
+            [[0]],
+            [[1], [2], [3], [4], [5], [6], [7]],
+            [[0, 1], [2, 3]],
+        ]
+        expected = [crf.viterbi(sentence) for sentence in sentences]
+        assert crf.viterbi_batch(sentences) == expected
+
+    def test_empty_batch(self):
+        assert make_crf(1).viterbi_batch([]) == []
+
+    def test_zero_length_sentences(self):
+        crf = make_crf(2)
+        assert crf.viterbi_batch([[], [[0]], []]) == [
+            [],
+            crf.viterbi([[0]]),
+            [],
+        ]
+
+    def test_single_sentence_equals_viterbi(self):
+        crf = make_crf(3)
+        sentence = [[0, 2], [1], [3, 4]]
+        assert crf.viterbi_batch([sentence]) == [crf.viterbi(sentence)]
+
+
+class TestExtractorBatchDecode:
+    @pytest.fixture(scope="class")
+    def fitted(self, tiny_dataset):
+        extractor = CrfDetailExtractor(config=CrfConfig(epochs=2))
+        return extractor.fit(tiny_dataset.objectives[:40])
+
+    def test_extract_batch_matches_sequential(self, fitted, tiny_dataset):
+        texts = [o.text for o in tiny_dataset.objectives[:20]]
+        texts += ["", "...", texts[0]]  # empty-token and duplicate inputs
+        assert fitted.extract_batch(texts) == [
+            fitted.extract(text) for text in texts
+        ]
+
+    def test_extract_batch_empty(self, fitted):
+        assert fitted.extract_batch([]) == []

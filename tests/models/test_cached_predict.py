@@ -1,0 +1,197 @@
+"""Cached prediction paths: bitwise identity, dedup, chaos resilience.
+
+The cache contract is absolute: a prediction served from (or through) a
+:class:`~repro.runtime.rescache.ResultCache` is bit-for-bit what the
+uncached forward would have produced — across corpora, capacities (i.e.
+under eviction pressure), warm re-runs, and mid-miss faults.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.models.sequence_classifier import SequenceClassifier
+from repro.models.token_classifier import TokenClassifier
+from repro.nn.encoder import EncoderConfig
+from repro.runtime import rescache
+from repro.runtime.profiling import PerfCounters
+from repro.runtime.rescache import ResultCache
+
+pytestmark = pytest.mark.cache
+
+CONFIG = EncoderConfig(
+    vocab_size=50, dim=16, num_layers=1, num_heads=2, ffn_dim=32,
+    max_len=12, dropout=0.0,
+)
+
+
+@pytest.fixture(scope="module")
+def token_model():
+    return TokenClassifier(
+        CONFIG, num_labels=4, rng=np.random.default_rng(11)
+    )
+
+
+@pytest.fixture(scope="module")
+def seq_model():
+    return SequenceClassifier(
+        CONFIG, num_classes=3, rng=np.random.default_rng(12)
+    )
+
+
+def random_corpus(seed: int, size: int) -> list[list[int]]:
+    rng = np.random.default_rng(seed)
+    corpus = []
+    for __ in range(size):
+        length = int(rng.integers(1, 16))  # some sequences exceed max_len
+        corpus.append(list(map(int, rng.integers(1, 50, size=length))))
+    # Guarantee duplicates: the cache's reason to exist.
+    if size >= 4:
+        corpus[size // 2] = list(corpus[0])
+        corpus[-1] = list(corpus[1])
+    return corpus
+
+
+def assert_bitwise(expected, actual):
+    assert len(expected) == len(actual)
+    for left, right in zip(expected, actual):
+        np.testing.assert_array_equal(left, right)
+
+
+class TestTokenClassifierCache:
+    @settings(max_examples=12, deadline=None)
+    @given(
+        seed=st.integers(0, 10_000),
+        size=st.integers(1, 24),
+        capacity=st.integers(1, 32),
+    )
+    def test_cached_equals_uncached_bitwise(
+        self, token_model, seed, size, capacity
+    ):
+        """The property: any corpus, any capacity, cold and warm."""
+        corpus = random_corpus(seed, size)
+        baseline = token_model.predict_logits(corpus)
+        cache = ResultCache(capacity=capacity, seed=seed)
+        cold = token_model.predict_logits(corpus, cache=cache)
+        warm = token_model.predict_logits(corpus, cache=cache)
+        assert_bitwise(baseline, cold)
+        assert_bitwise(baseline, warm)
+
+    def test_intra_call_dedup_computes_once(self, token_model):
+        corpus = [[7, 8, 9]] * 6
+        counters = PerfCounters()
+        cache = ResultCache(capacity=8)
+        outputs = token_model.predict_logits(
+            corpus, counters=counters, cache=cache
+        )
+        values = counters.snapshot()
+        # One microbatch of one sequence; five fan-out copies.
+        assert values["microbatches"] == 1
+        assert values[rescache.MISSES] == 6
+        assert values[rescache.CACHED_TOKENS] == 15  # 5 copies * 3 tokens
+        assert cache.stats.insertions == 1
+        assert_bitwise([outputs[0]] * 6, outputs)
+
+    def test_warm_call_counts_bypass(self, token_model):
+        corpus = random_corpus(3, 5)
+        cache = ResultCache(capacity=16)
+        token_model.predict_logits(corpus, cache=cache)
+        counters = PerfCounters()
+        token_model.predict_logits(corpus, cache=cache, counters=counters)
+        values = counters.snapshot()
+        assert values[rescache.BYPASSES] == 1
+        assert values[rescache.HITS] == 5
+        assert values.get(rescache.MISSES, 0) == 0
+        assert values["microbatches"] == 0
+        # Cached tokens still count as served work.
+        assert values["total_tokens"] == values[rescache.CACHED_TOKENS] > 0
+
+    def test_weight_change_misses(self, token_model):
+        """A byte-level weight change must key differently — no stale
+        records after a hot-swap/resume."""
+        corpus = [[1, 2, 3], [4, 5]]
+        cache = ResultCache(capacity=8)
+        before = token_model.predict_logits(corpus, cache=cache)
+        state = token_model.state_dict()
+        head = state["head.weight"].copy()
+        head.flat[0] = np.nextafter(head.flat[0], np.inf)  # one-ulp flip
+        state["head.weight"] = head
+        token_model.load_state_dict(state)
+        try:
+            counters = PerfCounters()
+            after = token_model.predict_logits(
+                corpus, cache=cache, counters=counters
+            )
+            assert counters.snapshot()[rescache.MISSES] == 2
+            assert not np.array_equal(before[0], after[0])
+            # The swapped-weight results are cached under their own key.
+            warm = token_model.predict_logits(corpus, cache=cache)
+            assert_bitwise(after, warm)
+        finally:
+            state["head.weight"] = head  # leave the module consistent
+            token_model.load_state_dict(state)
+
+    @pytest.mark.chaos
+    def test_fault_mid_miss_does_not_poison(self, token_model, monkeypatch):
+        """A forward crash while filling misses leaves no wrong entries:
+        the retry and an uncached run stay bitwise-identical."""
+        corpus = random_corpus(9, 12)
+        baseline = token_model.predict_logits(corpus)
+        cache = ResultCache(capacity=32)
+        real_forward = type(token_model).forward
+        calls = {"count": 0}
+
+        def flaky_forward(self, ids, mask):
+            calls["count"] += 1
+            if calls["count"] == 2:
+                raise RuntimeError("injected fault mid-miss")
+            return real_forward(self, ids, mask)
+
+        monkeypatch.setattr(type(token_model), "forward", flaky_forward)
+        with pytest.raises(RuntimeError, match="injected fault"):
+            token_model.predict_logits(corpus, batch_size=2, cache=cache)
+        monkeypatch.setattr(type(token_model), "forward", real_forward)
+        # Whatever the crashed call managed to insert is complete and
+        # correct; the retry serves/fills the rest.
+        retry = token_model.predict_logits(corpus, cache=cache)
+        warm = token_model.predict_logits(corpus, cache=cache)
+        assert_bitwise(baseline, retry)
+        assert_bitwise(baseline, warm)
+
+
+class TestSequenceClassifierCache:
+    @settings(max_examples=12, deadline=None)
+    @given(
+        seed=st.integers(0, 10_000),
+        size=st.integers(1, 24),
+        capacity=st.integers(1, 32),
+    )
+    def test_cached_equals_uncached_bitwise(
+        self, seq_model, seed, size, capacity
+    ):
+        corpus = random_corpus(seed, size)
+        baseline = seq_model.predict_proba(corpus)
+        cache = ResultCache(capacity=capacity, seed=seed)
+        cold = seq_model.predict_proba(corpus, cache=cache)
+        warm = seq_model.predict_proba(corpus, cache=cache)
+        np.testing.assert_array_equal(baseline, cold)
+        np.testing.assert_array_equal(baseline, warm)
+
+    def test_counters_roundtrip(self, seq_model):
+        corpus = random_corpus(5, 8)
+        cache = ResultCache(capacity=16)
+        counters = PerfCounters()
+        seq_model.predict_proba(corpus, cache=cache, counters=counters)
+        cold = counters.snapshot()
+        assert cold[rescache.MISSES] == 8
+        assert cold[rescache.HITS] + cold[rescache.MISSES] == 8
+        seq_model.predict_proba(corpus, cache=cache, counters=counters)
+        warm = counters.snapshot()
+        assert warm[rescache.HITS] == 8
+        assert warm[rescache.BYPASSES] == 1
+
+    def test_empty_corpus_short_circuits(self, seq_model):
+        cache = ResultCache(capacity=4)
+        out = seq_model.predict_proba([], cache=cache)
+        assert out.shape == (0, 3)
+        assert cache.stats.lookups == 0

@@ -1,0 +1,239 @@
+"""Tests for residual-coded int8 quantization and its equivalence gate."""
+
+import numpy as np
+import pytest
+
+from repro.models.token_classifier import TokenClassifier
+from repro.nn.attention import MultiHeadSelfAttention
+from repro.nn.encoder import EncoderConfig
+from repro.nn.layers import Linear
+from repro.nn.module import inference_mode
+from repro.nn.quant import (
+    INT8,
+    QMAX,
+    EquivalenceReport,
+    dequantize_module,
+    dequantize_weight,
+    equivalence_report,
+    quantization_state,
+    quantize_module,
+    quantize_weight,
+)
+from repro.nn.serialize import state_digest
+
+pytestmark = pytest.mark.quant
+
+
+@pytest.fixture
+def weight():
+    rng = np.random.default_rng(0)
+    w = rng.normal(scale=0.2, size=(24, 16))
+    w[:, 3] = 0.0  # an all-zero output channel
+    return w
+
+
+class TestQuantizeWeight:
+    def test_codes_within_symmetric_range(self, weight):
+        tensor = quantize_weight(weight)
+        for plane in (tensor.q, tensor.q2):
+            assert plane.dtype == np.int8
+            assert plane.min() >= -QMAX
+            assert plane.max() <= QMAX
+
+    def test_operands_are_exact_code_images(self, weight):
+        tensor = quantize_weight(weight)
+        np.testing.assert_array_equal(tensor.operand, tensor.q)
+        np.testing.assert_array_equal(tensor.operand2, tensor.q2)
+
+    def test_primary_scale_is_per_channel_absmax(self, weight):
+        tensor = quantize_weight(weight)
+        absmax = np.abs(np.asarray(weight, dtype=np.float32)).max(axis=0)
+        expected = np.where(absmax > 0, absmax / QMAX, 1.0)
+        np.testing.assert_allclose(tensor.scale, expected, rtol=1e-6)
+
+    def test_residual_plane_bounds_the_error(self, weight):
+        """Two code planes shrink worst-case error from ``scale/2`` to
+        ``scale2/2`` — roughly 250x — which is the whole point."""
+        tensor = quantize_weight(weight)
+        error = np.abs(
+            np.asarray(weight, dtype=np.float32) - dequantize_weight(tensor)
+        )
+        # Residual rounding bound per channel, plus fp slack.
+        bound = tensor.scale2 / 2 + 1e-7
+        assert (error <= bound).all()
+        # And far tighter than single-plane int8 could be.
+        single_plane_error = np.abs(
+            np.asarray(weight, dtype=np.float32)
+            - tensor.operand * tensor.scale
+        )
+        assert error.max() < single_plane_error.max() / 50
+
+    def test_zero_column_roundtrips_exactly(self, weight):
+        tensor = quantize_weight(weight)
+        np.testing.assert_array_equal(dequantize_weight(tensor)[:, 3], 0.0)
+
+    def test_arrays_are_frozen(self, weight):
+        tensor = quantize_weight(weight)
+        with pytest.raises(ValueError):
+            tensor.q[0, 0] = 0
+
+    def test_non_2d_rejected(self):
+        with pytest.raises(ValueError):
+            quantize_weight(np.ones(5))
+
+    def test_matmul_matches_two_plane_formula(self, weight):
+        tensor = quantize_weight(weight)
+        x = np.random.default_rng(1).normal(size=(3, 24)).astype(np.float32)
+        expected = (x @ tensor.operand) * tensor.scale + (
+            x @ tensor.operand2
+        ) * tensor.scale2
+        np.testing.assert_array_equal(tensor.matmul(x), expected)
+
+
+class TestLinearAttachment:
+    def test_inference_forward_close_detach_bitwise(self, rng):
+        layer = Linear(8, 6, rng)
+        x = rng.normal(size=(4, 8))
+        with inference_mode():
+            baseline = layer(x)
+            layer.attach_quantized(quantize_weight(layer.weight.value))
+            quantized = layer(x)
+            assert layer.detach_quantized()
+            restored = layer(x)
+        assert not np.array_equal(baseline, quantized)
+        np.testing.assert_allclose(quantized, baseline, atol=1e-4)
+        np.testing.assert_array_equal(restored, baseline)
+
+    def test_row_invariant_path(self, rng):
+        layer = Linear(8, 3, rng, row_invariant=True)
+        layer.attach_quantized(quantize_weight(layer.weight.value))
+        x = rng.normal(size=(5, 8))
+        with inference_mode():
+            batched = layer(x)
+            single = np.stack([layer(row[None])[0] for row in x])
+        np.testing.assert_array_equal(batched, single)
+
+    def test_training_forward_ignores_quantization(self, rng):
+        layer = Linear(8, 6, rng)
+        x = rng.normal(size=(4, 8))
+        baseline = layer(x)
+        layer.attach_quantized(quantize_weight(layer.weight.value))
+        np.testing.assert_array_equal(layer(x), baseline)
+
+    def test_shape_mismatch_rejected(self, rng):
+        layer = Linear(8, 6, rng)
+        with pytest.raises(ValueError):
+            layer.attach_quantized(quantize_weight(np.ones((4, 4))))
+
+
+class TestModuleQuantization:
+    @pytest.fixture
+    def model(self):
+        config = EncoderConfig(
+            vocab_size=40, dim=16, num_layers=2, num_heads=2, ffn_dim=32,
+            max_len=12, dropout=0.0,
+        )
+        return TokenClassifier(
+            config, num_labels=3, rng=np.random.default_rng(7)
+        )
+
+    def test_attachment_census(self, model):
+        """Every attention quantizes fused; its q/k/v Linears do not."""
+        attentions = sum(
+            isinstance(m, MultiHeadSelfAttention) for m in model.modules()
+        )
+        linears = sum(isinstance(m, Linear) for m in model.modules())
+        count = quantize_module(model)
+        assert count == attentions + (linears - 3 * attentions)
+        for child in model.modules():
+            if isinstance(child, MultiHeadSelfAttention):
+                assert child._quant_fused is not None
+                assert child.query_proj._quant is None
+        assert dequantize_module(model) == count
+
+    def test_quantization_state_transitions(self, model):
+        assert quantization_state(model) is None
+        quantize_module(model)
+        assert quantization_state(model) == INT8
+        dequantize_module(model)
+        assert quantization_state(model) is None
+
+    def test_unknown_mode_rejected(self, model):
+        with pytest.raises(ValueError):
+            quantize_module(model, mode="int4")
+
+    def test_predictions_close_and_restore_bitwise(self, model):
+        sequences = [[1, 2, 3, 4], [5, 6], [7, 8, 9, 10, 11]]
+        baseline = model.predict_logits(sequences)
+        assert model.enable_quantization() > 0
+        quantized = model.predict_logits(sequences)
+        assert model.disable_quantization() > 0
+        restored = model.predict_logits(sequences)
+        for base, quant, rest in zip(baseline, quantized, restored):
+            assert not np.array_equal(base, quant)
+            np.testing.assert_allclose(quant, base, atol=1e-3)
+            np.testing.assert_array_equal(rest, base)
+
+    def test_fingerprint_matches_state_digest_and_survives(self, model):
+        """Quantization attaches derived state only: the fingerprint —
+        the cache's weight pin, same convention as ``state_digest`` —
+        must not move, while the *variant* separates the entries."""
+        before = model.fingerprint()
+        assert before == state_digest(model)
+        quantize_module(model)
+        assert model.fingerprint() == before
+        dequantize_module(model)
+        assert model.fingerprint() == before
+
+
+class TestEquivalenceGate:
+    def test_pass_and_report_fields(self):
+        baseline = [np.array([[0.1, 0.9], [0.8, 0.2]])]
+        candidate = [np.array([[0.11, 0.89], [0.79, 0.21]])]
+        report = equivalence_report(baseline, candidate, bound=0.05)
+        assert report.passed
+        assert report.total == 1
+        assert report.top_label_matches == 1
+        assert report.max_abs_delta == pytest.approx(0.01)
+        assert report.as_dict()["passed"] is True
+
+    def test_label_flip_fails_even_within_bound(self):
+        baseline = [np.array([0.51, 0.49])]
+        candidate = [np.array([0.49, 0.51])]
+        report = equivalence_report(baseline, candidate, bound=1.0)
+        assert not report.passed
+        assert report.top_label_matches == 0
+
+    def test_delta_overflow_fails_even_with_matching_labels(self):
+        baseline = [np.array([1.0, 0.0])]
+        candidate = [np.array([2.0, 0.0])]
+        report = equivalence_report(baseline, candidate, bound=0.5)
+        assert not report.passed
+        assert report.top_label_matches == 1
+
+    def test_zero_bound_is_a_synthetic_refusal(self):
+        """bound=0.0 refuses any real quantization (nonzero delta)."""
+        baseline = [np.array([0.6, 0.4])]
+        candidate = [np.array([0.6 + 1e-7, 0.4])]
+        assert not equivalence_report(baseline, candidate, bound=0.0).passed
+
+    def test_empty_items_match(self):
+        report = equivalence_report(
+            [np.zeros((0, 3))], [np.zeros((0, 3))], bound=0.1
+        )
+        assert report.passed
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            equivalence_report([np.zeros((2, 3))], [np.zeros((3, 3))], 0.1)
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            equivalence_report([np.zeros(2)], [], 0.1)
+
+    def test_report_is_frozen(self):
+        report = EquivalenceReport(
+            total=1, top_label_matches=1, max_abs_delta=0.0, bound=0.1
+        )
+        with pytest.raises(Exception):
+            report.total = 2

@@ -1,0 +1,216 @@
+"""Serving-layer result cache: the fast path around the micro-batcher.
+
+Hits resolve at ``submit()`` time — before admission, queueing, worker
+lease, or batch-token accounting — and are marked ``batch_size=0``.
+Backends without a fingerprintable model (stubs, unfitted demos) key to
+nothing, so caching degrades to a no-op rather than a correctness risk.
+"""
+
+import numpy as np
+import pytest
+
+from repro.runtime.errors import OverloadedError
+from repro.serve.engine import ServeRequest, ServingConfig, ServingEngine
+from tests.serve.conftest import RecordingExtractor, StubDetector
+
+pytestmark = [pytest.mark.serve, pytest.mark.cache]
+
+
+class _FingerprintedModel:
+    """The minimal surface ``_cache_key`` needs: fingerprint + modules."""
+
+    def __init__(self, fingerprint: str = "sha-fixed"):
+        self._fingerprint = fingerprint
+
+    def fingerprint(self) -> str:
+        return self._fingerprint
+
+    def modules(self):
+        return iter(())  # no quantized layers -> fp32 variant
+
+
+class CacheableExtractor(RecordingExtractor):
+    def __init__(self, delay: float = 0.0):
+        super().__init__(delay)
+        self.model = _FingerprintedModel()
+
+
+class CacheableDetector(StubDetector):
+    def __init__(self):
+        self.model = _FingerprintedModel("sha-detector")
+
+
+def make_engine(**config):
+    config.setdefault("num_workers", 1)
+    config.setdefault("max_wait_ms", 0.0)
+    config.setdefault("result_cache_capacity", 64)
+    extractor = CacheableExtractor()
+    engine = ServingEngine(
+        detector=CacheableDetector(),
+        extractor=extractor,
+        config=ServingConfig(**config),
+    )
+    return engine, extractor
+
+
+class TestFastPath:
+    def test_repeat_request_served_from_cache(self):
+        engine, extractor = make_engine()
+        engine.start()
+        try:
+            first = engine.submit(
+                kind="extract", texts="Reduce waste by 20% by 2030."
+            ).result(timeout=10)
+            second = engine.submit(
+                kind="extract", texts="Reduce waste by 20% by 2030."
+            ).result(timeout=10)
+        finally:
+            engine.shutdown()
+        assert first.values == second.values
+        assert first.batch_size >= 1
+        assert second.batch_size == 0  # the fast-path marker
+        assert len(extractor.calls) == 1  # backend ran exactly once
+        counters = engine.metrics_snapshot()["counters"]
+        assert counters["cache_fast_path"] == 1
+        assert counters["cache.hits.interactive"] == 1
+        assert counters["cache.misses.interactive"] == 1
+
+    def test_hit_bypasses_admission_queue(self):
+        """A full queue sheds new work but still serves cached repeats."""
+        # Unstarted engine: nothing drains the queue, so its single slot
+        # stays occupied and only the cache can serve anything.
+        engine, __ = make_engine(queue_depth=1)
+        engine.result_cache.put(
+            engine._cache_key(
+                ServeRequest(kind="extract", texts=("cached one",))
+            ),
+            ({"Action": "cached"},),
+        )
+        engine.submit(kind="extract", texts="occupies the only slot")
+        with pytest.raises(OverloadedError):
+            engine.submit(kind="extract", texts="shed: queue is full")
+        result = engine.submit(kind="extract", texts="cached one").result(
+            timeout=1
+        )
+        assert result.batch_size == 0
+        assert result.values == ({"Action": "cached"},)
+
+    def test_hit_values_are_copies(self):
+        engine, __ = make_engine()
+        engine.start()
+        try:
+            text = "Cut emissions 50% by 2035."
+            first = engine.submit(kind="extract", texts=text).result(
+                timeout=10
+            )
+            first.values[0]["Action"] = "CORRUPTED"
+            second = engine.submit(kind="extract", texts=text).result(
+                timeout=10
+            )
+        finally:
+            engine.shutdown()
+        assert second.batch_size == 0
+        assert second.values[0]["Action"] != "CORRUPTED"
+
+    def test_detect_kind_cached_independently(self):
+        engine, __ = make_engine()
+        engine.start()
+        try:
+            text = "Increase recycling to 80%."
+            cold = engine.submit(kind="detect", texts=text).result(timeout=10)
+            warm = engine.submit(kind="detect", texts=text).result(timeout=10)
+            # Same text under the *other* kind is a different key.
+            other = engine.submit(kind="extract", texts=text).result(
+                timeout=10
+            )
+        finally:
+            engine.shutdown()
+        assert warm.batch_size == 0
+        np.testing.assert_array_equal(cold.values, warm.values)
+        assert other.batch_size >= 1
+
+    def test_texts_order_changes_key(self):
+        engine, extractor = make_engine()
+        engine.start()
+        try:
+            engine.submit(kind="extract", texts=("a b", "c d")).result(
+                timeout=10
+            )
+            engine.submit(kind="extract", texts=("c d", "a b")).result(
+                timeout=10
+            )
+        finally:
+            engine.shutdown()
+        assert len(extractor.calls) == 2  # no false sharing
+
+
+class TestDegradation:
+    def test_disabled_by_default(self):
+        extractor = CacheableExtractor()
+        engine = ServingEngine(
+            extractor=extractor,
+            config=ServingConfig(num_workers=1, max_wait_ms=0.0),
+        )
+        assert engine.result_cache is None
+        engine.start()
+        try:
+            for __ in range(2):
+                engine.submit(kind="extract", texts="same text").result(
+                    timeout=10
+                )
+        finally:
+            engine.shutdown()
+        assert len(extractor.calls) == 2
+
+    def test_model_less_backend_never_keys(self):
+        """Stub backends without ``.model`` run uncached, never crash."""
+        extractor = RecordingExtractor()
+        engine = ServingEngine(
+            extractor=extractor,
+            config=ServingConfig(
+                num_workers=1, max_wait_ms=0.0, result_cache_capacity=8
+            ),
+        )
+        engine.start()
+        try:
+            for __ in range(2):
+                engine.submit(kind="extract", texts="same text").result(
+                    timeout=10
+                )
+        finally:
+            engine.shutdown()
+        assert len(extractor.calls) == 2
+        counters = engine.metrics_snapshot()["counters"]
+        assert "cache_fast_path" not in counters
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            ServingConfig(result_cache_capacity=-1)
+
+
+class TestMetricsView:
+    def test_snapshot_exposes_per_priority_hit_rates(self):
+        engine, __ = make_engine()
+        engine.start()
+        try:
+            for __unused in range(3):
+                engine.submit(
+                    kind="extract", texts="repeated", priority="interactive"
+                ).result(timeout=10)
+            engine.submit(
+                kind="extract", texts="repeated", priority="bulk"
+            ).result(timeout=10)
+            engine.submit(
+                kind="extract", texts="bulk only", priority="bulk"
+            ).result(timeout=10)
+        finally:
+            engine.shutdown()
+        cache = engine.metrics_snapshot()["cache"]
+        assert cache["fast_path"] == 3
+        interactive = cache["by_priority"]["interactive"]
+        assert interactive["hits"] == 2
+        assert interactive["misses"] == 1
+        assert interactive["hit_rate"] == pytest.approx(2 / 3)
+        bulk = cache["by_priority"]["bulk"]
+        assert bulk["hits"] == 1
+        assert bulk["misses"] == 1

@@ -1,0 +1,94 @@
+"""Schema smoke tests for the committed benchmark artifacts.
+
+The ``BENCH_*.json`` files at the repo root are the evidence behind the
+performance claims in README/DESIGN; these tests pin their shape (and
+the claims themselves) so a regenerated artifact that silently drops a
+field — or a number that no longer supports its claim — fails CI
+instead of shipping.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def load_artifact(name: str) -> dict:
+    path = REPO_ROOT / name
+    if not path.exists():
+        pytest.skip(f"{name} not committed in this checkout")
+    with open(path, encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+@pytest.mark.cache
+@pytest.mark.quant
+class TestCacheQuantArtifact:
+    def test_schema(self):
+        report = load_artifact("BENCH_cache_quant.json")
+        assert set(report) == {
+            "config",
+            "baseline_tokens_per_second",
+            "sweep",
+            "quantization",
+        }
+        assert set(report["sweep"]) == {"0.0", "0.3", "0.7"}
+        for level in report["sweep"].values():
+            for key in (
+                "uncached",
+                "cached",
+                "speedup_vs_uncached",
+                "speedup_vs_baseline",
+                "results_identical",
+                "logits_bitwise_identical",
+            ):
+                assert key in level
+            for run in (level["uncached"], level["cached"]):
+                assert "tokens_per_second" in run
+                assert "result_cache_hits" in run
+        gate = report["quantization"]["gate"]
+        assert set(gate) == {
+            "total",
+            "top_label_matches",
+            "max_abs_delta",
+            "bound",
+            "passed",
+        }
+
+    def test_headline_claims_hold(self):
+        """>=2x tokens/sec at 70% repeats, bitwise identity throughout,
+        and the golden int8 gate passed — the committed evidence."""
+        report = load_artifact("BENCH_cache_quant.json")
+        hot = report["sweep"]["0.7"]
+        assert hot["speedup_vs_baseline"] >= 2.0
+        assert hot["speedup_vs_uncached"] > 1.0
+        assert hot["cached"]["result_cache_hits"] > 0
+        for level in report["sweep"].values():
+            assert level["results_identical"] is True
+            assert level["logits_bitwise_identical"] is True
+        quant = report["quantization"]
+        assert quant["gate"]["passed"] is True
+        assert quant["gate"]["top_label_matches"] == quant["gate"]["total"]
+        assert quant["reports"] == 25
+        assert quant["int8_weight_bytes"] < quant["fp32_weight_bytes"]
+
+    def test_baseline_cross_references_throughput_artifact(self):
+        report = load_artifact("BENCH_cache_quant.json")
+        baseline = load_artifact("BENCH_inference_throughput.json")
+        assert report["baseline_tokens_per_second"] == pytest.approx(
+            baseline["extractor"]["bucketed"]["tokens_per_second"]
+        )
+
+
+class TestThroughputArtifact:
+    def test_schema_and_claims(self):
+        report = load_artifact("BENCH_inference_throughput.json")
+        extractor = report["extractor"]
+        assert extractor["logits_identical"] is True
+        assert extractor["results_identical"] is True
+        assert extractor["speedup"] >= 1.5
+        assert extractor["bucketed"]["tokens_per_second"] > 0
+        # The pre-cache baseline must really be pre-cache.
+        assert extractor["bucketed"]["result_cache_hits"] == 0
