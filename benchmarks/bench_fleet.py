@@ -1,0 +1,298 @@
+"""Fleet-serving benchmark: replica scaling, bounded tails, chaos kill.
+
+Drives a :class:`repro.serve.FleetRouter` over a *simulated-service*
+backend — each request sleeps a fixed per-text service time and returns a
+record that is a pure function of its text. Real model forward passes are
+GIL-bound, so thread-replicas cannot show capacity scaling on a
+single-core host; a sleep-based service is IO-shaped, which is exactly
+the regime where replication pays, and the sleep scales with batch rows
+so micro-batching cannot fake extra capacity. Three claims, all asserted
+in-bench:
+
+* **scaling** — at a fixed open-loop offered load above single-replica
+  capacity, completed requests/second increases strictly monotonically
+  from 1 to 2 to 4 replicas (shedding keeps the experiment finite);
+* **bounded tails** — client-observed p99 stays under a fixed bound at
+  every replica count (the bounded admission queue is what caps it);
+* **chaos** — with 4 replicas, a deterministically injected
+  ``replica_crash`` kills one replica mid-storm; zero accepted requests
+  are lost (completed + rejected == submitted, failed == 0) and every
+  completed result is bitwise-identical to a 1-replica no-chaos
+  reference run.
+
+Writes ``BENCH_fleet.json`` at the repo root.
+
+Run standalone::
+
+    PYTHONPATH=src python benchmarks/bench_fleet.py
+
+or under pytest (``pytest benchmarks/bench_fleet.py -s``).
+
+Knobs: ``REPRO_BENCH_FLEET_REQUESTS`` (requests per sweep cell, default
+600), ``REPRO_BENCH_FLEET_RATE`` (offered load in req/s, default 1200),
+``REPRO_BENCH_FLEET_SERVICE_MS`` (service time per text, default 4 ms).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import time
+from pathlib import Path
+
+import pytest
+
+from benchmarks.common import env_float, env_int
+from repro.runtime.resilience import FaultInjector, FaultSpec
+from repro.serve.engine import ServingConfig
+from repro.serve.fleet import FleetConfig, FleetRouter
+from repro.serve.loadgen import LoadLevel, run_load_level
+
+RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_fleet.json"
+
+SCHEMA_VERSION = 1
+P99_BOUND_SECONDS = 1.0
+REPLICA_SWEEP = (1, 2, 4)
+WORKERS_PER_REPLICA = 2
+
+
+def service_record(text: str) -> dict:
+    """The deterministic payload the simulated service returns per text."""
+    digest = hashlib.sha256(text.encode("utf-8")).hexdigest()
+    return {"text_sha256": digest, "length": str(len(text))}
+
+
+class SimulatedService:
+    """An extractor-shaped backend with a fixed per-text service time.
+
+    Sleeping scales with the number of texts, so serving a micro-batch of
+    eight requests costs eight service times — batching amortizes queue
+    overhead, not compute, keeping per-replica capacity honest.
+    """
+
+    def __init__(self, service_seconds: float) -> None:
+        self.service_seconds = service_seconds
+
+    def extract_batch(self, texts):
+        time.sleep(self.service_seconds * len(texts))
+        return [service_record(text) for text in texts]
+
+
+def build_fleet(
+    replicas: int,
+    service_seconds: float,
+    fault_injector: FaultInjector | None = None,
+    queue_depth: int = 64,
+) -> FleetRouter:
+    return FleetRouter(
+        extractor=SimulatedService(service_seconds),
+        config=FleetConfig(
+            replicas=replicas,
+            policy="least-loaded",
+            engine=ServingConfig(
+                num_workers=WORKERS_PER_REPLICA,
+                max_batch_requests=8,
+                max_wait_ms=1.0,
+                queue_depth=queue_depth,
+            ),
+        ),
+        fault_injector=fault_injector,
+    )
+
+
+def run_sweep_cell(
+    replicas: int,
+    *,
+    requests: int,
+    rate: float,
+    service_seconds: float,
+    seed: int,
+) -> dict:
+    """One offered-load run at a replica count; client-observed summary."""
+    texts = [f"objective payload {index:04d}" for index in range(64)]
+    level = LoadLevel(
+        name=f"open-{rate:.0f}rps-x{replicas}",
+        mode="open",
+        offered=rate,
+        num_requests=requests,
+    )
+    router = build_fleet(replicas, service_seconds)
+    with router:
+        started = time.perf_counter()
+        report = run_load_level(router, texts, level, kind="extract", seed=seed)
+        elapsed = time.perf_counter() - started
+        counters = router.metrics_snapshot()["router"]["counters"]
+    completed = int(counters.get("completed", 0))
+    return {
+        "replicas": replicas,
+        "offered_rps": rate,
+        "requests": requests,
+        "completed": completed,
+        "rejected": int(counters.get("rejected", 0)),
+        "failed": int(counters.get("failed", 0)),
+        "elapsed_seconds": elapsed,
+        "completed_rps": completed / max(elapsed, 1e-9),
+        "client_p50_seconds": report["latency"]["p50"],
+        "client_p99_seconds": report["latency"]["p99"],
+    }
+
+
+def run_chaos_storm(
+    *,
+    requests: int,
+    service_seconds: float,
+    kill_at_dispatch: int,
+    seed: int,
+) -> dict:
+    """Kill one of four replicas mid-storm; account for every request.
+
+    The injected ``replica_crash`` fires on the ``kill_at_dispatch``-th
+    routing decision, so the kill point is a pure function of the spec —
+    rerunning the bench reruns the identical storm.
+    """
+    texts = [f"objective payload {index:04d}" for index in range(64)]
+    injector = FaultInjector(
+        [
+            FaultSpec(
+                stage="replica_crash",
+                error="crash",
+                rate=0.0,
+                nth_calls=(kill_at_dispatch,),
+            )
+        ],
+        seed=seed,
+    )
+    router = build_fleet(4, service_seconds, fault_injector=injector)
+    futures = []
+    submitted = rejected = 0
+    with router:
+        for index in range(requests):
+            submitted += 1
+            try:
+                futures.append(
+                    (index, router.submit(kind="extract", texts=texts[index % len(texts)]))
+                )
+            except Exception:  # noqa: BLE001 — shed requests are accounted
+                rejected += 1
+        resolved = []
+        for index, future in futures:
+            resolved.append((index, future.result(timeout=60.0)))
+        counters = router.metrics_snapshot()["router"]["counters"]
+        health = router.health_states()
+    # Bitwise identity: a 1-replica, no-chaos fleet serving the same
+    # accepted requests must produce the exact same values.
+    # The reference run is about *values*, not load behaviour: give it a
+    # queue deep enough to accept every request up front.
+    reference = build_fleet(1, service_seconds, queue_depth=len(futures) + 8)
+    with reference:
+        reference_futures = [
+            (index, reference.submit(kind="extract", texts=texts[index % len(texts)]))
+            for index, _ in futures
+        ]
+        reference_resolved = [
+            (index, future.result(timeout=120.0))
+            for index, future in reference_futures
+        ]
+    bitwise_identical = [
+        (index, result.values) for index, result in resolved
+    ] == [(index, result.values) for index, result in reference_resolved]
+    completed = int(counters.get("completed", 0))
+    failed = int(counters.get("failed", 0))
+    return {
+        "replicas": 4,
+        "kill_at_dispatch": kill_at_dispatch,
+        "submitted": submitted,
+        "accepted": len(futures),
+        "completed": completed,
+        "rejected": rejected,
+        "failed": failed,
+        "replicas_killed": int(counters.get("replicas_killed", 0)),
+        "redispatched": int(counters.get("failover.redispatched", 0)),
+        "zero_lost": completed == len(futures) and failed == 0,
+        "bitwise_identical": bitwise_identical,
+        "health": health,
+    }
+
+
+def run_fleet_benchmark(write_report: bool = True) -> dict:
+    requests = env_int("REPRO_BENCH_FLEET_REQUESTS", 600)
+    rate = env_float("REPRO_BENCH_FLEET_RATE", 1200.0)
+    service_seconds = (
+        env_float("REPRO_BENCH_FLEET_SERVICE_MS", 4.0) / 1000.0
+    )
+    seed = 0
+    sweep = [
+        run_sweep_cell(
+            replicas,
+            requests=requests,
+            rate=rate,
+            service_seconds=service_seconds,
+            seed=seed,
+        )
+        for replicas in REPLICA_SWEEP
+    ]
+    by_replicas = {
+        str(cell["replicas"]): cell["completed_rps"] for cell in sweep
+    }
+    rates = [cell["completed_rps"] for cell in sweep]
+    monotonic = all(left < right for left, right in zip(rates, rates[1:]))
+    p99s = [cell["client_p99_seconds"] for cell in sweep]
+    chaos = run_chaos_storm(
+        requests=max(64, requests // 4),
+        service_seconds=service_seconds,
+        kill_at_dispatch=max(8, requests // 16),
+        seed=seed,
+    )
+    report = {
+        "schema_version": SCHEMA_VERSION,
+        "config": {
+            "offered_rps": rate,
+            "requests_per_cell": requests,
+            "service_ms_per_text": service_seconds * 1000.0,
+            "workers_per_replica": WORKERS_PER_REPLICA,
+            "replica_sweep": list(REPLICA_SWEEP),
+            "seed": seed,
+        },
+        "sweep": sweep,
+        "scaling": {
+            "completed_rps_by_replicas": by_replicas,
+            "monotonic": monotonic,
+            "p99_bound_seconds": P99_BOUND_SECONDS,
+            "max_p99_seconds": max(p99s),
+            "p99_within_bound": max(p99s) < P99_BOUND_SECONDS,
+        },
+        "chaos": chaos,
+    }
+    if write_report:
+        RESULT_PATH.write_text(json.dumps(report, indent=2) + "\n")
+    return report
+
+
+@pytest.mark.benchmark(group="fleet")
+def test_fleet_scaling_and_chaos(benchmark):
+    report = benchmark.pedantic(run_fleet_benchmark, rounds=1, iterations=1)
+    print()
+    print(json.dumps(report["scaling"], indent=2))
+    print(json.dumps({k: v for k, v in report["chaos"].items() if k != "health"}, indent=2))
+    scaling = report["scaling"]
+    assert scaling["monotonic"], (
+        "completed-rps did not increase monotonically with replica count: "
+        f"{scaling['completed_rps_by_replicas']}"
+    )
+    assert scaling["p99_within_bound"], (
+        f"client p99 {scaling['max_p99_seconds']:.3f}s exceeded the "
+        f"{scaling['p99_bound_seconds']}s bound"
+    )
+    chaos = report["chaos"]
+    assert chaos["replicas_killed"] == 1, "chaos kill did not fire"
+    assert chaos["zero_lost"], (
+        "accepted requests were lost under the chaos kill: "
+        f"{json.dumps({k: v for k, v in chaos.items() if k != 'health'})}"
+    )
+    assert chaos["bitwise_identical"], (
+        "chaos-storm outputs diverged from the 1-replica reference"
+    )
+
+
+if __name__ == "__main__":
+    print(json.dumps(run_fleet_benchmark(), indent=2))

@@ -8,6 +8,8 @@ Subcommands cover the full lifecycle::
     repro evaluate --data goals.jsonl --model model/
     repro deploy --data goals.jsonl --db objectives.db --scale 0.05
     repro serve-bench --requests 64 --out BENCH_serving.json
+    repro serve-fleet --replicas 3 --policy least-loaded --requests 48
+    repro serve-fleet --replicas 2 --swap model/ --requests 48
 """
 
 from __future__ import annotations
@@ -349,6 +351,116 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve_fleet(args: argparse.Namespace) -> int:
+    import threading
+    import time
+    from pathlib import Path
+
+    from repro.serve.engine import ServingConfig
+    from repro.serve.fleet import FleetConfig, FleetRouter
+    from repro.serve.loadgen import (
+        LoadLevel,
+        build_demo_backend,
+        build_request_texts,
+        build_swappable_extractor,
+        run_load_level,
+    )
+
+    try:
+        config = FleetConfig(
+            replicas=args.replicas,
+            policy=args.policy,
+            engine=ServingConfig(
+                num_workers=args.workers, queue_depth=args.queue_depth
+            ),
+        )
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return EXIT_INPUT_ERROR
+    detector, extractor = build_demo_backend(seed=args.seed)
+    if args.swap:
+        # The hot-swap path needs a checkpoint that round-trips through
+        # the manifest-verified load; the demo extractor's shrunken
+        # encoder does not, so serve the zoo-geometry one instead.
+        extractor = build_swappable_extractor(seed=args.seed)
+        swap_dir = Path(args.swap)
+        if not (swap_dir / "config.json").exists():
+            print(f"saving swap checkpoint to {swap_dir} ...")
+            extractor.save(swap_dir)
+    texts = build_request_texts(args.seed + 1, max(args.requests, 8))
+    level = LoadLevel(
+        name=f"closed-{args.concurrency}",
+        mode="closed",
+        offered=float(args.concurrency),
+        num_requests=args.requests,
+    )
+    print(
+        f"fleet: {args.replicas} replica(s), policy={args.policy}, "
+        f"{args.requests} requests at concurrency {args.concurrency}"
+    )
+    router = FleetRouter(
+        detector=detector, extractor=extractor, config=config
+    )
+    swap_report = None
+    with router:
+        swapper = None
+        if args.swap:
+            def _swap_later() -> None:
+                nonlocal swap_report
+                time.sleep(args.swap_after)
+                swap_report = router.swap_model(
+                    args.swap, probe_texts=texts[:2]
+                )
+
+            swapper = threading.Thread(target=_swap_later, daemon=True)
+            swapper.start()
+        load_report = run_load_level(
+            router, texts, level, kind=args.kind, seed=args.seed
+        )
+        if swapper is not None:
+            swapper.join(timeout=120.0)
+        snapshot = router.metrics_snapshot()
+    counters = snapshot["router"]["counters"]
+    print(
+        f"completed {counters.get('completed', 0):.0f} / "
+        f"submitted {counters.get('submitted', 0):.0f} "
+        f"(failed {counters.get('failed', 0):.0f}, "
+        f"rejected {counters.get('rejected', 0):.0f}, "
+        f"failover redispatches "
+        f"{counters.get('failover.redispatched', 0):.0f}); "
+        f"client p95 {load_report['latency']['p95'] * 1000:.1f} ms"
+    )
+    print(f"health: {snapshot['router']['health']}")
+    if swap_report is not None:
+        print(
+            f"swap: {swap_report.status} "
+            f"(gen {swap_report.from_generation} -> "
+            f"{swap_report.to_generation}, states {swap_report.states}, "
+            f"rejections during swap {swap_report.rejections_during_swap})"
+            + (f" reason: {swap_report.reason}" if swap_report.reason else "")
+        )
+    if args.out:
+        payload = {
+            "config": {
+                "replicas": args.replicas,
+                "policy": args.policy,
+                "workers": args.workers,
+                "requests": args.requests,
+                "concurrency": args.concurrency,
+                "kind": args.kind,
+                "seed": args.seed,
+            },
+            "load": load_report,
+            "fleet": snapshot,
+            "swap": swap_report.as_dict() if swap_report else None,
+        }
+        with open(args.out, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2)
+            handle.write("\n")
+        print(f"wrote {args.out}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argument parser with all subcommands."""
     parser = argparse.ArgumentParser(
@@ -494,6 +606,37 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--out", default="BENCH_serving.json",
                        help="report path (default BENCH_serving.json)")
     serve.set_defaults(func=_cmd_serve_bench)
+
+    from repro.serve.router import ROUTING_POLICIES
+
+    fleet = sub.add_parser(
+        "serve-fleet",
+        help="drive a replicated serving fleet (routing, failover, hot-swap)",
+    )
+    fleet.add_argument("--replicas", type=int, default=2,
+                       help="serving replicas (default 2)")
+    fleet.add_argument("--policy", choices=sorted(ROUTING_POLICIES),
+                       default="least-loaded",
+                       help="routing policy (default least-loaded)")
+    fleet.add_argument("--requests", type=int, default=32,
+                       help="total requests to drive (default 32)")
+    fleet.add_argument("--concurrency", type=int, default=4,
+                       help="closed-loop client concurrency (default 4)")
+    fleet.add_argument("--workers", type=int, default=1,
+                       help="worker threads per replica (default 1)")
+    fleet.add_argument("--queue-depth", type=int, default=256,
+                       help="per-priority queue bound per replica")
+    fleet.add_argument("--kind", choices=["extract", "detect"],
+                       default="extract", help="which stage to serve")
+    fleet.add_argument("--swap", metavar="DIR", default=None,
+                       help="hot-swap to the checkpoint in DIR mid-run "
+                       "(saved there first if DIR is empty)")
+    fleet.add_argument("--swap-after", type=float, default=0.2,
+                       help="seconds into the run to trigger the swap")
+    fleet.add_argument("--seed", type=int, default=0)
+    fleet.add_argument("--out", default=None,
+                       help="optional JSON report path")
+    fleet.set_defaults(func=_cmd_serve_fleet)
     return parser
 
 

@@ -50,6 +50,7 @@ from repro.runtime.errors import (
     NumericalError,
     OverloadedError,
     QuantizationError,
+    ReplicaCrashError,
     ReproError,
     StageTimeout,
     classify_error,
@@ -105,6 +106,7 @@ __all__ = [
     "QuantizationError",
     "QuarantineEntry",
     "QuarantineQueue",
+    "ReplicaCrashError",
     "ReproError",
     "ResultCache",
     "RetryPolicy",

@@ -167,6 +167,19 @@ class OverloadedError(ReproError):
     retryable = False
 
 
+class ReplicaCrashError(ModelError):
+    """A serving replica died (or was chaos-killed) with work in flight.
+
+    Raised by a crashed replica's backend proxy for every call after the
+    crash instant. Not retryable *in place* — retrying on a dead replica
+    can never succeed; the :class:`repro.serve.FleetRouter` instead
+    re-dispatches the request to a healthy replica (the at-least-once
+    failover guarantee).
+    """
+
+    retryable = False
+
+
 #: Short names used by the fault injector and CLI to pick an error class.
 ERROR_CLASSES: dict[str, type[ReproError]] = {
     "input": InputError,
@@ -175,6 +188,7 @@ ERROR_CLASSES: dict[str, type[ReproError]] = {
     "timeout": StageTimeout,
     "overloaded": OverloadedError,
     "artifact": ArtifactError,
+    "crash": ReplicaCrashError,
 }
 
 

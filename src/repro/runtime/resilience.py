@@ -240,6 +240,14 @@ class FaultInjector:
     training runtime — ``train_step`` (every optimizer-step boundary),
     ``checkpoint`` (checkpoint save entry), and ``checkpoint_commit``
     (between a fully-written temp checkpoint and its publication).
+
+    Fleet-level sites (checked by :class:`repro.serve.FleetRouter`):
+    ``replica_crash`` (at dispatch — the selected replica dies mid-flight
+    and its in-flight work must fail over), ``replica_stall`` (the
+    selected replica stops making progress and takes a health strike
+    instead of the request), and ``swap_abort`` (between a fully-loaded,
+    gate-passed new model generation and the atomic cutover — the swap
+    must abort and leave the old fleet serving).
     """
 
     def __init__(self, specs: Sequence[FaultSpec], seed: int = 0) -> None:

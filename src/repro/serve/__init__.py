@@ -18,10 +18,23 @@ serve under a latency budget". It layers a request-level
 * SLO metrics: p50/p95/p99 latency histograms, queue-wait vs. compute
   split, throughput and rejection counts via ``metrics_snapshot()``.
 
-See DESIGN.md section "Online serving" and the README "Serving" section.
+Above the single engine sits the fleet tier (:mod:`repro.serve.fleet`):
+a :class:`FleetRouter` replicating the engine N ways behind pluggable
+routing policies, with per-replica health ejection, at-least-once
+failover when a replica dies mid-flight, blue-green model hot-swap
+(:meth:`FleetRouter.swap_model`), and an SLO-driven
+:class:`FleetAutoscaler` / offline :class:`FleetSimulator`.
+
+See DESIGN.md section "Online serving" and the README "Serving" and
+"Fleet serving" sections.
 """
 
 from repro.serve.admission import PRIORITIES, AdmissionController
+from repro.serve.autoscale import (
+    AutoscalePolicy,
+    FleetAutoscaler,
+    FleetSimulator,
+)
 from repro.serve.engine import (
     KIND_DETECT,
     KIND_EXTRACT,
@@ -32,14 +45,35 @@ from repro.serve.engine import (
     ServingConfig,
     ServingEngine,
 )
+from repro.serve.fleet import (
+    FleetConfig,
+    FleetRouter,
+    Replica,
+    SwapReport,
+)
 from repro.serve.loadgen import (
     LoadLevel,
     build_demo_backend,
     build_request_texts,
+    build_swappable_extractor,
     run_load_level,
     run_serving_bench,
 )
-from repro.serve.metrics import LatencyHistogram, SloMetrics
+from repro.serve.metrics import (
+    LatencyHistogram,
+    SloMetrics,
+    fleet_cache_view,
+    merge_counters,
+)
+from repro.serve.router import (
+    ROUTING_POLICIES,
+    LeastLoadedPolicy,
+    ReplicaHealth,
+    RoundRobinPolicy,
+    RoutingPolicy,
+    TokenCostAwarePolicy,
+    make_policy,
+)
 
 # Bulk (offline) lane of a serving deployment: the data-parallel corpus
 # runtime, re-exported so serving callers can drain backlogs on every core
@@ -52,11 +86,22 @@ from repro.runtime.parallel import (
 
 __all__ = [
     "AdmissionController",
+    "AutoscalePolicy",
+    "FleetAutoscaler",
+    "FleetConfig",
+    "FleetRouter",
+    "FleetSimulator",
     "KIND_DETECT",
     "KIND_EXTRACT",
     "LatencyHistogram",
+    "LeastLoadedPolicy",
     "LoadLevel",
     "PRIORITIES",
+    "ROUTING_POLICIES",
+    "Replica",
+    "ReplicaHealth",
+    "RoundRobinPolicy",
+    "RoutingPolicy",
     "STATUS_DEGRADED",
     "STATUS_OK",
     "ServeRequest",
@@ -64,9 +109,15 @@ __all__ = [
     "ServingConfig",
     "ServingEngine",
     "SloMetrics",
+    "SwapReport",
+    "TokenCostAwarePolicy",
     "build_demo_backend",
     "build_request_texts",
+    "build_swappable_extractor",
     "extract_batch_parallel",
+    "fleet_cache_view",
+    "make_policy",
+    "merge_counters",
     "process_reports_parallel",
     "resolve_workers",
     "run_load_level",

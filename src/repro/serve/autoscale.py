@@ -1,0 +1,272 @@
+"""SLO-driven fleet autoscaling: decision core, live scaler, simulator.
+
+The scaling decision is a pure function of per-tick observations
+(:meth:`FleetAutoscaler.decide`), so the same hysteresis/cooldown logic
+drives both the live :class:`~repro.serve.fleet.FleetRouter`
+(:meth:`FleetAutoscaler.tick`) and the offline :class:`FleetSimulator`,
+which replays a synthetic load trace through a queueing estimate to show
+how a policy behaves *before* it is pointed at real traffic. Policy:
+
+* **scale up** when queue-wait p95 breaches the target for
+  ``breach_ticks`` consecutive ticks (hysteresis — a single slow tick is
+  noise, a run of them is a trend);
+* **scale down** when the fleet sat below ``low_water_fraction`` of the
+  target with an (almost) empty queue for ``idle_ticks`` consecutive
+  ticks;
+* **cooldown** after any action, so the loop observes the effect of one
+  step before taking the next — the classic guard against oscillation.
+
+Everything is deterministic: no wall clock, no randomness beyond the
+simulator's seeded trace.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+#: Decision actions.
+SCALE_UP, SCALE_DOWN, HOLD = "scale_up", "scale_down", "hold"
+
+
+def nearest_rank_p95(samples) -> float:
+    """Nearest-rank p95 of a sample list (0.0 when empty)."""
+    ordered = sorted(float(sample) for sample in samples)
+    if not ordered:
+        return 0.0
+    rank = min(len(ordered) - 1, max(0, int(round(0.95 * len(ordered))) - 1))
+    return ordered[rank]
+
+
+@dataclasses.dataclass(frozen=True)
+class AutoscalePolicy:
+    """Autoscaler tuning knobs.
+
+    Attributes:
+        target_queue_wait_p95: the SLO — per-tick queue-wait p95 (seconds)
+            above this is a breach.
+        low_water_fraction: idle when p95 is below ``fraction * target``
+            and the backlog is (almost) empty.
+        min_replicas / max_replicas: scaling bounds.
+        breach_ticks: consecutive breach ticks required to scale up.
+        idle_ticks: consecutive idle ticks required to scale down.
+        cooldown_ticks: ticks to hold after any scaling action.
+        step: replicas added/removed per action.
+    """
+
+    target_queue_wait_p95: float = 0.05
+    low_water_fraction: float = 0.2
+    min_replicas: int = 1
+    max_replicas: int = 8
+    breach_ticks: int = 2
+    idle_ticks: int = 5
+    cooldown_ticks: int = 3
+    step: int = 1
+
+    def __post_init__(self) -> None:
+        if self.target_queue_wait_p95 <= 0:
+            raise ValueError("target_queue_wait_p95 must be positive")
+        if not 0.0 < self.low_water_fraction < 1.0:
+            raise ValueError("low_water_fraction must be in (0, 1)")
+        if self.min_replicas < 1:
+            raise ValueError("min_replicas must be positive")
+        if self.max_replicas < self.min_replicas:
+            raise ValueError("max_replicas must be >= min_replicas")
+        if self.breach_ticks < 1 or self.idle_ticks < 1:
+            raise ValueError("breach_ticks and idle_ticks must be positive")
+        if self.cooldown_ticks < 0:
+            raise ValueError("cooldown_ticks must be non-negative")
+        if self.step < 1:
+            raise ValueError("step must be positive")
+
+
+class FleetAutoscaler:
+    """Hysteresis + cooldown scaling loop over a :class:`AutoscalePolicy`.
+
+    Feed it one observation per tick (either via :meth:`tick` against a
+    live router, or :meth:`decide` with explicit numbers); it returns a
+    decision dict ``{action, reason, replicas, target, queue_wait_p95}``.
+    State is only the consecutive-tick counters — safe to pickle, trivial
+    to test.
+    """
+
+    def __init__(self, policy: AutoscalePolicy | None = None) -> None:
+        self.policy = policy or AutoscalePolicy()
+        self._breaches = 0
+        self._idles = 0
+        self._cooldown = 0
+
+    def decide(
+        self,
+        *,
+        queue_wait_p95: float,
+        pending: int,
+        replicas: int,
+    ) -> dict:
+        """One scaling decision from this tick's observations (pure-ish:
+        mutates only the hysteresis counters)."""
+        policy = self.policy
+        breach = queue_wait_p95 > policy.target_queue_wait_p95
+        idle = (
+            queue_wait_p95
+            < policy.low_water_fraction * policy.target_queue_wait_p95
+            and pending <= replicas
+        )
+        self._breaches = self._breaches + 1 if breach else 0
+        self._idles = self._idles + 1 if idle else 0
+        action, reason = HOLD, "within target"
+        if self._cooldown > 0:
+            self._cooldown -= 1
+            reason = f"cooldown ({self._cooldown} ticks left)"
+        elif (
+            self._breaches >= policy.breach_ticks
+            and replicas < policy.max_replicas
+        ):
+            action = SCALE_UP
+            reason = (
+                f"queue-wait p95 {queue_wait_p95:.4f}s > target "
+                f"{policy.target_queue_wait_p95:.4f}s for "
+                f"{self._breaches} ticks"
+            )
+        elif self._breaches >= policy.breach_ticks:
+            reason = "sustained breach but already at max_replicas"
+        elif self._idles >= policy.idle_ticks and replicas > policy.min_replicas:
+            action = SCALE_DOWN
+            reason = f"idle for {self._idles} ticks"
+        elif self._idles >= policy.idle_ticks:
+            reason = "sustained idle but already at min_replicas"
+        target = replicas
+        if action == SCALE_UP:
+            target = min(policy.max_replicas, replicas + policy.step)
+        elif action == SCALE_DOWN:
+            target = max(policy.min_replicas, replicas - policy.step)
+        if action != HOLD:
+            self._breaches = 0
+            self._idles = 0
+            self._cooldown = policy.cooldown_ticks
+        return {
+            "action": action,
+            "reason": reason,
+            "replicas": replicas,
+            "target": target,
+            "queue_wait_p95": queue_wait_p95,
+        }
+
+    def tick(self, router) -> dict:
+        """Observe a live router, decide, and apply the decision.
+
+        Reads the queue-wait samples accumulated since the last tick
+        (:meth:`FleetRouter.drain_recent_queue_waits` — a per-tick window,
+        not the lifetime histogram) and calls ``router.scale_to`` when the
+        decision is not a hold.
+        """
+        samples = router.drain_recent_queue_waits()
+        decision = self.decide(
+            queue_wait_p95=nearest_rank_p95(samples),
+            pending=router.pending(),
+            replicas=router.replica_count(),
+        )
+        decision["samples"] = len(samples)
+        if decision["action"] != HOLD:
+            decision["replicas_after"] = router.scale_to(decision["target"])
+        else:
+            decision["replicas_after"] = decision["replicas"]
+        return decision
+
+
+class FleetSimulator:
+    """Deterministic what-if harness for an autoscale policy.
+
+    Replays a seeded synthetic offered-load trace (requests per tick)
+    against an M/M/c-flavoured queue-wait estimate and runs the *same*
+    :class:`FleetAutoscaler` decision core over it, tick by tick. The
+    point is not queueing-theory fidelity — it is a reproducible trace of
+    *decisions*: when a policy scales, how far, and whether it
+    oscillates, without starting a single thread.
+    """
+
+    def __init__(
+        self,
+        policy: AutoscalePolicy | None = None,
+        *,
+        replica_capacity: float = 100.0,
+        service_seconds: float = 0.01,
+        seed: int = 0,
+    ) -> None:
+        if replica_capacity <= 0:
+            raise ValueError("replica_capacity must be positive")
+        if service_seconds <= 0:
+            raise ValueError("service_seconds must be positive")
+        self.policy = policy or AutoscalePolicy()
+        self.replica_capacity = replica_capacity
+        self.service_seconds = service_seconds
+        self.seed = seed
+
+    def load_trace(self, ticks: int) -> list[float]:
+        """A seeded ramp / plateau / decay offered-load trace (req/tick)."""
+        rng = np.random.default_rng(self.seed)
+        ramp = ticks // 3
+        plateau = ticks // 3
+        decay = ticks - ramp - plateau
+        peak = 3.0 * self.replica_capacity
+        trace: list[float] = []
+        for index in range(ramp):
+            trace.append(peak * (index + 1) / max(1, ramp))
+        trace.extend(peak for _ in range(plateau))
+        for index in range(decay):
+            trace.append(peak * (1.0 - (index + 1) / max(1, decay)) * 0.2)
+        noise = rng.normal(0.0, 0.02 * self.replica_capacity, size=ticks)
+        return [max(0.0, offered + jitter) for offered, jitter in zip(trace, noise)]
+
+    def estimate_queue_wait_p95(
+        self, offered: float, replicas: int, backlog: float
+    ) -> float:
+        """Crude utilisation-driven wait estimate (blows up near rho=1)."""
+        capacity = replicas * self.replica_capacity
+        rho = min(0.999, (offered + backlog) / capacity) if capacity else 0.999
+        # Single-queue wait scaled by utilisation: ~0 when idle, steep
+        # near saturation — the shape the hysteresis logic cares about.
+        return self.service_seconds * rho / max(1e-3, (1.0 - rho))
+
+    def run(self, ticks: int = 60, start_replicas: int | None = None) -> dict:
+        """Simulate ``ticks`` steps; returns the full decision trace."""
+        policy = self.policy
+        scaler = FleetAutoscaler(policy)
+        replicas = (
+            policy.min_replicas if start_replicas is None else start_replicas
+        )
+        backlog = 0.0
+        trace = self.load_trace(ticks)
+        steps: list[dict] = []
+        for tick, offered in enumerate(trace):
+            wait_p95 = self.estimate_queue_wait_p95(offered, replicas, backlog)
+            served = min(offered + backlog, replicas * self.replica_capacity)
+            backlog = max(0.0, offered + backlog - served)
+            decision = scaler.decide(
+                queue_wait_p95=wait_p95,
+                pending=int(backlog),
+                replicas=replicas,
+            )
+            replicas = decision["target"]
+            steps.append(
+                {
+                    "tick": tick,
+                    "offered": round(offered, 3),
+                    "backlog": round(backlog, 3),
+                    "queue_wait_p95": round(wait_p95, 6),
+                    "action": decision["action"],
+                    "replicas": replicas,
+                }
+            )
+        actions = [step["action"] for step in steps]
+        return {
+            "seed": self.seed,
+            "ticks": ticks,
+            "policy": dataclasses.asdict(policy),
+            "steps": steps,
+            "peak_replicas": max(step["replicas"] for step in steps),
+            "final_replicas": replicas,
+            "scale_ups": actions.count(SCALE_UP),
+            "scale_downs": actions.count(SCALE_DOWN),
+        }

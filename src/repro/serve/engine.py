@@ -35,7 +35,12 @@ from collections import deque
 from collections.abc import Mapping, Sequence
 from concurrent.futures import Future
 
-from repro.runtime.errors import InputError, OverloadedError, ReproError
+from repro.runtime.errors import (
+    InputError,
+    OverloadedError,
+    ReproError,
+    classify_error,
+)
 from repro.runtime.rescache import ResultCache, result_key
 from repro.runtime.resilience import (
     CircuitBreaker,
@@ -307,13 +312,20 @@ class ServingEngine:
     ) -> None:
         """Stop the engine; with ``drain`` finish queued work first.
 
-        Without ``drain`` (abort), queued-but-unstarted requests fail with
-        :class:`OverloadedError`; in-flight batches still complete.
+        With ``drain``, queued futures *complete* instead of being
+        abandoned — an engine that was never started but holds queued
+        submissions spins up its workers just to run them down, so no
+        accepted request is ever left unresolved by a drain shutdown.
+        Without ``drain`` (abort), queued-but-unstarted requests fail
+        with :class:`OverloadedError`; in-flight batches still complete.
         """
         with self._state_lock:
             if self._state == STOPPED:
                 return
             started = self._state in (RUNNING, DRAINING)
+        if drain and not started and self.admission.pending() > 0:
+            self.start()
+            started = True
         if drain and started:
             self.drain(timeout)
         self.admission.close()
@@ -488,6 +500,17 @@ class ServingEngine:
             )
             try:
                 self._execute_batch(batch)
+            except Exception as raw:  # noqa: BLE001 — workers must survive
+                # A worker that dies takes every future it holds (and the
+                # whole queue behind it) to an unresolved grave. Classify
+                # whatever escaped the stage machinery, fail the batch's
+                # futures with it, and keep the worker alive.
+                error = classify_error(raw, stage=batch[0].request.kind)
+                self.metrics.count("worker_faults")
+                for entry in batch:
+                    if not entry.future.done():
+                        self.metrics.count("failed")
+                        entry.future.set_exception(error)
             finally:
                 self.admission.release(len(batch))
 

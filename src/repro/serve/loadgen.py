@@ -126,6 +126,40 @@ def build_demo_backend(seed: int = 0, num_objectives: int = 64):
     return detector, extractor
 
 
+def build_swappable_extractor(seed: int = 0, num_objectives: int = 24):
+    """An untrained extractor whose ``save()``/``load()`` round-trips.
+
+    :func:`build_demo_backend` hand-shrinks its encoder below the
+    model-zoo geometry for speed, but :meth:`WeakSupervisionExtractor.load`
+    rebuilds the model from the zoo spec — so demo-backend checkpoints do
+    not round-trip. Hot-swap tests and the ``serve-fleet --swap`` CLI
+    need a checkpoint that reloads bit-exactly; this builds the real
+    (smallest) zoo geometry via :meth:`build_model`. Slower per request
+    than the demo backend, so keep request counts modest.
+    """
+    from repro.core.extractor import ExtractorConfig, WeakSupervisionExtractor
+    from repro.datasets.generator import ObjectiveGenerator
+    from repro.text.bpe import BpeTokenizer
+
+    objectives = ObjectiveGenerator(seed=seed).generate_many(num_objectives)
+    corpus = [objective.text for objective in objectives]
+    extractor = WeakSupervisionExtractor(
+        ExtractorConfig(
+            model="distilroberta", num_merges=200, max_len=48, seed=seed
+        )
+    )
+    words = [
+        token.text
+        for text in corpus
+        for token in extractor.word_tokenizer.tokenize(
+            extractor.normalizer(text)
+        )
+    ]
+    extractor.tokenizer = BpeTokenizer.train(words, num_merges=200)
+    extractor.model = extractor.build_model()
+    return extractor
+
+
 def build_request_texts(seed: int, num_texts: int) -> list[str]:
     """A deterministic stream of objective-like request texts."""
     from repro.datasets.generator import ObjectiveGenerator

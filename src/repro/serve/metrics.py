@@ -152,6 +152,43 @@ class SloMetrics:
         }
 
 
+def merge_counters(snapshots) -> dict[str, float]:
+    """Sum flat counter dicts (one per replica) into one fleet-wide view.
+
+    The fleet router aggregates its replicas' ``SloMetrics`` counters with
+    this before deriving fleet-level rates — counters are additive across
+    engines, unlike latency quantiles (which the router observes itself,
+    per completed request, into its own histograms).
+    """
+    merged: dict[str, float] = {}
+    for snapshot in snapshots:
+        for name, value in snapshot.items():
+            merged[name] = merged.get(name, 0.0) + value
+    return merged
+
+
+def fleet_cache_view(counter_snapshots, cache_stats_snapshots=()) -> dict:
+    """The fleet-wide result-cache view: merged hit rates + store totals.
+
+    ``counter_snapshots`` are per-replica ``SloMetrics`` counter dicts
+    (carrying the submit-time ``cache.hits/misses.<priority>`` counters);
+    ``cache_stats_snapshots`` are per-replica
+    :meth:`repro.runtime.rescache.CacheStats.snapshot` dicts. Each
+    replica probes only its own :class:`~repro.runtime.rescache.ResultCache`,
+    so hit-rate is only meaningful fleet-wide after this merge — a
+    request that hits on one replica may miss on its siblings.
+    """
+    view = _cache_view(merge_counters(counter_snapshots))
+    store = {"hits": 0.0, "misses": 0.0, "evictions": 0.0, "insertions": 0.0}
+    for snapshot in cache_stats_snapshots:
+        for key in store:
+            store[key] += float(snapshot.get(key, 0.0))
+    lookups = store["hits"] + store["misses"]
+    store["hit_rate"] = store["hits"] / lookups if lookups else 0.0
+    view["store"] = store
+    return view
+
+
 def _cache_view(counters: dict[str, float]) -> dict:
     """Per-priority result-cache hit rates from the flat counters.
 

@@ -1,0 +1,177 @@
+"""Routing policies and per-replica health for the serving fleet.
+
+The :class:`~repro.serve.fleet.FleetRouter` separates *where a request
+goes* (a :class:`RoutingPolicy`) from *who is allowed to receive it*
+(a :class:`ReplicaHealth` per replica):
+
+* policies pick among the currently-admissible replicas —
+  :class:`RoundRobinPolicy` (cheap, fair under uniform cost),
+  :class:`LeastLoadedPolicy` (min queued + in-flight requests), and
+  :class:`TokenCostAwarePolicy` (min outstanding *estimated tokens*, the
+  right load signal when request sizes are skewed). All three are
+  deterministic given the same replica states, with replica id as the
+  tie-break, so routing decisions are reproducible in tests;
+* health is a replica-level circuit breaker: ``failure_threshold``
+  consecutive replica-attributable failures eject a replica from the
+  candidate set, a cooldown later it is re-admitted *on probation* (one
+  class of trial traffic), a probation success restores it and a
+  probation failure re-ejects it. A crashed replica is ``dead`` —
+  permanently out, never re-admitted.
+
+Register a new policy by adding it to :data:`ROUTING_POLICIES`.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections.abc import Callable
+
+from repro.runtime.resilience import CircuitBreaker
+
+#: Health states a replica can report (``dead`` is terminal).
+HEALTHY, PROBATION, EJECTED, DEAD = (
+    "healthy",
+    "probation",
+    "ejected",
+    "dead",
+)
+
+
+class ReplicaHealth:
+    """Consecutive-failure ejection with probationary re-admission.
+
+    A thin replica-level veneer over the per-stage
+    :class:`~repro.runtime.resilience.CircuitBreaker` (closed → healthy,
+    open → ejected, half-open → probation), plus a terminal ``dead``
+    state for crashed replicas. Thread-safe: router dispatch threads and
+    engine-callback threads record outcomes concurrently.
+    """
+
+    def __init__(
+        self,
+        failure_threshold: int = 3,
+        readmission_seconds: float = 0.25,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self._breaker = CircuitBreaker(
+            failure_threshold=failure_threshold,
+            recovery_time=readmission_seconds,
+            clock=clock,
+        )
+        self._dead = threading.Event()
+
+    @property
+    def state(self) -> str:
+        if self._dead.is_set():
+            return DEAD
+        return {
+            "closed": HEALTHY,
+            "open": EJECTED,
+            "half_open": PROBATION,
+        }[self._breaker.state]
+
+    @property
+    def dead(self) -> bool:
+        return self._dead.is_set()
+
+    def admissible(self) -> bool:
+        """Whether the router may dispatch to this replica right now.
+
+        An ejected replica whose cooldown elapsed answers True exactly
+        like the breaker's half-open trial — that admitted request *is*
+        the probation.
+        """
+        if self._dead.is_set():
+            return False
+        return self._breaker.allow()
+
+    def record_success(self) -> None:
+        if not self._dead.is_set():
+            self._breaker.record_success()
+
+    def record_failure(self) -> None:
+        """One replica-attributable failure (stall, crash error, ...)."""
+        if not self._dead.is_set():
+            self._breaker.record_failure()
+
+    def mark_dead(self) -> None:
+        self._dead.set()
+
+
+class RoutingPolicy:
+    """Base policy: pick one replica out of the admissible candidates.
+
+    ``select`` receives a non-empty list of replica objects exposing
+    ``replica_id`` (stable string), ``load()`` (queued + in-flight
+    requests) and ``outstanding_tokens()`` (estimated tokens dispatched
+    but not yet resolved), plus the token-cost estimate of the request
+    being routed.
+    """
+
+    name = "base"
+
+    def select(self, candidates: list, cost: int):
+        raise NotImplementedError
+
+
+class RoundRobinPolicy(RoutingPolicy):
+    """Cycle over candidates in replica-id order; fair under uniform cost."""
+
+    name = "round-robin"
+
+    def __init__(self) -> None:
+        self._turn = 0
+        self._lock = threading.Lock()
+
+    def select(self, candidates: list, cost: int):
+        ordered = sorted(candidates, key=lambda r: r.replica_id)
+        with self._lock:
+            turn = self._turn
+            self._turn += 1
+        return ordered[turn % len(ordered)]
+
+
+class LeastLoadedPolicy(RoutingPolicy):
+    """Min queued + in-flight requests; replica id breaks ties."""
+
+    name = "least-loaded"
+
+    def select(self, candidates: list, cost: int):
+        return min(candidates, key=lambda r: (r.load(), r.replica_id))
+
+
+class TokenCostAwarePolicy(RoutingPolicy):
+    """Min outstanding estimated tokens; the load signal under skew.
+
+    Two queued ten-token requests are cheaper than one five-hundred-token
+    request — request *count* (least-loaded) gets that backwards, token
+    cost does not.
+    """
+
+    name = "token-cost"
+
+    def select(self, candidates: list, cost: int):
+        return min(
+            candidates, key=lambda r: (r.outstanding_tokens(), r.replica_id)
+        )
+
+
+#: Policy registry keyed by CLI/config name.
+ROUTING_POLICIES: dict[str, type[RoutingPolicy]] = {
+    RoundRobinPolicy.name: RoundRobinPolicy,
+    LeastLoadedPolicy.name: LeastLoadedPolicy,
+    TokenCostAwarePolicy.name: TokenCostAwarePolicy,
+}
+
+
+def make_policy(name: str) -> RoutingPolicy:
+    """Instantiate a registered policy; unknown names raise ValueError."""
+    try:
+        policy_cls = ROUTING_POLICIES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown routing policy {name!r}; "
+            f"use one of {sorted(ROUTING_POLICIES)}"
+        ) from None
+    return policy_cls()

@@ -1,0 +1,196 @@
+"""Autoscaler tests: decision hysteresis, cooldown, bounds, simulator.
+
+The decision core is pure (observations in, decision out), so most of
+this file needs no threads; one integration test closes the loop against
+a live fleet.
+"""
+
+import pytest
+
+from repro.serve.autoscale import (
+    HOLD,
+    SCALE_DOWN,
+    SCALE_UP,
+    AutoscalePolicy,
+    FleetAutoscaler,
+    FleetSimulator,
+    nearest_rank_p95,
+)
+from repro.serve.engine import ServingConfig
+from repro.serve.fleet import FleetConfig, FleetRouter
+from tests.serve.conftest import RecordingExtractor
+
+pytestmark = [pytest.mark.serve, pytest.mark.fleet]
+
+POLICY = AutoscalePolicy(
+    target_queue_wait_p95=0.05,
+    low_water_fraction=0.2,
+    min_replicas=1,
+    max_replicas=4,
+    breach_ticks=2,
+    idle_ticks=3,
+    cooldown_ticks=2,
+    step=1,
+)
+
+
+def breach(scaler, replicas):
+    return scaler.decide(queue_wait_p95=0.2, pending=50, replicas=replicas)
+
+
+def idle(scaler, replicas):
+    return scaler.decide(queue_wait_p95=0.001, pending=0, replicas=replicas)
+
+
+class TestPolicyValidation:
+    def test_rejects_bad_knobs(self):
+        with pytest.raises(ValueError):
+            AutoscalePolicy(target_queue_wait_p95=0.0)
+        with pytest.raises(ValueError):
+            AutoscalePolicy(low_water_fraction=1.5)
+        with pytest.raises(ValueError):
+            AutoscalePolicy(min_replicas=2, max_replicas=1)
+        with pytest.raises(ValueError):
+            AutoscalePolicy(breach_ticks=0)
+
+    def test_nearest_rank_p95(self):
+        assert nearest_rank_p95([]) == 0.0
+        assert nearest_rank_p95([0.3]) == 0.3
+        samples = [index / 100.0 for index in range(1, 101)]
+        assert nearest_rank_p95(samples) == pytest.approx(0.95)
+
+
+class TestDecisionCore:
+    def test_single_breach_is_noise(self):
+        scaler = FleetAutoscaler(POLICY)
+        assert breach(scaler, 2)["action"] == HOLD
+
+    def test_sustained_breach_scales_up(self):
+        scaler = FleetAutoscaler(POLICY)
+        assert breach(scaler, 2)["action"] == HOLD
+        decision = breach(scaler, 2)
+        assert decision["action"] == SCALE_UP
+        assert decision["target"] == 3
+
+    def test_breach_counter_resets_on_recovery(self):
+        scaler = FleetAutoscaler(POLICY)
+        breach(scaler, 2)
+        scaler.decide(queue_wait_p95=0.01, pending=2, replicas=2)  # recovered
+        assert breach(scaler, 2)["action"] == HOLD  # streak restarted
+
+    def test_cooldown_blocks_consecutive_actions(self):
+        scaler = FleetAutoscaler(POLICY)
+        breach(scaler, 2)
+        assert breach(scaler, 2)["action"] == SCALE_UP
+        # Still breaching, but the cooldown holds the line.
+        third = breach(scaler, 3)
+        fourth = breach(scaler, 3)
+        assert third["action"] == HOLD and "cooldown" in third["reason"]
+        assert fourth["action"] == HOLD
+        # Cooldown over; the sustained breach acts again.
+        fifth = breach(scaler, 3)
+        assert fifth["action"] == SCALE_UP
+
+    def test_sustained_idle_scales_down(self):
+        scaler = FleetAutoscaler(POLICY)
+        for _ in range(2):
+            assert idle(scaler, 3)["action"] == HOLD
+        decision = idle(scaler, 3)
+        assert decision["action"] == SCALE_DOWN
+        assert decision["target"] == 2
+
+    def test_bounds_are_respected(self):
+        scaler = FleetAutoscaler(POLICY)
+        breach(scaler, POLICY.max_replicas)
+        decision = breach(scaler, POLICY.max_replicas)
+        assert decision["action"] == HOLD
+        assert "max_replicas" in decision["reason"]
+        scaler = FleetAutoscaler(POLICY)
+        for _ in range(POLICY.idle_ticks - 1):
+            idle(scaler, POLICY.min_replicas)
+        decision = idle(scaler, POLICY.min_replicas)
+        assert decision["action"] == HOLD
+        assert "min_replicas" in decision["reason"]
+
+    def test_busy_but_within_target_holds(self):
+        scaler = FleetAutoscaler(POLICY)
+        for _ in range(10):
+            decision = scaler.decide(
+                queue_wait_p95=0.03, pending=10, replicas=2
+            )
+            assert decision["action"] == HOLD
+
+
+class TestSimulator:
+    def test_deterministic_under_a_seed(self):
+        first = FleetSimulator(POLICY, seed=11).run(ticks=45)
+        second = FleetSimulator(POLICY, seed=11).run(ticks=45)
+        assert first == second
+        assert first != FleetSimulator(POLICY, seed=12).run(ticks=45)
+
+    def test_ramp_scales_up_and_decay_scales_down(self):
+        result = FleetSimulator(POLICY, seed=0).run(ticks=60)
+        assert result["scale_ups"] >= 1
+        assert result["scale_downs"] >= 1
+        assert result["peak_replicas"] > POLICY.min_replicas
+        assert result["peak_replicas"] <= POLICY.max_replicas
+        assert result["final_replicas"] < result["peak_replicas"]
+
+    def test_replica_counts_stay_in_bounds_every_tick(self):
+        result = FleetSimulator(POLICY, seed=3).run(ticks=80)
+        for step in result["steps"]:
+            assert (
+                POLICY.min_replicas
+                <= step["replicas"]
+                <= POLICY.max_replicas
+            )
+
+    def test_rejects_bad_knobs(self):
+        with pytest.raises(ValueError):
+            FleetSimulator(replica_capacity=0)
+        with pytest.raises(ValueError):
+            FleetSimulator(service_seconds=0)
+
+
+class TestLiveIntegration:
+    def test_tick_scales_a_live_fleet(self):
+        router = FleetRouter(
+            extractor=RecordingExtractor(delay=0.005),
+            config=FleetConfig(
+                replicas=1,
+                engine=ServingConfig(
+                    num_workers=1,
+                    max_batch_requests=1,
+                    max_wait_ms=0.0,
+                    queue_depth=128,
+                ),
+            ),
+        )
+        scaler = FleetAutoscaler(
+            AutoscalePolicy(
+                target_queue_wait_p95=0.01,
+                breach_ticks=1,
+                idle_ticks=2,
+                cooldown_ticks=0,
+                max_replicas=3,
+            )
+        )
+        with router:
+            # A burst against one slow replica: the tail of the queue
+            # waits ~30 service times, far past the 10 ms target.
+            futures = [
+                router.submit(kind="extract", texts=f"load {index}")
+                for index in range(30)
+            ]
+            for future in futures:
+                future.result(timeout=10.0)
+            decision = scaler.tick(router)
+            assert decision["samples"] == 30
+            assert decision["action"] == SCALE_UP
+            assert decision["replicas_after"] == 2
+            assert router.replica_count() == 2
+            # No new samples at all: two idle ticks scale back down.
+            assert scaler.tick(router)["action"] == HOLD
+            decision = scaler.tick(router)
+            assert decision["action"] == SCALE_DOWN
+            assert router.replica_count() == 1

@@ -7,7 +7,7 @@ assertions here fully deterministic.
 
 import pytest
 
-from repro.runtime.errors import InputError, OverloadedError
+from repro.runtime.errors import InputError, OverloadedError, ReproError
 from repro.serve.engine import ServingConfig, ServingEngine
 from tests.serve.conftest import RecordingExtractor
 
@@ -169,3 +169,62 @@ class TestServing:
         assert snapshot["engine"]["state"] == "stopped"
         assert snapshot["engine"]["breakers"]["extract"] == "closed"
         assert snapshot["engine"]["quarantined"] == 0
+
+
+class TestDrainShutdownFix:
+    def test_drain_shutdown_completes_queued_futures_on_unstarted_engine(
+        self, recording_extractor
+    ):
+        """A drain shutdown never abandons accepted work — even when the
+        engine was never started, it spins workers up just to run the
+        queue down (the abort path in
+        ``test_abort_shutdown_fails_queued_requests`` is unchanged)."""
+        engine = make_engine(recording_extractor)
+        futures = [
+            engine.submit(kind="extract", texts=f"queued {index}")
+            for index in range(3)
+        ]
+        engine.shutdown(drain=True, timeout=10.0)
+        for future in futures:
+            assert future.result(timeout=0).status == "ok"
+        assert engine.state == "stopped"
+        assert len(recording_extractor.calls) >= 1
+
+    def test_drain_shutdown_on_idle_unstarted_engine_stays_cheap(
+        self, recording_extractor
+    ):
+        engine = make_engine(recording_extractor)
+        engine.shutdown(drain=True)  # nothing queued: no workers spawned
+        assert engine.state == "stopped"
+        assert engine.metrics_snapshot()["engine"]["workers"] == 0
+
+
+class TestWorkerCrashGuard:
+    def test_worker_survives_an_escaped_exception(
+        self, recording_extractor, monkeypatch
+    ):
+        """A non-ReproError escaping batch execution fails that batch's
+        futures with a classified error but leaves the worker alive for
+        the next request."""
+        engine = make_engine(recording_extractor)
+        original = engine._execute_batch
+        calls = {"count": 0}
+
+        def explode_once(batch):
+            calls["count"] += 1
+            if calls["count"] == 1:
+                raise RuntimeError("worker bug: unguarded KeyError-alike")
+            return original(batch)
+
+        monkeypatch.setattr(engine, "_execute_batch", explode_once)
+        with engine:
+            doomed = engine.submit(kind="extract", texts="first in line")
+            with pytest.raises(ReproError):
+                doomed.result(timeout=10.0)
+            # Same worker, next request: still serving.
+            healthy = engine.submit(kind="extract", texts="second in line")
+            assert healthy.result(timeout=10.0).status == "ok"
+        snapshot = engine.metrics_snapshot()
+        assert snapshot["counters"]["worker_faults"] == 1
+        assert snapshot["counters"]["failed"] == 1
+        assert snapshot["counters"]["completed"] == 1

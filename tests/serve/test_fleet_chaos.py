@@ -1,0 +1,205 @@
+"""Chaos tier for the fleet: replica kills mid-storm, stalls, fault sites.
+
+The headline property (the ISSUE's at-least-once failover guarantee):
+kill one replica at a seeded random point while an open-loop storm is in
+flight, and (a) zero accepted requests are lost, (b) every result is
+bitwise-identical to a single-replica no-chaos reference, (c) the
+router's health view converges — the victim is ``dead``, the survivors
+are ``healthy``.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.runtime.errors import ModelError, OverloadedError
+from repro.runtime.resilience import FaultInjector, FaultSpec
+from repro.serve.engine import ServingConfig
+from repro.serve.fleet import FleetConfig, FleetRouter
+from tests.serve.conftest import RecordingExtractor
+
+pytestmark = [pytest.mark.serve, pytest.mark.fleet, pytest.mark.chaos]
+
+
+def storm_fleet(extractor, *, replicas, fault_injector=None, queue_depth=512):
+    return FleetRouter(
+        extractor=extractor,
+        config=FleetConfig(
+            replicas=replicas,
+            engine=ServingConfig(
+                num_workers=1, max_wait_ms=0.0, queue_depth=queue_depth
+            ),
+        ),
+        fault_injector=fault_injector,
+    )
+
+
+class TestChaosStorm:
+    @pytest.mark.parametrize("seed", [11, 23, 47])
+    def test_replica_kill_mid_storm_loses_nothing(self, seed):
+        """Seeded kill point; zero lost, bitwise-identical, converged."""
+        num_requests = 40
+        texts = [f"chaos request {index:03d}" for index in range(num_requests)]
+        rng = np.random.default_rng(seed)
+        kill_point = int(rng.integers(5, num_requests - 5))
+        router = storm_fleet(
+            RecordingExtractor(delay=0.002), replicas=3
+        )
+        victim = None
+        futures = []
+        with router:
+            for index, text in enumerate(texts):
+                if index == kill_point:
+                    victim = router.live_replicas()[
+                        int(rng.integers(0, 3))
+                    ]
+                    assert router.kill_replica(victim)
+                futures.append(router.submit(kind="extract", texts=text))
+            results = [future.result(timeout=30.0) for future in futures]
+
+        # (a) zero lost: every accepted request resolved successfully.
+        assert len(results) == num_requests
+        assert all(result.status == "ok" for result in results)
+        counters = router.metrics_snapshot()["router"]["counters"]
+        assert counters["completed"] == num_requests
+        assert counters.get("failed", 0) == 0
+
+        # (b) bitwise-identical to a 1-replica, no-chaos reference.
+        reference = storm_fleet(RecordingExtractor(), replicas=1)
+        with reference:
+            reference_values = [
+                reference.submit(kind="extract", texts=text)
+                .result(timeout=30.0)
+                .values
+                for text in texts
+            ]
+        assert [result.values for result in results] == reference_values
+
+        # (c) health convergence: victim dead, survivors healthy.
+        health = router.health_states()
+        assert health[victim] == "dead"
+        survivors = [rid for rid in health if rid != victim]
+        assert all(health[rid] == "healthy" for rid in survivors)
+
+    def test_injected_replica_crash_at_dispatch(self):
+        """The ``replica_crash`` fault site kills the selected replica."""
+        injector = FaultInjector(
+            [FaultSpec(stage="replica_crash", error="crash", nth_calls=(4,))],
+            seed=3,
+        )
+        router = storm_fleet(
+            RecordingExtractor(delay=0.002),
+            replicas=2,
+            fault_injector=injector,
+        )
+        with router:
+            futures = [
+                router.submit(kind="extract", texts=f"request {index}")
+                for index in range(12)
+            ]
+            results = [future.result(timeout=30.0) for future in futures]
+        assert all(result.status == "ok" for result in results)
+        counters = router.metrics_snapshot()["router"]["counters"]
+        assert counters["chaos.replica_crash"] == 1
+        assert counters["replicas_killed"] == 1
+        assert counters.get("failed", 0) == 0
+        assert sorted(router.health_states().values()) == ["dead", "healthy"]
+
+    def test_injected_replica_stall_strikes_health_not_request(self):
+        """``replica_stall`` costs the replica a strike; the request reroutes."""
+        # Odd ordinals only: the stall check runs again on the same
+        # dispatch's retry pass (which must NOT stall, or the request has
+        # nowhere left to go), so consecutive ordinals would burn both
+        # replicas for one request.
+        injector = FaultInjector(
+            [
+                FaultSpec(
+                    stage="replica_stall",
+                    error="timeout",
+                    nth_calls=(1, 3, 5),
+                )
+            ],
+            seed=3,
+        )
+        router = storm_fleet(
+            RecordingExtractor(),
+            replicas=2,
+            fault_injector=injector,
+        )
+        # Submit sequentially on an idle fleet: least-loaded always picks
+        # r000 first (id tie-break at load 0), so all three strikes land
+        # on r000 and the third ejects it.
+        with router:
+            results = [
+                router.submit(kind="extract", texts=f"request {index}")
+                .result(timeout=30.0)
+                for index in range(6)
+            ]
+        assert all(result.status == "ok" for result in results)
+        counters = router.metrics_snapshot()["router"]["counters"]
+        assert counters["chaos.replica_stall"] == 3
+        assert counters.get("failed", 0) == 0
+        states = sorted(router.health_states().values())
+        assert "ejected" in states  # three stalls ejected one replica
+
+    def test_ejected_replica_readmitted_on_probation(self):
+        """A stall-ejected replica re-enters routing after the cooldown."""
+        clock_start = time.monotonic()
+        injector = FaultInjector(
+            [
+                FaultSpec(
+                    stage="replica_stall",
+                    error="timeout",
+                    nth_calls=(1,),
+                )
+            ],
+            seed=3,
+        )
+        router = FleetRouter(
+            extractor=RecordingExtractor(),
+            config=FleetConfig(
+                replicas=1,
+                failure_threshold=1,
+                readmission_seconds=0.05,
+                engine=ServingConfig(
+                    num_workers=1, max_wait_ms=0.0, queue_depth=64
+                ),
+            ),
+            fault_injector=injector,
+        )
+        with router:
+            # First submit: the only replica stalls, gets ejected, and no
+            # other replica can take the request.
+            with pytest.raises(OverloadedError):
+                router.submit(kind="extract", texts="stalled away")
+            assert router.health_states() == {"r000": "ejected"}
+            time.sleep(0.1)  # cooldown elapses
+            future = router.submit(kind="extract", texts="probation trial")
+            assert future.result(timeout=10.0).status == "ok"
+        assert router.health_states() == {"r000": "healthy"}
+
+    def test_backend_faults_do_not_trigger_failover(self):
+        """Ordinary model errors fail the request, not the replica."""
+
+        class FailsOnTag:
+            def extract_batch(self, texts):
+                if any("BAD" in text for text in texts):
+                    raise ValueError("poisoned")
+                return [{"Action": "ok"} for _ in texts]
+
+        router = storm_fleet(FailsOnTag(), replicas=2)
+        with router:
+            bad = router.submit(kind="extract", texts="BAD request")
+            good = router.submit(kind="extract", texts="fine request")
+            with pytest.raises(ModelError):
+                bad.result(timeout=10.0)
+            assert good.result(timeout=10.0).status == "ok"
+        counters = router.metrics_snapshot()["router"]["counters"]
+        assert counters.get("failover.redispatched", 0) == 0
+        assert counters["failed"] == 1
+        # One strike each at most — nobody ejected, nobody dead.
+        assert all(
+            state == "healthy"
+            for state in router.health_states().values()
+        )

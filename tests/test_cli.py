@@ -86,3 +86,31 @@ class TestCli:
     def test_unknown_command_exits(self):
         with pytest.raises(SystemExit):
             main(["frobnicate"])
+
+
+@pytest.mark.serve
+@pytest.mark.fleet
+class TestServeFleetCli:
+    def test_serve_fleet_small_run(self, tmp_path, capsys):
+        out = tmp_path / "fleet.json"
+        code = main(
+            [
+                "serve-fleet",
+                "--replicas", "2",
+                "--requests", "8",
+                "--concurrency", "2",
+                "--seed", "3",
+                "--out", str(out),
+            ]
+        )
+        assert code == 0
+        stdout = capsys.readouterr().out
+        assert "completed 8 / submitted 8" in stdout
+        payload = json.loads(out.read_text())
+        assert payload["config"]["replicas"] == 2
+        assert payload["fleet"]["router"]["counters"]["completed"] == 8
+        assert payload["swap"] is None
+
+    def test_serve_fleet_rejects_bad_policy(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["serve-fleet", "--policy", "hash-ring"])
