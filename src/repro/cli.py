@@ -10,6 +10,9 @@ Subcommands cover the full lifecycle::
     repro serve-bench --requests 64 --out BENCH_serving.json
     repro serve-fleet --replicas 3 --policy least-loaded --requests 48
     repro serve-fleet --replicas 2 --swap model/ --requests 48
+    repro kg build --db objectives.db --out graph.json --workers auto
+    repro kg drift --db objectives.db --json
+    repro kg company --db objectives.db --rank
 """
 
 from __future__ import annotations
@@ -461,6 +464,153 @@ def _cmd_serve_fleet(args: argparse.Namespace) -> int:
     return 0
 
 
+def _kg_rows(args: argparse.Namespace):
+    """Graph rows from the chosen source: a store DB or the demo panel."""
+    from repro.kg import rows_from_records, rows_from_store
+
+    if args.db:
+        from repro.storage import ObjectiveStore
+
+        store = ObjectiveStore(args.db)
+        try:
+            return rows_from_store(store)
+        finally:
+            store.close()
+    if args.panel:
+        from repro.datasets.sustainability import (
+            build_company_panel,
+            panel_records,
+        )
+
+        panel = build_company_panel(seed=args.seed)
+        return rows_from_records(panel_records(panel))
+    raise InputError("either --db or --panel is required", stage="kg")
+
+
+def _kg_graph(args: argparse.Namespace):
+    from repro.kg import build_graph, build_graph_parallel
+
+    rows = _kg_rows(args)
+    workers = getattr(args, "workers", 1)
+    from repro.runtime.parallel import resolve_workers
+
+    if resolve_workers(workers) > 1:
+        return build_graph_parallel(
+            rows, workers=workers, resolve_threshold=args.resolve_threshold
+        )
+    return build_graph(rows, resolve_threshold=args.resolve_threshold)
+
+
+def _cmd_kg_build(args: argparse.Namespace) -> int:
+    from repro.kg import graph_fingerprint, graph_to_payload
+
+    try:
+        graph = _kg_graph(args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return _exit_code_for(error)
+    payload = graph_to_payload(graph)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+    kinds: dict[str, int] = {}
+    for node in payload["nodes"]:
+        kinds[node["kind"]] = kinds.get(node["kind"], 0) + 1
+    merges = len(payload["resolution"].get("merges", []))
+    print(
+        f"graph: {len(payload['nodes'])} nodes "
+        f"({', '.join(f'{kinds[k]} {k}' for k in sorted(kinds))}), "
+        f"{len(payload['edges'])} edges, {merges} alias merge(s)"
+    )
+    print(f"fingerprint: {graph_fingerprint(graph)}")
+    if args.out:
+        print(f"wrote {args.out}")
+    return 0
+
+
+def _cmd_kg_drift(args: argparse.Namespace) -> int:
+    from repro.kg import detect_drift
+
+    try:
+        graph = _kg_graph(args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return _exit_code_for(error)
+    findings = detect_drift(
+        graph,
+        similarity_threshold=args.similarity_threshold,
+        amount_tolerance=args.amount_tolerance,
+    )
+    if args.json:
+        for finding in findings:
+            print(json.dumps(finding.as_dict(), sort_keys=True))
+    else:
+        rows = [
+            [
+                finding.kind,
+                finding.company,
+                finding.topic,
+                f"{finding.year_from}->{finding.year_to}",
+                finding.before,
+                finding.after,
+                finding.provenance[0].report_id,
+            ]
+            for finding in findings
+        ]
+        print(
+            render_table(
+                ["Kind", "Company", "Topic", "Years", "Before", "After",
+                 "Source"],
+                rows,
+            )
+        )
+    print(f"{len(findings)} drift finding(s)", file=sys.stderr)
+    return 0
+
+
+def _cmd_kg_company(args: argparse.Namespace) -> int:
+    from repro.kg import all_scorecards, company_scorecard, detect_drift
+
+    try:
+        graph = _kg_graph(args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return _exit_code_for(error)
+    findings = detect_drift(graph)
+    if args.name:
+        try:
+            card = company_scorecard(graph, args.name, findings)
+        except KeyError:
+            print(f"error: unknown company {args.name!r}", file=sys.stderr)
+            return EXIT_INPUT_ERROR
+        print(json.dumps(card.as_dict(), indent=2, sort_keys=True))
+        return 0
+    cards = sorted(
+        all_scorecards(graph, findings),
+        key=lambda c: (-c.risk, c.company),
+    )
+    rows = [
+        [
+            card.company,
+            f"{card.risk:.3f}",
+            str(card.objectives),
+            f"{card.mean_specificity:.2f}",
+            str(sum(card.drift_counts.values())),
+            ",".join(str(year) for year in card.reporting_years),
+        ]
+        for card in cards
+    ]
+    print(
+        render_table(
+            ["Company", "Risk", "Objectives", "Specificity", "Drift",
+             "Years"],
+            rows,
+        )
+    )
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argument parser with all subcommands."""
     parser = argparse.ArgumentParser(
@@ -637,6 +787,68 @@ def build_parser() -> argparse.ArgumentParser:
     fleet.add_argument("--out", default=None,
                        help="optional JSON report path")
     fleet.set_defaults(func=_cmd_serve_fleet)
+
+    kg_source = argparse.ArgumentParser(add_help=False)
+    kg_source.add_argument(
+        "--db", default=None,
+        help="objective store path (schema v2 with reporting years)",
+    )
+    kg_source.add_argument(
+        "--panel", action="store_true",
+        help="use the seeded multi-year demo panel instead of a store",
+    )
+    kg_source.add_argument("--seed", type=int, default=0,
+                           help="panel seed (with --panel)")
+    kg_source.add_argument(
+        "--resolve-threshold", type=float, default=0.6,
+        help="entity-resolution token-set similarity bound (default 0.6)",
+    )
+
+    kg = sub.add_parser(
+        "kg",
+        help="knowledge graph: entity resolution, goal tracking, drift",
+    )
+    kg_sub = kg.add_subparsers(dest="kg_command", required=True)
+
+    kg_build = kg_sub.add_parser(
+        "build", parents=[kg_source],
+        help="build the knowledge graph and write its canonical JSON",
+    )
+    kg_build.add_argument("--out", default=None,
+                          help="canonical graph JSON path")
+    kg_build.add_argument(
+        "--workers", type=_workers_arg, default=1,
+        help="worker processes for sharded ingestion ('auto' = one per "
+        "CPU core); the graph is bitwise-identical to --workers 1",
+    )
+    kg_build.set_defaults(func=_cmd_kg_build)
+
+    kg_drift = kg_sub.add_parser(
+        "drift", parents=[kg_source],
+        help="scan goal threads for greenwashing drift patterns",
+    )
+    kg_drift.add_argument(
+        "--similarity-threshold", type=float, default=0.5,
+        help="goal-identity Jaccard bound for threading (default 0.5)",
+    )
+    kg_drift.add_argument(
+        "--amount-tolerance", type=float, default=0.0,
+        help="relative ambition shrink tolerated before weakened_amount "
+        "fires (default 0.0 = any shrink)",
+    )
+    kg_drift.add_argument("--json", action="store_true",
+                          help="one JSON finding per line instead of a table")
+    kg_drift.set_defaults(func=_cmd_kg_drift)
+
+    kg_company = kg_sub.add_parser(
+        "company", parents=[kg_source],
+        help="company scorecards and the greenwashing-risk ranking",
+    )
+    kg_company.add_argument(
+        "--name", default=None,
+        help="canonical company name (omit for the full risk ranking)",
+    )
+    kg_company.set_defaults(func=_cmd_kg_company)
     return parser
 
 

@@ -15,7 +15,15 @@ per-company document/page counts of Table 5.
 
 from repro.datasets.base import Dataset, train_test_split
 from repro.datasets.generator import GeneratorConfig, ObjectiveGenerator
-from repro.datasets.sustainability import build_sustainability_goals
+from repro.datasets.sustainability import (
+    CompanyPanel,
+    InjectedDrift,
+    PANEL_DRIFT_KINDS,
+    PanelGoal,
+    build_company_panel,
+    build_sustainability_goals,
+    panel_records,
+)
 from repro.datasets.netzerofacts import build_netzerofacts
 from repro.datasets.reports import (
     DEPLOYMENT_COMPANIES,
@@ -26,15 +34,21 @@ from repro.datasets.reports import (
 )
 
 __all__ = [
+    "CompanyPanel",
     "DEPLOYMENT_COMPANIES",
     "Dataset",
     "GeneratorConfig",
+    "InjectedDrift",
     "ObjectiveGenerator",
+    "PANEL_DRIFT_KINDS",
+    "PanelGoal",
     "ReportGenerator",
     "SustainabilityReport",
     "TextBlock",
+    "build_company_panel",
     "build_deployment_corpus",
     "build_netzerofacts",
     "build_sustainability_goals",
+    "panel_records",
     "train_test_split",
 ]

@@ -38,11 +38,18 @@ class Page:
 
 @dataclasses.dataclass
 class SustainabilityReport:
-    """A multi-page sustainability report of one company."""
+    """A multi-page sustainability report of one company.
+
+    ``reporting_year`` is the fiscal/reporting year the report covers
+    (``None`` for the single-snapshot corpora); multi-year panels set it
+    so downstream records carry year provenance into the objective store
+    and knowledge graph.
+    """
 
     company: str
     report_id: str
     pages: list[Page]
+    reporting_year: int | None = None
 
     @property
     def num_pages(self) -> int:

@@ -10,6 +10,8 @@ attaches company/report provenance with the paper's fan-out.
 
 from __future__ import annotations
 
+import dataclasses
+
 import numpy as np
 
 from repro.core.schema import SUSTAINABILITY_FIELDS
@@ -20,6 +22,8 @@ from repro.datasets.generator import (
     make_company_name,
 )
 from repro.core.schema import AnnotatedObjective
+from repro.datasets import lexicon
+from repro.datasets.reports import Page, SustainabilityReport, TextBlock
 
 #: Published dataset statistics (paper Sections 4.1 and 4.3).
 NUM_OBJECTIVES = 1106
@@ -74,3 +78,361 @@ def build_sustainability_goals(
             )
         )
     return Dataset("sustainability-goals", SUSTAINABILITY_FIELDS, objectives)
+
+
+# -- multi-year company panel (drift ground truth) ---------------------------
+
+#: The drift kinds the panel can inject (must match
+#: ``repro.kg.track.DRIFT_KINDS`` minus nothing — the detector is scored
+#: against exactly these).
+PANEL_DRIFT_KINDS = (
+    "deadline_push",
+    "weakened_amount",
+    "dropped_target",
+    "baseline_rewrite",
+)
+
+#: (topic, qualifier) slots for panel goals. Qualifiers are chosen so
+#: the kg topic classifier (``repro.kg.build.infer_topic``) puts every
+#: goal of one company in a *distinct* bucket — goal threads then cannot
+#: cross, which is what makes the injected drift the only drift.
+_PANEL_GOAL_SLOTS = (
+    ("emissions", "carbon emissions"),
+    ("energy", "energy consumption"),
+    ("waste", "landfill waste"),
+    ("water", "water consumption"),
+    ("diversity", "women in leadership positions"),
+    ("safety", "workplace injury rate"),
+)
+
+#: Alias spellings of the legal suffixes (index-aligned variants).
+_SUFFIX_VARIANTS = {
+    "AG": ("AG",),
+    "Inc.": ("Inc.", "Incorporated", "Inc"),
+    "Group": ("Group",),
+    "plc": ("plc", "PLC"),
+    "Ltd.": ("Ltd.", "Limited", "Ltd"),
+    "Corp.": ("Corp.", "Corporation", "Corp"),
+    "SA": ("SA", "S.A."),
+}
+
+
+@dataclasses.dataclass(frozen=True)
+class InjectedDrift:
+    """Ground truth for one injected drift event.
+
+    ``year_from``/``year_to`` are the reporting years on either side of
+    the transition where the drift manifests; ``company`` is the
+    *canonical* name (aliases in the reports resolve back to it).
+    """
+
+    kind: str  # one of PANEL_DRIFT_KINDS
+    company: str
+    topic: str
+    year_from: int
+    year_to: int
+    before: str
+    after: str
+
+    def key(self) -> tuple[str, str, str, int, int]:
+        """The identity tuple drift findings are scored against."""
+        return (
+            self.kind, self.company, self.topic,
+            self.year_from, self.year_to,
+        )
+
+
+@dataclasses.dataclass(frozen=True)
+class PanelGoal:
+    """One company goal tracked across the panel years."""
+
+    company: str
+    topic: str
+    qualifier: str
+    amount_percent: int
+    baseline_year: int
+    deadline_year: int
+
+
+@dataclasses.dataclass
+class CompanyPanel:
+    """A seeded multi-year company panel with injected-drift ground truth."""
+
+    reports: list[SustainabilityReport]
+    drift_events: list[InjectedDrift]
+    companies: list[str]  # canonical names
+    aliases: dict[str, list[str]]  # canonical -> per-year surface forms
+    years: tuple[int, ...]
+    goals: list[PanelGoal]
+
+    @property
+    def num_objectives(self) -> int:
+        return sum(
+            1
+            for report in self.reports
+            for block in report.blocks()
+            if block.is_objective
+        )
+
+
+def _goal_block(
+    goal: PanelGoal,
+    *,
+    amount_percent: int,
+    baseline_year: int,
+    deadline_year: int,
+) -> TextBlock:
+    """Render a goal as an annotated objective block (fixed template, so
+    the same goal re-rendered in a later year differs only in the
+    injected fields — the controlled setting drift scoring needs)."""
+    amount = f"{amount_percent}%"
+    text = (
+        f"Reduce {goal.qualifier} by {amount} by {deadline_year} "
+        f"(baseline {baseline_year})."
+    )
+    return TextBlock(
+        text=text,
+        is_objective=True,
+        details={
+            "Action": "Reduce",
+            "Amount": amount,
+            "Qualifier": goal.qualifier,
+            "Baseline": str(baseline_year),
+            "Deadline": str(deadline_year),
+        },
+    )
+
+
+def _unique_company_names(
+    rng: np.random.Generator, count: int
+) -> list[str]:
+    """Canonical company names with pairwise-distinct (adjective, noun)
+    cores, so entity resolution can never merge two panel companies."""
+    names: list[str] = []
+    seen_cores: set[tuple[str, str]] = set()
+    while len(names) < count:
+        name = make_company_name(rng)
+        parts = name.split()
+        core = (parts[0], parts[1])
+        if core in seen_cores:
+            continue
+        seen_cores.add(core)
+        names.append(name)
+    return names
+
+
+def _alias_for_year(
+    canonical: str, year_index: int, rng: np.random.Generator,
+    alias_noise: bool,
+) -> str:
+    """The surface form a company files under in one year.
+
+    Year 0 always uses the canonical spelling; later years rotate
+    through suffix-variant and casing aliases ("Acme Corp." ->
+    "ACME CORPORATION") when ``alias_noise`` is on, exercising entity
+    resolution on every panel build.
+    """
+    if not alias_noise or year_index == 0:
+        return canonical
+    head, suffix = canonical.rsplit(" ", 1)
+    variants = _SUFFIX_VARIANTS.get(suffix, (suffix,))
+    choice = int(rng.integers(len(variants) + 1))
+    if choice == len(variants):
+        return canonical.upper()
+    return f"{head} {variants[choice]}"
+
+
+def build_company_panel(
+    seed: int = 0,
+    num_companies: int = 6,
+    years: tuple[int, ...] = (2020, 2021, 2022, 2023),
+    goals_per_company: int = 3,
+    drift_per_kind: int = 1,
+    alias_noise: bool = True,
+    noise_blocks_per_page: int = 2,
+) -> CompanyPanel:
+    """Build a seeded multi-year company panel with controlled drift.
+
+    The same companies re-report across ``years``; each company carries
+    ``goals_per_company`` stable goals (distinct topics). Exactly
+    ``drift_per_kind`` events of every kind in :data:`PANEL_DRIFT_KINDS`
+    are injected on distinct (company, goal) slots at seeded transition
+    years — deadlines silently pushed out, percent ambitions shrunk,
+    targets dropped, baselines rewritten — and returned as ground truth
+    (:class:`InjectedDrift`), so drift detection has exact
+    precision/recall labels. All randomness flows from ``seed``.
+
+    Args:
+        seed: RNG seed; same seed, same panel, bit for bit.
+        num_companies: panel width.
+        years: consecutive reporting years (ascending, >= 2).
+        goals_per_company: goals per company (<= 6 topic slots).
+        drift_per_kind: injected events per drift kind.
+        alias_noise: vary company surface forms across years.
+        noise_blocks_per_page: narrative (non-objective) blocks per page.
+    """
+    if len(years) < 2:
+        raise ValueError("a panel needs at least two reporting years")
+    if not 1 <= goals_per_company <= len(_PANEL_GOAL_SLOTS):
+        raise ValueError(
+            f"goals_per_company must be in [1, {len(_PANEL_GOAL_SLOTS)}]"
+        )
+    total_slots = num_companies * goals_per_company
+    needed = drift_per_kind * len(PANEL_DRIFT_KINDS)
+    if needed > total_slots:
+        raise ValueError(
+            f"{needed} drift events need {needed} distinct goal slots, "
+            f"panel has {total_slots}"
+        )
+    rng = np.random.default_rng(seed)
+    companies = _unique_company_names(rng, num_companies)
+
+    goals: list[PanelGoal] = []
+    for company in companies:
+        slot_indices = rng.choice(
+            len(_PANEL_GOAL_SLOTS), size=goals_per_company, replace=False
+        )
+        for slot in sorted(int(i) for i in slot_indices):
+            topic, qualifier = _PANEL_GOAL_SLOTS[slot]
+            goals.append(
+                PanelGoal(
+                    company=company,
+                    topic=topic,
+                    qualifier=qualifier,
+                    amount_percent=int(rng.integers(20, 81)),
+                    baseline_year=int(rng.integers(2012, 2019)),
+                    deadline_year=int(rng.integers(years[-1] + 2, 2041)),
+                )
+            )
+
+    # Assign drift events to distinct goal slots at seeded transitions.
+    slot_order = rng.permutation(len(goals))
+    drift_events: list[InjectedDrift] = []
+    drift_of_goal: dict[int, InjectedDrift] = {}
+    cursor = 0
+    for kind in PANEL_DRIFT_KINDS:
+        for __ in range(drift_per_kind):
+            goal_index = int(slot_order[cursor])
+            cursor += 1
+            goal = goals[goal_index]
+            transition = int(rng.integers(len(years) - 1))
+            year_from, year_to = years[transition], years[transition + 1]
+            if kind == "deadline_push":
+                pushed = goal.deadline_year + int(rng.integers(3, 9))
+                before, after = str(goal.deadline_year), str(pushed)
+            elif kind == "weakened_amount":
+                weakened = max(
+                    1, goal.amount_percent - int(rng.integers(10, 31))
+                )
+                before = f"{goal.amount_percent} (percent)"
+                after = f"{weakened} (percent)"
+            elif kind == "dropped_target":
+                before, after = "(present)", "(absent)"
+            else:  # baseline_rewrite
+                rewritten = goal.baseline_year + int(rng.integers(1, 5))
+                before, after = str(goal.baseline_year), str(rewritten)
+            event = InjectedDrift(
+                kind=kind,
+                company=goal.company,
+                topic=goal.topic,
+                year_from=year_from,
+                year_to=year_to,
+                before=before,
+                after=after,
+            )
+            drift_events.append(event)
+            drift_of_goal[goal_index] = event
+
+    def narrative_block() -> TextBlock:
+        picks = rng.choice(
+            len(lexicon.NARRATIVE_SENTENCES), size=1, replace=False
+        )
+        return TextBlock(
+            text=lexicon.NARRATIVE_SENTENCES[int(picks[0])],
+            is_objective=False,
+        )
+
+    reports: list[SustainabilityReport] = []
+    aliases: dict[str, list[str]] = {c: [] for c in companies}
+    for year_index, year in enumerate(years):
+        for company in companies:
+            alias = _alias_for_year(company, year_index, rng, alias_noise)
+            aliases[company].append(alias)
+            blocks: list[TextBlock] = [narrative_block()]
+            for goal_index, goal in enumerate(goals):
+                if goal.company != company:
+                    continue
+                amount = goal.amount_percent
+                baseline = goal.baseline_year
+                deadline = goal.deadline_year
+                event = drift_of_goal.get(goal_index)
+                if event is not None and year >= event.year_to:
+                    if event.kind == "dropped_target":
+                        continue
+                    if event.kind == "deadline_push":
+                        deadline = int(event.after)
+                    elif event.kind == "weakened_amount":
+                        amount = int(event.after.split()[0])
+                    elif event.kind == "baseline_rewrite":
+                        baseline = int(event.after)
+                blocks.append(
+                    _goal_block(
+                        goal,
+                        amount_percent=amount,
+                        baseline_year=baseline,
+                        deadline_year=deadline,
+                    )
+                )
+                for __ in range(max(0, noise_blocks_per_page - 1)):
+                    blocks.append(narrative_block())
+            # Two pages: deterministic split keeps page provenance varied.
+            half = (len(blocks) + 1) // 2
+            reports.append(
+                SustainabilityReport(
+                    company=alias,
+                    report_id=f"{company}-{year}",
+                    pages=[
+                        Page(blocks=blocks[:half]),
+                        Page(blocks=blocks[half:]),
+                    ],
+                    reporting_year=year,
+                )
+            )
+    return CompanyPanel(
+        reports=reports,
+        drift_events=sorted(drift_events, key=InjectedDrift.key),
+        companies=companies,
+        aliases=aliases,
+        years=tuple(years),
+        goals=goals,
+    )
+
+
+def panel_records(panel: CompanyPanel):
+    """Ground-truth :class:`~repro.goalspotter.pipeline.ExtractedRecord`
+    rows for a panel — the annotated objective blocks as if a perfect
+    extractor had processed every report (score 1.0). Lets the knowledge
+    graph and drift detector be scored against the injected ground truth
+    without model noise; running the real pipeline over
+    ``panel.reports`` exercises the same path with extraction noise.
+    """
+    from repro.goalspotter.pipeline import ExtractedRecord
+
+    records = []
+    for report in panel.reports:
+        for page_index, page in enumerate(report.pages):
+            for block in page.blocks:
+                if not block.is_objective:
+                    continue
+                records.append(
+                    ExtractedRecord(
+                        company=report.company,
+                        report_id=report.report_id,
+                        page=page_index,
+                        objective=block.text,
+                        details=dict(block.details),
+                        score=1.0,
+                        reporting_year=report.reporting_year,
+                    )
+                )
+    return records

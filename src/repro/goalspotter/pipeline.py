@@ -66,6 +66,7 @@ class ExtractedRecord:
     details: dict[str, str]
     score: float  # detector confidence
     status: str = STATUS_OK  # ok | degraded | failed (degradation ladder)
+    reporting_year: int | None = None  # year provenance (multi-year panels)
 
     def as_row(self, fields: Sequence[str]) -> list[str]:
         return [self.company, self.objective] + [
@@ -250,13 +251,14 @@ class GoalSpotter:
     ) -> list[ExtractedRecord]:
         """The PR 1 corpus-batched run (one detect call, one extract call)."""
         block_texts: list[str] = []
-        provenance: list[tuple[str, str, int]] = []
+        provenance: list[tuple[str, str, int, int | None]] = []
         for report in reports:
+            year = getattr(report, "reporting_year", None)
             for page_index, page in enumerate(report.pages):
                 for block in page.blocks:
                     block_texts.append(block.text)
                     provenance.append(
-                        (report.company, report.report_id, page_index)
+                        (report.company, report.report_id, page_index, year)
                     )
         if not block_texts:
             return []
@@ -280,7 +282,7 @@ class GoalSpotter:
         for unit_text, block_index, details in zip(
             units, unit_block, details_list
         ):
-            company, report_id, page_index = provenance[block_index]
+            company, report_id, page_index, year = provenance[block_index]
             records.append(
                 ExtractedRecord(
                     company=company,
@@ -289,6 +291,7 @@ class GoalSpotter:
                     objective=unit_text,
                     details=details,
                     score=float(scores[block_index]),
+                    reporting_year=year,
                 )
             )
         return records
@@ -402,6 +405,7 @@ class GoalSpotter:
                 details=details,
                 score=float(scores[block_index]),
                 status=status,
+                reporting_year=getattr(report, "reporting_year", None),
             )
             for unit_text, block_index, details in zip(
                 units, unit_block, details_list

@@ -1,0 +1,101 @@
+"""Sustainability knowledge graph over the objective store.
+
+The paper's motivating use case stops at a per-snapshot database; this
+package accumulates extracted objectives *across reports, companies and
+years* into a typed ``networkx`` graph and opens the monitoring workload
+on top of it:
+
+* :mod:`repro.kg.build` — typed graph construction (company / objective
+  / topic / deadline-year nodes, provenance edges), content-addressed
+  node ids, canonical serialization, and sharded parallel ingestion
+  that is bitwise-identical to serial;
+* :mod:`repro.kg.resolve` — deterministic, auditable entity resolution
+  of company aliases ("Acme Corp" / "ACME Corporation");
+* :mod:`repro.kg.track` — multi-year goal threading and the drift
+  taxonomy (deadline pushes, weakened ambition, dropped targets,
+  baseline rewrites) with provenance chains to the source pages;
+* :mod:`repro.kg.queries` — company scorecards, cross-company topic
+  comparison, and the greenwashing-risk ranking.
+
+CLI: ``repro kg build`` / ``repro kg drift`` / ``repro kg company``.
+"""
+
+from repro.kg.build import (
+    GRAPH_SCHEMA_VERSION,
+    GraphRow,
+    as_graph_row,
+    build_graph,
+    build_graph_parallel,
+    graph_fingerprint,
+    graph_to_payload,
+    infer_topic,
+    merge_graphs,
+    objective_node_id,
+    rows_from_records,
+    rows_from_store,
+)
+from repro.kg.queries import (
+    DRIFT_WEIGHTS,
+    CompanyScorecard,
+    TopicStats,
+    all_scorecards,
+    company_scorecard,
+    greenwashing_ranking,
+    risk_score,
+    topic_comparison,
+)
+from repro.kg.resolve import (
+    MergeRecord,
+    Resolution,
+    name_similarity,
+    normalize_company_name,
+    resolve_companies,
+)
+from repro.kg.track import (
+    DRIFT_KINDS,
+    DriftFinding,
+    GoalThread,
+    Provenance,
+    ThreadEntry,
+    company_reporting_years,
+    detect_drift,
+    link_goal_threads,
+    objective_similarity,
+)
+
+__all__ = [
+    "CompanyScorecard",
+    "DRIFT_KINDS",
+    "DRIFT_WEIGHTS",
+    "DriftFinding",
+    "GRAPH_SCHEMA_VERSION",
+    "GoalThread",
+    "GraphRow",
+    "MergeRecord",
+    "Provenance",
+    "Resolution",
+    "ThreadEntry",
+    "TopicStats",
+    "all_scorecards",
+    "as_graph_row",
+    "build_graph",
+    "build_graph_parallel",
+    "company_reporting_years",
+    "company_scorecard",
+    "detect_drift",
+    "graph_fingerprint",
+    "graph_to_payload",
+    "greenwashing_ranking",
+    "infer_topic",
+    "link_goal_threads",
+    "merge_graphs",
+    "name_similarity",
+    "normalize_company_name",
+    "objective_node_id",
+    "objective_similarity",
+    "resolve_companies",
+    "risk_score",
+    "rows_from_records",
+    "rows_from_store",
+    "topic_comparison",
+]

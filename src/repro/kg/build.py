@@ -1,0 +1,387 @@
+"""Knowledge-graph construction over the objective store.
+
+Turns extracted objective rows (live :class:`~repro.goalspotter.pipeline.
+ExtractedRecord` output or persisted :class:`~repro.storage.store.
+StoredObjective` rows) into a typed ``networkx`` digraph:
+
+* **company** nodes — one per resolved entity (see
+  :mod:`repro.kg.resolve`), carrying every observed alias;
+* **objective** nodes — one per extracted objective, content-addressed
+  (the node id is a hash of company, report, page and text, so the same
+  objective ingested twice — or from two shards — lands on the same
+  node), carrying the raw details, the normalized typed values
+  (:mod:`repro.normalize`), and full provenance (report id, page,
+  reporting year, extractor fingerprint, detector score);
+* **topic** nodes — deterministic keyword-bucket classification
+  (:func:`infer_topic`);
+* **year** nodes — deadline years, so "what falls due in 2030" is one
+  edge traversal.
+
+Edges: company ``has_objective`` objective (attributed with the
+reporting year), objective ``about`` topic, objective ``due`` year.
+
+Everything is deterministic: node ids are content hashes, the serialized
+payload (:func:`graph_to_payload`) sorts nodes and edges, and
+:func:`graph_fingerprint` hashes that canonical form — so *sharded
+parallel ingestion is bitwise-identical to serial ingestion*
+(:func:`build_graph_parallel` builds per-shard subgraphs and merges them
+order-exactly; the fingerprints must and do agree).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from collections.abc import Iterable, Mapping, Sequence
+from typing import Any
+
+import networkx as nx
+
+from repro.kg.resolve import Resolution, resolve_companies
+from repro.normalize import normalize_details
+
+__all__ = [
+    "GRAPH_SCHEMA_VERSION",
+    "GraphRow",
+    "TOPIC_KEYWORDS",
+    "as_graph_row",
+    "build_graph",
+    "build_graph_parallel",
+    "company_node_id",
+    "graph_fingerprint",
+    "graph_to_payload",
+    "infer_topic",
+    "merge_graphs",
+    "objective_node_id",
+    "rows_from_records",
+    "rows_from_store",
+]
+
+GRAPH_SCHEMA_VERSION = 1
+
+#: Ordered keyword buckets for topic classification; the FIRST bucket
+#: with a keyword hit wins, so classification is deterministic. Keywords
+#: are matched as lowercase substrings of qualifier + objective text.
+TOPIC_KEYWORDS: tuple[tuple[str, tuple[str, ...]], ...] = (
+    ("packaging", ("packaging",)),
+    ("waste", ("waste", "landfill", "plastic", "compost")),
+    ("water", ("water", "potable", "freshwater")),
+    (
+        "emissions",
+        (
+            "emission", "carbon", "co2", "greenhouse", "net-zero",
+            "net zero", "footprint", "climate neutral",
+        ),
+    ),
+    (
+        "energy",
+        ("energy", "electricity", "renewable", "fossil", "mwh", "solar"),
+    ),
+    (
+        "diversity",
+        (
+            "women", "diversity", "gender", "inclusion", "leadership",
+            "pay gap", "workforce",
+        ),
+    ),
+    ("safety", ("injury", "safety", "accident", "incident rate")),
+    ("supply_chain", ("supplier", "supply chain", "sourcing", "procure")),
+    (
+        "biodiversity",
+        ("biodiversity", "forest", "habitat", "species", "tree", "nature"),
+    ),
+    (
+        "community",
+        ("community", "volunteer", "charitable", "donation", "education"),
+    ),
+    (
+        "circularity",
+        ("circular", "recycled content", "reuse", "recyclable", "recycle"),
+    ),
+    (
+        "governance",
+        ("board", "governance", "ethics", "audit", "training", "compliance"),
+    ),
+)
+
+#: Fallback topic when no bucket matches.
+TOPIC_OTHER = "other"
+
+
+def infer_topic(objective: str, details: Mapping[str, str]) -> str:
+    """Classify an objective into a topic bucket (first keyword hit wins).
+
+    The qualifier is the most topical phrase, so it is searched first
+    (concatenated ahead of the full text); matching is plain lowercase
+    substring containment — crude, but a pure function of the inputs.
+    """
+    haystack = (
+        (details.get("Qualifier", "") or "") + " " + (objective or "")
+    ).lower()
+    for topic, keywords in TOPIC_KEYWORDS:
+        for keyword in keywords:
+            if keyword in haystack:
+                return topic
+    return TOPIC_OTHER
+
+
+@dataclasses.dataclass(frozen=True)
+class GraphRow:
+    """The normalized ingestion unit (one extracted objective)."""
+
+    company: str
+    report_id: str
+    page: int
+    objective: str
+    details: tuple[tuple[str, str], ...]  # sorted items, hashable
+    score: float
+    reporting_year: int | None = None
+    extractor_fingerprint: str = ""
+
+    @property
+    def details_dict(self) -> dict[str, str]:
+        return dict(self.details)
+
+    def sort_key(self) -> tuple:
+        year = self.reporting_year
+        return (
+            self.report_id,
+            self.page,
+            self.objective,
+            self.company,
+            -1 if year is None else year,
+        )
+
+
+def as_graph_row(obj: Any) -> GraphRow:
+    """Coerce an ``ExtractedRecord`` or ``StoredObjective`` to a GraphRow."""
+    if isinstance(obj, GraphRow):
+        return obj
+    details = obj.details  # both record types expose the five-field dict
+    return GraphRow(
+        company=obj.company,
+        report_id=obj.report_id,
+        page=int(obj.page),
+        objective=obj.objective,
+        details=tuple(sorted((k, v or "") for k, v in details.items())),
+        score=float(obj.score),
+        reporting_year=getattr(obj, "reporting_year", None),
+        extractor_fingerprint=getattr(obj, "extractor_fingerprint", ""),
+    )
+
+
+def rows_from_records(records: Iterable[Any]) -> list[GraphRow]:
+    """GraphRows from live pipeline records (or stored rows)."""
+    return [as_graph_row(record) for record in records]
+
+
+def rows_from_store(store: Any, **query_kwargs) -> list[GraphRow]:
+    """GraphRows from an :class:`~repro.storage.store.ObjectiveStore`."""
+    return [as_graph_row(row) for row in store.query(**query_kwargs)]
+
+
+def company_node_id(canonical: str) -> str:
+    from repro.kg.resolve import normalize_company_name
+
+    return "company::" + normalize_company_name(canonical)
+
+
+def objective_node_id(row: GraphRow) -> str:
+    """Content-addressed objective node id (stable across runs/shards)."""
+    digest = hashlib.sha256(
+        "\x1f".join(
+            (row.company, row.report_id, str(row.page), row.objective)
+        ).encode("utf-8")
+    ).hexdigest()
+    return "objective::" + digest[:16]
+
+
+def _specificity(details: Mapping[str, str]) -> int:
+    return sum(1 for value in details.values() if value)
+
+
+def _add_row(
+    graph: nx.DiGraph, row: GraphRow, resolution: Resolution
+) -> None:
+    details = row.details_dict
+    canonical = resolution.canonical(row.company)
+    company_id = company_node_id(canonical)
+    if company_id not in graph:
+        graph.add_node(
+            company_id,
+            kind="company",
+            name=canonical,
+            aliases=list(resolution.aliases(canonical)),
+        )
+    normalized = normalize_details(details)
+    topic = infer_topic(row.objective, details)
+    obj_id = objective_node_id(row)
+    graph.add_node(
+        obj_id,
+        kind="objective",
+        text=row.objective,
+        details=details,
+        score=row.score,
+        score_hex=float(row.score).hex(),
+        specificity=_specificity(details),
+        company=canonical,
+        company_alias=row.company,
+        report_id=row.report_id,
+        page=row.page,
+        reporting_year=row.reporting_year,
+        extractor_fingerprint=row.extractor_fingerprint,
+        topic=topic,
+        action_direction=normalized.action.value,
+        amount_kind=normalized.amount.kind.value,
+        amount_value=normalized.amount.value,
+        baseline_year=normalized.baseline_year,
+        deadline_year=normalized.deadline_year,
+    )
+    graph.add_edge(
+        company_id, obj_id, kind="has_objective",
+        reporting_year=row.reporting_year,
+    )
+    topic_id = "topic::" + topic
+    if topic_id not in graph:
+        graph.add_node(topic_id, kind="topic", name=topic)
+    graph.add_edge(obj_id, topic_id, kind="about")
+    if normalized.deadline_year is not None:
+        year_id = f"year::{normalized.deadline_year}"
+        if year_id not in graph:
+            graph.add_node(
+                year_id, kind="year", year=normalized.deadline_year
+            )
+        graph.add_edge(obj_id, year_id, kind="due")
+
+
+def _new_graph(resolution: Resolution) -> nx.DiGraph:
+    graph = nx.DiGraph()
+    graph.graph["schema_version"] = GRAPH_SCHEMA_VERSION
+    graph.graph["resolution"] = resolution.as_dict()
+    return graph
+
+
+def build_graph(
+    rows: Iterable[Any],
+    *,
+    resolution: Resolution | None = None,
+    resolve_threshold: float = 0.6,
+) -> nx.DiGraph:
+    """Build the sustainability knowledge graph from objective rows.
+
+    Args:
+        rows: ``ExtractedRecord`` / ``StoredObjective`` / ``GraphRow``.
+        resolution: a precomputed entity resolution (parallel shards must
+            share one so canonical names agree globally); defaults to
+            resolving the companies seen in ``rows``.
+        resolve_threshold: token-set similarity bound when resolving.
+    """
+    graph_rows = sorted(rows_from_records(rows), key=GraphRow.sort_key)
+    if resolution is None:
+        resolution = resolve_companies(
+            (row.company for row in graph_rows), threshold=resolve_threshold
+        )
+    graph = _new_graph(resolution)
+    for row in graph_rows:
+        _add_row(graph, row, resolution)
+    return graph
+
+
+def merge_graphs(graphs: Sequence[nx.DiGraph]) -> nx.DiGraph:
+    """Merge per-shard subgraphs order-exactly (first shard's metadata
+    wins; node ids are content-addressed, so overlapping nodes are the
+    same node and the union is exact)."""
+    if not graphs:
+        return _new_graph(resolve_companies(()))
+    merged = graphs[0].copy()
+    for graph in graphs[1:]:
+        merged.update(graph)
+    return merged
+
+
+def _build_subgraph(args: tuple) -> nx.DiGraph:
+    rows, resolution = args
+    return build_graph(rows, resolution=resolution)
+
+
+def build_graph_parallel(
+    rows: Iterable[Any],
+    *,
+    workers: int | str | None = None,
+    resolve_threshold: float = 0.6,
+    num_shards: int | None = None,
+) -> nx.DiGraph:
+    """Sharded-parallel graph construction, bitwise-identical to serial.
+
+    Entity resolution runs once globally (aliases of one entity may be
+    split across shards), then contiguous token-balanced shards
+    (:func:`repro.runtime.parallel.plan_shards`) each build a subgraph —
+    in worker processes when ``workers > 1`` — and the subgraphs merge
+    in shard order. Content-addressed node ids plus the sorted canonical
+    payload make the merged graph's :func:`graph_fingerprint` equal to a
+    serial :func:`build_graph` over the same rows.
+    """
+    from repro.runtime.parallel import (
+        estimate_text_cost,
+        map_shards,
+        plan_shards,
+        resolve_workers,
+    )
+
+    graph_rows = sorted(rows_from_records(rows), key=GraphRow.sort_key)
+    resolution = resolve_companies(
+        (row.company for row in graph_rows), threshold=resolve_threshold
+    )
+    if not graph_rows:
+        return _new_graph(resolution)
+    count = resolve_workers(workers)
+    shards = plan_shards(
+        [estimate_text_cost(row.objective) for row in graph_rows],
+        num_shards if num_shards is not None else count,
+    )
+    tasks = [
+        (graph_rows[shard.start:shard.stop], resolution)
+        for shard in shards
+    ]
+    subgraphs = map_shards(tasks, _build_subgraph, workers=count)
+    return merge_graphs(subgraphs)
+
+
+def graph_to_payload(graph: nx.DiGraph) -> dict:
+    """Canonical JSON-stable payload: sorted nodes and edges.
+
+    This is the serialization the CLI writes and the fingerprint hashes;
+    two graphs with the same content produce byte-identical payloads
+    regardless of construction (insertion) order.
+    """
+    nodes = [
+        {"id": node, **{k: attrs[k] for k in sorted(attrs)}}
+        for node, attrs in sorted(graph.nodes(data=True))
+    ]
+    edges = [
+        {
+            "source": u,
+            "target": v,
+            **{k: attrs[k] for k in sorted(attrs)},
+        }
+        for u, v, attrs in sorted(
+            graph.edges(data=True), key=lambda e: (e[0], e[1])
+        )
+    ]
+    return {
+        "schema_version": graph.graph.get(
+            "schema_version", GRAPH_SCHEMA_VERSION
+        ),
+        "resolution": graph.graph.get("resolution", {}),
+        "nodes": nodes,
+        "edges": edges,
+    }
+
+
+def graph_fingerprint(graph: nx.DiGraph) -> str:
+    """SHA-256 over the canonical payload (the bitwise-identity channel)."""
+    payload = json.dumps(
+        graph_to_payload(graph), sort_keys=True, separators=(",", ":")
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()

@@ -1,0 +1,243 @@
+"""Analyst queries over the sustainability knowledge graph.
+
+The graph-level counterparts of :mod:`repro.storage.monitor` — but where
+the store queries see one snapshot, these see resolved entities and
+multi-year history, which is what makes the greenwashing-risk ranking
+possible: a company whose objectives are vague (low specificity, the
+paper's Section 5.1 metric) *and* whose goals drift (deadlines pushed,
+targets dropped) ranks above one that is merely vague.
+
+All outputs are deterministically ordered and every ranking uses an
+explicit tie-break (risk desc, then company name asc), so repeated runs
+over the same graph are list-equal — the property the golden scorecard
+fixture pins bitwise.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections.abc import Sequence
+
+import networkx as nx
+
+from repro.kg.track import DriftFinding, detect_drift
+
+__all__ = [
+    "CompanyScorecard",
+    "DRIFT_WEIGHTS",
+    "TopicStats",
+    "all_scorecards",
+    "company_scorecard",
+    "greenwashing_ranking",
+    "risk_score",
+    "topic_comparison",
+]
+
+#: Per-kind weights of the greenwashing-risk score. Dropping a target is
+#: the strongest signal (the goal vanished), pushes and weakenings are
+#: next, baseline rewrites mildest (sometimes legitimate restatements).
+DRIFT_WEIGHTS = {
+    "dropped_target": 3.0,
+    "deadline_push": 2.0,
+    "weakened_amount": 2.0,
+    "baseline_rewrite": 1.0,
+}
+
+#: Number of detail fields behind the specificity metric (paper §5.1).
+_MAX_SPECIFICITY = 5.0
+
+
+def _company_nodes(graph: nx.DiGraph) -> list[tuple[str, dict]]:
+    return sorted(
+        (node, attrs)
+        for node, attrs in graph.nodes(data=True)
+        if attrs.get("kind") == "company"
+    )
+
+
+def _objectives_of(graph: nx.DiGraph, company: str) -> list[tuple[str, dict]]:
+    return sorted(
+        (node, attrs)
+        for node, attrs in graph.nodes(data=True)
+        if attrs.get("kind") == "objective"
+        and attrs.get("company") == company
+    )
+
+
+@dataclasses.dataclass(frozen=True)
+class CompanyScorecard:
+    """One company's multi-year monitoring summary."""
+
+    company: str
+    aliases: tuple[str, ...]
+    reporting_years: tuple[int, ...]
+    objectives: int
+    topics: tuple[str, ...]
+    mean_specificity: float
+    net_zero_pledged: bool
+    earliest_deadline: int | None
+    latest_deadline: int | None
+    drift_counts: dict[str, int]
+    risk: float
+
+    def as_dict(self) -> dict:
+        payload = dataclasses.asdict(self)
+        payload["aliases"] = list(self.aliases)
+        payload["reporting_years"] = list(self.reporting_years)
+        payload["topics"] = list(self.topics)
+        payload["risk_hex"] = float(self.risk).hex()
+        return payload
+
+
+def risk_score(
+    mean_specificity: float, drift_counts: dict[str, int],
+    severity_total: float = 0.0,
+) -> float:
+    """The greenwashing-risk score.
+
+    ``risk = vagueness + weighted drift + 0.1 * total severity`` where
+    vagueness is ``1 - mean_specificity / 5`` (a company annotating all
+    five details contributes 0). Pure arithmetic on floats in a fixed
+    order — bitwise-reproducible.
+    """
+    vagueness = 1.0 - (mean_specificity / _MAX_SPECIFICITY)
+    drift = 0.0
+    for kind in sorted(DRIFT_WEIGHTS):
+        drift += DRIFT_WEIGHTS[kind] * drift_counts.get(kind, 0)
+    return vagueness + drift + 0.1 * severity_total
+
+
+def company_scorecard(
+    graph: nx.DiGraph,
+    company: str,
+    findings: Sequence[DriftFinding] | None = None,
+) -> CompanyScorecard:
+    """Scorecard for one resolved company (canonical name).
+
+    ``findings`` should be a full :func:`~repro.kg.track.detect_drift`
+    result (it is filtered to this company); recomputed when omitted.
+    """
+    if findings is None:
+        findings = detect_drift(graph)
+    mine = [f for f in findings if f.company == company]
+    objectives = _objectives_of(graph, company)
+    if not objectives:
+        raise KeyError(f"unknown company {company!r}")
+    specs = [attrs.get("specificity", 0) for __, attrs in objectives]
+    years = sorted(
+        {
+            int(attrs["reporting_year"])
+            for __, attrs in objectives
+            if attrs.get("reporting_year") is not None
+        }
+    )
+    deadlines = sorted(
+        attrs["deadline_year"]
+        for __, attrs in objectives
+        if attrs.get("deadline_year") is not None
+    )
+    drift_counts = {kind: 0 for kind in sorted(DRIFT_WEIGHTS)}
+    for finding in mine:
+        drift_counts[finding.kind] = drift_counts.get(finding.kind, 0) + 1
+    severity_total = sum(f.severity for f in mine)
+    mean_specificity = sum(specs) / len(specs)
+    aliases: tuple[str, ...] = ()
+    for __, attrs in _company_nodes(graph):
+        if attrs.get("name") == company:
+            aliases = tuple(attrs.get("aliases", ()))
+            break
+    return CompanyScorecard(
+        company=company,
+        aliases=aliases,
+        reporting_years=tuple(years),
+        objectives=len(objectives),
+        topics=tuple(
+            sorted({attrs.get("topic", "other") for __, attrs in objectives})
+        ),
+        mean_specificity=mean_specificity,
+        net_zero_pledged=any(
+            attrs.get("amount_kind") == "net_zero" for __, attrs in objectives
+        ),
+        earliest_deadline=deadlines[0] if deadlines else None,
+        latest_deadline=deadlines[-1] if deadlines else None,
+        drift_counts=drift_counts,
+        risk=risk_score(mean_specificity, drift_counts, severity_total),
+    )
+
+
+def all_scorecards(
+    graph: nx.DiGraph, findings: Sequence[DriftFinding] | None = None
+) -> list[CompanyScorecard]:
+    """Scorecards for every company, in canonical-name order."""
+    if findings is None:
+        findings = detect_drift(graph)
+    return [
+        company_scorecard(graph, attrs["name"], findings)
+        for __, attrs in _company_nodes(graph)
+        if _objectives_of(graph, attrs["name"])
+    ]
+
+
+@dataclasses.dataclass(frozen=True)
+class TopicStats:
+    """Cross-company view of one topic."""
+
+    topic: str
+    companies: tuple[str, ...]
+    objectives: int
+    mean_specificity: float
+    net_zero_companies: tuple[str, ...]
+
+    def as_dict(self) -> dict:
+        payload = dataclasses.asdict(self)
+        payload["companies"] = list(self.companies)
+        payload["net_zero_companies"] = list(self.net_zero_companies)
+        return payload
+
+
+def topic_comparison(graph: nx.DiGraph) -> list[TopicStats]:
+    """Per-topic cross-company comparison, topic-name ascending."""
+    by_topic: dict[str, list[dict]] = {}
+    for __, attrs in sorted(graph.nodes(data=True)):
+        if attrs.get("kind") != "objective":
+            continue
+        by_topic.setdefault(attrs.get("topic", "other"), []).append(attrs)
+    stats = []
+    for topic in sorted(by_topic):
+        rows = by_topic[topic]
+        specs = [attrs.get("specificity", 0) for attrs in rows]
+        stats.append(
+            TopicStats(
+                topic=topic,
+                companies=tuple(
+                    sorted({attrs.get("company", "") for attrs in rows})
+                ),
+                objectives=len(rows),
+                mean_specificity=sum(specs) / len(specs),
+                net_zero_companies=tuple(
+                    sorted(
+                        {
+                            attrs.get("company", "")
+                            for attrs in rows
+                            if attrs.get("amount_kind") == "net_zero"
+                        }
+                    )
+                ),
+            )
+        )
+    return stats
+
+
+def greenwashing_ranking(
+    graph: nx.DiGraph, findings: Sequence[DriftFinding] | None = None
+) -> list[tuple[str, float]]:
+    """Companies ranked by greenwashing risk, highest first.
+
+    Combines the store tier's specificity signal
+    (:func:`repro.storage.monitor.specificity_ranking` computes the same
+    per-company mean) with the graph tier's drift counts; ties break on
+    the canonical company name, so the ranking is bitwise-stable.
+    """
+    cards = all_scorecards(graph, findings)
+    ranked = sorted(cards, key=lambda c: (-c.risk, c.company))
+    return [(card.company, card.risk) for card in ranked]

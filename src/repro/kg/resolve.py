@@ -1,0 +1,239 @@
+"""Deterministic entity resolution of company names across reports.
+
+The same legal entity surfaces under many spellings across reporting
+years — ``"Acme Corp"``, ``"ACME Corporation"``, ``"Acme Corp."`` — and a
+knowledge graph that keeps them apart cannot track goals over time. This
+module collapses aliases onto one canonical company with two seeded-free,
+fully deterministic rules:
+
+* **exact-normalized**: names whose normalized token sets are identical
+  (lowercased, punctuation stripped, legal-suffix tokens like "Inc" /
+  "Corporation" / "plc" dropped) merge unconditionally;
+* **token-set**: names whose normalized token sets have Jaccard
+  similarity >= ``threshold`` (default 0.6) merge.
+
+Merging is transitive (union-find over all pairs), so the result is
+invariant to input order, and resolving an already-resolved set of
+canonical names is the identity — the idempotence and order-invariance
+properties the hypothesis suite pins. Every merge is recorded as an
+auditable :class:`MergeRecord` (alias, canonical, rule, similarity), and
+the full alias -> canonical mapping is retained so a resolution is
+reversible: no information about the original surface forms is lost.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import re
+from collections.abc import Iterable, Mapping
+
+__all__ = [
+    "LEGAL_SUFFIX_TOKENS",
+    "MergeRecord",
+    "Resolution",
+    "name_similarity",
+    "name_tokens",
+    "normalize_company_name",
+    "resolve_companies",
+]
+
+#: Tokens dropped during normalization: legal-form suffixes that vary
+#: freely between filings of the same entity. Deliberately excludes
+#: common industry nouns ("Holdings", "Group" is kept borderline but is a
+#: pure legal form in this corpus's name grammar).
+LEGAL_SUFFIX_TOKENS = frozenset(
+    {
+        "ag",
+        "co",
+        "company",
+        "corp",
+        "corporation",
+        "gmbh",
+        "inc",
+        "incorporated",
+        "limited",
+        "llc",
+        "ltd",
+        "plc",
+        "sa",
+        "se",
+    }
+)
+
+_NON_ALNUM = re.compile(r"[^a-z0-9]+")
+
+
+def name_tokens(name: str) -> frozenset[str]:
+    """Normalized token set of a company name.
+
+    Lowercase, strip punctuation *within* whitespace tokens (so "S.A."
+    and "SA" normalize identically), drop legal-suffix tokens. If
+    dropping suffixes would leave nothing (a name *made of* legal
+    tokens), the undropped token set is kept so the name still resolves
+    to itself.
+    """
+    raw = [_NON_ALNUM.sub("", t) for t in name.lower().split()]
+    raw = [t for t in raw if t]
+    kept = [t for t in raw if t not in LEGAL_SUFFIX_TOKENS]
+    return frozenset(kept or raw)
+
+
+def normalize_company_name(name: str) -> str:
+    """Canonical normalized form: sorted normalized tokens, space-joined."""
+    return " ".join(sorted(name_tokens(name)))
+
+
+def name_similarity(a: str, b: str) -> float:
+    """Jaccard similarity of two names' normalized token sets."""
+    ta, tb = name_tokens(a), name_tokens(b)
+    if not ta or not tb:
+        return 0.0
+    return len(ta & tb) / len(ta | tb)
+
+
+@dataclasses.dataclass(frozen=True)
+class MergeRecord:
+    """One audited alias merge: why ``alias`` collapsed onto ``canonical``."""
+
+    canonical: str
+    alias: str
+    rule: str  # "exact-normalized" | "token-set"
+    similarity: float
+
+    def as_dict(self) -> dict:
+        return dataclasses.asdict(self)
+
+
+@dataclasses.dataclass(frozen=True)
+class Resolution:
+    """The result of resolving a set of company names.
+
+    ``canonical_of`` maps *every* input name (canonicals included) to its
+    canonical; ``merges`` is the audit trail, sorted by (canonical,
+    alias) so two resolutions over the same names compare equal
+    regardless of input order.
+    """
+
+    canonical_of: Mapping[str, str]
+    merges: tuple[MergeRecord, ...]
+    threshold: float
+
+    def canonical(self, name: str) -> str:
+        """Canonical name for ``name`` (itself when never seen)."""
+        return self.canonical_of.get(name, name)
+
+    def aliases(self, canonical: str) -> tuple[str, ...]:
+        """All input surface forms resolving to ``canonical`` (sorted)."""
+        return tuple(
+            sorted(
+                name
+                for name, target in self.canonical_of.items()
+                if target == canonical
+            )
+        )
+
+    def canonical_names(self) -> tuple[str, ...]:
+        return tuple(sorted(set(self.canonical_of.values())))
+
+    def as_dict(self) -> dict:
+        """JSON-stable audit payload (for graph metadata and the CLI)."""
+        return {
+            "threshold": self.threshold,
+            "canonical_of": {
+                name: self.canonical_of[name]
+                for name in sorted(self.canonical_of)
+            },
+            "merges": [m.as_dict() for m in self.merges],
+        }
+
+
+class _UnionFind:
+    def __init__(self, items: Iterable[str]) -> None:
+        self.parent = {item: item for item in items}
+
+    def find(self, item: str) -> str:
+        root = item
+        while self.parent[root] != root:
+            root = self.parent[root]
+        while self.parent[item] != root:  # path compression
+            self.parent[item], item = root, self.parent[item]
+        return root
+
+    def union(self, a: str, b: str) -> None:
+        ra, rb = self.find(a), self.find(b)
+        if ra != rb:
+            # Deterministic orientation: smaller name wins as root.
+            if rb < ra:
+                ra, rb = rb, ra
+            self.parent[rb] = ra
+
+
+def _pick_canonical(group: list[str]) -> str:
+    """The canonical display name of a merged group.
+
+    The longest name wins (it carries the most information — "ACME
+    Corporation" over "Acme Corp" would tie on tokens, so length breaks
+    toward the expanded legal form); ties break lexicographically, so the
+    choice is a pure function of the group's contents.
+    """
+    return min(group, key=lambda name: (-len(name), name))
+
+
+def resolve_companies(
+    names: Iterable[str], threshold: float = 0.6
+) -> Resolution:
+    """Resolve company aliases into canonical entities.
+
+    Args:
+        names: company surface forms, in any order, duplicates welcome.
+        threshold: Jaccard bound for the token-set rule; set above 1.0
+            to restrict merging to exact-normalized matches only.
+
+    Returns:
+        A :class:`Resolution` (order-invariant and idempotent).
+    """
+    unique = sorted(set(names))
+    uf = _UnionFind(unique)
+    # Exact-normalized rule first (cheap, groups by normalized form).
+    by_norm: dict[str, list[str]] = {}
+    for name in unique:
+        by_norm.setdefault(normalize_company_name(name), []).append(name)
+    for group in by_norm.values():
+        for other in group[1:]:
+            uf.union(group[0], other)
+    # Token-set rule over all pairs (transitive closure via union-find).
+    if threshold <= 1.0:
+        for i, a in enumerate(unique):
+            for b in unique[i + 1:]:
+                if name_similarity(a, b) >= threshold:
+                    uf.union(a, b)
+
+    groups: dict[str, list[str]] = {}
+    for name in unique:
+        groups.setdefault(uf.find(name), []).append(name)
+
+    canonical_of: dict[str, str] = {}
+    merges: list[MergeRecord] = []
+    for members in groups.values():
+        canonical = _pick_canonical(members)
+        for name in members:
+            canonical_of[name] = canonical
+            if name == canonical:
+                continue
+            exact = normalize_company_name(name) == normalize_company_name(
+                canonical
+            )
+            merges.append(
+                MergeRecord(
+                    canonical=canonical,
+                    alias=name,
+                    rule="exact-normalized" if exact else "token-set",
+                    similarity=name_similarity(name, canonical),
+                )
+            )
+    merges.sort(key=lambda m: (m.canonical, m.alias))
+    return Resolution(
+        canonical_of=canonical_of,
+        merges=tuple(merges),
+        threshold=threshold,
+    )

@@ -1,0 +1,402 @@
+"""Multi-year goal tracking and greenwashing drift detection.
+
+The monitoring story the paper motivates (Section 5.1) — "monitor their
+progress toward their sustainability goals" — needs the *same* goal
+linked across reporting years before progress (or quiet back-pedaling)
+is visible. This module does both steps over the knowledge graph:
+
+1. **Goal threading** (:func:`link_goal_threads`): within each resolved
+   company, objectives from consecutive reporting years are matched into
+   :class:`GoalThread`\\ s. Two objectives are the same goal when they
+   share a topic and action direction and their qualifier token sets are
+   similar (Jaccard >= ``similarity_threshold``). Matching is greedy on
+   (similarity desc, node-id asc), so it is a pure function of the graph.
+
+2. **Drift detection** (:func:`detect_drift`): each thread is walked for
+   the four contradiction patterns of the drift taxonomy, emitted as
+   typed :class:`DriftFinding`\\ s with provenance chains back to the
+   source report pages:
+
+   * ``deadline_push`` — the deadline year moved later ("2025 target
+     silently moved to 2030");
+   * ``weakened_amount`` — the quantified ambition shrank (same amount
+     kind, smaller magnitude);
+   * ``dropped_target`` — the goal was present in year N, the company
+     reported in year N+1, and the goal is gone;
+   * ``baseline_rewrite`` — the stated baseline year changed.
+
+All thresholds are explicit, all tie-breaks are deterministic, and no
+RNG is involved: the same graph always yields the same findings in the
+same order.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import re
+from collections.abc import Mapping, Sequence
+
+import networkx as nx
+
+__all__ = [
+    "DRIFT_KINDS",
+    "DriftFinding",
+    "GoalThread",
+    "Provenance",
+    "ThreadEntry",
+    "company_reporting_years",
+    "detect_drift",
+    "link_goal_threads",
+    "objective_similarity",
+]
+
+#: The drift taxonomy, in severity-ranking order.
+DRIFT_KINDS = (
+    "dropped_target",
+    "deadline_push",
+    "weakened_amount",
+    "baseline_rewrite",
+)
+
+_TOKEN_RE = re.compile(r"[a-z0-9][a-z0-9-]*")
+_STOPWORDS = frozenset(
+    {
+        "a", "an", "and", "at", "by", "for", "in", "of", "on", "our",
+        "per", "the", "to", "we", "will",
+    }
+)
+
+
+def _qualifier_tokens(attrs: Mapping) -> frozenset[str]:
+    """Topical token set of an objective: the qualifier when annotated,
+    the full text otherwise — minus stopwords and bare numbers (amounts
+    and years must not influence goal identity, or a changed deadline
+    would break the very link that detects the change)."""
+    details = attrs.get("details", {})
+    source = details.get("Qualifier", "") or attrs.get("text", "")
+    tokens = {
+        token
+        for token in _TOKEN_RE.findall(source.lower())
+        if token not in _STOPWORDS and not token.isdigit()
+    }
+    return frozenset(tokens)
+
+
+def objective_similarity(attrs_a: Mapping, attrs_b: Mapping) -> float:
+    """Goal-identity similarity of two objective nodes in [0, 1].
+
+    Topic mismatch is an immediate 0 (threads never cross topics);
+    otherwise the Jaccard similarity of the qualifier token sets.
+    """
+    if attrs_a.get("topic") != attrs_b.get("topic"):
+        return 0.0
+    ta, tb = _qualifier_tokens(attrs_a), _qualifier_tokens(attrs_b)
+    if not ta or not tb:
+        return 0.0
+    return len(ta & tb) / len(ta | tb)
+
+
+@dataclasses.dataclass(frozen=True)
+class Provenance:
+    """Where an objective came from: the chain back to the source page."""
+
+    report_id: str
+    page: int
+    reporting_year: int | None
+    extractor_fingerprint: str = ""
+
+    def as_dict(self) -> dict:
+        return dataclasses.asdict(self)
+
+
+@dataclasses.dataclass(frozen=True)
+class ThreadEntry:
+    """One year's appearance of a tracked goal."""
+
+    node_id: str
+    reporting_year: int
+    text: str
+    deadline_year: int | None
+    baseline_year: int | None
+    amount_kind: str
+    amount_value: float | None
+    provenance: Provenance
+
+
+@dataclasses.dataclass(frozen=True)
+class GoalThread:
+    """The same goal observed across reporting years (year-ascending)."""
+
+    company: str
+    topic: str
+    entries: tuple[ThreadEntry, ...]
+
+    @property
+    def years(self) -> tuple[int, ...]:
+        return tuple(entry.reporting_year for entry in self.entries)
+
+    @property
+    def last_year(self) -> int:
+        return self.entries[-1].reporting_year
+
+
+@dataclasses.dataclass(frozen=True)
+class DriftFinding:
+    """One detected contradiction/drift pattern, fully attributed."""
+
+    kind: str  # one of DRIFT_KINDS
+    company: str
+    topic: str
+    year_from: int
+    year_to: int
+    before: str
+    after: str
+    severity: float
+    objective_from: str
+    objective_to: str | None
+    provenance: tuple[Provenance, ...]
+
+    def as_dict(self) -> dict:
+        payload = dataclasses.asdict(self)
+        payload["provenance"] = [p.as_dict() for p in self.provenance]
+        return payload
+
+
+def _entry_from_node(node_id: str, attrs: Mapping) -> ThreadEntry:
+    return ThreadEntry(
+        node_id=node_id,
+        reporting_year=int(attrs["reporting_year"]),
+        text=attrs.get("text", ""),
+        deadline_year=attrs.get("deadline_year"),
+        baseline_year=attrs.get("baseline_year"),
+        amount_kind=attrs.get("amount_kind", "unknown"),
+        amount_value=attrs.get("amount_value"),
+        provenance=Provenance(
+            report_id=attrs.get("report_id", ""),
+            page=int(attrs.get("page", 0)),
+            reporting_year=attrs.get("reporting_year"),
+            extractor_fingerprint=attrs.get("extractor_fingerprint", ""),
+        ),
+    )
+
+
+def _objectives_by_company_year(
+    graph: nx.DiGraph,
+) -> dict[str, dict[int, list[tuple[str, Mapping]]]]:
+    """company -> reporting_year -> [(node_id, attrs)], all sorted.
+
+    Objectives without a reporting year cannot be ordered in time and
+    are excluded from tracking (they still exist in the graph).
+    """
+    table: dict[str, dict[int, list[tuple[str, Mapping]]]] = {}
+    for node_id, attrs in sorted(graph.nodes(data=True)):
+        if attrs.get("kind") != "objective":
+            continue
+        year = attrs.get("reporting_year")
+        if year is None:
+            continue
+        company = attrs.get("company", "")
+        table.setdefault(company, {}).setdefault(int(year), []).append(
+            (node_id, attrs)
+        )
+    return table
+
+
+def company_reporting_years(graph: nx.DiGraph) -> dict[str, tuple[int, ...]]:
+    """Resolved company -> sorted tuple of reporting years observed."""
+    table = _objectives_by_company_year(graph)
+    return {
+        company: tuple(sorted(years))
+        for company, years in sorted(table.items())
+    }
+
+
+def link_goal_threads(
+    graph: nx.DiGraph, *, similarity_threshold: float = 0.5
+) -> list[GoalThread]:
+    """Thread each company's objectives across reporting years.
+
+    Year by year, open threads compete for the new year's objectives by
+    similarity against the thread's most recent entry; pairs are taken
+    greedily in (similarity desc, thread-head id, node id) order, so the
+    matching — and therefore every downstream drift finding — is
+    deterministic. Unmatched objectives open new threads.
+    """
+    table = _objectives_by_company_year(graph)
+    threads: list[GoalThread] = []
+    for company in sorted(table):
+        years = sorted(table[company])
+        # Open threads as mutable entry lists, keyed by creation order.
+        open_threads: list[list[ThreadEntry]] = [
+            [_entry_from_node(node_id, attrs)]
+            for node_id, attrs in table[company][years[0]]
+        ]
+        for year in years[1:]:
+            candidates = table[company][year]
+            pairs = []
+            for t_index, entries in enumerate(open_threads):
+                head = graph.nodes[entries[-1].node_id]
+                for node_id, attrs in candidates:
+                    similarity = objective_similarity(head, attrs)
+                    if similarity >= similarity_threshold:
+                        pairs.append(
+                            (-similarity, entries[-1].node_id, node_id,
+                             t_index)
+                        )
+            pairs.sort()
+            matched_threads: set[int] = set()
+            matched_nodes: set[str] = set()
+            for neg_sim, __, node_id, t_index in pairs:
+                if t_index in matched_threads or node_id in matched_nodes:
+                    continue
+                matched_threads.add(t_index)
+                matched_nodes.add(node_id)
+                open_threads[t_index].append(
+                    _entry_from_node(node_id, graph.nodes[node_id])
+                )
+            for node_id, attrs in candidates:
+                if node_id not in matched_nodes:
+                    open_threads.append([_entry_from_node(node_id, attrs)])
+        topic_of = {
+            entries[0].node_id: graph.nodes[entries[0].node_id].get(
+                "topic", "other"
+            )
+            for entries in open_threads
+        }
+        threads.extend(
+            GoalThread(
+                company=company,
+                topic=topic_of[entries[0].node_id],
+                entries=tuple(entries),
+            )
+            for entries in open_threads
+        )
+    threads.sort(key=lambda t: (t.company, t.topic, t.entries[0].node_id))
+    return threads
+
+
+def _finding(
+    kind: str,
+    thread: GoalThread,
+    a: ThreadEntry,
+    b: ThreadEntry | None,
+    *,
+    year_to: int | None = None,
+    before: str,
+    after: str,
+    severity: float,
+) -> DriftFinding:
+    provenance = (a.provenance,) if b is None else (
+        a.provenance, b.provenance
+    )
+    return DriftFinding(
+        kind=kind,
+        company=thread.company,
+        topic=thread.topic,
+        year_from=a.reporting_year,
+        year_to=b.reporting_year if b is not None else int(year_to),
+        before=before,
+        after=after,
+        severity=severity,
+        objective_from=a.text,
+        objective_to=b.text if b is not None else None,
+        provenance=provenance,
+    )
+
+
+def detect_drift(
+    graph: nx.DiGraph,
+    *,
+    similarity_threshold: float = 0.5,
+    amount_tolerance: float = 0.0,
+    threads: Sequence[GoalThread] | None = None,
+) -> list[DriftFinding]:
+    """Scan goal threads for the four drift patterns.
+
+    Args:
+        graph: the knowledge graph (:func:`repro.kg.build.build_graph`).
+        similarity_threshold: goal-identity bound for threading.
+        amount_tolerance: relative shrink in amount magnitude tolerated
+            before ``weakened_amount`` fires (0.0 = any shrink fires).
+        threads: precomputed threads (else linked here).
+
+    Returns:
+        Findings sorted by (company, year_from, kind, topic) — a stable
+        total order, so repeated scans are list-equal.
+    """
+    if threads is None:
+        threads = link_goal_threads(
+            graph, similarity_threshold=similarity_threshold
+        )
+    reporting_years = company_reporting_years(graph)
+    findings: list[DriftFinding] = []
+    for thread in threads:
+        for a, b in zip(thread.entries, thread.entries[1:]):
+            if (
+                a.deadline_year is not None
+                and b.deadline_year is not None
+                and b.deadline_year > a.deadline_year
+            ):
+                findings.append(
+                    _finding(
+                        "deadline_push", thread, a, b,
+                        before=str(a.deadline_year),
+                        after=str(b.deadline_year),
+                        severity=float(b.deadline_year - a.deadline_year),
+                    )
+                )
+            if (
+                a.amount_value is not None
+                and b.amount_value is not None
+                and a.amount_kind == b.amount_kind
+                and a.amount_kind != "unknown"
+                and a.amount_value > 0
+            ):
+                shrink = (a.amount_value - b.amount_value) / a.amount_value
+                if shrink > amount_tolerance:
+                    findings.append(
+                        _finding(
+                            "weakened_amount", thread, a, b,
+                            before=f"{a.amount_value:g} ({a.amount_kind})",
+                            after=f"{b.amount_value:g} ({b.amount_kind})",
+                            severity=shrink,
+                        )
+                    )
+            if (
+                a.baseline_year is not None
+                and b.baseline_year is not None
+                and b.baseline_year != a.baseline_year
+            ):
+                findings.append(
+                    _finding(
+                        "baseline_rewrite", thread, a, b,
+                        before=str(a.baseline_year),
+                        after=str(b.baseline_year),
+                        severity=float(
+                            abs(b.baseline_year - a.baseline_year)
+                        ),
+                    )
+                )
+        # Dropped target: the thread ends before the company's reporting
+        # does — the goal was present in its last year, the company filed
+        # a later report, and the goal did not reappear.
+        later = [
+            year
+            for year in reporting_years.get(thread.company, ())
+            if year > thread.last_year
+        ]
+        if later:
+            last = thread.entries[-1]
+            findings.append(
+                _finding(
+                    "dropped_target", thread, last, None,
+                    year_to=later[0],
+                    before=last.text,
+                    after="(absent)",
+                    severity=1.0 + float(len(later) - 1),
+                )
+            )
+    findings.sort(
+        key=lambda f: (f.company, f.year_from, f.kind, f.topic, f.year_to)
+    )
+    return findings

@@ -65,6 +65,7 @@ from repro.runtime.parallel import (
     estimate_report_cost,
     estimate_text_cost,
     extract_batch_parallel,
+    map_shards,
     plan_shards,
     process_reports_parallel,
     resolve_workers,
@@ -125,6 +126,7 @@ __all__ = [
     "extract_batch_parallel",
     "inference_mode",
     "is_inference",
+    "map_shards",
     "numeric_guard",
     "numeric_guard_active",
     "plan_batches",

@@ -71,6 +71,7 @@ __all__ = [
     "estimate_report_cost",
     "estimate_text_cost",
     "extract_batch_parallel",
+    "map_shards",
     "plan_shards",
     "process_reports_parallel",
     "resolve_workers",
@@ -415,6 +416,34 @@ def _map_tasks(
         initargs=(payload,),
     ) as pool:
         return pool.map(run_shard, tasks, chunksize=1)
+
+
+def map_shards(
+    tasks: Sequence[Any],
+    func: Any,
+    *,
+    workers: int | str | None = None,
+    start_method: str | None = None,
+) -> list[Any]:
+    """Map a picklable top-level function over shard task payloads.
+
+    The generic sibling of :func:`_map_tasks` for shard work that does
+    not need a model broadcast (e.g. knowledge-graph ingestion): results
+    come back in input order, ``workers<=1`` runs in-process through the
+    exact same call path, and ``func`` must be a module-level function so
+    it pickles under the ``spawn`` start method.
+    """
+    tasks = list(tasks)
+    count = resolve_workers(workers)
+    if not tasks:
+        return []
+    if count <= 1 or len(tasks) <= 1:
+        return [func(task) for task in tasks]
+    context = multiprocessing.get_context(
+        start_method or _default_start_method()
+    )
+    with context.Pool(processes=min(count, len(tasks))) as pool:
+        return pool.map(func, tasks, chunksize=1)
 
 
 # -- the corpus entry point ---------------------------------------------------

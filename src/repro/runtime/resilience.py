@@ -601,5 +601,8 @@ def sanitize_report(
     if not dirty:
         return report
     return SustainabilityReport(
-        company=report.company, report_id=report.report_id, pages=pages
+        company=report.company,
+        report_id=report.report_id,
+        pages=pages,
+        reporting_year=getattr(report, "reporting_year", None),
     )

@@ -10,6 +10,7 @@ describes (specificity, deadline timelines, company comparison).
 
 from repro.storage.store import (
     ObjectiveStore,
+    SCHEMA_VERSION,
     StoredObjective,
     atomic_store_records,
     atomic_store_shards,
@@ -25,6 +26,7 @@ from repro.storage.monitor import (
 
 __all__ = [
     "ObjectiveStore",
+    "SCHEMA_VERSION",
     "StoredObjective",
     "atomic_store_records",
     "atomic_store_shards",

@@ -13,6 +13,12 @@ from pathlib import Path
 from repro.goalspotter.pipeline import ExtractedRecord
 from repro.normalize import normalize_details
 
+#: Schema version written to ``PRAGMA user_version``. v2 added the
+#: multi-year provenance columns (``reporting_year``,
+#: ``extractor_fingerprint``) and the ``(company, reporting_year)``
+#: index; v1 databases (user_version 0) are migrated in place on open.
+SCHEMA_VERSION = 2
+
 _SCHEMA = """
 CREATE TABLE IF NOT EXISTS objectives (
     id INTEGER PRIMARY KEY AUTOINCREMENT,
@@ -31,13 +37,25 @@ CREATE TABLE IF NOT EXISTS objectives (
     amount_kind TEXT NOT NULL DEFAULT 'unknown',
     amount_value REAL,
     baseline_year INTEGER,
-    deadline_year INTEGER
+    deadline_year INTEGER,
+    -- v2 provenance columns (must stay last: v1 -> v2 migration appends
+    -- them with ALTER TABLE, and SELECT * order feeds StoredObjective):
+    reporting_year INTEGER,
+    extractor_fingerprint TEXT NOT NULL DEFAULT ''
 );
 CREATE INDEX IF NOT EXISTS idx_objectives_company ON objectives (company);
 CREATE INDEX IF NOT EXISTS idx_objectives_deadline ON objectives (deadline);
 CREATE INDEX IF NOT EXISTS idx_objectives_deadline_year
     ON objectives (deadline_year);
+CREATE INDEX IF NOT EXISTS idx_objectives_company_year
+    ON objectives (company, reporting_year);
 """
+
+#: v2 columns appended by the migration, in schema order.
+_V2_COLUMNS = (
+    ("reporting_year", "INTEGER"),
+    ("extractor_fingerprint", "TEXT NOT NULL DEFAULT ''"),
+)
 
 _FIELD_COLUMNS = {
     "Action": "action",
@@ -68,6 +86,8 @@ class StoredObjective:
     amount_value: float | None = None
     baseline_year: int | None = None
     deadline_year: int | None = None
+    reporting_year: int | None = None
+    extractor_fingerprint: str = ""
 
     @property
     def details(self) -> dict[str, str]:
@@ -96,8 +116,47 @@ class ObjectiveStore:
 
     def __init__(self, path: str | Path = ":memory:") -> None:
         self._conn = sqlite3.connect(str(path))
+        self._migrate()
         self._conn.executescript(_SCHEMA)
+        self._conn.execute(f"PRAGMA user_version = {SCHEMA_VERSION}")
         self._conn.commit()
+
+    def _migrate(self) -> None:
+        """Bring a pre-v2 database up to the current schema in place.
+
+        v1 databases carry ``user_version`` 0 and lack the provenance
+        columns; they gain them via ``ALTER TABLE ADD COLUMN`` (appended
+        last, preserving ``SELECT *`` order) with NULL/''-backfill. The
+        index creation itself is idempotent via ``_SCHEMA``.
+        """
+        version = int(
+            self._conn.execute("PRAGMA user_version").fetchone()[0]
+        )
+        if version >= SCHEMA_VERSION:
+            return
+        tables = {
+            row[0]
+            for row in self._conn.execute(
+                "SELECT name FROM sqlite_master WHERE type = 'table'"
+            )
+        }
+        if "objectives" not in tables:
+            return  # fresh database: _SCHEMA creates everything at v2
+        existing = {
+            row[1]
+            for row in self._conn.execute("PRAGMA table_info(objectives)")
+        }
+        with self._conn:
+            for column, decl in _V2_COLUMNS:
+                if column not in existing:
+                    self._conn.execute(
+                        f"ALTER TABLE objectives ADD COLUMN {column} {decl}"
+                    )
+
+    @property
+    def schema_version(self) -> int:
+        """The on-disk schema version (``PRAGMA user_version``)."""
+        return int(self._conn.execute("PRAGMA user_version").fetchone()[0])
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -117,8 +176,20 @@ class ObjectiveStore:
 
     # -- writes ----------------------------------------------------------------
 
-    def insert_records(self, records: Iterable[ExtractedRecord]) -> int:
+    def insert_records(
+        self,
+        records: Iterable[ExtractedRecord],
+        *,
+        extractor_fingerprint: str = "",
+    ) -> int:
         """Insert pipeline records (normalizing on the way in).
+
+        ``extractor_fingerprint`` stamps every inserted row with the
+        producing model's weight fingerprint
+        (:meth:`repro.nn.module.Module.fingerprint`) so downstream
+        multi-year analysis can tell extractor upgrades apart from
+        objective drift. The per-record ``reporting_year`` (when the
+        record carries one) lands in the v2 column.
 
         Returns the number of rows added.
         """
@@ -142,6 +213,8 @@ class ObjectiveStore:
                     normalized.amount.value,
                     normalized.baseline_year,
                     normalized.deadline_year,
+                    getattr(record, "reporting_year", None),
+                    extractor_fingerprint,
                 )
             )
         with self._conn:
@@ -149,8 +222,9 @@ class ObjectiveStore:
                 "INSERT INTO objectives (company, report_id, page, objective,"
                 " action, amount, qualifier, baseline, deadline, score,"
                 " action_direction, amount_kind, amount_value,"
-                " baseline_year, deadline_year)"
-                " VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+                " baseline_year, deadline_year,"
+                " reporting_year, extractor_fingerprint)"
+                " VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
                 rows,
             )
         return len(rows)
@@ -177,6 +251,19 @@ class ObjectiveStore:
         )
         return [row[0] for row in cursor.fetchall()]
 
+    def reporting_years(self, company: str | None = None) -> list[int]:
+        """Distinct reporting years present (optionally for one company)."""
+        sql = (
+            "SELECT DISTINCT reporting_year FROM objectives"
+            " WHERE reporting_year IS NOT NULL"
+        )
+        params: list = []
+        if company is not None:
+            sql += " AND company = ?"
+            params.append(company)
+        cursor = self._conn.execute(sql + " ORDER BY reporting_year", params)
+        return [int(row[0]) for row in cursor.fetchall()]
+
     def query(
         self,
         company: str | None = None,
@@ -184,6 +271,9 @@ class ObjectiveStore:
         deadline_before: str | None = None,
         deadline_after: str | None = None,
         min_score: float | None = None,
+        reporting_year: int | None = None,
+        min_reporting_year: int | None = None,
+        max_reporting_year: int | None = None,
         limit: int | None = None,
         order_by_score: bool = False,
     ) -> list[StoredObjective]:
@@ -196,6 +286,11 @@ class ObjectiveStore:
             deadline_before / deadline_after: lexicographic year bounds
                 (years are 4-digit strings, so this is chronological).
             min_score: minimum detector confidence.
+            reporting_year: exact reporting-year filter (v2 column;
+                hits the ``(company, reporting_year)`` index when
+                combined with ``company``).
+            min_reporting_year / max_reporting_year: inclusive
+                reporting-year range bounds.
             limit: cap on returned rows.
             order_by_score: sort by detector confidence, best first.
         """
@@ -204,6 +299,19 @@ class ObjectiveStore:
         if company is not None:
             clauses.append("company = ?")
             params.append(company)
+        if reporting_year is not None:
+            clauses.append("reporting_year = ?")
+            params.append(reporting_year)
+        if min_reporting_year is not None:
+            clauses.append(
+                "reporting_year IS NOT NULL AND reporting_year >= ?"
+            )
+            params.append(min_reporting_year)
+        if max_reporting_year is not None:
+            clauses.append(
+                "reporting_year IS NOT NULL AND reporting_year <= ?"
+            )
+            params.append(max_reporting_year)
         if has_field is not None:
             column = _FIELD_COLUMNS.get(has_field)
             if column is None:

@@ -1,0 +1,102 @@
+"""The multi-year company panel: seeded drift injection as ground truth."""
+
+import dataclasses
+
+import pytest
+
+from repro.datasets.sustainability import (
+    PANEL_DRIFT_KINDS,
+    build_company_panel,
+    panel_records,
+)
+
+pytestmark = pytest.mark.kg
+
+
+class TestPanelShape:
+    def test_one_report_per_company_year(self):
+        panel = build_company_panel(seed=1)
+        assert len(panel.reports) == len(panel.companies) * len(panel.years)
+        seen = set()
+        for report in panel.reports:
+            assert report.reporting_year in panel.years
+            assert report.report_id not in seen
+            seen.add(report.report_id)
+
+    def test_exactly_drift_per_kind_events(self):
+        panel = build_company_panel(seed=2, drift_per_kind=1)
+        kinds = [event.kind for event in panel.drift_events]
+        assert sorted(kinds) == sorted(PANEL_DRIFT_KINDS)
+        for event in panel.drift_events:
+            assert event.year_from in panel.years
+            assert event.year_to in panel.years
+            assert event.year_to > event.year_from
+
+    def test_aliases_vary_but_companies_do_not(self):
+        panel = build_company_panel(seed=3)
+        for canonical, forms in panel.aliases.items():
+            assert forms[0] == canonical  # year 0 files canonically
+            assert len(forms) == len(panel.years)
+
+    def test_alias_noise_off_keeps_canonical_everywhere(self):
+        panel = build_company_panel(seed=3, alias_noise=False)
+        for canonical, forms in panel.aliases.items():
+            assert set(forms) == {canonical}
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="two reporting years"):
+            build_company_panel(years=(2020,))
+        with pytest.raises(ValueError, match="goals_per_company"):
+            build_company_panel(goals_per_company=0)
+        with pytest.raises(ValueError, match="distinct goal slots"):
+            build_company_panel(num_companies=1, goals_per_company=1)
+
+
+class TestPanelDeterminism:
+    def test_same_seed_same_panel(self):
+        one = build_company_panel(seed=5)
+        two = build_company_panel(seed=5)
+        assert one.companies == two.companies
+        assert one.drift_events == two.drift_events
+        assert [dataclasses.asdict(r) for r in panel_records(one)] == [
+            dataclasses.asdict(r) for r in panel_records(two)
+        ]
+
+    def test_different_seeds_differ(self):
+        assert (
+            build_company_panel(seed=5).companies
+            != build_company_panel(seed=6).companies
+        )
+
+    def test_undrifted_goals_are_byte_identical_across_years(self):
+        panel = build_company_panel(seed=4)
+        drifted = {
+            (event.company, event.topic) for event in panel.drift_events
+        }
+        from repro.kg import infer_topic
+
+        texts = {}
+        for report in panel.reports:
+            for block in report.blocks():
+                if not block.is_objective:
+                    continue
+                canonical = report.report_id.rsplit("-", 1)[0]
+                topic = infer_topic(block.text, block.details)
+                if (canonical, topic) in drifted:
+                    continue
+                texts.setdefault((canonical, topic), set()).add(block.text)
+        # Every non-drifted goal renders identically in every year —
+        # the zero-false-positive guarantee for drift scoring.
+        assert texts and all(len(forms) == 1 for forms in texts.values())
+
+
+class TestPanelRecords:
+    def test_records_are_perfect_extractions(self):
+        panel = build_company_panel(seed=0)
+        records = panel_records(panel)
+        assert len(records) == panel.num_objectives
+        for record in records:
+            assert record.score == 1.0
+            assert record.reporting_year in panel.years
+            assert record.details["Action"]
+            assert record.details["Deadline"]

@@ -80,6 +80,24 @@ class TestGoalSpotter:
         row = record.as_row(("Action", "Amount"))
         assert row == ["A", "obj", "Cut", ""]
 
+    @pytest.mark.kg
+    def test_reporting_year_threads_into_records(self, pipeline, report):
+        report.reporting_year = 2023
+        assert all(
+            record.reporting_year == 2023
+            for record in pipeline.process_report(report)
+        )
+        assert all(
+            record.reporting_year == 2023
+            for record in pipeline.process_reports([report])
+        )
+
+    @pytest.mark.kg
+    def test_reporting_year_defaults_to_none(self, pipeline, report):
+        records = pipeline.process_reports([report])
+        assert records
+        assert all(record.reporting_year is None for record in records)
+
 
 class TestSegmentation:
     def test_segmenting_pipeline_splits_multi_target_blocks(self):

@@ -1,0 +1,181 @@
+"""Graph construction: typed nodes, provenance, parallel ≡ serial."""
+
+import pytest
+
+from repro.datasets.sustainability import build_company_panel, panel_records
+from repro.kg import (
+    GRAPH_SCHEMA_VERSION,
+    GraphRow,
+    as_graph_row,
+    build_graph,
+    build_graph_parallel,
+    graph_fingerprint,
+    graph_to_payload,
+    infer_topic,
+    objective_node_id,
+    rows_from_records,
+    rows_from_store,
+)
+
+pytestmark = pytest.mark.kg
+
+
+@pytest.fixture(scope="module")
+def panel():
+    return build_company_panel(seed=0)
+
+
+@pytest.fixture(scope="module")
+def rows(panel):
+    return rows_from_records(panel_records(panel))
+
+
+@pytest.fixture(scope="module")
+def graph(rows):
+    return build_graph(rows)
+
+
+class TestTopics:
+    @pytest.mark.parametrize(
+        ("objective", "qualifier", "topic"),
+        [
+            ("Reduce carbon emissions by 30% by 2030.", "carbon emissions",
+             "emissions"),
+            ("Reach net zero by 2040.", "", "emissions"),
+            ("Cut landfill waste in half.", "landfill waste", "waste"),
+            ("Reduce water consumption.", "water consumption", "water"),
+            ("40% women in leadership.", "women in leadership", "diversity"),
+            ("Lower injury rate.", "workplace injury rate", "safety"),
+            ("Improve supplier audits.", "supply chain", "supply_chain"),
+            ("Be excellent.", "", "other"),
+        ],
+    )
+    def test_keyword_buckets(self, objective, qualifier, topic):
+        assert infer_topic(objective, {"Qualifier": qualifier}) == topic
+
+
+class TestGraphShape:
+    def test_node_kinds_and_counts(self, graph, panel):
+        kinds = {}
+        for __, attrs in graph.nodes(data=True):
+            kinds[attrs["kind"]] = kinds.get(attrs["kind"], 0) + 1
+        assert kinds["company"] == len(panel.companies)
+        assert kinds["objective"] == panel.num_objectives
+        assert kinds["topic"] >= 1
+        assert kinds["year"] >= 1
+        assert graph.graph["schema_version"] == GRAPH_SCHEMA_VERSION
+
+    def test_objective_provenance_attrs(self, graph):
+        for __, attrs in graph.nodes(data=True):
+            if attrs["kind"] != "objective":
+                continue
+            assert attrs["report_id"]
+            assert attrs["page"] >= 0
+            assert attrs["reporting_year"] is not None
+            assert "extractor_fingerprint" in attrs
+            assert attrs["score_hex"] == float(attrs["score"]).hex()
+
+    def test_edges_are_typed(self, graph):
+        kinds = {attrs["kind"] for __, __, attrs in graph.edges(data=True)}
+        assert kinds == {"has_objective", "about", "due"}
+
+    def test_company_nodes_carry_aliases(self, graph, panel):
+        by_name = {
+            attrs["name"]: attrs
+            for __, attrs in graph.nodes(data=True)
+            if attrs["kind"] == "company"
+        }
+        # Every panel company resolved to one node holding >1 alias
+        # (the panel varies surface forms across years).
+        assert len(by_name) == len(panel.companies)
+        assert any(len(attrs["aliases"]) > 1 for attrs in by_name.values())
+
+
+class TestDeterminism:
+    def test_content_addressed_ingest_is_idempotent(self, rows):
+        once = build_graph(rows)
+        twice = build_graph(list(rows) + list(rows))
+        assert graph_fingerprint(once) == graph_fingerprint(twice)
+
+    def test_row_order_does_not_matter(self, rows):
+        forward = build_graph(rows)
+        backward = build_graph(list(reversed(rows)))
+        assert graph_fingerprint(forward) == graph_fingerprint(backward)
+
+    def test_node_ids_are_stable_hashes(self):
+        row = GraphRow(
+            company="Acme Corp.",
+            report_id="acme-2024",
+            page=3,
+            objective="Reduce waste by 20% by 2030.",
+            details=(("Action", "Reduce"),),
+            score=0.9,
+        )
+        assert objective_node_id(row) == objective_node_id(row)
+        assert objective_node_id(row).startswith("objective::")
+
+    def test_payload_is_canonical_json(self, graph):
+        import json
+
+        payload = graph_to_payload(graph)
+        assert list(payload) == [
+            "schema_version", "resolution", "nodes", "edges",
+        ]
+        node_ids = [node["id"] for node in payload["nodes"]]
+        assert node_ids == sorted(node_ids)
+        json.dumps(payload)  # JSON-serializable throughout
+
+
+@pytest.mark.parallel
+class TestParallelBitwise:
+    @pytest.mark.parametrize("workers", [2, 4])
+    def test_parallel_equals_serial(self, rows, workers):
+        serial = build_graph(rows)
+        parallel = build_graph_parallel(rows, workers=workers)
+        assert graph_fingerprint(parallel) == graph_fingerprint(serial)
+
+    def test_shard_layout_does_not_matter(self, rows):
+        serial = graph_fingerprint(build_graph(rows))
+        for num_shards in (1, 3, 7):
+            parallel = build_graph_parallel(
+                rows, workers=2, num_shards=num_shards
+            )
+            assert graph_fingerprint(parallel) == serial
+
+    def test_empty_rows(self):
+        graph = build_graph_parallel([], workers=2)
+        assert graph_fingerprint(graph) == graph_fingerprint(build_graph([]))
+
+
+class TestStoreRoundtrip:
+    def test_rows_from_store_match_records(self, panel, tmp_path):
+        from repro.storage import ObjectiveStore
+
+        records = panel_records(panel)
+        with ObjectiveStore(tmp_path / "obj.db") as store:
+            store.insert_records(records)
+            stored_rows = rows_from_store(store)
+        direct = build_graph(rows_from_records(records))
+        from_store = build_graph(stored_rows)
+        assert graph_fingerprint(from_store) == graph_fingerprint(direct)
+
+    def test_fingerprint_column_reaches_graph(self, panel, tmp_path):
+        from repro.storage import ObjectiveStore
+
+        with ObjectiveStore(tmp_path / "obj.db") as store:
+            store.insert_records(
+                panel_records(panel), extractor_fingerprint="sha256:abc"
+            )
+            graph = build_graph(rows_from_store(store))
+        fingerprints = {
+            attrs["extractor_fingerprint"]
+            for __, attrs in graph.nodes(data=True)
+            if attrs["kind"] == "objective"
+        }
+        assert fingerprints == {"sha256:abc"}
+
+    def test_accepts_extracted_records_directly(self, panel):
+        records = panel_records(panel)
+        row = as_graph_row(records[0])
+        assert row.reporting_year == records[0].reporting_year
+        assert row.details_dict == records[0].details

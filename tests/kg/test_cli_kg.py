@@ -1,0 +1,132 @@
+"""CLI coverage for the ``repro kg`` subcommand group."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+pytestmark = pytest.mark.kg
+
+
+@pytest.fixture(scope="module")
+def store_path(tmp_path_factory):
+    from repro.datasets.sustainability import (
+        build_company_panel,
+        panel_records,
+    )
+    from repro.storage import ObjectiveStore
+
+    path = tmp_path_factory.mktemp("kg-cli") / "objectives.db"
+    with ObjectiveStore(path) as store:
+        store.insert_records(panel_records(build_company_panel(seed=0)))
+    return path
+
+
+class TestKgBuild:
+    def test_build_from_panel_writes_canonical_payload(
+        self, tmp_path, capsys
+    ):
+        out = tmp_path / "graph.json"
+        code = main(["kg", "build", "--panel", "--out", str(out)])
+        assert code == 0
+        stdout = capsys.readouterr().out
+        assert "fingerprint:" in stdout
+        payload = json.loads(out.read_text())
+        assert payload["schema_version"] == 1
+        assert {node["kind"] for node in payload["nodes"]} == {
+            "company", "objective", "topic", "year",
+        }
+
+    def test_build_from_store_matches_panel_fingerprint(
+        self, store_path, tmp_path, capsys
+    ):
+        code = main(["kg", "build", "--db", str(store_path)])
+        assert code == 0
+        store_out = capsys.readouterr().out
+        code = main(["kg", "build", "--panel"])
+        assert code == 0
+        panel_out = capsys.readouterr().out
+        fingerprint = lambda text: [  # noqa: E731
+            line for line in text.splitlines() if "fingerprint" in line
+        ]
+        assert fingerprint(store_out) == fingerprint(panel_out)
+
+    def test_parallel_build_is_identical(self, capsys):
+        code = main(["kg", "build", "--panel", "--workers", "1"])
+        assert code == 0
+        serial = capsys.readouterr().out
+        code = main(["kg", "build", "--panel", "--workers", "2"])
+        assert code == 0
+        assert capsys.readouterr().out == serial
+
+    def test_requires_source(self, capsys):
+        code = main(["kg", "build"])
+        assert code == 2
+        assert "--db or --panel" in capsys.readouterr().err
+
+
+class TestKgDrift:
+    def test_json_findings(self, store_path, capsys):
+        code = main(["kg", "drift", "--db", str(store_path), "--json"])
+        assert code == 0
+        captured = capsys.readouterr()
+        findings = [
+            json.loads(line) for line in captured.out.splitlines() if line
+        ]
+        assert len(findings) == 4
+        assert {f["kind"] for f in findings} == {
+            "deadline_push", "weakened_amount", "dropped_target",
+            "baseline_rewrite",
+        }
+        for finding in findings:
+            assert finding["provenance"][0]["report_id"]
+        assert "4 drift finding(s)" in captured.err
+
+    def test_table_output(self, capsys):
+        code = main(["kg", "drift", "--panel"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Kind" in out and "deadline_push" in out
+
+    def test_amount_tolerance_knob(self, capsys):
+        code = main(
+            ["kg", "drift", "--panel", "--json", "--amount-tolerance", "1.0"]
+        )
+        assert code == 0
+        findings = [
+            json.loads(line)
+            for line in capsys.readouterr().out.splitlines()
+            if line
+        ]
+        assert not any(f["kind"] == "weakened_amount" for f in findings)
+
+
+class TestKgCompany:
+    def test_ranking_table(self, store_path, capsys):
+        code = main(["kg", "company", "--db", str(store_path)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Risk" in out
+        # Highest-risk company is listed first (drifting beats clean).
+        rows = [
+            line for line in out.splitlines()
+            if "|" in line and "Risk" not in line
+        ]
+        assert "Royal Airlines" in rows[0]
+
+    def test_single_scorecard_json(self, capsys):
+        code = main(
+            ["kg", "company", "--panel", "--name", "Royal Airlines S.A."]
+        )
+        assert code == 0
+        card = json.loads(capsys.readouterr().out)
+        assert card["company"] == "Royal Airlines S.A."
+        assert len(card["aliases"]) > 1
+        assert card["risk"] > 0.0
+        assert card["risk_hex"] == float(card["risk"]).hex()
+
+    def test_unknown_company(self, capsys):
+        code = main(["kg", "company", "--panel", "--name", "No Such Corp"])
+        assert code == 2
+        assert "unknown company" in capsys.readouterr().err

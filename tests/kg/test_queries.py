@@ -1,0 +1,117 @@
+"""Scorecards, topic comparison, and the greenwashing-risk ranking."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.datasets.sustainability import build_company_panel, panel_records
+from repro.kg import (
+    DRIFT_WEIGHTS,
+    all_scorecards,
+    build_graph,
+    company_scorecard,
+    detect_drift,
+    greenwashing_ranking,
+    risk_score,
+    rows_from_records,
+    topic_comparison,
+)
+
+pytestmark = pytest.mark.kg
+
+GOLDEN_PATH = (
+    Path(__file__).resolve().parent.parent / "golden" / "kg_scorecards.json"
+)
+
+
+@pytest.fixture(scope="module")
+def panel():
+    return build_company_panel(seed=0)
+
+
+@pytest.fixture(scope="module")
+def graph(panel):
+    return build_graph(rows_from_records(panel_records(panel)))
+
+
+@pytest.fixture(scope="module")
+def findings(graph):
+    return detect_drift(graph)
+
+
+class TestRiskScore:
+    def test_pure_vagueness(self):
+        assert risk_score(5.0, {}) == 0.0
+        assert risk_score(0.0, {}) == 1.0
+
+    def test_drift_weights_accumulate(self):
+        counts = {"dropped_target": 1, "deadline_push": 2}
+        expected = (
+            DRIFT_WEIGHTS["dropped_target"]
+            + 2 * DRIFT_WEIGHTS["deadline_push"]
+        )
+        assert risk_score(5.0, counts) == pytest.approx(expected)
+
+    def test_severity_contributes_lightly(self):
+        assert risk_score(5.0, {}, severity_total=10.0) == pytest.approx(1.0)
+
+
+class TestScorecards:
+    def test_drifting_company_outranks_clean_one(self, graph, findings):
+        ranking = greenwashing_ranking(graph, findings)
+        drifting = {f.company for f in findings}
+        risks = dict(ranking)
+        for company, risk in ranking:
+            if company in drifting:
+                assert risk > 0.0
+        clean = [c for c, __ in ranking if c not in drifting]
+        assert all(risks[c] == 0.0 for c in clean)
+        # Sorted by risk desc, company asc.
+        assert ranking == sorted(ranking, key=lambda r: (-r[1], r[0]))
+
+    def test_scorecard_fields(self, graph, panel, findings):
+        cards = all_scorecards(graph, findings)
+        assert len(cards) == len(panel.companies)
+        for card in cards:
+            assert card.reporting_years == panel.years
+            assert card.objectives > 0
+            assert 0.0 <= card.mean_specificity <= 5.0
+            assert set(card.drift_counts) == set(DRIFT_WEIGHTS)
+
+    def test_unknown_company_raises(self, graph):
+        with pytest.raises(KeyError):
+            company_scorecard(graph, "No Such Corp")
+
+    def test_topic_comparison_covers_all_goals(self, graph, panel):
+        stats = topic_comparison(graph)
+        assert sum(s.objectives for s in stats) == panel.num_objectives
+        topics = [s.topic for s in stats]
+        assert topics == sorted(topics)
+
+
+@pytest.mark.golden
+class TestGoldenScorecards:
+    def test_scorecards_match_golden(self, graph, findings, update_golden):
+        """The full scorecard + ranking payload is frozen bitwise.
+
+        Regenerate with ``pytest --update-golden`` and review the diff.
+        """
+        payload = {
+            "scorecards": [
+                card.as_dict() for card in all_scorecards(graph, findings)
+            ],
+            "ranking": [
+                {"company": company, "risk": risk, "risk_hex": risk.hex()}
+                for company, risk in greenwashing_ranking(graph, findings)
+            ],
+            "findings": [finding.as_dict() for finding in findings],
+        }
+        rendered = json.dumps(payload, indent=2, sort_keys=True) + "\n"
+        if update_golden:
+            GOLDEN_PATH.write_text(rendered, encoding="utf-8")
+            pytest.skip("golden fixture regenerated")
+        assert GOLDEN_PATH.exists(), (
+            "golden fixture missing; run pytest --update-golden"
+        )
+        assert rendered == GOLDEN_PATH.read_text(encoding="utf-8")

@@ -1,0 +1,135 @@
+"""Entity-resolution properties: idempotent, order-invariant, auditable."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.kg.resolve import (
+    LEGAL_SUFFIX_TOKENS,
+    name_similarity,
+    name_tokens,
+    normalize_company_name,
+    resolve_companies,
+)
+
+pytestmark = pytest.mark.kg
+
+_WORDS = ("acme", "blue", "chemical", "delta", "global", "industry", "royal")
+_SUFFIXES = ("", "Inc.", "Incorporated", "Corp.", "Corporation", "Ltd.",
+             "Limited", "plc", "PLC", "SA", "S.A.", "AG")
+
+
+@st.composite
+def company_names(draw):
+    core = draw(
+        st.lists(st.sampled_from(_WORDS), min_size=1, max_size=3)
+    )
+    suffix = draw(st.sampled_from(_SUFFIXES))
+    name = " ".join(core + ([suffix] if suffix else []))
+    if draw(st.booleans()):
+        name = name.upper()
+    return name
+
+
+class TestNormalization:
+    def test_suffix_and_case_variants_normalize_identically(self):
+        variants = [
+            "Acme Corp.",
+            "ACME CORPORATION",
+            "Acme Corp",
+            "acme incorporated",
+            "Acme Inc.",
+        ]
+        norms = {normalize_company_name(name) for name in variants}
+        assert norms == {"acme"}
+
+    def test_dotted_abbreviations_collapse(self):
+        assert name_tokens("Royal Airlines S.A.") == name_tokens(
+            "Royal Airlines SA"
+        )
+
+    def test_pure_legal_name_still_resolves_to_itself(self):
+        # A name made only of legal tokens keeps its raw tokens.
+        assert name_tokens("Inc. Corp.") == frozenset({"inc", "corp"})
+
+    def test_similarity_bounds(self):
+        assert name_similarity("Acme Widgets", "Acme Widgets Inc.") == 1.0
+        assert name_similarity("Acme Widgets", "Blue Chemicals") == 0.0
+
+
+class TestResolveProperties:
+    @given(st.lists(company_names(), min_size=1, max_size=12))
+    @settings(max_examples=60, deadline=None)
+    def test_idempotent(self, names):
+        """Resolving the canonicals of a resolution is the identity."""
+        first = resolve_companies(names)
+        second = resolve_companies(first.canonical_names())
+        assert second.canonical_names() == first.canonical_names()
+        assert not second.merges
+
+    @given(
+        st.lists(company_names(), min_size=1, max_size=12),
+        st.randoms(use_true_random=False),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_order_invariant(self, names, random):
+        baseline = resolve_companies(names)
+        shuffled = list(names)
+        random.shuffle(shuffled)
+        other = resolve_companies(shuffled)
+        assert dict(other.canonical_of) == dict(baseline.canonical_of)
+        assert other.merges == baseline.merges
+
+    @given(st.lists(company_names(), min_size=1, max_size=12))
+    @settings(max_examples=60, deadline=None)
+    def test_every_input_maps_and_merges_are_reversible(self, names):
+        resolution = resolve_companies(names)
+        for name in names:
+            canonical = resolution.canonical(name)
+            assert name in resolution.aliases(canonical)
+        # Audit trail covers exactly the non-canonical names.
+        merged_aliases = {merge.alias for merge in resolution.merges}
+        canonicals = set(resolution.canonical_names())
+        assert merged_aliases == set(resolution.canonical_of) - canonicals
+
+    @given(st.lists(company_names(), min_size=1, max_size=10))
+    @settings(max_examples=40, deadline=None)
+    def test_exact_rule_survives_disabled_token_set_rule(self, names):
+        """threshold > 1 keeps exact-normalized merging on."""
+        resolution = resolve_companies(names, threshold=1.5)
+        for merge in resolution.merges:
+            assert merge.rule == "exact-normalized"
+            assert normalize_company_name(
+                merge.alias
+            ) == normalize_company_name(merge.canonical)
+
+
+class TestResolveBehaviour:
+    def test_token_set_rule_merges_near_names(self):
+        resolution = resolve_companies(
+            ["Global Chemical Industry Group", "Global Chemical Industry"]
+        )
+        assert len(resolution.canonical_names()) == 1
+        (merge,) = resolution.merges
+        assert merge.similarity >= 0.6
+
+    def test_distinct_companies_stay_apart(self):
+        resolution = resolve_companies(["Acme Widgets", "Blue Chemicals"])
+        assert len(resolution.canonical_names()) == 2
+        assert not resolution.merges
+
+    def test_canonical_is_longest_then_lexicographic(self):
+        resolution = resolve_companies(["Acme Inc.", "Acme Incorporated"])
+        assert resolution.canonical_names() == ("Acme Incorporated",)
+
+    def test_as_dict_is_json_stable(self):
+        import json
+
+        resolution = resolve_companies(["Acme Inc.", "ACME INC."])
+        payload = resolution.as_dict()
+        assert json.dumps(payload) == json.dumps(
+            resolve_companies(["ACME INC.", "Acme Inc."]).as_dict()
+        )
+
+    def test_legal_suffixes_are_lowercase_tokens(self):
+        assert all(token == token.lower() for token in LEGAL_SUFFIX_TOKENS)

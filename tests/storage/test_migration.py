@@ -1,0 +1,146 @@
+"""Schema v2 migration and the reporting-year query surface."""
+
+import sqlite3
+
+import pytest
+
+from repro.goalspotter.pipeline import ExtractedRecord
+from repro.storage import ObjectiveStore, SCHEMA_VERSION
+
+pytestmark = pytest.mark.kg
+
+#: The v1 table layout (before the provenance columns), verbatim.
+_V1_SCHEMA = """
+CREATE TABLE objectives (
+    id INTEGER PRIMARY KEY AUTOINCREMENT,
+    company TEXT NOT NULL,
+    report_id TEXT NOT NULL,
+    page INTEGER NOT NULL,
+    objective TEXT NOT NULL,
+    action TEXT NOT NULL DEFAULT '',
+    amount TEXT NOT NULL DEFAULT '',
+    qualifier TEXT NOT NULL DEFAULT '',
+    baseline TEXT NOT NULL DEFAULT '',
+    deadline TEXT NOT NULL DEFAULT '',
+    score REAL NOT NULL DEFAULT 0.0,
+    action_direction TEXT NOT NULL DEFAULT 'unknown',
+    amount_kind TEXT NOT NULL DEFAULT 'unknown',
+    amount_value REAL,
+    baseline_year INTEGER,
+    deadline_year INTEGER
+);
+CREATE INDEX idx_objectives_company ON objectives (company);
+"""
+
+
+def _make_v1_db(path):
+    conn = sqlite3.connect(str(path))
+    conn.executescript(_V1_SCHEMA)
+    conn.execute(
+        "INSERT INTO objectives (company, report_id, page, objective,"
+        " action, amount, qualifier, baseline, deadline, score)"
+        " VALUES ('Acme Corp.', 'acme-001', 3,"
+        " 'Reduce waste by 20% by 2030.', 'Reduce', '20%', 'waste',"
+        " '', '2030', 0.9)"
+    )
+    conn.commit()
+    conn.close()
+
+
+def _record(company="Acme Corp.", year=2024):
+    return ExtractedRecord(
+        company=company,
+        report_id=f"{company}-{year}",
+        page=0,
+        objective="Reduce waste by 20% by 2030.",
+        details={"Action": "Reduce", "Amount": "20%", "Qualifier": "waste",
+                 "Baseline": "", "Deadline": "2030"},
+        score=0.9,
+        reporting_year=year,
+    )
+
+
+class TestMigration:
+    def test_v1_database_migrates_in_place(self, tmp_path):
+        path = tmp_path / "v1.db"
+        _make_v1_db(path)
+        with ObjectiveStore(path) as store:
+            assert store.schema_version == SCHEMA_VERSION
+            (row,) = store.query()
+            # Pre-migration rows read back with NULL year provenance.
+            assert row.company == "Acme Corp."
+            assert row.reporting_year is None
+            assert row.extractor_fingerprint == ""
+            # New inserts land in the migrated columns.
+            store.insert_records([_record()], extractor_fingerprint="fp")
+            (new,) = store.query(reporting_year=2024)
+            assert new.extractor_fingerprint == "fp"
+
+    def test_migration_is_idempotent(self, tmp_path):
+        path = tmp_path / "v1.db"
+        _make_v1_db(path)
+        for __ in range(3):  # repeated opens must not re-alter
+            with ObjectiveStore(path) as store:
+                assert store.schema_version == SCHEMA_VERSION
+        with ObjectiveStore(path) as store:
+            assert store.count() == 1
+
+    def test_fresh_database_is_v2(self, tmp_path):
+        with ObjectiveStore(tmp_path / "fresh.db") as store:
+            assert store.schema_version == SCHEMA_VERSION
+        with ObjectiveStore() as memory_store:
+            assert memory_store.schema_version == SCHEMA_VERSION
+
+    def test_year_index_exists(self, tmp_path):
+        with ObjectiveStore(tmp_path / "v2.db") as store:
+            indexes = {
+                row[0]
+                for row in store.connection.execute(
+                    "SELECT name FROM sqlite_master WHERE type = 'index'"
+                )
+            }
+            assert "idx_objectives_company_year" in indexes
+
+
+class TestYearQueries:
+    @pytest.fixture()
+    def store(self):
+        store = ObjectiveStore()
+        store.insert_records(
+            [
+                _record("Acme Corp.", 2022),
+                _record("Acme Corp.", 2023),
+                _record("Blue Ltd.", 2023),
+                ExtractedRecord(
+                    company="Legacy Co",
+                    report_id="legacy-001",
+                    page=1,
+                    objective="Improve things.",
+                    details={},
+                    score=0.5,
+                ),
+            ]
+        )
+        yield store
+        store.close()
+
+    def test_exact_year(self, store):
+        rows = store.query(reporting_year=2023)
+        assert {row.company for row in rows} == {"Acme Corp.", "Blue Ltd."}
+
+    def test_range_bounds_exclude_null_years(self, store):
+        assert len(store.query(min_reporting_year=2022)) == 3
+        assert len(store.query(max_reporting_year=2022)) == 1
+        assert len(
+            store.query(min_reporting_year=2023, max_reporting_year=2023)
+        ) == 2
+
+    def test_company_and_year_combine(self, store):
+        rows = store.query(company="Acme Corp.", reporting_year=2022)
+        assert len(rows) == 1
+        assert rows[0].reporting_year == 2022
+
+    def test_reporting_years_listing(self, store):
+        assert store.reporting_years() == [2022, 2023]
+        assert store.reporting_years(company="Blue Ltd.") == [2023]
+        assert store.reporting_years(company="Legacy Co") == []

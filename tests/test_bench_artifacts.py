@@ -143,3 +143,53 @@ class TestFleetArtifact:
         # The health map records exactly one dead replica.
         states = sorted(chaos["health"].values())
         assert states.count("dead") == 1
+
+
+@pytest.mark.kg
+class TestKgArtifact:
+    def test_schema(self):
+        report = load_artifact("BENCH_kg.json")
+        assert set(report) >= {
+            "config",
+            "objectives",
+            "graph_nodes",
+            "graph_edges",
+            "serial_build_seconds",
+            "serial_objectives_per_second",
+            "runs",
+            "all_fingerprints_identical",
+            "drift_scan_seconds",
+            "threads",
+            "threads_per_second",
+            "findings",
+            "injected_events",
+            "drift_precision",
+            "drift_recall",
+        }
+        config = report["config"]
+        assert config["num_companies"] > 0
+        assert len(config["years"]) >= 2
+        for run in report["runs"]:
+            assert set(run) == {
+                "workers",
+                "seconds",
+                "objectives_per_second",
+                "fingerprint_identical",
+            }
+
+    def test_headline_claims_hold(self):
+        """Parallel builds are bitwise-identical to serial, and the
+        drift scan recovers every injected event with zero false
+        positives — the committed evidence behind README §kg."""
+        report = load_artifact("BENCH_kg.json")
+        assert report["objectives"] > 0
+        assert report["serial_objectives_per_second"] > 0
+        assert report["all_fingerprints_identical"] is True
+        assert all(
+            run["fingerprint_identical"] for run in report["runs"]
+        )
+        # The ladder exercises the real pool path, not just workers=1.
+        assert max(run["workers"] for run in report["runs"]) >= 2
+        assert report["findings"] == report["injected_events"]
+        assert report["drift_precision"] == 1.0
+        assert report["drift_recall"] == 1.0

@@ -28,6 +28,7 @@ EXPECTED_RUNTIME_PARALLEL_EXPORTS = (
     "estimate_report_cost",
     "estimate_text_cost",
     "extract_batch_parallel",
+    "map_shards",
     "plan_shards",
     "process_reports_parallel",
     "resolve_workers",
