@@ -1,0 +1,120 @@
+"""Per-task train + inference throughput across the whole registry.
+
+The task registry (:mod:`repro.tasks`, DESIGN §6h) promises that every
+registered workload — the paper's GoalSpotter plus the three new
+tenants — rides the same substrate with the same bitwise contracts.
+This bench trains each task's golden-recipe model, measures training
+and batch-inference throughput, re-asserts the conformance identities
+in-bench (batched == sequential, ``workers=2`` == direct), and writes
+``BENCH_tasks.json`` at the repo root:
+
+* per task: train seconds / examples per second, inference texts and
+  tokens-equivalent throughput, weak-label coverage, eval metrics;
+* per task: the two identity checks, plus an ``all_identical`` rollup
+  the artifact test pins to ``True``.
+
+Throughput numbers are host-dependent and not gated; the headline
+guarantee is *identity across the registry*, recorded on any machine.
+
+Run standalone::
+
+    PYTHONPATH=src python benchmarks/bench_tasks.py
+
+or under pytest (``pytest benchmarks/bench_tasks.py -s``).
+
+Knobs: ``REPRO_BENCH_TASKS_EVAL_REPEAT`` (how many times the eval slice
+is tiled for the throughput measurement, default 4).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+import pytest
+
+from benchmarks.common import env_int
+from repro.tasks import load_all_tasks
+
+RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_tasks.json"
+
+
+def _bench_one_task(task, eval_repeat: int) -> dict:
+    recipe = task.golden_recipe()
+    train = task.build_dataset(seed=recipe.train_seed, size=recipe.train_size)
+    model = task.build_model(recipe.profile)
+
+    start = time.perf_counter()
+    model.fit(train)
+    train_seconds = time.perf_counter() - start
+
+    eval_dataset = task.build_dataset(
+        seed=recipe.eval_seed, size=recipe.eval_size
+    )
+    texts = [o.text for o in eval_dataset.objectives] * eval_repeat
+
+    model.run_batch(texts)  # warm BPE/normalization caches
+    start = time.perf_counter()
+    rows = model.run_batch(texts)
+    infer_seconds = time.perf_counter() - start
+
+    sequential = [model.run_batch([text])[0] for text in texts]
+    parallel = model.run_batch_parallel(texts, workers=2, num_shards=2)
+
+    return {
+        "kind": task.kind,
+        "train_examples": len(train),
+        "train_seconds": train_seconds,
+        "train_examples_per_second": (
+            len(train) / train_seconds if train_seconds > 0 else 0.0
+        ),
+        "infer_texts": len(texts),
+        "infer_seconds": infer_seconds,
+        "infer_texts_per_second": (
+            len(texts) / infer_seconds if infer_seconds > 0 else 0.0
+        ),
+        "weak_coverage": model.weak_summary()["coverage"],
+        "metrics": task.evaluate(model, eval_dataset),
+        "conformance": {
+            "batched_equals_sequential": rows == sequential,
+            "parallel_equals_direct": rows == parallel,
+        },
+    }
+
+
+def run_tasks_bench() -> dict:
+    """Train + measure every registered task; assert identity in-bench."""
+    eval_repeat = env_int("REPRO_BENCH_TASKS_EVAL_REPEAT", 4)
+    tasks = load_all_tasks()
+    per_task = {
+        name: _bench_one_task(task, eval_repeat)
+        for name, task in sorted(tasks.items())
+    }
+    report = {
+        "config": {"eval_repeat": eval_repeat, "profile": "tiny"},
+        "cpu_count": os.cpu_count() or 1,
+        "tasks": per_task,
+        "all_identical": all(
+            all(entry["conformance"].values()) for entry in per_task.values()
+        ),
+    }
+    RESULT_PATH.write_text(json.dumps(report, indent=2) + "\n")
+    return report
+
+
+@pytest.mark.benchmark(group="tasks")
+@pytest.mark.tasks
+def test_tasks_throughput(benchmark):
+    report = benchmark.pedantic(run_tasks_bench, iterations=1, rounds=1)
+    print()
+    print(json.dumps(report, indent=2))
+    assert len(report["tasks"]) >= 4
+    # The headline guarantee holds on any machine: the whole registry
+    # produces bitwise-identical rows batched, sequential, and parallel.
+    assert report["all_identical"]
+
+
+if __name__ == "__main__":
+    print(json.dumps(run_tasks_bench(), indent=2))

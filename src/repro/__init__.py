@@ -15,6 +15,9 @@ Public API tour:
 * :mod:`repro.normalize` — semantic normalization of extracted values.
 * :mod:`repro.eval` — the paper's evaluation protocol and metrics.
 * :mod:`repro.deploy` — the Section 5 deployment scenarios.
+* :mod:`repro.tasks` — the task registry: pluggable workloads (GoalSpotter
+  plus three new tenants) over one serving substrate, gated by a shared
+  conformance suite.
 """
 
 from repro.core.extractor import ExtractorConfig, WeakSupervisionExtractor
@@ -22,7 +25,9 @@ from repro.core.schema import (
     AnnotatedObjective,
     NETZEROFACTS_FIELDS,
     SUSTAINABILITY_FIELDS,
+    TAXONOMY_KPI_FIELDS,
 )
+from repro.tasks import Task, get_task, register_task, task_names
 
 __version__ = "1.0.0"
 
@@ -31,6 +36,11 @@ __all__ = [
     "ExtractorConfig",
     "NETZEROFACTS_FIELDS",
     "SUSTAINABILITY_FIELDS",
+    "TAXONOMY_KPI_FIELDS",
+    "Task",
     "WeakSupervisionExtractor",
     "__version__",
+    "get_task",
+    "register_task",
+    "task_names",
 ]

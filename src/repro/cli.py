@@ -2,9 +2,12 @@
 
 Subcommands cover the full lifecycle::
 
+    repro tasks list
     repro build-dataset --name sustainability-goals --out goals.jsonl
     repro train --data goals.jsonl --out model/
+    repro train --task netzero-target --out clf/ --epochs 4
     repro extract --model model/ --text "Reduce waste by 20% by 2030."
+    repro extract --task netzero-target --model clf/ --text "Net zero by 2040."
     repro evaluate --data goals.jsonl --model model/
     repro deploy --data goals.jsonl --db objectives.db --scale 0.05
     repro serve-bench --requests 64 --out BENCH_serving.json
@@ -24,10 +27,17 @@ import sys
 from collections.abc import Sequence
 
 from repro.core.extractor import ExtractorConfig, WeakSupervisionExtractor
-from repro.core.schema import NETZEROFACTS_FIELDS, SUSTAINABILITY_FIELDS
+from repro.core.schema import (
+    NETZEROFACTS_FIELDS,
+    SUSTAINABILITY_FIELDS,
+    TAXONOMY_KPI_FIELDS,
+)
 from repro.datasets.base import Dataset, train_test_split
+from repro.datasets.initiatives import build_initiative_sentences
+from repro.datasets.netzero_targets import LABEL_FIELD, build_netzero_targets
 from repro.datasets.netzerofacts import build_netzerofacts
 from repro.datasets.sustainability import build_sustainability_goals
+from repro.datasets.taxonomy_kpi import build_taxonomy_kpi
 from repro.eval import evaluate_extractions, render_table
 from repro.models.training import FineTuneConfig
 from repro.runtime.errors import InputError, ReproError
@@ -61,28 +71,68 @@ def _workers_arg(value: str) -> int | str:
 _DATASET_BUILDERS = {
     "sustainability-goals": (build_sustainability_goals, SUSTAINABILITY_FIELDS),
     "netzerofacts": (build_netzerofacts, NETZEROFACTS_FIELDS),
+    "taxonomy-kpi": (build_taxonomy_kpi, TAXONOMY_KPI_FIELDS),
+    "netzero-target": (build_netzero_targets, (LABEL_FIELD,)),
+    "initiative-sentence": (build_initiative_sentences, (LABEL_FIELD,)),
 }
 
 
 def _cmd_build_dataset(args: argparse.Namespace) -> int:
     builder, __ = _DATASET_BUILDERS[args.name]
-    dataset = builder(seed=args.seed)
+    if args.size is None:
+        dataset = builder(seed=args.seed)
+    else:
+        dataset = builder(seed=args.seed, size=args.size)
     dataset.save_jsonl(args.out)
     print(f"wrote {len(dataset)} objectives to {args.out}")
     return 0
 
 
+def _cmd_tasks_list(args: argparse.Namespace) -> int:
+    from repro.eval.tables import render_table as _render
+    from repro.tasks import load_all_tasks
+
+    rows = [
+        [task.name, task.kind, ", ".join(task.fields), task.description]
+        for task in load_all_tasks().values()
+    ]
+    print(_render(["Task", "Kind", "Fields", "Description"], rows))
+    return 0
+
+
+def _get_task_or_exit(name: str):
+    """Registry lookup; unknown names print the taxonomy error (exit 2)."""
+    from repro.tasks import get_task
+
+    try:
+        return get_task(name)
+    except ReproError as error:
+        print(f"error [{type(error).__name__}]: {error}", file=sys.stderr)
+        return None
+
+
 def _cmd_train(args: argparse.Namespace) -> int:
-    dataset = Dataset.load_jsonl(args.data)
-    fields = dataset.fields or SUSTAINABILITY_FIELDS
-    config = ExtractorConfig(
-        fields=tuple(fields),
-        model=args.model,
-        finetune=FineTuneConfig(
-            epochs=args.epochs, learning_rate=args.learning_rate
-        ),
+    task = _get_task_or_exit(args.task)
+    if task is None:
+        return EXIT_INPUT_ERROR
+    if args.data:
+        dataset = Dataset.load_jsonl(args.data)
+    else:
+        dataset = task.build_dataset(seed=args.seed, size=args.dataset_size)
+        print(
+            f"generated {len(dataset)} examples for task "
+            f"{task.name!r} (seed {args.seed})"
+        )
+    finetune = FineTuneConfig(
+        epochs=args.epochs, learning_rate=args.learning_rate
     )
-    extractor = WeakSupervisionExtractor(config)
+    if task.kind == "extraction":
+        fields = dataset.fields or task.fields
+        model = task.build_model(
+            fields=tuple(fields), model=args.model, finetune=finetune
+        )
+    else:
+        model = task.build_model(finetune=finetune)
     train, __ = train_test_split(dataset, args.test_fraction, seed=args.seed)
     checkpoint = None
     if args.checkpoint_dir:
@@ -95,7 +145,7 @@ def _cmd_train(args: argparse.Namespace) -> int:
         )
     print(f"training on {len(train)} objectives ...")
     try:
-        extractor.fit(train.objectives, checkpoint=checkpoint)
+        model.fit(train, checkpoint=checkpoint)
     except ReproError as error:
         print(
             f"error [{type(error).__name__}]: {error}", file=sys.stderr
@@ -106,20 +156,24 @@ def _cmd_train(args: argparse.Namespace) -> int:
             checkpoint.rolled_back
         ) else ""
         print(f"resumed_from_step={checkpoint.resumed_from}{marker}")
-    extractor.save(args.out)
+    model.save(args.out)
     print(
         f"saved model to {args.out} "
-        f"(weak-label coverage {extractor.weak_stats.coverage:.1%})"
+        f"(weak-label coverage {model.weak_summary()['coverage']:.1%})"
     )
     return 0
 
 
 def _cmd_extract(args: argparse.Namespace) -> int:
+    task = _get_task_or_exit(args.task)
+    if task is None:
+        return EXIT_INPUT_ERROR
     try:
-        extractor = WeakSupervisionExtractor.load(args.model)
+        model = task.load_model(args.model)
     except (OSError, KeyError, ValueError, ReproError) as error:
         print(f"error: cannot load model: {error}", file=sys.stderr)
         return EXIT_INPUT_ERROR
+    extractor = model.backend
     overrides = {}
     if args.batching:
         overrides["batching"] = args.batching
@@ -145,6 +199,12 @@ def _cmd_extract(args: argparse.Namespace) -> int:
         return EXIT_INPUT_ERROR
 
     if args.quantize:
+        if task.kind != "extraction":
+            print(
+                "error: --quantize applies to extraction tasks only",
+                file=sys.stderr,
+            )
+            return EXIT_INPUT_ERROR
         try:
             report = extractor.enable_quantization(
                 mode=args.quantize, calibration_texts=texts[:32]
@@ -172,9 +232,17 @@ def _cmd_extract(args: argparse.Namespace) -> int:
                     f"(limit {MAX_BLOCK_CHARS})",
                     stage="validate",
                 )
-        results = _extract_resilient(
-            extractor, texts, args.on_error, policy, workers=args.workers
-        )
+        if task.kind == "extraction":
+            results = _extract_resilient(
+                extractor, texts, args.on_error, policy, workers=args.workers
+            )
+        else:
+            results = model.run_resilient(
+                texts,
+                on_error=args.on_error,
+                policy=policy,
+                workers=args.workers,
+            )
         for text, (details, status) in zip(texts, results):
             if status == "skipped":
                 skipped += 1
@@ -619,20 +687,54 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
+    tasks = sub.add_parser(
+        "tasks", help="inspect the task registry (see DESIGN.md §6h)"
+    )
+    tasks_sub = tasks.add_subparsers(dest="tasks_command", required=True)
+    tasks_list = tasks_sub.add_parser(
+        "list", help="list every registered task with its schema"
+    )
+    tasks_list.set_defaults(func=_cmd_tasks_list)
+
     build = sub.add_parser("build-dataset", help="generate a dataset JSONL")
     build.add_argument("--name", choices=sorted(_DATASET_BUILDERS), required=True)
     build.add_argument("--seed", type=int, default=0)
+    build.add_argument(
+        "--size",
+        type=int,
+        default=None,
+        help="number of examples (default: the dataset's paper-scale size)",
+    )
     build.add_argument("--out", required=True)
     build.set_defaults(func=_cmd_build_dataset)
 
-    train = sub.add_parser("train", help="train the extractor")
-    train.add_argument("--data", required=True)
+    train = sub.add_parser("train", help="train a task model")
+    train.add_argument(
+        "--task",
+        default="goalspotter",
+        help="registered task to train (see 'repro tasks list'; "
+        "default goalspotter)",
+    )
+    train.add_argument(
+        "--data",
+        help="dataset JSONL (default: generate the task's own dataset)",
+    )
     train.add_argument("--out", required=True)
-    train.add_argument("--model", default="roberta")
+    train.add_argument(
+        "--model",
+        default="roberta",
+        help="encoder zoo variant (extraction tasks only)",
+    )
     train.add_argument("--epochs", type=int, default=10)
     train.add_argument("--learning-rate", type=float, default=1e-3)
     train.add_argument("--test-fraction", type=float, default=0.2)
     train.add_argument("--seed", type=int, default=0)
+    train.add_argument(
+        "--dataset-size",
+        type=int,
+        default=None,
+        help="generated-dataset size when --data is omitted",
+    )
     train.add_argument(
         "--checkpoint-dir",
         help="directory for durable training checkpoints (atomic, "
@@ -654,6 +756,12 @@ def build_parser() -> argparse.ArgumentParser:
     train.set_defaults(func=_cmd_train)
 
     extract = sub.add_parser("extract", help="extract details from text")
+    extract.add_argument(
+        "--task",
+        default="goalspotter",
+        help="registered task the saved model belongs to "
+        "(classification tasks emit Label/Score rows)",
+    )
     extract.add_argument("--model", required=True)
     extract.add_argument("--text")
     extract.add_argument("--input", help="file with one objective per line")

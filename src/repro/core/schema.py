@@ -21,6 +21,16 @@ NETZEROFACTS_FIELDS: tuple[str, ...] = (
     "TargetYear",
 )
 
+#: EU-Taxonomy KPI disclosure fields (Schmoll & Jatowt): which KPI the
+#: sentence reports (turnover / CapEx / OpEx), the Taxonomy-aligned share,
+#: and the fiscal year of the disclosure. Values are verbatim substrings,
+#: so Algorithm 1 weak labeling applies unchanged.
+TAXONOMY_KPI_FIELDS: tuple[str, ...] = (
+    "Kpi",
+    "AlignedShare",
+    "FiscalYear",
+)
+
 
 @dataclasses.dataclass(frozen=True)
 class AnnotatedObjective:

@@ -25,6 +25,16 @@ from repro.datasets.sustainability import (
     panel_records,
 )
 from repro.datasets.netzerofacts import build_netzerofacts
+from repro.datasets.taxonomy_kpi import build_taxonomy_kpi
+from repro.datasets.netzero_targets import (
+    LABEL_FIELD,
+    NETZERO_TARGET_LABELS,
+    build_netzero_targets,
+)
+from repro.datasets.initiatives import (
+    INITIATIVE_LABELS,
+    build_initiative_sentences,
+)
 from repro.datasets.reports import (
     DEPLOYMENT_COMPANIES,
     ReportGenerator,
@@ -38,7 +48,10 @@ __all__ = [
     "DEPLOYMENT_COMPANIES",
     "Dataset",
     "GeneratorConfig",
+    "INITIATIVE_LABELS",
     "InjectedDrift",
+    "LABEL_FIELD",
+    "NETZERO_TARGET_LABELS",
     "ObjectiveGenerator",
     "PANEL_DRIFT_KINDS",
     "PanelGoal",
@@ -47,8 +60,11 @@ __all__ = [
     "TextBlock",
     "build_company_panel",
     "build_deployment_corpus",
+    "build_initiative_sentences",
+    "build_netzero_targets",
     "build_netzerofacts",
     "build_sustainability_goals",
+    "build_taxonomy_kpi",
     "panel_records",
     "train_test_split",
 ]

@@ -1,0 +1,89 @@
+"""Sustainability-initiative sentence classification corpus.
+
+Hirlea et al. (PAPERS.md) classify report sentences by the kind of
+sustainability initiative they describe. This generator produces a seeded
+four-way corpus — *environmental*, *social*, and *governance* initiative
+sentences plus *none* for ordinary business text — with the gold class in
+the ``Label`` detail, the same classification-dataset convention as
+:mod:`repro.datasets.netzero_targets`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.schema import AnnotatedObjective
+from repro.datasets.base import Dataset
+from repro.datasets.netzero_targets import LABEL_FIELD
+
+#: Class names in label-id order.
+INITIATIVE_LABELS: tuple[str, ...] = (
+    "environmental",
+    "social",
+    "governance",
+    "none",
+)
+
+#: Default corpus size (~160 sentences per class).
+NUM_SENTENCES = 640
+
+_ENVIRONMENTAL = (
+    "We installed solar panels on {n} distribution centers this year.",
+    "A new recycling program diverted {n} tonnes of waste from landfill.",
+    "The company planted {n} hectares of native forest near its plants.",
+    "Water consumption was lowered through closed-loop cooling at {n} sites.",
+    "We switched {n} delivery routes to electric vehicles.",
+    "Biodiversity surveys were completed at {n} production locations.",
+)
+
+_SOCIAL = (
+    "We funded scholarships for {n} students from local communities.",
+    "Employees completed {n} hours of health and safety training.",
+    "A mentoring program paired {n} apprentices with senior staff.",
+    "The diversity network grew to {n} active members across regions.",
+    "We donated {n} meals through the community food bank partnership.",
+    "Parental leave was extended for all {n} eligible employees.",
+)
+
+_GOVERNANCE = (
+    "The board adopted a revised anti-corruption policy covering {n} markets.",
+    "An independent ethics hotline handled {n} reports this year.",
+    "Supplier audits against the code of conduct covered {n} vendors.",
+    "The audit committee reviewed {n} internal control findings.",
+    "We published our {n}th annual tax transparency statement.",
+    "Whistleblower protections were strengthened across {n} subsidiaries.",
+)
+
+_NONE = (
+    "Quarterly revenue grew across most product categories.",
+    "The annual general meeting took place in May.",
+    "Currency effects reduced reported operating profit.",
+    "A new warehouse opened near the regional airport.",
+    "The product roadmap was presented to institutional investors.",
+    "Seasonal demand patterns matched prior-year expectations.",
+)
+
+_POOLS = {
+    "environmental": _ENVIRONMENTAL,
+    "social": _SOCIAL,
+    "governance": _GOVERNANCE,
+    "none": _NONE,
+}
+
+
+def build_initiative_sentences(
+    seed: int = 0, size: int = NUM_SENTENCES
+) -> Dataset:
+    """Build the initiative sentence classification dataset."""
+    rng = np.random.default_rng(seed)
+
+    sentences: list[AnnotatedObjective] = []
+    for __ in range(size):
+        label = INITIATIVE_LABELS[int(rng.integers(len(INITIATIVE_LABELS)))]
+        pool = _POOLS[label]
+        template = pool[int(rng.integers(len(pool)))]
+        text = template.format(n=int(rng.integers(5, 500)))
+        sentences.append(
+            AnnotatedObjective(text=text, details={LABEL_FIELD: label})
+        )
+    return Dataset("initiative-sentence", (LABEL_FIELD,), sentences)

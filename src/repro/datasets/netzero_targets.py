@@ -1,0 +1,121 @@
+"""ClimateBERT-NetZero-style target classification sentences.
+
+Schimanski et al. (PAPERS.md) classify climate-target sentences into
+*net-zero* targets, *reduction* targets, and non-target text. This
+generator produces a seeded three-way classification corpus in the same
+surface styles as the NetZeroFacts reconstruction: net-zero pledges,
+percent-reduction commitments, and narrative report sentences that
+mention climate without stating a target. The gold class is stored as
+the single ``Label`` detail, so the corpus round-trips through the
+standard :class:`~repro.datasets.base.Dataset` JSONL format.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.schema import AnnotatedObjective
+from repro.datasets.base import Dataset
+
+#: Class names in label-id order.
+NETZERO_TARGET_LABELS: tuple[str, ...] = ("net-zero", "reduction", "other")
+
+#: The gold-class field of classification datasets.
+LABEL_FIELD = "Label"
+
+#: Default corpus size (~200 sentences per class).
+NUM_SENTENCES = 600
+
+_SUBJECTS = (
+    "We", "The Group", "Our company", "The Company", "The board",
+)
+
+_NET_PLEDGES = (
+    "net-zero emissions",
+    "net zero across the value chain",
+    "carbon neutrality",
+    "climate neutrality in our own operations",
+    "a net-zero carbon footprint",
+)
+
+_SCOPES = (
+    "Scope 1 and 2 emissions",
+    "Scope 3 emissions",
+    "absolute greenhouse gas emissions",
+    "our total carbon footprint",
+    "emission intensity per unit of production",
+)
+
+_OTHER_SENTENCES = (
+    "Climate-related risks are discussed in the governance section of this report.",
+    "The sustainability committee met four times during the year.",
+    "Energy prices affected operating costs across all segments.",
+    "Our climate disclosures follow the TCFD recommendations.",
+    "Stakeholder dialogues on environmental topics continued throughout the year.",
+    "The materiality assessment was refreshed with external experts.",
+    "Weather conditions impacted logistics in the first quarter.",
+    "Employees received training on the updated travel policy.",
+)
+
+
+def build_netzero_targets(seed: int = 0, size: int = NUM_SENTENCES) -> Dataset:
+    """Build the net-zero target classification dataset (seeded, sized)."""
+    rng = np.random.default_rng(seed)
+
+    def choice(pool):
+        return pool[int(rng.integers(len(pool)))]
+
+    sentences: list[AnnotatedObjective] = []
+    for __ in range(size):
+        target_year = str(int(rng.integers(2025, 2051)))
+        base_year = str(int(rng.integers(2010, 2023)))
+        percent = int(rng.integers(20, 96))
+        cls = int(rng.integers(3))
+
+        if cls == 0:
+            shape = int(rng.integers(3))
+            if shape == 0:
+                text = (
+                    f"{choice(_SUBJECTS)} have pledged to achieve "
+                    f"{choice(_NET_PLEDGES)} by {target_year}."
+                )
+            elif shape == 1:
+                text = (
+                    f"{choice(_SUBJECTS)} commit to reaching "
+                    f"{choice(_NET_PLEDGES)} no later than {target_year}."
+                )
+            else:
+                text = (
+                    f"The long-term ambition is {choice(_NET_PLEDGES)} "
+                    f"by {target_year}, starting from a {base_year} "
+                    f"baseline."
+                )
+            label = "net-zero"
+        elif cls == 1:
+            shape = int(rng.integers(3))
+            if shape == 0:
+                text = (
+                    f"{choice(_SUBJECTS)} aim to reduce {choice(_SCOPES)} "
+                    f"by {percent}% by {target_year} from a {base_year} "
+                    f"base year."
+                )
+            elif shape == 1:
+                text = (
+                    f"{choice(_SUBJECTS)} will cut {choice(_SCOPES)} "
+                    f"{percent} percent by {target_year} compared with "
+                    f"{base_year} levels."
+                )
+            else:
+                text = (
+                    f"A {percent}% reduction in {choice(_SCOPES)} is "
+                    f"targeted by {target_year}."
+                )
+            label = "reduction"
+        else:
+            text = choice(_OTHER_SENTENCES)
+            label = "other"
+
+        sentences.append(
+            AnnotatedObjective(text=text, details={LABEL_FIELD: label})
+        )
+    return Dataset("netzero-target", (LABEL_FIELD,), sentences)

@@ -1,0 +1,114 @@
+"""EU-Taxonomy KPI disclosure sentences (Schmoll & Jatowt style).
+
+Article 8 of the EU Taxonomy Regulation obliges companies to disclose the
+Taxonomy-aligned share of three KPIs — turnover, capital expenditure, and
+operating expenditure. Schmoll & Jatowt (PAPERS.md) extract these
+disclosures from sustainability reports; this generator produces seeded
+sentences with that schema. All annotated values are verbatim substrings
+of the text, so Algorithm 1 weak labeling applies unchanged and the
+sentences flow through :class:`repro.core.WeakSupervisionExtractor` as a
+registered extraction task.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.schema import TAXONOMY_KPI_FIELDS, AnnotatedObjective
+from repro.datasets.base import Dataset
+
+#: Default corpus size (three KPIs x ~160 disclosure sentences).
+NUM_SENTENCES = 480
+
+_KPIS = (
+    "turnover",
+    "revenue",
+    "capital expenditure",
+    "CapEx",
+    "operating expenditure",
+    "OpEx",
+)
+
+_QUALIFIERS = (
+    "Taxonomy-aligned",
+    "Taxonomy-eligible",
+    "aligned with the EU Taxonomy",
+)
+
+_FILLERS = (
+    "The assessment follows the technical screening criteria of the Climate Delegated Act.",
+    "Figures were reviewed by our external auditor.",
+    "The do-no-significant-harm analysis covers all activities.",
+    "Minimum safeguards were assessed at group level.",
+)
+
+
+def build_taxonomy_kpi(seed: int = 0, size: int = NUM_SENTENCES) -> Dataset:
+    """Build the EU-Taxonomy KPI extraction dataset (seeded, sized)."""
+    rng = np.random.default_rng(seed)
+
+    def choice(pool):
+        return pool[int(rng.integers(len(pool)))]
+
+    sentences: list[AnnotatedObjective] = []
+    for __ in range(size):
+        kpi = choice(_KPIS)
+        fiscal_year = str(int(rng.integers(2020, 2027)))
+        percent = int(rng.integers(1, 81))
+        share = (
+            f"{percent}%" if rng.random() < 0.7 else f"{percent} percent"
+        )
+        shape = int(rng.integers(5))
+
+        if shape == 0:
+            text = (
+                f"In fiscal year {fiscal_year}, {share} of our {kpi} "
+                f"was {choice(_QUALIFIERS)}."
+            )
+            details = {
+                "Kpi": kpi,
+                "AlignedShare": share,
+                "FiscalYear": fiscal_year,
+            }
+        elif shape == 1:
+            text = (
+                f"{share} of total {kpi} qualified as Taxonomy-aligned "
+                f"in {fiscal_year}."
+            )
+            details = {
+                "Kpi": kpi,
+                "AlignedShare": share,
+                "FiscalYear": fiscal_year,
+            }
+        elif shape == 2:
+            text = (
+                f"Taxonomy-eligible {kpi} reached {share} of the group "
+                f"total in {fiscal_year}."
+            )
+            details = {
+                "Kpi": kpi,
+                "AlignedShare": share,
+                "FiscalYear": fiscal_year,
+            }
+        elif shape == 3:
+            text = (
+                f"Our {kpi} alignment under the EU Taxonomy stood at "
+                f"{share} for the reporting year {fiscal_year}."
+            )
+            details = {
+                "Kpi": kpi,
+                "AlignedShare": share,
+                "FiscalYear": fiscal_year,
+            }
+        else:
+            # Disclosure without a named year (alignment share only).
+            text = (
+                f"The {choice(_QUALIFIERS)} share of {kpi} amounted "
+                f"to {share}."
+            )
+            details = {"Kpi": kpi, "AlignedShare": share}
+
+        if rng.random() < 0.2:
+            text += f" {choice(_FILLERS)}"
+        sentences.append(AnnotatedObjective(text=text, details=details))
+    return Dataset("taxonomy-kpi", TAXONOMY_KPI_FIELDS, sentences)

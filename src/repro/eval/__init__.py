@@ -1,5 +1,10 @@
 """Evaluation: value-level precision/recall/F1, timing, run protocol."""
 
+from repro.eval.classification import (
+    ClassificationReport,
+    LabelCounts,
+    evaluate_classification,
+)
 from repro.eval.metrics import (
     FieldCounts,
     MetricReport,
@@ -15,8 +20,11 @@ from repro.eval.significance import BootstrapResult, paired_bootstrap
 __all__ = [
     "ApproachResult",
     "BootstrapResult",
+    "ClassificationReport",
     "FieldCounts",
+    "LabelCounts",
     "MetricReport",
+    "evaluate_classification",
     "evaluate_extractions",
     "paired_bootstrap",
     "precision_recall_f1",

@@ -1,0 +1,114 @@
+"""Classification metrics for the registry's classification tasks.
+
+The extraction tasks score with value-level precision/recall/F1
+(:mod:`repro.eval.metrics`); classification tasks score with accuracy and
+macro-F1 over named labels. Pure-python integer counting — the numbers
+are exact ratios, deterministic across platforms, which is what the
+golden fixtures pin.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections.abc import Sequence
+
+
+@dataclasses.dataclass(frozen=True)
+class LabelCounts:
+    """Per-label confusion counts."""
+
+    true_positive: int = 0
+    false_positive: int = 0
+    false_negative: int = 0
+
+    @property
+    def precision(self) -> float:
+        denom = self.true_positive + self.false_positive
+        return self.true_positive / denom if denom else 0.0
+
+    @property
+    def recall(self) -> float:
+        denom = self.true_positive + self.false_negative
+        return self.true_positive / denom if denom else 0.0
+
+    @property
+    def f1(self) -> float:
+        p, r = self.precision, self.recall
+        return 2 * p * r / (p + r) if (p + r) else 0.0
+
+
+@dataclasses.dataclass(frozen=True)
+class ClassificationReport:
+    """Accuracy + per-label P/R/F1 for an N-way classification run."""
+
+    labels: tuple[str, ...]
+    accuracy: float
+    macro_f1: float
+    per_label: dict[str, LabelCounts]
+    total: int
+
+    def as_dict(self) -> dict:
+        return {
+            "labels": list(self.labels),
+            "accuracy": self.accuracy,
+            "macro_f1": self.macro_f1,
+            "total": self.total,
+            "per_label": {
+                label: {
+                    "precision": counts.precision,
+                    "recall": counts.recall,
+                    "f1": counts.f1,
+                }
+                for label, counts in self.per_label.items()
+            },
+        }
+
+
+def evaluate_classification(
+    predicted: Sequence[str],
+    gold: Sequence[str],
+    labels: Sequence[str],
+) -> ClassificationReport:
+    """Score predicted label names against gold label names.
+
+    ``labels`` fixes the macro average's class set; predictions or gold
+    values outside it raise ``ValueError`` (they would silently distort
+    the macro-F1 otherwise).
+    """
+    if len(predicted) != len(gold):
+        raise ValueError("predicted and gold must be parallel")
+    known = set(labels)
+    counts = {
+        label: {"tp": 0, "fp": 0, "fn": 0} for label in labels
+    }
+    correct = 0
+    for prediction, truth in zip(predicted, gold):
+        if prediction not in known:
+            raise ValueError(f"unknown predicted label {prediction!r}")
+        if truth not in known:
+            raise ValueError(f"unknown gold label {truth!r}")
+        if prediction == truth:
+            correct += 1
+            counts[truth]["tp"] += 1
+        else:
+            counts[prediction]["fp"] += 1
+            counts[truth]["fn"] += 1
+    per_label = {
+        label: LabelCounts(
+            true_positive=c["tp"],
+            false_positive=c["fp"],
+            false_negative=c["fn"],
+        )
+        for label, c in counts.items()
+    }
+    total = len(gold)
+    macro_f1 = (
+        sum(c.f1 for c in per_label.values()) / len(labels) if labels else 0.0
+    )
+    return ClassificationReport(
+        labels=tuple(labels),
+        accuracy=correct / total if total else 0.0,
+        macro_f1=macro_f1,
+        per_label=per_label,
+        total=total,
+    )

@@ -138,6 +138,25 @@ class GoalSpotter:
         #: Stage timings and counts from the last ``process_reports`` call.
         self.last_run_stats: dict | None = None
 
+    @classmethod
+    def from_task_model(
+        cls, model, detector: ObjectiveDetector, **kwargs
+    ) -> "GoalSpotter":
+        """Build a pipeline whose extraction stage is a registry task model.
+
+        Only extraction-kind task models fit the detail-extraction slot;
+        classification models raise
+        :class:`~repro.runtime.errors.TaskRegistryError`.
+        """
+        from repro.runtime.errors import TaskRegistryError
+
+        if getattr(model, "kind", "extraction") != "extraction":
+            raise TaskRegistryError(
+                "GoalSpotter needs an extraction-kind task model; got "
+                f"kind {getattr(model, 'kind', None)!r}"
+            )
+        return cls(detector, getattr(model, "backend", model), **kwargs)
+
     # -- public API ---------------------------------------------------------
 
     def process_report(

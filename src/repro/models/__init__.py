@@ -22,7 +22,15 @@ from repro.models.sequence_classifier import SequenceClassifier
 from repro.models.mlm import MaskedLanguageModel, pretrain_encoder, pretrain_mlm
 from repro.models.distill import distill_encoder
 from repro.models.pretrained import build_pretraining_corpus, pretrain_for_domain
-from repro.models.training import FineTuneConfig, fit_token_classifier
+from repro.models.training import (
+    FineTuneConfig,
+    fit_sequence_classifier,
+    fit_token_classifier,
+)
+from repro.models.text_classifier import (
+    TextClassifierConfig,
+    TextLabelClassifier,
+)
 
 __all__ = [
     "FineTuneConfig",
@@ -31,9 +39,12 @@ __all__ = [
     "ModelSpec",
     "PretrainSpec",
     "SequenceClassifier",
+    "TextClassifierConfig",
+    "TextLabelClassifier",
     "TokenClassifier",
     "build_pretraining_corpus",
     "distill_encoder",
+    "fit_sequence_classifier",
     "fit_token_classifier",
     "get_model_spec",
     "pretrain_encoder",

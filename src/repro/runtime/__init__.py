@@ -53,6 +53,7 @@ from repro.runtime.errors import (
     ReplicaCrashError,
     ReproError,
     StageTimeout,
+    TaskRegistryError,
     classify_error,
 )
 from repro.runtime.parallel import (
@@ -60,8 +61,10 @@ from repro.runtime.parallel import (
     Shard,
     ShardResult,
     ShardTask,
+    broadcast_classifier,
     broadcast_extractor,
     broadcast_pipeline,
+    classify_batch_parallel,
     estimate_report_cost,
     estimate_text_cost,
     extract_batch_parallel,
@@ -116,9 +119,12 @@ __all__ = [
     "ShardResult",
     "ShardTask",
     "StageTimeout",
+    "TaskRegistryError",
     "TrainState",
+    "broadcast_classifier",
     "broadcast_extractor",
     "broadcast_pipeline",
+    "classify_batch_parallel",
     "classify_error",
     "config_fingerprint",
     "estimate_report_cost",

@@ -88,6 +88,17 @@ class StageTimeout(ReproError):
     retryable = False
 
 
+class TaskRegistryError(InputError):
+    """The task registry rejected a lookup or registration.
+
+    Raised by :mod:`repro.tasks` when an unknown task name is requested
+    (CLI ``--task`` maps this to exit code 2 through the usual
+    :class:`InputError` handling) or when a registration collides with an
+    already-registered or reserved builtin task name. Deterministic — the
+    registry will not change under retry.
+    """
+
+
 class ArtifactError(InputError):
     """A persisted artifact failed integrity verification at load time.
 

@@ -66,8 +66,10 @@ __all__ = [
     "Shard",
     "ShardResult",
     "ShardTask",
+    "broadcast_classifier",
     "broadcast_extractor",
     "broadcast_pipeline",
+    "classify_batch_parallel",
     "estimate_report_cost",
     "estimate_text_cost",
     "extract_batch_parallel",
@@ -284,6 +286,17 @@ def broadcast_extractor(
 ) -> PipelineBroadcast:
     """Package a fitted extractor for the bulk-extraction worker pool."""
     return _broadcast(extractor, ("",))
+
+
+def broadcast_classifier(classifier: Any) -> PipelineBroadcast:
+    """Package a fitted text classifier for the worker pool.
+
+    Works for any host exposing ``.model`` (a :class:`Module`) and
+    ``build_model(encoder_config)`` — the same contract the extractor
+    broadcast relies on; :class:`repro.models.text_classifier.
+    TextLabelClassifier` satisfies it.
+    """
+    return _broadcast(classifier, ("",))
 
 
 def restore_pipeline(broadcast: PipelineBroadcast) -> Any:
@@ -720,3 +733,98 @@ def _run_extract_shard_on(task: _ExtractTask, extractor: Any):
         details,
         getattr(extractor, "last_run_stats", None),
     )
+
+
+# -- the bulk classifier entry point ------------------------------------------
+
+
+_WORKER_CLASSIFIER: Any = None
+
+
+def _init_classify_worker(payload: bytes) -> None:
+    global _WORKER_CLASSIFIER
+    _WORKER_CLASSIFIER = restore_pipeline(pickle.loads(payload))
+
+
+def _run_classify_shard(task: _ExtractTask):
+    classifier = _WORKER_CLASSIFIER
+    if classifier is None:
+        raise RuntimeError("classify worker was not initialized")
+    return _run_classify_shard_on(task, classifier)
+
+
+def _run_classify_shard_on(task: _ExtractTask, classifier: Any):
+    probabilities = classifier.predict_proba(list(task.texts))
+    return (
+        task.index,
+        task.start,
+        probabilities,
+        getattr(classifier, "last_run_stats", None),
+    )
+
+
+def classify_batch_parallel(
+    classifier: Any,
+    texts: Sequence[str],
+    *,
+    workers: int | str | None = None,
+    num_shards: int | None = None,
+    start_method: str | None = None,
+):
+    """Shard ``classifier.predict_proba`` across worker processes.
+
+    The classification sibling of :func:`extract_batch_parallel`: the
+    fitted classifier is broadcast once, contiguous token-balanced shards
+    are scored independently, and the probability rows are concatenated
+    back into exact input order. Packing-invariant logits make the result
+    bitwise-identical to the sequential call for any ``workers``/
+    ``num_shards`` split; the single-worker path also runs on a pipeline
+    restored from the broadcast so both paths share state handling.
+    Merged per-shard :class:`RunStats` land in
+    ``classifier.last_run_stats`` / ``total_run_stats``.
+    """
+    import numpy as np
+
+    texts = list(texts)
+    workers = resolve_workers(workers)
+    if not texts:
+        return classifier.predict_proba([])
+    broadcast = broadcast_classifier(classifier)
+    costs = [estimate_text_cost(text) for text in texts]
+    shards = plan_shards(costs, min(num_shards or workers, len(texts)))
+    tasks = [
+        _ExtractTask(
+            index=shard.index,
+            start=shard.start,
+            texts=tuple(texts[shard.start : shard.stop]),
+        )
+        for shard in shards
+    ]
+    if workers <= 1 or len(tasks) <= 1:
+        local = restore_pipeline(broadcast)
+        outcomes = [_run_classify_shard_on(task, local) for task in tasks]
+    else:
+        payload = pickle.dumps(broadcast, protocol=pickle.HIGHEST_PROTOCOL)
+        context = multiprocessing.get_context(
+            start_method or _default_start_method()
+        )
+        with context.Pool(
+            processes=min(workers, len(tasks)),
+            initializer=_init_classify_worker,
+            initargs=(payload,),
+        ) as pool:
+            outcomes = pool.map(_run_classify_shard, tasks, chunksize=1)
+    outcomes.sort(key=lambda outcome: outcome[1])
+    merged = RunStats()
+    rows = []
+    for __, __, shard_rows, shard_stats in outcomes:
+        rows.append(shard_rows)
+        if shard_stats is not None:
+            merged = merged.merge(shard_stats)
+    if hasattr(classifier, "total_run_stats"):
+        with classifier._stats_lock:
+            classifier.last_run_stats = merged
+            classifier.total_run_stats = classifier.total_run_stats.merge(
+                merged
+            )
+    return np.concatenate(rows, axis=0)

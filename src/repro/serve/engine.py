@@ -264,6 +264,19 @@ class ServingEngine:
             **kwargs,
         )
 
+    @classmethod
+    def from_task_model(cls, model, **kwargs) -> "ServingEngine":
+        """Build an engine over a fitted :class:`repro.tasks.models.TaskModel`.
+
+        The task's kind picks the slot: classification backends serve as
+        the detector (``kind="detect"`` requests return per-text
+        probability rows), extraction backends as the extractor.
+        """
+        backend = getattr(model, "backend", model)
+        if getattr(model, "serving_kind", "extract") == "detect":
+            return cls(detector=backend, **kwargs)
+        return cls(extractor=backend, **kwargs)
+
     # -- lifecycle -----------------------------------------------------------
 
     @property

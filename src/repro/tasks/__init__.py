@@ -1,0 +1,47 @@
+"""The task registry: pluggable workloads over one serving substrate.
+
+Every registered task carries a full workload through the repo's
+machinery — seeded dataset generation, weak labeling, fine-tuning with
+checkpoint/resume, cached + batched inference, serving — and is gated by
+the same parametrized conformance suite (``tests/tasks/``). See
+DESIGN §6h for the plugin contract and the README's "Task registry"
+section for a worked add-your-own-task example.
+
+Importing this package is cheap: only the contract (`Task`,
+`GoldenRecipe`), the keyword weak-labeler, and the registry front door
+load here. Task implementations (and their numpy-heavy model wrappers in
+:mod:`repro.tasks.models`) are imported lazily on first
+:func:`get_task`.
+"""
+
+from repro.runtime.errors import TaskRegistryError
+from repro.tasks.base import (
+    KIND_CLASSIFICATION,
+    KIND_EXTRACTION,
+    TASK_KINDS,
+    GoldenRecipe,
+    Task,
+)
+from repro.tasks.registry import (
+    get_task,
+    load_all_tasks,
+    register_task,
+    task_names,
+)
+from repro.tasks.weak import KeywordRule, WeakVoteStats, weak_vote
+
+__all__ = [
+    "GoldenRecipe",
+    "KIND_CLASSIFICATION",
+    "KIND_EXTRACTION",
+    "KeywordRule",
+    "TASK_KINDS",
+    "Task",
+    "TaskRegistryError",
+    "WeakVoteStats",
+    "get_task",
+    "load_all_tasks",
+    "register_task",
+    "task_names",
+    "weak_vote",
+]

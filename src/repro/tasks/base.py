@@ -1,0 +1,129 @@
+"""The task plugin contract (DESIGN §6h).
+
+A *task* bundles everything the substrate needs to carry a workload end
+to end: a seeded dataset generator, the label schema, a weak labeler, a
+model factory, an eval metric, and a golden-fixture recipe. Registered
+tasks (see :mod:`repro.tasks.registry`) automatically inherit the repo's
+correctness regime — the parametrized conformance suite in
+``tests/tasks/`` asserts the bitwise batching/parallel/cache contracts,
+checkpoint-resume equivalence, degradation-ladder behavior, and a frozen
+golden fixture for every task in the registry.
+
+This module is deliberately light: importing it (and therefore
+``repro.tasks``) pulls no model or dataset code. Task *implementations*
+live in lazily imported modules and typically subclass the kind-specific
+helpers in :mod:`repro.tasks.models`.
+"""
+
+from __future__ import annotations
+
+import abc
+import dataclasses
+from typing import TYPE_CHECKING, Any, ClassVar
+
+from repro.runtime.errors import TaskRegistryError
+
+if TYPE_CHECKING:  # heavy imports stay out of the light package surface
+    from pathlib import Path
+
+    from repro.datasets.base import Dataset
+    from repro.tasks.models import TaskModel
+
+#: The two workload kinds the substrate carries end to end.
+KIND_EXTRACTION = "extraction"
+KIND_CLASSIFICATION = "classification"
+TASK_KINDS = (KIND_EXTRACTION, KIND_CLASSIFICATION)
+
+
+@dataclasses.dataclass(frozen=True)
+class GoldenRecipe:
+    """Pinned seeds/sizes a task's golden fixture (and bench) is built from.
+
+    The conformance suite trains the ``profile`` model on
+    ``train_size`` examples generated at ``train_seed`` and freezes the
+    rows produced on ``eval_size`` texts generated at ``eval_seed`` —
+    changing any of these regenerates a different fixture, so they are
+    part of the task's public contract.
+    """
+
+    train_seed: int = 7101
+    train_size: int = 56
+    eval_seed: int = 7202
+    eval_size: int = 12
+    profile: str = "tiny"
+
+
+class Task(abc.ABC):
+    """One registered workload: schema + data + weak labels + model + eval.
+
+    Subclasses declare the class attributes and implement the five
+    factory/evaluation hooks; :func:`repro.tasks.register_task` validates
+    and registers an instance. ``fields`` is the output-row schema
+    (detail fields for extraction, ``("Label", "Score")`` for
+    classification); ``labels`` names the classes of classification
+    tasks and stays empty for extraction.
+    """
+
+    name: ClassVar[str] = ""
+    kind: ClassVar[str] = ""
+    description: ClassVar[str] = ""
+    fields: ClassVar[tuple[str, ...]] = ()
+    labels: ClassVar[tuple[str, ...]] = ()
+    default_size: ClassVar[int] = 0
+    golden: ClassVar[GoldenRecipe] = GoldenRecipe()
+
+    def validate(self) -> None:
+        """Reject structurally broken task declarations at register time."""
+        if not self.name or not self.name.strip():
+            raise TaskRegistryError("task name must be non-empty")
+        if self.kind not in TASK_KINDS:
+            raise TaskRegistryError(
+                f"task {self.name!r} has unknown kind {self.kind!r}; "
+                f"use one of {TASK_KINDS}"
+            )
+        if not self.fields:
+            raise TaskRegistryError(
+                f"task {self.name!r} declares no output fields"
+            )
+        if self.kind == KIND_CLASSIFICATION and len(self.labels) < 2:
+            raise TaskRegistryError(
+                f"classification task {self.name!r} needs >= 2 labels"
+            )
+        if self.default_size <= 0:
+            raise TaskRegistryError(
+                f"task {self.name!r} must declare a positive default_size"
+            )
+
+    # -- the plugin contract ----------------------------------------------
+
+    @abc.abstractmethod
+    def build_dataset(
+        self, seed: int = 0, size: int | None = None
+    ) -> "Dataset":
+        """Seeded dataset generation; same seed+size => identical dataset."""
+
+    @abc.abstractmethod
+    def build_model(self, profile: str = "default", **overrides) -> "TaskModel":
+        """An unfitted task model. ``profile`` picks a config preset
+        (``"default"`` = paper-scale, ``"tiny"`` = test/bench scale);
+        kind-specific overrides (fields, zoo model, finetune, cache
+        capacity) refine it."""
+
+    @abc.abstractmethod
+    def load_model(self, directory: "str | Path") -> "TaskModel":
+        """Restore a fitted task model saved with ``TaskModel.save``."""
+
+    @abc.abstractmethod
+    def weak_label(self, dataset: "Dataset") -> dict[str, Any]:
+        """Run the task's weak labeler alone; returns coverage stats."""
+
+    @abc.abstractmethod
+    def evaluate(self, model: "TaskModel", dataset: "Dataset") -> dict[str, float]:
+        """Score a fitted model on a dataset with the task's metric."""
+
+    def golden_recipe(self) -> GoldenRecipe:
+        """The pinned recipe behind ``tests/golden/task_<name>.json``."""
+        return self.golden
+
+    def __repr__(self) -> str:
+        return f"<Task {self.name!r} kind={self.kind!r}>"

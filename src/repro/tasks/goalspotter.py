@@ -1,0 +1,28 @@
+"""The original GoalSpotter workload as registry task #1.
+
+This is the paper's own pipeline — Sustainability Goals dataset,
+Algorithm 1 weak labeling, token-classification detail extraction —
+re-wired through the task contract. The configs built here are
+field-for-field what ``repro.cli`` built before the registry existed, so
+training through ``train --task goalspotter`` produces byte-identical
+artifacts and the pre-registry golden fixtures stay green.
+"""
+
+from __future__ import annotations
+
+from repro.core.schema import SUSTAINABILITY_FIELDS
+from repro.datasets.sustainability import NUM_OBJECTIVES, build_sustainability_goals
+from repro.tasks.models import ExtractionTask
+from repro.tasks.registry import register_task
+
+
+@register_task
+class GoalSpotterTask(ExtractionTask):
+    name = "goalspotter"
+    description = "Detail extraction from sustainability objectives (the paper's GoalSpotter)"
+    fields = SUSTAINABILITY_FIELDS
+    default_size = NUM_OBJECTIVES
+
+    @staticmethod
+    def dataset_builder(seed: int, size: int):
+        return build_sustainability_goals(seed=seed, size=size)

@@ -1,0 +1,72 @@
+"""Sustainability-initiative sentence classification task.
+
+Labels report sentences as environmental, social, or governance
+initiatives — or none — after Hirlea et al.'s sustainability-initiative
+detection. Like ``netzero-target`` this trains purely on keyword
+labeling-function votes; the four-way label space and the higher
+abstain rate (filler sentences) stress the weak-voting path differently.
+"""
+
+from __future__ import annotations
+
+from repro.datasets.initiatives import (
+    INITIATIVE_LABELS,
+    NUM_SENTENCES,
+    build_initiative_sentences,
+)
+from repro.tasks.models import ClassificationTask
+from repro.tasks.registry import register_task
+from repro.tasks.weak import KeywordRule
+
+
+@register_task
+class InitiativeSentenceTask(ClassificationTask):
+    name = "initiative-sentence"
+    description = "ESG initiative sentence classification (env/social/governance/none)"
+    labels = INITIATIVE_LABELS
+    default_label = "none"
+    default_size = NUM_SENTENCES
+    rules = (
+        KeywordRule(
+            "environmental",
+            (
+                "solar",
+                "recycl",
+                "forest",
+                "water",
+                "electric vehicle",
+                "biodiversity",
+                "waste",
+                "emission",
+            ),
+        ),
+        KeywordRule(
+            "social",
+            (
+                "scholarship",
+                "training",
+                "mentoring",
+                "diversity",
+                "food bank",
+                "parental leave",
+                "volunteer",
+                "wellbeing",
+            ),
+        ),
+        KeywordRule(
+            "governance",
+            (
+                "anti-corruption",
+                "ethics",
+                "code of conduct",
+                "audit",
+                "tax transparency",
+                "whistleblower",
+                "board oversight",
+            ),
+        ),
+    )
+
+    @staticmethod
+    def dataset_builder(seed: int, size: int):
+        return build_initiative_sentences(seed=seed, size=size)

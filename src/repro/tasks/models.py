@@ -1,0 +1,445 @@
+"""Task model wrappers + kind-specific task base classes.
+
+``TaskModel`` gives every workload one uniform fitted-model surface —
+``fit``/``run_batch``/``run_batch_parallel``/``run_resilient``/``save``
+— regardless of whether the backend is the paper's
+:class:`~repro.core.extractor.WeakSupervisionExtractor` or a
+:class:`~repro.models.text_classifier.TextLabelClassifier`. The
+cross-task conformance suite (``tests/tasks/``) is written entirely
+against this surface, which is what lets one parametrized test file gate
+every registered task.
+
+Rows are ``dict[str, str]`` keyed by the task's ``fields``:
+
+* extraction rows are the extractor's detail dicts;
+* classification rows are ``{"Label": name, "Score": repr(prob)}`` —
+  ``repr`` round-trips floats exactly, so string equality of rows is
+  bitwise equality of the underlying probabilities.
+
+This module is heavy (numpy, encoders); it is imported lazily by the
+task implementation modules, never by ``repro.tasks`` itself.
+"""
+
+from __future__ import annotations
+
+import abc
+import dataclasses
+from collections.abc import Sequence
+from pathlib import Path
+from typing import Any, ClassVar
+
+import numpy as np
+
+from repro.core.extractor import ExtractorConfig, WeakSupervisionExtractor
+from repro.datasets.base import Dataset
+from repro.eval.classification import evaluate_classification
+from repro.eval.metrics import evaluate_extractions
+from repro.models.text_classifier import TextClassifierConfig, TextLabelClassifier
+from repro.models.training import FineTuneConfig
+from repro.runtime.errors import InputError, ReproError
+from repro.runtime.parallel import (
+    classify_batch_parallel,
+    extract_batch_parallel,
+    resolve_workers,
+)
+from repro.goalspotter.pipeline import ON_ERROR_POLICIES
+from repro.runtime.resilience import RetryPolicy, run_stage
+from repro.tasks.base import KIND_CLASSIFICATION, KIND_EXTRACTION, Task
+from repro.tasks.weak import KeywordRule, weak_vote
+
+#: Output-row schema shared by every classification task.
+CLASSIFICATION_FIELDS = ("Label", "Score")
+
+
+class TaskModel(abc.ABC):
+    """Uniform surface over a task's fitted model.
+
+    Attributes:
+        backend: the wrapped estimator (extractor or classifier); the
+            escape hatch for backend-specific knobs (``fault_injector``,
+            ``result_cache``, config swaps via ``dataclasses.replace``).
+    """
+
+    kind: ClassVar[str] = ""
+    serving_kind: ClassVar[str] = ""
+
+    def __init__(self, backend, fields: tuple[str, ...]):
+        self.backend = backend
+        self.fields = tuple(fields)
+
+    # -- shared knobs ------------------------------------------------------
+
+    @property
+    def fault_injector(self):
+        return self.backend.fault_injector
+
+    @fault_injector.setter
+    def fault_injector(self, injector) -> None:
+        self.backend.fault_injector = injector
+
+    def empty_row(self) -> dict[str, str]:
+        """The degraded-output row: every field empty."""
+        return {field: "" for field in self.fields}
+
+    # -- the contract ------------------------------------------------------
+
+    @abc.abstractmethod
+    def fit(self, dataset: Dataset, checkpoint=None) -> "TaskModel":
+        """Weak-label the dataset and train the backend; returns self."""
+
+    @abc.abstractmethod
+    def run_batch(self, texts: Sequence[str]) -> list[dict[str, str]]:
+        """One output row per text, in order."""
+
+    @abc.abstractmethod
+    def run_batch_parallel(
+        self,
+        texts: Sequence[str],
+        *,
+        workers: int | str | None = None,
+        num_shards: int | None = None,
+    ) -> list[dict[str, str]]:
+        """Multiprocess ``run_batch``; bitwise-identical to ``workers=1``."""
+
+    @abc.abstractmethod
+    def save(self, directory: str | Path) -> None:
+        """Atomic manifest-verified save of the fitted backend."""
+
+    @abc.abstractmethod
+    def weak_summary(self) -> dict[str, Any]:
+        """Coverage stats from the last ``fit``'s weak-labeling pass."""
+
+    # -- degradation ladder ------------------------------------------------
+
+    def run_resilient(
+        self,
+        texts: Sequence[str],
+        *,
+        on_error: str = "degrade",
+        policy: RetryPolicy | None = None,
+        workers: int | str | None = 1,
+    ) -> list[tuple[dict[str, str], str]]:
+        """Batch inference with the CLI's degradation ladder.
+
+        Optimistic whole-batch attempt first; on failure each text is
+        retried in isolation so one poisoned input cannot take down its
+        batchmates. Returns ``(row, status)`` pairs where status is
+        ``"ok"``, ``"skipped"`` (row omitted semantics), or
+        ``"degraded"`` (empty row stands in).
+        """
+        if on_error not in ON_ERROR_POLICIES:
+            raise InputError(
+                f"unknown on_error {on_error!r}; use {ON_ERROR_POLICIES}",
+                stage="tasks",
+            )
+        texts = list(texts)
+        if not texts:
+            return []
+        policy = policy or RetryPolicy(max_retries=0, base_delay=0.0, jitter=0.0)
+
+        def batch() -> list[dict[str, str]]:
+            if resolve_workers(workers) > 1 and len(texts) > 1:
+                return self.run_batch_parallel(texts, workers=workers)
+            return self.run_batch(texts)
+
+        try:
+            rows = run_stage(batch, stage=self.kind, policy=policy)
+            return [(row, "ok") for row in rows]
+        except ReproError:
+            if on_error == "raise":
+                raise
+        results: list[tuple[dict[str, str], str]] = []
+        for text in texts:
+            try:
+                row = run_stage(
+                    lambda t=text: self.run_batch([t])[0],
+                    stage=self.kind,
+                    policy=policy,
+                )
+                results.append((row, "ok"))
+            except ReproError:
+                status = "skipped" if on_error == "skip" else "degraded"
+                results.append((self.empty_row(), status))
+        return results
+
+    # -- serving -----------------------------------------------------------
+
+    def serving_engine(self, **kwargs):
+        """A :class:`~repro.serve.ServingEngine` over this model."""
+        from repro.serve.engine import ServingEngine
+
+        return ServingEngine.from_task_model(self, **kwargs)
+
+    def fleet_router(self, **kwargs):
+        """A :class:`~repro.serve.FleetRouter` fleet over this model."""
+        from repro.serve.fleet import FleetRouter
+
+        if self.serving_kind == "detect":
+            return FleetRouter(detector=self.backend, **kwargs)
+        return FleetRouter(extractor=self.backend, **kwargs)
+
+
+class ExtractionModel(TaskModel):
+    """Task model over the paper's weak-supervision detail extractor."""
+
+    kind = KIND_EXTRACTION
+    serving_kind = "extract"
+
+    def __init__(self, extractor: WeakSupervisionExtractor):
+        super().__init__(extractor, extractor.config.fields)
+
+    def fit(self, dataset: Dataset, checkpoint=None) -> "ExtractionModel":
+        self.backend.fit(list(dataset.objectives), checkpoint=checkpoint)
+        return self
+
+    def run_batch(self, texts: Sequence[str]) -> list[dict[str, str]]:
+        return self.backend.extract_batch(list(texts))
+
+    def run_batch_parallel(
+        self,
+        texts: Sequence[str],
+        *,
+        workers: int | str | None = None,
+        num_shards: int | None = None,
+    ) -> list[dict[str, str]]:
+        return extract_batch_parallel(
+            self.backend, list(texts), workers=workers, num_shards=num_shards
+        )
+
+    def save(self, directory: str | Path) -> None:
+        self.backend.save(directory)
+
+    def weak_summary(self) -> dict[str, Any]:
+        stats = self.backend.weak_stats
+        return {
+            "coverage": stats.coverage,
+            "annotations_total": stats.annotations_total,
+            "annotations_matched": stats.annotations_matched,
+        }
+
+
+class ClassificationModel(TaskModel):
+    """Task model that weak-labels sentences with keyword voting and
+    trains a :class:`TextLabelClassifier` on the votes."""
+
+    kind = KIND_CLASSIFICATION
+    serving_kind = "detect"
+
+    def __init__(
+        self,
+        classifier: TextLabelClassifier,
+        rules: tuple[KeywordRule, ...],
+        default_label: str,
+    ):
+        super().__init__(classifier, CLASSIFICATION_FIELDS)
+        self.rules = tuple(rules)
+        self.default_label = default_label
+        self.weak_stats = None
+
+    @property
+    def labels(self) -> tuple[str, ...]:
+        return self.backend.labels
+
+    def fit(self, dataset: Dataset, checkpoint=None) -> "ClassificationModel":
+        texts = [objective.text for objective in dataset.objectives]
+        weak_labels, self.weak_stats = weak_vote(
+            texts, self.rules, self.labels, self.default_label
+        )
+        index = {label: i for i, label in enumerate(self.labels)}
+        self.backend.fit(
+            texts,
+            [index[label] for label in weak_labels],
+            checkpoint=checkpoint,
+        )
+        return self
+
+    def _rows(self, probabilities: np.ndarray) -> list[dict[str, str]]:
+        rows = []
+        for row in probabilities:
+            best = int(np.argmax(row))
+            # repr round-trips the float exactly: string-equal rows
+            # imply bitwise-equal probabilities.
+            rows.append(
+                {"Label": self.labels[best], "Score": repr(float(row[best]))}
+            )
+        return rows
+
+    def predict_proba(self, texts: Sequence[str]) -> np.ndarray:
+        return self.backend.predict_proba(list(texts))
+
+    def run_batch(self, texts: Sequence[str]) -> list[dict[str, str]]:
+        return self._rows(self.backend.predict_proba(list(texts)))
+
+    def run_batch_parallel(
+        self,
+        texts: Sequence[str],
+        *,
+        workers: int | str | None = None,
+        num_shards: int | None = None,
+    ) -> list[dict[str, str]]:
+        return self._rows(
+            classify_batch_parallel(
+                self.backend,
+                list(texts),
+                workers=workers,
+                num_shards=num_shards,
+            )
+        )
+
+    def save(self, directory: str | Path) -> None:
+        self.backend.save(directory)
+
+    def weak_summary(self) -> dict[str, Any]:
+        if self.weak_stats is None:
+            return {"coverage": 0.0, "total": 0}
+        return self.weak_stats.as_dict()
+
+
+# -- kind-specific Task helpers -------------------------------------------
+
+
+class ExtractionTask(Task):
+    """Base for tasks backed by the weak-supervision detail extractor.
+
+    Subclasses set ``fields``, ``default_size`` and ``dataset_builder``
+    (a ``(seed, size)`` callable); everything else — tiny/default model
+    profiles, load, weak-label inspection, value-level F1 eval — is
+    shared.
+    """
+
+    kind = KIND_EXTRACTION
+
+    @staticmethod
+    def dataset_builder(seed: int, size: int) -> Dataset:
+        raise NotImplementedError
+
+    def build_dataset(self, seed: int = 0, size: int | None = None) -> Dataset:
+        return type(self).dataset_builder(
+            seed, self.default_size if size is None else size
+        )
+
+    def _profile_config(self, profile: str) -> ExtractorConfig:
+        if profile == "default":
+            return ExtractorConfig(fields=self.fields)
+        if profile == "tiny":
+            return ExtractorConfig(
+                fields=self.fields,
+                model="distilbert",
+                max_len=64,
+                num_merges=150,
+                finetune=FineTuneConfig(epochs=2, batch_size=8),
+            )
+        raise InputError(
+            f"unknown model profile {profile!r}; use 'default' or 'tiny'",
+            stage="tasks",
+        )
+
+    def build_model(self, profile: str = "default", **overrides) -> ExtractionModel:
+        config = dataclasses.replace(self._profile_config(profile), **overrides)
+        return ExtractionModel(WeakSupervisionExtractor(config))
+
+    def load_model(self, directory: str | Path) -> ExtractionModel:
+        return ExtractionModel(WeakSupervisionExtractor.load(directory))
+
+    def weak_label(self, dataset: Dataset) -> dict[str, Any]:
+        extractor = WeakSupervisionExtractor(self._profile_config("tiny"))
+        extractor.prepare_weak_labels(list(dataset.objectives))
+        stats = extractor.weak_stats
+        return {
+            "coverage": stats.coverage,
+            "annotations_total": stats.annotations_total,
+            "annotations_matched": stats.annotations_matched,
+        }
+
+    def evaluate(self, model: TaskModel, dataset: Dataset) -> dict[str, float]:
+        texts = [objective.text for objective in dataset.objectives]
+        gold = [objective.details for objective in dataset.objectives]
+        report = evaluate_extractions(model.run_batch(texts), gold, self.fields)
+        return {
+            "precision": report.precision,
+            "recall": report.recall,
+            "f1": report.f1,
+        }
+
+
+class ClassificationTask(Task):
+    """Base for keyword-weak-labeled sentence classification tasks.
+
+    Subclasses set ``labels``, ``rules``, ``default_label``,
+    ``default_size`` and ``dataset_builder``; the gold label lives in
+    each objective's details under ``label_field`` and is only read at
+    eval time.
+    """
+
+    kind = KIND_CLASSIFICATION
+    fields = CLASSIFICATION_FIELDS
+    rules: ClassVar[tuple[KeywordRule, ...]] = ()
+    default_label: ClassVar[str] = ""
+    label_field: ClassVar[str] = "Label"
+
+    @staticmethod
+    def dataset_builder(seed: int, size: int) -> Dataset:
+        raise NotImplementedError
+
+    def build_dataset(self, seed: int = 0, size: int | None = None) -> Dataset:
+        return type(self).dataset_builder(
+            seed, self.default_size if size is None else size
+        )
+
+    def _profile_config(self, profile: str) -> TextClassifierConfig:
+        if profile == "default":
+            return TextClassifierConfig(labels=self.labels)
+        if profile == "tiny":
+            return TextClassifierConfig(
+                labels=self.labels,
+                dim=32,
+                num_layers=1,
+                num_heads=4,
+                ffn_dim=64,
+                max_len=48,
+                num_merges=120,
+                finetune=FineTuneConfig(epochs=3, batch_size=8),
+            )
+        raise InputError(
+            f"unknown model profile {profile!r}; use 'default' or 'tiny'",
+            stage="tasks",
+        )
+
+    def build_model(
+        self, profile: str = "default", **overrides
+    ) -> ClassificationModel:
+        config = dataclasses.replace(self._profile_config(profile), **overrides)
+        return ClassificationModel(
+            TextLabelClassifier(config), self.rules, self.default_label
+        )
+
+    def load_model(self, directory: str | Path) -> ClassificationModel:
+        return ClassificationModel(
+            TextLabelClassifier.load(directory), self.rules, self.default_label
+        )
+
+    def weak_label(self, dataset: Dataset) -> dict[str, Any]:
+        texts = [objective.text for objective in dataset.objectives]
+        weak_labels, stats = weak_vote(
+            texts, self.rules, self.labels, self.default_label
+        )
+        gold = [
+            objective.details.get(self.label_field, "")
+            for objective in dataset.objectives
+        ]
+        agreement = sum(
+            1 for weak, truth in zip(weak_labels, gold) if weak == truth
+        )
+        summary = stats.as_dict()
+        summary["gold_agreement"] = agreement / len(texts) if texts else 1.0
+        return summary
+
+    def evaluate(self, model: TaskModel, dataset: Dataset) -> dict[str, float]:
+        texts = [objective.text for objective in dataset.objectives]
+        gold = [
+            objective.details.get(self.label_field, "")
+            for objective in dataset.objectives
+        ]
+        predicted = [row["Label"] for row in model.run_batch(texts)]
+        report = evaluate_classification(predicted, gold, self.labels)
+        return {"accuracy": report.accuracy, "macro_f1": report.macro_f1}

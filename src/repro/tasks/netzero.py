@@ -1,0 +1,49 @@
+"""Net-zero target classification task.
+
+Classifies sentences as net-zero pledges, emission-reduction targets, or
+other climate text (after Schimanski et al.'s ClimateBERT-NetZero). The
+first *classification* tenant: weak supervision here is keyword
+labeling-function voting (:mod:`repro.tasks.weak`) rather than
+Algorithm 1 — gold labels are only ever read by the eval metric.
+"""
+
+from __future__ import annotations
+
+from repro.datasets.netzero_targets import (
+    NETZERO_TARGET_LABELS,
+    NUM_SENTENCES,
+    build_netzero_targets,
+)
+from repro.tasks.models import ClassificationTask
+from repro.tasks.registry import register_task
+from repro.tasks.weak import KeywordRule
+
+
+@register_task
+class NetZeroTargetTask(ClassificationTask):
+    name = "netzero-target"
+    description = "Net-zero vs reduction-target vs other sentence classification"
+    labels = NETZERO_TARGET_LABELS
+    default_label = "other"
+    default_size = NUM_SENTENCES
+    rules = (
+        KeywordRule(
+            "net-zero",
+            (
+                "net-zero",
+                "net zero",
+                "carbon neutrality",
+                "carbon neutral",
+                "climate neutrality",
+                "climate-neutral",
+            ),
+        ),
+        KeywordRule(
+            "reduction",
+            ("reduce", "reduction", "cut ", "lower", "%", "percent"),
+        ),
+    )
+
+    @staticmethod
+    def dataset_builder(seed: int, size: int):
+        return build_netzero_targets(seed=seed, size=size)

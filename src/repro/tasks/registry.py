@@ -1,0 +1,83 @@
+"""Decorator-based task registry with lazy builtin loading.
+
+``@register_task`` on a :class:`~repro.tasks.base.Task` subclass
+validates and registers an instance under its ``name``. The four builtin
+workloads are *not* imported with ``repro.tasks`` — a module table maps
+their names to implementation modules and :func:`get_task` imports on
+first lookup, so ``import repro`` stays fast and a process that only
+runs GoalSpotter never pays for the other tenants.
+
+Lookup failures raise :class:`~repro.runtime.errors.TaskRegistryError`,
+an :class:`~repro.runtime.errors.InputError` — the CLI maps it to exit
+code 2 like every other caller mistake in the taxonomy.
+"""
+
+from __future__ import annotations
+
+import importlib
+
+from repro.runtime.errors import TaskRegistryError
+from repro.tasks.base import Task
+
+#: name -> registered instance (populated by @register_task).
+_REGISTRY: dict[str, Task] = {}
+
+#: Builtin task names -> the module whose import registers them.
+_BUILTIN_MODULES: dict[str, str] = {
+    "goalspotter": "repro.tasks.goalspotter",
+    "taxonomy-kpi": "repro.tasks.taxonomy",
+    "netzero-target": "repro.tasks.netzero",
+    "initiative-sentence": "repro.tasks.initiative",
+}
+
+
+def register_task(cls: type[Task]) -> type[Task]:
+    """Class decorator: validate and register an instance of ``cls``.
+
+    Raises:
+        TaskRegistryError: on duplicate names, or when a third-party
+            module tries to claim a builtin name.
+    """
+    task = cls()
+    task.validate()
+    reserved_module = _BUILTIN_MODULES.get(task.name)
+    if reserved_module is not None and cls.__module__ != reserved_module:
+        raise TaskRegistryError(
+            f"task name {task.name!r} is reserved for the builtin "
+            f"{reserved_module}; pick another name"
+        )
+    if task.name in _REGISTRY:
+        raise TaskRegistryError(
+            f"task {task.name!r} is already registered "
+            f"(by {type(_REGISTRY[task.name]).__module__})"
+        )
+    _REGISTRY[task.name] = task
+    return cls
+
+
+def get_task(name: str) -> Task:
+    """Look up a task by name, lazily importing builtin modules.
+
+    Raises:
+        TaskRegistryError: unknown name; the message lists the registry.
+    """
+    task = _REGISTRY.get(name)
+    if task is not None:
+        return task
+    module = _BUILTIN_MODULES.get(name)
+    if module is not None:
+        importlib.import_module(module)
+        return _REGISTRY[name]
+    raise TaskRegistryError(
+        f"unknown task {name!r}; available tasks: {', '.join(task_names())}"
+    )
+
+
+def task_names() -> list[str]:
+    """Sorted names of every known task (registered or builtin-lazy)."""
+    return sorted(set(_REGISTRY) | set(_BUILTIN_MODULES))
+
+
+def load_all_tasks() -> dict[str, Task]:
+    """Force-load every known task; returns ``name -> task``."""
+    return {name: get_task(name) for name in task_names()}

@@ -1,0 +1,28 @@
+"""EU-Taxonomy KPI extraction task.
+
+Extracts the taxonomy KPI name, the aligned share, and the fiscal year
+from disclosure sentences (after Schmoll & Jatowt's EU-Taxonomy KPI
+work) — a second *extraction* tenant proving the weak-supervision
+pipeline generalizes beyond the paper's sustainability-goal schema with
+zero model changes: Algorithm 1 substring matching works unchanged
+because the generator keeps every detail value a verbatim substring.
+"""
+
+from __future__ import annotations
+
+from repro.core.schema import TAXONOMY_KPI_FIELDS
+from repro.datasets.taxonomy_kpi import NUM_SENTENCES, build_taxonomy_kpi
+from repro.tasks.models import ExtractionTask
+from repro.tasks.registry import register_task
+
+
+@register_task
+class TaxonomyKpiTask(ExtractionTask):
+    name = "taxonomy-kpi"
+    description = "EU-Taxonomy KPI extraction (KPI, aligned share, fiscal year)"
+    fields = TAXONOMY_KPI_FIELDS
+    default_size = NUM_SENTENCES
+
+    @staticmethod
+    def dataset_builder(seed: int, size: int):
+        return build_taxonomy_kpi(seed=seed, size=size)

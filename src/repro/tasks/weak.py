@@ -1,0 +1,115 @@
+"""Keyword labeling functions for classification tasks.
+
+The paper's weak supervision converts gold *annotations* into token
+labels via Algorithm 1 substring matching; the registry's classification
+tasks use the same philosophy one level up: a handful of keyword
+labeling functions vote on each sentence and the majority label trains
+the model. Gold labels are never seen at fit time — they are reserved
+for :meth:`repro.tasks.base.Task.evaluate`.
+
+Voting is deterministic: ties break toward the earlier entry of the
+task's label tuple, and a sentence no rule fires on falls back to the
+task's default label.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections.abc import Sequence
+
+
+@dataclasses.dataclass(frozen=True)
+class KeywordRule:
+    """One labeling function: fire ``label`` when any keyword occurs.
+
+    Matching is case-insensitive substring containment, mirroring the
+    Algorithm 1 matcher's exact mode.
+    """
+
+    label: str
+    keywords: tuple[str, ...]
+
+    def __call__(self, text: str) -> str | None:
+        lowered = text.lower()
+        for keyword in self.keywords:
+            if keyword in lowered:
+                return self.label
+        return None
+
+
+@dataclasses.dataclass
+class WeakVoteStats:
+    """Coverage bookkeeping for a :func:`weak_vote` run."""
+
+    total: int = 0
+    covered: int = 0  # >= 1 rule fired
+    abstained: int = 0  # no rule fired -> default label
+    conflicts: int = 0  # rules disagreed; majority/tie-break decided
+    votes_per_label: dict[str, int] = dataclasses.field(default_factory=dict)
+
+    @property
+    def coverage(self) -> float:
+        """Fraction of texts at least one labeling function fired on."""
+        if self.total == 0:
+            return 1.0
+        return self.covered / self.total
+
+    def as_dict(self) -> dict:
+        return {
+            "total": self.total,
+            "covered": self.covered,
+            "abstained": self.abstained,
+            "conflicts": self.conflicts,
+            "coverage": self.coverage,
+            "votes_per_label": dict(self.votes_per_label),
+        }
+
+
+def weak_vote(
+    texts: Sequence[str],
+    rules: Sequence[KeywordRule],
+    labels: Sequence[str],
+    default_label: str,
+) -> tuple[list[str], WeakVoteStats]:
+    """Majority-vote the labeling functions over ``texts``.
+
+    Args:
+        texts: sentences to label.
+        rules: the labeling functions, in priority order.
+        labels: the task's label tuple; vote ties break toward the
+            earlier entry, making the outcome order-deterministic.
+        default_label: assigned when every rule abstains.
+
+    Returns:
+        Parallel weak labels plus coverage stats.
+    """
+    order = {label: index for index, label in enumerate(labels)}
+    if default_label not in order:
+        raise ValueError(
+            f"default label {default_label!r} not in labels {tuple(labels)}"
+        )
+    for rule in rules:
+        if rule.label not in order:
+            raise ValueError(
+                f"rule labels {rule.label!r} outside labels {tuple(labels)}"
+            )
+    stats = WeakVoteStats()
+    assigned: list[str] = []
+    for text in texts:
+        stats.total += 1
+        votes: dict[str, int] = {}
+        for rule in rules:
+            fired = rule(text)
+            if fired is not None:
+                votes[fired] = votes.get(fired, 0) + 1
+        if not votes:
+            stats.abstained += 1
+            assigned.append(default_label)
+            continue
+        stats.covered += 1
+        if len(votes) > 1:
+            stats.conflicts += 1
+        winner = min(votes, key=lambda label: (-votes[label], order[label]))
+        stats.votes_per_label[winner] = stats.votes_per_label.get(winner, 0) + 1
+        assigned.append(winner)
+    return assigned, stats

@@ -1,0 +1,56 @@
+"""Shared fixtures for the cross-task conformance suite.
+
+One trained model per registered task, built from the task's pinned
+golden recipe and shared session-wide: the conformance, golden, and
+serving tests all exercise the *same* fitted weights, so a contract
+violation in any of them points at the runtime, not at training noise.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from pathlib import Path
+
+import pytest
+
+from repro.tasks import get_task, task_names
+
+GOLDEN_DIR = Path(__file__).resolve().parent.parent / "golden"
+
+
+@dataclasses.dataclass
+class TrainedTask:
+    """A task, its recipe-trained model, and the recipe's eval slice."""
+
+    task: object
+    recipe: object
+    model: object
+    eval_dataset: object
+    texts: list[str]
+    rows: list[dict[str, str]]
+
+
+@pytest.fixture(scope="session", params=sorted(task_names()))
+def task(request):
+    """Every registered task, one param each — the suite's fan-out axis."""
+    return get_task(request.param)
+
+
+@pytest.fixture(scope="session")
+def trained(task) -> TrainedTask:
+    """The task's golden-recipe model plus its frozen eval rows."""
+    recipe = task.golden_recipe()
+    train = task.build_dataset(seed=recipe.train_seed, size=recipe.train_size)
+    model = task.build_model(recipe.profile).fit(train)
+    eval_dataset = task.build_dataset(
+        seed=recipe.eval_seed, size=recipe.eval_size
+    )
+    texts = [objective.text for objective in eval_dataset.objectives]
+    return TrainedTask(
+        task=task,
+        recipe=recipe,
+        model=model,
+        eval_dataset=eval_dataset,
+        texts=texts,
+        rows=model.run_batch(texts),
+    )

@@ -1,0 +1,152 @@
+"""Cross-task conformance: every registered task obeys the substrate's
+contracts.
+
+These tests are parametrized over the whole registry (the session-scoped
+``task`` fixture), so registering a new task automatically puts it under
+the same gate as GoalSpotter: bitwise batching invariance, bitwise
+multiprocess parallelism, bitwise cache hits, degradation-ladder
+behavior under injected faults, atomic save/load round-trips, and
+serving-engine equivalence.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.runtime.errors import InputError, ReproError
+from repro.runtime.resilience import FaultInjector, FaultSpec
+
+pytestmark = pytest.mark.tasks
+
+
+class TestBitwiseContracts:
+    def test_batched_equals_sequential(self, trained):
+        sequential = [trained.model.run_batch([t])[0] for t in trained.texts]
+        assert sequential == trained.rows
+
+    @pytest.mark.parallel
+    def test_parallel_workers_bitwise(self, trained):
+        for workers in (1, 2):
+            rows = trained.model.run_batch_parallel(
+                trained.texts, workers=workers, num_shards=2
+            )
+            assert rows == trained.rows, f"workers={workers}"
+
+    @pytest.mark.cache
+    def test_cache_hit_equals_recompute(self, trained):
+        backend = trained.model.backend
+        original = backend.config
+        try:
+            backend.config = dataclasses.replace(
+                original, result_cache_capacity=64
+            )
+            first = trained.model.run_batch(trained.texts)
+            second = trained.model.run_batch(trained.texts)
+            assert first == trained.rows
+            assert second == trained.rows
+            stats = backend.last_run_stats.as_dict()
+            assert stats["result_cache_hits"] == len(trained.texts)
+        finally:
+            backend.config = original
+
+    def test_empty_input(self, trained):
+        assert trained.model.run_batch([]) == []
+
+
+class TestDegradationLadder:
+    @pytest.mark.chaos
+    def test_poisoned_batch_isolates_one_text(self, trained):
+        model = trained.model
+        # Call 1 kills the optimistic batch, call 2 kills text 0's
+        # isolation retry; every other text must come back bitwise-clean.
+        model.fault_injector = FaultInjector(
+            [FaultSpec(stage="forward", error="model", nth_calls=(1, 2))],
+            seed=11,
+        )
+        try:
+            results = model.run_resilient(trained.texts, on_error="degrade")
+        finally:
+            model.fault_injector = None
+        statuses = [status for __, status in results]
+        assert statuses[0] == "degraded"
+        assert set(statuses[1:]) == {"ok"}
+        assert results[0][0] == model.empty_row()
+        assert [row for row, __ in results][1:] == trained.rows[1:]
+
+    @pytest.mark.chaos
+    def test_skip_policy_drops_the_failed_text(self, trained):
+        model = trained.model
+        model.fault_injector = FaultInjector(
+            [FaultSpec(stage="forward", error="model", nth_calls=(1, 2))],
+            seed=11,
+        )
+        try:
+            results = model.run_resilient(trained.texts, on_error="skip")
+        finally:
+            model.fault_injector = None
+        assert [status for __, status in results][0] == "skipped"
+        assert [row for row, __ in results][1:] == trained.rows[1:]
+
+    @pytest.mark.chaos
+    def test_raise_policy_propagates(self, trained):
+        model = trained.model
+        model.fault_injector = FaultInjector(
+            [FaultSpec(stage="forward", error="model", nth_calls=(1,))],
+            seed=11,
+        )
+        try:
+            with pytest.raises(ReproError):
+                model.run_resilient(trained.texts, on_error="raise")
+        finally:
+            model.fault_injector = None
+
+    def test_unknown_policy_is_an_input_error(self, trained):
+        with pytest.raises(InputError):
+            trained.model.run_resilient(trained.texts, on_error="explode")
+
+
+class TestPersistence:
+    def test_save_load_round_trip_is_bitwise(self, trained, tmp_path):
+        target = tmp_path / "model"
+        trained.model.save(target)
+        loaded = trained.task.load_model(target)
+        assert loaded.run_batch(trained.texts) == trained.rows
+
+    def test_evaluate_returns_finite_metrics(self, trained):
+        metrics = trained.task.evaluate(trained.model, trained.eval_dataset)
+        assert metrics, "metric dict must not be empty"
+        for name, value in metrics.items():
+            assert 0.0 <= value <= 1.0, (name, value)
+
+
+@pytest.mark.serve
+class TestServing:
+    def test_engine_matches_direct_inference(self, trained):
+        model = trained.model
+        with model.serving_engine() as engine:
+            future = engine.submit(kind=model.serving_kind, texts=trained.texts)
+            result = future.result(timeout=60)
+        assert result.status == "ok"
+        if model.serving_kind == "detect":
+            served = np.asarray(list(result.values))
+            direct = model.predict_proba(trained.texts)
+            assert served.tobytes() == direct.tobytes()
+        else:
+            assert list(result.values) == trained.rows
+
+    @pytest.mark.fleet
+    def test_fleet_router_matches_direct_inference(self, trained):
+        model = trained.model
+        with model.fleet_router() as router:
+            future = router.submit(kind=model.serving_kind, texts=trained.texts)
+            result = future.result(timeout=60)
+        assert result.status == "ok"
+        if model.serving_kind == "detect":
+            served = np.asarray(list(result.values))
+            direct = model.predict_proba(trained.texts)
+            assert served.tobytes() == direct.tobytes()
+        else:
+            assert list(result.values) == trained.rows

@@ -1,0 +1,71 @@
+"""Property-based invariants over every task's dataset generator.
+
+Hypothesis drives the seed; the properties are the ones the conformance
+and golden suites silently rely on: seed determinism, verbatim-substring
+details for extraction corpora (Algorithm 1's precondition), and
+closed-world gold labels for classification corpora.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.tasks import KIND_CLASSIFICATION, KIND_EXTRACTION, get_task, task_names
+
+pytestmark = pytest.mark.tasks
+
+SIZE = 16
+
+
+@pytest.mark.parametrize("name", sorted(task_names()))
+@settings(max_examples=8, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=2**16))
+def test_same_seed_same_dataset(name, seed):
+    task = get_task(name)
+    first = task.build_dataset(seed=seed, size=SIZE)
+    second = task.build_dataset(seed=seed, size=SIZE)
+    assert [(o.text, o.details) for o in first.objectives] == [
+        (o.text, o.details) for o in second.objectives
+    ]
+
+
+@pytest.mark.parametrize(
+    "name",
+    [n for n in sorted(task_names()) if get_task(n).kind == KIND_EXTRACTION],
+)
+@settings(max_examples=8, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=2**16))
+def test_extraction_details_are_verbatim_substrings(name, seed):
+    task = get_task(name)
+    dataset = task.build_dataset(seed=seed, size=SIZE)
+    for objective in dataset.objectives:
+        for field, value in objective.details.items():
+            assert field in task.fields
+            if value:
+                # gold values may be case-normalized (e.g. a
+                # sentence-initial "Support" annotated as "support");
+                # Algorithm 1's matcher tokenizes case-insensitively.
+                assert value.lower() in objective.text.lower(), (
+                    field,
+                    value,
+                    objective.text,
+                )
+
+
+@pytest.mark.parametrize(
+    "name",
+    [
+        n
+        for n in sorted(task_names())
+        if get_task(n).kind == KIND_CLASSIFICATION
+    ],
+)
+@settings(max_examples=8, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=2**16))
+def test_classification_gold_labels_are_closed_world(name, seed):
+    task = get_task(name)
+    dataset = task.build_dataset(seed=seed, size=SIZE)
+    for objective in dataset.objectives:
+        assert objective.details[task.label_field] in task.labels

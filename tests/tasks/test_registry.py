@@ -1,0 +1,207 @@
+"""Registry edge cases: typed errors, lazy imports, CLI exit codes."""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+import repro
+from repro.cli import main
+from repro.runtime.errors import InputError, TaskRegistryError
+from repro.tasks import Task, get_task, register_task, task_names
+from repro.tasks.registry import _REGISTRY
+
+pytestmark = pytest.mark.tasks
+
+SRC_DIR = str(Path(repro.__file__).resolve().parents[1])
+
+
+class TestLookup:
+    def test_unknown_task_raises_typed_error(self):
+        with pytest.raises(TaskRegistryError) as excinfo:
+            get_task("no-such-task")
+        # the message lists what IS available
+        assert "goalspotter" in str(excinfo.value)
+
+    def test_registry_error_is_an_input_error(self):
+        # -> CLI exit code 2 via the shared taxonomy mapping
+        assert issubclass(TaskRegistryError, InputError)
+
+    def test_task_names_cover_all_builtins(self):
+        assert {
+            "goalspotter",
+            "taxonomy-kpi",
+            "netzero-target",
+            "initiative-sentence",
+        } <= set(task_names())
+
+
+class TestRegistration:
+    def test_duplicate_name_raises(self):
+        class First(Task):
+            name = "test-dup"
+            kind = "classification"
+            description = "first claimant"
+            fields = ("Label", "Score")
+            labels = ("a", "b")
+            default_size = 4
+
+            def build_dataset(self, seed=0, size=None): ...
+            def build_model(self, profile="default", **overrides): ...
+            def load_model(self, directory): ...
+            def weak_label(self, dataset): ...
+            def evaluate(self, model, dataset): ...
+
+        register_task(First)
+        try:
+            with pytest.raises(TaskRegistryError, match="already registered"):
+                register_task(type("Second", (First,), {}))
+        finally:
+            _REGISTRY.pop("test-dup", None)
+
+    def test_builtin_names_are_reserved(self):
+        # even before the builtin module is imported, its name is owned
+        with pytest.raises(TaskRegistryError, match="reserved"):
+
+            @register_task
+            class Squatter(Task):
+                name = "goalspotter"
+                kind = "extraction"
+                description = "imposter"
+                fields = ("Action",)
+                default_size = 4
+
+                def build_dataset(self, seed=0, size=None): ...
+                def build_model(self, profile="default", **overrides): ...
+                def load_model(self, directory): ...
+                def weak_label(self, dataset): ...
+                def evaluate(self, model, dataset): ...
+
+    def test_third_party_registration_round_trips(self):
+        @register_task
+        class Custom(Task):
+            name = "test-custom-task"
+            kind = "extraction"
+            description = "registered by the test suite"
+            fields = ("Thing",)
+            default_size = 4
+
+            def build_dataset(self, seed=0, size=None): ...
+            def build_model(self, profile="default", **overrides): ...
+            def load_model(self, directory): ...
+            def weak_label(self, dataset): ...
+            def evaluate(self, model, dataset): ...
+
+        try:
+            assert "test-custom-task" in task_names()
+            assert isinstance(get_task("test-custom-task"), Custom)
+        finally:
+            _REGISTRY.pop("test-custom-task", None)
+
+    @pytest.mark.parametrize(
+        "attrs,match",
+        [
+            ({"name": ""}, "non-empty"),
+            ({"kind": "regression"}, "unknown kind"),
+            ({"fields": ()}, "no output fields"),
+            (
+                {"kind": "classification", "fields": ("Label",), "labels": ("x",)},
+                ">= 2 labels",
+            ),
+            ({"default_size": 0}, "positive default_size"),
+        ],
+    )
+    def test_structural_validation(self, attrs, match):
+        namespace = {
+            "name": "test-invalid",
+            "kind": "extraction",
+            "description": "structurally broken",
+            "fields": ("Thing",),
+            "labels": (),
+            "default_size": 4,
+            **attrs,
+        }
+        for hook in (
+            "build_dataset",
+            "build_model",
+            "load_model",
+            "weak_label",
+            "evaluate",
+        ):
+            namespace[hook] = lambda self, *a, **k: None
+        Broken = type("Broken", (Task,), namespace)
+        with pytest.raises(TaskRegistryError, match=match):
+            register_task(Broken)
+        assert "test-invalid" not in _REGISTRY
+
+
+class TestCli:
+    def test_unknown_task_exits_2(self, capsys, tmp_path):
+        code = main(
+            ["train", "--task", "bogus", "--out", str(tmp_path / "model")]
+        )
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "TaskRegistryError" in err
+        assert "bogus" in err
+
+    def test_unknown_task_on_extract_exits_2(self, capsys, tmp_path):
+        code = main(
+            [
+                "extract",
+                "--task",
+                "bogus",
+                "--model",
+                str(tmp_path / "missing"),
+                "--text",
+                "x",
+            ]
+        )
+        assert code == 2
+        assert "TaskRegistryError" in capsys.readouterr().err
+
+    def test_tasks_list_names_every_task(self, capsys):
+        assert main(["tasks", "list"]) == 0
+        out = capsys.readouterr().out
+        for name in task_names():
+            assert name in out
+
+
+class TestLazyImports:
+    """``import repro`` must not pay for any task implementation."""
+
+    def _run(self, code: str) -> str:
+        env = dict(os.environ)
+        env["PYTHONPATH"] = SRC_DIR + os.pathsep + env.get("PYTHONPATH", "")
+        return subprocess.check_output(
+            [sys.executable, "-c", code], env=env, text=True
+        )
+
+    def test_import_repro_loads_no_task_impls(self):
+        out = self._run(
+            "import sys, repro; "
+            "print(sorted(m for m in sys.modules "
+            "if m.startswith('repro.tasks')))"
+        )
+        loaded = set(eval(out))
+        assert loaded == {
+            "repro.tasks",
+            "repro.tasks.base",
+            "repro.tasks.registry",
+            "repro.tasks.weak",
+        }, loaded
+
+    def test_get_task_imports_only_the_requested_module(self):
+        out = self._run(
+            "import sys; from repro.tasks import get_task; "
+            "get_task('netzero-target'); "
+            "print(sorted(m for m in sys.modules "
+            "if m.startswith('repro.tasks.') "
+            "and m.split('.')[-1] in "
+            "('goalspotter', 'taxonomy', 'netzero', 'initiative')))"
+        )
+        assert eval(out) == ["repro.tasks.netzero"]

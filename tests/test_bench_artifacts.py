@@ -193,3 +193,54 @@ class TestKgArtifact:
         assert report["findings"] == report["injected_events"]
         assert report["drift_precision"] == 1.0
         assert report["drift_recall"] == 1.0
+
+
+@pytest.mark.tasks
+class TestTasksArtifact:
+    REQUIRED_TASKS = {
+        "goalspotter",
+        "taxonomy-kpi",
+        "netzero-target",
+        "initiative-sentence",
+    }
+
+    def test_schema(self):
+        report = load_artifact("BENCH_tasks.json")
+        assert set(report) == {
+            "config",
+            "cpu_count",
+            "tasks",
+            "all_identical",
+        }
+        assert report["config"]["eval_repeat"] >= 1
+        assert self.REQUIRED_TASKS <= set(report["tasks"])
+        for name, entry in report["tasks"].items():
+            assert set(entry) == {
+                "kind",
+                "train_examples",
+                "train_seconds",
+                "train_examples_per_second",
+                "infer_texts",
+                "infer_seconds",
+                "infer_texts_per_second",
+                "weak_coverage",
+                "metrics",
+                "conformance",
+            }, name
+            assert entry["kind"] in ("extraction", "classification")
+            assert set(entry["conformance"]) == {
+                "batched_equals_sequential",
+                "parallel_equals_direct",
+            }
+
+    def test_headline_claims_hold(self):
+        """Every registered task trains and serves through the shared
+        substrate with bitwise-identical batched/sequential/parallel
+        rows — the committed evidence behind README §task-registry."""
+        report = load_artifact("BENCH_tasks.json")
+        assert report["all_identical"] is True
+        for name, entry in report["tasks"].items():
+            assert entry["train_examples_per_second"] > 0, name
+            assert entry["infer_texts_per_second"] > 0, name
+            assert 0.0 < entry["weak_coverage"] <= 1.0, name
+            assert all(entry["conformance"].values()), name

@@ -23,8 +23,10 @@ EXPECTED_RUNTIME_PARALLEL_EXPORTS = (
     "Shard",
     "ShardResult",
     "ShardTask",
+    "broadcast_classifier",
     "broadcast_extractor",
     "broadcast_pipeline",
+    "classify_batch_parallel",
     "estimate_report_cost",
     "estimate_text_cost",
     "extract_batch_parallel",
@@ -41,6 +43,15 @@ EXPECTED_SERVE_PARALLEL_EXPORTS = (
     "extract_batch_parallel",
     "process_reports_parallel",
     "resolve_workers",
+)
+
+#: The light task-registry surface re-exported from the top-level package.
+EXPECTED_TASKS_EXPORTS = (
+    "Task",
+    "TaskRegistryError",
+    "get_task",
+    "register_task",
+    "task_names",
 )
 
 
@@ -126,3 +137,27 @@ class TestParallelReExports:
         for name in EXPECTED_SERVE_PARALLEL_EXPORTS:
             assert name in serve.__all__, name
             assert getattr(serve, name) is getattr(parallel, name), name
+
+
+class TestTasksReExports:
+    def test_tasks_package_surface(self):
+        import repro.tasks as tasks
+
+        for name in EXPECTED_TASKS_EXPORTS:
+            assert name in tasks.__all__, name
+
+    def test_top_level_reexports_registry(self):
+        import repro.tasks as tasks
+
+        for name in EXPECTED_TASKS_EXPORTS:
+            if name == "TaskRegistryError":
+                continue  # lives on repro.runtime, not the top level
+            assert name in repro.__all__, name
+            assert getattr(repro, name) is getattr(tasks, name), name
+
+    def test_runtime_exports_task_registry_error(self):
+        import repro.runtime as runtime
+        from repro.runtime.errors import TaskRegistryError
+
+        assert "TaskRegistryError" in runtime.__all__
+        assert runtime.TaskRegistryError is TaskRegistryError
