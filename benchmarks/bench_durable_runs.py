@@ -1,0 +1,268 @@
+"""Clean-path overhead of the durable run journal (DESIGN §6i).
+
+The run journal buys crash-safety with a WAL append + fsync per
+committed segment; this bench measures what that costs when nothing
+crashes, and re-asserts the tentpole guarantee in-bench:
+
+* **clean-path overhead** — the same corpus through the same segment
+  plan with and without the journal (``run_batch`` per segment span vs
+  ``run_journaled``), timed in paired order-alternated rounds; the
+  committed artifact gates the cleanest round's ratio below 5% per
+  task, isolating what the WAL itself costs;
+* **kill + resume identity** — a run killed at a journal boundary and
+  resumed must produce output byte-identical to the uninterrupted run;
+* **workers=2 identity** — the supervised pool path must match the
+  sequential journaled path byte-for-byte.
+
+Writes ``BENCH_durable_runs.json`` at the repo root (pinned by
+``tests/test_bench_artifacts.py``).
+
+Run standalone::
+
+    PYTHONPATH=src python benchmarks/bench_durable_runs.py
+
+Two separable costs are reported. ``overhead_ratio`` (gated) compares
+journaled execution against the identical segmented compute without a
+journal — the delta is the WAL itself: digests, appends, fsyncs.
+``monolithic_ratio`` (informational) compares against one whole-corpus
+``run_batch`` call; it folds in the cost of *chunking* inference into
+independently committable segments, which is the crash-window/
+throughput knob (``--journal-segment``), not journal overhead — the
+tiny numpy models here pay per-op Python dispatch per chunk, so small
+segments inflate it far beyond what a real encoder would see.
+
+Knobs: ``REPRO_BENCH_DURABLE_REPEAT`` (base corpus tiling, default 48),
+``REPRO_BENCH_DURABLE_ROUNDS`` (best-of-N timing rounds, default 5),
+``REPRO_BENCH_DURABLE_SEGMENT`` (base items per segment, default 96);
+both bases are multiplied by the per-task scale in ``BENCH_TASKS``
+(each task entry records its effective ``segment_items``).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import statistics
+import tempfile
+import time
+from pathlib import Path
+
+import pytest
+
+from benchmarks.common import env_int
+from repro.runtime.errors import ReproError
+from repro.runtime.parallel import estimate_text_cost
+from repro.runtime.resilience import FaultInjector, FaultSpec
+from repro.runtime.supervisor import plan_segments
+from repro.tasks import get_task
+
+RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_durable_runs.json"
+
+#: The overhead gate: journaled clean path within 5% of the plain path.
+OVERHEAD_BOUND = 1.05
+
+#: One task of each kind, matching the durable test suite. The scale
+#: factor multiplies both the corpus tiling and the segment size so
+#: each committed segment carries comparable compute across kinds —
+#: classification is ~7x faster per text than extraction, and a
+#: sub-5% gate needs segments big enough to dwarf a slow fsync.
+BENCH_TASKS = (("goalspotter", 1), ("netzero-target", 6))
+
+TRAIN_SIZE = 24
+
+
+def _best_of(rounds: int, fn) -> float:
+    best = float("inf")
+    for __ in range(rounds):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _timed(fn) -> float:
+    start = time.perf_counter()
+    fn()
+    return time.perf_counter() - start
+
+
+def _paired_ratios(rounds: int, plain_fn, journaled_fn) -> dict:
+    """Head-to-head rounds: each round times both arms back to back.
+
+    Adjacent-in-time pairing cancels host-load drift that independent
+    best-of-N cannot (each arm's min may land in different weather),
+    and alternating which arm goes first cancels any steady slowdown
+    within a round. The gate uses the *cleanest* round (min ratio) —
+    the paired analogue of best-of-N timing: noise only ever inflates
+    a round, so the smallest observed ratio is the best estimate of
+    the true overhead. The median is reported alongside.
+    """
+    ratios = []
+    plain_best = journaled_best = float("inf")
+    for index in range(rounds):
+        if index % 2 == 0:
+            plain_seconds = _timed(plain_fn)
+            journaled_seconds = _timed(journaled_fn)
+        else:
+            journaled_seconds = _timed(journaled_fn)
+            plain_seconds = _timed(plain_fn)
+        ratios.append(journaled_seconds / plain_seconds)
+        plain_best = min(plain_best, plain_seconds)
+        journaled_best = min(journaled_best, journaled_seconds)
+    return {
+        "plain_seconds": plain_best,
+        "journaled_seconds": journaled_best,
+        "overhead_ratio": min(ratios),
+        "overhead_ratio_median": statistics.median(ratios),
+    }
+
+
+def _bench_one_task(
+    name: str, repeat: int, rounds: int, segment_items: int
+) -> dict:
+    task = get_task(name)
+    recipe = task.golden_recipe()
+    train = task.build_dataset(seed=recipe.train_seed, size=TRAIN_SIZE)
+    model = task.build_model("tiny").fit(train)
+    corpus = task.build_dataset(seed=recipe.eval_seed, size=recipe.eval_size)
+    texts = [o.text for o in corpus.objectives] * repeat
+
+    baseline = model.run_batch(texts)  # also warms BPE/normalization caches
+    monolithic_seconds = _best_of(rounds, lambda: model.run_batch(texts))
+
+    # Fast tasks get extra rounds: the WAL delta is a few ms, so the
+    # shorter an arm runs, the more rounds min-of-N needs to shake
+    # scheduler noise out of a sub-5% gate.
+    task_rounds = max(rounds, min(20, int(3.0 / max(monolithic_seconds, 1e-9))))
+
+    # The no-journal arm of the gate: identical segment plan, no WAL.
+    spans = plan_segments(
+        [estimate_text_cost(text) for text in texts], segment_items
+    )
+
+    def segmented_plain():
+        for span in spans:
+            model.run_batch(texts[span.start : span.stop])
+
+    def journaled(run_dir, **kwargs) -> list[dict]:
+        kwargs.setdefault("segment_items", segment_items)
+        pairs = model.run_journaled(texts, run_dir, **kwargs)
+        return [row for row, __ in pairs]
+
+    with tempfile.TemporaryDirectory() as tmp:
+        counter = iter(range(10_000))
+
+        def clean_run():
+            journaled(Path(tmp) / f"clean-{next(counter)}")
+
+        timing = _paired_ratios(task_rounds, segmented_plain, clean_run)
+        plain_seconds = timing["plain_seconds"]
+        journaled_seconds = timing["journaled_seconds"]
+
+        num_segments = len(spans)
+
+        # Kill at a mid-run journal boundary, then resume to completion.
+        kill_dir = Path(tmp) / "kill"
+        injector = FaultInjector(
+            [
+                FaultSpec(
+                    stage="journal_commit",
+                    error="model",
+                    nth_calls=(max(1, num_segments // 2),),
+                )
+            ],
+            seed=0,
+        )
+        killed = False
+        try:
+            model.run_journaled(
+                texts,
+                kill_dir,
+                segment_items=segment_items,
+                fault_injector=injector,
+            )
+        except ReproError:
+            killed = True
+        resumed = journaled(kill_dir)
+
+        pooled = journaled(Path(tmp) / "pooled", workers=2)
+
+    overhead = timing["overhead_ratio"]
+    return {
+        "kind": task.kind,
+        "texts": len(texts),
+        "segments": num_segments,
+        "segment_items": segment_items,
+        "rounds": task_rounds,
+        "plain_seconds": plain_seconds,
+        "journaled_seconds": journaled_seconds,
+        "monolithic_seconds": monolithic_seconds,
+        "overhead_ratio": overhead,
+        "overhead_ratio_median": timing["overhead_ratio_median"],
+        "monolithic_ratio": (
+            journaled_seconds / monolithic_seconds
+            if monolithic_seconds > 0
+            else 1.0
+        ),
+        "texts_per_second": (
+            len(texts) / journaled_seconds if journaled_seconds > 0 else 0.0
+        ),
+        "overhead_ok": overhead < OVERHEAD_BOUND,
+        "killed_mid_run": killed,
+        "kill_resume_identical": json.dumps(resumed) == json.dumps(baseline),
+        "workers2_identical": json.dumps(pooled) == json.dumps(baseline),
+    }
+
+
+def run_durable_bench() -> dict:
+    """Measure journal overhead and re-prove the identities in-bench."""
+    repeat = env_int("REPRO_BENCH_DURABLE_REPEAT", 48)
+    rounds = env_int("REPRO_BENCH_DURABLE_ROUNDS", 5)
+    segment_items = env_int("REPRO_BENCH_DURABLE_SEGMENT", 96)
+    per_task = {
+        name: _bench_one_task(
+            name, repeat * scale, rounds, segment_items * scale
+        )
+        for name, scale in BENCH_TASKS
+    }
+    report = {
+        "config": {
+            "repeat": repeat,
+            "rounds": rounds,
+            "segment_items": segment_items,
+            "overhead_bound": OVERHEAD_BOUND,
+            "profile": "tiny",
+        },
+        "cpu_count": os.cpu_count() or 1,
+        "tasks": per_task,
+        "overhead_ok": all(t["overhead_ok"] for t in per_task.values()),
+        "all_identical": all(
+            t["kill_resume_identical"] and t["workers2_identical"]
+            for t in per_task.values()
+        ),
+    }
+    RESULT_PATH.write_text(json.dumps(report, indent=2) + "\n")
+    return report
+
+
+@pytest.mark.benchmark(group="durable")
+@pytest.mark.durable
+def test_durable_runs_overhead(benchmark):
+    report = benchmark.pedantic(run_durable_bench, iterations=1, rounds=1)
+    print()
+    print(json.dumps(report, indent=2))
+    for entry in report["tasks"].values():
+        assert entry["killed_mid_run"] is True
+        assert entry["kill_resume_identical"] is True
+        assert entry["workers2_identical"] is True
+    # The journal must stay effectively free on the clean path.
+    assert report["overhead_ok"], (
+        "journal overhead exceeded the 5% clean-path bound: "
+        + json.dumps(
+            {k: v["overhead_ratio"] for k, v in report["tasks"].items()}
+        )
+    )
+
+
+if __name__ == "__main__":
+    print(json.dumps(run_durable_bench(), indent=2))

@@ -40,17 +40,23 @@ from repro.datasets.sustainability import build_sustainability_goals
 from repro.datasets.taxonomy_kpi import build_taxonomy_kpi
 from repro.eval import evaluate_extractions, render_table
 from repro.models.training import FineTuneConfig
-from repro.runtime.errors import InputError, ReproError
+from repro.runtime.errors import InputError, ReproError, RunInterrupted
 from repro.runtime.resilience import MAX_BLOCK_CHARS, RetryPolicy, run_stage
 
-#: Exit codes of ``repro extract`` (see DESIGN.md "Failure model"):
-#: 0 = success (possibly partial, with a warning on stderr),
-#: 2 = input error, 3 = model/numerical error.
+#: Exit codes of ``repro extract`` / ``repro train`` (see DESIGN.md
+#: "Failure model"): 0 = success (possibly partial, with a warning on
+#: stderr), 2 = input error, 3 = model/numerical error, 4 = interrupted
+#: by SIGINT/SIGTERM after a graceful drain — all in-flight work was
+#: committed (journal segment or training checkpoint) and re-running
+#: the same command with ``--resume`` continues where it left off.
 EXIT_INPUT_ERROR = 2
 EXIT_MODEL_ERROR = 3
+EXIT_INTERRUPTED = 4
 
 
 def _exit_code_for(error: ReproError) -> int:
+    if isinstance(error, RunInterrupted):
+        return EXIT_INTERRUPTED
     return EXIT_INPUT_ERROR if isinstance(error, InputError) else EXIT_MODEL_ERROR
 
 def _workers_arg(value: str) -> int | str:
@@ -144,8 +150,24 @@ def _cmd_train(args: argparse.Namespace) -> int:
             resume=args.resume,
         )
     print(f"training on {len(train)} objectives ...")
+    from repro.runtime.supervisor import GracefulShutdown
+
     try:
-        model.fit(train, checkpoint=checkpoint)
+        if checkpoint is not None:
+            # First SIGINT/SIGTERM drains: the next cadence poll commits
+            # a checkpoint, then fit raises RunInterrupted (exit 4).
+            with GracefulShutdown(
+                on_signal=checkpoint.request_drain
+            ) as shutdown:
+                model.fit(train, checkpoint=checkpoint)
+        else:
+            model.fit(train)
+    except RunInterrupted as error:
+        print(
+            f"interrupted ({shutdown.signal_name}): {error}",
+            file=sys.stderr,
+        )
+        return EXIT_INTERRUPTED
     except ReproError as error:
         print(
             f"error [{type(error).__name__}]: {error}", file=sys.stderr
@@ -232,7 +254,22 @@ def _cmd_extract(args: argparse.Namespace) -> int:
                     f"(limit {MAX_BLOCK_CHARS})",
                     stage="validate",
                 )
-        if task.kind == "extraction":
+        if args.run_dir:
+            from repro.runtime.supervisor import GracefulShutdown
+
+            # Durable journaled run: each committed segment survives a
+            # crash; SIGINT/SIGTERM drains in-flight segments first.
+            with GracefulShutdown() as shutdown:
+                results = model.run_journaled(
+                    texts,
+                    args.run_dir,
+                    workers=args.workers,
+                    resume=args.resume,
+                    segment_items=args.journal_segment,
+                    on_error=args.on_error,
+                    drain_event=shutdown.event,
+                )
+        elif task.kind == "extraction":
             results = _extract_resilient(
                 extractor, texts, args.on_error, policy, workers=args.workers
             )
@@ -253,6 +290,9 @@ def _cmd_extract(args: argparse.Namespace) -> int:
             if status != "ok":
                 degraded += 1
             print(json.dumps(payload))
+    except RunInterrupted as error:
+        print(f"interrupted: {error}", file=sys.stderr)
+        return EXIT_INTERRUPTED
     except ReproError as error:
         stage = error.stage or "extract"
         print(
@@ -813,6 +853,28 @@ def build_parser() -> argparse.ArgumentParser:
         default=1,
         help="worker processes for batch extraction ('auto' = one per "
         "CPU core); results are bitwise-identical to --workers 1",
+    )
+    extract.add_argument(
+        "--run-dir",
+        default=None,
+        help="durable run directory: journal every segment so a crashed "
+        "or interrupted run resumes exactly once (output is "
+        "bitwise-identical to an uninterrupted run)",
+    )
+    extract.add_argument(
+        "--resume",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="with --run-dir: replay the journal and skip committed "
+        "segments (default on; --no-resume wipes the run directory)",
+    )
+    extract.add_argument(
+        "--journal-segment",
+        type=int,
+        default=16,
+        metavar="N",
+        help="with --run-dir: target inputs per journal segment "
+        "(default 16); smaller segments commit more often",
     )
     extract.set_defaults(func=_cmd_extract)
 

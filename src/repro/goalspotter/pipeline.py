@@ -74,6 +74,33 @@ class ExtractedRecord:
         ]
 
 
+def record_to_payload(record: ExtractedRecord) -> dict:
+    """JSON-ready view of a record for the run journal.
+
+    Field order and value types survive a compact-JSON round trip
+    exactly (``details`` keeps insertion order, ``score`` uses Python's
+    shortest-repr float coding), so
+    ``record_from_payload(json.loads(json.dumps(record_to_payload(r))))``
+    equals ``r`` — the property the durable-run bitwise guarantee rests
+    on.
+    """
+    return dataclasses.asdict(record)
+
+
+def record_from_payload(payload: dict) -> ExtractedRecord:
+    """Rebuild a record persisted by :func:`record_to_payload`."""
+    return ExtractedRecord(
+        company=payload["company"],
+        report_id=payload["report_id"],
+        page=int(payload["page"]),
+        objective=payload["objective"],
+        details=dict(payload["details"]),
+        score=float(payload["score"]),
+        status=payload.get("status", STATUS_OK),
+        reporting_year=payload.get("reporting_year"),
+    )
+
+
 class GoalSpotter:
     """Detection + detail extraction over sustainability reports.
 
@@ -255,6 +282,53 @@ class GoalSpotter:
             fast_path=fast_path,
             quarantined=len(self.quarantine) - quarantined_before,
         )
+        return records
+
+    def process_reports_durable(
+        self,
+        reports: Sequence[SustainabilityReport],
+        run_dir,
+        *,
+        on_error: str | None = None,
+        workers: int = 1,
+        resume: bool = True,
+        segment_items: int = 4,
+        **kwargs,
+    ) -> list[ExtractedRecord]:
+        """Journaled corpus run: crash-safe, exactly-once, resumable.
+
+        Like :meth:`process_reports`, but every completed segment of
+        ~``segment_items`` reports commits to a crash-safe run journal
+        in ``run_dir`` (:mod:`repro.runtime.journal`); re-running with
+        the same directory and ``resume=True`` skips committed work and
+        produces records — and quarantine entries — bitwise-identical to
+        an uninterrupted run. ``workers>1`` executes under the
+        lease-supervised pool (:class:`repro.runtime.supervisor.
+        RunSupervisor`); extra ``kwargs`` pass through to
+        :func:`repro.runtime.supervisor.run_durable_reports`
+        (``config``, ``fault_injector``, ``drain_event``, ...).
+        """
+        # Deferred import: repro.runtime.supervisor needs this module.
+        from repro.runtime.supervisor import run_durable_reports
+
+        result = run_durable_reports(
+            self,
+            reports,
+            run_dir,
+            on_error=on_error,
+            workers=workers,
+            resume=resume,
+            segment_items=segment_items,
+            **kwargs,
+        )
+        records = [
+            record_from_payload(payload) for payload in result.payloads
+        ]
+        self.last_run_stats = {
+            "records": len(records),
+            "on_error": on_error if on_error is not None else self.on_error,
+            "durable": result.stats,
+        }
         return records
 
     # -- batched fast path --------------------------------------------------

@@ -42,6 +42,25 @@ from repro.text.words import WordTokenizer
 MANIFEST_KIND = "text_label_classifier"
 
 
+def classification_rows(
+    labels: Sequence[str], probabilities: np.ndarray
+) -> list[dict[str, str]]:
+    """Fold probability rows into the registry's classification rows.
+
+    One ``{"Label": name, "Score": repr(prob)}`` dict per input row —
+    ``repr`` round-trips the winning probability exactly, so string
+    equality of rows is bitwise equality of the scores. Shared by
+    :class:`repro.tasks.models.ClassificationModel` and the durable-run
+    segment workers, which must produce byte-identical rows from a
+    broadcast-restored classifier.
+    """
+    rows: list[dict[str, str]] = []
+    for row in probabilities:
+        best = int(np.argmax(row))
+        rows.append({"Label": labels[best], "Score": repr(float(row[best]))})
+    return rows
+
+
 @dataclasses.dataclass(frozen=True)
 class TextClassifierConfig:
     """Configuration of :class:`TextLabelClassifier`.

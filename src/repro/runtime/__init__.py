@@ -24,6 +24,14 @@ path fast, fault-tolerant, and measurable:
   cache (keys pin token ids + weight fingerprint + numeric variant;
   bounded, seeded-deterministic eviction; hits are bitwise-identical to
   recomputation thanks to packing invariance);
+* :mod:`repro.runtime.journal` — crash-safe run journal for corpus
+  inference: manifest-bound, checksummed JSONL WAL with fsync'd atomic
+  segment commits and exactly-once resume (resumed output is
+  bitwise-identical to an uninterrupted run);
+* :mod:`repro.runtime.supervisor` — lease-based worker supervision over
+  journaled runs: hung-worker reaping with re-grant, a global run
+  deadline, and SIGINT/SIGTERM graceful drain; plus the durable run
+  drivers (``run_durable_rows``, ``run_durable_reports``);
 * :func:`repro.nn.module.inference_mode` / :func:`repro.nn.module.numeric_guard`
   (re-exported here) — backward-cache-free prediction and opt-in NaN/inf
   guards.
@@ -52,15 +60,24 @@ from repro.runtime.errors import (
     QuantizationError,
     ReplicaCrashError,
     ReproError,
+    RunInterrupted,
     StageTimeout,
     TaskRegistryError,
     classify_error,
+    error_from_context,
+)
+from repro.runtime.journal import (
+    JournalSegment,
+    RunJournal,
+    input_digest,
+    rows_digest,
 )
 from repro.runtime.parallel import (
     PipelineBroadcast,
     Shard,
     ShardResult,
     ShardTask,
+    WorkerPool,
     broadcast_classifier,
     broadcast_extractor,
     broadcast_pipeline,
@@ -90,6 +107,19 @@ from repro.runtime.resilience import (
     validate_report,
 )
 from repro.runtime.scheduler import BatchPlan, Microbatch, plan_batches
+from repro.runtime.supervisor import (
+    DurableRunResult,
+    GracefulShutdown,
+    Lease,
+    PoolTransport,
+    RunSupervisor,
+    SegmentOutcome,
+    SegmentWork,
+    SupervisorConfig,
+    plan_segments,
+    run_durable_reports,
+    run_durable_rows,
+)
 
 __all__ = [
     "ArtifactError",
@@ -98,15 +128,20 @@ __all__ = [
     "CheckpointManager",
     "CircuitBreaker",
     "CircuitOpenError",
+    "DurableRunResult",
     "FaultInjector",
     "FaultSpec",
+    "GracefulShutdown",
     "InputError",
+    "JournalSegment",
+    "Lease",
     "Microbatch",
     "ModelError",
     "NumericalError",
     "OverloadedError",
     "PerfCounters",
     "PipelineBroadcast",
+    "PoolTransport",
     "QuantizationError",
     "QuarantineEntry",
     "QuarantineQueue",
@@ -114,33 +149,46 @@ __all__ = [
     "ReproError",
     "ResultCache",
     "RetryPolicy",
+    "RunInterrupted",
+    "RunJournal",
     "RunStats",
+    "RunSupervisor",
+    "SegmentOutcome",
+    "SegmentWork",
     "Shard",
     "ShardResult",
     "ShardTask",
     "StageTimeout",
+    "SupervisorConfig",
     "TaskRegistryError",
     "TrainState",
+    "WorkerPool",
     "broadcast_classifier",
     "broadcast_extractor",
     "broadcast_pipeline",
     "classify_batch_parallel",
     "classify_error",
     "config_fingerprint",
+    "error_from_context",
     "estimate_report_cost",
     "estimate_text_cost",
     "extract_batch_parallel",
     "inference_mode",
+    "input_digest",
     "is_inference",
     "map_shards",
     "numeric_guard",
     "numeric_guard_active",
     "plan_batches",
+    "plan_segments",
     "plan_shards",
     "process_reports_parallel",
     "resolve_workers",
     "restore_pipeline",
     "result_key",
+    "rows_digest",
+    "run_durable_reports",
+    "run_durable_rows",
     "run_shard",
     "run_stage",
     "sanitize_report",

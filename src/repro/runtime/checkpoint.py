@@ -56,7 +56,7 @@ from repro.nn.serialize import (
     rng_state,
     set_rng_state,
 )
-from repro.runtime.errors import ArtifactError
+from repro.runtime.errors import ArtifactError, RunInterrupted
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.nn.module import Module
@@ -414,6 +414,11 @@ class CheckpointManager:
         self.rolled_back = False
         #: Saves performed through this manager (observability).
         self.saves = 0
+        #: Set by :meth:`request_drain` (e.g. a SIGINT/SIGTERM handler);
+        #: honored at the next step boundary in :meth:`maybe_save`.
+        self._drain_requested = False
+        #: Step of the checkpoint the drain committed (observability).
+        self.drained_at_step: int | None = None
 
     # -- naming ------------------------------------------------------------
 
@@ -456,6 +461,20 @@ class CheckpointManager:
         if self.fault_injector is not None:
             self.fault_injector.check("train_step")
 
+    # -- graceful drain ----------------------------------------------------
+
+    def request_drain(self) -> None:
+        """Ask the training loop to stop at the next step boundary.
+
+        Safe to call from a signal handler: it only flips a flag. The
+        next :meth:`maybe_save` call then *forces* a checkpoint —
+        regardless of cadence — and raises
+        :class:`~repro.runtime.errors.RunInterrupted` once it is durably
+        published, so the partial run is a valid resume point and the
+        CLI can exit with the documented partial-success code.
+        """
+        self._drain_requested = True
+
     # -- saving ------------------------------------------------------------
 
     def maybe_save(
@@ -480,7 +499,8 @@ class CheckpointManager:
         kill training at any boundary whether or not it checkpoints there.
         """
         self.check_step()
-        if not force and step % self.every != 0:
+        drain = self._drain_requested and not done
+        if not force and not drain and step % self.every != 0:
             return None
         # A done checkpoint is a terminal marker: nothing resumes past it,
         # so it carries only the weights and history, not the optimizer
@@ -498,7 +518,15 @@ class CheckpointManager:
             rng_epoch_start=None if done else rng_epoch_start,
             rng_now=[] if done else capture_rng_states(loop_rng, model),
         )
-        return self.save(state)
+        path = self.save(state)
+        if drain:
+            self.drained_at_step = step
+            raise RunInterrupted(
+                f"training drained at step {step}: checkpoint committed "
+                f"to {path}; resume with --resume to continue",
+                stage="train",
+            )
+        return path
 
     def save(self, state: TrainState) -> Path:
         """Write one checkpoint atomically and publish it as last-good."""

@@ -191,6 +191,21 @@ class ReplicaCrashError(ModelError):
     retryable = False
 
 
+class RunInterrupted(ReproError):
+    """A durable run drained after SIGINT/SIGTERM (or an explicit drain).
+
+    Raised *after* all in-flight work has been committed — training by
+    :meth:`CheckpointManager.maybe_save` once the forced checkpoint is on
+    disk, journaled extraction by the :class:`RunSupervisor` once every
+    in-flight segment has either committed or been abandoned at the drain
+    deadline. The journal/checkpoint left behind is a valid resume point;
+    the CLI maps this to the documented partial-success exit code 4.
+    Deterministic (the signal will not un-arrive), so never retried.
+    """
+
+    retryable = False
+
+
 #: Short names used by the fault injector and CLI to pick an error class.
 ERROR_CLASSES: dict[str, type[ReproError]] = {
     "input": InputError,
@@ -201,6 +216,55 @@ ERROR_CLASSES: dict[str, type[ReproError]] = {
     "artifact": ArtifactError,
     "crash": ReplicaCrashError,
 }
+
+#: Taxonomy classes by their ``__name__`` — the inverse of the tag each
+#: error writes into ``context()["error"]``. Used to rebuild typed errors
+#: from persisted quarantine payloads when a journaled run resumes.
+_TAXONOMY_BY_NAME: dict[str, type[ReproError]] = {
+    cls.__name__: cls
+    for cls in (
+        ReproError,
+        InputError,
+        ModelError,
+        NumericalError,
+        StageTimeout,
+        TaskRegistryError,
+        ArtifactError,
+        CircuitOpenError,
+        QuantizationError,
+        OverloadedError,
+        ReplicaCrashError,
+        RunInterrupted,
+    )
+}
+
+
+def error_from_context(payload: dict) -> ReproError:
+    """Rebuild a typed :class:`ReproError` from a ``context()`` payload.
+
+    The inverse of :meth:`ReproError.context` for journal persistence:
+    class is resolved by name (unknown names fall back to
+    :class:`ReproError`), and provenance / attempt metadata is restored so
+    a quarantine entry replayed from a run journal is indistinguishable
+    from the live one, minus ``__cause__`` (tracebacks are not persisted).
+    """
+    cls = _TAXONOMY_BY_NAME.get(str(payload.get("error")), ReproError)
+    error = cls.__new__(cls)
+    ReproError.__init__(
+        error,
+        str(payload.get("message", "")),
+        stage=payload.get("stage"),
+        report_id=payload.get("report_id"),
+        page=payload.get("page"),
+    )
+    error.attempts = int(payload.get("attempts", 0))
+    error.history = [str(item) for item in payload.get("history", [])]
+    error.injected = bool(payload.get("injected", False))
+    if isinstance(error, ArtifactError):
+        error.path = payload.get("path")
+        error.expected = payload.get("expected")
+        error.actual = payload.get("actual")
+    return error
 
 
 def classify_error(

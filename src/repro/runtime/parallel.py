@@ -66,6 +66,7 @@ __all__ = [
     "Shard",
     "ShardResult",
     "ShardTask",
+    "WorkerPool",
     "broadcast_classifier",
     "broadcast_extractor",
     "broadcast_pipeline",
@@ -457,6 +458,79 @@ def map_shards(
     )
     with context.Pool(processes=min(count, len(tasks))) as pool:
         return pool.map(func, tasks, chunksize=1)
+
+
+# -- supervised async execution -----------------------------------------------
+
+
+class WorkerPool:
+    """Broadcast-initialized process pool with an async submit surface.
+
+    The synchronous entry points in this module (``pool.map``) block
+    until every shard returns, which leaves no room for supervision: a
+    hung worker stalls the whole corpus. ``WorkerPool`` keeps the same
+    one-shot broadcast + initializer contract but hands out
+    ``AsyncResult`` handles, so the :class:`~repro.runtime.supervisor.
+    RunSupervisor` can claim work under leases, poll for completion,
+    detect hung workers, and re-grant their segments — the PR 7
+    at-least-once pattern applied to batch runs.
+
+    Args:
+        broadcast: a :class:`PipelineBroadcast` shipped once at spawn.
+        workers: pool size (submission beyond it queues inside the pool).
+        runner: module-level function applied to each submitted task.
+        initializer: module-level pool initializer taking the pickled
+            broadcast payload (e.g. restores it into a worker global).
+        start_method: multiprocessing start method (default ``fork``
+            where available, else ``spawn``).
+    """
+
+    def __init__(
+        self,
+        broadcast: PipelineBroadcast,
+        *,
+        workers: int,
+        runner: Any,
+        initializer: Any,
+        start_method: str | None = None,
+    ) -> None:
+        self.workers = max(1, int(workers))
+        self._runner = runner
+        payload = pickle.dumps(broadcast, protocol=pickle.HIGHEST_PROTOCOL)
+        context = multiprocessing.get_context(
+            start_method or _default_start_method()
+        )
+        self._pool = context.Pool(
+            processes=self.workers,
+            initializer=initializer,
+            initargs=(payload,),
+        )
+        self._closed = False
+
+    def submit(self, task: Any):
+        """Dispatch one task; returns its ``AsyncResult`` handle."""
+        return self._pool.apply_async(self._runner, (task,))
+
+    def close(self, *, force: bool = False) -> None:
+        """Shut the pool down; ``force`` kills workers instead of waiting.
+
+        ``force=True`` is the hung-worker/deadline path — a graceful
+        close would join forever on a wedged process.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        if force:
+            self._pool.terminate()
+        else:
+            self._pool.close()
+        self._pool.join()
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close(force=exc[0] is not None)
 
 
 # -- the corpus entry point ---------------------------------------------------

@@ -240,6 +240,9 @@ class FaultInjector:
     training runtime — ``train_step`` (every optimizer-step boundary),
     ``checkpoint`` (checkpoint save entry), and ``checkpoint_commit``
     (between a fully-written temp checkpoint and its publication).
+    Durable corpus runs add ``journal_commit`` (segment-commit entry,
+    before anything reaches the WAL) and ``journal_publish`` (between
+    the journal append and its fsync — the torn-tail window).
 
     Fleet-level sites (checked by :class:`repro.serve.FleetRouter`):
     ``replica_crash`` (at dispatch — the selected replica dies mid-flight
@@ -370,6 +373,26 @@ class QuarantineEntry:
             }
         )
         return payload
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "QuarantineEntry":
+        """Rebuild an entry persisted by :meth:`as_dict`.
+
+        The run-journal replay path: quarantined documents survive
+        restarts with their full typed failure provenance (class,
+        message, attempts, history) instead of being retried — minus the
+        original ``__cause__`` traceback, which is not persisted.
+        ``entry.from_dict(entry.as_dict()).as_dict()`` round-trips
+        exactly.
+        """
+        from repro.runtime.errors import error_from_context
+
+        return cls(
+            report_id=str(payload.get("report_id") or ""),
+            company=str(payload.get("company") or ""),
+            stage=str(payload.get("stage") or ""),
+            error=error_from_context(payload),
+        )
 
 
 class QuarantineQueue:

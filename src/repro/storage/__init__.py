@@ -14,6 +14,7 @@ from repro.storage.store import (
     StoredObjective,
     atomic_store_records,
     atomic_store_shards,
+    record_digest,
 )
 from repro.storage.monitor import (
     company_comparison,
@@ -34,6 +35,7 @@ __all__ = [
     "deadline_timeline",
     "horizon_statistics",
     "net_zero_pledges",
+    "record_digest",
     "reduction_targets",
     "specificity_ranking",
 ]

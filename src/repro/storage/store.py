@@ -3,6 +3,8 @@
 from __future__ import annotations
 
 import dataclasses
+import hashlib
+import json
 import os
 import shutil
 import sqlite3
@@ -16,8 +18,10 @@ from repro.normalize import normalize_details
 #: Schema version written to ``PRAGMA user_version``. v2 added the
 #: multi-year provenance columns (``reporting_year``,
 #: ``extractor_fingerprint``) and the ``(company, reporting_year)``
-#: index; v1 databases (user_version 0) are migrated in place on open.
-SCHEMA_VERSION = 2
+#: index; v3 added the content-addressed ``record_digest`` column (and
+#: its index) that makes re-publishing idempotent under durable-run
+#: resume. Older databases are migrated in place on open.
+SCHEMA_VERSION = 3
 
 _SCHEMA = """
 CREATE TABLE IF NOT EXISTS objectives (
@@ -38,10 +42,11 @@ CREATE TABLE IF NOT EXISTS objectives (
     amount_value REAL,
     baseline_year INTEGER,
     deadline_year INTEGER,
-    -- v2 provenance columns (must stay last: v1 -> v2 migration appends
+    -- v2/v3 columns (must stay last, newest last: migrations append
     -- them with ALTER TABLE, and SELECT * order feeds StoredObjective):
     reporting_year INTEGER,
-    extractor_fingerprint TEXT NOT NULL DEFAULT ''
+    extractor_fingerprint TEXT NOT NULL DEFAULT '',
+    record_digest TEXT NOT NULL DEFAULT ''
 );
 CREATE INDEX IF NOT EXISTS idx_objectives_company ON objectives (company);
 CREATE INDEX IF NOT EXISTS idx_objectives_deadline ON objectives (deadline);
@@ -49,13 +54,73 @@ CREATE INDEX IF NOT EXISTS idx_objectives_deadline_year
     ON objectives (deadline_year);
 CREATE INDEX IF NOT EXISTS idx_objectives_company_year
     ON objectives (company, reporting_year);
+CREATE INDEX IF NOT EXISTS idx_objectives_digest
+    ON objectives (record_digest);
 """
 
-#: v2 columns appended by the migration, in schema order.
+#: Columns appended by the v1->v2 and v2->v3 migrations, in schema order.
 _V2_COLUMNS = (
     ("reporting_year", "INTEGER"),
     ("extractor_fingerprint", "TEXT NOT NULL DEFAULT ''"),
 )
+_V3_COLUMNS = (("record_digest", "TEXT NOT NULL DEFAULT ''"),)
+
+def record_digest(
+    record: ExtractedRecord,
+    *,
+    extractor_fingerprint: str = "",
+    ordinal: int = 0,
+) -> str:
+    """Content address of one record for idempotent re-publishing.
+
+    SHA-256 over the record's full identity: provenance (company,
+    report, page, reporting year), content (objective, details in
+    sorted-key order, exact score via ``float.hex``, status), the
+    producing model's weight fingerprint, and ``ordinal`` — the record's
+    occurrence index among byte-identical twins *within one published
+    batch*, which keeps genuine duplicate rows distinct while making a
+    re-publish of the same batch map onto the same digests.
+    """
+    payload = [
+        record.company,
+        record.report_id,
+        int(record.page),
+        getattr(record, "reporting_year", None),
+        record.objective,
+        sorted(record.details.items()),
+        float(record.score).hex(),
+        getattr(record, "status", ""),
+        extractor_fingerprint,
+        int(ordinal),
+    ]
+    return hashlib.sha256(
+        json.dumps(payload, separators=(",", ":")).encode("utf-8")
+    ).hexdigest()
+
+
+def _batch_digests(
+    records: Sequence[ExtractedRecord], extractor_fingerprint: str
+) -> list[str]:
+    """Per-record digests with in-batch occurrence ordinals."""
+    seen: dict[str, int] = {}
+    digests: list[str] = []
+    for record in records:
+        base = record_digest(
+            record, extractor_fingerprint=extractor_fingerprint, ordinal=0
+        )
+        ordinal = seen.get(base, 0)
+        seen[base] = ordinal + 1
+        digests.append(
+            base
+            if ordinal == 0
+            else record_digest(
+                record,
+                extractor_fingerprint=extractor_fingerprint,
+                ordinal=ordinal,
+            )
+        )
+    return digests
+
 
 _FIELD_COLUMNS = {
     "Action": "action",
@@ -88,6 +153,7 @@ class StoredObjective:
     deadline_year: int | None = None
     reporting_year: int | None = None
     extractor_fingerprint: str = ""
+    record_digest: str = ""  # v3: content address ('' on pre-v3 rows)
 
     @property
     def details(self) -> dict[str, str]:
@@ -122,11 +188,13 @@ class ObjectiveStore:
         self._conn.commit()
 
     def _migrate(self) -> None:
-        """Bring a pre-v2 database up to the current schema in place.
+        """Bring an older database up to the current schema in place.
 
         v1 databases carry ``user_version`` 0 and lack the provenance
-        columns; they gain them via ``ALTER TABLE ADD COLUMN`` (appended
-        last, preserving ``SELECT *`` order) with NULL/''-backfill. The
+        columns; v2 lacks ``record_digest``. Missing columns are added
+        via ``ALTER TABLE ADD COLUMN`` (appended last, preserving
+        ``SELECT *`` order) with NULL/''-backfill — pre-v3 rows keep an
+        empty digest, which the dedupe path never matches against. The
         index creation itself is idempotent via ``_SCHEMA``.
         """
         version = int(
@@ -141,13 +209,13 @@ class ObjectiveStore:
             )
         }
         if "objectives" not in tables:
-            return  # fresh database: _SCHEMA creates everything at v2
+            return  # fresh database: _SCHEMA creates everything current
         existing = {
             row[1]
             for row in self._conn.execute("PRAGMA table_info(objectives)")
         }
         with self._conn:
-            for column, decl in _V2_COLUMNS:
+            for column, decl in _V2_COLUMNS + _V3_COLUMNS:
                 if column not in existing:
                     self._conn.execute(
                         f"ALTER TABLE objectives ADD COLUMN {column} {decl}"
@@ -181,6 +249,7 @@ class ObjectiveStore:
         records: Iterable[ExtractedRecord],
         *,
         extractor_fingerprint: str = "",
+        dedupe: bool = False,
     ) -> int:
         """Insert pipeline records (normalizing on the way in).
 
@@ -189,12 +258,36 @@ class ObjectiveStore:
         (:meth:`repro.nn.module.Module.fingerprint`) so downstream
         multi-year analysis can tell extractor upgrades apart from
         objective drift. The per-record ``reporting_year`` (when the
-        record carries one) lands in the v2 column.
+        record carries one) lands in the v2 column; every row also gets
+        a content-addressed :func:`record_digest` (v3 column).
 
-        Returns the number of rows added.
+        With ``dedupe=True`` records whose digest is already in the
+        table are skipped — the durable-run resume path, where a crashed
+        run may re-publish a batch it already committed. Batches with
+        genuinely identical twin rows stay intact (occurrence ordinals
+        keep the twins' digests distinct).
+
+        Returns the number of rows actually added.
         """
+        records = list(records)
+        digests = _batch_digests(records, extractor_fingerprint)
+        if dedupe:
+            existing = {
+                row[0]
+                for row in self._conn.execute(
+                    "SELECT record_digest FROM objectives"
+                    " WHERE record_digest != ''"
+                )
+            }
+            keep = [
+                index
+                for index in range(len(records))
+                if digests[index] not in existing
+            ]
+            records = [records[index] for index in keep]
+            digests = [digests[index] for index in keep]
         rows = []
-        for record in records:
+        for record, digest in zip(records, digests):
             normalized = normalize_details(record.details)
             rows.append(
                 (
@@ -215,6 +308,7 @@ class ObjectiveStore:
                     normalized.deadline_year,
                     getattr(record, "reporting_year", None),
                     extractor_fingerprint,
+                    digest,
                 )
             )
         with self._conn:
@@ -223,8 +317,9 @@ class ObjectiveStore:
                 " action, amount, qualifier, baseline, deadline, score,"
                 " action_direction, amount_kind, amount_value,"
                 " baseline_year, deadline_year,"
-                " reporting_year, extractor_fingerprint)"
-                " VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+                " reporting_year, extractor_fingerprint, record_digest)"
+                " VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?,"
+                " ?)",
                 rows,
             )
         return len(rows)
@@ -357,6 +452,8 @@ def atomic_store_records(
     *,
     retry_policy=None,
     fault_injector=None,
+    dedupe: bool = False,
+    extractor_fingerprint: str = "",
     sleep: Callable[[float], None] = time.sleep,
 ) -> int:
     """Insert ``records`` into the store at ``path`` atomically.
@@ -370,7 +467,12 @@ def atomic_store_records(
     ``"store_commit"`` (after the temp write, before the rename) for crash
     simulation.
 
-    Returns the number of rows added.
+    ``dedupe=True`` makes the call idempotent: rows whose
+    content-addressed :func:`record_digest` already exists in the store
+    are skipped, so a resumed durable run re-publishing a batch it
+    already committed never double-inserts.
+
+    Returns the number of rows actually added.
     """
     from repro.runtime.resilience import run_stage
 
@@ -386,7 +488,11 @@ def atomic_store_records(
             if path.exists():
                 shutil.copy2(path, tmp)
             with ObjectiveStore(tmp) as store:
-                added = store.insert_records(records)
+                added = store.insert_records(
+                    records,
+                    extractor_fingerprint=extractor_fingerprint,
+                    dedupe=dedupe,
+                )
             with open(tmp, "rb") as handle:
                 os.fsync(handle.fileno())
             if fault_injector is not None:
@@ -417,6 +523,8 @@ def atomic_store_shards(
     *,
     retry_policy=None,
     fault_injector=None,
+    dedupe: bool = False,
+    extractor_fingerprint: str = "",
     sleep: Callable[[float], None] = time.sleep,
 ) -> list[int]:
     """Commit per-shard record batches, one atomic write per shard.
@@ -440,6 +548,8 @@ def atomic_store_shards(
                 records,
                 retry_policy=retry_policy,
                 fault_injector=fault_injector,
+                dedupe=dedupe,
+                extractor_fingerprint=extractor_fingerprint,
                 sleep=sleep,
             )
         )

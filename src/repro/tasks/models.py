@@ -34,7 +34,11 @@ from repro.core.extractor import ExtractorConfig, WeakSupervisionExtractor
 from repro.datasets.base import Dataset
 from repro.eval.classification import evaluate_classification
 from repro.eval.metrics import evaluate_extractions
-from repro.models.text_classifier import TextClassifierConfig, TextLabelClassifier
+from repro.models.text_classifier import (
+    TextClassifierConfig,
+    TextLabelClassifier,
+    classification_rows,
+)
 from repro.models.training import FineTuneConfig
 from repro.runtime.errors import InputError, ReproError
 from repro.runtime.parallel import (
@@ -162,6 +166,55 @@ class TaskModel(abc.ABC):
                 results.append((self.empty_row(), status))
         return results
 
+    # -- durable runs ------------------------------------------------------
+
+    def run_journaled(
+        self,
+        texts: Sequence[str],
+        run_dir,
+        *,
+        workers: int = 1,
+        resume: bool = True,
+        segment_items: int | None = None,
+        on_error: str = "raise",
+        **kwargs,
+    ) -> list[tuple[dict[str, str], str]]:
+        """Crash-safe ``run_resilient``: journaled, resumable, supervised.
+
+        Segments of the corpus commit to a run journal in ``run_dir`` as
+        they finish (:mod:`repro.runtime.journal`); re-running with the
+        same directory and ``resume=True`` skips committed segments and
+        returns ``(row, status)`` pairs bitwise-identical to an
+        uninterrupted run — for extraction *and* classification tasks
+        alike. ``workers>1`` executes under the lease-supervised worker
+        pool; extra ``kwargs`` reach
+        :func:`repro.runtime.supervisor.run_durable_rows` (``config``,
+        ``fault_injector``, ``drain_event``, ...).
+        """
+        from repro.runtime.supervisor import (
+            DEFAULT_SEGMENT_ITEMS,
+            run_durable_rows,
+        )
+
+        if on_error not in ON_ERROR_POLICIES:
+            raise InputError(
+                f"unknown on_error {on_error!r}; use {ON_ERROR_POLICIES}",
+                stage="tasks",
+            )
+        result = run_durable_rows(
+            self.backend,
+            self.kind,
+            list(texts),
+            run_dir,
+            workers=resolve_workers(workers),
+            resume=resume,
+            segment_items=segment_items or DEFAULT_SEGMENT_ITEMS,
+            on_error=on_error,
+            fields=self.fields,
+            **kwargs,
+        )
+        return result.pairs
+
     # -- serving -----------------------------------------------------------
 
     def serving_engine(self, **kwargs):
@@ -254,15 +307,7 @@ class ClassificationModel(TaskModel):
         return self
 
     def _rows(self, probabilities: np.ndarray) -> list[dict[str, str]]:
-        rows = []
-        for row in probabilities:
-            best = int(np.argmax(row))
-            # repr round-trips the float exactly: string-equal rows
-            # imply bitwise-equal probabilities.
-            rows.append(
-                {"Label": self.labels[best], "Score": repr(float(row[best]))}
-            )
-        return rows
+        return classification_rows(self.labels, probabilities)
 
     def predict_proba(self, texts: Sequence[str]) -> np.ndarray:
         return self.backend.predict_proba(list(texts))

@@ -698,3 +698,65 @@ class TestManifestUnits:
         )
         assert not stale.exists()
         shutil.rmtree(directory)
+
+
+# -- graceful drain (ISSUE 10): SIGINT-era commit-then-stop -------------------
+
+
+@pytest.mark.durable
+class TestGracefulDrain:
+    """``request_drain`` commits at the next step and raises, off-cadence."""
+
+    def test_drain_commits_off_cadence_and_resume_is_bitwise(self, tmp_path):
+        from repro.runtime.errors import RunInterrupted
+
+        sequences, labels = make_dataset()
+        baseline = build_classifier()
+        fit_token_classifier(baseline, sequences, labels, FINETUNE)
+
+        drained = build_classifier()
+        manager = CheckpointManager(tmp_path / "ckpt", every=4)
+        original = manager.maybe_save
+
+        def maybe_save(model, optimizer, loop_rng, *, step, **kwargs):
+            if step == 5:  # a signal between cadence steps 4 and 8
+                manager.request_drain()
+            return original(model, optimizer, loop_rng, step=step, **kwargs)
+
+        manager.maybe_save = maybe_save
+        with pytest.raises(RunInterrupted, match="--resume"):
+            fit_token_classifier(
+                drained, sequences, labels, FINETUNE, checkpoint=manager
+            )
+        assert manager.drained_at_step == 5  # committed despite every=4
+
+        resumed = build_classifier()
+        resumed_manager = CheckpointManager(tmp_path / "ckpt", every=4)
+        fit_token_classifier(
+            resumed, sequences, labels, FINETUNE, checkpoint=resumed_manager
+        )
+        assert resumed_manager.resumed_from == 5
+        assert_states_equal(
+            resumed.state_dict(), baseline.state_dict(), "drain-resume"
+        )
+
+    def test_drain_at_the_final_step_does_not_interrupt(self, tmp_path):
+        sequences, labels = make_dataset()
+        manager = CheckpointManager(tmp_path / "ckpt", every=1)
+        # A signal landing after the last step: the done checkpoint wins
+        # and training finishes normally instead of raising.
+        manager.request_drain()
+        original = manager.maybe_save
+
+        def maybe_save(model, optimizer, loop_rng, *, step, **kwargs):
+            if not kwargs.get("done"):
+                manager._drain_requested = False  # only the final call drains
+            else:
+                manager.request_drain()
+            return original(model, optimizer, loop_rng, step=step, **kwargs)
+
+        manager.maybe_save = maybe_save
+        fit_token_classifier(
+            build_classifier(), sequences, labels, FINETUNE, checkpoint=manager
+        )
+        assert manager.drained_at_step is None

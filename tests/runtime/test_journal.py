@@ -1,0 +1,259 @@
+"""Unit tests for the crash-safe run journal (DESIGN §6i)."""
+
+import json
+
+import pytest
+
+from repro.runtime.errors import ArtifactError, ModelError
+from repro.runtime.journal import (
+    JOURNAL_NAME,
+    MANIFEST_NAME,
+    RunJournal,
+    input_digest,
+    rows_digest,
+)
+from repro.runtime.resilience import FaultInjector, FaultSpec
+
+pytestmark = pytest.mark.durable
+
+ROWS = [
+    [{"Action": "Reduce", "Amount": "20%"}, {"Action": "", "Amount": ""}],
+    [{"Action": "Offset", "Amount": "1Mt"}],
+    [{"Action": "Plant", "Amount": "5k trees"}],
+]
+
+
+def _begin(journal, *, config_hash="cfg", digest="in", extra=None):
+    journal.begin(
+        kind="extraction",
+        config_hash=config_hash,
+        input_digest=digest,
+        num_items=5,
+        segments=[(0, 2), (2, 3), (3, 5)],
+        extra=extra,
+    )
+    return journal
+
+
+def _fresh(tmp_path, **kwargs):
+    return _begin(RunJournal(tmp_path / "run"), **kwargs)
+
+
+class TestDigests:
+    def test_rows_digest_is_order_and_key_order_sensitive(self):
+        base = rows_digest([{"a": 1, "b": 2}])
+        assert rows_digest([{"b": 2, "a": 1}]) != base
+        assert rows_digest([{"a": 1, "b": 2}, {}]) != base
+
+    def test_input_digest_is_boundary_safe(self):
+        # Length prefixes: ["ab", "c"] must not collide with ["a", "bc"].
+        assert input_digest(["ab", "c"]) != input_digest(["a", "bc"])
+        assert input_digest([]) != input_digest([""])
+
+
+class TestCommitAndReplay:
+    def test_commit_replay_roundtrip_is_byte_exact(self, tmp_path):
+        journal = _fresh(tmp_path)
+        for index, rows in enumerate(ROWS):
+            assert journal.commit_segment(index, rows) is True
+        journal.mark_complete()
+        assert journal.rows() == [row for rows in ROWS for row in rows]
+
+        replayed = _begin(RunJournal(tmp_path / "run"))
+        assert replayed.complete
+        assert replayed.replayed_segments == 3
+        assert replayed.rows() == journal.rows()
+        assert replayed.result_digest == journal.result_digest
+        # Byte-exact, not merely equal: floats and key order round-trip.
+        assert json.dumps(replayed.rows()) == json.dumps(journal.rows())
+
+    def test_float_rows_roundtrip_shortest_repr(self, tmp_path):
+        rows = [{"Score": 0.1 + 0.2, "Label": "x"}]
+        journal = RunJournal(tmp_path / "run")
+        journal.begin(
+            kind="classification",
+            config_hash="c",
+            input_digest="i",
+            num_items=1,
+            segments=[(0, 1)],
+        )
+        journal.commit_segment(0, rows)
+        replayed = RunJournal(tmp_path / "run")
+        replayed.begin(
+            kind="classification",
+            config_hash="c",
+            input_digest="i",
+            num_items=1,
+            segments=[(0, 1)],
+        )
+        assert replayed.segments[0].rows[0]["Score"] == rows[0]["Score"]
+
+    def test_pending_shrinks_as_segments_commit(self, tmp_path):
+        journal = _fresh(tmp_path)
+        assert journal.pending() == [0, 1, 2]
+        journal.commit_segment(1, ROWS[1])
+        assert journal.pending() == [0, 2]
+        with pytest.raises(ArtifactError, match="incomplete"):
+            journal.rows()
+
+    def test_duplicate_commit_is_first_write_wins(self, tmp_path):
+        journal = _fresh(tmp_path)
+        assert journal.commit_segment(0, ROWS[0]) is True
+        assert journal.commit_segment(0, ROWS[0]) is False
+        assert journal.stats()["duplicate_commits"] == 1
+        # Only one line on disk: the dupe never reached the WAL.
+        lines = (tmp_path / "run" / JOURNAL_NAME).read_bytes().splitlines()
+        assert len(lines) == 1
+
+    def test_conflicting_recommit_raises(self, tmp_path):
+        journal = _fresh(tmp_path)
+        journal.commit_segment(0, ROWS[0])
+        with pytest.raises(ArtifactError, match="different"):
+            journal.commit_segment(0, ROWS[1])
+
+    def test_quarantine_payloads_roundtrip(self, tmp_path):
+        payload = {"report_id": "r1", "error": "ModelError", "stage": "x"}
+        journal = _fresh(tmp_path)
+        journal.commit_segment(0, ROWS[0], quarantine=[payload])
+        journal.commit_segment(1, ROWS[1])
+        journal.commit_segment(2, ROWS[2])
+        replayed = _begin(RunJournal(tmp_path / "run"))
+        assert replayed.quarantine_payloads() == [payload]
+
+
+class TestManifest:
+    def test_resume_with_changed_config_is_refused(self, tmp_path):
+        _fresh(tmp_path).commit_segment(0, ROWS[0])
+        with pytest.raises(ArtifactError, match="config_hash"):
+            _begin(RunJournal(tmp_path / "run"), config_hash="other")
+
+    def test_resume_with_changed_corpus_is_refused(self, tmp_path):
+        _fresh(tmp_path)
+        with pytest.raises(ArtifactError, match="input_digest"):
+            _begin(RunJournal(tmp_path / "run"), digest="edited")
+
+    def test_resume_with_changed_plan_is_refused(self, tmp_path):
+        _fresh(tmp_path)
+        journal = RunJournal(tmp_path / "run")
+        with pytest.raises(ArtifactError, match="segments"):
+            journal.begin(
+                kind="extraction",
+                config_hash="cfg",
+                input_digest="in",
+                num_items=5,
+                segments=[(0, 5)],
+            )
+
+    def test_extra_metadata_does_not_pin_resume(self, tmp_path):
+        _fresh(tmp_path, extra={"host": "a"})
+        _fresh(tmp_path, extra={"host": "b"})  # must not raise
+
+    def test_no_resume_wipes_prior_run(self, tmp_path):
+        journal = _fresh(tmp_path)
+        journal.commit_segment(0, ROWS[0])
+        fresh = RunJournal(tmp_path / "run", resume=False)
+        _begin(fresh, config_hash="retrained")
+        assert fresh.pending() == [0, 1, 2]
+
+    def test_commit_before_begin_raises(self, tmp_path):
+        with pytest.raises(ArtifactError, match="begin"):
+            RunJournal(tmp_path / "run").commit_segment(0, ROWS[0])
+
+    def test_out_of_plan_entry_is_refused_on_replay(self, tmp_path):
+        journal = _fresh(tmp_path)
+        journal.commit_segment(0, ROWS[0])
+        # Re-open with a compatible manifest but a different plan width
+        # by tampering with the on-disk manifest's plan for index 0.
+        manifest_path = tmp_path / "run" / MANIFEST_NAME
+        manifest = json.loads(manifest_path.read_text())
+        manifest["segments"][0] = [0, 1]
+        manifest_path.write_text(json.dumps(manifest))
+        journal = RunJournal(tmp_path / "run")
+        with pytest.raises(ArtifactError, match="bounds"):
+            journal.begin(
+                kind="extraction",
+                config_hash="cfg",
+                input_digest="in",
+                num_items=5,
+                segments=[(0, 1), (2, 3), (3, 5)],
+            )
+
+
+class TestTornWrites:
+    def test_torn_tail_without_newline_is_truncated(self, tmp_path):
+        journal = _fresh(tmp_path)
+        journal.commit_segment(0, ROWS[0])
+        journal.commit_segment(1, ROWS[1])
+        path = tmp_path / "run" / JOURNAL_NAME
+        good = path.read_bytes()
+        path.write_bytes(good + b'deadbeef {"type":"segm')
+        replayed = _begin(RunJournal(tmp_path / "run"))
+        assert replayed.truncated_tail
+        assert sorted(replayed.segments) == [0, 1]
+        assert path.read_bytes() == good
+
+    def test_checksum_failed_final_line_is_truncated(self, tmp_path):
+        journal = _fresh(tmp_path)
+        journal.commit_segment(0, ROWS[0])
+        path = tmp_path / "run" / JOURNAL_NAME
+        good = path.read_bytes()
+        bad = bytearray(good * 2)
+        bad[-10] ^= 0xFF  # corrupt the *final* line only
+        path.write_bytes(bytes(bad))
+        replayed = _begin(RunJournal(tmp_path / "run"))
+        assert replayed.truncated_tail
+        assert sorted(replayed.segments) == [0]
+        assert path.read_bytes() == good
+
+    def test_midfile_corruption_is_a_hard_error(self, tmp_path):
+        journal = _fresh(tmp_path)
+        journal.commit_segment(0, ROWS[0])
+        journal.commit_segment(1, ROWS[1])
+        path = tmp_path / "run" / JOURNAL_NAME
+        raw = bytearray(path.read_bytes())
+        raw[10] ^= 0xFF  # first line, not the tail
+        path.write_bytes(bytes(raw))
+        with pytest.raises(ArtifactError, match="mid-file"):
+            _begin(RunJournal(tmp_path / "run"))
+
+    @pytest.mark.chaos
+    @pytest.mark.parametrize("site", ["journal_commit", "journal_publish"])
+    def test_crash_at_either_boundary_never_loses_committed_work(
+        self, tmp_path, site
+    ):
+        injector = FaultInjector(
+            [FaultSpec(stage=site, error="model", nth_calls=(2,))], seed=0
+        )
+        journal = RunJournal(tmp_path / "run", fault_injector=injector)
+        _begin(journal)
+        journal.commit_segment(0, ROWS[0])
+        with pytest.raises(ModelError):
+            journal.commit_segment(1, ROWS[1])
+        resumed = _begin(RunJournal(tmp_path / "run"))
+        # Segment 0 always survives; segment 1 either fully committed
+        # (crash after the write hit disk) or left no trace.
+        assert 0 in resumed.segments
+        for index in resumed.segments:
+            assert resumed.segments[index].rows == tuple(ROWS[index])
+        for index in resumed.pending():
+            resumed.commit_segment(index, ROWS[index])
+        resumed.mark_complete()
+        assert resumed.rows() == [row for rows in ROWS for row in rows]
+
+
+class TestCompletion:
+    def test_mark_complete_requires_all_segments(self, tmp_path):
+        journal = _fresh(tmp_path)
+        journal.commit_segment(0, ROWS[0])
+        with pytest.raises(ArtifactError, match="cannot mark"):
+            journal.mark_complete()
+
+    def test_completion_digest_is_verified_on_replay(self, tmp_path):
+        journal = _fresh(tmp_path)
+        for index, rows in enumerate(ROWS):
+            journal.commit_segment(index, rows)
+        journal.mark_complete()
+        assert journal.mark_complete() is None  # idempotent
+        replayed = _begin(RunJournal(tmp_path / "run"))
+        assert replayed.complete
+        assert replayed.result_digest == journal.result_digest

@@ -1,0 +1,381 @@
+"""Unit tests for lease-based worker supervision (DESIGN §6i).
+
+The supervisor is exercised against a scripted in-process transport and
+a fake clock, so hangs, crashes, heartbeats, and drains are all
+deterministic — no real processes, signals, or wall-clock sleeps.
+"""
+
+import threading
+
+import pytest
+
+from repro.runtime.errors import (
+    ArtifactError,
+    InputError,
+    ModelError,
+    ReproError,
+    RunInterrupted,
+    StageTimeout,
+)
+from repro.runtime.journal import RunJournal
+from repro.runtime.supervisor import (
+    GracefulShutdown,
+    RunSupervisor,
+    SegmentOutcome,
+    SegmentWork,
+    SupervisorConfig,
+    plan_segments,
+)
+
+pytestmark = pytest.mark.durable
+
+SEGMENTS = [(0, 2), (2, 4), (4, 6)]
+ROWS = {0: [{"i": 0}, {"i": 1}], 1: [{"i": 2}, {"i": 3}], 2: [{"i": 4}, {"i": 5}]}
+
+
+def _works():
+    return [
+        SegmentWork(
+            index=index,
+            start=start,
+            stop=stop,
+            kind="extraction",
+            items=("a", "b"),
+            mode="raise",
+            fields=("Action",),
+        )
+        for index, (start, stop) in enumerate(SEGMENTS)
+    ]
+
+
+def _journal(tmp_path):
+    journal = RunJournal(tmp_path / "run")
+    journal.begin(
+        kind="extraction",
+        config_hash="cfg",
+        input_digest="in",
+        num_items=6,
+        segments=SEGMENTS,
+    )
+    return journal
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+    def sleep(self, seconds):
+        self.now += seconds
+
+
+class Handle:
+    def __init__(self, work, generation):
+        self.work = work
+        self.generation = generation
+        self.polls = 0
+
+
+class ManualTransport:
+    """Scripted transport: behavior per (segment index, grant generation).
+
+    ``"ok"`` completes on the first poll, ``"slow:N"`` on the Nth,
+    ``"hang"`` never, ``"fail"``/``"crash"`` return a typed error
+    outcome (non-retryable / retryable).
+    """
+
+    capacity = 2
+
+    def __init__(self, script):
+        self.script = script
+        self.grants = []
+        self.closed = None
+        self.heartbeats = {}
+
+    def _behavior(self, handle):
+        return self.script.get(
+            (handle.work.index, handle.generation),
+            self.script.get(handle.work.index, "ok"),
+        )
+
+    def submit(self, work):
+        generation = sum(1 for h in self.grants if h.work.index == work.index)
+        handle = Handle(work, generation)
+        self.grants.append(handle)
+        return handle
+
+    def poll(self, handle):
+        handle.polls += 1
+        behavior = self._behavior(handle)
+        if behavior == "hang":
+            return None
+        if behavior.startswith("slow:"):
+            if handle.polls < int(behavior.split(":")[1]):
+                return None
+            behavior = "ok"
+        if behavior in ("fail", "crash"):
+            error = (
+                InputError("poison segment", stage="extract")
+                if behavior == "fail"
+                else ReproError("worker killed", stage="run")
+            )
+            payload = error.context()
+            payload["retryable"] = behavior == "crash"
+            return SegmentOutcome(
+                index=handle.work.index, rows=[], quarantine=[], error=payload
+            )
+        return SegmentOutcome(
+            index=handle.work.index,
+            rows=ROWS[handle.work.index],
+            quarantine=[],
+        )
+
+    def heartbeat(self, handle):
+        return self.heartbeats.get(handle.work.index)
+
+    def close(self, *, force=False):
+        self.closed = "force" if force else "clean"
+
+
+def _run(tmp_path, script, *, config=None, drain_event=None, clock=None):
+    clock = clock or FakeClock()
+    journal = _journal(tmp_path)
+    transport = ManualTransport(script)
+    supervisor = RunSupervisor(
+        journal,
+        transport,
+        config=config
+        or SupervisorConfig(lease_timeout=1.0, poll_interval=0.25),
+        drain_event=drain_event,
+        clock=clock,
+        sleep=clock.sleep,
+    )
+    return journal, transport, supervisor
+
+
+class TestHappyPath:
+    def test_all_segments_commit(self, tmp_path):
+        journal, transport, supervisor = _run(tmp_path, {})
+        supervisor.run(_works())
+        journal.mark_complete()
+        assert journal.rows() == [row for i in range(3) for row in ROWS[i]]
+        assert supervisor.stats["leases_granted"] == 3
+        assert supervisor.stats["reaped"] == 0
+
+    def test_grants_respect_capacity(self, tmp_path):
+        journal, transport, supervisor = _run(
+            tmp_path, {0: "slow:3", 1: "slow:3", 2: "slow:3"}
+        )
+        supervisor.run(_works())
+        # With capacity 2, the third grant can only follow a completion.
+        first_two = {h.work.index for h in transport.grants[:2]}
+        assert first_two == {0, 1}
+        assert len(transport.grants) == 3
+
+    def test_only_pending_segments_run(self, tmp_path):
+        journal = _journal(tmp_path)
+        journal.commit_segment(1, ROWS[1])
+        clock = FakeClock()
+        transport = ManualTransport({})
+        supervisor = RunSupervisor(
+            journal, transport, clock=clock, sleep=clock.sleep
+        )
+        supervisor.run([w for w in _works() if w.index != 1])
+        assert {h.work.index for h in transport.grants} == {0, 2}
+        journal.mark_complete()
+
+
+class TestReaping:
+    def test_hung_worker_is_reaped_and_regranted(self, tmp_path):
+        journal, transport, supervisor = _run(
+            tmp_path, {(0, 0): "hang", (0, 1): "ok"}
+        )
+        supervisor.run(_works())
+        assert supervisor.stats["reaped"] == 1
+        assert supervisor.stats["regrants"] == 1
+        journal.mark_complete()
+        assert journal.segments[0].rows == tuple(ROWS[0])
+
+    def test_stale_result_from_reaped_grant_still_counts(self, tmp_path):
+        # First grant is slow enough to get reaped, but finishes before
+        # its replacement: first finisher wins, the journal dedupes.
+        journal, transport, supervisor = _run(
+            tmp_path, {(0, 0): "slow:9", (0, 1): "hang"}
+        )
+        supervisor.run(_works())
+        assert supervisor.stats["reaped"] >= 1
+        assert journal.segments[0].rows == tuple(ROWS[0])
+        assert journal.stats()["duplicate_commits"] == 0
+
+    def test_heartbeat_extends_the_lease(self, tmp_path):
+        clock = FakeClock()
+        journal, transport, supervisor = _run(
+            tmp_path, {(0, 0): "slow:12"}, clock=clock
+        )
+        # The worker never "completes" within lease_timeout of its grant,
+        # but keeps heartbeating — the lease must not be reaped.
+        original_poll = transport.poll
+
+        def poll(handle):
+            if handle.work.index == 0:
+                transport.heartbeats[0] = clock.now
+            return original_poll(handle)
+
+        transport.poll = poll
+        supervisor.run(_works())
+        assert supervisor.stats["reaped"] == 0
+
+    def test_exhausted_regrants_raise_stage_timeout(self, tmp_path):
+        journal, transport, supervisor = _run(
+            tmp_path,
+            {0: "hang"},
+            config=SupervisorConfig(
+                lease_timeout=1.0, poll_interval=0.25, max_regrants=2
+            ),
+        )
+        with pytest.raises(StageTimeout, match="hung through 3 grants"):
+            supervisor.run(_works())
+        assert transport.closed == "force"
+        # Healthy segments committed before the raise stay durable.
+        assert set(journal.segments) >= {1, 2}
+
+
+class TestFailures:
+    def test_nonretryable_failure_raises_typed_error(self, tmp_path):
+        journal, transport, supervisor = _run(tmp_path, {1: "fail"})
+        with pytest.raises(InputError, match="poison segment"):
+            supervisor.run(_works())
+        assert transport.closed == "force"
+        assert 1 not in journal.segments
+
+    def test_retryable_crash_is_regranted(self, tmp_path):
+        journal, transport, supervisor = _run(
+            tmp_path, {(2, 0): "crash", (2, 1): "ok"}
+        )
+        supervisor.run(_works())
+        assert supervisor.stats["worker_failures"] == 1
+        assert supervisor.stats["regrants"] == 1
+        journal.mark_complete()
+
+    def test_crash_storm_past_max_regrants_raises(self, tmp_path):
+        journal, transport, supervisor = _run(
+            tmp_path,
+            {2: "crash"},
+            config=SupervisorConfig(
+                lease_timeout=1.0, poll_interval=0.25, max_regrants=1
+            ),
+        )
+        with pytest.raises(ReproError, match="worker killed"):
+            supervisor.run(_works())
+
+
+class TestDeadlineAndDrain:
+    def test_run_deadline_raises_with_journal_intact(self, tmp_path):
+        journal, transport, supervisor = _run(
+            tmp_path,
+            {0: "hang", 1: "hang", 2: "hang"},
+            config=SupervisorConfig(
+                lease_timeout=50.0,
+                poll_interval=0.25,
+                run_deadline=2.0,
+                max_regrants=99,
+            ),
+        )
+        with pytest.raises(StageTimeout, match="deadline"):
+            supervisor.run(_works())
+        assert transport.closed == "force"
+
+    def test_drain_commits_in_flight_then_interrupts(self, tmp_path):
+        drain = threading.Event()
+        journal, transport, supervisor = _run(
+            tmp_path, {0: "slow:2", 1: "slow:2", 2: "slow:2"}, drain_event=drain
+        )
+        # The signal lands once work is in flight (after the first grants).
+        original_submit = transport.submit
+
+        def submit(work):
+            drain.set()
+            return original_submit(work)
+
+        transport.submit = submit
+        with pytest.raises(RunInterrupted, match="--resume"):
+            supervisor.run(_works())
+        assert supervisor.stats["drained"] is True
+        # The two in-flight leases (capacity 2) commit; nothing new grants.
+        assert sorted(journal.segments) == [0, 1]
+        assert transport.closed == "clean"
+
+    def test_drain_with_hung_worker_gives_up_after_grace(self, tmp_path):
+        drain = threading.Event()
+        journal, transport, supervisor = _run(
+            tmp_path,
+            {0: "slow:2", 1: "hang"},
+            config=SupervisorConfig(
+                lease_timeout=50.0, poll_interval=0.25, drain_timeout=3.0
+            ),
+            drain_event=drain,
+        )
+        original_submit = transport.submit
+
+        def submit(work):
+            drain.set()
+            return original_submit(work)
+
+        transport.submit = submit
+        with pytest.raises(RunInterrupted):
+            supervisor.run(_works())
+        assert 0 in journal.segments
+        assert 1 not in journal.segments
+        assert transport.closed == "force"
+
+    def test_request_drain_equals_event(self, tmp_path):
+        journal, transport, supervisor = _run(tmp_path, {0: "slow:2"})
+        supervisor.request_drain()
+        with pytest.raises(RunInterrupted):
+            supervisor.run(_works())
+
+
+class TestPlanSegments:
+    def test_plan_is_contiguous_and_worker_independent(self):
+        costs = [3, 1, 4, 1, 5, 9, 2, 6]
+        plan = plan_segments(costs, 3)
+        assert plan[0].start == 0
+        assert plan[-1].stop == len(costs)
+        for left, right in zip(plan, plan[1:]):
+            assert left.stop == right.start
+        assert len(plan) == 3  # ceil(8 / 3)
+
+    def test_rejects_bad_segment_items(self):
+        with pytest.raises(ValueError):
+            plan_segments([1, 2], 0)
+
+    def test_empty_corpus(self):
+        assert plan_segments([], 4) == []
+
+
+class TestGracefulShutdown:
+    def test_handler_sets_event_and_runs_callback(self):
+        import os
+        import signal
+
+        calls = []
+        with GracefulShutdown(
+            (signal.SIGUSR1,), on_signal=lambda: calls.append(1)
+        ) as shutdown:
+            os.kill(os.getpid(), signal.SIGUSR1)
+            assert shutdown.requested
+            assert shutdown.signal_name == "SIGUSR1"
+            assert calls == [1]
+        # Handler restored on exit.
+        assert signal.getsignal(signal.SIGUSR1) != shutdown._handle
+
+    def test_second_signal_escalates(self):
+        import signal
+
+        with GracefulShutdown((signal.SIGUSR2,)) as shutdown:
+            assert signal.getsignal(signal.SIGUSR2) == shutdown._handle
+            shutdown._handle(signal.SIGUSR2, None)
+            # After the first delivery the original disposition is back.
+            assert signal.getsignal(signal.SIGUSR2) != shutdown._handle

@@ -88,3 +88,77 @@ class TestAtomicStore:
         )
         assert added == 2
         assert count_rows(db) == 2
+
+
+@pytest.mark.durable
+class TestIdempotentRepublish:
+    """``dedupe=True`` makes re-publishing a committed batch a no-op."""
+
+    def test_republishing_same_batch_adds_nothing(self, tmp_path):
+        db = tmp_path / "objectives.db"
+        batch = make_records(4)
+        assert atomic_store_records(db, batch, dedupe=True) == 4
+        # A resumed durable run re-publishes the whole batch.
+        assert atomic_store_records(db, batch, dedupe=True) == 0
+        assert count_rows(db) == 4
+
+    def test_partial_overlap_adds_only_new_rows(self, tmp_path):
+        db = tmp_path / "objectives.db"
+        batch = make_records(5)
+        atomic_store_records(db, batch[:3], dedupe=True)
+        assert atomic_store_records(db, batch, dedupe=True) == 2
+        assert count_rows(db) == 5
+
+    def test_identical_twin_rows_survive_dedupe(self, tmp_path):
+        """Genuine duplicate records within one batch are not collapsed."""
+        db = tmp_path / "objectives.db"
+        twin = make_records(1)[0]
+        batch = [twin, twin, twin]
+        assert atomic_store_records(db, batch, dedupe=True) == 3
+        assert count_rows(db) == 3
+        # ...but re-publishing the twin batch is still a no-op.
+        assert atomic_store_records(db, batch, dedupe=True) == 0
+
+    def test_fingerprint_distinguishes_extractor_upgrades(self, tmp_path):
+        from repro.storage import record_digest
+
+        record = make_records(1)[0]
+        assert record_digest(record, extractor_fingerprint="a") != (
+            record_digest(record, extractor_fingerprint="b")
+        )
+        db = tmp_path / "objectives.db"
+        atomic_store_records(
+            db, [record], dedupe=True, extractor_fingerprint="a"
+        )
+        # The same record from a retrained model is a *new* row.
+        assert atomic_store_records(
+            db, [record], dedupe=True, extractor_fingerprint="b"
+        ) == 1
+
+    def test_crash_then_republish_is_exactly_once(self, tmp_path):
+        """The durable-run story: commit, crash before ack, re-publish."""
+        db = tmp_path / "objectives.db"
+        batch = make_records(6)
+        atomic_store_records(db, batch, dedupe=True)
+        injector = FaultInjector(
+            [FaultSpec(stage="store_commit", nth_calls=(1,))]
+        )
+        with pytest.raises(ModelError):
+            atomic_store_records(
+                db, make_records(2, company="OTHER"), dedupe=True,
+                fault_injector=injector,
+            )
+        # Retry the failed batch, then spuriously retry the first one too.
+        assert atomic_store_records(
+            db, make_records(2, company="OTHER"), dedupe=True
+        ) == 2
+        assert atomic_store_records(db, batch, dedupe=True) == 0
+        assert count_rows(db) == 8
+
+    def test_without_dedupe_republish_doubles(self, tmp_path):
+        """The pre-v3 behavior is preserved when dedupe is off."""
+        db = tmp_path / "objectives.db"
+        batch = make_records(2)
+        atomic_store_records(db, batch)
+        atomic_store_records(db, batch)
+        assert count_rows(db) == 4

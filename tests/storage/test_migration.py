@@ -144,3 +144,36 @@ class TestYearQueries:
         assert store.reporting_years() == [2022, 2023]
         assert store.reporting_years(company="Blue Ltd.") == [2023]
         assert store.reporting_years(company="Legacy Co") == []
+
+
+@pytest.mark.durable
+class TestV3Migration:
+    def test_pre_v3_database_gains_digest_column(self, tmp_path):
+        path = tmp_path / "v1.db"
+        _make_v1_db(path)
+        with ObjectiveStore(path) as store:
+            assert store.schema_version == SCHEMA_VERSION
+            (row,) = store.query()
+            assert row.record_digest == ""  # legacy rows are undigested
+            store.insert_records([_record()])
+            (new,) = store.query(reporting_year=2024)
+            assert len(new.record_digest) == 64
+
+    def test_digest_index_exists(self, tmp_path):
+        with ObjectiveStore(tmp_path / "v3.db") as store:
+            indexes = {
+                row[0]
+                for row in store.connection.execute(
+                    "SELECT name FROM sqlite_master WHERE type = 'index'"
+                )
+            }
+            assert "idx_objectives_digest" in indexes
+
+    def test_legacy_rows_never_dedupe(self, tmp_path):
+        """Empty digests (pre-v3 rows) must not match one another."""
+        path = tmp_path / "v1.db"
+        _make_v1_db(path)
+        with ObjectiveStore(path) as store:
+            added = store.insert_records([_record()], dedupe=True)
+            assert added == 1
+            assert store.insert_records([_record()], dedupe=True) == 0

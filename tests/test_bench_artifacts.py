@@ -195,6 +195,68 @@ class TestKgArtifact:
         assert report["drift_recall"] == 1.0
 
 
+@pytest.mark.durable
+class TestDurableRunsArtifact:
+    REQUIRED_TASKS = {"goalspotter", "netzero-target"}
+
+    def test_schema(self):
+        report = load_artifact("BENCH_durable_runs.json")
+        assert set(report) == {
+            "config",
+            "cpu_count",
+            "tasks",
+            "overhead_ok",
+            "all_identical",
+        }
+        config = report["config"]
+        assert set(config) == {
+            "repeat",
+            "rounds",
+            "segment_items",
+            "overhead_bound",
+            "profile",
+        }
+        assert config["overhead_bound"] == 1.05
+        assert self.REQUIRED_TASKS <= set(report["tasks"])
+        for name, entry in report["tasks"].items():
+            assert set(entry) == {
+                "kind",
+                "texts",
+                "segments",
+                "segment_items",
+                "rounds",
+                "plain_seconds",
+                "journaled_seconds",
+                "monolithic_seconds",
+                "overhead_ratio",
+                "overhead_ratio_median",
+                "monolithic_ratio",
+                "texts_per_second",
+                "overhead_ok",
+                "killed_mid_run",
+                "kill_resume_identical",
+                "workers2_identical",
+            }, name
+            assert entry["kind"] in ("extraction", "classification")
+            assert entry["segments"] >= 2, name  # a mid-run kill needs two
+
+    def test_headline_claims_hold(self):
+        """The journal stays under the 5% clean-path bound and every
+        kill+resume / workers=2 run came back bitwise-identical — the
+        committed evidence behind README §durable-runs."""
+        report = load_artifact("BENCH_durable_runs.json")
+        assert report["overhead_ok"] is True
+        assert report["all_identical"] is True
+        bound = report["config"]["overhead_bound"]
+        for name, entry in report["tasks"].items():
+            assert entry["overhead_ratio"] < bound, name
+            assert entry["overhead_ok"] is True, name
+            assert entry["killed_mid_run"] is True, name
+            assert entry["kill_resume_identical"] is True, name
+            assert entry["workers2_identical"] is True, name
+            assert entry["texts_per_second"] > 0, name
+
+
 @pytest.mark.tasks
 class TestTasksArtifact:
     REQUIRED_TASKS = {

@@ -23,6 +23,7 @@ EXPECTED_RUNTIME_PARALLEL_EXPORTS = (
     "Shard",
     "ShardResult",
     "ShardTask",
+    "WorkerPool",
     "broadcast_classifier",
     "broadcast_extractor",
     "broadcast_pipeline",
